@@ -1,0 +1,106 @@
+//! Finite-difference gradient verification.
+//!
+//! Every layer and every custom op in the workspace is validated against
+//! central finite differences through this module; the `nn` and `snn` test
+//! suites call [`check`] on their forward functions.
+
+use std::error::Error;
+use std::fmt;
+
+use tensor::Tensor;
+
+use crate::{Tape, Var};
+
+/// A mismatch found by [`check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradcheckError {
+    /// Index of the offending input tensor.
+    pub input: usize,
+    /// Flat element index within that input.
+    pub element: usize,
+    /// Analytic (backward-pass) derivative.
+    pub analytic: f32,
+    /// Central finite-difference estimate.
+    pub numeric: f32,
+}
+
+impl fmt::Display for GradcheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gradient mismatch at input {} element {}: analytic {} vs numeric {}",
+            self.input, self.element, self.analytic, self.numeric
+        )
+    }
+}
+
+impl Error for GradcheckError {}
+
+/// Verifies the analytic gradients of a scalar-valued function against
+/// central finite differences.
+///
+/// `f` receives a fresh tape and one leaf [`Var`] per input tensor and must
+/// return a scalar variable on that tape. Each input element is perturbed by
+/// `±eps`; the analytic gradient must match the central difference to within
+/// `tol_abs + tol_rel · |numeric|`.
+///
+/// # Errors
+///
+/// Returns the first [`GradcheckError`] found, if any.
+///
+/// # Example
+///
+/// ```
+/// use ad::gradcheck;
+/// use tensor::Tensor;
+///
+/// # fn main() -> Result<(), gradcheck::GradcheckError> {
+/// let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+/// gradcheck::check(&|_, vars| (vars[0] * vars[0]).sum(), &[x], 1e-3, 1e-2, 1e-2)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(
+    f: &dyn for<'t> Fn(&'t Tape, &[Var<'t>]) -> Var<'t>,
+    inputs: &[Tensor],
+    eps: f32,
+    tol_abs: f32,
+    tol_rel: f32,
+) -> Result<(), GradcheckError> {
+    // Analytic gradients once.
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&tape, &vars);
+    let grads = tape.backward(loss);
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(inputs)
+        .map(|(v, t)| grads.wrt_or_zero(*v, t.dims()))
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var<'_>> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        f(&tape, &vars).value().item()
+    };
+
+    for (i, input) in inputs.iter().enumerate() {
+        for e in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[i].data_mut()[e] += eps;
+            let mut minus = inputs.to_vec();
+            minus[i].data_mut()[e] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[i].data()[e];
+            if (a - numeric).abs() > tol_abs + tol_rel * numeric.abs() {
+                return Err(GradcheckError {
+                    input: i,
+                    element: e,
+                    analytic: a,
+                    numeric,
+                });
+            }
+        }
+    }
+    Ok(())
+}

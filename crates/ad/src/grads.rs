@@ -1,0 +1,58 @@
+//! The result of a backward pass.
+
+use tensor::Tensor;
+
+use crate::tape::Var;
+
+/// Gradients of a scalar loss with respect to every node of a
+/// [`Tape`](crate::Tape), produced by [`Tape::backward`](crate::Tape::backward).
+///
+/// Nodes that the loss does not depend on have no gradient; [`Grads::wrt`]
+/// returns `None` for them.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use tensor::Tensor;
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::scalar(2.0));
+/// let unused = tape.leaf(Tensor::scalar(9.0));
+/// let loss = (x * x).sum();
+/// let grads = tape.backward(loss);
+/// assert_eq!(grads.wrt(x).unwrap().item(), 4.0);
+/// assert!(grads.wrt(unused).is_none());
+/// ```
+#[derive(Debug)]
+pub struct Grads {
+    inner: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    pub(crate) fn new(inner: Vec<Option<Tensor>>) -> Self {
+        Self { inner }
+    }
+
+    /// The gradient with respect to `var`, if the loss depends on it.
+    pub fn wrt(&self, var: Var<'_>) -> Option<&Tensor> {
+        self.inner.get(var.id()).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`Grads::wrt`] but returns a zero tensor of shape `dims` when the
+    /// loss does not depend on `var` — convenient for optimizers that treat
+    /// "no gradient" as "zero gradient".
+    pub fn wrt_or_zero(&self, var: Var<'_>, dims: &[usize]) -> Tensor {
+        self.wrt(var).cloned().unwrap_or_else(|| Tensor::zeros(dims))
+    }
+
+    /// Number of tape nodes covered by this gradient record.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if the tape was empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}

@@ -1,0 +1,38 @@
+//! Reverse-mode automatic differentiation for the `spiking-armor` workspace.
+//!
+//! A [`Tape`] records every operation performed on its [`Var`] handles. After
+//! building a scalar loss, [`Tape::backward`] walks the recording in reverse
+//! and returns the gradient of the loss with respect to every variable —
+//! network weights for training, and the *input image* for white-box
+//! adversarial attacks (the key requirement of the reproduced paper's threat
+//! model).
+//!
+//! Spiking networks need one op that ordinary autodiff cannot express: the
+//! Heaviside spike with a *surrogate* derivative. The [`CustomUnary`] trait
+//! lets the `snn` crate register exactly that without this crate knowing
+//! anything about neurons.
+//!
+//! # Example
+//!
+//! ```
+//! use ad::Tape;
+//! use tensor::Tensor;
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+//! let w = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2, 1]));
+//! let y = x.matmul(w).sum(); // y = 1·3 + 2·4 = 11
+//! let grads = tape.backward(y);
+//! assert_eq!(grads.wrt(x).unwrap().data(), &[3.0, 4.0]);
+//! assert_eq!(grads.wrt(w).unwrap().data(), &[1.0, 2.0]);
+//! ```
+
+mod grads;
+mod ops;
+mod tape;
+
+pub mod gradcheck;
+
+pub use grads::Grads;
+pub use ops::CustomUnary;
+pub use tape::{Tape, TapeStats, Var};

@@ -1,0 +1,546 @@
+//! Differentiable operations: forward constructors on [`Var`] and the
+//! reverse-mode `propagate` dispatcher.
+
+use tensor::conv::{conv2d, conv2d_backward, Conv2dSpec};
+use tensor::pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+use tensor::Tensor;
+
+use crate::tape::{Node, Var};
+
+/// A unary operation with a caller-supplied derivative.
+///
+/// This is the extension point used by the `snn` crate to implement spike
+/// functions: the forward pass is a hard Heaviside step while the backward
+/// pass substitutes a smooth *surrogate* derivative, exactly as done by
+/// Norse/PyTorch SNN training and required for the white-box attacks of the
+/// reproduced paper.
+///
+/// # Example
+///
+/// ```
+/// use ad::{CustomUnary, Tape};
+/// use tensor::Tensor;
+///
+/// /// y = x² with a deliberately scaled derivative 2x·10.
+/// #[derive(Debug)]
+/// struct ScaledSquare;
+/// impl CustomUnary for ScaledSquare {
+///     fn forward(&self, x: &Tensor) -> Tensor { x.mul(x) }
+///     fn backward(&self, x: &Tensor, g: &Tensor) -> Tensor {
+///         x.mul_scalar(20.0).mul(g)
+///     }
+/// }
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::scalar(3.0));
+/// let y = x.custom_unary(Box::new(ScaledSquare)).sum();
+/// let grads = tape.backward(y);
+/// assert_eq!(grads.wrt(x).unwrap().item(), 60.0);
+/// ```
+pub trait CustomUnary: std::fmt::Debug {
+    /// Computes the output value from the input value.
+    fn forward(&self, x: &Tensor) -> Tensor;
+    /// Computes `∂L/∂x` from the input value `x` and the output gradient
+    /// `grad_out`; the result must have the shape of `x`.
+    fn backward(&self, x: &Tensor, grad_out: &Tensor) -> Tensor;
+}
+
+impl Op {
+    /// A short static label for diagnostics.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Maximum(..) => "maximum",
+            Op::Neg(..) => "neg",
+            Op::MulScalar(..) => "mul_scalar",
+            Op::AddScalar(..) => "add_scalar",
+            Op::Matmul(..) => "matmul",
+            Op::Conv2d { .. } => "conv2d",
+            Op::AvgPool { .. } => "avg_pool2d",
+            Op::MaxPool { .. } => "max_pool2d",
+            Op::Relu(..) => "relu",
+            Op::Exp(..) => "exp",
+            Op::Ln(..) => "ln",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Div(..) => "div",
+            Op::AddBias { .. } => "add_bias",
+            Op::Reshape(..) => "reshape",
+            Op::SliceChannels { .. } => "slice_channels",
+            Op::Sum(..) => "sum",
+            Op::Mean(..) => "mean",
+            Op::LogSoftmax(..) => "log_softmax",
+            Op::NllLoss { .. } => "nll_loss",
+            Op::Custom { .. } => "custom",
+        }
+    }
+}
+
+pub(crate) enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Maximum(usize, usize),
+    Neg(usize),
+    MulScalar(usize, f32),
+    AddScalar(usize),
+    Matmul(usize, usize),
+    Conv2d {
+        x: usize,
+        w: usize,
+        spec: Conv2dSpec,
+    },
+    AvgPool {
+        x: usize,
+        k: usize,
+    },
+    MaxPool {
+        x: usize,
+        argmax: Vec<usize>,
+    },
+    Relu(usize),
+    Exp(usize),
+    Ln(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Div(usize, usize),
+    AddBias {
+        x: usize,
+        b: usize,
+    },
+    Reshape(usize),
+    SliceChannels {
+        x: usize,
+        start: usize,
+        end: usize,
+    },
+    Sum(usize),
+    Mean(usize),
+    LogSoftmax(usize),
+    NllLoss {
+        logp: usize,
+        targets: Vec<usize>,
+    },
+    Custom {
+        x: usize,
+        op: Box<dyn CustomUnary>,
+    },
+}
+
+impl<'t> Var<'t> {
+    fn binary(self, other: Var<'t>, value: Tensor, op: Op) -> Var<'t> {
+        self.assert_same_tape(&other);
+        self.tape.push(value, op)
+    }
+
+    /// Elementwise maximum; gradients flow to the larger operand (ties go to
+    /// `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ or the tapes differ.
+    pub fn maximum(self, other: Var<'t>) -> Var<'t> {
+        let value = self.value().maximum(&other.value());
+        self.binary(other, value, Op::Maximum(self.id, other.id))
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn mul_scalar(self, s: f32) -> Var<'t> {
+        let value = self.value().mul_scalar(s);
+        self.tape.push(value, Op::MulScalar(self.id, s))
+    }
+
+    /// Adds `s` to every element (gradient passes through unchanged).
+    pub fn add_scalar(self, s: f32) -> Var<'t> {
+        let value = self.value().add_scalar(s);
+        self.tape.push(value, Op::AddScalar(self.id))
+    }
+
+    /// Matrix product `[M, K] × [K, N]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or cross-tape operands.
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        let value = self.value().matmul(&other.value());
+        self.binary(other, value, Op::Matmul(self.id, other.id))
+    }
+
+    /// 2-D convolution of `self` (`[N, C, H, W]`) with kernel `w`
+    /// (`[O, C, KH, KW]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape violation (see [`tensor::conv::conv2d`]).
+    pub fn conv2d(self, w: Var<'t>, spec: Conv2dSpec) -> Var<'t> {
+        let value = conv2d(&self.value(), &w.value(), spec);
+        self.binary(
+            w,
+            value,
+            Op::Conv2d {
+                x: self.id,
+                w: w.id,
+                spec,
+            },
+        )
+    }
+
+    /// Average pooling with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not divide the spatial extent.
+    pub fn avg_pool2d(self, k: usize) -> Var<'t> {
+        let value = avg_pool2d(&self.value(), k);
+        self.tape.push(value, Op::AvgPool { x: self.id, k })
+    }
+
+    /// Max pooling with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not divide the spatial extent.
+    pub fn max_pool2d(self, k: usize) -> Var<'t> {
+        let (value, argmax) = max_pool2d(&self.value(), k);
+        self.tape.push(value, Op::MaxPool { x: self.id, argmax })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let value = self.value().map(|v| v.max(0.0));
+        self.tape.push(value, Op::Relu(self.id))
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(self) -> Var<'t> {
+        let value = self.value().exp();
+        self.tape.push(value, Op::Exp(self.id))
+    }
+
+    /// Elementwise natural logarithm. The input must be strictly positive
+    /// for meaningful gradients; non-positive inputs produce `-inf`/NaN
+    /// values exactly as `f32::ln` does.
+    pub fn ln(self) -> Var<'t> {
+        let value = self.value().ln();
+        self.tape.push(value, Op::Ln(self.id))
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(self) -> Var<'t> {
+        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.tape.push(value, Op::Sigmoid(self.id))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let value = self.value().map(f32::tanh);
+        self.tape.push(value, Op::Tanh(self.id))
+    }
+
+    /// Elementwise quotient of two same-shape variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ or the tapes differ.
+    pub fn div(self, other: Var<'t>) -> Var<'t> {
+        let value = self.value().div(&other.value());
+        self.binary(other, value, Op::Div(self.id, other.id))
+    }
+
+    /// Adds a rank-1 bias to a `[N, C]` matrix or `[N, C, H, W]` map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the shape violations of [`Tensor::add_bias`].
+    pub fn add_bias(self, b: Var<'t>) -> Var<'t> {
+        let value = self.value().add_bias(&b.value());
+        self.binary(b, value, Op::AddBias { x: self.id, b: b.id })
+    }
+
+    /// Reshapes to `dims` (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(self, dims: &[usize]) -> Var<'t> {
+        let value = self.value().reshape(dims);
+        self.tape.push(value, Op::Reshape(self.id))
+    }
+
+    /// Extracts channels `[start, end)` of a `[N, C, H, W]` variable.
+    /// Gradients flow back into the selected channels; the rest receive
+    /// zero. This is how frame-replay encoding presents one frame of a
+    /// multi-frame input per timestep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not rank 4, `start >= end`, or `end`
+    /// exceeds the channel count.
+    pub fn slice_channels(self, start: usize, end: usize) -> Var<'t> {
+        let value = self.value();
+        let dims = value.dims();
+        assert_eq!(dims.len(), 4, "slice_channels needs [N, C, H, W], got {dims:?}");
+        assert!(start < end, "empty channel slice [{start}, {end})");
+        assert!(end <= dims[1], "channel slice end {end} exceeds {}", dims[1]);
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let out_c = end - start;
+        let mut out = Tensor::zeros(&[n, out_c, h, w]);
+        for s in 0..n {
+            let src = &value.data()[(s * c + start) * plane..(s * c + end) * plane];
+            out.data_mut()[s * out_c * plane..(s + 1) * out_c * plane].copy_from_slice(src);
+        }
+        self.tape.push(
+            out,
+            Op::SliceChannels {
+                x: self.id,
+                start,
+                end,
+            },
+        )
+    }
+
+    /// Sum of all elements, as a rank-0 scalar.
+    pub fn sum(self) -> Var<'t> {
+        let value = Tensor::scalar(self.value().sum());
+        self.tape.push(value, Op::Sum(self.id))
+    }
+
+    /// Mean of all elements, as a rank-0 scalar.
+    pub fn mean(self) -> Var<'t> {
+        let value = Tensor::scalar(self.value().mean());
+        self.tape.push(value, Op::Mean(self.id))
+    }
+
+    /// Row-wise log-softmax of a `[N, C]` logits matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not rank 2.
+    pub fn log_softmax(self) -> Var<'t> {
+        let value = self.value().log_softmax_rows();
+        self.tape.push(value, Op::LogSoftmax(self.id))
+    }
+
+    /// Mean negative log-likelihood of `targets` under `self`, which must be
+    /// a `[N, C]` matrix of *log-probabilities* (see [`Var::log_softmax`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != N` or any target is `>= C`.
+    pub fn nll_loss(self, targets: &[usize]) -> Var<'t> {
+        let logp = self.value();
+        let (n, c) = match logp.dims() {
+            [n, c] => (*n, *c),
+            d => panic!("nll_loss requires rank-2 log-probabilities, got {d:?}"),
+        };
+        assert_eq!(targets.len(), n, "nll_loss: {n} rows but {} targets", targets.len());
+        let mut acc = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < c, "target {t} out of range for {c} classes");
+            acc -= logp.data()[i * c + t];
+        }
+        let value = Tensor::scalar(acc / n as f32);
+        self.tape.push(
+            value,
+            Op::NllLoss {
+                logp: self.id,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// Cross-entropy of raw logits against integer `targets`
+    /// (`log_softmax` followed by [`Var::nll_loss`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Var::nll_loss`].
+    pub fn cross_entropy(self, targets: &[usize]) -> Var<'t> {
+        self.log_softmax().nll_loss(targets)
+    }
+
+    /// Applies a [`CustomUnary`] operation (see the trait docs for an
+    /// example). The op's `backward` defines the gradient.
+    pub fn custom_unary(self, op: Box<dyn CustomUnary>) -> Var<'t> {
+        let value = op.forward(&self.value());
+        self.tape.push(value, Op::Custom { x: self.id, op })
+    }
+}
+
+impl<'t> std::ops::Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let value = self.value().add(&rhs.value());
+        self.binary(rhs, value, Op::Add(self.id, rhs.id))
+    }
+}
+
+impl<'t> std::ops::Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let value = self.value().sub(&rhs.value());
+        self.binary(rhs, value, Op::Sub(self.id, rhs.id))
+    }
+}
+
+impl<'t> std::ops::Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        let value = self.value().mul(&rhs.value());
+        self.binary(rhs, value, Op::Mul(self.id, rhs.id))
+    }
+}
+
+impl<'t> std::ops::Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        let value = self.value().neg();
+        self.tape.push(value, Op::Neg(self.id))
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: usize, delta: Tensor) {
+    match &mut grads[id] {
+        Some(g) => g.add_scaled_inplace(&delta, 1.0),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Propagates the gradient `g` of node `id` to its parents.
+pub(crate) fn propagate(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+    match &nodes[id].op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            accumulate(grads, *a, g.clone());
+            accumulate(grads, *b, g.clone());
+        }
+        Op::Sub(a, b) => {
+            accumulate(grads, *a, g.clone());
+            accumulate(grads, *b, g.neg());
+        }
+        Op::Mul(a, b) => {
+            accumulate(grads, *a, g.mul(&nodes[*b].value));
+            accumulate(grads, *b, g.mul(&nodes[*a].value));
+        }
+        Op::Maximum(a, b) => {
+            let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
+            let lhs_wins = av.zip_map(bv, |x, y| if x >= y { 1.0 } else { 0.0 });
+            accumulate(grads, *a, g.mul(&lhs_wins));
+            accumulate(grads, *b, g.mul(&lhs_wins.map(|m| 1.0 - m)));
+        }
+        Op::Neg(a) => accumulate(grads, *a, g.neg()),
+        Op::MulScalar(a, s) => accumulate(grads, *a, g.mul_scalar(*s)),
+        Op::AddScalar(a) => accumulate(grads, *a, g.clone()),
+        Op::Matmul(a, b) => {
+            let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
+            accumulate(grads, *a, g.matmul(&bv.transpose2d()));
+            accumulate(grads, *b, av.transpose2d().matmul(g));
+        }
+        Op::Conv2d { x, w, spec } => {
+            let (gx, gw) = conv2d_backward(&nodes[*x].value, &nodes[*w].value, g, *spec);
+            accumulate(grads, *x, gx);
+            accumulate(grads, *w, gw);
+        }
+        Op::AvgPool { x, k } => {
+            let gx = avg_pool2d_backward(g, nodes[*x].value.dims(), *k);
+            accumulate(grads, *x, gx);
+        }
+        Op::MaxPool { x, argmax } => {
+            let gx = max_pool2d_backward(g, argmax, nodes[*x].value.dims());
+            accumulate(grads, *x, gx);
+        }
+        Op::Relu(a) => {
+            let gx = nodes[*a].value.zip_map(g, |x, gv| if x > 0.0 { gv } else { 0.0 });
+            accumulate(grads, *a, gx);
+        }
+        Op::Exp(a) => {
+            // d/dx e^x = e^x = the recorded output.
+            accumulate(grads, *a, nodes[id].value.mul(g));
+        }
+        Op::Ln(a) => {
+            let gx = nodes[*a].value.zip_map(g, |x, gv| gv / x);
+            accumulate(grads, *a, gx);
+        }
+        Op::Sigmoid(a) => {
+            // d/dx σ = σ·(1−σ), with σ the recorded output.
+            let gx = nodes[id].value.zip_map(g, |s, gv| gv * s * (1.0 - s));
+            accumulate(grads, *a, gx);
+        }
+        Op::Tanh(a) => {
+            let gx = nodes[id].value.zip_map(g, |t, gv| gv * (1.0 - t * t));
+            accumulate(grads, *a, gx);
+        }
+        Op::Div(a, b) => {
+            let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
+            accumulate(grads, *a, g.div(bv));
+            let gb = g.zip_map(av, |gv, x| gv * x).zip_map(bv, |n, d| -n / (d * d));
+            accumulate(grads, *b, gb);
+        }
+        Op::AddBias { x, b } => {
+            accumulate(grads, *x, g.clone());
+            accumulate(grads, *b, g.reduce_to_bias());
+        }
+        Op::Reshape(a) => {
+            accumulate(grads, *a, g.reshape(nodes[*a].value.dims()));
+        }
+        Op::SliceChannels { x, start, end } => {
+            let dims = nodes[*x].value.dims();
+            let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+            let plane = h * w;
+            let out_c = end - start;
+            let mut gx = Tensor::zeros(dims);
+            for s in 0..n {
+                let dst = &mut gx.data_mut()[(s * c + start) * plane..(s * c + end) * plane];
+                dst.copy_from_slice(&g.data()[s * out_c * plane..(s + 1) * out_c * plane]);
+            }
+            accumulate(grads, *x, gx);
+        }
+        Op::Sum(a) => {
+            let dims = nodes[*a].value.dims().to_vec();
+            accumulate(grads, *a, Tensor::full(&dims, g.item()));
+        }
+        Op::Mean(a) => {
+            let dims = nodes[*a].value.dims().to_vec();
+            let n = nodes[*a].value.len() as f32;
+            accumulate(grads, *a, Tensor::full(&dims, g.item() / n));
+        }
+        Op::LogSoftmax(a) => {
+            // out = logp; p = exp(logp); gx = g − p · rowsum(g)
+            let logp = &nodes[id].value;
+            let c = logp.dims()[1];
+            let mut gx = g.clone();
+            let p = logp.exp();
+            for (row_g, row_p) in gx.data_mut().chunks_mut(c).zip(p.data().chunks(c)) {
+                let s: f32 = row_g.iter().sum();
+                for (gv, &pv) in row_g.iter_mut().zip(row_p) {
+                    *gv -= pv * s;
+                }
+            }
+            accumulate(grads, *a, gx);
+        }
+        Op::NllLoss { logp, targets } => {
+            let dims = nodes[*logp].value.dims().to_vec();
+            let (n, c) = (dims[0], dims[1]);
+            let mut gx = Tensor::zeros(&dims);
+            let scale = -g.item() / n as f32;
+            for (i, &t) in targets.iter().enumerate() {
+                gx.data_mut()[i * c + t] = scale;
+            }
+            accumulate(grads, *logp, gx);
+        }
+        Op::Custom { x, op } => {
+            let gx = op.backward(&nodes[*x].value, g);
+            assert_eq!(
+                gx.dims(),
+                nodes[*x].value.dims(),
+                "custom op {op:?} returned gradient of wrong shape"
+            );
+            accumulate(grads, *x, gx);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The recording tape and its variable handles.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tensor::Tensor;
+
+use crate::grads::Grads;
+use crate::ops::Op;
+
+static NEXT_TAPE_ID: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) op: Op,
+}
+
+/// A recording of a differentiable computation.
+///
+/// Every forward pass builds a fresh `Tape`; the tape owns the value of each
+/// intermediate result and enough operation metadata to replay the
+/// computation backwards. Tapes are intentionally cheap to create and drop —
+/// the training loops in [`nn`](../nn/index.html) and
+/// [`snn`](../snn/index.html) allocate one per batch.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use tensor::Tensor;
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::scalar(3.0));
+/// let y = (x * x).sum(); // y = x², dy/dx = 2x = 6
+/// let grads = tape.backward(y);
+/// assert_eq!(grads.wrt(x).unwrap().item(), 6.0);
+/// ```
+pub struct Tape {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+    id: u64,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self {
+            nodes: RefCell::new(Vec::new()),
+            id: NEXT_TAPE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Records `value` as an independent variable (a gradient sink).
+    ///
+    /// Leaves are the only nodes whose gradient callers usually read:
+    /// network parameters and — for adversarial attacks — the input image.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Number of recorded nodes (useful for memory diagnostics in BPTT).
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var {
+            tape: self,
+            id: nodes.len() - 1,
+        }
+    }
+
+    pub(crate) fn value_of(&self, id: usize) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    /// Summarises the recording: node count, total stored elements (a proxy
+    /// for memory) and per-op counts — the tool for diagnosing BPTT memory
+    /// growth with long time windows.
+    pub fn stats(&self) -> TapeStats {
+        let nodes = self.nodes.borrow();
+        let mut by_op: Vec<(&'static str, usize)> = Vec::new();
+        let mut elements = 0usize;
+        for node in nodes.iter() {
+            elements += node.value.len();
+            let name = node.op.name();
+            match by_op.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => by_op.push((name, 1)),
+            }
+        }
+        TapeStats {
+            nodes: nodes.len(),
+            value_elements: elements,
+            by_op,
+        }
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss` and returns
+    /// the gradient of `loss` with respect to every recorded variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` lives on a different tape or is not a one-element
+    /// tensor.
+    pub fn backward(&self, loss: Var<'_>) -> Grads {
+        assert_eq!(
+            loss.tape.id, self.id,
+            "backward called with a variable from a different tape"
+        );
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[loss.id].value.len(),
+            1,
+            "backward requires a scalar loss, got shape {}",
+            nodes[loss.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.dims().to_vec().as_slice()));
+        for id in (0..=loss.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            crate::ops::propagate(&nodes, id, &g, &mut grads);
+            grads[id] = Some(g);
+        }
+        Grads::new(grads)
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tape")
+            .field("id", &self.id)
+            .field("nodes", &self.len())
+            .finish()
+    }
+}
+
+/// A summary of a tape's contents, from [`Tape::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Number of recorded nodes.
+    pub nodes: usize,
+    /// Total `f32` elements stored in node values (4 bytes each).
+    pub value_elements: usize,
+    /// Node counts per operation kind, in first-seen order.
+    pub by_op: Vec<(&'static str, usize)>,
+}
+
+impl TapeStats {
+    /// The count of nodes with the given op name.
+    pub fn count_of(&self, op: &str) -> usize {
+        self.by_op
+            .iter()
+            .find(|(n, _)| *n == op)
+            .map_or(0, |&(_, c)| c)
+    }
+}
+
+/// A handle to one value recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; arithmetic on vars records new nodes on the owning tape.
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: usize,
+}
+
+impl<'t> Var<'t> {
+    /// The tape this variable lives on.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// A clone of the recorded value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// The dimensions of the recorded value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Position of this variable on the tape; [`Grads`] is indexed by it.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub(crate) fn assert_same_tape(&self, other: &Var<'_>) {
+        assert_eq!(
+            self.tape.id, other.tape.id,
+            "variables belong to different tapes"
+        );
+    }
+}
+
+impl fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.id)
+            .field("shape", &self.tape.nodes.borrow()[self.id].value.shape())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trips_value() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(x.value().data(), &[1.0, 2.0]);
+        assert_eq!(x.dims(), vec![2]);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_ops_and_elements() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[4]));
+        let y = tape.leaf(Tensor::zeros(&[4]));
+        let _ = (x + y).sum();
+        let stats = tape.stats();
+        assert_eq!(stats.nodes, 4);
+        assert_eq!(stats.count_of("leaf"), 2);
+        assert_eq!(stats.count_of("add"), 1);
+        assert_eq!(stats.count_of("sum"), 1);
+        assert_eq!(stats.count_of("matmul"), 0);
+        assert_eq!(stats.value_elements, 4 + 4 + 4 + 1);
+    }
+
+    #[test]
+    fn backward_of_leaf_is_ones() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(5.0));
+        let grads = tape.backward(x);
+        assert_eq!(grads.wrt(x).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[2]));
+        tape.backward(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tape")]
+    fn cross_tape_mixing_is_rejected() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::scalar(1.0));
+        let b = t2.leaf(Tensor::scalar(1.0));
+        let _ = a + b;
+    }
+}

@@ -1,0 +1,213 @@
+//! Worst-case attack ensembles.
+//!
+//! Robustness numbers from a single attack over-estimate true robustness
+//! whenever that attack happens to fail (e.g. surrogate-gradient masking on
+//! SNNs). [`WorstCase`] runs several attacks — typically PGD with multiple
+//! restarts plus momentum PGD — and keeps, *per sample*, the perturbation
+//! that actually fools the victim (or maximises its loss when none does).
+
+use tensor::Tensor;
+
+use nn::AdversarialTarget;
+
+use crate::Attack;
+
+/// Runs every inner attack and keeps the strongest perturbation per sample.
+///
+/// Sample selection rule: a perturbation that flips the victim's prediction
+/// beats one that does not; among equals, the one with the higher victim
+/// loss wins.
+///
+/// # Example
+///
+/// ```
+/// use attacks::{Attack, Fgsm, Pgd, WorstCase};
+///
+/// let ensemble = WorstCase::new(vec![
+///     Box::new(Fgsm::new(0.2)),
+///     Box::new(Pgd::standard(0.2)),
+///     Box::new(Pgd::standard(0.2).with_seed(1)),
+/// ]);
+/// assert_eq!(ensemble.epsilon(), 0.2);
+/// assert_eq!(ensemble.name(), "WorstCase");
+/// ```
+pub struct WorstCase {
+    attacks: Vec<Box<dyn Attack>>,
+}
+
+impl WorstCase {
+    /// Builds the ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacks` is empty or the inner budgets differ (the
+    /// ensemble must have one well-defined ε).
+    pub fn new(attacks: Vec<Box<dyn Attack>>) -> Self {
+        assert!(!attacks.is_empty(), "ensemble needs at least one attack");
+        let eps = attacks[0].epsilon();
+        assert!(
+            attacks.iter().all(|a| (a.epsilon() - eps).abs() < 1e-6),
+            "all ensemble members must share one noise budget"
+        );
+        Self { attacks }
+    }
+
+    /// The canonical strong ensemble at budget `epsilon`: PGD with three
+    /// random restarts plus momentum PGD plus FGSM.
+    pub fn standard(epsilon: f32) -> Self {
+        Self::new(vec![
+            Box::new(crate::Pgd::standard(epsilon)),
+            Box::new(crate::Pgd::standard(epsilon).with_seed(1)),
+            Box::new(crate::Pgd::standard(epsilon).with_seed(2)),
+            Box::new(crate::MomentumPgd::standard(epsilon)),
+            Box::new(crate::Fgsm::new(epsilon)),
+        ])
+    }
+
+    /// Number of member attacks.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// `true` if the ensemble has no members (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+}
+
+impl std::fmt::Debug for WorstCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorstCase")
+            .field("members", &self.attacks.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Attack for WorstCase {
+    fn name(&self) -> &'static str {
+        "WorstCase"
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.attacks[0].epsilon()
+    }
+
+    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor {
+        let dims = x.dims();
+        let n = dims[0];
+        let sample_len: usize = dims[1..].iter().product();
+        let mut best = x.clone();
+        // Track, per sample, (fooled?, loss) of the current best candidate.
+        let mut best_score: Vec<(bool, f32)> = vec![(false, f32::NEG_INFINITY); n];
+        for attack in &self.attacks {
+            let adv = attack.perturb(target, x, labels);
+            let preds = target.predict(&adv);
+            for (i, (&pred, &label)) in preds.iter().zip(labels).enumerate() {
+                let sample = Tensor::from_vec(
+                    adv.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                    &[1, dims[1], dims[2], dims[3]],
+                );
+                let (loss, _) = target.loss_and_input_grad(&sample, &[label]);
+                let fooled = pred != label;
+                let better = match (fooled, best_score[i].0) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => loss > best_score[i].1,
+                };
+                if better {
+                    best_score[i] = (fooled, loss);
+                    best.data_mut()[i * sample_len..(i + 1) * sample_len]
+                        .copy_from_slice(sample.data());
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fgsm, GaussianNoise, Pgd};
+
+    /// A victim only fooled by pushing the first pixel above 0.9.
+    struct FirstPixelVictim;
+    impl AdversarialTarget for FirstPixelVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.len() / n;
+            let mut out = Vec::with_capacity(n * 2);
+            for s in x.data().chunks(per) {
+                let v = s[0];
+                out.push(0.9 - v);
+                out.push(v - 0.9);
+            }
+            Tensor::from_vec(out, &[n, 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+            let logits = self.logits(x);
+            let p = logits.log_softmax_rows();
+            let n = x.dims()[0];
+            let mut loss = 0.0;
+            for (i, &l) in labels.iter().enumerate() {
+                loss -= p.data()[i * 2 + l];
+            }
+            let mut grad = Tensor::zeros(x.dims());
+            let per = x.len() / n;
+            for i in 0..n {
+                grad.data_mut()[i * per] = if labels[i] == 0 { 0.1 } else { -0.1 };
+            }
+            (loss / n as f32, grad)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one noise budget")]
+    fn rejects_mixed_budgets() {
+        WorstCase::new(vec![Box::new(Fgsm::new(0.1)), Box::new(Fgsm::new(0.2))]);
+    }
+
+    #[test]
+    fn ensemble_is_at_least_as_strong_as_each_member() {
+        let x = Tensor::full(&[2, 1, 2, 2], 0.8);
+        let labels = [0usize, 0];
+        let members: Vec<Box<dyn Attack>> = vec![
+            Box::new(GaussianNoise::new(0.15, 7)), // weak
+            Box::new(Pgd::standard(0.15)),         // strong
+        ];
+        let ensemble = WorstCase::new(members);
+        let adv = ensemble.perturb(&FirstPixelVictim, &x, &labels);
+        let fooled_by_ensemble = FirstPixelVictim
+            .predict(&adv)
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        let pgd_adv = Pgd::standard(0.15).perturb(&FirstPixelVictim, &x, &labels);
+        let fooled_by_pgd = FirstPixelVictim
+            .predict(&pgd_adv)
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        assert!(fooled_by_ensemble >= fooled_by_pgd);
+    }
+
+    #[test]
+    fn ensemble_respects_shared_budget() {
+        let x = Tensor::full(&[1, 1, 3, 3], 0.5);
+        let adv = WorstCase::standard(0.2).perturb(&FirstPixelVictim, &x, &[0]);
+        assert!(adv.sub(&x).max_abs() <= 0.2 + 1e-5);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn standard_ensemble_has_five_members() {
+        let e = WorstCase::standard(0.1);
+        assert_eq!(e.len(), 5);
+        assert!(!e.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Attack evaluation: the measurement loop of the paper's Algorithm 1.
+
+use nn::AdversarialTarget;
+use tensor::Tensor;
+
+use crate::Attack;
+
+/// The result of attacking a model on a test set.
+///
+/// `adversarial_accuracy` is exactly the paper's robustness metric
+/// `Robustness(ε) = 1 − Adv/|D|` (Algorithm 1, line 15): the fraction of
+/// samples the victim still labels correctly *after* perturbation, counting
+/// samples it already got wrong as adversarial successes, as the paper does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// Accuracy on the unperturbed samples.
+    pub clean_accuracy: f32,
+    /// Accuracy on the perturbed samples (= robustness).
+    pub adversarial_accuracy: f32,
+    /// `1 − adversarial_accuracy`, the attacker's success rate.
+    pub success_rate: f32,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+/// Attacks every sample of `(images, labels)` in mini-batches and measures
+/// the outcome.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero, the label count does not match the image
+/// count, or `images` is not rank 4.
+///
+/// # Example
+///
+/// See the [crate-level example](crate) for constructing a victim; then:
+///
+/// ```no_run
+/// # use attacks::{evaluate_attack, Pgd};
+/// # use nn::{Classifier, Cnn, CnnConfig, Params};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// # let mut params = Params::new();
+/// # let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4));
+/// # let victim = Classifier::new(cnn, params);
+/// # let images = tensor::Tensor::zeros(&[4, 1, 8, 8]);
+/// # let labels = vec![0, 1, 2, 3];
+/// let outcome = evaluate_attack(&victim, &Pgd::standard(1.0), &images, &labels, 16);
+/// println!("robustness at ε=1: {}", outcome.adversarial_accuracy);
+/// ```
+pub fn evaluate_attack(
+    target: &dyn AdversarialTarget,
+    attack: &dyn Attack,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> AttackOutcome {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let dims = images.dims();
+    assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
+    let n = dims[0];
+    assert_eq!(labels.len(), n, "{} labels for {n} images", labels.len());
+    let sample_len: usize = dims[1..].iter().product();
+
+    let mut clean_correct = 0usize;
+    let mut adv_correct = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let batch = Tensor::from_vec(
+            images.data()[start * sample_len..end * sample_len].to_vec(),
+            &[end - start, dims[1], dims[2], dims[3]],
+        );
+        let batch_labels = &labels[start..end];
+        clean_correct += count_correct(&target.predict(&batch), batch_labels);
+        let adv = attack.perturb(target, &batch, batch_labels);
+        debug_assert!(
+            adv.sub(&batch).max_abs() <= attack.epsilon() + 1e-5,
+            "attack {} exceeded its budget",
+            attack.name()
+        );
+        adv_correct += count_correct(&target.predict(&adv), batch_labels);
+        start = end;
+    }
+
+    let clean_accuracy = clean_correct as f32 / n as f32;
+    let adversarial_accuracy = adv_correct as f32 / n as f32;
+    AttackOutcome {
+        clean_accuracy,
+        adversarial_accuracy,
+        success_rate: 1.0 - adversarial_accuracy,
+        samples: n,
+    }
+}
+
+fn count_correct(predictions: &[usize], labels: &[usize]) -> usize {
+    predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GaussianNoise;
+
+    /// Predicts class 0 for dark images, 1 for bright images.
+    struct BrightnessVictim;
+
+    impl AdversarialTarget for BrightnessVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.len() / n;
+            let mut out = Vec::with_capacity(n * 2);
+            for s in x.data().chunks(per) {
+                let mean = s.iter().sum::<f32>() / per as f32;
+                out.push(0.5 - mean);
+                out.push(mean - 0.5);
+            }
+            Tensor::from_vec(out, &[n, 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+            (0.0, Tensor::zeros(x.dims()))
+        }
+    }
+
+    #[test]
+    fn outcome_accounts_every_sample() {
+        // Two dark (class 0), two bright (class 1); one dark sample is
+        // mislabelled so clean accuracy is 0.75.
+        let mut data = vec![0.1f32; 8];
+        data.extend(vec![0.9f32; 8]);
+        let images = Tensor::from_vec(data, &[4, 1, 2, 2]);
+        let labels = vec![0, 1, 1, 1];
+        let outcome = evaluate_attack(
+            &BrightnessVictim,
+            &GaussianNoise::new(0.0, 0),
+            &images,
+            &labels,
+            3, // deliberately not dividing 4
+        );
+        assert_eq!(outcome.samples, 4);
+        assert_eq!(outcome.clean_accuracy, 0.75);
+        // Zero-budget "attack": adversarial accuracy equals clean accuracy.
+        assert_eq!(outcome.adversarial_accuracy, 0.75);
+        assert_eq!(outcome.success_rate, 0.25);
+    }
+
+    #[test]
+    fn small_noise_cannot_flip_well_separated_samples() {
+        let mut data = vec![0.0f32; 8];
+        data.extend(vec![1.0f32; 8]);
+        let images = Tensor::from_vec(data, &[4, 1, 2, 2]);
+        let labels = vec![0, 0, 1, 1];
+        let outcome = evaluate_attack(
+            &BrightnessVictim,
+            &GaussianNoise::new(0.1, 7),
+            &images,
+            &labels,
+            4,
+        );
+        assert_eq!(outcome.adversarial_accuracy, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::Fgsm;
+
+    struct Flat;
+    impl AdversarialTarget for Flat {
+        fn num_classes(&self) -> usize {
+            3
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            // Constant preference for class 1.
+            let n = x.dims()[0];
+            Tensor::from_vec([0.0f32, 1.0, 0.0].repeat(n), &[n, 3])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+            (1.0, Tensor::zeros(x.dims()))
+        }
+    }
+
+    #[test]
+    fn zero_gradient_victim_keeps_clean_accuracy_under_fgsm() {
+        // FGSM with sign(0) = 0 perturbs nothing; adversarial accuracy must
+        // equal clean accuracy exactly.
+        let images = Tensor::full(&[5, 1, 2, 2], 0.5);
+        let labels = vec![1, 1, 0, 1, 2];
+        let out = evaluate_attack(&Flat, &Fgsm::new(0.3), &images, &labels, 2);
+        assert_eq!(out.clean_accuracy, out.adversarial_accuracy);
+        assert_eq!(out.clean_accuracy, 3.0 / 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_rejected() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        evaluate_attack(&Flat, &Fgsm::new(0.1), &images, &[0], 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The fast gradient sign method (Goodfellow et al., 2015).
+
+use nn::AdversarialTarget;
+use tensor::Tensor;
+
+use crate::{project, Attack};
+
+/// Single-step FGSM: `x* = clip(x + ε · sign(∇ₓ L))`.
+///
+/// # Example
+///
+/// ```
+/// use attacks::Fgsm;
+/// use attacks::Attack;
+///
+/// let attack = Fgsm::new(0.25);
+/// assert_eq!(attack.name(), "FGSM");
+/// assert_eq!(attack.epsilon(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fgsm {
+    epsilon: f32,
+}
+
+impl Fgsm {
+    /// Creates an FGSM attack with noise budget `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f32) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and non-negative, got {epsilon}"
+        );
+        Self { epsilon }
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "FGSM"
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor {
+        if self.epsilon == 0.0 {
+            return x.clone();
+        }
+        let (_, grad) = target.loss_and_input_grad(x, labels);
+        let adv = x.add(&grad.sign().mul_scalar(self.epsilon));
+        project(&adv, x, self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "epsilon must be finite")]
+    fn rejects_negative_epsilon() {
+        Fgsm::new(-0.1);
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        // A zero-budget FGSM must return the input unchanged without even
+        // querying the model; use a panicking dummy target to prove it.
+        struct NeverCalled;
+        impl AdversarialTarget for NeverCalled {
+            fn num_classes(&self) -> usize {
+                2
+            }
+            fn logits(&self, _x: &Tensor) -> Tensor {
+                panic!("must not be called")
+            }
+            fn loss_and_input_grad(&self, _x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+                panic!("must not be called")
+            }
+        }
+        let x = Tensor::full(&[1, 1, 2, 2], 0.5);
+        let adv = Fgsm::new(0.0).perturb(&NeverCalled, &x, &[0]);
+        assert_eq!(adv, x);
+    }
+}

@@ -1,0 +1,126 @@
+//! White-box adversarial attacks for the `spiking-armor` workspace.
+//!
+//! This crate replaces the paper's Foolbox dependency. All attacks operate
+//! on any [`nn::AdversarialTarget`] — i.e. any classifier that exposes the
+//! gradient of its loss with respect to the input — which covers both the
+//! CNN baseline and every spiking network (whose input gradients flow
+//! through BPTT and the SuperSpike surrogate).
+//!
+//! Provided attacks:
+//!
+//! * [`Fgsm`] — single-step fast gradient sign method,
+//! * [`Pgd`] — projected gradient descent (the paper's attack, §IV-B):
+//!   iterated FGSM steps with projection onto the L∞ ε-ball and the valid
+//!   pixel box,
+//! * [`MomentumPgd`] — the momentum iterative method (MI-FGSM),
+//! * [`PgdL2`] — PGD under an L2 budget,
+//! * [`TargetedPgd`] — targeted descent toward an attacker-chosen class,
+//! * [`GaussianNoise`] — a gradient-free random baseline for sanity checks,
+//!
+//! plus [`evaluate_transfer`] for craft-on-A / test-on-B transfer studies
+//! (the DNN→SNN protocol of the paper's reference \[15\]).
+//!
+//! [`evaluate_attack`] implements the measurement loop of the paper's
+//! Algorithm 1: perturb every test sample and report the fraction the victim
+//! still classifies correctly (`Robustness(ε) = 1 − Adv/|D|`).
+//!
+//! # Example
+//!
+//! ```
+//! use attacks::{Attack, Pgd};
+//! use nn::{Classifier, Cnn, CnnConfig, Params};
+//! use rand::SeedableRng;
+//! use tensor::Tensor;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4));
+//! let victim = Classifier::new(cnn, params);
+//!
+//! let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+//! let adv = Pgd::standard(0.1).perturb(&victim, &x, &[2]);
+//! // The perturbation respects the noise budget and the pixel box.
+//! assert!(adv.sub(&x).max_abs() <= 0.1 + 1e-6);
+//! assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+//! ```
+
+mod ensemble;
+mod eval;
+mod fgsm;
+mod mim;
+mod noise;
+mod pgd;
+mod pgd_l2;
+mod targeted;
+mod transfer;
+
+pub use ensemble::WorstCase;
+pub use eval::{evaluate_attack, AttackOutcome};
+pub use fgsm::Fgsm;
+pub use mim::MomentumPgd;
+pub use noise::GaussianNoise;
+pub use pgd::Pgd;
+pub use pgd_l2::PgdL2;
+pub use targeted::TargetedPgd;
+pub use transfer::{evaluate_transfer, TransferOutcome};
+
+use nn::AdversarialTarget;
+use tensor::Tensor;
+
+/// Pixel-value bounds images are clamped into after perturbation.
+///
+/// Digit images in this workspace live in `[0, 1]`.
+pub const PIXEL_BOUNDS: (f32, f32) = (0.0, 1.0);
+
+/// An adversarial example generator.
+///
+/// Implementations must guarantee two invariants on the returned tensor:
+/// the L∞ distance to `x` never exceeds the attack's noise budget ε, and
+/// every pixel stays inside [`PIXEL_BOUNDS`].
+pub trait Attack {
+    /// Human-readable attack name for reports (e.g. `"PGD"`).
+    fn name(&self) -> &'static str;
+
+    /// The L∞ noise budget ε of this attack instance.
+    fn epsilon(&self) -> f32;
+
+    /// Produces adversarial examples for a `[N, C, H, W]` batch with true
+    /// `labels`.
+    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor;
+}
+
+/// Projects `adv` back into the ε-ball around `x` (L∞) and the pixel box.
+///
+/// Shared by all attack implementations; public so downstream code can build
+/// custom attacks with the same guarantees.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `epsilon` is negative.
+pub fn project(adv: &Tensor, x: &Tensor, epsilon: f32) -> Tensor {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative, got {epsilon}");
+    let clipped = adv.zip_map(x, move |a, orig| {
+        a.clamp(orig - epsilon, orig + epsilon)
+    });
+    clipped.clamp(PIXEL_BOUNDS.0, PIXEL_BOUNDS.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_enforces_ball_and_box() {
+        let x = Tensor::from_vec(vec![0.5, 0.0, 1.0], &[3]);
+        let adv = Tensor::from_vec(vec![0.9, -0.5, 1.5], &[3]);
+        let p = project(&adv, &x, 0.2);
+        assert_eq!(p.data(), &[0.7, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn project_with_zero_epsilon_returns_original_inside_box() {
+        let x = Tensor::from_vec(vec![0.3, 0.6], &[2]);
+        let adv = Tensor::from_vec(vec![0.9, 0.1], &[2]);
+        assert_eq!(project(&adv, &x, 0.0), x);
+    }
+}

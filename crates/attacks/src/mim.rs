@@ -1,0 +1,152 @@
+//! Momentum iterative method (MI-FGSM, Dong et al. 2018).
+
+use tensor::Tensor;
+
+use nn::AdversarialTarget;
+
+use crate::{project, Attack};
+
+/// L∞ momentum iterative attack: like PGD but the step direction is the
+/// sign of an exponentially accumulated, L1-normalised gradient, which
+/// stabilises the direction across iterations and transfers better between
+/// models.
+///
+/// ```text
+/// g[t+1] = μ · g[t] + ∇ₓL / ‖∇ₓL‖₁
+/// x[t+1] = Π( x[t] + α · sign(g[t+1]) )
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentumPgd {
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+    mu: f32,
+}
+
+impl MomentumPgd {
+    /// Fully explicit constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative/non-finite, `alpha` is non-positive
+    /// while `epsilon > 0`, `steps` is zero, or `mu` is negative.
+    pub fn new(epsilon: f32, alpha: f32, steps: usize, mu: f32) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and non-negative, got {epsilon}"
+        );
+        assert!(steps > 0, "momentum PGD needs at least one step");
+        assert!(
+            epsilon == 0.0 || alpha > 0.0,
+            "step size must be positive, got {alpha}"
+        );
+        assert!(mu >= 0.0, "momentum must be non-negative, got {mu}");
+        Self {
+            epsilon,
+            alpha,
+            steps,
+            mu,
+        }
+    }
+
+    /// The canonical configuration: 10 steps, `α = ε/steps`, `μ = 1.0`.
+    pub fn standard(epsilon: f32) -> Self {
+        Self::new(epsilon, epsilon / 10.0, 10, 1.0)
+    }
+
+    /// The momentum factor μ.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+}
+
+impl Attack for MomentumPgd {
+    fn name(&self) -> &'static str {
+        "MomentumPGD"
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor {
+        if self.epsilon == 0.0 {
+            return x.clone();
+        }
+        let mut adv = x.clone();
+        let mut momentum = Tensor::zeros(x.dims());
+        for _ in 0..self.steps {
+            let (_, grad) = target.loss_and_input_grad(&adv, labels);
+            let l1 = grad.map(f32::abs).sum().max(1e-12);
+            momentum = momentum
+                .mul_scalar(self.mu)
+                .add(&grad.mul_scalar(1.0 / l1));
+            let stepped = adv.add(&momentum.sign().mul_scalar(self.alpha));
+            adv = project(&stepped, x, self.epsilon);
+        }
+        adv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SumVictim;
+    impl AdversarialTarget for SumVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let s: f32 = x.sum();
+            Tensor::from_vec(vec![s, -s], &[x.dims()[0], 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+            // Loss increases when Σx moves against the label.
+            let sign = if labels[0] == 0 { -1.0 } else { 1.0 };
+            (0.0, Tensor::full(x.dims(), sign * 0.1))
+        }
+    }
+
+    #[test]
+    fn stays_within_budget_and_box() {
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let adv = MomentumPgd::standard(0.2).perturb(&SumVictim, &x, &[1]);
+        assert!(adv.sub(&x).max_abs() <= 0.2 + 1e-6);
+        assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
+    }
+
+    #[test]
+    fn accumulated_direction_saturates_budget() {
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let adv = MomentumPgd::standard(0.2).perturb(&SumVictim, &x, &[1]);
+        // Constant gradient direction: momentum surely saturates the ball.
+        assert!((adv.sub(&x).max_abs() - 0.2).abs() < 1e-5);
+        assert!(adv.sum() > x.sum());
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let x = Tensor::full(&[1, 1, 2, 2], 0.3);
+        assert_eq!(MomentumPgd::new(0.0, 0.0, 5, 1.0).perturb(&SumVictim, &x, &[0]), x);
+    }
+
+    #[test]
+    fn zero_gradient_produces_no_movement() {
+        struct Flat;
+        impl AdversarialTarget for Flat {
+            fn num_classes(&self) -> usize {
+                2
+            }
+            fn logits(&self, x: &Tensor) -> Tensor {
+                Tensor::zeros(&[x.dims()[0], 2])
+            }
+            fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+                (0.0, Tensor::zeros(x.dims()))
+            }
+        }
+        let x = Tensor::full(&[1, 1, 2, 2], 0.5);
+        let adv = MomentumPgd::standard(0.3).perturb(&Flat, &x, &[0]);
+        assert_eq!(adv, x, "sign(0) must not move the input");
+    }
+}

@@ -1,0 +1,102 @@
+//! Gradient-free random-noise baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use nn::AdversarialTarget;
+
+use crate::{project, Attack};
+
+/// Uniform random noise in the ε-ball — not an adversary, but the control
+/// condition that separates "the model is brittle to *any* perturbation"
+/// from "the model is brittle to *adversarial* perturbations".
+///
+/// # Example
+///
+/// ```
+/// use attacks::{Attack, GaussianNoise};
+///
+/// let baseline = GaussianNoise::new(0.1, 42);
+/// assert_eq!(baseline.name(), "RandomNoise");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianNoise {
+    epsilon: f32,
+    seed: u64,
+}
+
+impl GaussianNoise {
+    /// Creates the baseline with budget `epsilon` and a sampling seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is negative or not finite.
+    pub fn new(epsilon: f32, seed: u64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "epsilon must be finite and non-negative, got {epsilon}"
+        );
+        Self { epsilon, seed }
+    }
+}
+
+impl Attack for GaussianNoise {
+    fn name(&self) -> &'static str {
+        "RandomNoise"
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    fn perturb(&self, _target: &dyn AdversarialTarget, x: &Tensor, _labels: &[usize]) -> Tensor {
+        let eps = self.epsilon();
+        if eps == 0.0 {
+            return x.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut noisy = x.clone();
+        for v in noisy.data_mut() {
+            *v += rng.gen_range(-eps..=eps);
+        }
+        project(&noisy, x, eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl AdversarialTarget for Dummy {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            Tensor::zeros(&[x.dims()[0], 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+            (0.0, Tensor::zeros(x.dims()))
+        }
+    }
+
+    #[test]
+    fn stays_in_ball_and_box() {
+        let x = Tensor::full(&[1, 1, 8, 8], 0.05);
+        let adv = GaussianNoise::new(0.2, 1).perturb(&Dummy, &x, &[0]);
+        assert!(adv.sub(&x).max_abs() <= 0.2 + 1e-6);
+        assert!(adv.min() >= 0.0);
+    }
+
+    #[test]
+    fn is_seed_deterministic_and_actually_noisy() {
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let a = GaussianNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
+        let b = GaussianNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
+        let c = GaussianNoise::new(0.1, 4).perturb(&Dummy, &x, &[0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.sub(&x).max_abs() > 0.0);
+    }
+}

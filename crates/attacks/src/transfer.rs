@@ -1,0 +1,180 @@
+//! Transfer-attack evaluation: craft on one model, test on another.
+//!
+//! This reproduces the protocol of Sharmin et al. (the paper's reference
+//! [15]): adversarial examples generated against a non-spiking DNN are
+//! replayed against an SNN (and vice versa), separating *gradient access*
+//! from *decision-boundary overlap* as sources of SNN robustness.
+
+use tensor::Tensor;
+
+use nn::AdversarialTarget;
+
+use crate::Attack;
+
+/// The result of a transfer evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Victim accuracy on the clean samples.
+    pub clean_accuracy: f32,
+    /// Source-model accuracy on the adversarial samples (white-box damage).
+    pub source_accuracy: f32,
+    /// Victim accuracy on adversarial samples crafted against the source.
+    pub transfer_accuracy: f32,
+    /// Number of evaluated samples.
+    pub samples: usize,
+}
+
+impl TransferOutcome {
+    /// How much of the white-box damage carried over, in `[0, 1]`:
+    /// `0` = nothing transferred, `1` = the victim lost as much accuracy as
+    /// the source. `None` when the attack did not hurt the source at all.
+    pub fn transfer_ratio(&self) -> Option<f32> {
+        let source_drop = self.clean_accuracy - self.source_accuracy;
+        if source_drop <= 0.0 {
+            return None;
+        }
+        let victim_drop = (self.clean_accuracy - self.transfer_accuracy).max(0.0);
+        Some((victim_drop / source_drop).clamp(0.0, 1.0))
+    }
+}
+
+/// Crafts adversarial examples against `source` and measures how well they
+/// fool `victim`.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero, the label count mismatches the images,
+/// or `images` is not rank 4.
+pub fn evaluate_transfer(
+    source: &dyn AdversarialTarget,
+    victim: &dyn AdversarialTarget,
+    attack: &dyn Attack,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> TransferOutcome {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let dims = images.dims();
+    assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
+    let n = dims[0];
+    assert_eq!(labels.len(), n, "{} labels for {n} images", labels.len());
+    let sample_len: usize = dims[1..].iter().product();
+
+    let mut clean_correct = 0usize;
+    let mut source_correct = 0usize;
+    let mut transfer_correct = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let batch = Tensor::from_vec(
+            images.data()[start * sample_len..end * sample_len].to_vec(),
+            &[end - start, dims[1], dims[2], dims[3]],
+        );
+        let batch_labels = &labels[start..end];
+        let adv = attack.perturb(source, &batch, batch_labels);
+        clean_correct += count_correct(&victim.predict(&batch), batch_labels);
+        source_correct += count_correct(&source.predict(&adv), batch_labels);
+        transfer_correct += count_correct(&victim.predict(&adv), batch_labels);
+        start = end;
+    }
+    TransferOutcome {
+        clean_accuracy: clean_correct as f32 / n as f32,
+        source_accuracy: source_correct as f32 / n as f32,
+        transfer_accuracy: transfer_correct as f32 / n as f32,
+        samples: n,
+    }
+}
+
+fn count_correct(predictions: &[usize], labels: &[usize]) -> usize {
+    predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GaussianNoise, Pgd};
+
+    /// Thresholds the mean pixel at `cut`.
+    struct MeanVictim {
+        cut: f32,
+    }
+    impl AdversarialTarget for MeanVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.len() / n;
+            let mut out = Vec::with_capacity(n * 2);
+            for s in x.data().chunks(per) {
+                let m = s.iter().sum::<f32>() / per as f32;
+                out.push(self.cut - m);
+                out.push(m - self.cut);
+            }
+            Tensor::from_vec(out, &[n, 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+            let g = if labels[0] == 0 { 1.0 } else { -1.0 };
+            (0.0, Tensor::full(x.dims(), g * 0.01))
+        }
+    }
+
+    #[test]
+    fn identical_models_transfer_fully() {
+        // Dark images labelled 0; PGD pushes them bright; both "models" are
+        // the same decision rule, so the damage transfers 1:1.
+        let images = Tensor::full(&[4, 1, 2, 2], 0.3);
+        let labels = vec![0; 4];
+        let out = evaluate_transfer(
+            &MeanVictim { cut: 0.5 },
+            &MeanVictim { cut: 0.5 },
+            &Pgd::standard(0.4).without_random_start(),
+            &images,
+            &labels,
+            2,
+        );
+        assert_eq!(out.clean_accuracy, 1.0);
+        assert_eq!(out.source_accuracy, 0.0);
+        assert_eq!(out.transfer_accuracy, 0.0);
+        assert_eq!(out.transfer_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn distant_decision_boundary_blocks_transfer() {
+        // The victim's cut is far higher, so the same perturbation that
+        // crosses the source boundary does not cross the victim's.
+        let images = Tensor::full(&[4, 1, 2, 2], 0.3);
+        let labels = vec![0; 4];
+        let out = evaluate_transfer(
+            &MeanVictim { cut: 0.5 },
+            &MeanVictim { cut: 0.9 },
+            &Pgd::standard(0.25).without_random_start(),
+            &images,
+            &labels,
+            4,
+        );
+        assert_eq!(out.source_accuracy, 0.0, "white-box attack succeeds");
+        assert_eq!(out.transfer_accuracy, 1.0, "victim unaffected");
+        assert_eq!(out.transfer_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn harmless_attack_has_no_transfer_ratio() {
+        let images = Tensor::full(&[2, 1, 2, 2], 0.1);
+        let labels = vec![0; 2];
+        let out = evaluate_transfer(
+            &MeanVictim { cut: 0.5 },
+            &MeanVictim { cut: 0.5 },
+            &GaussianNoise::new(0.01, 1),
+            &images,
+            &labels,
+            2,
+        );
+        assert_eq!(out.source_accuracy, 1.0);
+        assert_eq!(out.transfer_ratio(), None);
+    }
+}

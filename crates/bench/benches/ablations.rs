@@ -1,0 +1,142 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §5:
+//! surrogate slope α, reset semantics, input encoder and output decoder.
+//!
+//! Each ablation (a) regenerates a small accuracy/robustness comparison
+//! table once during setup, and (b) times the training/inference cost of
+//! each variant so the performance impact of the choice is measured, not
+//! guessed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{bench_scale, data_for, write_artefact};
+use explore::{algorithm, pipeline, presets};
+use snn::{Decoder, Encoder, NeuronModel, ResetMode, StructuralParams, SurrogateShape};
+
+fn ablation_config() -> explore::ExperimentConfig {
+    bench_scale(presets::quick())
+}
+
+const ABLATION_POINT: f32 = 1.0;
+const ABLATION_WINDOW: usize = 6;
+
+fn summarize(
+    tag: &str,
+    config: &explore::ExperimentConfig,
+    data: &explore::pipeline::SplitData,
+) -> String {
+    let sp = StructuralParams::new(ABLATION_POINT, ABLATION_WINDOW);
+    let eps = presets::paper_eps_to_pixel(1.0);
+    let outcome = algorithm::explore_one(config, data, sp, &[eps]);
+    format!(
+        "{tag},{:.3},{:.3}\n",
+        outcome.clean_accuracy,
+        outcome.final_robustness().unwrap_or(f32::NAN)
+    )
+}
+
+fn ablations(c: &mut Criterion) {
+    let base = ablation_config();
+    let data = data_for(&base);
+    let sp = StructuralParams::new(ABLATION_POINT, ABLATION_WINDOW);
+
+    // --- Surrogate slope α -------------------------------------------------
+    let mut table = String::from("variant,clean_accuracy,robustness_eps1\n");
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    for alpha in [10.0f32, 40.0, 100.0] {
+        let mut cfg = base.clone();
+        cfg.alpha = alpha;
+        table.push_str(&summarize(&format!("alpha={alpha}"), &cfg, &data));
+        group.bench_function(format!("train_alpha_{alpha}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    // --- Reset semantics ---------------------------------------------------
+    let mut group = c.benchmark_group("ablation_reset");
+    group.sample_size(10);
+    for (name, reset) in [("subtract", ResetMode::Subtract), ("zero", ResetMode::Zero)] {
+        let mut cfg = base.clone();
+        cfg.reset = reset;
+        table.push_str(&summarize(&format!("reset={name}"), &cfg, &data));
+        group.bench_function(format!("train_reset_{name}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    // --- Input encoder -----------------------------------------------------
+    let mut group = c.benchmark_group("ablation_encoder");
+    group.sample_size(10);
+    for (name, encoder) in [
+        ("constant_current", Encoder::constant_current()),
+        ("poisson", Encoder::poisson(5)),
+    ] {
+        let mut cfg = base.clone();
+        cfg.encoder = encoder;
+        table.push_str(&summarize(&format!("encoder={name}"), &cfg, &data));
+        group.bench_function(format!("train_encoder_{name}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    // --- Output decoder ----------------------------------------------------
+    let mut group = c.benchmark_group("ablation_decoder");
+    group.sample_size(10);
+    for (name, decoder) in [
+        ("max_membrane", Decoder::MaxMembrane),
+        ("mean_membrane", Decoder::MeanMembrane),
+        ("spike_count", Decoder::SpikeCount),
+    ] {
+        let mut cfg = base.clone();
+        cfg.decoder = decoder;
+        table.push_str(&summarize(&format!("decoder={name}"), &cfg, &data));
+        group.bench_function(format!("train_decoder_{name}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    // --- Surrogate derivative shape ------------------------------------
+    let mut group = c.benchmark_group("ablation_surrogate");
+    group.sample_size(10);
+    for (name, shape) in [
+        ("fast_sigmoid", SurrogateShape::FastSigmoid),
+        ("atan", SurrogateShape::Atan),
+        ("triangle", SurrogateShape::Triangle),
+        ("rectangular", SurrogateShape::Rectangular),
+    ] {
+        let mut cfg = base.clone();
+        cfg.surrogate = shape;
+        table.push_str(&summarize(&format!("surrogate={name}"), &cfg, &data));
+        group.bench_function(format!("train_surrogate_{name}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    // --- Neuron model ---------------------------------------------------
+    let mut group = c.benchmark_group("ablation_neuron");
+    group.sample_size(10);
+    for (name, neuron) in [
+        ("lif", NeuronModel::Lif),
+        ("synaptic", NeuronModel::SynapticLif { gamma: 0.7 }),
+        ("adaptive", NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.2 }),
+    ] {
+        let mut cfg = base.clone();
+        cfg.neuron = neuron;
+        table.push_str(&summarize(&format!("neuron={name}"), &cfg, &data));
+        group.bench_function(format!("train_neuron_{name}"), |b| {
+            b.iter(|| pipeline::train_snn(&cfg, &data, sp))
+        });
+    }
+    group.finish();
+
+    println!("\n[ablations] variant,clean,robustness@eps1\n{table}");
+    write_artefact("ablations.csv", &table);
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

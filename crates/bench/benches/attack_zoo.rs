@@ -1,0 +1,71 @@
+//! Attack-zoo bench: compares every implemented attack's strength (setup
+//! table) and per-batch cost (timed) against the same trained SNN victim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use attacks::{
+    evaluate_attack, Attack, Fgsm, GaussianNoise, MomentumPgd, Pgd, PgdL2, TargetedPgd,
+};
+use bench::{bench_scale, data_for, write_artefact};
+use explore::{pipeline, presets};
+use snn::StructuralParams;
+
+fn attack_zoo(c: &mut Criterion) {
+    let config = bench_scale(presets::quick());
+    let data = data_for(&config);
+    let trained = pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 6));
+    let attack_set = data.test.subset(config.attack_samples);
+    let eps = presets::paper_eps_to_pixel(1.0);
+
+    let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
+        ("fgsm", Box::new(Fgsm::new(eps))),
+        ("pgd", Box::new(Pgd::standard(eps))),
+        ("momentum_pgd", Box::new(MomentumPgd::standard(eps))),
+        ("pgd_l2", Box::new(PgdL2::standard(eps))),
+        ("random_noise", Box::new(GaussianNoise::new(eps, 0))),
+    ];
+
+    // Setup: the strength comparison table.
+    let mut table = String::from("attack,clean_accuracy,adversarial_accuracy\n");
+    for (name, attack) in &attacks {
+        let outcome = evaluate_attack(
+            &trained.classifier,
+            attack.as_ref(),
+            attack_set.images(),
+            attack_set.labels(),
+            config.batch_size,
+        );
+        table.push_str(&format!(
+            "{name},{:.3},{:.3}\n",
+            outcome.clean_accuracy, outcome.adversarial_accuracy
+        ));
+    }
+    // Targeted PGD success (not an `Attack`; reported separately).
+    let targets: Vec<usize> = attack_set.labels().iter().map(|&l| (l + 1) % 10).collect();
+    let targeted = TargetedPgd::standard(eps);
+    table.push_str(&format!(
+        "targeted_pgd_success,{:.3},\n",
+        targeted.success_rate(&trained.classifier, attack_set.images(), &targets)
+    ));
+    println!("\n[attack zoo]\n{table}");
+    write_artefact("attack_zoo.csv", &table);
+
+    // Timing: cost per attack on one batch.
+    let mut group = c.benchmark_group("attack_zoo");
+    group.sample_size(10);
+    for (name, attack) in &attacks {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                attack.perturb(
+                    &trained.classifier,
+                    attack_set.images(),
+                    attack_set.labels(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, attack_zoo);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 1 bench: regenerates the CNN-vs-SNN PGD sweep once during setup
+//! and times the per-model attack sweep that produces each curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{bench_scale, data_for, write_artefact};
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::{algorithm, pipeline, presets};
+
+fn fig1(c: &mut Criterion) {
+    let (config, epsilons) = presets::fig1();
+    let config = bench_scale(config);
+    let data = data_for(&config);
+
+    // Setup: regenerate the figure's two series once.
+    let cnn = pipeline::train_cnn(&config, &data);
+    let snn = pipeline::train_snn(&config, &data, presets::fig1_structural());
+    let cnn_points = algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons);
+    let snn_points = algorithm::sweep_attack(&config, &data, &snn.classifier, &epsilons);
+    let mut set = CurveSet::new();
+    set.push(RobustnessCurve::new("CNN", cnn_points));
+    set.push(RobustnessCurve::new(
+        format!("SNN {}", presets::fig1_structural()),
+        snn_points,
+    ));
+    println!("\n[fig1] accuracy under PGD (pixel-scale eps):\n{}", set.render_table());
+    write_artefact("fig1_cnn_vs_snn.csv", &set.to_csv());
+
+    // Timing: one full ε sweep per model family.
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("pgd_sweep_cnn", |b| {
+        b.iter(|| algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons))
+    });
+    group.bench_function("pgd_sweep_snn", |b| {
+        b.iter(|| algorithm::sweep_attack(&config, &data, &snn.classifier, &epsilons))
+    });
+    group.bench_function("train_cnn", |b| {
+        b.iter(|| pipeline::train_cnn(&config, &data))
+    });
+    group.bench_function("train_snn", |b| {
+        b.iter(|| pipeline::train_snn(&config, &data, presets::fig1_structural()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

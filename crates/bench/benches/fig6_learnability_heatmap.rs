@@ -1,0 +1,41 @@
+//! Figure 6 bench: regenerates the clean-accuracy heat map over `(V_th, T)`
+//! once during setup and times the per-cell training that fills it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{bench_scale, data_for, write_artefact};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{grid, pipeline, presets, GridSpec};
+use snn::StructuralParams;
+
+fn fig6(c: &mut Criterion) {
+    let (config, _, epsilons) = presets::heatmap_grid();
+    let config = bench_scale(config);
+    let data = data_for(&config);
+
+    // Setup: a reduced grid regenerates the figure's structure (the full
+    // paper grid is produced by `cargo run --release --example heatmap -- --full`).
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 8, 16]);
+    let result = grid::run_grid(&config, &data, &spec, &epsilons, 2);
+    let map = Heatmap::from_grid(&result, HeatmapKind::CleanAccuracy);
+    println!("\n[fig6] {}", map.render_ascii());
+    write_artefact("fig6_learnability.csv", &map.to_csv());
+
+    // Timing: one grid cell = one SNN training + learnability check.
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("train_cell_short_window", |b| {
+        b.iter(|| pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 4)))
+    });
+    group.bench_function("train_cell_long_window", |b| {
+        b.iter(|| pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 16)))
+    });
+    group.bench_function("grid_2x2", |b| {
+        let small = GridSpec::new(vec![0.5, 2.0], vec![4, 8]);
+        b.iter(|| grid::run_grid(&config, &data, &small, &[], 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

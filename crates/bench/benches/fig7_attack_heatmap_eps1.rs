@@ -1,0 +1,46 @@
+//! Figure 7 bench: regenerates the attacked-accuracy heat map at the
+//! paper's ε = 1.0 and times the per-cell PGD evaluation that fills it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use attacks::{evaluate_attack, Pgd};
+use bench::{bench_scale, data_for, write_artefact};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{grid, pipeline, presets, GridSpec};
+use snn::StructuralParams;
+
+fn fig7(c: &mut Criterion) {
+    let (config, _, epsilons) = presets::heatmap_grid();
+    let config = bench_scale(config);
+    let data = data_for(&config);
+    let eps1 = epsilons[0]; // paper ε = 1.0 in pixel scale
+
+    // Setup: reduced grid, attacked map at ε = 1.0.
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 8, 16]);
+    let result = grid::run_grid(&config, &data, &spec, &[eps1], 2);
+    let map = Heatmap::from_grid(&result, HeatmapKind::AttackedAccuracy { eps: eps1 });
+    println!("\n[fig7] {}", map.render_ascii());
+    write_artefact("fig7_attacked_eps1.csv", &map.to_csv());
+
+    // Timing: the security-study inner loop for one pre-trained cell.
+    let trained = pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 8));
+    let attack_set = data.test.subset(config.attack_samples);
+    let pgd = Pgd::new(eps1, 2.5 * eps1 / config.pgd_steps as f32, config.pgd_steps, true, 0);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("attack_cell_eps1", |b| {
+        b.iter(|| {
+            evaluate_attack(
+                &trained.classifier,
+                &pgd,
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

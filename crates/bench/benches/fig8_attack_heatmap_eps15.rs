@@ -1,0 +1,67 @@
+//! Figure 8 bench: regenerates the attacked-accuracy heat map at the
+//! paper's ε = 1.5 and times the stronger-budget PGD evaluation, including
+//! the cost scaling between the two heat-map budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use attacks::{evaluate_attack, Pgd};
+use bench::{bench_scale, data_for, write_artefact};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{grid, pipeline, presets, GridSpec};
+use snn::StructuralParams;
+
+fn fig8(c: &mut Criterion) {
+    let (config, _, epsilons) = presets::heatmap_grid();
+    let config = bench_scale(config);
+    let data = data_for(&config);
+    let eps15 = epsilons[1]; // paper ε = 1.5 in pixel scale
+
+    // Setup: reduced grid, attacked map at ε = 1.5.
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 8, 16]);
+    let result = grid::run_grid(&config, &data, &spec, &[eps15], 2);
+    let map = Heatmap::from_grid(&result, HeatmapKind::AttackedAccuracy { eps: eps15 });
+    println!("\n[fig8] {}", map.render_ascii());
+    write_artefact("fig8_attacked_eps15.csv", &map.to_csv());
+
+    // Timing: ε = 1.5 evaluation on cells with a short and a long window —
+    // the time window dominates attack cost (every PGD step replays T
+    // forward+backward passes).
+    let short = pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 4));
+    let long = pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 16));
+    let attack_set = data.test.subset(config.attack_samples);
+    let pgd = Pgd::new(
+        eps15,
+        2.5 * eps15 / config.pgd_steps as f32,
+        config.pgd_steps,
+        true,
+        0,
+    );
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("attack_cell_eps15_T4", |b| {
+        b.iter(|| {
+            evaluate_attack(
+                &short.classifier,
+                &pgd,
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            )
+        })
+    });
+    group.bench_function("attack_cell_eps15_T16", |b| {
+        b.iter(|| {
+            evaluate_attack(
+                &long.classifier,
+                &pgd,
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 9 bench: regenerates the selected-combination robustness curves
+//! against the CNN baseline and times the full per-combination sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{bench_scale, data_for, write_artefact};
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::{algorithm, grid, pipeline, presets, GridSpec};
+
+fn fig9(c: &mut Criterion) {
+    let (config, epsilons) = presets::fig9();
+    let config = bench_scale(config);
+    let data = data_for(&config);
+
+    // Setup: locate sweet/worst combinations on a coarse grid, sweep them
+    // and the CNN across the full ε axis, and emit the figure's series.
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 8, 16]);
+    let coarse = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
+    let mut set = CurveSet::new();
+    let mut picks = Vec::new();
+    if let Some(sweet) = coarse.sweet_spot() {
+        picks.push(("sweet spot", sweet.structural));
+    }
+    if let Some(worst) = coarse.worst_learnable() {
+        if picks.iter().all(|(_, sp)| *sp != worst.structural) {
+            picks.push(("worst learnable", worst.structural));
+        }
+    }
+    for (tag, sp) in &picks {
+        let trained = pipeline::train_snn(&config, &data, *sp);
+        let sweep = algorithm::sweep_attack(&config, &data, &trained.classifier, &epsilons);
+        set.push(RobustnessCurve::new(format!("SNN {sp} ({tag})"), sweep));
+    }
+    let cnn = pipeline::train_cnn(&config, &data);
+    let cnn_sweep = algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons);
+    set.push(RobustnessCurve::new("CNN baseline", cnn_sweep));
+    println!("\n[fig9] robustness curves (pixel-scale eps):\n{}", set.render_table());
+    write_artefact("fig9_robustness_curves.csv", &set.to_csv());
+
+    // Timing: the full Algorithm-1 exploration of one combination (train +
+    // ε sweep), the unit of work Fig. 9 repeats per selected curve.
+    let sp = picks
+        .first()
+        .map(|(_, sp)| *sp)
+        .unwrap_or_else(|| snn::StructuralParams::new(1.0, 8));
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("explore_one_combination", |b| {
+        b.iter(|| algorithm::explore_one(&config, &data, sp, &epsilons))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

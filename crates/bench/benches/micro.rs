@@ -1,0 +1,107 @@
+//! Microbenchmarks of the substrate layers: tensor kernels, autodiff tape
+//! overhead, LIF stepping, encoders and PGD iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ad::Tape;
+use attacks::Attack;
+use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn::{Encoder, LifCell, LifParams};
+use tensor::conv::{conv2d, Conv2dSpec};
+use tensor::Tensor;
+
+fn tensor_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    let b = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    let x = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
+    let w = tensor::init::uniform(&mut rng, &[8, 8, 3, 3], -1.0, 1.0);
+    let mut group = c.benchmark_group("tensor");
+    group.bench_function("matmul_64x64", |bch| bch.iter(|| a.matmul(&b)));
+    group.bench_function("conv2d_4x8x16x16_k3", |bch| {
+        bch.iter(|| conv2d(&x, &w, Conv2dSpec { stride: 1, padding: 1 }))
+    });
+    group.bench_function("elementwise_add_16k", |bch| {
+        let u = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
+        let v = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
+        bch.iter(|| u.add(&v))
+    });
+    group.finish();
+}
+
+fn autodiff_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autodiff");
+    group.bench_function("tape_mlp_forward_backward", |bch| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w1 = tensor::init::uniform(&mut rng, &[144, 64], -0.1, 0.1);
+        let w2 = tensor::init::uniform(&mut rng, &[64, 10], -0.1, 0.1);
+        let x = tensor::init::uniform(&mut rng, &[32, 144], 0.0, 1.0);
+        let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+        bch.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let w1v = tape.leaf(w1.clone());
+            let w2v = tape.leaf(w2.clone());
+            let loss = xv.matmul(w1v).relu().matmul(w2v).cross_entropy(&labels);
+            tape.backward(loss)
+        })
+    });
+    group.finish();
+}
+
+fn lif_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lif");
+    let cell = LifCell::new(LifParams::new(1.0));
+    let mut rng = StdRng::seed_from_u64(2);
+    let input = tensor::init::uniform(&mut rng, &[32, 256], 0.0, 1.0);
+    group.bench_function("step_32x256_x16", |bch| {
+        bch.iter(|| {
+            let tape = Tape::new();
+            let i = tape.leaf(input.clone());
+            let mut v = tape.leaf(Tensor::zeros(&[32, 256]));
+            let mut acc = None;
+            for _ in 0..16 {
+                let (s, vn) = cell.step(i, v);
+                v = vn;
+                acc = Some(match acc {
+                    None => s,
+                    Some(a) => a + s,
+                });
+            }
+            acc.map(|a| a.value())
+        })
+    });
+    group.bench_function("encoder_poisson_784_x16", |bch| {
+        let enc = Encoder::poisson(7);
+        let x = tensor::init::uniform(&mut rng, &[784], 0.0, 1.0);
+        bch.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            (0..16).map(|t| enc.encode_step(xv, t).value().sum()).sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+fn attack_iterations(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut params = Params::new();
+    let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(12, 10));
+    let clf = Classifier::new(cnn, params);
+    let x = tensor::init::uniform(&mut rng, &[8, 1, 12, 12], 0.0, 1.0);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("attacks");
+    group.bench_function("input_grad_batch8", |bch| {
+        bch.iter(|| clf.loss_and_input_grad(&x, &labels))
+    });
+    group.bench_function("pgd10_batch8", |bch| {
+        let pgd = attacks::Pgd::standard(0.3);
+        bch.iter(|| pgd.perturb(&clf, &x, &labels))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tensor_kernels, autodiff_overhead, lif_dynamics, attack_iterations);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared setup helpers for the benchmark harness.
+//!
+//! Every bench target regenerates its paper figure once during setup (the
+//! series/heat map is printed to stdout and written under
+//! `target/figures/`), then times the hot path that produces it. The
+//! bench-time configurations are reduced versions of the
+//! [`explore::presets`] so a full `cargo bench` stays in CPU-minutes; the
+//! figure-faithful runs live in the `examples/` binaries and
+//! `EXPERIMENTS.md` records their output.
+
+use std::fs;
+use std::path::PathBuf;
+
+use explore::{pipeline, ExperimentConfig};
+
+/// Shrinks a preset configuration to bench scale: fewer epochs, fewer
+/// samples, a permissive learnability gate (benches measure cost and shape,
+/// not model quality).
+pub fn bench_scale(mut config: ExperimentConfig) -> ExperimentConfig {
+    config.epochs = 4;
+    config.train_per_class = 12;
+    config.test_per_class = 4;
+    config.attack_samples = 10;
+    config.pgd_steps = 3;
+    config.accuracy_threshold = 0.15;
+    config
+}
+
+/// Prepares the dataset for a (possibly shrunk) configuration.
+pub fn data_for(config: &ExperimentConfig) -> pipeline::SplitData {
+    pipeline::prepare_data(config)
+}
+
+/// The output directory for regenerated figure artefacts.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Writes a regenerated artefact and echoes where it went.
+pub fn write_artefact(name: &str, contents: &str) {
+    let path = figures_dir().join(name);
+    fs::write(&path, contents).expect("write figure artefact");
+    println!("[bench setup] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_is_cheaper_than_preset() {
+        let preset = explore::presets::quick();
+        let scaled = bench_scale(preset.clone());
+        assert!(scaled.epochs < preset.epochs);
+        assert!(scaled.train_per_class < preset.train_per_class);
+        scaled.validate();
+    }
+
+    #[test]
+    fn artefact_round_trip() {
+        write_artefact("bench_lib_test.txt", "ok");
+        let read = std::fs::read_to_string(figures_dir().join("bench_lib_test.txt")).unwrap();
+        assert_eq!(read, "ok");
+    }
+}

@@ -1,0 +1,154 @@
+//! On-the-fly training augmentation.
+//!
+//! Augmentations are deterministic in `(seed, epoch)` so training remains
+//! reproducible, and operate on whole datasets so the training loop stays
+//! oblivious to them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::Dataset;
+
+/// Augmentation policy applied once per epoch to the training set.
+///
+/// # Example
+///
+/// ```
+/// use dataset::augment::Augment;
+/// use dataset::synth::SynthDigits;
+///
+/// let data = SynthDigits::new(10).samples_per_class(2).generate();
+/// let policy = Augment::new(7).max_shift(1).noise(0.02);
+/// let epoch0 = policy.apply(&data, 0);
+/// let epoch1 = policy.apply(&data, 1);
+/// assert_eq!(epoch0.len(), data.len());
+/// assert_ne!(epoch0.images(), epoch1.images(), "epochs vary");
+/// assert_eq!(epoch0.images(), policy.apply(&data, 0).images(), "per-epoch deterministic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    seed: u64,
+    max_shift: usize,
+    noise: f32,
+    flip: bool,
+}
+
+impl Augment {
+    /// Starts a policy with no transforms enabled.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            max_shift: 0,
+            noise: 0.0,
+            flip: false,
+        }
+    }
+
+    /// Enables random rigid shifts of up to `pixels` in each direction.
+    pub fn max_shift(mut self, pixels: usize) -> Self {
+        self.max_shift = pixels;
+        self
+    }
+
+    /// Enables additive Gaussian pixel noise with the given std.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative.
+    pub fn noise(mut self, std: f32) -> Self {
+        assert!(std >= 0.0, "noise std must be non-negative, got {std}");
+        self.noise = std;
+        self
+    }
+
+    /// Enables random horizontal flips (off by default: digits are
+    /// chirality-sensitive — enable only for symmetric tasks).
+    pub fn flip(mut self, enabled: bool) -> Self {
+        self.flip = enabled;
+        self
+    }
+
+    /// Applies the policy to every sample, deterministically in
+    /// `(self.seed, epoch)`.
+    pub fn apply(&self, data: &Dataset, epoch: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        );
+        let dims = data.images().dims().to_vec();
+        let (h, w) = (dims[2], dims[3]);
+        let plane = h * w;
+        let mut out = data.images().clone();
+        for s in 0..data.len() {
+            let sample = Tensor::from_vec(
+                data.images().data()[s * plane..(s + 1) * plane].to_vec(),
+                &[1, 1, h, w],
+            );
+            let mut sample = if self.max_shift > 0 {
+                let m = self.max_shift as isize;
+                sample.shift2d(rng.gen_range(-m..=m), rng.gen_range(-m..=m))
+            } else {
+                sample
+            };
+            if self.flip && rng.gen_bool(0.5) {
+                sample = sample.flip_horizontal();
+            }
+            if self.noise > 0.0 {
+                for v in sample.data_mut() {
+                    *v = (*v + tensor::init::standard_normal(&mut rng) * self.noise)
+                        .clamp(0.0, 1.0);
+                }
+            }
+            out.data_mut()[s * plane..(s + 1) * plane].copy_from_slice(sample.data());
+        }
+        Dataset::new(out, data.labels().to_vec(), data.classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthDigits;
+
+    fn base() -> Dataset {
+        SynthDigits::new(10).samples_per_class(3).seed(1).generate()
+    }
+
+    #[test]
+    fn disabled_policy_is_identity() {
+        let data = base();
+        let out = Augment::new(0).apply(&data, 3);
+        assert_eq!(out.images(), data.images());
+        assert_eq!(out.labels(), data.labels());
+    }
+
+    #[test]
+    fn shift_preserves_labels_and_range() {
+        let data = base();
+        let out = Augment::new(2).max_shift(2).apply(&data, 0);
+        assert_eq!(out.labels(), data.labels());
+        assert!(out.images().min() >= 0.0 && out.images().max() <= 1.0);
+        assert_ne!(out.images(), data.images());
+    }
+
+    #[test]
+    fn noise_respects_pixel_box() {
+        let data = base();
+        let out = Augment::new(3).noise(0.3).apply(&data, 0);
+        assert!(out.images().min() >= 0.0 && out.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn flip_only_flips_some_samples() {
+        let data = base();
+        let out = Augment::new(4).flip(true).apply(&data, 0);
+        let plane = 100;
+        let changed = (0..data.len())
+            .filter(|&s| {
+                out.images().data()[s * plane..(s + 1) * plane]
+                    != data.images().data()[s * plane..(s + 1) * plane]
+            })
+            .count();
+        assert!(changed > 0 && changed < data.len(), "changed {changed}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Common (non-adversarial) image corruptions.
+//!
+//! Adversarial robustness and corruption robustness are different axes; the
+//! corruptions here provide the non-adversarial control condition for the
+//! exploration experiments (is a robust `(V_th, T)` combination robust to
+//! *any* perturbation, or specifically to gradient-crafted ones?).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::Dataset;
+
+/// A deterministic, severity-parameterised image corruption.
+///
+/// All corruptions keep pixels in `[0, 1]` and are reproducible from their
+/// seed. Severity is a free scale in `[0, 1]` where `0` is the identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Additive Gaussian noise with standard deviation `severity · 0.5`.
+    GaussianNoise {
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Contrast reduction toward mid-gray: `x ← 0.5 + (x − 0.5)·(1 − severity)`.
+    ContrastLoss,
+    /// Salt-and-pepper: a `severity/2` fraction of pixels forced to 0, the
+    /// same fraction forced to 1.
+    SaltPepper {
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// A square occlusion patch covering `severity` of the image's side
+    /// length, placed deterministically per sample.
+    Occlusion {
+        /// Placement seed.
+        seed: u64,
+    },
+}
+
+impl Corruption {
+    /// A short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corruption::GaussianNoise { .. } => "gaussian_noise",
+            Corruption::ContrastLoss => "contrast_loss",
+            Corruption::SaltPepper { .. } => "salt_pepper",
+            Corruption::Occlusion { .. } => "occlusion",
+        }
+    }
+
+    /// Applies the corruption at `severity ∈ [0, 1]` to a `[N, 1, H, W]`
+    /// image tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is outside `[0, 1]` or `images` is not rank 4.
+    pub fn apply(&self, images: &Tensor, severity: f32) -> Tensor {
+        assert!(
+            (0.0..=1.0).contains(&severity),
+            "severity must be in [0, 1], got {severity}"
+        );
+        let dims = images.dims();
+        assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
+        if severity == 0.0 {
+            return images.clone();
+        }
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let mut out = images.clone();
+        match *self {
+            Corruption::GaussianNoise { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let std = severity * 0.5;
+                for v in out.data_mut() {
+                    *v = (*v + tensor::init::standard_normal(&mut rng) * std).clamp(0.0, 1.0);
+                }
+            }
+            Corruption::ContrastLoss => {
+                let keep = 1.0 - severity;
+                out.map_inplace(|v| 0.5 + (v - 0.5) * keep);
+            }
+            Corruption::SaltPepper { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let p = severity / 2.0;
+                for v in out.data_mut() {
+                    let u: f32 = rng.gen();
+                    if u < p {
+                        *v = 0.0;
+                    } else if u < 2.0 * p {
+                        *v = 1.0;
+                    }
+                }
+            }
+            Corruption::Occlusion { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let patch_h = ((h as f32 * severity).round() as usize).min(h);
+                let patch_w = ((w as f32 * severity).round() as usize).min(w);
+                if patch_h == 0 || patch_w == 0 {
+                    return out;
+                }
+                let plane = h * w;
+                for s in 0..n {
+                    let top = rng.gen_range(0..=h - patch_h);
+                    let left = rng.gen_range(0..=w - patch_w);
+                    let image = &mut out.data_mut()[s * plane..(s + 1) * plane];
+                    for i in top..top + patch_h {
+                        for j in left..left + patch_w {
+                            image[i * w + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the corruption to a dataset, preserving labels.
+    pub fn apply_dataset(&self, data: &Dataset, severity: f32) -> Dataset {
+        Dataset::new(
+            self.apply(data.images(), severity),
+            data.labels().to_vec(),
+            data.classes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gray(n: usize, hw: usize) -> Tensor {
+        Tensor::full(&[n, 1, hw, hw], 0.5)
+    }
+
+    #[test]
+    fn zero_severity_is_identity_for_all() {
+        let x = gray(2, 6);
+        for c in [
+            Corruption::GaussianNoise { seed: 1 },
+            Corruption::ContrastLoss,
+            Corruption::SaltPepper { seed: 1 },
+            Corruption::Occlusion { seed: 1 },
+        ] {
+            assert_eq!(c.apply(&x, 0.0), x, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn outputs_stay_in_unit_range() {
+        let x = gray(2, 8);
+        for c in [
+            Corruption::GaussianNoise { seed: 2 },
+            Corruption::ContrastLoss,
+            Corruption::SaltPepper { seed: 2 },
+            Corruption::Occlusion { seed: 2 },
+        ] {
+            let y = c.apply(&x, 1.0);
+            assert!(y.min() >= 0.0 && y.max() <= 1.0, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn contrast_loss_compresses_toward_gray() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 0.25, 0.75], &[1, 1, 2, 2]);
+        let y = Corruption::ContrastLoss.apply(&x, 0.5);
+        assert_eq!(y.data(), &[0.25, 0.75, 0.375, 0.625]);
+        // Full severity collapses everything to gray.
+        let y = Corruption::ContrastLoss.apply(&x, 1.0);
+        assert!(y.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn salt_pepper_fraction_tracks_severity() {
+        let x = gray(1, 32);
+        let y = Corruption::SaltPepper { seed: 3 }.apply(&x, 0.4);
+        let extreme = y.data().iter().filter(|&&v| v == 0.0 || v == 1.0).count();
+        let frac = extreme as f32 / y.len() as f32;
+        assert!((frac - 0.4).abs() < 0.07, "extreme fraction {frac}");
+    }
+
+    #[test]
+    fn occlusion_zeroes_a_contiguous_patch() {
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let y = Corruption::Occlusion { seed: 4 }.apply(&x, 0.5);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 16, "a 4x4 patch should be occluded");
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic() {
+        let x = gray(2, 8);
+        let c = Corruption::GaussianNoise { seed: 9 };
+        assert_eq!(c.apply(&x, 0.3), c.apply(&x, 0.3));
+    }
+
+    #[test]
+    fn dataset_corruption_preserves_labels() {
+        let data = crate::synth::SynthDigits::new(8).samples_per_class(2).generate();
+        let corrupted = Corruption::ContrastLoss.apply_dataset(&data, 0.3);
+        assert_eq!(corrupted.labels(), data.labels());
+        assert_eq!(corrupted.len(), data.len());
+        assert_ne!(corrupted.images(), data.images());
+    }
+}

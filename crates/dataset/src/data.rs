@@ -1,0 +1,268 @@
+//! The labelled image dataset container.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tensor::Tensor;
+
+/// A labelled set of images, stored as one `[N, C, H, W]` tensor with pixel
+/// values in `[0, 1]` (`C = 1` for static grayscale digits; `C > 1` holds
+/// stacked frames of temporal sequences).
+///
+/// # Example
+///
+/// ```
+/// use dataset::Dataset;
+/// use tensor::Tensor;
+///
+/// let images = Tensor::zeros(&[4, 1, 2, 2]);
+/// let data = Dataset::new(images, vec![0, 1, 0, 1], 2);
+/// let (train, test) = data.split(0.5);
+/// assert_eq!(train.len(), 2);
+/// assert_eq!(test.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Bundles images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank 4, the label count differs from `N`,
+    /// any label is `>= classes`, or any pixel is outside `[0, 1]`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        let dims = images.dims();
+        assert!(dims.len() == 4, "images must be [N, C, H, W], got {dims:?}");
+        assert_eq!(
+            labels.len(),
+            dims[0],
+            "{} labels for {} images",
+            labels.len(),
+            dims[0]
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        assert!(
+            images.data().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "pixel values must lie in [0, 1]"
+        );
+        Self {
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// The image tensor (`[N, 1, H, W]`).
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, parallel to the image batch axis.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset holds no samples (never constructible through
+    /// [`Dataset::new`], but possible after an empty [`Dataset::subset`]).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image height (= width).
+    pub fn hw(&self) -> usize {
+        self.images.dims()[2]
+    }
+
+    /// Channel count (1 for static images, the frame count for stacked
+    /// temporal sequences).
+    pub fn channels(&self) -> usize {
+        self.images.dims()[1]
+    }
+
+    /// Copies the samples at `indices` into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> Dataset {
+        let dims = self.images.dims();
+        let sample_len: usize = dims[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * sample_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range for {} samples", self.len());
+            data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &[indices.len(), dims[1], dims[2], dims[3]]),
+            labels,
+            classes: self.classes,
+        }
+    }
+
+    /// The first `n` samples (all samples if `n >= len`). The paper's
+    /// Algorithm 1 browses a fixed test subset; this is how the presets
+    /// bound attack cost.
+    pub fn subset(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        self.gather(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// Splits into `(train, test)` with the first `train_frac` fraction in
+    /// train. Call [`Dataset::shuffled`] first for a random split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is outside `(0, 1)`.
+    pub fn split(&self, train_frac: f32) -> (Dataset, Dataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train fraction must be in (0, 1), got {train_frac}"
+        );
+        let n_train = ((self.len() as f32) * train_frac).round() as usize;
+        let n_train = n_train.clamp(1, self.len() - 1);
+        let train = self.gather(&(0..n_train).collect::<Vec<_>>());
+        let test = self.gather(&(n_train..self.len()).collect::<Vec<_>>());
+        (train, test)
+    }
+
+    /// A copy with samples in random order.
+    pub fn shuffled<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.gather(&order)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Splits into `k` folds for cross-validation: returns, for fold `i`,
+    /// the `(train, validation)` pair where validation is every `k`-th
+    /// sample starting at `i` (stratification comes from shuffling first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len`.
+    pub fn k_folds(&self, k: usize) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "need at least two folds, got {k}");
+        assert!(
+            k <= self.len(),
+            "cannot make {k} folds from {} samples",
+            self.len()
+        );
+        (0..k)
+            .map(|fold| {
+                let (mut train_idx, mut val_idx) = (Vec::new(), Vec::new());
+                for i in 0..self.len() {
+                    if i % k == fold {
+                        val_idx.push(i);
+                    } else {
+                        train_idx.push(i);
+                    }
+                }
+                (self.gather(&train_idx), self.gather(&val_idx))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec(vec![0.5; n * 4], &[n, 1, 2, 2]);
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(images, labels, 2)
+    }
+
+    #[test]
+    fn construction_validates_ranges() {
+        let images = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], &[1, 1, 2, 2]);
+        let d = Dataset::new(images, vec![1], 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.hw(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel values")]
+    fn rejects_out_of_range_pixels() {
+        let images = Tensor::from_vec(vec![0.0, 1.5, 0.5, 0.25], &[1, 1, 2, 2]);
+        Dataset::new(images, vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![5], 2);
+    }
+
+    #[test]
+    fn gather_and_subset() {
+        let d = toy(6);
+        let g = d.gather(&[5, 0]);
+        assert_eq!(g.labels(), &[1, 0]);
+        assert_eq!(d.subset(3).len(), 3);
+        assert_eq!(d.subset(100).len(), 6);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy(10);
+        let (train, test) = d.split(0.7);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(train.len(), 7);
+    }
+
+    #[test]
+    fn k_folds_partition_every_sample_exactly_once() {
+        let d = toy(10);
+        let folds = d.k_folds(3);
+        assert_eq!(folds.len(), 3);
+        let mut total_val = 0;
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 10);
+            total_val += val.len();
+        }
+        assert_eq!(total_val, 10, "each sample validates exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn k_folds_rejects_k1() {
+        toy(4).k_folds(1);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        use rand::SeedableRng;
+        let d = toy(20);
+        let s = d.shuffled(&mut rand::rngs::StdRng::seed_from_u64(0));
+        assert_eq!(s.class_counts(), d.class_counts());
+        assert_eq!(s.len(), d.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! Digit-image datasets for the `spiking-armor` workspace.
+//!
+//! The reproduced paper evaluates on MNIST. MNIST files are not available in
+//! this offline environment, so this crate provides two interchangeable
+//! sources behind one [`Dataset`] type:
+//!
+//! * [`synth`] — **SynthDigits**, a procedural generator that renders the
+//!   ten digits from seven-segment stroke templates with random affine
+//!   jitter, stroke thickness variation and pixel noise. Like MNIST it is a
+//!   10-class task of sparse bright strokes on a dark background in
+//!   `[0, 1]`, which is the input-statistics family that rate encoding and
+//!   L∞ attacks interact with (see `DESIGN.md` §2 for the substitution
+//!   argument).
+//! * [`mnist`] — a loader for the original MNIST IDX files; drop the four
+//!   `*-ubyte` files into a directory and the paper-scale experiments run
+//!   on the real data unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use dataset::synth::SynthDigits;
+//!
+//! let data = SynthDigits::new(12).samples_per_class(3).seed(7).generate();
+//! assert_eq!(data.len(), 30);
+//! assert_eq!(data.classes(), 10);
+//! assert_eq!(data.images().dims(), &[30, 1, 12, 12]);
+//! ```
+
+mod data;
+
+pub mod augment;
+pub mod corrupt;
+pub mod mnist;
+pub mod motion;
+pub mod synth;
+
+pub use data::Dataset;

@@ -1,0 +1,161 @@
+//! Loader for the original MNIST IDX files.
+//!
+//! Place the four canonical files (uncompressed) in one directory:
+//!
+//! ```text
+//! train-images-idx3-ubyte   train-labels-idx1-ubyte
+//! t10k-images-idx3-ubyte    t10k-labels-idx1-ubyte
+//! ```
+//!
+//! and call [`load_dir`]. The IDX format is the one documented on the MNIST
+//! page: big-endian `u32` magic (`0x803` for images, `0x801` for labels),
+//! dimension sizes, then raw `u8` payload.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tensor::Tensor;
+
+use crate::Dataset;
+
+/// Parses an IDX3 image file into a `[N, 1, H, W]` tensor scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be read, the magic number is
+/// wrong, or the payload is truncated.
+pub fn load_idx_images(path: &Path) -> io::Result<Tensor> {
+    let bytes = fs::read(path)?;
+    let (magic, rest) = split_u32(&bytes)?;
+    if magic != 0x0000_0803 {
+        return Err(bad_data(format!("bad image magic {magic:#x} in {}", path.display())));
+    }
+    let (n, rest) = split_u32(rest)?;
+    let (h, rest) = split_u32(rest)?;
+    let (w, rest) = split_u32(rest)?;
+    let (n, h, w) = (n as usize, h as usize, w as usize);
+    if rest.len() < n * h * w {
+        return Err(bad_data(format!(
+            "image payload truncated: need {} bytes, have {}",
+            n * h * w,
+            rest.len()
+        )));
+    }
+    let data: Vec<f32> = rest[..n * h * w].iter().map(|&b| b as f32 / 255.0).collect();
+    Ok(Tensor::from_vec(data, &[n, 1, h, w]))
+}
+
+/// Parses an IDX1 label file.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be read, the magic number is
+/// wrong, or the payload is truncated.
+pub fn load_idx_labels(path: &Path) -> io::Result<Vec<usize>> {
+    let bytes = fs::read(path)?;
+    let (magic, rest) = split_u32(&bytes)?;
+    if magic != 0x0000_0801 {
+        return Err(bad_data(format!("bad label magic {magic:#x} in {}", path.display())));
+    }
+    let (n, rest) = split_u32(rest)?;
+    let n = n as usize;
+    if rest.len() < n {
+        return Err(bad_data(format!(
+            "label payload truncated: need {n} bytes, have {}",
+            rest.len()
+        )));
+    }
+    Ok(rest[..n].iter().map(|&b| b as usize).collect())
+}
+
+/// Loads `(train, test)` MNIST datasets from a directory containing the four
+/// canonical files.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if any file is missing or malformed.
+pub fn load_dir(dir: &Path) -> io::Result<(Dataset, Dataset)> {
+    let train_images = load_idx_images(&dir.join("train-images-idx3-ubyte"))?;
+    let train_labels = load_idx_labels(&dir.join("train-labels-idx1-ubyte"))?;
+    let test_images = load_idx_images(&dir.join("t10k-images-idx3-ubyte"))?;
+    let test_labels = load_idx_labels(&dir.join("t10k-labels-idx1-ubyte"))?;
+    Ok((
+        Dataset::new(train_images, train_labels, 10),
+        Dataset::new(test_images, test_labels, 10),
+    ))
+}
+
+fn split_u32(bytes: &[u8]) -> io::Result<(u32, &[u8])> {
+    if bytes.len() < 4 {
+        return Err(bad_data("file too short for IDX header".to_string()));
+    }
+    let v = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    Ok((v, &bytes[4..]))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_idx3(path: &Path, n: u32, h: u32, w: u32, payload: &[u8]) {
+        let mut f = fs::File::create(path).unwrap();
+        f.write_all(&0x0000_0803u32.to_be_bytes()).unwrap();
+        f.write_all(&n.to_be_bytes()).unwrap();
+        f.write_all(&h.to_be_bytes()).unwrap();
+        f.write_all(&w.to_be_bytes()).unwrap();
+        f.write_all(payload).unwrap();
+    }
+
+    fn write_idx1(path: &Path, labels: &[u8]) {
+        let mut f = fs::File::create(path).unwrap();
+        f.write_all(&0x0000_0801u32.to_be_bytes()).unwrap();
+        f.write_all(&(labels.len() as u32).to_be_bytes()).unwrap();
+        f.write_all(labels).unwrap();
+    }
+
+    #[test]
+    fn round_trips_synthetic_idx_files() {
+        let dir = std::env::temp_dir().join("spiking_armor_mnist_test");
+        fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("imgs");
+        let lbl_path = dir.join("lbls");
+        write_idx3(&img_path, 2, 2, 2, &[0, 255, 128, 64, 255, 0, 0, 255]);
+        write_idx1(&lbl_path, &[3, 7]);
+        let images = load_idx_images(&img_path).unwrap();
+        let labels = load_idx_labels(&lbl_path).unwrap();
+        assert_eq!(images.dims(), &[2, 1, 2, 2]);
+        assert_eq!(images.data()[1], 1.0);
+        assert!((images.data()[2] - 128.0 / 255.0).abs() < 1e-6);
+        assert_eq!(labels, vec![3, 7]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let dir = std::env::temp_dir().join("spiking_armor_mnist_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad");
+        fs::write(&p, 0x1234_5678u32.to_be_bytes()).unwrap();
+        assert!(load_idx_images(&p).is_err());
+        assert!(load_idx_labels(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let dir = std::env::temp_dir().join("spiking_armor_mnist_test3");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("trunc");
+        write_idx3(&p, 10, 28, 28, &[0u8; 16]);
+        assert!(load_idx_images(&p).is_err());
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        assert!(load_dir(Path::new("/nonexistent/mnist")).is_err());
+    }
+}

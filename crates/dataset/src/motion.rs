@@ -1,0 +1,206 @@
+//! MovingBars: a synthetic *temporal* classification task.
+//!
+//! Each sample is a short frame sequence (stacked in the channel axis as
+//! `[N, frames, H, W]`) of a bright bar sweeping across the image in one of
+//! four directions — the class is the direction of motion. No single frame
+//! identifies the class: the information is purely temporal, which makes
+//! this the dataset where the SNN's time window is *semantically* necessary
+//! rather than a rate-coding convenience (the regime of DVS-gesture-style
+//! benchmarks in the paper's related work).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::Dataset;
+
+/// Direction of motion — the class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Vertical bar moving left → right (label 0).
+    Right,
+    /// Vertical bar moving right → left (label 1).
+    Left,
+    /// Horizontal bar moving top → bottom (label 2).
+    Down,
+    /// Horizontal bar moving bottom → top (label 3).
+    Up,
+}
+
+impl Direction {
+    /// All four directions in label order.
+    pub fn all() -> [Direction; 4] {
+        [Direction::Right, Direction::Left, Direction::Down, Direction::Up]
+    }
+
+    /// The class label of this direction.
+    pub fn label(self) -> usize {
+        match self {
+            Direction::Right => 0,
+            Direction::Left => 1,
+            Direction::Down => 2,
+            Direction::Up => 3,
+        }
+    }
+}
+
+/// Builder for a MovingBars dataset.
+///
+/// # Example
+///
+/// ```
+/// use dataset::motion::MovingBars;
+///
+/// let data = MovingBars::new(8, 6).samples_per_class(4).seed(1).generate();
+/// assert_eq!(data.len(), 16);
+/// assert_eq!(data.channels(), 6); // six frames
+/// assert_eq!(data.classes(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingBars {
+    hw: usize,
+    frames: usize,
+    samples_per_class: usize,
+    seed: u64,
+    noise: f32,
+}
+
+impl MovingBars {
+    /// Starts a builder for `hw × hw` images with `frames` frames per
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw < 4` or `frames < 2` (motion needs at least two
+    /// frames).
+    pub fn new(hw: usize, frames: usize) -> Self {
+        assert!(hw >= 4, "MovingBars needs at least 4x4 pixels, got {hw}");
+        assert!(frames >= 2, "motion needs at least 2 frames, got {frames}");
+        Self {
+            hw,
+            frames,
+            samples_per_class: 16,
+            seed: 0,
+            noise: 0.02,
+        }
+    }
+
+    /// Samples per direction class.
+    pub fn samples_per_class(mut self, n: usize) -> Self {
+        assert!(n > 0, "samples_per_class must be positive");
+        self.samples_per_class = n;
+        self
+    }
+
+    /// RNG seed (phase offsets and noise).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Additive Gaussian pixel-noise std.
+    pub fn noise(mut self, noise: f32) -> Self {
+        assert!((0.0..=0.5).contains(&noise), "noise must be in [0, 0.5]");
+        self.noise = noise;
+        self
+    }
+
+    /// Renders the dataset (`[N, frames, H, W]`, shuffled).
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = 4 * self.samples_per_class;
+        let (hw, frames) = (self.hw, self.frames);
+        let sample_len = frames * hw * hw;
+        let mut data = vec![0.0f32; n * sample_len];
+        let mut labels = Vec::with_capacity(n);
+        for (i, chunk) in data.chunks_mut(sample_len).enumerate() {
+            let direction = Direction::all()[i % 4];
+            labels.push(direction.label());
+            // A random starting phase so position in any single frame does
+            // not identify the class.
+            let phase = rng.gen_range(0..hw);
+            for f in 0..frames {
+                let frame = &mut chunk[f * hw * hw..(f + 1) * hw * hw];
+                // The bar advances one pixel per frame, wrapping around.
+                let pos = (phase + f) % hw;
+                for i_row in 0..hw {
+                    for j_col in 0..hw {
+                        let on = match direction {
+                            Direction::Right => j_col == pos,
+                            Direction::Left => j_col == (hw - 1) - pos,
+                            Direction::Down => i_row == pos,
+                            Direction::Up => i_row == (hw - 1) - pos,
+                        };
+                        let mut v = if on { 1.0 } else { 0.0 };
+                        v += tensor::init::standard_normal(&mut rng) * self.noise;
+                        frame[i_row * hw + j_col] = v.clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        let images = Tensor::from_vec(data, &[n, frames, hw, hw]);
+        let mut shuffle_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        Dataset::new(images, labels, 4).shuffled(&mut shuffle_rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shape_and_balance() {
+        let d = MovingBars::new(6, 4).samples_per_class(3).seed(2).generate();
+        assert_eq!(d.images().dims(), &[12, 4, 6, 6]);
+        assert_eq!(d.class_counts(), vec![3; 4]);
+        assert!(d.images().min() >= 0.0 && d.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MovingBars::new(6, 4).seed(3).generate();
+        let b = MovingBars::new(6, 4).seed(3).generate();
+        assert_eq!(a.images(), b.images());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn bar_actually_moves_between_frames() {
+        let d = MovingBars::new(8, 4).samples_per_class(1).noise(0.0).seed(4).generate();
+        let hw = 8;
+        let plane = hw * hw;
+        // Frame 0 and frame 1 of the first sample must differ (the bar
+        // advanced one pixel).
+        let sample = &d.images().data()[..4 * plane];
+        assert_ne!(&sample[..plane], &sample[plane..2 * plane]);
+    }
+
+    #[test]
+    fn single_frames_cannot_identify_direction() {
+        // A right-moving and a left-moving bar occupy identical positions
+        // in *some* frames; verify the class information is temporal by
+        // checking right/left samples share at least one identical frame
+        // for suitable phases. Statistically: the per-frame marginal
+        // distribution of bar positions is uniform for all classes.
+        let d = MovingBars::new(6, 6).samples_per_class(24).noise(0.0).seed(5).generate();
+        let hw = 6;
+        let plane = hw * hw;
+        // For each class, count how often column 2 is lit in frame 0 —
+        // roughly equal across Right and Left shows frame-0 alone does not
+        // separate them.
+        let mut lit = [0usize; 4];
+        let mut totals = [0usize; 4];
+        for (s, &label) in d.labels().iter().enumerate() {
+            totals[label] += 1;
+            let frame0 = &d.images().data()[s * 6 * plane..s * 6 * plane + plane];
+            if (0..hw).any(|r| frame0[r * hw + 2] > 0.5) {
+                lit[label] += 1;
+            }
+        }
+        if totals[0] > 0 && totals[1] > 0 {
+            let r = lit[0] as f32 / totals[0] as f32;
+            let l = lit[1] as f32 / totals[1] as f32;
+            assert!((r - l).abs() < 0.5, "frame-0 marginals should overlap: {r} vs {l}");
+        }
+    }
+}

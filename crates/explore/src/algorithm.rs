@@ -1,0 +1,158 @@
+//! Algorithm 1 of the paper: per-combination robustness exploration.
+
+use serde::{Deserialize, Serialize};
+
+use attacks::{evaluate_attack, Pgd};
+use nn::AdversarialTarget;
+use snn::StructuralParams;
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::{train_snn, SplitData, Trained};
+
+/// The result of exploring one `(V_th, T)` combination — one execution of
+/// the inner body of the paper's Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationOutcome {
+    /// The structural point that was trained and attacked.
+    pub structural: StructuralParams,
+    /// Clean test accuracy after training.
+    pub clean_accuracy: f32,
+    /// Whether the clean accuracy met `A_th` (Algorithm 1, line 4); the
+    /// security study only runs for learnable combinations.
+    pub learnable: bool,
+    /// `(ε, Robustness(ε))` pairs, one per requested noise budget. Empty if
+    /// the combination was not learnable.
+    pub robustness: Vec<(f32, f32)>,
+}
+
+impl ExplorationOutcome {
+    /// The robustness at the largest evaluated ε, if any.
+    pub fn final_robustness(&self) -> Option<f32> {
+        self.robustness.last().map(|&(_, r)| r)
+    }
+
+    /// The robustness measured at noise budget `eps`, if it was evaluated.
+    pub fn robustness_at(&self, eps: f32) -> Option<f32> {
+        self.robustness
+            .iter()
+            .find(|(e, _)| (e - eps).abs() < 1e-6)
+            .map(|&(_, r)| r)
+    }
+}
+
+/// Trains an SNN at `structural` and measures its robustness across the
+/// noise budgets — Algorithm 1, lines 3–16, for one `(i, j)` cell.
+///
+/// The PGD configuration follows the experiment config (`pgd_steps`
+/// iterations, `α = 2.5·ε/steps`, random start seeded per ε); the attack
+/// set is the first `attack_samples` of the test split, as in the paper's
+/// fixed test set `D`.
+pub fn explore_one(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    epsilons: &[f32],
+) -> ExplorationOutcome {
+    let trained = train_snn(config, data, structural);
+    explore_trained(config, data, structural, &trained, epsilons)
+}
+
+/// Like [`explore_one`] but for an already-trained model, so callers doing
+/// multiple sweeps (e.g. one per figure) train only once.
+pub fn explore_trained<M: nn::Model>(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    trained: &Trained<M>,
+    epsilons: &[f32],
+) -> ExplorationOutcome {
+    let learnable = trained.clean_accuracy >= config.accuracy_threshold;
+    let mut robustness = Vec::new();
+    if learnable {
+        let attack_set = data.test.subset(config.attack_samples);
+        for (k, &eps) in epsilons.iter().enumerate() {
+            let outcome = evaluate_attack(
+                &trained.classifier,
+                &pgd_for(config, eps, k as u64),
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            );
+            robustness.push((eps, outcome.adversarial_accuracy));
+        }
+    }
+    ExplorationOutcome {
+        structural,
+        clean_accuracy: trained.clean_accuracy,
+        learnable,
+        robustness,
+    }
+}
+
+/// Measures an arbitrary classifier (e.g. the CNN baseline) across the same
+/// ε sweep — used for the paper's Figs. 1 and 9 comparisons.
+pub fn sweep_attack(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    target: &dyn AdversarialTarget,
+    epsilons: &[f32],
+) -> Vec<(f32, f32)> {
+    let attack_set = data.test.subset(config.attack_samples);
+    epsilons
+        .iter()
+        .enumerate()
+        .map(|(k, &eps)| {
+            let outcome = evaluate_attack(
+                target,
+                &pgd_for(config, eps, k as u64),
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            );
+            (eps, outcome.adversarial_accuracy)
+        })
+        .collect()
+}
+
+fn pgd_for(config: &ExperimentConfig, eps: f32, salt: u64) -> Pgd {
+    let steps = config.pgd_steps;
+    let alpha = if eps == 0.0 { 0.0 } else { 2.5 * eps / steps as f32 };
+    Pgd::new(eps, alpha, steps, true, config.seed.wrapping_add(salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare_data;
+    use crate::presets;
+
+    #[test]
+    fn unlearnable_combination_skips_security_study() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 1;
+        // An absurd threshold silences the network; it cannot learn.
+        let data = prepare_data(&cfg);
+        let outcome = explore_one(&cfg, &data, StructuralParams::new(500.0, 2), &[0.5]);
+        assert!(!outcome.learnable, "clean accuracy {}", outcome.clean_accuracy);
+        assert!(outcome.robustness.is_empty());
+        assert_eq!(outcome.final_robustness(), None);
+    }
+
+    #[test]
+    fn learnable_combination_reports_monotone_eps_axis() {
+        let cfg = presets::quick();
+        let data = prepare_data(&cfg);
+        let eps = [0.0, 0.5, 1.0];
+        let outcome = explore_one(&cfg, &data, StructuralParams::new(1.0, 6), &eps);
+        assert!(outcome.learnable);
+        assert_eq!(outcome.robustness.len(), 3);
+        // ε = 0 PGD is the identity: robustness equals accuracy on the
+        // attacked subset (which may differ slightly from the full-test
+        // clean accuracy).
+        let r0 = outcome.robustness_at(0.0).unwrap();
+        assert!(r0 >= cfg.accuracy_threshold - 0.2);
+        // Larger ε can only help the attacker on average; allow small noise.
+        let r_last = outcome.final_robustness().unwrap();
+        assert!(r_last <= r0 + 0.1, "robustness rose with ε: {r0} -> {r_last}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Command-line driver for the paper's experiments.
+//!
+//! ```text
+//! spiking-armor fig1                  # CNN vs SNN PGD sweep (Fig. 1)
+//! spiking-armor heatmap [--full]      # (V_th, T) heat maps (Figs. 6-8)
+//! spiking-armor fig9                  # robustness curves vs CNN (Fig. 9)
+//! spiking-armor finetune              # structural fine-tuning (§VI-C)
+//! spiking-armor transfer              # CNN->SNN transfer study
+//! spiking-armor activity              # firing-rate analysis across V_th
+//! ```
+//!
+//! All artefacts (CSV/JSON) are written under `target/figures/`.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{algorithm, corruption, grid, mismatch, pipeline, presets, report, transfer, GridSpec};
+use snn::StructuralParams;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    let out_dir = Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create target/figures");
+    match command {
+        Some("fig1") => fig1(),
+        Some("heatmap") => heatmap(args.iter().any(|a| a == "--full"), out_dir),
+        Some("fig9") => fig9(),
+        Some("finetune") => finetune(),
+        Some("transfer") => transfer_study(),
+        Some("activity") => activity(),
+        Some("corruptions") => corruptions(),
+        Some("defense") => defense_study(),
+        _ => {
+            eprintln!(
+                "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense>"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
+    points
+        .into_iter()
+        .map(|(e, a)| (presets::pixel_eps_to_paper(e), a))
+        .collect()
+}
+
+fn fig1() {
+    let (config, epsilons) = presets::fig1();
+    let data = pipeline::prepare_data(&config);
+    let cnn = pipeline::train_cnn(&config, &data);
+    let snn = pipeline::train_snn(&config, &data, presets::fig1_structural());
+    let mut set = CurveSet::new();
+    set.push(RobustnessCurve::new(
+        "CNN",
+        to_paper_axis(algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons)),
+    ));
+    set.push(RobustnessCurve::new(
+        format!("SNN {}", presets::fig1_structural()),
+        to_paper_axis(algorithm::sweep_attack(&config, &data, &snn.classifier, &epsilons)),
+    ));
+    println!("{}", set.render_table());
+}
+
+fn heatmap(full: bool, out_dir: &Path) {
+    let (config, full_spec, epsilons) = presets::heatmap_grid();
+    let spec = if full {
+        full_spec
+    } else {
+        GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24])
+    };
+    let data = pipeline::prepare_data(&config);
+    let result = grid::run_grid(&config, &data, &spec, &epsilons, 2);
+    report::save_json(&result, &out_dir.join("heatmap_grid.json")).expect("write grid json");
+    fs::write(out_dir.join("summary.md"), report::markdown_summary(&result))
+        .expect("write markdown summary");
+    for (name, kind) in [
+        ("fig6_clean", HeatmapKind::CleanAccuracy),
+        ("fig7_eps1.0", HeatmapKind::AttackedAccuracy { eps: epsilons[0] }),
+        ("fig8_eps1.5", HeatmapKind::AttackedAccuracy { eps: epsilons[1] }),
+    ] {
+        let map = Heatmap::from_grid(&result, kind);
+        println!("{}", map.render_ascii());
+        fs::write(out_dir.join(format!("{name}.csv")), map.to_csv()).expect("write csv");
+    }
+}
+
+fn fig9() {
+    let (config, epsilons) = presets::fig9();
+    let data = pipeline::prepare_data(&config);
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
+    let coarse = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
+    let mut picks = Vec::new();
+    if let Some(s) = coarse.sweet_spot() {
+        picks.push(s.structural);
+    }
+    if let Some(w) = coarse.worst_learnable() {
+        if !picks.contains(&w.structural) {
+            picks.push(w.structural);
+        }
+    }
+    let mut set = CurveSet::new();
+    for sp in picks {
+        let trained = pipeline::train_snn(&config, &data, sp);
+        set.push(RobustnessCurve::new(
+            format!("SNN {sp}"),
+            to_paper_axis(algorithm::sweep_attack(&config, &data, &trained.classifier, &epsilons)),
+        ));
+    }
+    let cnn = pipeline::train_cnn(&config, &data);
+    set.push(RobustnessCurve::new(
+        "CNN",
+        to_paper_axis(algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons)),
+    ));
+    println!("{}", set.render_table());
+}
+
+fn finetune() {
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    let center = StructuralParams::new(1.0, 6);
+    let candidates = mismatch::neighbourhood(center, 0.25, 2);
+    let eps = vec![presets::paper_eps_to_pixel(0.5), presets::paper_eps_to_pixel(1.0)];
+    let result = mismatch::fine_tune_structural(&config, &data, center, &candidates, &eps);
+    println!(
+        "trained at {} (clean {:.1}%); deployment candidates:",
+        result.trained_at,
+        result.trained_accuracy * 100.0
+    );
+    for e in &result.entries {
+        let rob: Vec<String> = e
+            .robustness
+            .iter()
+            .map(|&(eps, r)| format!("eps {:.2}: {:.0}%", presets::pixel_eps_to_paper(eps), r * 100.0))
+            .collect();
+        println!(
+            "  {}  clean {:.1}%  [{}]",
+            e.eval_at,
+            e.clean_accuracy * 100.0,
+            rob.join(", ")
+        );
+    }
+    if let Some(best) = result.best_deployment() {
+        println!("best deployment point: {}", best.eval_at);
+    }
+}
+
+fn transfer_study() {
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    let points = [
+        StructuralParams::new(0.5, 4),
+        StructuralParams::new(1.0, 6),
+        StructuralParams::new(2.0, 8),
+    ];
+    let study = transfer::cnn_to_snn_transfer(
+        &config,
+        &data,
+        &points,
+        presets::paper_eps_to_pixel(1.0),
+    );
+    println!(
+        "CNN clean {:.1}%; PGD crafted on the CNN at paper-eps 1.0:",
+        study.cnn_clean_accuracy * 100.0
+    );
+    for e in &study.entries {
+        println!(
+            "  SNN {}: clean {:.1}% -> transferred {:.1}% (source kept {:.1}%)",
+            e.structural,
+            e.snn_clean_accuracy * 100.0,
+            e.transfer_accuracy * 100.0,
+            e.source_accuracy * 100.0
+        );
+    }
+}
+
+fn activity() {
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    let x = data.test.subset(16);
+    println!("firing rates of trained SNNs across thresholds (T = 6):");
+    for v_th in [0.25f32, 0.5, 1.0, 1.5, 2.0, 2.5] {
+        let trained = pipeline::train_snn(&config, &data, StructuralParams::new(v_th, 6));
+        let (model, params) = trained.classifier.into_parts();
+        let report = model.activity(&params, x.images());
+        println!(
+            "  Vth={v_th:<5} clean {:>5.1}%  overall rate {:.4}",
+            trained.clean_accuracy * 100.0,
+            report.overall_rate()
+        );
+    }
+}
+
+fn corruptions() {
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    let severities = [0.2f32, 0.4, 0.6];
+    for sp in [StructuralParams::new(0.5, 4), StructuralParams::new(1.0, 6), StructuralParams::new(2.0, 8)] {
+        let study = corruption::corruption_robustness(&config, &data, sp, &severities);
+        println!(
+            "SNN {} clean {:.1}%  mean corrupted {:.1}%",
+            study.structural,
+            study.clean_accuracy * 100.0,
+            study.mean_corrupted_accuracy() * 100.0
+        );
+        for e in &study.entries {
+            println!("    {:<15} severity {:.1}: {:.1}%", e.corruption, e.severity, e.accuracy * 100.0);
+        }
+    }
+}
+
+fn defense_study() {
+    let mut config = presets::quick();
+    config.accuracy_threshold = 0.3;
+    let data = pipeline::prepare_data(&config);
+    let sp = StructuralParams::new(1.0, 6);
+    let eps = presets::paper_eps_to_pixel(0.5);
+    println!("adversarial training at {sp} (train budget paper-eps 0.5):");
+    let standard = pipeline::train_snn(&config, &data, sp);
+    let defended = explore::defense::adversarial_train_snn(&config, &data, sp, eps);
+    for (tag, trained) in [("standard", &standard), ("PGD-trained", &defended)] {
+        let outcome = algorithm::explore_trained(
+            &config,
+            &data,
+            sp,
+            trained,
+            &[eps, presets::paper_eps_to_pixel(1.0)],
+        );
+        println!(
+            "  {tag:<12} clean {:.1}%  robustness {:?}",
+            trained.clean_accuracy * 100.0,
+            outcome
+                .robustness
+                .iter()
+                .map(|&(e, r)| format!(
+                    "paper-eps {:.2}: {:.0}%",
+                    presets::pixel_eps_to_paper(e),
+                    r * 100.0
+                ))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Experiment configuration shared by every figure reproduction.
+
+use serde::{Deserialize, Serialize};
+
+use nn::CnnConfig;
+use snn::{Decoder, Encoder, NeuronModel, ResetMode, SnnConfig, StructuralParams, SurrogateShape};
+
+/// The synaptic topology used by both the CNN baseline and its spiking twin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Fully-connected stack with the given hidden widths (cheapest; used
+    /// by the scaled grid presets).
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+    },
+    /// One small conv block + one hidden FC layer.
+    TinyCnn,
+    /// Classic LeNet-5 (2 conv + 3 FC) — the paper's §VI architecture.
+    Lenet5,
+    /// The paper's motivational 5-layer network (3 conv + 2 FC, §I-B).
+    Paper5,
+}
+
+impl Topology {
+    /// Materialises the topology as a [`CnnConfig`] for `hw × hw` inputs.
+    ///
+    /// An MLP is a `CnnConfig` with no conv blocks: the image is flattened
+    /// directly into the first FC layer, so the CNN/SNN builders need no
+    /// special case.
+    pub fn cnn_config(&self, hw: usize, classes: usize) -> CnnConfig {
+        match self {
+            Topology::Mlp { hidden } => CnnConfig {
+                in_channels: 1,
+                in_hw: hw,
+                conv_blocks: Vec::new(),
+                fc_hidden: hidden.clone(),
+                classes,
+            },
+            Topology::TinyCnn => CnnConfig::tiny(hw, classes),
+            Topology::Lenet5 => CnnConfig::lenet5(hw, classes),
+            Topology::Paper5 => CnnConfig::paper5(hw, classes),
+        }
+    }
+}
+
+/// Everything that defines one experiment run except the structural
+/// parameters being explored.
+///
+/// Presets for every paper figure live in [`presets`](crate::presets); the
+/// fields are public so ablations can tweak a preset in place.
+///
+/// # Example
+///
+/// ```
+/// use explore::{ExperimentConfig, Topology};
+///
+/// let mut cfg = explore::presets::quick();
+/// cfg.epochs = 1; // cheaper variant of the preset
+/// assert!(matches!(cfg.topology, Topology::Mlp { .. }));
+/// assert_eq!(cfg.accuracy_threshold, 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Image height = width.
+    pub image_hw: usize,
+    /// Training samples generated per digit class.
+    pub train_per_class: usize,
+    /// Test samples generated per digit class.
+    pub test_per_class: usize,
+    /// Synaptic topology shared by CNN and SNN.
+    pub topology: Topology,
+    /// Training epochs per model.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of test samples each attack evaluation uses (the paper's
+    /// Algorithm 1 browses a fixed test set `D`).
+    pub attack_samples: usize,
+    /// PGD iteration count.
+    pub pgd_steps: usize,
+    /// Learnability threshold `A_th` (paper: 0.70).
+    pub accuracy_threshold: f32,
+    /// Master seed; every derived RNG is seeded from this.
+    pub seed: u64,
+    /// Membrane decay β of all LIF layers.
+    pub beta: f32,
+    /// SuperSpike surrogate slope α.
+    pub alpha: f32,
+    /// LIF reset semantics.
+    pub reset: ResetMode,
+    /// Input encoder.
+    pub encoder: Encoder,
+    /// Output decoder.
+    pub decoder: Decoder,
+    /// Surrogate derivative shape.
+    #[serde(default)]
+    pub surrogate: SurrogateShape,
+    /// Neuron model of every spiking layer.
+    #[serde(default)]
+    pub neuron: NeuronModel,
+    /// When set, load real MNIST IDX files from this directory instead of
+    /// generating SynthDigits (the paper's actual dataset; see
+    /// [`dataset::mnist`]). Images are used at their native 28×28 — the
+    /// configuration's `image_hw` must match.
+    #[serde(default)]
+    pub mnist_dir: Option<String>,
+}
+
+impl ExperimentConfig {
+    /// The SNN configuration at a given structural point, inheriting this
+    /// experiment's neuron-model settings.
+    pub fn snn_config(&self, structural: StructuralParams) -> SnnConfig {
+        SnnConfig {
+            structural,
+            beta: self.beta,
+            alpha: self.alpha,
+            reset: self.reset,
+            encoder: self.encoder,
+            decoder: self.decoder,
+            readout_beta: self.beta,
+            surrogate: self.surrogate,
+            neuron: self.neuron,
+        }
+    }
+
+    /// The shared topology materialised for this experiment's image size.
+    pub fn cnn_config(&self) -> CnnConfig {
+        self.topology.cnn_config(self.image_hw, 10)
+    }
+
+    /// Validates internal consistency (positive sizes, threshold in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.image_hw >= 6, "image_hw must be at least 6");
+        assert!(self.train_per_class > 0, "train_per_class must be positive");
+        assert!(self.test_per_class > 0, "test_per_class must be positive");
+        assert!(self.epochs > 0, "epochs must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.learning_rate > 0.0, "learning_rate must be positive");
+        assert!(self.attack_samples > 0, "attack_samples must be positive");
+        assert!(self.pgd_steps > 0, "pgd_steps must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.accuracy_threshold),
+            "accuracy_threshold must be in [0, 1]"
+        );
+        // Materialising the topology validates pooling divisibility.
+        let _ = self.cnn_config().flattened_len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_topology_has_no_conv_blocks() {
+        let t = Topology::Mlp { hidden: vec![32] };
+        let cfg = t.cnn_config(10, 10);
+        assert!(cfg.conv_blocks.is_empty());
+        assert_eq!(cfg.flattened_len(), 100);
+        assert_eq!(cfg.final_hw(), 10);
+    }
+
+    #[test]
+    fn lenet_topology_matches_preset() {
+        let t = Topology::Lenet5;
+        assert_eq!(t.cnn_config(28, 10), nn::CnnConfig::lenet5(28, 10));
+    }
+
+    #[test]
+    fn quick_preset_validates() {
+        crate::presets::quick().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs must be positive")]
+    fn validate_catches_zero_epochs() {
+        let mut cfg = crate::presets::quick();
+        cfg.epochs = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn experiment_config_serde_round_trip() {
+        let cfg = crate::presets::heatmap_grid().0;
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn old_configs_without_new_fields_deserialize_with_defaults() {
+        // A config JSON from before the surrogate/neuron/mnist_dir fields
+        // existed must still load (serde defaults).
+        let json = r#"{
+            "image_hw": 12, "train_per_class": 8, "test_per_class": 4,
+            "topology": {"Mlp": {"hidden": [16]}},
+            "epochs": 2, "batch_size": 8, "learning_rate": 0.01,
+            "attack_samples": 4, "pgd_steps": 2, "accuracy_threshold": 0.5,
+            "seed": 1, "beta": 0.9, "alpha": 10.0,
+            "reset": "Subtract",
+            "encoder": {"ConstantCurrent": {"gain": 1.0}},
+            "decoder": "MaxMembrane"
+        }"#;
+        let cfg: ExperimentConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.surrogate, SurrogateShape::FastSigmoid);
+        assert_eq!(cfg.neuron, NeuronModel::Lif);
+        assert_eq!(cfg.mnist_dir, None);
+        cfg.validate();
+    }
+
+    #[test]
+    fn snn_config_inherits_neuron_settings() {
+        let mut cfg = crate::presets::quick();
+        cfg.alpha = 25.0;
+        let sc = cfg.snn_config(StructuralParams::new(1.5, 12));
+        assert_eq!(sc.alpha, 25.0);
+        assert_eq!(sc.structural.v_th, 1.5);
+        assert_eq!(sc.structural.time_window, 12);
+    }
+}

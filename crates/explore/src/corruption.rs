@@ -1,0 +1,168 @@
+//! Corruption-robustness study: the non-adversarial control condition.
+//!
+//! The paper attributes robustness variation to structural parameters under
+//! *gradient-crafted* attacks. This study measures the same trained
+//! networks under common corruptions (noise, contrast loss, salt & pepper,
+//! occlusion); comparing the two separates "robust to anything" from
+//! "robust to adversaries specifically".
+
+use serde::{Deserialize, Serialize};
+
+use dataset::corrupt::Corruption;
+use snn::StructuralParams;
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::{train_snn, SplitData};
+
+/// Accuracy under one corruption at one severity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionEntry {
+    /// Corruption label (see [`Corruption::name`]).
+    pub corruption: String,
+    /// Severity in `[0, 1]`.
+    pub severity: f32,
+    /// Accuracy on the corrupted test subset.
+    pub accuracy: f32,
+}
+
+/// The corruption sweep of one trained structural point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionStudy {
+    /// The structural point that was trained.
+    pub structural: StructuralParams,
+    /// Accuracy on the uncorrupted test subset.
+    pub clean_accuracy: f32,
+    /// One entry per (corruption, severity) pair, corruption-major.
+    pub entries: Vec<CorruptionEntry>,
+}
+
+impl CorruptionStudy {
+    /// Mean accuracy across all entries — a single-number corruption
+    /// robustness score.
+    pub fn mean_corrupted_accuracy(&self) -> f32 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.accuracy).sum::<f32>() / self.entries.len() as f32
+    }
+
+    /// The accuracy for a specific corruption/severity, if evaluated.
+    pub fn accuracy_at(&self, corruption: &str, severity: f32) -> Option<f32> {
+        self.entries
+            .iter()
+            .find(|e| e.corruption == corruption && (e.severity - severity).abs() < 1e-6)
+            .map(|e| e.accuracy)
+    }
+}
+
+/// The standard corruption suite (fixed seeds for reproducibility).
+pub fn standard_corruptions() -> Vec<Corruption> {
+    vec![
+        Corruption::GaussianNoise { seed: 101 },
+        Corruption::ContrastLoss,
+        Corruption::SaltPepper { seed: 102 },
+        Corruption::Occlusion { seed: 103 },
+    ]
+}
+
+/// Trains an SNN at `structural` and sweeps the standard corruption suite
+/// across `severities` on the attack subset.
+///
+/// # Panics
+///
+/// Panics if `severities` is empty or contains values outside `[0, 1]`.
+pub fn corruption_robustness(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    severities: &[f32],
+) -> CorruptionStudy {
+    assert!(!severities.is_empty(), "need at least one severity");
+    let trained = train_snn(config, data, structural);
+    let subset = data.test.subset(config.attack_samples);
+    let clean_accuracy = nn::train::evaluate(
+        trained.classifier.model(),
+        trained.classifier.params(),
+        subset.images(),
+        subset.labels(),
+        config.batch_size,
+    );
+    let mut entries = Vec::new();
+    for corruption in standard_corruptions() {
+        for &severity in severities {
+            let corrupted = corruption.apply_dataset(&subset, severity);
+            let accuracy = nn::train::evaluate(
+                trained.classifier.model(),
+                trained.classifier.params(),
+                corrupted.images(),
+                corrupted.labels(),
+                config.batch_size,
+            );
+            entries.push(CorruptionEntry {
+                corruption: corruption.name().to_string(),
+                severity,
+                accuracy,
+            });
+        }
+    }
+    CorruptionStudy {
+        structural,
+        clean_accuracy,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare_data;
+    use crate::presets;
+
+    #[test]
+    fn study_covers_suite_times_severities() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 4;
+        cfg.attack_samples = 10;
+        let data = prepare_data(&cfg);
+        let study = corruption_robustness(
+            &cfg,
+            &data,
+            StructuralParams::new(1.0, 4),
+            &[0.2, 0.6],
+        );
+        assert_eq!(study.entries.len(), 4 * 2);
+        assert!(study.accuracy_at("contrast_loss", 0.2).is_some());
+        assert!(study.accuracy_at("contrast_loss", 0.9).is_none());
+        assert!((0.0..=1.0).contains(&study.mean_corrupted_accuracy()));
+    }
+
+    #[test]
+    fn heavier_corruption_does_not_help_on_average() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 6;
+        cfg.attack_samples = 20;
+        let data = prepare_data(&cfg);
+        let study = corruption_robustness(
+            &cfg,
+            &data,
+            StructuralParams::new(1.0, 6),
+            &[0.1, 0.8],
+        );
+        let mild: f32 = study
+            .entries
+            .iter()
+            .filter(|e| (e.severity - 0.1).abs() < 1e-6)
+            .map(|e| e.accuracy)
+            .sum();
+        let severe: f32 = study
+            .entries
+            .iter()
+            .filter(|e| (e.severity - 0.8).abs() < 1e-6)
+            .map(|e| e.accuracy)
+            .sum();
+        assert!(
+            severe <= mild + 0.2,
+            "severe corruption should not outperform mild: {severe} vs {mild}"
+        );
+    }
+}

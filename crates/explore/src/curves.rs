@@ -1,0 +1,270 @@
+//! Robustness-vs-ε curves — paper Figs. 1 and 9.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// One accuracy-vs-noise-budget curve (one line of the paper's Fig. 9).
+///
+/// # Example
+///
+/// ```
+/// use explore::RobustnessCurve;
+///
+/// let curve = RobustnessCurve::new("SNN (Vth=1, T=48)", vec![(0.0, 0.95), (1.0, 0.80)]);
+/// assert_eq!(curve.at(1.0), Some(0.80));
+/// assert!(curve.area() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessCurve {
+    label: String,
+    points: Vec<(f32, f32)>,
+}
+
+impl RobustnessCurve {
+    /// Creates a labelled curve from `(ε, accuracy)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or the ε axis is not strictly increasing.
+    pub fn new(label: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
+        assert!(!points.is_empty(), "a curve needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "epsilon axis must be strictly increasing"
+        );
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The curve label shown in reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The `(ε, accuracy)` points.
+    pub fn points(&self) -> &[(f32, f32)] {
+        &self.points
+    }
+
+    /// The accuracy at exactly ε (within float tolerance), if present.
+    pub fn at(&self, eps: f32) -> Option<f32> {
+        self.points
+            .iter()
+            .find(|(e, _)| (e - eps).abs() < 1e-6)
+            .map(|&(_, a)| a)
+    }
+
+    /// Area under the curve by the trapezoid rule — a single-number
+    /// robustness summary (higher is more robust across the sweep).
+    pub fn area(&self) -> f32 {
+        if self.points.len() < 2 {
+            return self.points[0].1;
+        }
+        self.points
+            .windows(2)
+            .map(|w| 0.5 * (w[1].1 + w[0].1) * (w[1].0 - w[0].0))
+            .sum()
+    }
+
+    /// The *critical budget*: the smallest ε at which accuracy falls to
+    /// `fraction` of the curve's clean (ε-minimum) accuracy, linearly
+    /// interpolated between measured points. `None` if the curve never
+    /// drops that far.
+    ///
+    /// A single-number robustness summary: a higher critical ε means the
+    /// attacker needs a larger budget to halve the model's accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn critical_eps(&self, fraction: f32) -> Option<f32> {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1], got {fraction}"
+        );
+        let clean = self.points[0].1;
+        let target = clean * fraction;
+        let mut prev = self.points[0];
+        if prev.1 <= target {
+            return Some(prev.0);
+        }
+        for &(e, a) in &self.points[1..] {
+            if a <= target {
+                // Linear interpolation between prev and (e, a).
+                let (e0, a0) = prev;
+                let t = if (a0 - a).abs() < 1e-12 { 1.0 } else { (a0 - target) / (a0 - a) };
+                return Some(e0 + t * (e - e0));
+            }
+            prev = (e, a);
+        }
+        None
+    }
+
+    /// The largest accuracy advantage of `self` over `other` at any shared
+    /// ε — the paper's "up to 85% higher robustness" statistic.
+    pub fn max_advantage_over(&self, other: &RobustnessCurve) -> Option<f32> {
+        let mut best: Option<f32> = None;
+        for &(eps, acc) in &self.points {
+            if let Some(other_acc) = other.at(eps) {
+                let adv = acc - other_acc;
+                best = Some(best.map_or(adv, |b: f32| b.max(adv)));
+            }
+        }
+        best
+    }
+}
+
+/// A set of curves sharing one ε axis, with table rendering and CSV export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CurveSet {
+    curves: Vec<RobustnessCurve>,
+}
+
+impl CurveSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a curve.
+    pub fn push(&mut self, curve: RobustnessCurve) {
+        self.curves.push(curve);
+    }
+
+    /// The contained curves.
+    pub fn curves(&self) -> &[RobustnessCurve] {
+        &self.curves
+    }
+
+    /// Renders an aligned table: one row per ε, one column per curve.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.curves.is_empty() {
+            return out;
+        }
+        let _ = write!(out, "{:>6} |", "eps");
+        for c in &self.curves {
+            let _ = write!(out, " {:>24}", truncate(c.label(), 24));
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(8 + 26 * self.curves.len()));
+        let mut epsilons: Vec<f32> = self
+            .curves
+            .iter()
+            .flat_map(|c| c.points().iter().map(|&(e, _)| e))
+            .collect();
+        epsilons.sort_by(f32::total_cmp);
+        epsilons.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        for eps in epsilons {
+            let _ = write!(out, "{eps:>6.2} |");
+            for c in &self.curves {
+                match c.at(eps) {
+                    Some(a) => {
+                        let _ = write!(out, " {:>23.1}%", a * 100.0);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>24}", "--");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises all curves as long-format CSV (`label,eps,accuracy`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,eps,accuracy\n");
+        for c in &self.curves {
+            for &(e, a) in c.points() {
+                let _ = writeln!(out, "{},{e},{a}", c.label());
+            }
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_axis() {
+        RobustnessCurve::new("x", vec![(1.0, 0.5), (0.5, 0.4)]);
+    }
+
+    #[test]
+    fn area_of_constant_curve() {
+        let c = RobustnessCurve::new("c", vec![(0.0, 0.8), (1.0, 0.8), (2.0, 0.8)]);
+        assert!((c.area() - 1.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn critical_eps_interpolates_linearly() {
+        let c = RobustnessCurve::new("c", vec![(0.0, 1.0), (1.0, 0.0)]);
+        // Accuracy halves exactly at ε = 0.5 on this straight line.
+        assert!((c.critical_eps(0.5).unwrap() - 0.5).abs() < 1e-6);
+        assert!((c.critical_eps(0.25).unwrap() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn critical_eps_none_when_curve_stays_high() {
+        let c = RobustnessCurve::new("c", vec![(0.0, 0.9), (1.0, 0.8)]);
+        assert_eq!(c.critical_eps(0.5), None);
+        // But the degenerate fraction 1.0 is hit immediately.
+        assert_eq!(c.critical_eps(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn more_robust_curve_has_larger_critical_eps() {
+        let robust = RobustnessCurve::new("r", vec![(0.0, 1.0), (1.0, 0.8), (2.0, 0.1)]);
+        let brittle = RobustnessCurve::new("b", vec![(0.0, 1.0), (1.0, 0.1), (2.0, 0.0)]);
+        assert!(robust.critical_eps(0.5).unwrap() > brittle.critical_eps(0.5).unwrap());
+    }
+
+    #[test]
+    fn max_advantage_matches_pointwise_gap() {
+        let snn = RobustnessCurve::new("snn", vec![(0.0, 0.9), (1.0, 0.85), (1.5, 0.8)]);
+        let cnn = RobustnessCurve::new("cnn", vec![(0.0, 0.95), (1.0, 0.3), (1.5, 0.05)]);
+        let adv = snn.max_advantage_over(&cnn).unwrap();
+        assert!((adv - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advantage_is_none_without_shared_eps() {
+        let a = RobustnessCurve::new("a", vec![(0.0, 1.0)]);
+        let b = RobustnessCurve::new("b", vec![(0.5, 1.0)]);
+        assert_eq!(a.max_advantage_over(&b), None);
+    }
+
+    #[test]
+    fn table_renders_all_curves_and_epsilons() {
+        let mut set = CurveSet::new();
+        set.push(RobustnessCurve::new("snn", vec![(0.0, 0.9), (1.0, 0.8)]));
+        set.push(RobustnessCurve::new("cnn", vec![(0.0, 0.95), (1.0, 0.2)]));
+        let table = set.render_table();
+        assert!(table.contains("snn"));
+        assert!(table.contains("cnn"));
+        assert!(table.contains("0.00"));
+        assert!(table.contains("1.00"));
+        assert!(table.contains("80.0%"));
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let mut set = CurveSet::new();
+        set.push(RobustnessCurve::new("m", vec![(0.0, 1.0)]));
+        assert_eq!(set.to_csv(), "label,eps,accuracy\nm,0,1\n");
+    }
+}

@@ -1,0 +1,159 @@
+//! Adversarial training and its composition with structural sweet spots.
+//!
+//! The paper studies *inherent* robustness from structural parameters; the
+//! obvious follow-up (its "future work" direction) is whether the standard
+//! *trained* defense — PGD adversarial training (Madry et al., 2018) —
+//! stacks with a good `(V_th, T)` choice. This module trains SNNs on
+//! PGD-perturbed batches and evaluates them with the shared Algorithm 1
+//! machinery, so defended and undefended networks are directly comparable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ad::Tape;
+use attacks::{Attack, Pgd};
+use nn::{Adam, Classifier, Model, Optimizer, Params};
+use snn::{SpikingCnn, StructuralParams};
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::{SplitData, Trained};
+
+/// Trains the spiking twin with PGD adversarial training: every mini-batch
+/// is perturbed against the *current* weights (budget `train_eps`, pixel
+/// scale) before the gradient step.
+///
+/// Uses the same per-cell seeding as
+/// [`train_snn`](crate::pipeline::train_snn), so a defended and an
+/// undefended network at the same structural point start from identical
+/// weights.
+///
+/// # Panics
+///
+/// Panics if `train_eps` is negative or the configuration is invalid.
+pub fn adversarial_train_snn(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    train_eps: f32,
+) -> Trained<SpikingCnn> {
+    assert!(train_eps >= 0.0, "training budget must be non-negative");
+    config.validate();
+    let cell_seed = config
+        .seed
+        .wrapping_add(u64::from(structural.v_th.to_bits()))
+        .wrapping_add((structural.time_window as u64).wrapping_mul(0x9E37_79B9));
+    let mut rng = StdRng::seed_from_u64(cell_seed);
+    let mut params = Params::new();
+    let model = SpikingCnn::new(
+        &mut params,
+        &mut rng,
+        &config.cnn_config(),
+        &config.snn_config(structural),
+    );
+    let mut opt = Adam::new(config.learning_rate);
+    // A short inner PGD (half the evaluation steps) keeps the cost of the
+    // inner maximisation bounded, as is standard for adversarial training.
+    let inner_steps = (config.pgd_steps / 2).max(1);
+    let attack = Pgd::new(
+        train_eps,
+        if train_eps == 0.0 { 0.0 } else { 2.5 * train_eps / inner_steps as f32 },
+        inner_steps,
+        true,
+        config.seed,
+    );
+    let n = data.train.len();
+    // Clean warm-up for the first third of the epochs: attacking a random
+    // network produces meaningless perturbations and destabilises early
+    // training (standard adversarial-training practice).
+    let warmup = config.epochs / 3;
+    for epoch in 0..config.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        rand::seq::SliceRandom::shuffle(order.as_mut_slice(), &mut rng);
+        for chunk in order.chunks(config.batch_size) {
+            let (batch, labels) =
+                nn::train::gather_batch(data.train.images(), data.train.labels(), chunk);
+            let batch = if epoch >= warmup && train_eps > 0.0 {
+                // Inner maximisation against the current weights.
+                let victim = Classifier::new(model.clone(), params.clone());
+                attack.perturb(&victim, &batch, &labels)
+            } else {
+                batch
+            };
+            // Outer minimisation on the (possibly perturbed) batch.
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let input = tape.leaf(batch);
+            let loss = model.forward(&tape, &bound, input).cross_entropy(&labels);
+            let grads = tape.backward(loss);
+            let mut grad_tensors = bound.gradients(&grads);
+            // Sharp surrogates occasionally spike the gradients on
+            // adversarial batches; clip for stability.
+            nn::clip_global_norm(&mut grad_tensors, 5.0);
+            opt.step(&mut params, &grad_tensors);
+        }
+    }
+    let clean_accuracy = nn::train::evaluate(
+        &model,
+        &params,
+        data.test.images(),
+        data.test.labels(),
+        config.batch_size,
+    );
+    Trained {
+        classifier: Classifier::new(model, params),
+        clean_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::explore_trained;
+    use crate::pipeline::{prepare_data, train_snn};
+    use crate::presets;
+
+    #[test]
+    fn zero_budget_adversarial_training_matches_standard_training() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 3;
+        cfg.train_per_class = 12;
+        let data = prepare_data(&cfg);
+        let sp = StructuralParams::new(1.0, 4);
+        let defended = adversarial_train_snn(&cfg, &data, sp, 0.0);
+        let standard = train_snn(&cfg, &data, sp);
+        // ε = 0 PGD is the identity, same seeds, same batches: the runs
+        // must coincide exactly.
+        assert_eq!(defended.clean_accuracy, standard.clean_accuracy);
+    }
+
+    #[test]
+    fn adversarial_training_improves_robustness_at_training_budget() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 8;
+        cfg.attack_samples = 20;
+        cfg.pgd_steps = 5;
+        cfg.accuracy_threshold = 0.3;
+        let data = prepare_data(&cfg);
+        let sp = StructuralParams::new(1.0, 6);
+        let eps = presets::paper_eps_to_pixel(0.5);
+
+        let standard = train_snn(&cfg, &data, sp);
+        let defended = adversarial_train_snn(&cfg, &data, sp, eps);
+
+        let rob = |t: &Trained<SpikingCnn>| {
+            explore_trained(&cfg, &data, sp, t, &[eps])
+                .robustness_at(eps)
+                .unwrap_or(0.0)
+        };
+        let r_std = rob(&standard);
+        let r_def = rob(&defended);
+        assert!(
+            r_def >= r_std,
+            "adversarial training should not reduce robustness: {r_def} vs {r_std}"
+        );
+        assert!(
+            r_def > 0.0,
+            "a defended network must retain some accuracy at its training budget"
+        );
+    }
+}

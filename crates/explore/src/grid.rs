@@ -1,0 +1,259 @@
+//! The `(V_th, T)` grid runner — the outer loops of Algorithm 1, executed in
+//! parallel across worker threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use snn::StructuralParams;
+
+use crate::algorithm::{explore_one, ExplorationOutcome};
+use crate::config::ExperimentConfig;
+use crate::pipeline::SplitData;
+
+/// The exploration grid: every `(V_th, T)` cross product member is trained
+/// and attacked.
+///
+/// # Example
+///
+/// ```
+/// use explore::GridSpec;
+///
+/// let grid = GridSpec::new(vec![0.5, 1.0], vec![8, 16]);
+/// assert_eq!(grid.cells().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    v_ths: Vec<f32>,
+    windows: Vec<usize>,
+}
+
+impl GridSpec {
+    /// Creates a grid from the two axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty, unsorted, or contains invalid values
+    /// (non-positive thresholds or zero windows).
+    pub fn new(v_ths: Vec<f32>, windows: Vec<usize>) -> Self {
+        assert!(!v_ths.is_empty() && !windows.is_empty(), "grid axes must be non-empty");
+        assert!(
+            v_ths.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly increasing"
+        );
+        assert!(
+            windows.windows(2).all(|w| w[0] < w[1]),
+            "time windows must be strictly increasing"
+        );
+        assert!(v_ths.iter().all(|&v| v > 0.0), "thresholds must be positive");
+        assert!(windows.iter().all(|&t| t > 0), "windows must be positive");
+        Self { v_ths, windows }
+    }
+
+    /// The paper's threshold axis, `V_th ∈ {0.25, 0.5, …, 2.5}`.
+    pub fn paper_v_ths() -> Vec<f32> {
+        (1..=10).map(|i| i as f32 * 0.25).collect()
+    }
+
+    /// The threshold axis values.
+    pub fn v_ths(&self) -> &[f32] {
+        &self.v_ths
+    }
+
+    /// The time-window axis values.
+    pub fn windows(&self) -> &[usize] {
+        &self.windows
+    }
+
+    /// Iterates the cross product in row-major `(window, v_th)` order.
+    pub fn cells(&self) -> impl Iterator<Item = StructuralParams> + '_ {
+        self.windows.iter().flat_map(move |&t| {
+            self.v_ths
+                .iter()
+                .map(move |&v| StructuralParams::new(v, t))
+        })
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.v_ths.len() * self.windows.len()
+    }
+
+    /// `true` for a grid with no cells (unconstructible via [`GridSpec::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// All per-cell outcomes of a grid exploration, in the order produced by
+/// [`GridSpec::cells`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridResult {
+    /// The grid that was explored.
+    pub spec: GridSpec,
+    /// The ε sweep every learnable cell was attacked with.
+    pub epsilons: Vec<f32>,
+    /// One outcome per cell, aligned with [`GridSpec::cells`].
+    pub outcomes: Vec<ExplorationOutcome>,
+}
+
+impl GridResult {
+    /// The outcome at a specific structural point, if it is in the grid.
+    pub fn outcome_at(&self, v_th: f32, window: usize) -> Option<&ExplorationOutcome> {
+        self.outcomes.iter().find(|o| {
+            (o.structural.v_th - v_th).abs() < 1e-6 && o.structural.time_window == window
+        })
+    }
+
+    /// Fraction of cells that met the learnability threshold.
+    pub fn learnable_fraction(&self) -> f32 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.learnable).count() as f32 / self.outcomes.len() as f32
+    }
+
+    /// The learnable cell with the highest robustness at the largest ε
+    /// (the "sweet spot" of the paper's §VI-C), if any cell is learnable.
+    pub fn sweet_spot(&self) -> Option<&ExplorationOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.learnable)
+            .max_by(|a, b| {
+                let ra = a.final_robustness().unwrap_or(0.0);
+                let rb = b.final_robustness().unwrap_or(0.0);
+                ra.total_cmp(&rb)
+            })
+    }
+
+    /// The learnable cell with the *lowest* robustness at the largest ε —
+    /// the counterexample to unconditional inherent robustness.
+    pub fn worst_learnable(&self) -> Option<&ExplorationOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.learnable)
+            .min_by(|a, b| {
+                let ra = a.final_robustness().unwrap_or(0.0);
+                let rb = b.final_robustness().unwrap_or(0.0);
+                ra.total_cmp(&rb)
+            })
+    }
+}
+
+/// Runs Algorithm 1 over the whole grid, using `threads` worker threads
+/// (cells are independent trainings, so this scales linearly).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_grid(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    spec: &GridSpec,
+    epsilons: &[f32],
+    threads: usize,
+) -> GridResult {
+    assert!(threads > 0, "need at least one worker thread");
+    let cells: Vec<StructuralParams> = spec.cells().collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<ExplorationOutcome>>> = Mutex::new(vec![None; cells.len()]);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(cells.len()) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= cells.len() {
+                    break;
+                }
+                let outcome = explore_one(config, data, cells[idx], epsilons);
+                results.lock().expect("result mutex poisoned")[idx] = Some(outcome);
+            });
+        }
+    })
+    .expect("a grid worker thread panicked");
+    let outcomes = results
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|o| o.expect("every cell is visited exactly once"))
+        .collect();
+    GridResult {
+        spec: spec.clone(),
+        epsilons: epsilons.to_vec(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare_data;
+    use crate::presets;
+
+    #[test]
+    fn cells_enumerate_cross_product_row_major() {
+        let g = GridSpec::new(vec![0.5, 1.0], vec![4, 8]);
+        let cells: Vec<_> = g.cells().collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0], StructuralParams::new(0.5, 4));
+        assert_eq!(cells[1], StructuralParams::new(1.0, 4));
+        assert_eq!(cells[2], StructuralParams::new(0.5, 8));
+    }
+
+    #[test]
+    fn paper_threshold_axis() {
+        let v = GridSpec::paper_v_ths();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[0], 0.25);
+        assert_eq!(v[9], 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_axis() {
+        GridSpec::new(vec![1.0, 0.5], vec![4]);
+    }
+
+    #[test]
+    fn parallel_grid_matches_grid_shape_and_is_deterministic() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 1;
+        cfg.attack_samples = 8;
+        let data = prepare_data(&cfg);
+        let spec = GridSpec::new(vec![0.5, 2.0], vec![4]);
+        let eps = [0.5];
+        let a = run_grid(&cfg, &data, &spec, &eps, 2);
+        let b = run_grid(&cfg, &data, &spec, &eps, 1);
+        assert_eq!(a.outcomes.len(), 2);
+        // Thread count must not change results (per-cell seeding).
+        assert_eq!(a, b);
+        assert!(a.outcome_at(0.5, 4).is_some());
+        assert!(a.outcome_at(9.9, 4).is_none());
+    }
+}
+
+#[cfg(test)]
+mod outcome_query_tests {
+    use super::*;
+    use crate::algorithm::ExplorationOutcome;
+
+    #[test]
+    fn learnable_fraction_counts_correctly() {
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4, 8]);
+        let outcomes: Vec<ExplorationOutcome> = spec
+            .cells()
+            .enumerate()
+            .map(|(i, sp)| ExplorationOutcome {
+                structural: sp,
+                clean_accuracy: 0.5,
+                learnable: i % 2 == 0,
+                robustness: vec![],
+            })
+            .collect();
+        let grid = GridResult { spec, epsilons: vec![], outcomes };
+        assert_eq!(grid.learnable_fraction(), 0.5);
+        // No attacked cells: extremes still resolve among learnable cells
+        // (final robustness defaults to 0 for ranking purposes).
+        assert!(grid.sweet_spot().is_some());
+    }
+}

@@ -1,0 +1,337 @@
+//! Accuracy heat maps over the `(V_th, T)` grid — paper Figs. 6, 7 and 8.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::GridResult;
+
+/// Which quantity a heat map displays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeatmapKind {
+    /// Clean test accuracy (paper Fig. 6).
+    CleanAccuracy,
+    /// Accuracy under PGD at the given ε (paper Figs. 7 and 8).
+    AttackedAccuracy {
+        /// The noise budget whose robustness column is displayed.
+        eps: f32,
+    },
+    /// Fraction of clean accuracy *retained* under PGD at the given ε —
+    /// the quantity behind the paper's "loses only 6% of its initial
+    /// accuracy" phrasing. `1.0` means no degradation.
+    Retention {
+        /// The noise budget whose retention is displayed.
+        eps: f32,
+    },
+}
+
+/// A dense `(window × v_th)` matrix of accuracies extracted from a
+/// [`GridResult`], with rendering and CSV export.
+///
+/// Rows are time windows in *descending* order (largest `T` on top, matching
+/// the paper's figures), columns are thresholds ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    kind: HeatmapKind,
+    v_ths: Vec<f32>,
+    windows_desc: Vec<usize>,
+    /// Row-major `[window][v_th]`; `None` where the cell was not learnable
+    /// and the requested quantity is an attacked accuracy.
+    values: Vec<Option<f32>>,
+}
+
+impl Heatmap {
+    /// Extracts a heat map from a grid result.
+    ///
+    /// For [`HeatmapKind::AttackedAccuracy`], non-learnable cells get `None`
+    /// (the paper does not attack them); for clean accuracy every cell has
+    /// a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attacked heat map requests an ε the grid never
+    /// evaluated on any learnable cell.
+    pub fn from_grid(grid: &GridResult, kind: HeatmapKind) -> Self {
+        let v_ths = grid.spec.v_ths().to_vec();
+        let mut windows_desc = grid.spec.windows().to_vec();
+        windows_desc.reverse();
+        let mut values = Vec::with_capacity(v_ths.len() * windows_desc.len());
+        let mut eps_seen = false;
+        for &t in &windows_desc {
+            for &v in &v_ths {
+                let outcome = grid
+                    .outcome_at(v, t)
+                    .expect("grid result covers its own spec");
+                let value = match kind {
+                    HeatmapKind::CleanAccuracy => Some(outcome.clean_accuracy),
+                    HeatmapKind::AttackedAccuracy { eps } => {
+                        let r = outcome.robustness_at(eps);
+                        eps_seen |= r.is_some();
+                        r
+                    }
+                    HeatmapKind::Retention { eps } => {
+                        let r = outcome
+                            .robustness_at(eps)
+                            .filter(|_| outcome.clean_accuracy > 0.0)
+                            .map(|r| r / outcome.clean_accuracy);
+                        eps_seen |= r.is_some();
+                        r
+                    }
+                };
+                values.push(value);
+            }
+        }
+        if let HeatmapKind::AttackedAccuracy { eps } | HeatmapKind::Retention { eps } = kind {
+            assert!(
+                eps_seen || values.iter().all(|v| v.is_none()),
+                "no learnable grid cell was evaluated at eps {eps}"
+            );
+        }
+        Self {
+            kind,
+            v_ths,
+            windows_desc,
+            values,
+        }
+    }
+
+    /// The displayed quantity.
+    pub fn kind(&self) -> HeatmapKind {
+        self.kind
+    }
+
+    /// The threshold axis (ascending).
+    pub fn v_ths(&self) -> &[f32] {
+        &self.v_ths
+    }
+
+    /// The window axis as displayed (descending, largest `T` first).
+    pub fn windows_desc(&self) -> &[usize] {
+        &self.windows_desc
+    }
+
+    /// Iterates `(window, v_th, value)` in display order (row-major, top
+    /// row first).
+    pub fn cells(&self) -> impl Iterator<Item = (usize, f32, Option<f32>)> + '_ {
+        self.windows_desc.iter().flat_map(move |&t| {
+            self.v_ths.iter().enumerate().map(move |(col, &v)| {
+                let row = self
+                    .windows_desc
+                    .iter()
+                    .position(|&w| w == t)
+                    .expect("window from own axis");
+                (t, v, self.values[row * self.v_ths.len() + col])
+            })
+        })
+    }
+
+    /// The value at `(window, v_th)` if present.
+    pub fn value_at(&self, v_th: f32, window: usize) -> Option<f32> {
+        let col = self.v_ths.iter().position(|&v| (v - v_th).abs() < 1e-6)?;
+        let row = self.windows_desc.iter().position(|&t| t == window)?;
+        self.values[row * self.v_ths.len() + col]
+    }
+
+    /// The largest value in the map, if any cell has one.
+    pub fn max_value(&self) -> Option<f32> {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .max_by(f32::total_cmp)
+    }
+
+    /// The smallest value in the map, if any cell has one.
+    pub fn min_value(&self) -> Option<f32> {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .min_by(f32::total_cmp)
+    }
+
+    /// Renders the map as aligned ASCII with one row per time window
+    /// (largest on top) and accuracies in percent; non-learnable cells show
+    /// `--`.
+    pub fn render_ascii(&self) -> String {
+        let title = match self.kind {
+            HeatmapKind::CleanAccuracy => "clean accuracy [%]".to_string(),
+            HeatmapKind::AttackedAccuracy { eps } => {
+                format!("accuracy under PGD eps={eps} [%]")
+            }
+            HeatmapKind::Retention { eps } => {
+                format!("accuracy retained under PGD eps={eps} [%]")
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = write!(out, "{:>6} |", "T \\ Vth");
+        for v in &self.v_ths {
+            let _ = write!(out, "{v:>6.2}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(9 + 6 * self.v_ths.len()));
+        for (row, &t) in self.windows_desc.iter().enumerate() {
+            let _ = write!(out, "{t:>7} |");
+            for col in 0..self.v_ths.len() {
+                match self.values[row * self.v_ths.len() + col] {
+                    Some(v) => {
+                        let _ = write!(out, "{:>6.1}", v * 100.0);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>6}", "--");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises the map as CSV (`window,v_th,value`; missing cells have an
+    /// empty value field), ready for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_window,v_th,value\n");
+        for (row, &t) in self.windows_desc.iter().enumerate() {
+            for (col, &v) in self.v_ths.iter().enumerate() {
+                match self.values[row * self.v_ths.len() + col] {
+                    Some(val) => {
+                        let _ = writeln!(out, "{t},{v},{val}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{t},{v},");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ExplorationOutcome;
+    use crate::grid::{GridResult, GridSpec};
+
+    fn fake_grid() -> GridResult {
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4, 8]);
+        let outcomes = spec
+            .cells()
+            .map(|sp| {
+                let learnable = sp.v_th < 0.9;
+                ExplorationOutcome {
+                    structural: sp,
+                    clean_accuracy: 0.9 - sp.v_th * 0.1,
+                    learnable,
+                    robustness: if learnable {
+                        vec![(1.0, 0.5 + sp.time_window as f32 / 100.0)]
+                    } else {
+                        vec![]
+                    },
+                }
+            })
+            .collect();
+        GridResult {
+            spec,
+            epsilons: vec![1.0],
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn clean_heatmap_covers_every_cell() {
+        let h = Heatmap::from_grid(&fake_grid(), HeatmapKind::CleanAccuracy);
+        let v = h.value_at(0.5, 4).unwrap();
+        assert!((v - 0.85).abs() < 1e-5);
+        let v = h.value_at(1.0, 8).unwrap();
+        assert!((v - 0.8).abs() < 1e-5);
+        assert!(h.max_value().unwrap() > h.min_value().unwrap());
+    }
+
+    #[test]
+    fn attacked_heatmap_masks_unlearnable_cells() {
+        let h = Heatmap::from_grid(&fake_grid(), HeatmapKind::AttackedAccuracy { eps: 1.0 });
+        let v = h.value_at(0.5, 8).unwrap();
+        assert!((v - 0.58).abs() < 1e-5);
+        assert_eq!(h.value_at(1.0, 8), None);
+    }
+
+    #[test]
+    fn ascii_rendering_places_largest_window_first() {
+        let h = Heatmap::from_grid(&fake_grid(), HeatmapKind::CleanAccuracy);
+        let text = h.render_ascii();
+        let row8 = text.lines().position(|l| l.trim_start().starts_with("8 |"));
+        let row4 = text.lines().position(|l| l.trim_start().starts_with("4 |"));
+        assert!(row8.unwrap() < row4.unwrap(), "{text}");
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let h = Heatmap::from_grid(&fake_grid(), HeatmapKind::AttackedAccuracy { eps: 1.0 });
+        let csv = h.to_csv();
+        assert!(csv.starts_with("time_window,v_th,value\n"));
+        assert_eq!(csv.lines().count(), 1 + 4);
+        // Unlearnable cell -> trailing empty field.
+        assert!(csv.lines().any(|l| l.ends_with(',')), "{csv}");
+    }
+
+    #[test]
+    fn missing_structural_point_is_none() {
+        let h = Heatmap::from_grid(&fake_grid(), HeatmapKind::CleanAccuracy);
+        assert_eq!(h.value_at(2.0, 4), None);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::algorithm::ExplorationOutcome;
+    use crate::grid::{GridResult, GridSpec};
+
+    /// A grid where nothing is learnable: the attacked map is all-masked
+    /// and must not panic (matches Algorithm 1 skipping everything).
+    #[test]
+    fn fully_unlearnable_grid_masks_everything() {
+        let spec = GridSpec::new(vec![1.0, 2.0], vec![4]);
+        let outcomes = spec
+            .cells()
+            .map(|sp| ExplorationOutcome {
+                structural: sp,
+                clean_accuracy: 0.1,
+                learnable: false,
+                robustness: vec![],
+            })
+            .collect();
+        let grid = GridResult { spec, epsilons: vec![0.3], outcomes };
+        let map = Heatmap::from_grid(&grid, HeatmapKind::AttackedAccuracy { eps: 0.3 });
+        assert_eq!(map.max_value(), None);
+        assert_eq!(map.min_value(), None);
+        assert!(map.render_ascii().contains("--"));
+        assert!(grid.sweet_spot().is_none());
+        assert!(grid.worst_learnable().is_none());
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use crate::algorithm::ExplorationOutcome;
+    use crate::grid::{GridResult, GridSpec};
+
+    #[test]
+    fn retention_divides_by_clean_accuracy() {
+        let spec = GridSpec::new(vec![1.0], vec![4]);
+        let outcomes = vec![ExplorationOutcome {
+            structural: snn::StructuralParams::new(1.0, 4),
+            clean_accuracy: 0.8,
+            learnable: true,
+            robustness: vec![(0.3, 0.4)],
+        }];
+        let grid = GridResult { spec, epsilons: vec![0.3], outcomes };
+        let map = Heatmap::from_grid(&grid, HeatmapKind::Retention { eps: 0.3 });
+        let v = map.value_at(1.0, 4).unwrap();
+        assert!((v - 0.5).abs() < 1e-6, "0.4 / 0.8 = 0.5, got {v}");
+        assert!(map.render_ascii().contains("retained"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Systematic exploration of SNN adversarial robustness across structural
+//! parameters — the primary contribution of the reproduced paper.
+//!
+//! The paper asks (its §I-A): how do the spiking threshold `V_th` and the
+//! time window `T` condition an SNN's robustness to white-box attacks? The
+//! answer is produced by a two-stage methodology (its Fig. 5 / Algorithm 1),
+//! implemented here as:
+//!
+//! 1. **Learnability study** — [`run_grid`](grid::run_grid) trains one SNN
+//!    per `(V_th, T)` combination and filters out combinations whose clean
+//!    accuracy misses the threshold `A_th` (paper: 70%).
+//! 2. **Security study** — for every learnable combination,
+//!    [`explore_one`](algorithm::explore_one) sweeps PGD noise budgets ε and
+//!    records `Robustness(ε) = 1 − Adv/|D|`.
+//!
+//! The figure-level artefacts are then assembled from the grid:
+//!
+//! * [`heatmap::Heatmap`] — accuracy heat maps over `(V_th, T)`
+//!   (paper Figs. 6–8),
+//! * [`curves::RobustnessCurve`] — accuracy-vs-ε curves for
+//!   selected combinations against the CNN baseline (paper Figs. 1 and 9),
+//! * [`report::RobustnessClass`] — the high/medium/low
+//!   classification of §VI-C.
+//!
+//! [`presets`] holds one ready-made [`ExperimentConfig`] per paper figure,
+//! scaled to CPU budgets, plus [`presets::paper_scale`] with the paper's
+//! original dimensions (28×28 LeNet-5, T up to 80).
+//!
+//! # Example
+//!
+//! Train one SNN at the paper's default structural point and measure its
+//! robustness at ε = 0.5 (tiny preset, runs in seconds):
+//!
+//! ```
+//! use explore::{algorithm, presets};
+//! use snn::StructuralParams;
+//!
+//! let config = presets::quick();
+//! let data = explore::pipeline::prepare_data(&config);
+//! let outcome = algorithm::explore_one(
+//!     &config,
+//!     &data,
+//!     StructuralParams::new(1.0, 6),
+//!     &[0.5],
+//! );
+//! assert_eq!(outcome.robustness.len(), 1);
+//! ```
+
+pub mod algorithm;
+pub mod config;
+pub mod corruption;
+pub mod curves;
+pub mod defense;
+pub mod grid;
+pub mod heatmap;
+pub mod mismatch;
+pub mod pipeline;
+pub mod presets;
+pub mod report;
+pub mod stats;
+pub mod transfer;
+pub mod viz;
+
+pub use algorithm::ExplorationOutcome;
+pub use corruption::CorruptionStudy;
+pub use mismatch::MismatchResult;
+pub use transfer::TransferStudy;
+pub use config::{ExperimentConfig, Topology};
+pub use curves::RobustnessCurve;
+pub use grid::{GridResult, GridSpec};
+pub use heatmap::Heatmap;
+pub use report::RobustnessClass;

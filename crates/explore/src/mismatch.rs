@@ -1,0 +1,192 @@
+//! Structural fine-tuning without retraining — the design step of the
+//! paper's §VI-C ("we design trustworthy SNNs by fine-tuning their
+//! structural parameters around the previously-found sweet spots").
+//!
+//! Because `V_th` and `T` are *inference-time* parameters of the dynamics
+//! (not weights), a trained network can be re-evaluated at neighbouring
+//! structural points without touching its synapses. This module measures
+//! how clean accuracy and robustness move as the deployment point slides
+//! away from the training point.
+
+use serde::{Deserialize, Serialize};
+
+use attacks::{evaluate_attack, Pgd};
+use nn::Classifier;
+use snn::StructuralParams;
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::{train_snn, SplitData};
+
+/// Clean and attacked accuracy of a trained network evaluated at one
+/// (possibly different) structural point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MismatchEntry {
+    /// The structural point used at evaluation time.
+    pub eval_at: StructuralParams,
+    /// Clean accuracy at that point.
+    pub clean_accuracy: f32,
+    /// `(ε, robustness)` pairs at that point.
+    pub robustness: Vec<(f32, f32)>,
+}
+
+/// The outcome of a structural fine-tuning sweep around one training point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MismatchResult {
+    /// The structural point the weights were trained at.
+    pub trained_at: StructuralParams,
+    /// Clean accuracy at the training point itself.
+    pub trained_accuracy: f32,
+    /// One entry per candidate deployment point (the training point is
+    /// included as its own entry).
+    pub entries: Vec<MismatchEntry>,
+}
+
+impl MismatchResult {
+    /// The candidate with the best robustness at the largest ε, if any
+    /// entry was evaluated with attacks.
+    pub fn best_deployment(&self) -> Option<&MismatchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !e.robustness.is_empty())
+            .max_by(|a, b| {
+                let ra = a.robustness.last().map_or(0.0, |&(_, r)| r);
+                let rb = b.robustness.last().map_or(0.0, |&(_, r)| r);
+                ra.total_cmp(&rb)
+            })
+    }
+
+    /// The entry evaluated at the training point, if present.
+    pub fn at_training_point(&self) -> Option<&MismatchEntry> {
+        self.entries.iter().find(|e| e.eval_at == self.trained_at)
+    }
+}
+
+/// Trains once at `trained_at`, then evaluates the *same weights* at every
+/// candidate structural point (clean accuracy + PGD robustness across
+/// `epsilons`).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or the configuration is invalid.
+pub fn fine_tune_structural(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    trained_at: StructuralParams,
+    candidates: &[StructuralParams],
+    epsilons: &[f32],
+) -> MismatchResult {
+    assert!(!candidates.is_empty(), "need at least one candidate point");
+    let trained = train_snn(config, data, trained_at);
+    let (model, params) = trained.classifier.into_parts();
+    let attack_set = data.test.subset(config.attack_samples);
+    let mut entries = Vec::with_capacity(candidates.len());
+    for &candidate in candidates {
+        let mut deployed = model.clone();
+        deployed.set_structural(candidate);
+        let clean_accuracy = nn::train::evaluate(
+            &deployed,
+            &params,
+            data.test.images(),
+            data.test.labels(),
+            config.batch_size,
+        );
+        let classifier = Classifier::new(deployed, params.clone());
+        let mut robustness = Vec::with_capacity(epsilons.len());
+        for (k, &eps) in epsilons.iter().enumerate() {
+            let alpha = if eps == 0.0 { 0.0 } else { 2.5 * eps / config.pgd_steps as f32 };
+            let attack = Pgd::new(eps, alpha, config.pgd_steps, true, config.seed.wrapping_add(k as u64));
+            let outcome = evaluate_attack(
+                &classifier,
+                &attack,
+                attack_set.images(),
+                attack_set.labels(),
+                config.batch_size,
+            );
+            robustness.push((eps, outcome.adversarial_accuracy));
+        }
+        entries.push(MismatchEntry {
+            eval_at: candidate,
+            clean_accuracy,
+            robustness,
+        });
+    }
+    MismatchResult {
+        trained_at,
+        trained_accuracy: trained.clean_accuracy,
+        entries,
+    }
+}
+
+/// The four axis-aligned neighbours of `center` within the given axes —
+/// the "around the sweet spot" candidate set of §VI-C, plus the centre
+/// itself.
+pub fn neighbourhood(
+    center: StructuralParams,
+    v_step: f32,
+    t_step: usize,
+) -> Vec<StructuralParams> {
+    let mut out = vec![center];
+    if center.v_th - v_step > 0.0 {
+        out.push(StructuralParams::new(center.v_th - v_step, center.time_window));
+    }
+    out.push(StructuralParams::new(center.v_th + v_step, center.time_window));
+    if center.time_window > t_step {
+        out.push(StructuralParams::new(center.v_th, center.time_window - t_step));
+    }
+    out.push(StructuralParams::new(center.v_th, center.time_window + t_step));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare_data;
+    use crate::presets;
+
+    #[test]
+    fn neighbourhood_contains_centre_and_respects_bounds() {
+        let n = neighbourhood(StructuralParams::new(0.25, 2), 0.5, 4);
+        assert!(n.contains(&StructuralParams::new(0.25, 2)));
+        // v − step and t − step would be invalid, so they are skipped.
+        assert_eq!(n.len(), 3);
+        let n = neighbourhood(StructuralParams::new(1.0, 8), 0.25, 2);
+        assert_eq!(n.len(), 5);
+    }
+
+    #[test]
+    fn fine_tuning_evaluates_every_candidate_without_retraining() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 4;
+        cfg.attack_samples = 10;
+        cfg.pgd_steps = 3;
+        let data = prepare_data(&cfg);
+        let center = StructuralParams::new(1.0, 6);
+        let candidates = vec![center, StructuralParams::new(1.0, 4), StructuralParams::new(1.5, 6)];
+        let eps = [presets::paper_eps_to_pixel(0.5)];
+        let result = fine_tune_structural(&cfg, &data, center, &candidates, &eps);
+        assert_eq!(result.entries.len(), 3);
+        assert_eq!(result.trained_at, center);
+        // The training point's entry reproduces the trained accuracy.
+        let at_centre = result.at_training_point().unwrap();
+        assert!((at_centre.clean_accuracy - result.trained_accuracy).abs() < 1e-6);
+        // Every entry carries the full ε axis.
+        assert!(result.entries.iter().all(|e| e.robustness.len() == 1));
+        assert!(result.best_deployment().is_some());
+    }
+
+    #[test]
+    fn mismatched_window_changes_accuracy() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 6;
+        let data = prepare_data(&cfg);
+        let center = StructuralParams::new(1.0, 6);
+        let far = StructuralParams::new(1.0, 1);
+        let result = fine_tune_structural(&cfg, &data, center, &[center, far], &[]);
+        let centre_acc = result.entries[0].clean_accuracy;
+        let far_acc = result.entries[1].clean_accuracy;
+        assert_ne!(
+            centre_acc, far_acc,
+            "deploying at T=1 should change accuracy vs T=6"
+        );
+    }
+}

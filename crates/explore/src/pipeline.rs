@@ -1,0 +1,251 @@
+//! Data preparation and model training helpers shared by every experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dataset::synth::SynthDigits;
+use dataset::Dataset;
+use nn::{Adam, Classifier, Cnn, Params};
+use snn::{SpikingCnn, StructuralParams};
+
+use crate::config::ExperimentConfig;
+
+/// Train/test datasets generated for one experiment.
+#[derive(Debug, Clone)]
+pub struct SplitData {
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split (attacked by the security study).
+    pub test: Dataset,
+}
+
+/// Prepares the train/test splits described by `config`.
+///
+/// By default this generates SynthDigits (train and test from different
+/// generator seeds, so the test digits are genuinely unseen). When
+/// `config.mnist_dir` is set, the real MNIST IDX files are loaded instead
+/// and subsampled to the configured sizes — the paper's exact dataset.
+///
+/// # Panics
+///
+/// Panics if `mnist_dir` is set but the files are missing/malformed, or if
+/// the MNIST image size does not match `config.image_hw`.
+pub fn prepare_data(config: &ExperimentConfig) -> SplitData {
+    config.validate();
+    if let Some(dir) = &config.mnist_dir {
+        let (train_full, test_full) = dataset::mnist::load_dir(std::path::Path::new(dir))
+            .unwrap_or_else(|e| panic!("failed to load MNIST from {dir}: {e}"));
+        assert_eq!(
+            train_full.hw(),
+            config.image_hw,
+            "MNIST is {0}x{0} but the configuration expects {1}x{1}",
+            train_full.hw(),
+            config.image_hw
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let train = train_full
+            .shuffled(&mut rng)
+            .subset(config.train_per_class * 10);
+        let test = test_full
+            .shuffled(&mut rng)
+            .subset(config.test_per_class * 10);
+        return SplitData { train, test };
+    }
+    let train = SynthDigits::new(config.image_hw)
+        .samples_per_class(config.train_per_class)
+        .seed(config.seed)
+        .generate();
+    let test = SynthDigits::new(config.image_hw)
+        .samples_per_class(config.test_per_class)
+        .seed(config.seed.wrapping_add(0x5EED))
+        .generate();
+    SplitData { train, test }
+}
+
+/// A trained model with its measured clean test accuracy.
+#[derive(Debug, Clone)]
+pub struct Trained<M> {
+    /// The attackable classifier (model + weights).
+    pub classifier: Classifier<M>,
+    /// Accuracy on the full test split after training.
+    pub clean_accuracy: f32,
+}
+
+/// Trains the spiking twin at the given structural point.
+///
+/// Each `(config, structural)` pair trains from its own deterministic seed,
+/// so grid cells are independent and reproducible, matching the paper's
+/// per-combination training (Algorithm 1, line 3).
+pub fn train_snn(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+) -> Trained<SpikingCnn> {
+    let cell_seed = config
+        .seed
+        .wrapping_add(u64::from(structural.v_th.to_bits()))
+        .wrapping_add((structural.time_window as u64).wrapping_mul(0x9E37_79B9));
+    let mut rng = StdRng::seed_from_u64(cell_seed);
+    let mut params = Params::new();
+    let model = SpikingCnn::new(
+        &mut params,
+        &mut rng,
+        &config.cnn_config(),
+        &config.snn_config(structural),
+    );
+    let mut opt = Adam::new(config.learning_rate);
+    for _ in 0..config.epochs {
+        nn::train::train_epoch(
+            &model,
+            &mut params,
+            &mut opt,
+            data.train.images(),
+            data.train.labels(),
+            config.batch_size,
+            &mut rng,
+        );
+    }
+    let clean_accuracy = nn::train::evaluate(
+        &model,
+        &params,
+        data.test.images(),
+        data.test.labels(),
+        config.batch_size,
+    );
+    Trained {
+        classifier: Classifier::new(model, params),
+        clean_accuracy,
+    }
+}
+
+/// Trains the non-spiking CNN baseline on the same data and topology.
+pub fn train_cnn(config: &ExperimentConfig, data: &SplitData) -> Trained<Cnn> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xC44));
+    let mut params = Params::new();
+    let model = Cnn::new(&mut params, &mut rng, &config.cnn_config());
+    let mut opt = Adam::new(config.learning_rate);
+    for _ in 0..config.epochs {
+        nn::train::train_epoch(
+            &model,
+            &mut params,
+            &mut opt,
+            data.train.images(),
+            data.train.labels(),
+            config.batch_size,
+            &mut rng,
+        );
+    }
+    let clean_accuracy = nn::train::evaluate(
+        &model,
+        &params,
+        data.test.images(),
+        data.test.labels(),
+        config.batch_size,
+    );
+    Trained {
+        classifier: Classifier::new(model, params),
+        clean_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    /// Writes a minimal, valid MNIST IDX quartet into a temp directory.
+    fn write_fake_mnist(dir: &std::path::Path, n_train: u32, n_test: u32, hw: u32) {
+        use std::io::Write as _;
+        std::fs::create_dir_all(dir).unwrap();
+        let write_images = |name: &str, n: u32| {
+            let mut f = std::fs::File::create(dir.join(name)).unwrap();
+            f.write_all(&0x0000_0803u32.to_be_bytes()).unwrap();
+            f.write_all(&n.to_be_bytes()).unwrap();
+            f.write_all(&hw.to_be_bytes()).unwrap();
+            f.write_all(&hw.to_be_bytes()).unwrap();
+            f.write_all(&vec![128u8; (n * hw * hw) as usize]).unwrap();
+        };
+        let write_labels = |name: &str, n: u32| {
+            let mut f = std::fs::File::create(dir.join(name)).unwrap();
+            f.write_all(&0x0000_0801u32.to_be_bytes()).unwrap();
+            f.write_all(&n.to_be_bytes()).unwrap();
+            f.write_all(&(0..n).map(|i| (i % 10) as u8).collect::<Vec<_>>()).unwrap();
+        };
+        write_images("train-images-idx3-ubyte", n_train);
+        write_labels("train-labels-idx1-ubyte", n_train);
+        write_images("t10k-images-idx3-ubyte", n_test);
+        write_labels("t10k-labels-idx1-ubyte", n_test);
+    }
+
+    #[test]
+    fn mnist_dir_switches_the_data_source() {
+        let dir = std::env::temp_dir().join("spiking_armor_mnist_pipeline");
+        write_fake_mnist(&dir, 60, 20, 28);
+        let mut cfg = presets::quick();
+        cfg.image_hw = 28;
+        cfg.train_per_class = 4; // -> 40 training samples
+        cfg.test_per_class = 2; // -> 20 test samples
+        cfg.mnist_dir = Some(dir.to_string_lossy().into_owned());
+        let data = prepare_data(&cfg);
+        assert_eq!(data.train.len(), 40);
+        assert_eq!(data.test.len(), 20);
+        assert_eq!(data.train.hw(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to load MNIST")]
+    fn missing_mnist_dir_panics_with_context() {
+        let mut cfg = presets::quick();
+        cfg.image_hw = 28;
+        cfg.mnist_dir = Some("/nonexistent/mnist".into());
+        prepare_data(&cfg);
+    }
+
+    #[test]
+    fn data_splits_are_disjoint_generations() {
+        let cfg = presets::quick();
+        let data = prepare_data(&cfg);
+        assert_eq!(data.train.classes(), 10);
+        assert_ne!(
+            data.train.images().data()[..64],
+            data.test.images().data()[..64],
+            "train and test must come from different generator seeds"
+        );
+    }
+
+    #[test]
+    fn snn_training_is_deterministic_per_cell() {
+        let cfg = presets::quick();
+        let data = prepare_data(&cfg);
+        let sp = StructuralParams::new(0.5, 4);
+        let a = train_snn(&cfg, &data, sp);
+        let b = train_snn(&cfg, &data, sp);
+        assert_eq!(a.clean_accuracy, b.clean_accuracy);
+    }
+
+    #[test]
+    fn cnn_learns_synth_digits_above_threshold() {
+        let cfg = presets::quick();
+        let data = prepare_data(&cfg);
+        let trained = train_cnn(&cfg, &data);
+        assert!(
+            trained.clean_accuracy >= cfg.accuracy_threshold,
+            "CNN accuracy {} below threshold {}",
+            trained.clean_accuracy,
+            cfg.accuracy_threshold
+        );
+    }
+
+    #[test]
+    fn snn_learns_synth_digits_at_good_structural_point() {
+        let cfg = presets::quick();
+        let data = prepare_data(&cfg);
+        let trained = train_snn(&cfg, &data, StructuralParams::new(1.0, 6));
+        assert!(
+            trained.clean_accuracy >= cfg.accuracy_threshold,
+            "SNN accuracy {} below threshold {}",
+            trained.clean_accuracy,
+            cfg.accuracy_threshold
+        );
+    }
+}

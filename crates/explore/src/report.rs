@@ -1,0 +1,229 @@
+//! Robustness classification and experiment persistence.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{de::DeserializeOwned, Serialize};
+
+use crate::algorithm::ExplorationOutcome;
+
+/// The qualitative robustness classes of the paper's §VI-C
+/// ("high / medium / low robustness" examples from Fig. 8).
+///
+/// Classification compares the accuracy retained at the largest attacked ε
+/// against the clean accuracy: retaining ≥ 2/3 is high, ≥ 1/3 medium,
+/// otherwise low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, serde::Deserialize)]
+pub enum RobustnessClass {
+    /// Retains at least two thirds of its clean accuracy under the
+    /// strongest evaluated attack.
+    High,
+    /// Retains between one and two thirds.
+    Medium,
+    /// Retains less than one third.
+    Low,
+}
+
+impl RobustnessClass {
+    /// Classifies an exploration outcome; `None` if the combination was not
+    /// learnable or was never attacked.
+    pub fn classify(outcome: &ExplorationOutcome) -> Option<Self> {
+        if !outcome.learnable || outcome.clean_accuracy <= 0.0 {
+            return None;
+        }
+        let retained = outcome.final_robustness()? / outcome.clean_accuracy;
+        Some(if retained >= 2.0 / 3.0 {
+            RobustnessClass::High
+        } else if retained >= 1.0 / 3.0 {
+            RobustnessClass::Medium
+        } else {
+            RobustnessClass::Low
+        })
+    }
+}
+
+/// Renders a full markdown summary of a grid exploration: learnability
+/// statistics, the extreme cells, and the per-ε robustness distribution —
+/// the narrative section of an experiment report, generated from data.
+pub fn markdown_summary(grid: &crate::GridResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Robustness exploration summary\n");
+    let _ = writeln!(
+        out,
+        "- grid: {} thresholds × {} windows = {} combinations",
+        grid.spec.v_ths().len(),
+        grid.spec.windows().len(),
+        grid.spec.len()
+    );
+    let _ = writeln!(
+        out,
+        "- learnable: {:.0}% of combinations",
+        grid.learnable_fraction() * 100.0
+    );
+    if let Some(sweet) = grid.sweet_spot() {
+        let class = RobustnessClass::classify(sweet)
+            .map_or("unclassified".to_string(), |c| format!("{c:?}"));
+        let _ = writeln!(
+            out,
+            "- sweet spot: **{}** (clean {:.1}%, final robustness {:.1}%, class {class})",
+            sweet.structural,
+            sweet.clean_accuracy * 100.0,
+            sweet.final_robustness().unwrap_or(0.0) * 100.0,
+        );
+    }
+    if let Some(worst) = grid.worst_learnable() {
+        let _ = writeln!(
+            out,
+            "- least robust learnable: **{}** (clean {:.1}%, final robustness {:.1}%)",
+            worst.structural,
+            worst.clean_accuracy * 100.0,
+            worst.final_robustness().unwrap_or(0.0) * 100.0
+        );
+    }
+    let _ = writeln!(out, "\n## Robustness distribution per ε\n");
+    let _ = writeln!(out, "| ε | min | median | max |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for &eps in &grid.epsilons {
+        let mut values: Vec<f32> = grid
+            .outcomes
+            .iter()
+            .filter_map(|o| o.robustness_at(eps))
+            .collect();
+        if values.is_empty() {
+            continue;
+        }
+        values.sort_by(f32::total_cmp);
+        let _ = writeln!(
+            out,
+            "| {eps:.3} | {:.1}% | {:.1}% | {:.1}% |",
+            values[0] * 100.0,
+            values[values.len() / 2] * 100.0,
+            values[values.len() - 1] * 100.0
+        );
+    }
+    let _ = writeln!(out, "\n## Per-cell outcomes\n");
+    let _ = writeln!(out, "| V_th | T | clean | learnable | final robustness | class |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for o in &grid.outcomes {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.1}% | {} | {} | {} |",
+            o.structural.v_th,
+            o.structural.time_window,
+            o.clean_accuracy * 100.0,
+            if o.learnable { "yes" } else { "no" },
+            o.final_robustness()
+                .map_or("—".to_string(), |r| format!("{:.1}%", r * 100.0)),
+            RobustnessClass::classify(o).map_or("—".to_string(), |c| format!("{c:?}")),
+        );
+    }
+    out
+}
+
+/// Persists any serialisable experiment artefact (grid results, curve sets,
+/// heat maps) as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be written.
+pub fn save_json<T: Serialize>(value: &T, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads an artefact previously written by [`save_json`].
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be read or parsed.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> io::Result<T> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn::StructuralParams;
+
+    fn outcome(clean: f32, final_rob: Option<f32>, learnable: bool) -> ExplorationOutcome {
+        ExplorationOutcome {
+            structural: StructuralParams::new(1.0, 8),
+            clean_accuracy: clean,
+            learnable,
+            robustness: final_rob.map(|r| vec![(1.5, r)]).unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(
+            RobustnessClass::classify(&outcome(0.9, Some(0.8), true)),
+            Some(RobustnessClass::High)
+        );
+        assert_eq!(
+            RobustnessClass::classify(&outcome(0.9, Some(0.45), true)),
+            Some(RobustnessClass::Medium)
+        );
+        assert_eq!(
+            RobustnessClass::classify(&outcome(0.9, Some(0.1), true)),
+            Some(RobustnessClass::Low)
+        );
+    }
+
+    #[test]
+    fn unlearnable_or_unattacked_is_unclassified() {
+        assert_eq!(RobustnessClass::classify(&outcome(0.2, None, false)), None);
+        assert_eq!(RobustnessClass::classify(&outcome(0.9, None, true)), None);
+    }
+
+    #[test]
+    fn markdown_summary_contains_extremes_and_tables() {
+        use crate::grid::{GridResult, GridSpec};
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4]);
+        let outcomes = spec
+            .cells()
+            .map(|sp| ExplorationOutcome {
+                structural: sp,
+                clean_accuracy: 0.9,
+                learnable: true,
+                robustness: vec![(0.3, if sp.v_th < 0.9 { 0.8 } else { 0.1 })],
+            })
+            .collect();
+        let grid = GridResult {
+            spec,
+            epsilons: vec![0.3],
+            outcomes,
+        };
+        let md = markdown_summary(&grid);
+        assert!(md.contains("# Robustness exploration summary"));
+        assert!(md.contains("sweet spot: **(Vth=0.5, T=4)**"), "{md}");
+        assert!(md.contains("least robust learnable: **(Vth=1, T=4)**"));
+        assert!(md.contains("| 0.300 | 10.0% | 80.0% | 80.0% |"), "{md}");
+        // Per-cell table has one row per cell.
+        assert_eq!(md.matches("| yes |").count(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("spiking_armor_report_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("outcome.json");
+        let o = outcome(0.95, Some(0.7), true);
+        save_json(&o, &path).unwrap();
+        let back: ExplorationOutcome = load_json(&path).unwrap();
+        assert_eq!(o, back);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("spiking_armor_report_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        fs::write(&path, "not json").unwrap();
+        assert!(load_json::<ExplorationOutcome>(&path).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Multi-seed repetition: mean ± standard deviation of the exploration
+//! metrics across independently seeded data generations and trainings.
+//!
+//! Single-seed robustness numbers at small scale are noisy; this module
+//! quantifies that noise so shape claims (who wins, where the crossover
+//! falls) can be checked against error bars instead of point estimates.
+
+use serde::{Deserialize, Serialize};
+
+use snn::StructuralParams;
+
+use crate::algorithm::explore_one;
+use crate::config::ExperimentConfig;
+use crate::pipeline::prepare_data;
+
+/// Mean and standard deviation of one measured quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Computes mean/std of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f32]) -> Self {
+        assert!(!values.is_empty(), "mean of an empty sample");
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / values.len() as f32;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+    }
+}
+
+/// Aggregated exploration of one structural point across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepeatedOutcome {
+    /// The explored structural point.
+    pub structural: StructuralParams,
+    /// Number of independent repetitions.
+    pub repetitions: usize,
+    /// Clean accuracy statistics.
+    pub clean_accuracy: MeanStd,
+    /// Fraction of repetitions meeting the learnability threshold.
+    pub learnable_fraction: f32,
+    /// Per-ε robustness statistics (over the repetitions that were
+    /// learnable; empty if none was).
+    pub robustness: Vec<(f32, MeanStd)>,
+}
+
+/// Runs [`explore_one`] `repetitions` times with independent seeds (data
+/// generation *and* training both re-seeded) and aggregates.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn explore_repeated(
+    config: &ExperimentConfig,
+    structural: StructuralParams,
+    epsilons: &[f32],
+    repetitions: usize,
+) -> RepeatedOutcome {
+    assert!(repetitions > 0, "need at least one repetition");
+    let mut cleans = Vec::with_capacity(repetitions);
+    let mut learnable = 0usize;
+    let mut per_eps: Vec<Vec<f32>> = vec![Vec::new(); epsilons.len()];
+    for rep in 0..repetitions {
+        let mut cfg = config.clone();
+        cfg.seed = config
+            .seed
+            .wrapping_add((rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let data = prepare_data(&cfg);
+        let outcome = explore_one(&cfg, &data, structural, epsilons);
+        cleans.push(outcome.clean_accuracy);
+        if outcome.learnable {
+            learnable += 1;
+            for (slot, &(_, r)) in per_eps.iter_mut().zip(&outcome.robustness) {
+                slot.push(r);
+            }
+        }
+    }
+    let robustness = epsilons
+        .iter()
+        .zip(per_eps)
+        .filter(|(_, rs)| !rs.is_empty())
+        .map(|(&e, rs)| (e, MeanStd::of(&rs)))
+        .collect();
+    RepeatedOutcome {
+        structural,
+        repetitions,
+        clean_accuracy: MeanStd::of(&cleans),
+        learnable_fraction: learnable as f32 / repetitions as f32,
+        robustness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn mean_std_hand_computed() {
+        let s = MeanStd::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-6);
+        assert!((s.std - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(MeanStd::of(&[5.0]).std, 0.0);
+        assert_eq!(format!("{}", MeanStd::of(&[5.0])), "5.000 ± 0.000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn mean_std_rejects_empty() {
+        MeanStd::of(&[]);
+    }
+
+    #[test]
+    fn repeated_exploration_aggregates_across_seeds() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 3;
+        cfg.train_per_class = 12;
+        cfg.attack_samples = 8;
+        cfg.pgd_steps = 2;
+        cfg.accuracy_threshold = 0.15;
+        let eps = [presets::paper_eps_to_pixel(0.5)];
+        let out = explore_repeated(&cfg, StructuralParams::new(1.0, 4), &eps, 3);
+        assert_eq!(out.repetitions, 3);
+        assert!((0.0..=1.0).contains(&out.clean_accuracy.mean));
+        assert!((0.0..=1.0).contains(&out.learnable_fraction));
+        if out.learnable_fraction > 0.0 {
+            assert_eq!(out.robustness.len(), 1);
+        }
+        // Independent seeds actually vary the measurement.
+        assert!(
+            out.clean_accuracy.std > 0.0 || out.clean_accuracy.mean == 1.0,
+            "three re-seeded trainings should not coincide unless saturated"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! CNN→SNN transfer-attack study.
+//!
+//! The paper's related work (its reference \[15\], Sharmin et al.) attacks a
+//! non-spiking DNN and replays the crafted examples against SNNs. This
+//! module runs that protocol across structural parameters, answering: does
+//! the `(V_th, T)` dependence of robustness persist when the adversary
+//! never touches the SNN's gradients?
+
+use serde::{Deserialize, Serialize};
+
+use attacks::{evaluate_transfer, Pgd, TransferOutcome};
+use snn::StructuralParams;
+
+use crate::config::ExperimentConfig;
+use crate::pipeline::{train_cnn, train_snn, SplitData};
+
+/// Transfer outcome for one structural point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferEntry {
+    /// The SNN's structural point.
+    pub structural: StructuralParams,
+    /// The SNN's clean accuracy.
+    pub snn_clean_accuracy: f32,
+    /// Victim (SNN) accuracy on CNN-crafted examples.
+    pub transfer_accuracy: f32,
+    /// Source (CNN) accuracy on the same examples.
+    pub source_accuracy: f32,
+}
+
+/// The full CNN→SNN transfer study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferStudy {
+    /// Noise budget used for crafting.
+    pub epsilon: f32,
+    /// CNN clean accuracy.
+    pub cnn_clean_accuracy: f32,
+    /// One entry per evaluated structural point.
+    pub entries: Vec<TransferEntry>,
+}
+
+impl TransferStudy {
+    /// The structural point whose SNN resisted the transferred examples
+    /// best (highest transfer accuracy).
+    pub fn most_resistant(&self) -> Option<&TransferEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.transfer_accuracy.total_cmp(&b.transfer_accuracy))
+    }
+}
+
+/// Trains the CNN baseline once, crafts PGD examples against it at
+/// `epsilon` (pixel scale), and measures each SNN's accuracy on them.
+///
+/// # Panics
+///
+/// Panics if `structurals` is empty or the configuration is invalid.
+pub fn cnn_to_snn_transfer(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structurals: &[StructuralParams],
+    epsilon: f32,
+) -> TransferStudy {
+    assert!(!structurals.is_empty(), "need at least one structural point");
+    let cnn = train_cnn(config, data);
+    let attack_set = data.test.subset(config.attack_samples);
+    let alpha = if epsilon == 0.0 { 0.0 } else { 2.5 * epsilon / config.pgd_steps as f32 };
+    let attack = Pgd::new(epsilon, alpha, config.pgd_steps, true, config.seed);
+    let mut entries = Vec::with_capacity(structurals.len());
+    for &sp in structurals {
+        let snn = train_snn(config, data, sp);
+        let outcome: TransferOutcome = evaluate_transfer(
+            &cnn.classifier,
+            &snn.classifier,
+            &attack,
+            attack_set.images(),
+            attack_set.labels(),
+            config.batch_size,
+        );
+        entries.push(TransferEntry {
+            structural: sp,
+            snn_clean_accuracy: snn.clean_accuracy,
+            transfer_accuracy: outcome.transfer_accuracy,
+            source_accuracy: outcome.source_accuracy,
+        });
+    }
+    TransferStudy {
+        epsilon,
+        cnn_clean_accuracy: cnn.clean_accuracy,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prepare_data;
+    use crate::presets;
+
+    #[test]
+    fn transfer_study_covers_all_points_and_is_bounded() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 4;
+        cfg.attack_samples = 10;
+        cfg.pgd_steps = 3;
+        let data = prepare_data(&cfg);
+        let points = [StructuralParams::new(0.5, 4), StructuralParams::new(1.5, 6)];
+        let study = cnn_to_snn_transfer(
+            &cfg,
+            &data,
+            &points,
+            presets::paper_eps_to_pixel(1.0),
+        );
+        assert_eq!(study.entries.len(), 2);
+        for e in &study.entries {
+            assert!((0.0..=1.0).contains(&e.transfer_accuracy));
+            assert!((0.0..=1.0).contains(&e.snn_clean_accuracy));
+        }
+        assert!(study.most_resistant().is_some());
+        // Transferred (black-box) examples cannot be *stronger* against the
+        // SNN than the white-box damage they do to their own source, in the
+        // typical case; at minimum the fields must be consistent.
+        assert!((0.0..=1.0).contains(&study.cnn_clean_accuracy));
+    }
+
+    #[test]
+    fn zero_budget_transfer_is_harmless() {
+        let mut cfg = presets::quick();
+        cfg.epochs = 3;
+        cfg.attack_samples = 8;
+        let data = prepare_data(&cfg);
+        let study = cnn_to_snn_transfer(&cfg, &data, &[StructuralParams::new(1.0, 4)], 0.0);
+        let e = &study.entries[0];
+        // With ε = 0 the "adversarial" samples are the clean ones.
+        assert!((e.transfer_accuracy - accuracy_on_subset(&cfg, &data, e)).abs() < 1e-6);
+    }
+
+    fn accuracy_on_subset(
+        cfg: &crate::ExperimentConfig,
+        data: &crate::pipeline::SplitData,
+        entry: &TransferEntry,
+    ) -> f32 {
+        // Recompute the SNN's accuracy on the attacked subset for ε = 0.
+        let snn = train_snn(cfg, data, entry.structural);
+        let subset = data.test.subset(cfg.attack_samples);
+        nn::train::evaluate(
+            snn.classifier.model(),
+            snn.classifier.params(),
+            subset.images(),
+            subset.labels(),
+            cfg.batch_size,
+        )
+    }
+}

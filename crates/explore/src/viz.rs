@@ -1,0 +1,335 @@
+//! SVG rendering of the paper's figures — dependency-free vector output
+//! for heat maps and robustness curves, so the regenerated artefacts are
+//! actual figures, not just tables.
+
+use std::fmt::Write as _;
+
+use crate::curves::CurveSet;
+use crate::heatmap::{Heatmap, HeatmapKind};
+
+const CELL: f32 = 44.0;
+const MARGIN: f32 = 70.0;
+
+/// Renders a heat map as a self-contained SVG document.
+///
+/// Cells are coloured on a cold→hot ramp over the map's own value range;
+/// masked (non-learnable) cells are hatched gray. Returns valid SVG 1.1.
+pub fn svg_heatmap(map: &Heatmap) -> String {
+    let cols = map.v_ths().len();
+    let rows = map.windows_desc().len();
+    let width = MARGIN + cols as f32 * CELL + 20.0;
+    let height = MARGIN + rows as f32 * CELL + 40.0;
+    let lo = map.min_value().unwrap_or(0.0);
+    let hi = map.max_value().unwrap_or(1.0);
+    let title = match map.kind() {
+        HeatmapKind::CleanAccuracy => "Clean accuracy over (Vth, T)".to_string(),
+        HeatmapKind::AttackedAccuracy { eps } => {
+            format!("Accuracy under PGD eps={eps:.3} over (Vth, T)")
+        }
+        HeatmapKind::Retention { eps } => {
+            format!("Accuracy retained under PGD eps={eps:.3} over (Vth, T)")
+        }
+    };
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" font-family="sans-serif" font-size="14">{title}</text>"#,
+        MARGIN
+    );
+    for (idx, (window, v_th, value)) in map.cells().enumerate() {
+        let row = idx / cols;
+        let col = idx % cols;
+        let x = MARGIN + col as f32 * CELL;
+        let y = MARGIN + row as f32 * CELL - 30.0;
+        match value {
+            Some(v) => {
+                let (r, g, b) = ramp(v, lo, hi);
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{x}" y="{y}" width="{CELL}" height="{CELL}" fill="rgb({r},{g},{b})" stroke="white"/>"#
+                );
+                let _ = write!(
+                    svg,
+                    r#"<text x="{tx}" y="{ty}" font-family="sans-serif" font-size="10" text-anchor="middle" fill="black">{pct:.0}</text>"#,
+                    tx = x + CELL / 2.0,
+                    ty = y + CELL / 2.0 + 4.0,
+                    pct = v * 100.0
+                );
+            }
+            None => {
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{x}" y="{y}" width="{CELL}" height="{CELL}" fill="#d0d0d0" stroke="white"/><text x="{tx}" y="{ty}" font-family="sans-serif" font-size="10" text-anchor="middle" fill="#666">--</text>"##,
+                    tx = x + CELL / 2.0,
+                    ty = y + CELL / 2.0 + 4.0
+                );
+            }
+        }
+        // Axis labels on the first column / last row.
+        if col == 0 {
+            let _ = write!(
+                svg,
+                r#"<text x="{lx}" y="{ly}" font-family="sans-serif" font-size="11" text-anchor="end">T={window}</text>"#,
+                lx = MARGIN - 6.0,
+                ly = y + CELL / 2.0 + 4.0
+            );
+        }
+        if row == rows - 1 {
+            let _ = write!(
+                svg,
+                r#"<text x="{lx}" y="{ly}" font-family="sans-serif" font-size="11" text-anchor="middle">{v_th}</text>"#,
+                lx = x + CELL / 2.0,
+                ly = y + CELL + 16.0
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a curve set as a self-contained SVG line chart (accuracy in
+/// percent on the y axis, ε on the x axis).
+pub fn svg_curves(set: &CurveSet, title: &str) -> String {
+    let (w, h) = (520.0f32, 340.0f32);
+    let (left, bottom, top, right) = (60.0f32, 40.0f32, 30.0f32, 20.0f32);
+    let plot_w = w - left - right;
+    let plot_h = h - top - bottom;
+    let x_max = set
+        .curves()
+        .iter()
+        .flat_map(|c| c.points().iter().map(|&(e, _)| e))
+        .fold(0.0f32, f32::max)
+        .max(1e-6);
+    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{left}" y="20" font-family="sans-serif" font-size="14">{title}</text>"#
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{left}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{left}" y1="{top}" x2="{left}" y2="{y0}" stroke="black"/>"#,
+        y0 = h - bottom,
+        x1 = w - right
+    );
+    for tick in 0..=4 {
+        let frac = tick as f32 / 4.0;
+        let y = h - bottom - frac * plot_h;
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{ty}" font-family="sans-serif" font-size="10" text-anchor="end">{pct:.0}%</text>"#,
+            x = left - 6.0,
+            ty = y + 3.0,
+            pct = frac * 100.0
+        );
+        let x = left + frac * plot_w;
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{ty}" font-family="sans-serif" font-size="10" text-anchor="middle">{val:.2}</text>"#,
+            ty = h - bottom + 16.0,
+            val = frac * x_max
+        );
+    }
+    for (ci, curve) in set.curves().iter().enumerate() {
+        let color = colors[ci % colors.len()];
+        let points: Vec<String> = curve
+            .points()
+            .iter()
+            .map(|&(e, a)| {
+                let x = left + (e / x_max) * plot_w;
+                let y = h - bottom - a.clamp(0.0, 1.0) * plot_h;
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            points.join(" ")
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="11" fill="{color}">{label}</text>"#,
+            x = left + 8.0,
+            y = top + 14.0 + ci as f32 * 14.0,
+            label = curve.label()
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a single-neuron membrane trajectory (from
+/// [`snn::trace::simulate`]) as an SVG line plot with the threshold as a
+/// dashed line and spikes as vertical ticks.
+pub fn svg_membrane_trace(trace: &snn::trace::NeuronTrace, v_th: f32, title: &str) -> String {
+    use std::fmt::Write as _;
+    let (w, h) = (520.0f32, 240.0f32);
+    let (left, bottom, top, right) = (50.0f32, 30.0f32, 28.0f32, 15.0f32);
+    let plot_w = w - left - right;
+    let plot_h = h - top - bottom;
+    let steps = trace.membrane.len().max(1) as f32;
+    let v_max = trace
+        .membrane
+        .iter()
+        .copied()
+        .fold(v_th, f32::max)
+        .max(1e-6)
+        * 1.1;
+    let v_min = trace.membrane.iter().copied().fold(0.0f32, f32::min);
+    let span = (v_max - v_min).max(1e-6);
+    let to_xy = |t: usize, v: f32| {
+        let x = left + (t as f32 / steps) * plot_w;
+        let y = h - bottom - ((v - v_min) / span) * plot_h;
+        (x, y)
+    };
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{left}" y="18" font-family="sans-serif" font-size="13">{title}</text>"#
+    );
+    // Threshold line.
+    let (_, ty) = to_xy(0, v_th);
+    let _ = write!(
+        svg,
+        r#"<line x1="{left}" y1="{ty}" x2="{x2}" y2="{ty}" stroke="gray" stroke-dasharray="4 3"/>"#,
+        x2 = w - right
+    );
+    // Membrane polyline.
+    let points: Vec<String> = trace
+        .membrane
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| {
+            let (x, y) = to_xy(t, v);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    let _ = write!(
+        svg,
+        r##"<polyline points="{}" fill="none" stroke="#1f77b4" stroke-width="1.5"/>"##,
+        points.join(" ")
+    );
+    // Spike ticks.
+    for (t, &spiked) in trace.spikes.iter().enumerate() {
+        if spiked {
+            let (x, _) = to_xy(t, 0.0);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{top}" x2="{x}" y2="{y2}" stroke="#d62728" stroke-width="1"/>"##,
+                y2 = top + 10.0
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Cold→hot colour ramp over `[lo, hi]`.
+fn ramp(v: f32, lo: f32, hi: f32) -> (u8, u8, u8) {
+    let t = if hi > lo { ((v - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 };
+    // Blue (low) → yellow (mid) → red (high), roughly matching the paper's
+    // colormap reading.
+    if t < 0.5 {
+        let u = t * 2.0;
+        (
+            (60.0 + 195.0 * u) as u8,
+            (80.0 + 175.0 * u) as u8,
+            (200.0 - 140.0 * u) as u8,
+        )
+    } else {
+        let u = (t - 0.5) * 2.0;
+        (255, (255.0 - 180.0 * u) as u8, (60.0 - 40.0 * u) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::ExplorationOutcome;
+    use crate::curves::RobustnessCurve;
+    use crate::grid::{GridResult, GridSpec};
+
+    fn grid() -> GridResult {
+        let spec = GridSpec::new(vec![0.5, 1.0, 1.5], vec![4, 8]);
+        let outcomes = spec
+            .cells()
+            .map(|sp| ExplorationOutcome {
+                structural: sp,
+                clean_accuracy: (sp.v_th / 2.0).min(1.0),
+                learnable: sp.v_th < 1.4,
+                robustness: if sp.v_th < 1.4 { vec![(0.3, 0.4)] } else { vec![] },
+            })
+            .collect();
+        GridResult {
+            spec,
+            epsilons: vec![0.3],
+            outcomes,
+        }
+    }
+
+    #[test]
+    fn heatmap_svg_has_one_rect_per_cell() {
+        let map = Heatmap::from_grid(&grid(), HeatmapKind::CleanAccuracy);
+        let svg = svg_heatmap(&map);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.contains("T=8"));
+        assert!(svg.contains("Clean accuracy"));
+    }
+
+    #[test]
+    fn masked_cells_render_as_gray() {
+        let map = Heatmap::from_grid(&grid(), HeatmapKind::AttackedAccuracy { eps: 0.3 });
+        let svg = svg_heatmap(&map);
+        // v_th = 1.5 cells are unlearnable in both rows.
+        assert_eq!(svg.matches("#d0d0d0").count(), 2);
+    }
+
+    #[test]
+    fn curves_svg_has_one_polyline_per_curve() {
+        let mut set = CurveSet::new();
+        set.push(RobustnessCurve::new("a", vec![(0.0, 0.9), (1.0, 0.5)]));
+        set.push(RobustnessCurve::new("b", vec![(0.0, 0.8), (1.0, 0.1)]));
+        let svg = svg_curves(&set, "Robustness");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Robustness"));
+        assert!(svg.contains(">a<") && svg.contains(">b<"));
+    }
+
+    #[test]
+    fn membrane_trace_svg_marks_spikes() {
+        use snn::{trace, LifParams, NeuronModel};
+        let t = trace::simulate(NeuronModel::Lif, LifParams::new(1.0), &[0.5; 20]);
+        let svg = svg_membrane_trace(&t, 1.0, "LIF under constant drive");
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        // One red tick per spike.
+        assert_eq!(svg.matches("#d62728").count(), t.spike_count());
+        assert!(svg.contains("stroke-dasharray"), "threshold line present");
+    }
+
+    #[test]
+    fn ramp_endpoints_and_ordering() {
+        let cold = ramp(0.0, 0.0, 1.0);
+        let hot = ramp(1.0, 0.0, 1.0);
+        assert!(cold.2 > cold.0, "low values are blue-ish: {cold:?}");
+        assert_eq!(hot.0, 255, "high values are red-ish: {hot:?}");
+        // Degenerate range does not panic or divide by zero.
+        let mid = ramp(0.5, 0.5, 0.5);
+        assert!(mid.0 > 0);
+    }
+}

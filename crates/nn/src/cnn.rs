@@ -1,0 +1,262 @@
+//! The configurable convolutional classifier and its LeNet-5 preset —
+//! the non-spiking baseline of the reproduced paper.
+
+use ad::{Tape, Var};
+use rand::Rng;
+use tensor::conv::Conv2dSpec;
+
+use crate::layers::{Conv2d, Linear};
+use crate::model::Model;
+use crate::params::{BoundParams, Params};
+
+/// One convolutional block: conv → ReLU → optional average pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvBlockConfig {
+    /// Output channels of the convolution.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+    /// Average-pooling window (and stride) applied after the activation;
+    /// `1` disables pooling.
+    pub pool: usize,
+}
+
+/// Architecture of a [`Cnn`]: a stack of conv blocks followed by
+/// fully-connected layers.
+///
+/// The same topology description is consumed by the spiking twin in the
+/// `snn` crate, which is how the paper's "same number of layers and neurons
+/// per layer" comparison is enforced structurally.
+///
+/// # Example
+///
+/// ```
+/// use nn::CnnConfig;
+///
+/// let cfg = CnnConfig::lenet5(28, 10);
+/// assert_eq!(cfg.conv_blocks.len(), 2);
+/// assert_eq!(cfg.classes, 10);
+/// assert!(cfg.flattened_len() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnConfig {
+    /// Input channels (1 for grayscale digits).
+    pub in_channels: usize,
+    /// Input height = width (images are square in this workspace).
+    pub in_hw: usize,
+    /// Convolutional feature extractor.
+    pub conv_blocks: Vec<ConvBlockConfig>,
+    /// Hidden fully-connected widths (the final classes layer is implicit).
+    pub fc_hidden: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl CnnConfig {
+    /// Classic LeNet-5 (2 conv + 3 FC) for `hw × hw` grayscale inputs,
+    /// as used by the paper's security study (§VI-A).
+    pub fn lenet5(hw: usize, classes: usize) -> Self {
+        Self {
+            in_channels: 1,
+            in_hw: hw,
+            conv_blocks: vec![
+                ConvBlockConfig { out_channels: 6, kernel: 5, padding: 2, pool: 2 },
+                ConvBlockConfig { out_channels: 16, kernel: 5, padding: 2, pool: 2 },
+            ],
+            fc_hidden: vec![120, 84],
+            classes,
+        }
+    }
+
+    /// The paper's motivational 5-layer network (3 conv + 2 FC, §I-B).
+    pub fn paper5(hw: usize, classes: usize) -> Self {
+        Self {
+            in_channels: 1,
+            in_hw: hw,
+            conv_blocks: vec![
+                ConvBlockConfig { out_channels: 8, kernel: 3, padding: 1, pool: 2 },
+                ConvBlockConfig { out_channels: 16, kernel: 3, padding: 1, pool: 2 },
+                ConvBlockConfig { out_channels: 32, kernel: 3, padding: 1, pool: 1 },
+            ],
+            fc_hidden: vec![64],
+            classes,
+        }
+    }
+
+    /// A deliberately small topology for unit tests and CPU-scale grid
+    /// exploration: one conv block and one hidden FC layer.
+    pub fn tiny(hw: usize, classes: usize) -> Self {
+        Self {
+            in_channels: 1,
+            in_hw: hw,
+            conv_blocks: vec![ConvBlockConfig { out_channels: 4, kernel: 3, padding: 1, pool: 2 }],
+            fc_hidden: vec![32],
+            classes,
+        }
+    }
+
+    /// Spatial extent after all conv blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some block's pooling window does not divide the extent it
+    /// is applied to — i.e. the architecture is inconsistent with `in_hw`.
+    pub fn final_hw(&self) -> usize {
+        let mut hw = self.in_hw;
+        for b in &self.conv_blocks {
+            let spec = Conv2dSpec { stride: 1, padding: b.padding };
+            hw = spec.out_extent(hw, b.kernel);
+            if b.pool > 1 {
+                assert!(
+                    hw % b.pool == 0,
+                    "pool {} does not divide extent {hw}; adjust CnnConfig",
+                    b.pool
+                );
+                hw /= b.pool;
+            }
+        }
+        hw
+    }
+
+    /// Flattened feature length entering the first FC layer.
+    pub fn flattened_len(&self) -> usize {
+        let hw = self.final_hw();
+        let channels = self
+            .conv_blocks
+            .last()
+            .map_or(self.in_channels, |b| b.out_channels);
+        channels * hw * hw
+    }
+}
+
+/// A convolutional classifier: conv blocks (conv → ReLU → pool) followed by
+/// fully-connected layers with ReLU between them and raw logits at the end.
+///
+/// See [`CnnConfig::lenet5`] for the paper's baseline and the
+/// [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Cnn {
+    convs: Vec<Conv2d>,
+    fcs: Vec<Linear>,
+    config: CnnConfig,
+}
+
+impl Cnn {
+    /// Builds the network, registering all weights into `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture is inconsistent (see
+    /// [`CnnConfig::final_hw`]) or any layer size is zero.
+    pub fn new<R: Rng>(params: &mut Params, rng: &mut R, config: &CnnConfig) -> Self {
+        let mut convs = Vec::new();
+        let mut in_c = config.in_channels;
+        for (i, b) in config.conv_blocks.iter().enumerate() {
+            convs.push(Conv2d::new(
+                params,
+                rng,
+                &format!("conv{i}"),
+                in_c,
+                b.out_channels,
+                b.kernel,
+                Conv2dSpec { stride: 1, padding: b.padding },
+            ));
+            in_c = b.out_channels;
+        }
+        let mut fcs = Vec::new();
+        let mut in_f = config.flattened_len();
+        for (i, &h) in config.fc_hidden.iter().enumerate() {
+            fcs.push(Linear::new(params, rng, &format!("fc{i}"), in_f, h));
+            in_f = h;
+        }
+        fcs.push(Linear::new(params, rng, "head", in_f, config.classes));
+        Self {
+            convs,
+            fcs,
+            config: config.clone(),
+        }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+}
+
+impl Model for Cnn {
+    fn forward<'t>(&self, _tape: &'t Tape, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        let mut h = x;
+        for (conv, block) in self.convs.iter().zip(&self.config.conv_blocks) {
+            h = conv.forward(bound, h).relu();
+            if block.pool > 1 {
+                h = h.avg_pool2d(block.pool);
+            }
+        }
+        let n = h.dims()[0];
+        let mut h = h.reshape(&[n, self.config.flattened_len()]);
+        let (last, hidden) = self.fcs.split_last().expect("Cnn always has a head layer");
+        for fc in hidden {
+            h = fc.forward(bound, h).relu();
+        }
+        last.forward(bound, h)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Tensor;
+
+    #[test]
+    fn lenet5_dimensions() {
+        let cfg = CnnConfig::lenet5(28, 10);
+        assert_eq!(cfg.final_hw(), 7);
+        assert_eq!(cfg.flattened_len(), 16 * 7 * 7);
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 10));
+        let y = crate::logits(&cnn, &params, &Tensor::zeros(&[3, 1, 8, 8]));
+        assert_eq!(y.dims(), &[3, 10]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn paper5_has_three_conv_blocks_and_two_fcs() {
+        let cfg = CnnConfig::paper5(16, 10);
+        assert_eq!(cfg.conv_blocks.len(), 3);
+        // 1 hidden + 1 head = 2 FC layers, matching the paper's 3conv+2fc.
+        assert_eq!(cfg.fc_hidden.len(), 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &cfg);
+        let y = crate::logits(&cnn, &params, &Tensor::zeros(&[1, 1, 16, 16]));
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4));
+        let tape = ad::Tape::new();
+        let bound = params.bind(&tape);
+        let x = tape.leaf(tensor::init::uniform(&mut rng, &[2, 1, 8, 8], 0.0, 1.0));
+        let loss = cnn.forward(&tape, &bound, x).cross_entropy(&[0, 3]);
+        let grads = tape.backward(loss);
+        for g in bound.gradients(&grads) {
+            assert!(g.max_abs() > 0.0, "a parameter received no gradient");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Trainable layers: fully-connected and convolutional.
+
+use ad::Var;
+use rand::Rng;
+use tensor::conv::Conv2dSpec;
+use tensor::init;
+
+use crate::params::{BoundParams, ParamId, Params};
+
+/// A fully-connected layer `y = x·Wᵀ + b` over `[N, in_features]` inputs.
+///
+/// Weights are stored as `[in_features, out_features]` so the forward pass
+/// is a single matmul without transposition.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use nn::{Linear, Params};
+/// use rand::SeedableRng;
+/// use tensor::Tensor;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut params = Params::new();
+/// let fc = Linear::new(&mut params, &mut rng, "fc", 4, 3);
+/// let tape = Tape::new();
+/// let bound = params.bind(&tape);
+/// let x = tape.leaf(Tensor::zeros(&[2, 4]));
+/// assert_eq!(fc.forward(&bound, x).dims(), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Registers Kaiming-initialized weights under `name.w` / `name.b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        let w = params.register(
+            format!("{name}.w"),
+            init::kaiming_uniform(rng, &[in_features, out_features], in_features),
+        );
+        let b = params.register(format!("{name}.b"), tensor::Tensor::zeros(&[out_features]));
+        Self {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Applies the layer to a `[N, in_features]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have `in_features` columns.
+    pub fn forward<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        x.matmul(bound.get(self.w)).add_bias(bound.get(self.b))
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter id (`[in, out]`).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id (`[out]`).
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+}
+
+/// A 2-D convolution layer over `[N, C, H, W]` feature maps.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    w: ParamId,
+    b: ParamId,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    spec: Conv2dSpec,
+}
+
+impl Conv2d {
+    /// Registers Kaiming-initialized kernels under `name.w` / `name.b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the structural sizes is zero.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "conv sizes must be positive"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let w = params.register(
+            format!("{name}.w"),
+            init::kaiming_uniform(rng, &[out_channels, in_channels, kernel, kernel], fan_in),
+        );
+        let b = params.register(format!("{name}.b"), tensor::Tensor::zeros(&[out_channels]));
+        Self {
+            w,
+            b,
+            in_channels,
+            out_channels,
+            kernel,
+            spec,
+        }
+    }
+
+    /// Applies the convolution to a `[N, in_channels, H, W]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on channel or extent mismatches (see [`tensor::conv::conv2d`]).
+    pub fn forward<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        x.conv2d(bound.get(self.w), self.spec).add_bias(bound.get(self.b))
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride/padding specification.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// The kernel parameter id (`[out, in, k, k]`).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter id (`[out]`).
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Tensor;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut params = Params::new();
+        let fc = Linear::new(&mut params, &mut rng, "fc", 3, 2);
+        // Zero input -> output equals bias (zeros at init).
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let y = fc.forward(&bound, tape.leaf(Tensor::zeros(&[4, 3])));
+        assert_eq!(y.dims(), vec![4, 2]);
+        assert_eq!(y.value().data(), &[0.0; 8]);
+    }
+
+    #[test]
+    fn linear_trains_toward_target() {
+        // One SGD step moves the loss down on a tiny regression problem.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let fc = Linear::new(&mut params, &mut rng, "fc", 2, 1);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let loss_at = |params: &Params| {
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let y = fc.forward(&bound, tape.leaf(x.clone()));
+            let target = tape.leaf(Tensor::from_vec(vec![1.0, -1.0], &[2, 1]));
+            let d = y - target;
+            (d * d).mean().value().item()
+        };
+        let before = loss_at(&params);
+        // Manual SGD step.
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let y = fc.forward(&bound, tape.leaf(x.clone()));
+        let target = tape.leaf(Tensor::from_vec(vec![1.0, -1.0], &[2, 1]));
+        let d = y - target;
+        let grads = tape.backward((d * d).mean());
+        for ((id, _), g) in params.clone().iter().zip(bound.gradients(&grads)) {
+            params.get_mut(id).add_scaled_inplace(&g, -0.1);
+        }
+        assert!(loss_at(&params) < before);
+    }
+
+    #[test]
+    fn conv_layer_output_extent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let conv = Conv2d::new(
+            &mut params,
+            &mut rng,
+            "c1",
+            1,
+            4,
+            3,
+            Conv2dSpec { stride: 1, padding: 1 },
+        );
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let y = conv.forward(&bound, tape.leaf(Tensor::zeros(&[2, 1, 8, 8])));
+        assert_eq!(y.dims(), vec![2, 4, 8, 8]);
+        assert_eq!(conv.out_channels(), 4);
+    }
+
+    #[test]
+    fn param_names_are_qualified() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = Params::new();
+        let fc = Linear::new(&mut params, &mut rng, "head", 2, 2);
+        assert_eq!(params.name(fc.weight()), "head.w");
+        assert_eq!(params.name(fc.bias()), "head.b");
+    }
+}

@@ -1,0 +1,49 @@
+//! Neural-network building blocks over the [`ad`] autodiff tape.
+//!
+//! This crate provides everything needed to train the *non-spiking* baseline
+//! of the reproduced paper — a LeNet-5 convolutional network — and the shared
+//! machinery the spiking crate builds on:
+//!
+//! * [`Params`] / [`ParamId`] — a flat store of named weight tensors that is
+//!   bound to a fresh tape on every forward pass,
+//! * layers ([`Linear`], [`Conv2d`]) with Kaiming initialization,
+//! * [`Model`] — the forward-pass abstraction shared by CNNs and SNNs,
+//! * [`Cnn`] — a configurable conv/FC stack with the [`CnnConfig::lenet5`]
+//!   preset used throughout the paper,
+//! * optimizers ([`Sgd`], [`Adam`]),
+//! * a [`train`] loop and [`metrics`],
+//! * [`AdversarialTarget`] — the white-box interface consumed by the
+//!   `attacks` crate (logits + loss gradient with respect to the *input*).
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{Cnn, CnnConfig, Params};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 10));
+//! let x = tensor::Tensor::zeros(&[2, 1, 8, 8]);
+//! let logits = nn::logits(&cnn, &params, &x);
+//! assert_eq!(logits.dims(), &[2, 10]);
+//! ```
+
+mod cnn;
+mod layers;
+mod model;
+mod optim;
+mod params;
+mod target;
+
+pub mod losses;
+pub mod metrics;
+pub mod schedule;
+pub mod train;
+
+pub use cnn::{Cnn, CnnConfig, ConvBlockConfig};
+pub use layers::{Conv2d, Linear};
+pub use model::{logits, predict, Model};
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use params::{BoundParams, ParamId, Params};
+pub use target::{AdversarialTarget, Classifier};

@@ -1,0 +1,136 @@
+//! Loss functions beyond plain cross-entropy.
+
+use ad::Var;
+use tensor::Tensor;
+
+/// Mean-squared error between a prediction and a constant target.
+///
+/// The target enters the tape as a leaf, so gradients flow only to the
+/// prediction.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use tensor::Tensor;
+///
+/// let tape = Tape::new();
+/// let pred = tape.leaf(Tensor::from_vec(vec![1.0, 3.0], &[2]));
+/// let loss = nn::losses::mse(pred, &Tensor::from_vec(vec![0.0, 1.0], &[2]));
+/// assert_eq!(loss.value().item(), (1.0 + 4.0) / 2.0);
+/// ```
+pub fn mse<'t>(prediction: Var<'t>, target: &Tensor) -> Var<'t> {
+    let t = prediction.tape().leaf(target.clone());
+    let d = prediction - t;
+    (d * d).mean()
+}
+
+/// Cross-entropy with label smoothing: the target distribution puts
+/// `1 − smoothing` on the true class and spreads `smoothing` uniformly over
+/// the rest. `smoothing = 0` reduces exactly to
+/// [`Var::cross_entropy`].
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, C]`, `targets.len() != N`, any target is
+/// out of range, or `smoothing` is outside `[0, 1)`.
+pub fn cross_entropy_smoothed<'t>(
+    logits: Var<'t>,
+    targets: &[usize],
+    smoothing: f32,
+) -> Var<'t> {
+    assert!(
+        (0.0..1.0).contains(&smoothing),
+        "smoothing must be in [0, 1), got {smoothing}"
+    );
+    if smoothing == 0.0 {
+        return logits.cross_entropy(targets);
+    }
+    let dims = logits.dims();
+    let (n, c) = match dims.as_slice() {
+        [n, c] => (*n, *c),
+        d => panic!("cross_entropy_smoothed requires rank-2 logits, got {d:?}"),
+    };
+    assert_eq!(targets.len(), n, "{} targets for {n} rows", targets.len());
+    // Smoothed one-hot targets as a constant.
+    let off = smoothing / (c as f32 - 1.0).max(1.0);
+    let mut dist = Tensor::full(&[n, c], off);
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target {t} out of range for {c} classes");
+        dist.data_mut()[i * c + t] = 1.0 - smoothing;
+    }
+    let logp = logits.log_softmax();
+    let dist_var = logits.tape().leaf(dist);
+    // −mean over rows of Σ_c q(c)·log p(c) = −sum/N.
+    (logp * dist_var).sum().mul_scalar(-1.0 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad::Tape;
+
+    #[test]
+    fn mse_gradient_is_two_thirds_error() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let loss = mse(pred, &Tensor::from_vec(vec![0.0, 2.0, 5.0], &[3]));
+        let grads = tape.backward(loss);
+        // d/dp mean((p−t)²) = 2(p−t)/n
+        let g = grads.wrt(pred).unwrap();
+        assert!(g.allclose(
+            &Tensor::from_vec(vec![2.0 / 3.0, 0.0, -4.0 / 3.0], &[3]),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn zero_smoothing_matches_cross_entropy_exactly() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9], &[2, 3]));
+        let a = cross_entropy_smoothed(logits, &[2, 0], 0.0).value().item();
+        let tape2 = Tape::new();
+        let logits2 = tape2.leaf(Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9], &[2, 3]));
+        let b = logits2.cross_entropy(&[2, 0]).value().item();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_matches_hand_computed_mixture() {
+        // Smoothed CE = (1−s−off)·CE_onehot + off·Σ_c(−logp_c) per row; check
+        // against a direct computation.
+        let data = vec![0.3f32, -0.2, 0.6];
+        let s = 0.3;
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(data.clone(), &[1, 3]));
+        let loss = cross_entropy_smoothed(logits, &[1], s).value().item();
+        let logp = Tensor::from_vec(data, &[1, 3]).log_softmax_rows();
+        let off = s / 2.0;
+        let expected = -(off * logp.data()[0] + (1.0 - s) * logp.data()[1] + off * logp.data()[2]);
+        assert!((loss - expected).abs() < 1e-6, "{loss} vs {expected}");
+    }
+
+    #[test]
+    fn smoothed_loss_gradchecks() {
+        ad::gradcheck::check(
+            &|_, vars| cross_entropy_smoothed(vars[0], &[1, 2], 0.2),
+            &[Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.9, -0.6, 0.2], &[2, 3])],
+            1e-3,
+            1e-2,
+            1e-2,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be in")]
+    fn rejects_full_smoothing() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::zeros(&[1, 2]));
+        cross_entropy_smoothed(logits, &[0], 1.0);
+    }
+}

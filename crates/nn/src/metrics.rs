@@ -1,0 +1,239 @@
+//! Classification metrics: accuracy and confusion matrices.
+
+use tensor::Tensor;
+
+/// Fraction of predictions matching the labels.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// let acc = nn::metrics::accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]);
+/// assert_eq!(acc, 0.75);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "{} predictions for {} labels",
+        predictions.len(),
+        labels.len()
+    );
+    assert!(!labels.is_empty(), "accuracy of an empty batch is undefined");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Accuracy computed directly from a `[N, C]` logits tensor.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`accuracy`], or if `logits` is not
+/// rank 2.
+pub fn accuracy_from_logits(logits: &Tensor, labels: &[usize]) -> f32 {
+    accuracy(&logits.argmax_rows(), labels)
+}
+
+/// A `C × C` confusion matrix; entry `(true, predicted)` counts samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u32>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or any value is `>= classes`.
+    pub fn new(classes: usize, predictions: &[usize], labels: &[usize]) -> Self {
+        assert_eq!(predictions.len(), labels.len());
+        let mut counts = vec![0u32; classes * classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < classes && l < classes, "class out of range");
+            counts[l * classes + p] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    /// Count of samples with true class `label` predicted as `pred`.
+    pub fn count(&self, label: usize, pred: usize) -> u32 {
+        self.counts[label * self.classes + pred]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-class recall (`None` for classes with no samples).
+    pub fn recall(&self, label: usize) -> Option<f32> {
+        let row = &self.counts[label * self.classes..(label + 1) * self.classes];
+        let total: u32 = row.iter().sum();
+        (total > 0).then(|| row[label] as f32 / total as f32)
+    }
+
+    /// Overall accuracy implied by the matrix.
+    pub fn accuracy(&self) -> f32 {
+        let total: u32 = self.counts.iter().sum();
+        let diag: u32 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        if total == 0 {
+            0.0
+        } else {
+            diag as f32 / total as f32
+        }
+    }
+
+    /// Per-class precision (`None` for classes never predicted).
+    pub fn precision(&self, pred: usize) -> Option<f32> {
+        let total: u32 = (0..self.classes).map(|l| self.count(l, pred)).sum();
+        (total > 0).then(|| self.count(pred, pred) as f32 / total as f32)
+    }
+
+    /// Per-class F1 score (`None` when precision or recall is undefined or
+    /// both are zero).
+    pub fn f1(&self, class: usize) -> Option<f32> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over the classes where F1 is defined; `None` if it
+    /// is defined for no class.
+    pub fn macro_f1(&self) -> Option<f32> {
+        let f1s: Vec<f32> = (0..self.classes).filter_map(|c| self.f1(c)).collect();
+        if f1s.is_empty() {
+            None
+        } else {
+            Some(f1s.iter().sum::<f32>() / f1s.len() as f32)
+        }
+    }
+}
+
+/// Top-`k` accuracy from a `[N, C]` logits tensor: a sample counts as
+/// correct when its label is among the `k` highest-scoring classes.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `k` is zero or exceeds the class
+/// count, or the label count does not match `N`.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![0.1, 0.9, 0.5], &[1, 3]);
+/// assert_eq!(nn::metrics::top_k_accuracy(&logits, &[2], 1), 0.0);
+/// assert_eq!(nn::metrics::top_k_accuracy(&logits, &[2], 2), 1.0);
+/// ```
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    let (n, c) = match logits.dims() {
+        [n, c] => (*n, *c),
+        d => panic!("top_k_accuracy requires rank-2 logits, got {d:?}"),
+    };
+    assert!(k > 0 && k <= c, "k must be in 1..={c}, got {k}");
+    assert_eq!(labels.len(), n, "{} labels for {n} rows", labels.len());
+    let mut correct = 0usize;
+    for (row, &label) in logits.data().chunks(c).zip(labels) {
+        let target = row[label];
+        // Rank = number of classes scoring strictly higher than the label.
+        let higher = row.iter().filter(|&&v| v > target).count();
+        if higher < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn accuracy_rejects_empty() {
+        accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn accuracy_from_logits_argmaxes() {
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        assert_eq!(accuracy_from_logits(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy_from_logits(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_recall() {
+        let m = ConfusionMatrix::new(3, &[0, 1, 1, 2], &[0, 1, 2, 2]);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(2, 1), 1);
+        assert_eq!(m.count(2, 2), 1);
+        assert_eq!(m.recall(2), Some(0.5));
+        assert_eq!(m.recall(0), Some(1.0));
+        assert_eq!(m.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn recall_of_absent_class_is_none() {
+        let m = ConfusionMatrix::new(3, &[0], &[0]);
+        assert_eq!(m.recall(1), None);
+    }
+
+    #[test]
+    fn precision_recall_f1_hand_computed() {
+        // preds:  0 0 1 1 1, labels: 0 1 1 1 0
+        let m = ConfusionMatrix::new(2, &[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        // Class 1: predicted 3 times, correct 2 -> precision 2/3;
+        // present 3 times, hit 2 -> recall 2/3; F1 = 2/3.
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.f1(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert!(m.macro_f1().is_some());
+    }
+
+    #[test]
+    fn precision_of_never_predicted_class_is_none() {
+        let m = ConfusionMatrix::new(3, &[0, 0], &[0, 2]);
+        assert_eq!(m.precision(1), None);
+        assert_eq!(m.f1(1), None);
+    }
+
+    #[test]
+    fn top_k_counts_rank_correctly() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1, 0.9, 0.5, // label 2 is rank 2
+                0.8, 0.1, 0.1, // label 0 is rank 1
+            ],
+            &[2, 3],
+        );
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 1), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 2), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn top_k_rejects_oversized_k() {
+        top_k_accuracy(&Tensor::zeros(&[1, 2]), &[0], 3);
+    }
+}

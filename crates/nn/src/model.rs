@@ -1,0 +1,36 @@
+//! The forward-pass abstraction shared by spiking and non-spiking networks.
+
+use ad::{Tape, Var};
+use tensor::Tensor;
+
+use crate::params::{BoundParams, Params};
+
+/// A differentiable classifier: maps a `[N, C, H, W]` image batch to
+/// `[N, classes]` logits on a caller-provided tape.
+///
+/// Both the CNN baseline ([`Cnn`](crate::Cnn)) and the spiking networks in
+/// the `snn` crate implement this trait, which is what lets the attack and
+/// exploration code treat them uniformly.
+pub trait Model {
+    /// Records the forward pass of `x` on `x`'s tape and returns the logits.
+    fn forward<'t>(&self, tape: &'t Tape, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t>;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+}
+
+/// Runs a forward pass on a throwaway tape and returns the logits tensor.
+///
+/// Convenience for inference; training and attacks build their own tapes so
+/// they can call `backward`.
+pub fn logits<M: Model>(model: &M, params: &Params, x: &Tensor) -> Tensor {
+    let tape = Tape::new();
+    let bound = params.bind(&tape);
+    let input = tape.leaf(x.clone());
+    model.forward(&tape, &bound, input).value()
+}
+
+/// Predicted class per sample.
+pub fn predict<M: Model>(model: &M, params: &Params, x: &Tensor) -> Vec<usize> {
+    logits(model, params, x).argmax_rows()
+}

@@ -1,0 +1,346 @@
+//! First-order optimizers over a [`Params`] store.
+
+use tensor::Tensor;
+
+use crate::params::Params;
+
+/// A gradient-based parameter update rule.
+///
+/// `grads[i]` must be the gradient of parameter `i` in registration order —
+/// exactly what [`BoundParams::gradients`](crate::BoundParams::gradients)
+/// returns.
+pub trait Optimizer {
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `grads.len() != params.len()` or any
+    /// gradient has the wrong shape.
+    fn step(&mut self, params: &mut Params, grads: &[Tensor]);
+}
+
+/// Scales the gradient set so its *global* L2 norm does not exceed
+/// `max_norm` (the usual stabiliser for surrogate-gradient BPTT, where
+/// sharp surrogates occasionally produce gradient spikes).
+///
+/// Returns the pre-clipping global norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use nn::clip_global_norm;
+/// use tensor::Tensor;
+///
+/// let mut grads = vec![Tensor::from_vec(vec![3.0, 4.0], &[2])];
+/// let norm = clip_global_norm(&mut grads, 1.0);
+/// assert_eq!(norm, 5.0);
+/// assert!((grads[0].norm() - 1.0).abs() < 1e-6);
+/// ```
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive, got {max_norm}");
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            g.map_inplace(|v| v * scale);
+        }
+    }
+    total
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// # Example
+///
+/// ```
+/// use nn::{Optimizer, Params, Sgd};
+/// use tensor::Tensor;
+///
+/// let mut params = Params::new();
+/// let w = params.register("w", Tensor::scalar(1.0));
+/// let mut opt = Sgd::new(0.5, 0.0);
+/// opt.step(&mut params, &[Tensor::scalar(2.0)]);
+/// assert_eq!(params.get(w).item(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum factor `momentum`
+    /// (`0.0` disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &[Tensor]) {
+        assert_eq!(
+            grads.len(),
+            params.len(),
+            "got {} gradients for {} parameters",
+            grads.len(),
+            params.len()
+        );
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = grads.iter().map(|g| Tensor::zeros(g.dims())).collect();
+        }
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                *v = v.mul_scalar(self.momentum).add(&grads[i]);
+                params.get_mut(id).add_scaled_inplace(&self.velocity[i].clone(), -self.lr);
+            } else {
+                params.get_mut(id).add_scaled_inplace(&grads[i], -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam ([Kingma & Ba, 2015]) with bias-corrected moment estimates — the
+/// optimizer used for all experiments in this reproduction because the SNN
+/// surrogate-gradient landscape trains poorly under plain SGD.
+///
+/// [Kingma & Ba, 2015]: https://arxiv.org/abs/1412.6980
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults `β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Returns `self` with decoupled weight decay (AdamW): each step also
+    /// shrinks every weight by `lr · weight_decay · w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(
+            weight_decay >= 0.0,
+            "weight decay must be non-negative, got {weight_decay}"
+        );
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &[Tensor]) {
+        assert_eq!(
+            grads.len(),
+            params.len(),
+            "got {} gradients for {} parameters",
+            grads.len(),
+            params.len()
+        );
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.dims())).collect();
+            self.v = grads.iter().map(|g| Tensor::zeros(g.dims())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = &grads[i];
+            let m = &mut self.m[i];
+            *m = m.mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1));
+            let v = &mut self.v[i];
+            *v = v
+                .mul_scalar(self.beta2)
+                .add(&g.mul(g).mul_scalar(1.0 - self.beta2));
+            let m_hat = self.m[i].mul_scalar(1.0 / bc1);
+            let v_hat = self.v[i].mul_scalar(1.0 / bc2);
+            let update = m_hat.zip_map(&v_hat, |mv, vv| mv / (vv.sqrt() + self.eps));
+            let w = params.get_mut(id);
+            if self.weight_decay > 0.0 {
+                let decayed = w.mul_scalar(self.weight_decay);
+                w.add_scaled_inplace(&decayed, -self.lr);
+            }
+            w.add_scaled_inplace(&update, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(params: &Params) -> Vec<Tensor> {
+        // loss = Σ w² → grad = 2w
+        params.iter().map(|(_, w)| w.mul_scalar(2.0)).collect()
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut params = Params::new();
+        let w = params.register("w", Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..50 {
+            let g = quadratic_grad(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.get(w).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut params = Params::new();
+            let w = params.register("w", Tensor::scalar(1.0));
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..20 {
+                let g = quadratic_grad(&params);
+                opt.step(&mut params, &g);
+            }
+            params.get(w).item().abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut params = Params::new();
+        let w = params.register("w", Tensor::from_vec(vec![3.0, -1.5, 0.5], &[3]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let g = quadratic_grad(&params);
+            opt.step(&mut params, &g);
+        }
+        assert!(params.get(w).max_abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_zero_lr() {
+        Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_untouched() {
+        let mut grads = vec![Tensor::from_vec(vec![0.3, 0.4], &[2])];
+        let norm = clip_global_norm(&mut grads, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(grads[0].data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_uses_global_norm_across_tensors() {
+        let mut grads = vec![
+            Tensor::from_vec(vec![3.0], &[1]),
+            Tensor::from_vec(vec![4.0], &[1]),
+        ];
+        clip_global_norm(&mut grads, 1.0);
+        // 3-4-5 triangle scaled to unit norm.
+        assert!((grads[0].item() - 0.6).abs() < 1e-6);
+        assert!((grads[1].item() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adamw_decays_weights_with_zero_gradient() {
+        let mut params = Params::new();
+        let w = params.register("w", Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.1).with_weight_decay(0.1);
+        for _ in 0..10 {
+            opt.step(&mut params, &[Tensor::scalar(0.0)]);
+        }
+        let v = params.get(w).item();
+        assert!(v < 1.0 && v > 0.8, "decay should shrink the weight: {v}");
+    }
+
+    #[test]
+    fn adam_set_lr_takes_effect() {
+        let mut params = Params::new();
+        params.register("w", Tensor::scalar(1.0));
+        let mut opt = Adam::new(1e-9);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradients for")]
+    fn step_rejects_wrong_grad_count() {
+        let mut params = Params::new();
+        params.register("w", Tensor::scalar(0.0));
+        Sgd::new(0.1, 0.0).step(&mut params, &[]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The flat parameter store shared by all models.
+//!
+//! Weights live *outside* the autodiff tape as plain tensors; every forward
+//! pass binds them onto a fresh [`Tape`](ad::Tape) as leaves. After
+//! `backward`, the optimizer reads one gradient per parameter through the
+//! same binding. This keeps tapes short-lived and models free of interior
+//! mutability.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use ad::{Grads, Tape, Var};
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// Identifier of one tensor inside a [`Params`] store.
+///
+/// `ParamId`s are handed out by [`Params::register`] and stay valid for the
+/// lifetime of the store (parameters are never removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// A named collection of trainable tensors.
+///
+/// # Example
+///
+/// ```
+/// use nn::Params;
+/// use tensor::Tensor;
+///
+/// let mut params = Params::new();
+/// let w = params.register("w", Tensor::zeros(&[2, 2]));
+/// assert_eq!(params.get(w).dims(), &[2, 2]);
+/// assert_eq!(params.name(w), "w");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Params {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tensor under `name` and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.tensors.push(value);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// The current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Binds every parameter onto `tape` as a leaf, returning the per-pass
+    /// variable handles.
+    pub fn bind<'t>(&self, tape: &'t Tape) -> BoundParams<'t> {
+        BoundParams {
+            vars: self.tensors.iter().map(|t| tape.leaf(t.clone())).collect(),
+        }
+    }
+
+    /// Iterates over `(id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+
+    /// A human-readable table of all parameters: name, shape and scalar
+    /// count, with a total row — the classic model summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("parameter                shape            scalars\n");
+        for (id, t) in self.iter() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:<16} {:>7}",
+                self.name(id),
+                t.shape().to_string(),
+                t.len()
+            );
+        }
+        let _ = write!(out, "total: {} parameters, {} scalars", self.len(), self.num_scalars());
+        out
+    }
+
+    /// Saves all parameters (names and values) as JSON — a trained model
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be written.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(path, json)
+    }
+
+    /// Loads a checkpoint written by [`Params::save_json`].
+    ///
+    /// The caller is responsible for pairing the checkpoint with the model
+    /// architecture it was trained for; [`Params::num_scalars`] and the
+    /// registered names make mismatches easy to detect.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be read or parsed.
+    pub fn load_json(path: &Path) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Per-forward-pass tape bindings of a [`Params`] store.
+///
+/// Produced by [`Params::bind`]; consumed by [`Model::forward`](crate::Model::forward)
+/// implementations (to read weights) and by optimizers (to read gradients).
+#[derive(Debug)]
+pub struct BoundParams<'t> {
+    vars: Vec<Var<'t>>,
+}
+
+impl<'t> BoundParams<'t> {
+    /// The tape variable bound to parameter `id`.
+    pub fn get(&self, id: ParamId) -> Var<'t> {
+        self.vars[id.0]
+    }
+
+    /// Collects the gradient of every parameter from a backward pass,
+    /// substituting zeros for parameters the loss does not touch.
+    pub fn gradients(&self, grads: &Grads) -> Vec<Tensor> {
+        self.vars
+            .iter()
+            .map(|v| grads.wrt_or_zero(*v, &v.dims()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = Params::new();
+        let a = p.register("a", Tensor::zeros(&[3]));
+        let b = p.register("b", Tensor::ones(&[2, 2]));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 7);
+        assert_eq!(p.get(a).dims(), &[3]);
+        assert_eq!(p.name(b), "b");
+    }
+
+    #[test]
+    fn bind_creates_leaves_with_current_values() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::scalar(2.0));
+        let tape = Tape::new();
+        let bound = p.bind(&tape);
+        assert_eq!(bound.get(w).value().item(), 2.0);
+    }
+
+    #[test]
+    fn summary_lists_every_parameter_and_totals() {
+        let mut p = Params::new();
+        p.register("conv.w", Tensor::zeros(&[4, 1, 3, 3]));
+        p.register("conv.b", Tensor::zeros(&[4]));
+        let s = p.summary();
+        assert!(s.contains("conv.w"));
+        assert!(s.contains("[4, 1, 3, 3]"));
+        assert!(s.contains("total: 2 parameters, 40 scalars"), "{s}");
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let mut p = Params::new();
+        p.register("layer.w", Tensor::from_vec(vec![1.5, -2.5], &[2]));
+        p.register("layer.b", Tensor::scalar(0.25));
+        let dir = std::env::temp_dir().join("spiking_armor_params_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        p.save_json(&path).unwrap();
+        let q = Params::load_json(&path).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.name(ParamId(0)), "layer.w");
+        assert_eq!(q.get(ParamId(0)).data(), &[1.5, -2.5]);
+        assert_eq!(q.num_scalars(), 3);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("spiking_armor_params_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{nope").unwrap();
+        assert!(Params::load_json(&path).is_err());
+    }
+
+    #[test]
+    fn gradients_align_with_param_order() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::scalar(3.0));
+        let unused = p.register("unused", Tensor::zeros(&[2]));
+        let tape = Tape::new();
+        let bound = p.bind(&tape);
+        let loss = (bound.get(w) * bound.get(w)).sum();
+        let grads = tape.backward(loss);
+        let gs = bound.gradients(&grads);
+        assert_eq!(gs[0].item(), 6.0);
+        assert_eq!(gs[1].data(), &[0.0, 0.0]);
+        let _ = unused;
+    }
+}

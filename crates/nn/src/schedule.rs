@@ -1,0 +1,144 @@
+//! Learning-rate schedules.
+//!
+//! Schedules are plain functions of the epoch index; the training driver
+//! queries [`LrSchedule::lr_at`] and pushes the value into the optimizer.
+//! This keeps optimizers stateless with respect to time and makes schedules
+//! trivially testable.
+
+/// A learning-rate schedule over epochs.
+///
+/// # Example
+///
+/// ```
+/// use nn::schedule::LrSchedule;
+///
+/// let sched = LrSchedule::step(0.1, 2, 0.5);
+/// assert_eq!(sched.lr_at(0), 0.1);
+/// assert_eq!(sched.lr_at(2), 0.05);
+/// assert_eq!(sched.lr_at(4), 0.025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate forever.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Initial rate.
+        lr: f32,
+        /// Epochs between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from `lr` down to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Initial rate.
+        lr: f32,
+        /// Final rate.
+        min_lr: f32,
+        /// Horizon of the anneal.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// A constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn constant(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        LrSchedule::Constant { lr }
+    }
+
+    /// A step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` or `gamma` is not positive, or `every` is zero.
+    pub fn step(lr: f32, every: usize, gamma: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        assert!(every > 0, "decay interval must be positive");
+        assert!(gamma > 0.0, "decay factor must be positive, got {gamma}");
+        LrSchedule::Step { lr, every, gamma }
+    }
+
+    /// A cosine-annealing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are not positive, `min_lr > lr`, or the horizon is
+    /// zero.
+    pub fn cosine(lr: f32, min_lr: f32, total_epochs: usize) -> Self {
+        assert!(lr > 0.0 && min_lr > 0.0, "learning rates must be positive");
+        assert!(min_lr <= lr, "min_lr {min_lr} exceeds initial lr {lr}");
+        assert!(total_epochs > 0, "anneal horizon must be positive");
+        LrSchedule::Cosine {
+            lr,
+            min_lr,
+            total_epochs,
+        }
+    }
+
+    /// The learning rate to use for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Step { lr, every, gamma } => lr * gamma.powi((epoch / every) as i32),
+            LrSchedule::Cosine {
+                lr,
+                min_lr,
+                total_epochs,
+            } => {
+                let t = (epoch.min(total_epochs)) as f32 / total_epochs as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::constant(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::step(1.0, 3, 0.1);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(2), 1.0);
+        assert!((s.lr_at(3) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(6) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_to_min() {
+        let s = LrSchedule::cosine(0.1, 0.001, 10);
+        let mut prev = f32::INFINITY;
+        for e in 0..=10 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-7, "cosine rose at epoch {e}");
+            prev = lr;
+        }
+        assert!((s.lr_at(10) - 0.001).abs() < 1e-6);
+        assert_eq!(s.lr_at(0), 0.1);
+        // Past the horizon the schedule stays at the floor.
+        assert!((s.lr_at(50) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_lr")]
+    fn cosine_rejects_inverted_bounds() {
+        LrSchedule::cosine(0.001, 0.1, 10);
+    }
+}

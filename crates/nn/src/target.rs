@@ -1,0 +1,154 @@
+//! The white-box attack interface.
+//!
+//! The paper's threat model (§IV) gives the adversary full access to the
+//! victim network — architecture, weights and structural parameters — and
+//! generates perturbations from the gradient of the loss *with respect to
+//! the input*. [`AdversarialTarget`] is exactly that contract; the `attacks`
+//! crate is written against it and never sees a concrete network type.
+
+use ad::Tape;
+use tensor::Tensor;
+
+use crate::model::Model;
+use crate::params::Params;
+
+/// A classifier that exposes everything a white-box adversary needs.
+pub trait AdversarialTarget {
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Raw logits for a `[N, C, H, W]` batch.
+    fn logits(&self, x: &Tensor) -> Tensor;
+
+    /// Cross-entropy loss of the batch and its gradient with respect to the
+    /// input pixels — the quantity PGD ascends.
+    fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor);
+
+    /// Predicted class per sample (derived from [`AdversarialTarget::logits`]).
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.logits(x).argmax_rows()
+    }
+}
+
+/// Bundles a [`Model`] with its trained [`Params`] into a self-contained,
+/// attackable classifier.
+///
+/// # Example
+///
+/// ```
+/// use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
+/// use rand::SeedableRng;
+/// use tensor::Tensor;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut params = Params::new();
+/// let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 10));
+/// let clf = Classifier::new(cnn, params);
+/// let x = Tensor::zeros(&[1, 1, 8, 8]);
+/// let (loss, grad) = clf.loss_and_input_grad(&x, &[3]);
+/// assert!(loss > 0.0);
+/// assert_eq!(grad.dims(), x.dims());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Classifier<M> {
+    model: M,
+    params: Params,
+}
+
+impl<M: Model> Classifier<M> {
+    /// Wraps a model and its parameter store.
+    pub fn new(model: M, params: Params) -> Self {
+        Self { model, params }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutable access to the parameters (for training in place).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Splits the classifier back into model and parameters.
+    pub fn into_parts(self) -> (M, Params) {
+        (self.model, self.params)
+    }
+}
+
+impl<M: Model> AdversarialTarget for Classifier<M> {
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn logits(&self, x: &Tensor) -> Tensor {
+        crate::model::logits(&self.model, &self.params, x)
+    }
+
+    fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let input = tape.leaf(x.clone());
+        let logits = self.model.forward(&tape, &bound, input);
+        let loss = logits.cross_entropy(labels);
+        let loss_value = loss.value().item();
+        let grads = tape.backward(loss);
+        (loss_value, grads.wrt_or_zero(input, x.dims()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::{Cnn, CnnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_classifier(seed: u64) -> Classifier<Cnn> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4));
+        Classifier::new(cnn, params)
+    }
+
+    #[test]
+    fn input_gradient_has_input_shape_and_signal() {
+        let clf = tiny_classifier(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = tensor::init::uniform(&mut rng, &[2, 1, 8, 8], 0.0, 1.0);
+        let (loss, grad) = clf.loss_and_input_grad(&x, &[0, 1]);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grad.dims(), x.dims());
+        assert!(grad.max_abs() > 0.0, "white-box gradient must be non-zero");
+    }
+
+    #[test]
+    fn predict_is_argmax_of_logits() {
+        let clf = tiny_classifier(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tensor::init::uniform(&mut rng, &[3, 1, 8, 8], 0.0, 1.0);
+        assert_eq!(clf.predict(&x), clf.logits(&x).argmax_rows());
+    }
+
+    #[test]
+    fn loss_grad_points_uphill() {
+        // Stepping the input along +grad must not decrease the loss.
+        let clf = tiny_classifier(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = tensor::init::uniform(&mut rng, &[1, 1, 8, 8], 0.2, 0.8);
+        let labels = [2usize];
+        let (loss0, grad) = clf.loss_and_input_grad(&x, &labels);
+        let stepped = x.add(&grad.mul_scalar(1e-2));
+        let (loss1, _) = clf.loss_and_input_grad(&stepped, &labels);
+        assert!(
+            loss1 >= loss0 - 1e-5,
+            "ascending the gradient lowered the loss: {loss0} -> {loss1}"
+        );
+    }
+}

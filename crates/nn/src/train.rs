@@ -1,0 +1,337 @@
+//! Mini-batch training and evaluation loops.
+//!
+//! These loops are model-agnostic: the CNN baseline and the spiking networks
+//! (whose BPTT happens inside their [`Model::forward`]) train through the
+//! same code path, which keeps the paper's CNN-vs-SNN comparison honest.
+
+use ad::Tape;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tensor::Tensor;
+
+use crate::metrics;
+use crate::model::Model;
+use crate::optim::Optimizer;
+use crate::params::Params;
+
+/// Summary of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy over all batches.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch (computed from the same forward
+    /// passes used for the updates).
+    pub accuracy: f32,
+}
+
+/// Extracts the samples at `indices` from a `[N, C, H, W]` image tensor and
+/// its label slice.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank 4, the label count differs from `N`, or
+/// any index is out of range.
+pub fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let dims = images.dims();
+    assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
+    let n = dims[0];
+    assert_eq!(labels.len(), n, "{} labels for {n} images", labels.len());
+    let sample_len: usize = dims[1..].iter().product();
+    let mut data = Vec::with_capacity(indices.len() * sample_len);
+    let mut batch_labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        assert!(i < n, "sample index {i} out of range for {n} images");
+        data.extend_from_slice(&images.data()[i * sample_len..(i + 1) * sample_len]);
+        batch_labels.push(labels[i]);
+    }
+    let batch = Tensor::from_vec(data, &[indices.len(), dims[1], dims[2], dims[3]]);
+    (batch, batch_labels)
+}
+
+/// Runs one epoch of shuffled mini-batch training and returns its stats.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero or the data shapes are inconsistent (see
+/// [`gather_batch`]).
+pub fn train_epoch<M: Model, O: Optimizer, R: Rng>(
+    model: &M,
+    params: &mut Params,
+    optimizer: &mut O,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    rng: &mut R,
+) -> EpochStats {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = images.dims()[0];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut total_loss = 0.0;
+    let mut batches = 0usize;
+    let mut correct = 0usize;
+    for chunk in order.chunks(batch_size) {
+        let (batch, batch_labels) = gather_batch(images, labels, chunk);
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let input = tape.leaf(batch);
+        let logits = model.forward(&tape, &bound, input);
+        let loss = logits.cross_entropy(&batch_labels);
+        total_loss += loss.value().item();
+        correct += logits
+            .value()
+            .argmax_rows()
+            .iter()
+            .zip(&batch_labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        let grads = tape.backward(loss);
+        let grad_tensors = bound.gradients(&grads);
+        optimizer.step(params, &grad_tensors);
+        batches += 1;
+    }
+    EpochStats {
+        mean_loss: total_loss / batches.max(1) as f32,
+        accuracy: correct as f32 / n as f32,
+    }
+}
+
+/// Computes test accuracy in mini-batches (no gradient work).
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero or the shapes are inconsistent.
+pub fn evaluate<M: Model>(
+    model: &M,
+    params: &Params,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> f32 {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let n = images.dims()[0];
+    let mut predictions = Vec::with_capacity(n);
+    let all: Vec<usize> = (0..n).collect();
+    for chunk in all.chunks(batch_size) {
+        let (batch, _) = gather_batch(images, labels, chunk);
+        predictions.extend(crate::model::predict(model, params, &batch));
+    }
+    metrics::accuracy(&predictions, labels)
+}
+
+/// Configuration for the high-level [`fit`] loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule (queried per epoch).
+    pub schedule: crate::schedule::LrSchedule,
+    /// Stop after this many epochs without validation improvement
+    /// (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Seed for epoch shuffling.
+    pub seed: u64,
+}
+
+/// One epoch's record in a [`FitReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitEpoch {
+    /// Training statistics.
+    pub train: EpochStats,
+    /// Validation accuracy after the epoch.
+    pub val_accuracy: f32,
+    /// Learning rate used for the epoch.
+    pub lr: f32,
+}
+
+/// The outcome of [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Per-epoch history, in order.
+    pub history: Vec<FitEpoch>,
+    /// Best validation accuracy seen.
+    pub best_val_accuracy: f32,
+    /// Epoch index (0-based) of the best validation accuracy.
+    pub best_epoch: usize,
+}
+
+impl FitReport {
+    /// Number of epochs actually run (≤ `FitConfig::epochs` when early
+    /// stopping triggered).
+    pub fn epochs_run(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// High-level training: Adam + LR schedule + validation tracking + optional
+/// early stopping, restoring the best-validation weights on return.
+///
+/// # Panics
+///
+/// Panics if `config.epochs` or `config.batch_size` is zero, or the data
+/// shapes are inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn fit<M: Model>(
+    model: &M,
+    params: &mut Params,
+    train_images: &Tensor,
+    train_labels: &[usize],
+    val_images: &Tensor,
+    val_labels: &[usize],
+    config: &FitConfig,
+) -> FitReport {
+    assert!(config.epochs > 0, "epochs must be positive");
+    let mut optimizer = crate::optim::Adam::new(config.schedule.lr_at(0));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut history = Vec::with_capacity(config.epochs);
+    let mut best_val = f32::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_params = params.clone();
+    let mut since_best = 0usize;
+    for epoch in 0..config.epochs {
+        let lr = config.schedule.lr_at(epoch);
+        optimizer.set_lr(lr);
+        let train = train_epoch(
+            model,
+            params,
+            &mut optimizer,
+            train_images,
+            train_labels,
+            config.batch_size,
+            &mut rng,
+        );
+        let val_accuracy = evaluate(model, params, val_images, val_labels, config.batch_size);
+        history.push(FitEpoch {
+            train,
+            val_accuracy,
+            lr,
+        });
+        if val_accuracy > best_val {
+            best_val = val_accuracy;
+            best_epoch = epoch;
+            best_params = params.clone();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if let Some(patience) = config.patience {
+                if since_best >= patience {
+                    break;
+                }
+            }
+        }
+    }
+    *params = best_params;
+    FitReport {
+        history,
+        best_val_accuracy: best_val,
+        best_epoch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::{Cnn, CnnConfig};
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A trivially separable two-class problem: class 0 images are dark,
+    /// class 1 images are bright.
+    fn toy_data(n: usize, hw: usize, rng: &mut StdRng) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(n * hw * hw);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.1 } else { 0.9 };
+            for _ in 0..hw * hw {
+                data.push(base + rng.gen_range(-0.05..0.05));
+            }
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[n, 1, hw, hw]), labels)
+    }
+
+    #[test]
+    fn gather_batch_picks_requested_samples() {
+        let images = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[4, 1, 1, 2]);
+        let labels = vec![0, 1, 2, 3];
+        let (b, l) = gather_batch(&images, &labels, &[3, 1]);
+        assert_eq!(b.dims(), &[2, 1, 1, 2]);
+        assert_eq!(b.data(), &[6.0, 7.0, 2.0, 3.0]);
+        assert_eq!(l, vec![3, 1]);
+    }
+
+    #[test]
+    fn training_learns_separable_problem() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (images, labels) = toy_data(32, 8, &mut rng);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 2));
+        let mut opt = Adam::new(5e-3);
+        let mut last = EpochStats { mean_loss: f32::INFINITY, accuracy: 0.0 };
+        for _ in 0..8 {
+            last = train_epoch(&cnn, &mut params, &mut opt, &images, &labels, 8, &mut rng);
+        }
+        assert!(last.accuracy > 0.9, "train accuracy {}", last.accuracy);
+        let test_acc = evaluate(&cnn, &params, &images, &labels, 16);
+        assert!(test_acc > 0.9, "test accuracy {test_acc}");
+    }
+
+    #[test]
+    fn fit_restores_best_validation_weights_and_stops_early() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (images, labels) = toy_data(32, 6, &mut rng);
+        let (val_images, val_labels) = toy_data(12, 6, &mut rng);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(6, 2));
+        let cfg = FitConfig {
+            epochs: 12,
+            batch_size: 8,
+            schedule: crate::schedule::LrSchedule::step(5e-3, 6, 0.5),
+            patience: Some(4),
+            seed: 7,
+        };
+        let report = fit(&cnn, &mut params, &images, &labels, &val_images, &val_labels, &cfg);
+        assert!(report.epochs_run() >= 1 && report.epochs_run() <= 12);
+        assert!(report.best_val_accuracy > 0.8, "best val {}", report.best_val_accuracy);
+        // The restored weights reproduce the best validation accuracy.
+        let acc = evaluate(&cnn, &params, &val_images, &val_labels, 12);
+        assert!((acc - report.best_val_accuracy).abs() < 1e-6);
+        assert!(report.best_epoch < report.epochs_run());
+        // The schedule was actually applied.
+        assert_eq!(report.history[0].lr, 5e-3);
+    }
+
+    #[test]
+    fn fit_early_stopping_bounds_epochs() {
+        // patience 1 with an unlearnable (constant-label) problem stops fast.
+        let mut rng = StdRng::seed_from_u64(4);
+        let images = Tensor::full(&[8, 1, 6, 6], 0.5);
+        let labels = vec![0usize; 8];
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(6, 2));
+        let cfg = FitConfig {
+            epochs: 50,
+            batch_size: 8,
+            schedule: crate::schedule::LrSchedule::constant(1e-3),
+            patience: Some(1),
+            seed: 1,
+        };
+        let report = fit(&cnn, &mut params, &images, &labels, &images, &labels, &cfg);
+        assert!(report.epochs_run() < 50, "early stopping never triggered");
+    }
+
+    #[test]
+    fn evaluate_batches_cover_all_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (images, labels) = toy_data(10, 4, &mut rng);
+        let mut params = Params::new();
+        let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(4, 2));
+        // Batch size that does not divide n: the tail batch must be included.
+        let acc = evaluate(&cnn, &params, &images, &labels, 3);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

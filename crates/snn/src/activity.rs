@@ -1,0 +1,122 @@
+//! Spike-activity statistics: how much a trained network actually fires.
+//!
+//! The paper's central mechanism is that `V_th` and `T` modulate spiking
+//! activity, which in turn conditions both accuracy and attackability.
+//! [`ActivityReport`] quantifies that directly: per spiking layer, the mean
+//! firing rate (spikes per neuron per timestep) observed while classifying
+//! a batch.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Firing statistics of one spiking layer over one forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerActivity {
+    /// Layer label (e.g. `"conv0"`, `"fc1"`).
+    pub layer: String,
+    /// Total spikes emitted across the batch and the whole time window.
+    pub total_spikes: f32,
+    /// Number of neurons in the layer × batch size.
+    pub units: usize,
+    /// Number of simulation steps observed.
+    pub timesteps: usize,
+}
+
+impl LayerActivity {
+    /// Mean firing rate in spikes per unit per timestep (`0..=1` for
+    /// binary spike trains).
+    pub fn mean_rate(&self) -> f32 {
+        if self.units == 0 || self.timesteps == 0 {
+            0.0
+        } else {
+            self.total_spikes / (self.units * self.timesteps) as f32
+        }
+    }
+}
+
+/// Per-layer firing statistics for one batch, produced by
+/// [`SpikingCnn::activity`](crate::SpikingCnn::activity) and
+/// [`SpikingMlp::activity`](crate::SpikingMlp::activity).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ActivityReport {
+    layers: Vec<LayerActivity>,
+}
+
+impl ActivityReport {
+    /// The recorded layers, input-side first.
+    pub fn layers(&self) -> &[LayerActivity] {
+        &self.layers
+    }
+
+    /// Mean firing rate across all layers, weighted by unit-timesteps.
+    pub fn overall_rate(&self) -> f32 {
+        let spikes: f32 = self.layers.iter().map(|l| l.total_spikes).sum();
+        let denom: usize = self.layers.iter().map(|l| l.units * l.timesteps).sum();
+        if denom == 0 {
+            0.0
+        } else {
+            spikes / denom as f32
+        }
+    }
+
+    pub(crate) fn record(&mut self, layer: &str, spikes_sum: f32, units: usize) {
+        match self.layers.iter_mut().find(|l| l.layer == layer) {
+            Some(l) => {
+                l.total_spikes += spikes_sum;
+                l.timesteps += 1;
+            }
+            None => self.layers.push(LayerActivity {
+                layer: layer.to_string(),
+                total_spikes: spikes_sum,
+                units,
+                timesteps: 1,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ActivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "layer        rate [spikes/unit/step]")?;
+        for l in &self.layers {
+            writeln!(f, "{:<12} {:.4}", l.layer, l.mean_rate())?;
+        }
+        write!(f, "overall      {:.4}", self.overall_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_accumulate_across_timesteps() {
+        let mut r = ActivityReport::default();
+        r.record("fc0", 5.0, 10);
+        r.record("fc0", 3.0, 10);
+        r.record("fc1", 1.0, 4);
+        assert_eq!(r.layers().len(), 2);
+        let fc0 = &r.layers()[0];
+        assert_eq!(fc0.total_spikes, 8.0);
+        assert_eq!(fc0.timesteps, 2);
+        assert!((fc0.mean_rate() - 8.0 / 20.0).abs() < 1e-6);
+        // Overall: (8 + 1) / (20 + 4)
+        assert!((r.overall_rate() - 9.0 / 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_report_has_zero_rate() {
+        let r = ActivityReport::default();
+        assert_eq!(r.overall_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let mut r = ActivityReport::default();
+        r.record("conv0", 2.0, 8);
+        let text = r.to_string();
+        assert!(text.contains("conv0"));
+        assert!(text.contains("overall"));
+    }
+}

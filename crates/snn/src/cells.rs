@@ -1,0 +1,301 @@
+//! Richer neuron models and the unified cell dispatch used by the network
+//! builders.
+//!
+//! Beyond the plain [`LifCell`](crate::LifCell), this module provides:
+//!
+//! * [`SynapticLifCell`] — a two-state LIF whose input first charges an
+//!   exponentially-decaying synaptic current (Norse's full `LIF` cell is of
+//!   this form; the paper's networks use the simplified single-state
+//!   variant, which remains the default),
+//! * [`AdaptiveLifCell`] — LIF with spike-triggered threshold adaptation
+//!   (ALIF), a common extension the paper lists as future work,
+//! * [`NeuronModel`] — a serialisable selector that lets experiment configs
+//!   and ablations switch neuron models without changing network code.
+
+use ad::Var;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::lif::{LifCell, LifParams};
+use crate::surrogate::Surrogate;
+
+/// The recurrent state of one spiking layer, for any supported neuron model.
+#[derive(Debug, Clone, Copy)]
+pub enum CellState<'t> {
+    /// Membrane potential only (plain LIF).
+    Membrane(Var<'t>),
+    /// Synaptic current + membrane potential.
+    SynapticMembrane(Var<'t>, Var<'t>),
+    /// Membrane potential + adaptation variable.
+    MembraneAdaptation(Var<'t>, Var<'t>),
+}
+
+/// A LIF neuron with an explicit synaptic-current state:
+///
+/// ```text
+/// i[t+1] = γ · i[t] + I[t]
+/// v[t+1] = β · v[t] + i[t+1]
+/// ```
+///
+/// followed by the usual threshold/reset. The synaptic low-pass makes the
+/// membrane respond smoothly to input transients.
+#[derive(Debug, Clone, Copy)]
+pub struct SynapticLifCell {
+    params: LifParams,
+    gamma: f32,
+}
+
+impl SynapticLifCell {
+    /// Creates the cell with synaptic decay `gamma` per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn new(params: LifParams, gamma: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "synaptic decay must be in [0, 1], got {gamma}"
+        );
+        Self { params, gamma }
+    }
+
+    /// The synaptic decay factor.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Advances one step: returns `(spikes, (i_next, v_next))`.
+    pub fn step<'t>(&self, input: Var<'t>, i: Var<'t>, v: Var<'t>) -> (Var<'t>, (Var<'t>, Var<'t>)) {
+        let i_next = i.mul_scalar(self.gamma) + input;
+        // Reuse the plain LIF threshold/reset dynamics on the filtered
+        // current.
+        let (spikes, v_next) = LifCell::new(self.params).step(i_next, v);
+        (spikes, (i_next, v_next))
+    }
+}
+
+/// A LIF neuron with spike-triggered threshold adaptation (ALIF):
+///
+/// ```text
+/// v[t+1] = β · v[t] + I[t]
+/// s[t+1] = Θ(v[t+1] − (V_th + κ · a[t]))
+/// a[t+1] = ρ · a[t] + s[t+1]
+/// ```
+///
+/// Each spike raises the effective threshold by `κ`, which then decays with
+/// factor `ρ` — a homeostatic mechanism that suppresses sustained bursting.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveLifCell {
+    params: LifParams,
+    rho: f32,
+    kappa: f32,
+}
+
+impl AdaptiveLifCell {
+    /// Creates the cell with adaptation decay `rho` and increment `kappa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]` or `kappa` is negative.
+    pub fn new(params: LifParams, rho: f32, kappa: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rho),
+            "adaptation decay must be in [0, 1], got {rho}"
+        );
+        assert!(kappa >= 0.0, "adaptation increment must be non-negative, got {kappa}");
+        Self { params, rho, kappa }
+    }
+
+    /// Advances one step: returns `(spikes, (v_next, a_next))`.
+    pub fn step<'t>(&self, input: Var<'t>, v: Var<'t>, a: Var<'t>) -> (Var<'t>, (Var<'t>, Var<'t>)) {
+        let p = self.params;
+        let v_int = v.mul_scalar(p.beta) + input;
+        // Effective threshold V_th + κ·a enters the centered membrane.
+        let centered = (v_int - a.mul_scalar(self.kappa)).add_scalar(-p.v_th);
+        let spikes = centered.custom_unary(Box::new(Surrogate::new(p.surrogate, p.alpha)));
+        let v_next = match p.reset {
+            crate::ResetMode::Subtract => v_int - spikes.mul_scalar(p.v_th),
+            crate::ResetMode::Zero => v_int - v_int * spikes,
+        };
+        let a_next = a.mul_scalar(self.rho) + spikes;
+        (spikes, (v_next, a_next))
+    }
+}
+
+/// Selects the neuron model used by every spiking layer of a network.
+///
+/// # Example
+///
+/// ```
+/// use snn::NeuronModel;
+///
+/// let model = NeuronModel::SynapticLif { gamma: 0.8 };
+/// assert_ne!(model, NeuronModel::Lif);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum NeuronModel {
+    /// Single-state leaky integrate-and-fire (the paper's model).
+    #[default]
+    Lif,
+    /// LIF with an explicit synaptic-current state.
+    SynapticLif {
+        /// Synaptic decay per step.
+        gamma: f32,
+    },
+    /// LIF with spike-triggered threshold adaptation.
+    AdaptiveLif {
+        /// Adaptation decay per step.
+        rho: f32,
+        /// Threshold increment per spike.
+        kappa: f32,
+    },
+}
+
+impl NeuronModel {
+    /// Advances one layer by one timestep, creating the zero state on first
+    /// use. Returns `(spikes, next_state)`.
+    pub fn step<'t>(
+        &self,
+        params: LifParams,
+        input: Var<'t>,
+        state: Option<CellState<'t>>,
+    ) -> (Var<'t>, CellState<'t>) {
+        let tape = input.tape();
+        let zeros = || tape.leaf(Tensor::zeros(&input.dims()));
+        match *self {
+            NeuronModel::Lif => {
+                let v = match state {
+                    Some(CellState::Membrane(v)) => v,
+                    None => zeros(),
+                    Some(other) => panic!("LIF layer resumed with foreign state {other:?}"),
+                };
+                let (s, v_next) = LifCell::new(params).step(input, v);
+                (s, CellState::Membrane(v_next))
+            }
+            NeuronModel::SynapticLif { gamma } => {
+                let (i, v) = match state {
+                    Some(CellState::SynapticMembrane(i, v)) => (i, v),
+                    None => (zeros(), zeros()),
+                    Some(other) => panic!("synaptic LIF layer resumed with foreign state {other:?}"),
+                };
+                let (s, (i_next, v_next)) = SynapticLifCell::new(params, gamma).step(input, i, v);
+                (s, CellState::SynapticMembrane(i_next, v_next))
+            }
+            NeuronModel::AdaptiveLif { rho, kappa } => {
+                let (v, a) = match state {
+                    Some(CellState::MembraneAdaptation(v, a)) => (v, a),
+                    None => (zeros(), zeros()),
+                    Some(other) => panic!("adaptive LIF layer resumed with foreign state {other:?}"),
+                };
+                let (s, (v_next, a_next)) =
+                    AdaptiveLifCell::new(params, rho, kappa).step(input, v, a);
+                (s, CellState::MembraneAdaptation(v_next, a_next))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad::Tape;
+
+    fn run_steps(model: NeuronModel, v_th: f32, input: f32, steps: usize) -> f32 {
+        let tape = Tape::new();
+        let i = tape.leaf(Tensor::scalar(input));
+        let mut state = None;
+        let mut count = 0.0;
+        for _ in 0..steps {
+            let (s, next) = model.step(LifParams::new(v_th), i, state);
+            count += s.value().item();
+            state = Some(next);
+        }
+        count
+    }
+
+    #[test]
+    fn synaptic_filter_delays_first_spike() {
+        // With a synaptic filter the membrane charges more slowly at the
+        // start, so the first spike arrives no earlier than for plain LIF.
+        let first_spike = |model: NeuronModel| -> usize {
+            let tape = Tape::new();
+            let i = tape.leaf(Tensor::scalar(0.6));
+            let mut state = None;
+            for t in 0..50 {
+                let (s, next) = model.step(LifParams::new(1.0), i, state);
+                if s.value().item() > 0.0 {
+                    return t;
+                }
+                state = Some(next);
+            }
+            50
+        };
+        let plain = first_spike(NeuronModel::Lif);
+        let filtered = first_spike(NeuronModel::SynapticLif { gamma: 0.5 });
+        assert!(filtered >= plain, "synaptic filter fired earlier: {filtered} < {plain}");
+        assert!(plain < 50, "plain LIF must fire under this drive");
+    }
+
+    #[test]
+    fn adaptation_reduces_firing_rate() {
+        let no_adapt = run_steps(NeuronModel::Lif, 1.0, 0.8, 60);
+        let adapted = run_steps(
+            NeuronModel::AdaptiveLif { rho: 0.95, kappa: 0.5 },
+            1.0,
+            0.8,
+            60,
+        );
+        assert!(
+            adapted < no_adapt,
+            "adaptation must suppress firing: {adapted} vs {no_adapt}"
+        );
+        assert!(adapted > 0.0, "adapted neuron should still fire sometimes");
+    }
+
+    #[test]
+    fn all_models_propagate_gradients_to_input() {
+        for model in [
+            NeuronModel::Lif,
+            NeuronModel::SynapticLif { gamma: 0.7 },
+            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.3 },
+        ] {
+            let tape = Tape::new();
+            let input = tape.leaf(Tensor::from_vec(vec![0.9, 1.1], &[2]));
+            let mut state = None;
+            let mut acc: Option<Var> = None;
+            for _ in 0..6 {
+                let (s, next) = model.step(LifParams::new(1.0), input, state);
+                state = Some(next);
+                acc = Some(match acc {
+                    None => s,
+                    Some(a) => a + s,
+                });
+            }
+            let grads = tape.backward(acc.unwrap().sum());
+            let g = grads.wrt(input).unwrap();
+            assert!(g.max_abs() > 0.0, "{model:?} leaked no gradient");
+            assert!(!g.has_non_finite(), "{model:?} produced NaN gradient");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign state")]
+    fn mixing_states_across_models_panics() {
+        let tape = Tape::new();
+        let input = tape.leaf(Tensor::scalar(0.5));
+        let (_, state) = NeuronModel::Lif.step(LifParams::new(1.0), input, None);
+        NeuronModel::SynapticLif { gamma: 0.5 }.step(LifParams::new(1.0), input, Some(state));
+    }
+
+    #[test]
+    fn zero_kappa_adaptive_matches_plain_lif() {
+        let plain = run_steps(NeuronModel::Lif, 1.0, 0.7, 40);
+        let alif = run_steps(
+            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.0 },
+            1.0,
+            0.7,
+            40,
+        );
+        assert_eq!(plain, alif);
+    }
+}

@@ -1,0 +1,62 @@
+//! Output decoding: turning a time series of readout states into logits.
+
+use serde::{Deserialize, Serialize};
+
+/// How the `[N, classes]` logits are read out of the network after the time
+/// window has elapsed.
+///
+/// * [`Decoder::MaxMembrane`] — the maximum membrane potential of the
+///   non-spiking readout layer over the window (Norse's convention and the
+///   default here). Smooth in the input, which matters for attack strength.
+/// * [`Decoder::MeanMembrane`] — the time-averaged readout membrane.
+/// * [`Decoder::SpikeCount`] — classic rate decoding: the head layer spikes
+///   and the class with the most output spikes wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Decoder {
+    /// Maximum readout membrane over the time window.
+    #[default]
+    MaxMembrane,
+    /// Mean readout membrane over the time window.
+    MeanMembrane,
+    /// Total output spikes per class over the time window.
+    SpikeCount,
+}
+
+impl Decoder {
+    /// `true` if this decoder reads a non-spiking (LI) head; `false` if the
+    /// head itself is a LIF layer whose spikes are counted.
+    pub fn uses_li_head(&self) -> bool {
+        !matches!(self, Decoder::SpikeCount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_max_membrane() {
+        assert_eq!(Decoder::default(), Decoder::MaxMembrane);
+    }
+
+    #[test]
+    fn head_kind_follows_decoder() {
+        assert!(Decoder::MaxMembrane.uses_li_head());
+        assert!(Decoder::MeanMembrane.uses_li_head());
+        assert!(!Decoder::SpikeCount.uses_li_head());
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn decoder_serde_round_trip() {
+        for d in [Decoder::MaxMembrane, Decoder::MeanMembrane, Decoder::SpikeCount] {
+            let json = serde_json::to_string(&d).unwrap();
+            let back: Decoder = serde_json::from_str(&json).unwrap();
+            assert_eq!(d, back);
+        }
+    }
+}

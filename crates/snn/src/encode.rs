@@ -1,0 +1,285 @@
+//! Input encoding: turning a static image into per-timestep input currents
+//! or spike trains.
+
+use ad::Var;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::lif::StraightThrough;
+
+/// How a static input image is presented to the network at each timestep of
+/// the time window.
+///
+/// The paper's experiments use rate-based presentation: the same image drives
+/// the first LIF layer for `T` steps, and pixel intensity translates into
+/// firing rate of the first spiking layer. Two faithful realisations are
+/// provided:
+///
+/// * [`Encoder::ConstantCurrent`] injects the (scaled) pixel values as input
+///   current every step. This is Norse's `ConstantCurrentLIFEncoder` and is
+///   fully differentiable — the encoder the white-box PGD attack
+///   differentiates through.
+/// * [`Encoder::Poisson`] samples a Bernoulli spike per pixel per step with
+///   probability proportional to intensity; gradients use a straight-through
+///   estimator. Sampling is counter-based and fully deterministic in
+///   `(seed, step, element)` so experiments are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Encoder {
+    /// Inject `gain · x` as input current at every step.
+    ConstantCurrent {
+        /// Multiplier applied to pixel intensities.
+        gain: f32,
+    },
+    /// Bernoulli spike train with per-step probability `min(1, rate · x)`.
+    Poisson {
+        /// Multiplier applied to intensities before clamping to `[0, 1]`.
+        rate: f32,
+        /// Seed of the counter-based sampler.
+        seed: u64,
+    },
+    /// Frame replay for genuinely *temporal* inputs: the input tensor's
+    /// channel axis holds `frames` consecutive frames (`[N, frames, H, W]`)
+    /// and each frame is presented as the input current for an equal share
+    /// of the time window. The step→frame mapping is
+    /// `frame = min(step · frames / time_window, frames − 1)`.
+    /// Fully differentiable (channel slicing routes gradients per frame).
+    Replay {
+        /// Number of frames stacked in the channel axis.
+        frames: usize,
+        /// The time window the frames are spread over.
+        time_window: usize,
+    },
+    /// Time-to-first-spike (latency) coding: each pixel emits exactly one
+    /// spike, at the step `⌊(1 − x) · (T − 1)⌋` — brighter pixels fire
+    /// earlier. Pixels at exactly `0` never fire. Gradients use the
+    /// straight-through estimator. The time window `T` must be supplied
+    /// because the spike schedule spans the whole window.
+    Latency {
+        /// The time window the schedule is spread over.
+        time_window: usize,
+    },
+}
+
+impl Encoder {
+    /// The default differentiable encoder with unit gain.
+    pub fn constant_current() -> Self {
+        Encoder::ConstantCurrent { gain: 1.0 }
+    }
+
+    /// A Poisson encoder with unit rate and the given seed.
+    pub fn poisson(seed: u64) -> Self {
+        Encoder::Poisson { rate: 1.0, seed }
+    }
+
+    /// Produces the network input for timestep `step` from the image
+    /// variable `x`.
+    ///
+    /// The returned variable has the shape of `x` and stays on `x`'s tape,
+    /// so gradients flow back to the image in both modes (exactly for
+    /// constant current, straight-through for Poisson).
+    pub fn encode_step<'t>(&self, x: Var<'t>, step: usize) -> Var<'t> {
+        match *self {
+            Encoder::ConstantCurrent { gain } => {
+                if gain == 1.0 {
+                    x
+                } else {
+                    x.mul_scalar(gain)
+                }
+            }
+            Encoder::Poisson { rate, seed } => {
+                let value = x.value();
+                let mut spikes = Tensor::zeros(&value.dims().to_vec());
+                for (i, (s, &v)) in spikes
+                    .data_mut()
+                    .iter_mut()
+                    .zip(value.data())
+                    .enumerate()
+                {
+                    let p = (v * rate).clamp(0.0, 1.0);
+                    if counter_uniform(seed, step as u64, i as u64) < p {
+                        *s = 1.0;
+                    }
+                }
+                x.custom_unary(Box::new(StraightThrough::new(spikes)))
+            }
+            Encoder::Replay { frames, time_window } => {
+                assert!(frames > 0 && time_window > 0, "replay needs positive sizes");
+                let idx = ((step * frames) / time_window).min(frames - 1);
+                x.slice_channels(idx, idx + 1)
+            }
+            Encoder::Latency { time_window } => {
+                assert!(time_window > 0, "latency encoder needs a positive window");
+                let value = x.value();
+                let mut spikes = Tensor::zeros(&value.dims().to_vec());
+                let span = (time_window - 1).max(1) as f32;
+                for (s, &v) in spikes.data_mut().iter_mut().zip(value.data()) {
+                    if v > 0.0 {
+                        let fire_at = ((1.0 - v.clamp(0.0, 1.0)) * span).floor() as usize;
+                        if fire_at == step {
+                            *s = 1.0;
+                        }
+                    }
+                }
+                x.custom_unary(Box::new(StraightThrough::new(spikes)))
+            }
+        }
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::constant_current()
+    }
+}
+
+/// A deterministic uniform sample in `[0, 1)` from `(seed, step, index)`,
+/// via SplitMix64. Counter-based so no mutable RNG state is threaded
+/// through the forward pass.
+fn counter_uniform(seed: u64, step: u64, index: u64) -> f32 {
+    let mut z = seed
+        .wrapping_add(step.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 24 high-quality bits → f32 in [0, 1).
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad::Tape;
+
+    #[test]
+    fn constant_current_is_identity_at_unit_gain() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.25, 0.75], &[2]));
+        let i = Encoder::constant_current().encode_step(x, 0);
+        assert_eq!(i.value().data(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn constant_current_gain_scales() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5], &[1]));
+        let i = Encoder::ConstantCurrent { gain: 2.0 }.encode_step(x, 3);
+        assert_eq!(i.value().data(), &[1.0]);
+    }
+
+    #[test]
+    fn poisson_spikes_are_binary() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0, 0.3, 0.7, 1.0], &[4]));
+        let enc = Encoder::poisson(42);
+        for step in 0..10 {
+            let s = enc.encode_step(x, step).value();
+            assert!(s.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn poisson_rate_tracks_intensity() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.1, 0.9], &[2]));
+        let enc = Encoder::poisson(7);
+        let mut counts = [0.0f32; 2];
+        for step in 0..500 {
+            let s = enc.encode_step(x, step).value();
+            counts[0] += s.data()[0];
+            counts[1] += s.data()[1];
+        }
+        let (r0, r1) = (counts[0] / 500.0, counts[1] / 500.0);
+        assert!((r0 - 0.1).abs() < 0.05, "rate {r0} for intensity 0.1");
+        assert!((r1 - 0.9).abs() < 0.05, "rate {r1} for intensity 0.9");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_step() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5; 8], &[8]));
+        let enc = Encoder::poisson(1);
+        let a = enc.encode_step(x, 4).value();
+        let b = enc.encode_step(x, 4).value();
+        let c = enc.encode_step(x, 5).value();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different steps should sample differently");
+    }
+
+    #[test]
+    fn zero_pixels_never_spike_and_saturated_always_do() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0, 1.0], &[2]));
+        let enc = Encoder::poisson(99);
+        for step in 0..100 {
+            let s = enc.encode_step(x, step).value();
+            assert_eq!(s.data()[0], 0.0);
+            assert_eq!(s.data()[1], 1.0);
+        }
+    }
+
+    #[test]
+    fn replay_presents_frames_in_order_for_equal_shares() {
+        let tape = Tape::new();
+        // 1 sample, 3 frames of a single pixel: values 10, 20, 30.
+        let x = tape.leaf(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3, 1, 1]));
+        let enc = Encoder::Replay { frames: 3, time_window: 6 };
+        let seen: Vec<f32> = (0..6)
+            .map(|t| enc.encode_step(x, t).value().item())
+            .collect();
+        assert_eq!(seen, vec![10.0, 10.0, 20.0, 20.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn replay_clamps_to_last_frame_and_routes_gradients() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]));
+        let enc = Encoder::Replay { frames: 2, time_window: 3 };
+        // Steps 0, 1 -> frame 0; step 2 -> frame 1 (exact division 2*2/3=1).
+        assert_eq!(enc.encode_step(x, 2).value().item(), 2.0);
+        // Gradient reaches only the presented frame.
+        let grads = tape.backward(enc.encode_step(x, 0).sum());
+        assert_eq!(grads.wrt(x).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn latency_encoder_fires_exactly_once_brighter_earlier() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0, 0.3, 0.6, 1.0], &[4]));
+        let enc = Encoder::Latency { time_window: 10 };
+        let mut first_spike = [None::<usize>; 4];
+        let mut counts = [0u32; 4];
+        for step in 0..10 {
+            let s = enc.encode_step(x, step).value();
+            for (i, &v) in s.data().iter().enumerate() {
+                assert!(v == 0.0 || v == 1.0);
+                if v == 1.0 {
+                    counts[i] += 1;
+                    first_spike[i].get_or_insert(step);
+                }
+            }
+        }
+        assert_eq!(counts[0], 0, "zero pixel must never fire");
+        assert_eq!(&counts[1..], &[1, 1, 1], "each active pixel fires once");
+        assert_eq!(first_spike[3], Some(0), "saturated pixel fires first");
+        assert!(first_spike[2].unwrap() < first_spike[1].unwrap());
+    }
+
+    #[test]
+    fn latency_gradient_is_straight_through() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5, 0.9], &[2]));
+        let s = Encoder::Latency { time_window: 4 }.encode_step(x, 0);
+        let grads = tape.backward(s.sum());
+        assert_eq!(grads.wrt(x).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn poisson_gradient_is_straight_through() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        let s = Encoder::poisson(3).encode_step(x, 0);
+        let grads = tape.backward(s.sum());
+        assert_eq!(grads.wrt(x).unwrap().data(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Spiking neural networks for the `spiking-armor` workspace.
+//!
+//! This crate is the from-scratch replacement for the paper's Norse
+//! dependency. It provides:
+//!
+//! * [`LifParams`] / [`LifCell`] — leaky-integrate-and-fire dynamics with a
+//!   SuperSpike surrogate gradient ([`SuperSpike`]), supporting both
+//!   reset-by-subtraction and reset-to-zero ([`ResetMode`]),
+//! * [`LiCell`] — the non-spiking leaky-integrator readout,
+//! * [`Encoder`] — constant-current (differentiable, used by the white-box
+//!   attacks) and Poisson rate encoding with a straight-through estimator,
+//! * [`Decoder`] — max-membrane, mean-membrane and spike-count readouts,
+//! * [`StructuralParams`] — the paper's `(V_th, T)` pair, the object of the
+//!   whole robustness exploration,
+//! * [`SpikingCnn`] — the spiking twin of an [`nn::CnnConfig`] topology
+//!   (spiking LeNet-5 when built from [`nn::CnnConfig::lenet5`]), trained by
+//!   backpropagation-through-time on the `ad` tape, plus a lighter
+//!   [`SpikingMlp`].
+//!
+//! `SpikingCnn` implements [`nn::Model`], so the training loops, the
+//! [`nn::Classifier`] wrapper and the white-box attack machinery all treat
+//! spiking and non-spiking networks identically — which is precisely the
+//! experimental setup of the reproduced paper.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{CnnConfig, Params};
+//! use rand::SeedableRng;
+//! use snn::{SnnConfig, SpikingCnn, StructuralParams};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let cfg = SnnConfig::new(StructuralParams::new(1.0, 8));
+//! let model = SpikingCnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 10), &cfg);
+//! let x = tensor::Tensor::zeros(&[1, 1, 8, 8]);
+//! let logits = nn::logits(&model, &params, &x);
+//! assert_eq!(logits.dims(), &[1, 10]);
+//! ```
+
+mod activity;
+mod cells;
+mod decode;
+mod encode;
+mod lif;
+mod model;
+mod structural;
+mod surrogate;
+
+pub mod trace;
+pub mod trains;
+
+pub use activity::{ActivityReport, LayerActivity};
+pub use cells::{AdaptiveLifCell, CellState, NeuronModel, SynapticLifCell};
+pub use decode::Decoder;
+pub use encode::Encoder;
+pub use lif::{LiCell, LifCell, LifParams, ResetMode, StraightThrough, SuperSpike};
+pub use model::{SnnConfig, SpikingCnn, SpikingMlp};
+pub use structural::StructuralParams;
+pub use surrogate::{Surrogate, SurrogateShape};

@@ -1,0 +1,439 @@
+//! Leaky-integrate-and-fire dynamics and surrogate gradients.
+//!
+//! The discrete-time LIF update implemented here matches the one the paper
+//! trains through (Norse's default cell, forward-Euler discretised):
+//!
+//! ```text
+//! v[t+1]  = β · v[t] + I[t]                    (leaky integration)
+//! s[t+1]  = Θ(v[t+1] − V_th)                   (Heaviside spike)
+//! v[t+1] ← v[t+1] − s[t+1] · V_th              (reset by subtraction)
+//!      or  v[t+1] · (1 − s[t+1])               (reset to zero)
+//! ```
+//!
+//! The Heaviside step has zero derivative almost everywhere, so training
+//! substitutes the *SuperSpike* fast-sigmoid surrogate
+//! `Θ'(x) ≈ 1 / (1 + α·|x|)²` in the backward pass — the standard trick the
+//! paper (and Norse) rely on, and the exact mechanism that makes white-box
+//! gradient attacks on SNNs possible at all.
+
+use ad::{CustomUnary, Var};
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::surrogate::{Surrogate, SurrogateShape};
+
+/// What happens to the membrane potential when a neuron fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResetMode {
+    /// Subtract `V_th` from the membrane (default; preserves residual
+    /// charge, Norse's behaviour).
+    Subtract,
+    /// Clamp the membrane to zero (discards residual charge).
+    Zero,
+}
+
+/// Hyperparameters of one LIF layer.
+///
+/// # Example
+///
+/// ```
+/// use snn::LifParams;
+///
+/// let lif = LifParams::new(1.0);
+/// assert_eq!(lif.v_th, 1.0);
+/// assert!(lif.beta > 0.8 && lif.beta < 1.0); // leaky but persistent
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Firing threshold `V_th`.
+    pub v_th: f32,
+    /// Membrane decay per step `β = 1 − dt/τ_mem` (Norse default ≈ 0.9).
+    pub beta: f32,
+    /// Surrogate slope `α`; larger is closer to the true step.
+    pub alpha: f32,
+    /// Reset semantics after a spike.
+    pub reset: ResetMode,
+    /// Surrogate derivative shape (default: SuperSpike fast sigmoid).
+    #[serde(default)]
+    pub surrogate: SurrogateShape,
+}
+
+impl LifParams {
+    /// Norse-flavoured defaults (`β = 0.9`, `α = 10`, reset-by-subtraction)
+    /// with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_th` is not finite and positive.
+    pub fn new(v_th: f32) -> Self {
+        assert!(
+            v_th.is_finite() && v_th > 0.0,
+            "v_th must be finite and positive, got {v_th}"
+        );
+        Self {
+            v_th,
+            beta: 0.9,
+            alpha: 10.0,
+            reset: ResetMode::Subtract,
+            surrogate: SurrogateShape::FastSigmoid,
+        }
+    }
+
+    /// Returns `self` with a different surrogate slope.
+    pub fn with_alpha(mut self, alpha: f32) -> Self {
+        assert!(alpha > 0.0, "surrogate slope must be positive, got {alpha}");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Returns `self` with a different membrane decay.
+    pub fn with_beta(mut self, beta: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "membrane decay must be in [0, 1], got {beta}"
+        );
+        self.beta = beta;
+        self
+    }
+
+    /// Returns `self` with different reset semantics.
+    pub fn with_reset(mut self, reset: ResetMode) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// Returns `self` with a different surrogate derivative shape.
+    pub fn with_surrogate(mut self, surrogate: SurrogateShape) -> Self {
+        self.surrogate = surrogate;
+        self
+    }
+
+    /// First-order prediction of the steady-state firing rate (spikes per
+    /// step) under a constant input current, for subtraction reset.
+    ///
+    /// Model: the membrane saturates at `I/(1−β)` without firing when that
+    /// is below threshold; otherwise the sawtooth between reset and
+    /// threshold loses `(1−β)·V_th/2` to leak per step on average, so
+    /// `rate ≈ (I − (1−β)·V_th/2) / V_th`, clamped to `[0, 1]`.
+    ///
+    /// This is an *approximation* (exact for β = 1); it exists to sanity-
+    /// check simulations and to size `(V_th, T)` sweeps analytically.
+    pub fn predicted_rate(&self, current: f32) -> f32 {
+        if current <= 0.0 {
+            return 0.0;
+        }
+        let leak = 1.0 - self.beta;
+        if current / leak.max(1e-9) < self.v_th {
+            return 0.0;
+        }
+        ((current - leak * self.v_th * 0.5) / self.v_th).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+/// The spike nonlinearity: Heaviside forward, SuperSpike backward.
+///
+/// Applied to the *centered* membrane `x = v − V_th`, it emits `1.0` where
+/// `x ≥ 0` and propagates gradients through `1 / (1 + α·|x|)²`.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use snn::SuperSpike;
+/// use tensor::Tensor;
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![-0.5, 0.5], &[2]));
+/// let s = x.custom_unary(Box::new(SuperSpike::new(10.0)));
+/// assert_eq!(s.value().data(), &[0.0, 1.0]);
+/// let grads = tape.backward(s.sum());
+/// // Surrogate derivative 1/(1+10·0.5)² = 1/36 on both sides.
+/// let g = grads.wrt(x).unwrap();
+/// assert!((g.data()[0] - 1.0 / 36.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SuperSpike {
+    alpha: f32,
+}
+
+impl SuperSpike {
+    /// Creates the surrogate with slope `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha > 0.0, "surrogate slope must be positive, got {alpha}");
+        Self { alpha }
+    }
+
+    /// The surrogate slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl CustomUnary for SuperSpike {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        x.map(|v| if v >= 0.0 { 1.0 } else { 0.0 })
+    }
+
+    fn backward(&self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        let alpha = self.alpha;
+        x.zip_map(grad_out, move |v, g| {
+            let denom = 1.0 + alpha * v.abs();
+            g / (denom * denom)
+        })
+    }
+}
+
+/// Straight-through estimator: the forward value is a pre-computed tensor
+/// (e.g. sampled Poisson spikes) while the backward pass treats the op as
+/// identity. Used by [`Encoder::Poisson`](crate::Encoder::Poisson).
+#[derive(Debug, Clone)]
+pub struct StraightThrough {
+    forward_value: Tensor,
+}
+
+impl StraightThrough {
+    /// Wraps the externally computed forward value.
+    pub fn new(forward_value: Tensor) -> Self {
+        Self { forward_value }
+    }
+}
+
+impl CustomUnary for StraightThrough {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.dims(),
+            self.forward_value.dims(),
+            "straight-through value shape {:?} does not match input {:?}",
+            self.forward_value.dims(),
+            x.dims()
+        );
+        self.forward_value.clone()
+    }
+
+    fn backward(&self, _x: &Tensor, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+}
+
+/// A layer of LIF neurons, stepped once per simulation timestep.
+///
+/// The cell is stateless; the caller threads the membrane potential [`Var`]
+/// through successive [`LifCell::step`] calls so that BPTT sees the full
+/// temporal unrolling.
+#[derive(Debug, Clone, Copy)]
+pub struct LifCell {
+    params: LifParams,
+}
+
+impl LifCell {
+    /// Creates a cell with the given parameters.
+    pub fn new(params: LifParams) -> Self {
+        Self { params }
+    }
+
+    /// The cell's parameters.
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Advances the membrane one step under input current `input`, returning
+    /// `(spikes, next_membrane)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` and `v` have different shapes (propagated from the
+    /// tensor ops).
+    pub fn step<'t>(&self, input: Var<'t>, v: Var<'t>) -> (Var<'t>, Var<'t>) {
+        let v_int = v.mul_scalar(self.params.beta) + input;
+        let centered = v_int.add_scalar(-self.params.v_th);
+        let spikes = centered.custom_unary(Box::new(Surrogate::new(
+            self.params.surrogate,
+            self.params.alpha,
+        )));
+        let v_next = match self.params.reset {
+            ResetMode::Subtract => v_int - spikes.mul_scalar(self.params.v_th),
+            ResetMode::Zero => v_int - v_int * spikes,
+        };
+        (spikes, v_next)
+    }
+}
+
+/// A non-spiking leaky integrator, used as the output readout so that the
+/// decoded logits are smooth functions of the last layer's spikes.
+#[derive(Debug, Clone, Copy)]
+pub struct LiCell {
+    beta: f32,
+}
+
+impl LiCell {
+    /// Creates a readout integrator with decay `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]`.
+    pub fn new(beta: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "readout decay must be in [0, 1], got {beta}"
+        );
+        Self { beta }
+    }
+
+    /// The decay factor.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// Advances the readout membrane one step.
+    pub fn step<'t>(&self, input: Var<'t>, v: Var<'t>) -> Var<'t> {
+        v.mul_scalar(self.beta) + input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ad::Tape;
+
+    fn single_step(params: LifParams, input: f32, v0: f32) -> (f32, f32) {
+        let tape = Tape::new();
+        let i = tape.leaf(Tensor::scalar(input));
+        let v = tape.leaf(Tensor::scalar(v0));
+        let (s, vn) = LifCell::new(params).step(i, v);
+        (s.value().item(), vn.value().item())
+    }
+
+    #[test]
+    fn subthreshold_input_never_spikes() {
+        let (s, v) = single_step(LifParams::new(1.0), 0.5, 0.0);
+        assert_eq!(s, 0.0);
+        assert_eq!(v, 0.5);
+    }
+
+    #[test]
+    fn suprathreshold_input_spikes_and_resets_by_subtraction() {
+        let (s, v) = single_step(LifParams::new(1.0), 1.4, 0.0);
+        assert_eq!(s, 1.0);
+        assert!((v - 0.4).abs() < 1e-6, "residual should be 1.4 − 1.0, got {v}");
+    }
+
+    #[test]
+    fn reset_to_zero_discards_residual() {
+        let (s, v) = single_step(LifParams::new(1.0).with_reset(ResetMode::Zero), 1.4, 0.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn membrane_decays_geometrically() {
+        // No input: v follows β^t · v0.
+        let params = LifParams::new(10.0).with_beta(0.5);
+        let mut v = 1.0;
+        for t in 1..=4 {
+            let (s, vn) = single_step(params, 0.0, v);
+            assert_eq!(s, 0.0);
+            v = vn;
+            assert!((v - 0.5f32.powi(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_current_firing_rate_decreases_with_threshold() {
+        // Integrate a constant current for many steps and count spikes:
+        // higher V_th must not fire more often.
+        let spikes_for = |v_th: f32| {
+            let params = LifParams::new(v_th);
+            let cell = LifCell::new(params);
+            let tape = Tape::new();
+            let mut v = tape.leaf(Tensor::scalar(0.0));
+            let i = tape.leaf(Tensor::scalar(0.3));
+            let mut count = 0.0;
+            for _ in 0..50 {
+                let (s, vn) = cell.step(i, v);
+                count += s.value().item();
+                v = vn;
+            }
+            count
+        };
+        let low = spikes_for(0.5);
+        let mid = spikes_for(1.0);
+        let high = spikes_for(2.5);
+        assert!(low >= mid && mid >= high, "rates {low} {mid} {high}");
+        assert!(low > high, "thresholds must modulate the firing rate");
+    }
+
+    #[test]
+    fn superspike_gradient_peaks_at_threshold() {
+        let s = SuperSpike::new(10.0);
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]);
+        let g = s.backward(&x, &Tensor::ones(&[3]));
+        assert!(g.data()[1] > g.data()[0]);
+        assert!(g.data()[1] > g.data()[2]);
+        assert_eq!(g.data()[1], 1.0);
+    }
+
+    #[test]
+    fn superspike_sharpens_with_alpha() {
+        let x = Tensor::from_vec(vec![0.5], &[1]);
+        let soft = SuperSpike::new(1.0).backward(&x, &Tensor::ones(&[1]));
+        let sharp = SuperSpike::new(100.0).backward(&x, &Tensor::ones(&[1]));
+        assert!(sharp.data()[0] < soft.data()[0]);
+    }
+
+    #[test]
+    fn bptt_delivers_input_gradient_through_spikes() {
+        // Unroll 5 steps and check the input receives a usable gradient.
+        let tape = Tape::new();
+        let input = tape.leaf(Tensor::from_vec(vec![0.8, 1.2], &[2]));
+        let cell = LifCell::new(LifParams::new(1.0));
+        let mut v = tape.leaf(Tensor::zeros(&[2]));
+        let mut spike_sum = None;
+        for _ in 0..5 {
+            let (s, vn) = cell.step(input, v);
+            v = vn;
+            spike_sum = Some(match spike_sum {
+                None => s,
+                Some(acc) => acc + s,
+            });
+        }
+        let loss = spike_sum.unwrap().sum();
+        let grads = tape.backward(loss);
+        let g = grads.wrt(input).unwrap();
+        assert!(g.max_abs() > 0.0, "surrogate must leak gradient to input");
+        assert!(!g.has_non_finite());
+    }
+
+    #[test]
+    fn straight_through_passes_gradient_unchanged() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.3, 0.7], &[2]));
+        let sampled = Tensor::from_vec(vec![0.0, 1.0], &[2]);
+        let s = x.custom_unary(Box::new(StraightThrough::new(sampled.clone())));
+        assert_eq!(s.value(), sampled);
+        let grads = tape.backward(s.mul_scalar(3.0).sum());
+        assert_eq!(grads.wrt(x).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn li_readout_integrates_without_spiking() {
+        let tape = Tape::new();
+        let li = LiCell::new(0.5);
+        let i = tape.leaf(Tensor::scalar(1.0));
+        let mut v = tape.leaf(Tensor::scalar(0.0));
+        for _ in 0..20 {
+            v = li.step(i, v);
+        }
+        // Geometric series → 1/(1−β) = 2.
+        assert!((v.value().item() - 2.0).abs() < 1e-3);
+    }
+}

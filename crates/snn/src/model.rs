@@ -1,0 +1,737 @@
+//! Spiking network models: the spiking CNN twin (spiking LeNet-5) and a
+//! lightweight spiking MLP.
+
+use ad::{Tape, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tensor::conv::Conv2dSpec;
+use tensor::Tensor;
+
+use nn::{BoundParams, CnnConfig, Conv2d, Linear, Model, Params};
+
+use crate::activity::ActivityReport;
+use crate::cells::{CellState, NeuronModel};
+use crate::decode::Decoder;
+use crate::encode::Encoder;
+use crate::lif::{LiCell, LifCell, LifParams, ResetMode};
+use crate::structural::StructuralParams;
+use crate::surrogate::SurrogateShape;
+
+/// Everything that defines the *spiking* behaviour of a network, independent
+/// of its synaptic topology.
+///
+/// The [`StructuralParams`] inside are the paper's exploration axes; the
+/// rest are held at Norse-flavoured defaults unless an ablation overrides
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use snn::{SnnConfig, StructuralParams};
+///
+/// let cfg = SnnConfig::new(StructuralParams::new(0.75, 32));
+/// assert_eq!(cfg.structural.time_window, 32);
+/// assert_eq!(cfg.beta, 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnnConfig {
+    /// Threshold voltage and time window — the exploration axes.
+    pub structural: StructuralParams,
+    /// Membrane decay of every LIF layer.
+    pub beta: f32,
+    /// SuperSpike surrogate slope.
+    pub alpha: f32,
+    /// Reset semantics of every LIF layer.
+    pub reset: ResetMode,
+    /// Input presentation.
+    pub encoder: Encoder,
+    /// Output readout.
+    pub decoder: Decoder,
+    /// Decay of the non-spiking readout integrator.
+    pub readout_beta: f32,
+    /// Surrogate derivative shape.
+    #[serde(default)]
+    pub surrogate: SurrogateShape,
+    /// Neuron model of every spiking layer.
+    #[serde(default)]
+    pub neuron: NeuronModel,
+}
+
+impl SnnConfig {
+    /// Defaults (`β = 0.9`, `α = 10`, subtraction reset, constant-current
+    /// encoding, max-membrane decoding) around the given structural point.
+    pub fn new(structural: StructuralParams) -> Self {
+        Self {
+            structural,
+            beta: 0.9,
+            alpha: 10.0,
+            reset: ResetMode::Subtract,
+            encoder: Encoder::constant_current(),
+            decoder: Decoder::MaxMembrane,
+            readout_beta: 0.9,
+            surrogate: SurrogateShape::FastSigmoid,
+            neuron: NeuronModel::Lif,
+        }
+    }
+
+    /// The LIF parameters implied by this configuration.
+    pub fn lif_params(&self) -> LifParams {
+        LifParams::new(self.structural.v_th)
+            .with_beta(self.beta)
+            .with_alpha(self.alpha)
+            .with_reset(self.reset)
+            .with_surrogate(self.surrogate)
+    }
+}
+
+impl Default for SnnConfig {
+    fn default() -> Self {
+        Self::new(StructuralParams::default())
+    }
+}
+
+/// Tracks per-layer recurrent state across the time loop; states are
+/// created lazily by [`NeuronModel::step`] once layer output shapes are
+/// known.
+struct StateStore<'t> {
+    states: Vec<Option<CellState<'t>>>,
+}
+
+impl<'t> StateStore<'t> {
+    fn new(layers: usize) -> Self {
+        Self {
+            states: vec![None; layers],
+        }
+    }
+
+    fn take(&mut self, idx: usize) -> Option<CellState<'t>> {
+        self.states[idx].take()
+    }
+
+    fn put(&mut self, idx: usize, state: CellState<'t>) {
+        self.states[idx] = Some(state);
+    }
+}
+
+/// The spiking twin of an [`nn::Cnn`]: same synaptic topology (conv blocks
+/// and fully-connected widths from the shared [`CnnConfig`]), with every
+/// activation replaced by a LIF layer and the input presented for
+/// `T = time_window` steps.
+///
+/// Built from [`CnnConfig::lenet5`] this is the paper's "LeNet-5 adapted to
+/// the spiking domain" (§VI-A). Implements [`nn::Model`], so training,
+/// evaluation and white-box attacks reuse the non-spiking machinery
+/// unchanged — see the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct SpikingCnn {
+    convs: Vec<Conv2d>,
+    fcs: Vec<Linear>,
+    topology: CnnConfig,
+    config: SnnConfig,
+}
+
+impl SpikingCnn {
+    /// Builds the network, registering all weights into `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is inconsistent (see
+    /// [`CnnConfig::final_hw`]) or any layer size is zero.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        rng: &mut R,
+        topology: &CnnConfig,
+        config: &SnnConfig,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut in_c = topology.in_channels;
+        for (i, b) in topology.conv_blocks.iter().enumerate() {
+            convs.push(Conv2d::new(
+                params,
+                rng,
+                &format!("sconv{i}"),
+                in_c,
+                b.out_channels,
+                b.kernel,
+                Conv2dSpec { stride: 1, padding: b.padding },
+            ));
+            in_c = b.out_channels;
+        }
+        let mut fcs = Vec::new();
+        let mut in_f = topology.flattened_len();
+        for (i, &h) in topology.fc_hidden.iter().enumerate() {
+            fcs.push(Linear::new(params, rng, &format!("sfc{i}"), in_f, h));
+            in_f = h;
+        }
+        fcs.push(Linear::new(params, rng, "shead", in_f, topology.classes));
+        Self {
+            convs,
+            fcs,
+            topology: topology.clone(),
+            config: *config,
+        }
+    }
+
+    /// The synaptic topology shared with the CNN baseline.
+    pub fn topology(&self) -> &CnnConfig {
+        &self.topology
+    }
+
+    /// The spiking configuration (structural parameters and neuron model).
+    pub fn config(&self) -> &SnnConfig {
+        &self.config
+    }
+
+    /// Replaces the structural parameters without re-initialising weights.
+    ///
+    /// Mainly useful for studying *mismatched* inference (train at one
+    /// `(V_th, T)`, run at another); the paper's exploration retrains per
+    /// combination instead.
+    pub fn set_structural(&mut self, structural: StructuralParams) {
+        self.config.structural = structural;
+    }
+}
+
+impl SpikingCnn {
+    fn forward_impl<'t>(
+        &self,
+        tape: &'t Tape,
+        bound: &BoundParams<'t>,
+        x: Var<'t>,
+        mut recorder: Option<&mut ActivityReport>,
+    ) -> Var<'t> {
+        let t_window = self.config.structural.time_window;
+        let neuron = self.config.neuron;
+        let lif_params = self.config.lif_params();
+        let lif = LifCell::new(lif_params);
+        let li = LiCell::new(self.config.readout_beta);
+        let n = x.dims()[0];
+        let flattened = self.topology.flattened_len();
+        // One recurrent state per conv block, one per hidden FC, one for
+        // the head.
+        let mut conv_states = StateStore::new(self.convs.len());
+        let mut fc_states = StateStore::new(self.fcs.len() - 1);
+        let mut head_state: Option<Var<'t>> = None;
+        let mut decoded: Option<Var<'t>> = None;
+        let (head, hidden_fcs) = self
+            .fcs
+            .split_last()
+            .expect("SpikingCnn always has a head layer");
+
+        for step in 0..t_window {
+            let mut h = self.config.encoder.encode_step(x, step);
+            for (i, (conv, block)) in self.convs.iter().zip(&self.topology.conv_blocks).enumerate() {
+                let current = conv.forward(bound, h);
+                let (spikes, next) = neuron.step(lif_params, current, conv_states.take(i));
+                conv_states.put(i, next);
+                if let Some(rec) = recorder.as_deref_mut() {
+                    let v = spikes.value();
+                    rec.record(&format!("conv{i}"), v.sum(), v.len());
+                }
+                h = if block.pool > 1 {
+                    spikes.avg_pool2d(block.pool)
+                } else {
+                    spikes
+                };
+            }
+            let mut h = h.reshape(&[n, flattened]);
+            for (j, fc) in hidden_fcs.iter().enumerate() {
+                let current = fc.forward(bound, h);
+                let (spikes, next) = neuron.step(lif_params, current, fc_states.take(j));
+                fc_states.put(j, next);
+                if let Some(rec) = recorder.as_deref_mut() {
+                    let v = spikes.value();
+                    rec.record(&format!("fc{j}"), v.sum(), v.len());
+                }
+                h = spikes;
+            }
+            let head_current = head.forward(bound, h);
+            let v = head_state
+                .take()
+                .unwrap_or_else(|| tape.leaf(Tensor::zeros(&head_current.dims())));
+            decoded = Some(match self.config.decoder {
+                Decoder::MaxMembrane => {
+                    let v_next = li.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => v_next,
+                        Some(best) => best.maximum(v_next),
+                    }
+                }
+                Decoder::MeanMembrane => {
+                    let v_next = li.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => v_next,
+                        Some(acc) => acc + v_next,
+                    }
+                }
+                Decoder::SpikeCount => {
+                    let (spikes, v_next) = lif.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => spikes,
+                        Some(acc) => acc + spikes,
+                    }
+                }
+            });
+        }
+        let out = decoded.expect("time_window is validated positive");
+        match self.config.decoder {
+            Decoder::MeanMembrane => out.mul_scalar(1.0 / t_window as f32),
+            _ => out,
+        }
+    }
+
+    /// Runs one inference pass while recording per-layer firing statistics.
+    ///
+    /// The report quantifies the mechanism behind the paper's findings:
+    /// higher thresholds and shorter windows reduce spiking activity, which
+    /// changes both accuracy and attackability.
+    pub fn activity(&self, params: &Params, x: &Tensor) -> ActivityReport {
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let input = tape.leaf(x.clone());
+        let mut report = ActivityReport::default();
+        let _ = self.forward_impl(&tape, &bound, input, Some(&mut report));
+        report
+    }
+}
+
+impl Model for SpikingCnn {
+    fn forward<'t>(&self, tape: &'t Tape, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        self.forward_impl(tape, bound, x, None)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.topology.classes
+    }
+}
+
+/// A spiking multi-layer perceptron: flatten → (Linear → LIF)* → head.
+///
+/// Much cheaper than [`SpikingCnn`]; used for fast unit tests and for the
+/// workspace's smallest exploration presets.
+#[derive(Debug, Clone)]
+pub struct SpikingMlp {
+    fcs: Vec<Linear>,
+    recurrent: Option<Vec<Linear>>,
+    in_features: usize,
+    classes: usize,
+    config: SnnConfig,
+}
+
+impl SpikingMlp {
+    /// Builds an MLP with the given hidden widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features` or `classes` is zero.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        rng: &mut R,
+        in_features: usize,
+        hidden: &[usize],
+        classes: usize,
+        config: &SnnConfig,
+    ) -> Self {
+        assert!(in_features > 0 && classes > 0, "layer sizes must be positive");
+        let mut fcs = Vec::new();
+        let mut in_f = in_features;
+        for (i, &h) in hidden.iter().enumerate() {
+            fcs.push(Linear::new(params, rng, &format!("mfc{i}"), in_f, h));
+            in_f = h;
+        }
+        fcs.push(Linear::new(params, rng, "mhead", in_f, classes));
+        Self {
+            fcs,
+            recurrent: None,
+            in_features,
+            classes,
+            config: *config,
+        }
+    }
+
+    /// Builds a *recurrent* spiking MLP: each hidden layer additionally
+    /// receives its own previous-step spikes through a trained square
+    /// recurrent weight matrix (an RSNN). Recurrence gives the network
+    /// memory beyond the membrane time constant.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SpikingMlp::new`].
+    pub fn new_recurrent<R: Rng>(
+        params: &mut Params,
+        rng: &mut R,
+        in_features: usize,
+        hidden: &[usize],
+        classes: usize,
+        config: &SnnConfig,
+    ) -> Self {
+        let mut model = Self::new(params, rng, in_features, hidden, classes, config);
+        let recurrent = hidden
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Linear::new(params, rng, &format!("mrec{i}"), h, h))
+            .collect();
+        model.recurrent = Some(recurrent);
+        model
+    }
+
+    /// The spiking configuration.
+    pub fn config(&self) -> &SnnConfig {
+        &self.config
+    }
+
+    /// `true` if the hidden layers have recurrent synapses.
+    pub fn is_recurrent(&self) -> bool {
+        self.recurrent.is_some()
+    }
+}
+
+impl SpikingMlp {
+    fn forward_impl<'t>(
+        &self,
+        tape: &'t Tape,
+        bound: &BoundParams<'t>,
+        x: Var<'t>,
+        mut recorder: Option<&mut ActivityReport>,
+    ) -> Var<'t> {
+        let t_window = self.config.structural.time_window;
+        let neuron = self.config.neuron;
+        let lif_params = self.config.lif_params();
+        let lif = LifCell::new(lif_params);
+        let li = LiCell::new(self.config.readout_beta);
+        let n = x.dims()[0];
+        let (head, hidden_fcs) = self
+            .fcs
+            .split_last()
+            .expect("SpikingMlp always has a head layer");
+        let mut fc_states = StateStore::new(hidden_fcs.len());
+        let mut prev_spikes: Vec<Option<Var<'t>>> = vec![None; hidden_fcs.len()];
+        let mut head_state: Option<Var<'t>> = None;
+        let mut decoded: Option<Var<'t>> = None;
+        for step in 0..t_window {
+            // Encode before flattening so frame-replay (which slices the
+            // channel axis) sees the 4-D layout; `in_features` is the
+            // per-step feature count after encoding.
+            let mut h = self
+                .config
+                .encoder
+                .encode_step(x, step)
+                .reshape(&[n, self.in_features]);
+            for (j, fc) in hidden_fcs.iter().enumerate() {
+                let mut current = fc.forward(bound, h);
+                if let Some(rec_fcs) = &self.recurrent {
+                    if let Some(prev) = prev_spikes[j] {
+                        current = current + rec_fcs[j].forward(bound, prev);
+                    }
+                }
+                let (spikes, next) = neuron.step(lif_params, current, fc_states.take(j));
+                fc_states.put(j, next);
+                prev_spikes[j] = Some(spikes);
+                if let Some(rec) = recorder.as_deref_mut() {
+                    let v = spikes.value();
+                    rec.record(&format!("fc{j}"), v.sum(), v.len());
+                }
+                h = spikes;
+            }
+            let head_current = head.forward(bound, h);
+            let v = head_state
+                .take()
+                .unwrap_or_else(|| tape.leaf(Tensor::zeros(&head_current.dims())));
+            decoded = Some(match self.config.decoder {
+                Decoder::MaxMembrane => {
+                    let v_next = li.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => v_next,
+                        Some(best) => best.maximum(v_next),
+                    }
+                }
+                Decoder::MeanMembrane => {
+                    let v_next = li.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => v_next,
+                        Some(acc) => acc + v_next,
+                    }
+                }
+                Decoder::SpikeCount => {
+                    let (spikes, v_next) = lif.step(head_current, v);
+                    head_state = Some(v_next);
+                    match decoded {
+                        None => spikes,
+                        Some(acc) => acc + spikes,
+                    }
+                }
+            });
+        }
+        let out = decoded.expect("time_window is validated positive");
+        match self.config.decoder {
+            Decoder::MeanMembrane => out.mul_scalar(1.0 / t_window as f32),
+            _ => out,
+        }
+    }
+
+    /// Runs one inference pass while recording per-layer firing statistics
+    /// (see [`SpikingCnn::activity`]).
+    pub fn activity(&self, params: &Params, x: &Tensor) -> ActivityReport {
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let input = tape.leaf(x.clone());
+        let mut report = ActivityReport::default();
+        let _ = self.forward_impl(&tape, &bound, input, Some(&mut report));
+        report
+    }
+}
+
+impl Model for SpikingMlp {
+    fn forward<'t>(&self, tape: &'t Tape, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        self.forward_impl(tape, bound, x, None)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_cnn(seed: u64, snn_cfg: &SnnConfig) -> (SpikingCnn, Params) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let model = SpikingCnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4), snn_cfg);
+        (model, params)
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let cfg = SnnConfig::new(StructuralParams::new(1.0, 6));
+        let (model, params) = build_cnn(0, &cfg);
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(1), &[2, 1, 8, 8], 0.0, 1.0);
+        let logits = nn::logits(&model, &params, &x);
+        assert_eq!(logits.dims(), &[2, 4]);
+        assert!(!logits.has_non_finite());
+    }
+
+    #[test]
+    fn all_decoders_produce_logits() {
+        for decoder in [Decoder::MaxMembrane, Decoder::MeanMembrane, Decoder::SpikeCount] {
+            let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 5));
+            cfg.decoder = decoder;
+            let (model, params) = build_cnn(2, &cfg);
+            let x = tensor::init::uniform(&mut StdRng::seed_from_u64(3), &[1, 1, 8, 8], 0.0, 1.0);
+            let logits = nn::logits(&model, &params, &x);
+            assert_eq!(logits.dims(), &[1, 4], "decoder {decoder:?}");
+            assert!(!logits.has_non_finite(), "decoder {decoder:?}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_flows_through_time_window() {
+        let cfg = SnnConfig::new(StructuralParams::new(0.5, 6));
+        let (model, params) = build_cnn(4, &cfg);
+        let clf = nn::Classifier::new(model, params);
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(5), &[1, 1, 8, 8], 0.2, 0.9);
+        let (loss, grad) = nn::AdversarialTarget::loss_and_input_grad(&clf, &x, &[1]);
+        assert!(loss.is_finite());
+        assert!(
+            grad.max_abs() > 0.0,
+            "white-box gradient through the SNN must be non-zero"
+        );
+    }
+
+    #[test]
+    fn longer_window_changes_logits() {
+        // The time window is a real structural parameter: T=2 and T=12 must
+        // decode different logits for the same weights.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = Params::new();
+        let short = SpikingCnn::new(
+            &mut params,
+            &mut rng,
+            &CnnConfig::tiny(8, 4),
+            &SnnConfig::new(StructuralParams::new(1.0, 2)),
+        );
+        let mut long = short.clone();
+        long.set_structural(StructuralParams::new(1.0, 12));
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(7), &[1, 1, 8, 8], 0.0, 1.0);
+        let a = nn::logits(&short, &params, &x);
+        let b = nn::logits(&long, &params, &x);
+        assert!(!a.allclose(&b, 1e-6), "window length had no effect");
+    }
+
+    #[test]
+    fn higher_threshold_reduces_spike_driven_logit_energy() {
+        // With a very high threshold nothing spikes, so deeper layers see
+        // zero input and the decoded logits collapse toward the bias-driven
+        // readout; compare total logit magnitude against a low threshold.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = Params::new();
+        let model = SpikingCnn::new(
+            &mut params,
+            &mut rng,
+            &CnnConfig::tiny(8, 4),
+            &SnnConfig::new(StructuralParams::new(0.25, 8)),
+        );
+        let mut quiet = model.clone();
+        quiet.set_structural(StructuralParams::new(50.0, 8));
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(9), &[1, 1, 8, 8], 0.5, 1.0);
+        let loud_logits = nn::logits(&model, &params, &x);
+        let quiet_logits = nn::logits(&quiet, &params, &x);
+        assert!(
+            loud_logits.map(f32::abs).sum() > quiet_logits.map(f32::abs).sum(),
+            "high threshold should silence the network"
+        );
+    }
+
+    #[test]
+    fn activity_rate_decreases_with_threshold() {
+        // The mechanism behind the paper's exploration axes: raising V_th
+        // lowers firing rates across the network.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut params = Params::new();
+        let low = SpikingCnn::new(
+            &mut params,
+            &mut rng,
+            &CnnConfig::tiny(8, 4),
+            &SnnConfig::new(StructuralParams::new(0.25, 8)),
+        );
+        let mut high = low.clone();
+        high.set_structural(StructuralParams::new(2.5, 8));
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(22), &[2, 1, 8, 8], 0.3, 1.0);
+        let low_rate = low.activity(&params, &x).overall_rate();
+        let high_rate = high.activity(&params, &x).overall_rate();
+        assert!(
+            low_rate > high_rate,
+            "firing rate should fall with threshold: {low_rate} vs {high_rate}"
+        );
+        assert!((0.0..=1.0).contains(&low_rate));
+    }
+
+    #[test]
+    fn activity_reports_every_spiking_layer() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut params = Params::new();
+        let cfg = SnnConfig::new(StructuralParams::new(0.5, 4));
+        let model = SpikingMlp::new(&mut params, &mut rng, 16, &[12, 8], 3, &cfg);
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(24), &[2, 1, 4, 4], 0.0, 1.0);
+        let report = model.activity(&params, &x);
+        // Two hidden layers recorded (the LI head does not spike).
+        assert_eq!(report.layers().len(), 2);
+        assert_eq!(report.layers()[0].timesteps, 4);
+        assert_eq!(report.layers()[0].units, 2 * 12);
+    }
+
+    #[test]
+    fn alternate_neuron_models_train_forward_and_attack() {
+        for neuron in [
+            NeuronModel::SynapticLif { gamma: 0.7 },
+            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.2 },
+        ] {
+            let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 5));
+            cfg.neuron = neuron;
+            let mut rng = StdRng::seed_from_u64(25);
+            let mut params = Params::new();
+            let model = SpikingCnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4), &cfg);
+            let clf = nn::Classifier::new(model, params);
+            let x = tensor::init::uniform(&mut StdRng::seed_from_u64(26), &[1, 1, 8, 8], 0.2, 0.9);
+            let (loss, grad) = nn::AdversarialTarget::loss_and_input_grad(&clf, &x, &[2]);
+            assert!(loss.is_finite(), "{neuron:?}");
+            assert!(grad.max_abs() > 0.0, "{neuron:?} gave no input gradient");
+        }
+    }
+
+    #[test]
+    fn surrogate_shape_changes_gradients_not_outputs() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let mut params = Params::new();
+        let cfg = SnnConfig::new(StructuralParams::new(1.0, 5));
+        let model = SpikingCnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4), &cfg);
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(28), &[1, 1, 8, 8], 0.2, 0.9);
+
+        let mut tri_model = model.clone();
+        tri_model.config.surrogate = crate::SurrogateShape::Triangle;
+
+        // Same weights, same forward (Heaviside), different backward.
+        let a = nn::logits(&model, &params, &x);
+        let b = nn::logits(&tri_model, &params, &x);
+        assert_eq!(a, b, "surrogate shape must not affect the forward pass");
+
+        let clf_a = nn::Classifier::new(model, params.clone());
+        let clf_b = nn::Classifier::new(tri_model, params);
+        let (_, ga) = nn::AdversarialTarget::loss_and_input_grad(&clf_a, &x, &[1]);
+        let (_, gb) = nn::AdversarialTarget::loss_and_input_grad(&clf_b, &x, &[1]);
+        assert_ne!(ga, gb, "different surrogates should give different gradients");
+    }
+
+    #[test]
+    fn recurrent_mlp_has_more_parameters_and_different_dynamics() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = SnnConfig::new(StructuralParams::new(0.5, 6));
+        let mut p_ff = Params::new();
+        let ff = SpikingMlp::new(&mut p_ff, &mut rng, 16, &[12], 3, &cfg);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut p_rec = Params::new();
+        let rec = SpikingMlp::new_recurrent(&mut p_rec, &mut rng, 16, &[12], 3, &cfg);
+        assert!(rec.is_recurrent() && !ff.is_recurrent());
+        assert_eq!(
+            p_rec.num_scalars(),
+            p_ff.num_scalars() + 12 * 12 + 12,
+            "one 12x12 recurrent matrix + bias"
+        );
+        // Same seed, same feed-forward weights, but the recurrent pathway
+        // changes the logits (recurrent weights are non-zero at init).
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(32), &[1, 1, 4, 4], 0.3, 1.0);
+        let a = nn::logits(&ff, &p_ff, &x);
+        let b = nn::logits(&rec, &p_rec, &x);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn recurrent_mlp_trains_and_yields_input_gradients() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let cfg = SnnConfig::new(StructuralParams::new(0.5, 5));
+        let mut params = Params::new();
+        let model = SpikingMlp::new_recurrent(&mut params, &mut rng, 16, &[10], 2, &cfg);
+        let clf = nn::Classifier::new(model, params);
+        let x = tensor::init::uniform(&mut StdRng::seed_from_u64(34), &[2, 1, 4, 4], 0.2, 0.9);
+        let (loss, grad) = nn::AdversarialTarget::loss_and_input_grad(&clf, &x, &[0, 1]);
+        assert!(loss.is_finite());
+        assert!(grad.max_abs() > 0.0, "RSNN must be attackable white-box");
+    }
+
+    #[test]
+    fn mlp_trains_on_separable_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(10);
+        // Bright vs dark 4x4 images.
+        let n = 24;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.1 } else { 0.9 };
+            for _ in 0..16 {
+                data.push(base + rng.gen_range(-0.05..0.05f32));
+            }
+            labels.push(class);
+        }
+        let images = Tensor::from_vec(data, &[n, 1, 4, 4]);
+        let mut params = Params::new();
+        let cfg = SnnConfig::new(StructuralParams::new(0.5, 6));
+        let model = SpikingMlp::new(&mut params, &mut rng, 16, &[16], 2, &cfg);
+        let mut opt = nn::Adam::new(1e-2);
+        for _ in 0..12 {
+            nn::train::train_epoch(&model, &mut params, &mut opt, &images, &labels, 8, &mut rng);
+        }
+        let acc = nn::train::evaluate(&model, &params, &images, &labels, 24);
+        assert!(acc > 0.9, "spiking MLP failed to learn: accuracy {acc}");
+    }
+
+    use rand::Rng;
+}

@@ -1,0 +1,119 @@
+//! The structural parameters under study: threshold voltage and time window.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The pair of *inherent structural parameters* whose effect on robustness
+/// the reproduced paper investigates (its §I, questions Q1–Q3):
+///
+/// * `v_th` — the LIF firing threshold: when a neuron's membrane potential
+///   reaches `v_th` it emits a spike and resets;
+/// * `time_window` — the number of simulation steps `T` during which the
+///   network observes the same input before the output is decoded.
+///
+/// The paper's default operating point is `(V_th, T) = (1, 64)` (§VI-B).
+///
+/// # Example
+///
+/// ```
+/// use snn::StructuralParams;
+///
+/// let sp = StructuralParams::new(1.0, 48);
+/// assert_eq!(sp.v_th, 1.0);
+/// assert_eq!(sp.time_window, 48);
+/// assert_eq!(sp.to_string(), "(Vth=1, T=48)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StructuralParams {
+    /// Firing threshold voltage `V_th` shared by every LIF layer.
+    pub v_th: f32,
+    /// Rate-encoding time window `T` (simulation steps per input).
+    pub time_window: usize,
+}
+
+impl StructuralParams {
+    /// Creates a parameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_th` is not finite and positive, or `time_window` is zero
+    /// — such combinations describe a network that can never spike or never
+    /// observes its input.
+    pub fn new(v_th: f32, time_window: usize) -> Self {
+        assert!(
+            v_th.is_finite() && v_th > 0.0,
+            "v_th must be finite and positive, got {v_th}"
+        );
+        assert!(time_window > 0, "time_window must be positive");
+        Self { v_th, time_window }
+    }
+
+    /// The paper's default operating point `(V_th, T) = (1, 64)`.
+    pub fn paper_default() -> Self {
+        Self::new(1.0, 64)
+    }
+}
+
+impl Default for StructuralParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for StructuralParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(Vth={}, T={})", self.v_th, self.time_window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let d = StructuralParams::default();
+        assert_eq!(d.v_th, 1.0);
+        assert_eq!(d.time_window, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_th must be finite and positive")]
+    fn rejects_non_positive_threshold() {
+        StructuralParams::new(0.0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "time_window must be positive")]
+    fn rejects_zero_window() {
+        StructuralParams::new(1.0, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sp = StructuralParams::new(0.75, 72);
+        let json = serde_json::to_string(&sp).unwrap();
+        let back: StructuralParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(sp, back);
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_for_fractional_thresholds() {
+        assert_eq!(StructuralParams::new(0.25, 16).to_string(), "(Vth=0.25, T=16)");
+        assert_eq!(StructuralParams::new(2.5, 80).to_string(), "(Vth=2.5, T=80)");
+    }
+
+    #[test]
+    fn equality_is_exact_on_both_axes() {
+        let a = StructuralParams::new(1.0, 8);
+        assert_eq!(a, StructuralParams::new(1.0, 8));
+        assert_ne!(a, StructuralParams::new(1.0, 9));
+        assert_ne!(a, StructuralParams::new(1.25, 8));
+    }
+}

@@ -1,0 +1,181 @@
+//! The surrogate-gradient family for spike nonlinearities.
+//!
+//! All shapes share the same forward pass (Heaviside on the centered
+//! membrane `x = v − V_th`) and differ only in the smooth derivative used
+//! during backpropagation. Every derivative is normalised to peak at `1` at
+//! the threshold so the slope parameter `α` has the same meaning across
+//! shapes: larger `α` → narrower surrogate → closer to the true step (and
+//! weaker gradients for both training *and* white-box attackers).
+
+use ad::CustomUnary;
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+/// The derivative shape substituted for the Heaviside step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SurrogateShape {
+    /// SuperSpike fast sigmoid: `1 / (1 + α·|x|)²` (Norse's default and the
+    /// shape used by the reproduced paper's training stack).
+    #[default]
+    FastSigmoid,
+    /// Inverse-quadratic arctangent shape: `1 / (1 + (α·x)²)`.
+    Atan,
+    /// Triangular window: `max(0, 1 − α·|x|)`.
+    Triangle,
+    /// Rectangular window: `1` where `|α·x| ≤ 0.5`, else `0` (the
+    /// straight-through-style estimator used by several SNN BPTT papers).
+    Rectangular,
+}
+
+impl SurrogateShape {
+    /// The derivative value at centered membrane `x` with slope `alpha`.
+    pub fn derivative(self, x: f32, alpha: f32) -> f32 {
+        match self {
+            SurrogateShape::FastSigmoid => {
+                let d = 1.0 + alpha * x.abs();
+                1.0 / (d * d)
+            }
+            SurrogateShape::Atan => 1.0 / (1.0 + (alpha * x) * (alpha * x)),
+            SurrogateShape::Triangle => (1.0 - alpha * x.abs()).max(0.0),
+            SurrogateShape::Rectangular => {
+                if (alpha * x).abs() <= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A spike nonlinearity with a selectable surrogate derivative: Heaviside
+/// forward, [`SurrogateShape::derivative`] backward.
+///
+/// # Example
+///
+/// ```
+/// use ad::Tape;
+/// use snn::{Surrogate, SurrogateShape};
+/// use tensor::Tensor;
+///
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![-0.2, 0.2], &[2]));
+/// let s = x.custom_unary(Box::new(Surrogate::new(SurrogateShape::Triangle, 2.0)));
+/// assert_eq!(s.value().data(), &[0.0, 1.0]);
+/// let grads = tape.backward(s.sum());
+/// // Triangle derivative at |x| = 0.2 with alpha 2: 1 − 0.4 = 0.6.
+/// assert!((grads.wrt(x).unwrap().data()[0] - 0.6).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Surrogate {
+    shape: SurrogateShape,
+    alpha: f32,
+}
+
+impl Surrogate {
+    /// Creates the nonlinearity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    pub fn new(shape: SurrogateShape, alpha: f32) -> Self {
+        assert!(alpha > 0.0, "surrogate slope must be positive, got {alpha}");
+        Self { shape, alpha }
+    }
+
+    /// The derivative shape.
+    pub fn shape(&self) -> SurrogateShape {
+        self.shape
+    }
+
+    /// The slope parameter.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl CustomUnary for Surrogate {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        x.map(|v| if v >= 0.0 { 1.0 } else { 0.0 })
+    }
+
+    fn backward(&self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        let (shape, alpha) = (self.shape, self.alpha);
+        x.zip_map(grad_out, move |v, g| g * shape.derivative(v, alpha))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_peak_at_threshold() {
+        for shape in [
+            SurrogateShape::FastSigmoid,
+            SurrogateShape::Atan,
+            SurrogateShape::Triangle,
+            SurrogateShape::Rectangular,
+        ] {
+            assert_eq!(shape.derivative(0.0, 10.0), 1.0, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn all_shapes_decay_away_from_threshold() {
+        for shape in [
+            SurrogateShape::FastSigmoid,
+            SurrogateShape::Atan,
+            SurrogateShape::Triangle,
+            SurrogateShape::Rectangular,
+        ] {
+            let near = shape.derivative(0.01, 10.0);
+            let far = shape.derivative(1.0, 10.0);
+            assert!(far <= near, "{shape:?}: {far} > {near}");
+            assert!(far < 0.5, "{shape:?} barely decays: {far}");
+        }
+    }
+
+    #[test]
+    fn shapes_are_symmetric() {
+        for shape in [
+            SurrogateShape::FastSigmoid,
+            SurrogateShape::Atan,
+            SurrogateShape::Triangle,
+            SurrogateShape::Rectangular,
+        ] {
+            for x in [0.05f32, 0.3, 2.0] {
+                assert_eq!(
+                    shape.derivative(x, 7.0),
+                    shape.derivative(-x, 7.0),
+                    "{shape:?} asymmetric at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_and_rectangular_have_compact_support() {
+        assert_eq!(SurrogateShape::Triangle.derivative(0.11, 10.0), 0.0);
+        assert_eq!(SurrogateShape::Rectangular.derivative(0.051, 10.0), 0.0);
+        assert!(SurrogateShape::FastSigmoid.derivative(0.11, 10.0) > 0.0);
+    }
+
+    #[test]
+    fn forward_is_heaviside_regardless_of_shape() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]);
+        for shape in [SurrogateShape::FastSigmoid, SurrogateShape::Rectangular] {
+            let s = Surrogate::new(shape, 5.0);
+            assert_eq!(s.forward(&x).data(), &[0.0, 1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn fast_sigmoid_matches_superspike() {
+        let x = Tensor::from_vec(vec![0.5, -0.25], &[2]);
+        let g = Tensor::ones(&[2]);
+        let a = Surrogate::new(SurrogateShape::FastSigmoid, 10.0).backward(&x, &g);
+        let b = crate::SuperSpike::new(10.0).backward(&x, &g);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Single-neuron trajectory simulation.
+//!
+//! Traces run the *same* cell dynamics as the networks (through the tape),
+//! so what you plot is exactly what trains — useful for picking `(V_th, β)`
+//! regimes, for documentation, and for regression-testing the dynamics
+//! against closed forms.
+
+use ad::Tape;
+use tensor::Tensor;
+
+use crate::cells::{CellState, NeuronModel};
+use crate::lif::LifParams;
+
+/// The recorded trajectory of one neuron under a given input current
+/// sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuronTrace {
+    /// Membrane potential after every step (post-reset).
+    pub membrane: Vec<f32>,
+    /// Whether the neuron spiked at each step.
+    pub spikes: Vec<bool>,
+    /// The auxiliary state (synaptic current or adaptation), when the
+    /// neuron model has one.
+    pub auxiliary: Option<Vec<f32>>,
+}
+
+impl NeuronTrace {
+    /// Total number of spikes in the trace.
+    pub fn spike_count(&self) -> usize {
+        self.spikes.iter().filter(|&&s| s).count()
+    }
+
+    /// Mean firing rate in spikes per step.
+    pub fn firing_rate(&self) -> f32 {
+        if self.spikes.is_empty() {
+            0.0
+        } else {
+            self.spike_count() as f32 / self.spikes.len() as f32
+        }
+    }
+
+    /// The step indices at which the neuron spiked.
+    pub fn spike_times(&self) -> Vec<usize> {
+        self.spikes
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &s)| s.then_some(t))
+            .collect()
+    }
+}
+
+/// Simulates one neuron of the given model under an input current sequence.
+///
+/// # Example
+///
+/// ```
+/// use snn::{trace, LifParams, NeuronModel};
+///
+/// // Constant supra-threshold drive fires periodically.
+/// let inputs = vec![0.6; 20];
+/// let t = trace::simulate(NeuronModel::Lif, LifParams::new(1.0), &inputs);
+/// assert!(t.spike_count() > 1);
+/// assert!(t.membrane.iter().all(|v| v.is_finite()));
+/// ```
+pub fn simulate(model: NeuronModel, params: LifParams, inputs: &[f32]) -> NeuronTrace {
+    let tape = Tape::new();
+    let mut state: Option<CellState<'_>> = None;
+    let mut membrane = Vec::with_capacity(inputs.len());
+    let mut spikes = Vec::with_capacity(inputs.len());
+    let mut auxiliary: Option<Vec<f32>> = None;
+    for &current in inputs {
+        let input = tape.leaf(Tensor::scalar(current));
+        let (s, next) = model.step(params, input, state);
+        spikes.push(s.value().item() > 0.0);
+        match next {
+            CellState::Membrane(v) => membrane.push(v.value().item()),
+            CellState::SynapticMembrane(i, v) => {
+                membrane.push(v.value().item());
+                auxiliary.get_or_insert_with(Vec::new).push(i.value().item());
+            }
+            CellState::MembraneAdaptation(v, a) => {
+                membrane.push(v.value().item());
+                auxiliary.get_or_insert_with(Vec::new).push(a.value().item());
+            }
+        }
+        state = Some(next);
+    }
+    NeuronTrace {
+        membrane,
+        spikes,
+        auxiliary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lif_under_constant_drive_matches_closed_form_until_first_spike() {
+        // v[t] = I · (1 − β^t)/(1 − β) while below threshold.
+        let params = LifParams::new(10.0).with_beta(0.5);
+        let trace = simulate(NeuronModel::Lif, params, &[1.0; 8]);
+        for (t, &v) in trace.membrane.iter().enumerate() {
+            let expected = (1.0 - 0.5f32.powi(t as i32 + 1)) / 0.5;
+            assert!((v - expected).abs() < 1e-5, "step {t}: {v} vs {expected}");
+        }
+        assert_eq!(trace.spike_count(), 0);
+    }
+
+    #[test]
+    fn firing_is_periodic_under_constant_supra_threshold_drive() {
+        let trace = simulate(NeuronModel::Lif, LifParams::new(1.0), &[0.5; 40]);
+        let times = trace.spike_times();
+        assert!(times.len() >= 3, "expected several spikes, got {times:?}");
+        // After the transient, inter-spike intervals are constant.
+        let isis: Vec<usize> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let last = *isis.last().unwrap();
+        assert!(
+            isis.iter().rev().take(2).all(|&i| i == last),
+            "steady-state ISIs should be periodic: {isis:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_neuron_lengthens_intervals() {
+        let inputs = vec![0.8; 60];
+        let plain = simulate(NeuronModel::Lif, LifParams::new(1.0), &inputs);
+        let alif = simulate(
+            NeuronModel::AdaptiveLif { rho: 0.97, kappa: 0.8 },
+            LifParams::new(1.0),
+            &inputs,
+        );
+        assert!(alif.spike_count() < plain.spike_count());
+        let aux = alif.auxiliary.expect("ALIF records its adaptation state");
+        assert_eq!(aux.len(), 60);
+        assert!(aux.iter().any(|&a| a > 0.0), "adaptation must accumulate");
+    }
+
+    #[test]
+    fn synaptic_neuron_records_current_trace() {
+        let trace = simulate(
+            NeuronModel::SynapticLif { gamma: 0.5 },
+            LifParams::new(5.0),
+            &[1.0; 10],
+        );
+        let aux = trace.auxiliary.expect("synaptic LIF records its current");
+        // i converges to 1/(1−γ) = 2 under unit drive.
+        assert!((aux.last().unwrap() - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn predicted_rate_tracks_simulation() {
+        for (v_th, current) in [(1.0f32, 0.5f32), (1.0, 0.8), (0.5, 0.4), (2.0, 1.5)] {
+            let params = LifParams::new(v_th);
+            let predicted = params.predicted_rate(current);
+            let inputs = vec![current; 400];
+            let simulated = simulate(NeuronModel::Lif, params, &inputs).firing_rate();
+            assert!(
+                (predicted - simulated).abs() < 0.12,
+                "Vth={v_th} I={current}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+        // Sub-threshold saturation: no firing, predicted and simulated.
+        let quiet = LifParams::new(10.0);
+        assert_eq!(quiet.predicted_rate(0.5), 0.0);
+        assert_eq!(
+            simulate(NeuronModel::Lif, quiet, &[0.5; 200]).spike_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let trace = simulate(NeuronModel::Lif, LifParams::new(1.0), &[]);
+        assert!(trace.membrane.is_empty());
+        assert_eq!(trace.firing_rate(), 0.0);
+    }
+}

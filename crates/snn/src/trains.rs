@@ -1,0 +1,216 @@
+//! Spike-train analysis: inter-spike-interval statistics and spike-train
+//! distances.
+
+/// A recorded spike train: sorted spike times within an observation window.
+///
+/// # Example
+///
+/// ```
+/// use snn::trains::SpikeTrain;
+///
+/// let train = SpikeTrain::from_binary(&[0.0, 1.0, 0.0, 1.0, 1.0]);
+/// assert_eq!(train.times(), &[1, 3, 4]);
+/// assert_eq!(train.rate(), 0.6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeTrain {
+    times: Vec<usize>,
+    window: usize,
+}
+
+impl SpikeTrain {
+    /// Builds a train from explicit spike times and window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are unsorted, duplicated, or outside the window.
+    pub fn new(times: Vec<usize>, window: usize) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "spike times must be strictly increasing"
+        );
+        assert!(
+            times.last().is_none_or(|&t| t < window),
+            "spike time outside the window"
+        );
+        Self { times, window }
+    }
+
+    /// Builds a train from a binary (0/1) activation sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is neither 0 nor 1.
+    pub fn from_binary(activations: &[f32]) -> Self {
+        let times = activations
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &v)| {
+                assert!(v == 0.0 || v == 1.0, "non-binary activation {v} at step {t}");
+                (v == 1.0).then_some(t)
+            })
+            .collect();
+        Self {
+            times,
+            window: activations.len(),
+        }
+    }
+
+    /// The spike times.
+    pub fn times(&self) -> &[usize] {
+        &self.times
+    }
+
+    /// The observation-window length in steps.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of spikes.
+    pub fn count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Mean firing rate in spikes per step.
+    pub fn rate(&self) -> f32 {
+        if self.window == 0 {
+            0.0
+        } else {
+            self.count() as f32 / self.window as f32
+        }
+    }
+
+    /// Inter-spike intervals (empty with fewer than two spikes).
+    pub fn isi(&self) -> Vec<usize> {
+        self.times.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Coefficient of variation of the ISIs (`None` with fewer than two
+    /// intervals). `0` for perfectly regular firing, ~`1` for Poisson.
+    pub fn cv_isi(&self) -> Option<f32> {
+        let isi = self.isi();
+        if isi.len() < 2 {
+            return None;
+        }
+        let mean = isi.iter().sum::<usize>() as f32 / isi.len() as f32;
+        let var = isi
+            .iter()
+            .map(|&i| (i as f32 - mean) * (i as f32 - mean))
+            .sum::<f32>()
+            / isi.len() as f32;
+        Some(var.sqrt() / mean)
+    }
+
+    /// Van Rossum distance to another train: the L2 distance between the
+    /// trains convolved with a causal exponential kernel of time constant
+    /// `tau` (in steps). Zero iff the trains are identical; grows with both
+    /// missing spikes and timing jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows differ or `tau` is not positive.
+    pub fn van_rossum_distance(&self, other: &SpikeTrain, tau: f32) -> f32 {
+        assert_eq!(
+            self.window, other.window,
+            "van Rossum distance requires equal windows"
+        );
+        assert!(tau > 0.0, "kernel time constant must be positive");
+        let decay = (-1.0 / tau).exp();
+        let mut acc = 0.0f32;
+        let mut fa = 0.0f32;
+        let mut fb = 0.0f32;
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        for t in 0..self.window {
+            fa *= decay;
+            fb *= decay;
+            if ia < self.times.len() && self.times[ia] == t {
+                fa += 1.0;
+                ia += 1;
+            }
+            if ib < other.times.len() && other.times[ib] == t {
+                fb += 1.0;
+                ib += 1;
+            }
+            acc += (fa - fb) * (fa - fb);
+        }
+        (acc / tau).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_ordering() {
+        let t = SpikeTrain::new(vec![1, 4, 7], 10);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.isi(), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_times() {
+        SpikeTrain::new(vec![4, 1], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the window")]
+    fn rejects_out_of_window() {
+        SpikeTrain::new(vec![10], 10);
+    }
+
+    #[test]
+    fn regular_train_has_zero_cv() {
+        let t = SpikeTrain::new(vec![0, 5, 10, 15], 20);
+        assert_eq!(t.cv_isi(), Some(0.0));
+    }
+
+    #[test]
+    fn irregular_train_has_positive_cv() {
+        let t = SpikeTrain::new(vec![0, 1, 9, 10, 30], 40);
+        assert!(t.cv_isi().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn cv_undefined_for_sparse_trains() {
+        assert_eq!(SpikeTrain::new(vec![3], 10).cv_isi(), None);
+        assert_eq!(SpikeTrain::new(vec![3, 7], 10).cv_isi(), None);
+    }
+
+    #[test]
+    fn van_rossum_is_a_metric_like_distance() {
+        let a = SpikeTrain::new(vec![2, 8], 20);
+        let b = SpikeTrain::new(vec![3, 8], 20);
+        let c = SpikeTrain::new(vec![15], 20);
+        // Identity of indiscernibles and symmetry.
+        assert_eq!(a.van_rossum_distance(&a, 2.0), 0.0);
+        let ab = a.van_rossum_distance(&b, 2.0);
+        assert_eq!(ab, b.van_rossum_distance(&a, 2.0));
+        // Small jitter < completely different train.
+        let ac = a.van_rossum_distance(&c, 2.0);
+        assert!(ab < ac, "jitter {ab} should be closer than {ac}");
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn distance_grows_with_missing_spikes() {
+        let full = SpikeTrain::new(vec![2, 6, 10, 14], 20);
+        let half = SpikeTrain::new(vec![2, 10], 20);
+        let none = SpikeTrain::new(vec![], 20);
+        let d_half = full.van_rossum_distance(&half, 3.0);
+        let d_none = full.van_rossum_distance(&none, 3.0);
+        assert!(d_none > d_half);
+    }
+
+    #[test]
+    fn from_binary_round_trips_with_trace() {
+        use crate::{trace, LifParams, NeuronModel};
+        let t = trace::simulate(NeuronModel::Lif, LifParams::new(1.0), &[0.5; 30]);
+        let binary: Vec<f32> = t.spikes.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect();
+        let train = SpikeTrain::from_binary(&binary);
+        assert_eq!(train.times(), t.spike_times().as_slice());
+        assert_eq!(train.rate(), t.firing_rate());
+    }
+}

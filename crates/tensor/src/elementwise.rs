@@ -1,0 +1,272 @@
+//! Elementwise algebra: binary ops, scalar ops and the restricted
+//! broadcasting patterns used by network layers (bias addition).
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise sum of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn div(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Elementwise maximum of two same-shape tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn maximum(&self, other: &Self) -> Self {
+        self.zip_map(other, f32::max)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn mul_scalar(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise sign: `-1.0`, `0.0` or `1.0` (the PGD step direction).
+    pub fn sign(&self) -> Self {
+        self.map(|v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        assert!(lo <= hi, "clamp bounds inverted: {lo} > {hi}");
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Elementwise natural exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Adds a rank-1 bias of length `C` to a `[N, C]` matrix (per column) or
+    /// a `[N, C, H, W]` feature map (per channel).
+    ///
+    /// This is the only broadcasting pattern the workspace needs, so it is
+    /// implemented directly instead of a general broadcasting engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not rank 1, or if its length does not match the
+    /// channel dimension, or if `self` is not rank 2 or rank 4.
+    pub fn add_bias(&self, bias: &Self) -> Self {
+        assert_eq!(
+            bias.shape().rank(),
+            1,
+            "bias must be rank 1, got {}",
+            bias.shape()
+        );
+        let c = bias.len();
+        let mut out = self.clone();
+        match self.dims() {
+            [_, cols] => {
+                assert_eq!(
+                    *cols, c,
+                    "bias length {c} does not match matrix columns {cols}"
+                );
+                for row in out.data_mut().chunks_mut(c) {
+                    for (v, b) in row.iter_mut().zip(bias.data()) {
+                        *v += b;
+                    }
+                }
+            }
+            [_, ch, h, w] => {
+                assert_eq!(*ch, c, "bias length {c} does not match channels {ch}");
+                let plane = h * w;
+                for image in out.data_mut().chunks_mut(c * plane) {
+                    for (ci, channel) in image.chunks_mut(plane).enumerate() {
+                        let b = bias.data()[ci];
+                        for v in channel {
+                            *v += b;
+                        }
+                    }
+                }
+            }
+            other => panic!("add_bias expects rank 2 or 4, got shape {other:?}"),
+        }
+        out
+    }
+
+    /// Reduces a gradient of shape `[N, C]` or `[N, C, H, W]` down to the
+    /// rank-1 bias shape `[C]` by summing over all non-channel axes.
+    ///
+    /// This is the adjoint of [`Tensor::add_bias`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or rank 4.
+    pub fn reduce_to_bias(&self) -> Self {
+        match self.dims() {
+            [_, c] => {
+                let c = *c;
+                let mut out = Tensor::zeros(&[c]);
+                for row in self.data().chunks(c) {
+                    for (acc, v) in out.data_mut().iter_mut().zip(row) {
+                        *acc += v;
+                    }
+                }
+                out
+            }
+            [_, c, h, w] => {
+                let (c, plane) = (*c, h * w);
+                let mut out = Tensor::zeros(&[c]);
+                for image in self.data().chunks(c * plane) {
+                    for (ci, channel) in image.chunks(plane).enumerate() {
+                        out.data_mut()[ci] += channel.iter().sum::<f32>();
+                    }
+                }
+                out
+            }
+            other => panic!("reduce_to_bias expects rank 2 or 4, got shape {other:?}"),
+        }
+    }
+
+    /// Accumulates `other * scale` into `self` in place (`axpy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Self, scale: f32) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_inplace shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims)
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).data(), &[5.0; 4]);
+        assert_eq!(a.sub(&b).data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).data(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+        assert_eq!(a.maximum(&b).data(), &[4.0, 3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0], &[2]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, -1.0]);
+        assert_eq!(a.mul_scalar(-2.0).data(), &[-2.0, 4.0]);
+        assert_eq!(a.neg().data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn sign_matches_ieee() {
+        let a = t(&[3.0, -0.5, 0.0], &[3]);
+        assert_eq!(a.sign().data(), &[1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = t(&[-2.0, 0.5, 2.0], &[3]);
+        assert_eq!(a.clamp(0.0, 1.0).data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn bias_add_matrix() {
+        let x = t(&[0.0, 0.0, 0.0, 0.0], &[2, 2]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert_eq!(x.add_bias(&b).data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn bias_add_feature_map() {
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = t(&[1.0, -1.0], &[2]);
+        let y = x.add_bias(&b);
+        assert_eq!(y.data(), &[1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn reduce_to_bias_is_adjoint_of_add_bias() {
+        // Sum over batch for rank 2.
+        let g = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(g.reduce_to_bias().data(), &[4.0, 6.0]);
+        // Sum over batch and plane for rank 4.
+        let g4 = Tensor::ones(&[2, 3, 2, 2]);
+        assert_eq!(g4.reduce_to_bias().data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let b = t(&[2.0, 3.0], &[2]);
+        a.add_scaled_inplace(&b, 0.5);
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for fallible tensor constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible constructors such as
+/// [`Tensor::try_from_vec`](crate::Tensor::try_from_vec) when the data length
+/// does not match the requested shape.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let err = Tensor::try_from_vec(vec![1.0, 2.0, 3.0], &[2, 2]).unwrap_err();
+/// assert_eq!(err.expected(), 4);
+/// assert_eq!(err.actual(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: usize,
+    actual: usize,
+    dims: Vec<usize>,
+}
+
+impl ShapeError {
+    pub(crate) fn new(expected: usize, actual: usize, dims: &[usize]) -> Self {
+        Self {
+            expected,
+            actual,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The element count implied by the requested shape.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// The element count actually provided.
+    pub fn actual(&self) -> usize {
+        self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} requires {} elements but {} were provided",
+            self.dims, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_counts() {
+        let err = ShapeError::new(4, 3, &[2, 2]);
+        let msg = err.to_string();
+        assert!(msg.contains('4') && msg.contains('3'), "{msg}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Random tensor initializers.
+//!
+//! All initializers take an explicit RNG so that every experiment in the
+//! workspace is reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Samples every element uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tensor::init;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = init::uniform(&mut rng, &[4, 4], -0.1, 0.1);
+/// assert!(t.data().iter().all(|v| (-0.1..0.1).contains(v)));
+/// ```
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform bounds inverted: [{lo}, {hi})");
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Samples every element from `N(mean, std²)` via the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    assert!(std >= 0.0, "normal std must be non-negative, got {std}");
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = mean + std * standard_normal(rng);
+    }
+    t
+}
+
+/// Kaiming-uniform initialization for a weight tensor whose fan-in is
+/// `fan_in`: uniform on `[-b, b]` with `b = sqrt(6 / fan_in)`.
+///
+/// This matches PyTorch's default `kaiming_uniform_(a=√5)` closely enough
+/// for the small networks in this workspace and keeps early LIF membrane
+/// currents in a trainable range.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "kaiming fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, dims, -bound, bound)
+}
+
+/// One sample from the standard normal distribution.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Box–Muller; reject u1 == 0 to avoid ln(0).
+    loop {
+        let u1: f32 = rng.gen();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[1000], -2.0, 3.0);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&mut rng, &[20_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_uniform(&mut rng, &[64, 100], 100);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.max_abs() <= bound);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(&mut StdRng::seed_from_u64(9), &[16], 0.0, 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(9), &[16], 0.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

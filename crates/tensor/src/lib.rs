@@ -1,0 +1,50 @@
+//! Dense `f32` N-dimensional tensors for the `spiking-armor` workspace.
+//!
+//! This crate is the numerical substrate underneath the autodiff engine
+//! ([`ad`]), the neural-network layers ([`nn`]) and the spiking dynamics
+//! ([`snn`]). It provides:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` buffer plus shape,
+//! * elementwise algebra ([`Tensor::add`], [`Tensor::mul`], scalar variants),
+//! * linear algebra ([`Tensor::matmul`], [`Tensor::transpose2d`]),
+//! * convolution primitives ([`conv::conv2d`], [`conv::conv2d_backward`]),
+//! * pooling ([`pool::avg_pool2d`], [`pool::max_pool2d`]),
+//! * reductions ([`Tensor::sum`], [`Tensor::mean`], [`Tensor::argmax_rows`]),
+//! * random and deterministic initializers ([`init`]).
+//!
+//! Shapes are validated eagerly: mismatched operands panic with a message
+//! naming both shapes, which turns silent numerical corruption into an
+//! immediate, debuggable failure (see the "Panics" section on each op).
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+//!
+//! [`ad`]: ../ad/index.html
+//! [`nn`]: ../nn/index.html
+//! [`snn`]: ../snn/index.html
+
+mod elementwise;
+mod error;
+mod linalg;
+mod manip;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod pool;
+pub mod reduce;
+
+pub use error::ShapeError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,140 @@
+//! Matrix products and transposes for rank-2 tensors.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of a `[M, K]` tensor with a `[K, N]` tensor.
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop walks both the output
+    /// row and the right-hand operand row contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions do not
+    /// match.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, other: &Self) -> Self {
+        let (m, k) = match self.dims() {
+            [m, k] => (*m, *k),
+            d => panic!("matmul lhs must be rank 2, got shape {d:?}"),
+        };
+        let (k2, n) = match other.dims() {
+            [k2, n] => (*k2, *n),
+            d => panic!("matmul rhs must be rank 2, got shape {d:?}"),
+        };
+        assert_eq!(
+            k, k2,
+            "matmul inner dimensions differ: [{m}, {k}] x [{k2}, {n}]"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Self {
+        let (m, n) = match self.dims() {
+            [m, n] => (*m, *n),
+            d => panic!("transpose2d requires rank 2, got shape {d:?}"),
+        };
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data_mut()[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Dot product of two same-shape tensors viewed as flat vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn dot(&self, other: &Self) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "dot shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // [1, 3] x [3, 2]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[1, 2]);
+        assert_eq!(c.data(), &[14.0, 32.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatch() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose2d();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose2d(), a);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+}

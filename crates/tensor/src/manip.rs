@@ -1,0 +1,340 @@
+//! Shape manipulation: concatenation, padding, flipping and axis
+//! reductions.
+
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Concatenates tensors along axis 0 (the batch axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the non-batch dimensions differ.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tensor::Tensor;
+    ///
+    /// let a = Tensor::ones(&[1, 2]);
+    /// let b = Tensor::zeros(&[2, 2]);
+    /// let c = Tensor::cat0(&[&a, &b]);
+    /// assert_eq!(c.dims(), &[3, 2]);
+    /// assert_eq!(c.data(), &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    /// ```
+    pub fn cat0(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cat0 of zero tensors");
+        let first = parts[0].dims();
+        let tail = &first[1..];
+        let mut n = 0usize;
+        for p in parts {
+            assert_eq!(
+                &p.dims()[1..],
+                tail,
+                "cat0 inner dimensions differ: {:?} vs {:?}",
+                p.dims(),
+                first
+            );
+            n += p.dims()[0];
+        }
+        let mut dims = vec![n];
+        dims.extend_from_slice(tail);
+        let mut data = Vec::with_capacity(Shape::new(&dims).len());
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Extracts the half-open sample range `[start, end)` along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end` exceeds the batch size.
+    pub fn slice0(&self, start: usize, end: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(start < end, "empty slice [{start}, {end})");
+        assert!(
+            end <= dims[0],
+            "slice end {end} exceeds batch size {}",
+            dims[0]
+        );
+        let sample_len: usize = dims[1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims[0] = end - start;
+        Tensor::from_vec(
+            self.data()[start * sample_len..end * sample_len].to_vec(),
+            &out_dims,
+        )
+    }
+
+    /// Zero-pads the two trailing (spatial) axes by `pad` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank < 2.
+    pub fn pad2d(&self, pad: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(dims.len() >= 2, "pad2d needs rank >= 2, got {dims:?}");
+        if pad == 0 {
+            return self.clone();
+        }
+        let (h, w) = (dims[dims.len() - 2], dims[dims.len() - 1]);
+        let planes: usize = dims[..dims.len() - 2].iter().product();
+        let (ho, wo) = (h + 2 * pad, w + 2 * pad);
+        let mut out_dims = dims.to_vec();
+        let rank = out_dims.len();
+        out_dims[rank - 2] = ho;
+        out_dims[rank - 1] = wo;
+        let mut out = Tensor::zeros(&out_dims);
+        for p in 0..planes {
+            let src = &self.data()[p * h * w..(p + 1) * h * w];
+            let dst = &mut out.data_mut()[p * ho * wo..(p + 1) * ho * wo];
+            for i in 0..h {
+                let row = &src[i * w..(i + 1) * w];
+                dst[(i + pad) * wo + pad..(i + pad) * wo + pad + w].copy_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// Mirrors the last (width) axis — horizontal flip for images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank 0.
+    pub fn flip_horizontal(&self) -> Tensor {
+        let dims = self.dims();
+        assert!(!dims.is_empty(), "flip of a scalar");
+        let w = dims[dims.len() - 1];
+        let rows = self.len() / w;
+        let mut out = self.clone();
+        for r in 0..rows {
+            out.data_mut()[r * w..(r + 1) * w].reverse();
+        }
+        out
+    }
+
+    /// Translates the two trailing axes by `(dy, dx)` pixels, filling vacated
+    /// pixels with zero (a rigid shift, used for augmentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank < 2.
+    pub fn shift2d(&self, dy: isize, dx: isize) -> Tensor {
+        let dims = self.dims();
+        assert!(dims.len() >= 2, "shift2d needs rank >= 2, got {dims:?}");
+        let (h, w) = (dims[dims.len() - 2] as isize, dims[dims.len() - 1] as isize);
+        let planes: usize = dims[..dims.len() - 2].iter().product();
+        let mut out = Tensor::zeros(dims);
+        let (hu, wu) = (h as usize, w as usize);
+        for p in 0..planes {
+            let src = &self.data()[p * hu * wu..(p + 1) * hu * wu];
+            let dst = &mut out.data_mut()[p * hu * wu..(p + 1) * hu * wu];
+            for i in 0..h {
+                let si = i - dy;
+                if si < 0 || si >= h {
+                    continue;
+                }
+                for j in 0..w {
+                    let sj = j - dx;
+                    if sj < 0 || sj >= w {
+                        continue;
+                    }
+                    dst[(i * w + j) as usize] = src[(si * w + sj) as usize];
+                }
+            }
+        }
+        out
+    }
+
+    /// Sums over one axis, removing it from the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank` or the tensor is rank 1 (the result would
+    /// be a scalar; use [`Tensor::sum`]).
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range for {dims:?}");
+        assert!(dims.len() > 1, "sum_axis on rank 1; use sum()");
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims.remove(axis);
+        let mut out = Tensor::zeros(&out_dims);
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
+                for i in 0..inner {
+                    dst[i] += self.data()[base + i];
+                }
+            }
+        }
+        out
+    }
+
+    /// Means over one axis, removing it from the shape.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tensor::sum_axis`].
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dims()[axis] as f32;
+        self.sum_axis(axis).mul_scalar(1.0 / n)
+    }
+
+    /// Maximum over one axis, removing it from the shape.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tensor::sum_axis`].
+    pub fn max_axis(&self, axis: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(axis < dims.len(), "axis {axis} out of range for {dims:?}");
+        assert!(dims.len() > 1, "max_axis on rank 1; use max()");
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims.remove(axis);
+        let mut out = Tensor::full(&out_dims, f32::NEG_INFINITY);
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
+                for i in 0..inner {
+                    dst[i] = dst[i].max(self.data()[base + i]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims)
+    }
+
+    #[test]
+    fn cat_and_slice_round_trip() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Tensor::cat0(&[&a, &b]);
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.slice0(0, 1), a);
+        assert_eq!(c.slice0(1, 3), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn cat_rejects_mismatched_tails() {
+        Tensor::cat0(&[&Tensor::zeros(&[1, 2]), &Tensor::zeros(&[1, 3])]);
+    }
+
+    #[test]
+    fn pad_surrounds_with_zeros() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = x.pad2d(1);
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 2, 2]), 4.0);
+        assert_eq!(y.sum(), x.sum());
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = x.flip_horizontal();
+        assert_eq!(y.data(), &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+        assert_eq!(y.flip_horizontal(), x);
+    }
+
+    #[test]
+    fn shift_moves_content_and_zero_fills() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = x.shift2d(1, 0); // down by one row
+        assert_eq!(y.data(), &[0.0, 0.0, 1.0, 2.0]);
+        let y = x.shift2d(0, -1); // left by one column
+        assert_eq!(y.data(), &[2.0, 0.0, 4.0, 0.0]);
+        assert_eq!(x.shift2d(0, 0), x);
+        // Shifting everything out leaves zeros.
+        assert_eq!(x.shift2d(5, 0).sum(), 0.0);
+    }
+
+    #[test]
+    fn axis_reductions_match_hand_computation() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(x.sum_axis(0).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(x.sum_axis(1).data(), &[6.0, 15.0]);
+        assert_eq!(x.mean_axis(1).data(), &[2.0, 5.0]);
+        assert_eq!(x.max_axis(0).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(x.max_axis(1).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn axis_reduction_on_rank3() {
+        let x = t(&(1..=8).map(|v| v as f32).collect::<Vec<_>>(), &[2, 2, 2]);
+        // Sum over the middle axis.
+        assert_eq!(x.sum_axis(1).data(), &[4.0, 6.0, 12.0, 14.0]);
+        assert_eq!(x.sum_axis(1).dims(), &[2, 2]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Sum of axis reductions equals the global sum.
+            #[test]
+            fn axis_sums_preserve_total(data in proptest::collection::vec(-5.0f32..5.0, 12)) {
+                let x = Tensor::from_vec(data, &[3, 4]);
+                let total = x.sum();
+                prop_assert!((x.sum_axis(0).sum() - total).abs() < 1e-4);
+                prop_assert!((x.sum_axis(1).sum() - total).abs() < 1e-4);
+            }
+
+            /// Double flip is the identity; padding preserves mass.
+            #[test]
+            fn flip_involution_pad_mass(data in proptest::collection::vec(0.0f32..1.0, 16)) {
+                let x = Tensor::from_vec(data, &[1, 1, 4, 4]);
+                prop_assert_eq!(x.flip_horizontal().flip_horizontal(), x.clone());
+                prop_assert!((x.pad2d(2).sum() - x.sum()).abs() < 1e-4);
+            }
+
+            /// cat0 then slice0 returns the originals.
+            #[test]
+            fn cat_slice_inverse(
+                a in proptest::collection::vec(-1.0f32..1.0, 6),
+                b in proptest::collection::vec(-1.0f32..1.0, 9),
+            ) {
+                let ta = Tensor::from_vec(a, &[2, 3]);
+                let tb = Tensor::from_vec(b, &[3, 3]);
+                let c = Tensor::cat0(&[&ta, &tb]);
+                prop_assert_eq!(c.slice0(0, 2), ta);
+                prop_assert_eq!(c.slice0(2, 5), tb);
+            }
+
+            /// Opposite shifts restore interior content.
+            #[test]
+            fn shift_and_unshift_preserve_interior(data in proptest::collection::vec(0.0f32..1.0, 16)) {
+                let x = Tensor::from_vec(data, &[1, 1, 4, 4]);
+                let back = x.shift2d(1, 1).shift2d(-1, -1);
+                // Interior pixels (not shifted off the edge) must survive.
+                for i in 0..3 {
+                    for j in 0..3 {
+                        prop_assert_eq!(back.at(&[0, 0, i, j]), x.at(&[0, 0, i, j]));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Spatial pooling over `[N, C, H, W]` feature maps.
+
+use crate::Tensor;
+
+/// Average pooling with a square `k × k` window and stride `k`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4, `k` is zero, or `H`/`W` are not divisible by
+/// `k` (non-divisible pooling windows would silently drop pixels).
+///
+/// # Example
+///
+/// ```
+/// use tensor::{pool, Tensor};
+///
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+/// let y = pool::avg_pool2d(&x, 2);
+/// assert_eq!(y.data(), &[2.5]);
+/// ```
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
+    let (n, c, h, w) = unpack4(x);
+    check_divisible(h, w, k);
+    let (ho, wo) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let norm = 1.0 / (k * k) as f32;
+    let in_plane = h * w;
+    let out_plane = ho * wo;
+    for p in 0..n * c {
+        let src = &x.data()[p * in_plane..(p + 1) * in_plane];
+        let dst = &mut out.data_mut()[p * out_plane..(p + 1) * out_plane];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let mut acc = 0.0;
+                for di in 0..k {
+                    for dj in 0..k {
+                        acc += src[(oi * k + di) * w + (oj * k + dj)];
+                    }
+                }
+                dst[oi * wo + oj] = acc * norm;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its `k × k` input window.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not have the pooled shape of an input with
+/// `in_dims` dimensions.
+pub fn avg_pool2d_backward(grad_out: &Tensor, in_dims: &[usize], k: usize) -> Tensor {
+    let (n, c, h, w) = match in_dims {
+        [n, c, h, w] => (*n, *c, *h, *w),
+        d => panic!("avg_pool2d_backward input dims must be rank 4, got {d:?}"),
+    };
+    check_divisible(h, w, k);
+    let (ho, wo) = (h / k, w / k);
+    assert_eq!(
+        grad_out.dims(),
+        &[n, c, ho, wo],
+        "avg_pool2d_backward grad shape {:?} does not match pooled [{n}, {c}, {ho}, {wo}]",
+        grad_out.dims()
+    );
+    let mut grad_in = Tensor::zeros(in_dims);
+    let norm = 1.0 / (k * k) as f32;
+    let in_plane = h * w;
+    let out_plane = ho * wo;
+    for p in 0..n * c {
+        let src = &grad_out.data()[p * out_plane..(p + 1) * out_plane];
+        let dst = &mut grad_in.data_mut()[p * in_plane..(p + 1) * in_plane];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let g = src[oi * wo + oj] * norm;
+                for di in 0..k {
+                    for dj in 0..k {
+                        dst[(oi * k + di) * w + (oj * k + dj)] += g;
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Max pooling with a square `k × k` window and stride `k`.
+///
+/// Returns the pooled tensor and the flat index (into the input buffer) of
+/// each selected maximum, which [`max_pool2d_backward`] uses to route
+/// gradients.
+///
+/// # Panics
+///
+/// Same conditions as [`avg_pool2d`].
+pub fn max_pool2d(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = unpack4(x);
+    check_divisible(h, w, k);
+    let (ho, wo) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut argmax = vec![0usize; n * c * ho * wo];
+    let in_plane = h * w;
+    let out_plane = ho * wo;
+    for p in 0..n * c {
+        let src = &x.data()[p * in_plane..(p + 1) * in_plane];
+        for oi in 0..ho {
+            for oj in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for di in 0..k {
+                    for dj in 0..k {
+                        let idx = (oi * k + di) * w + (oj * k + dj);
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = p * out_plane + oi * wo + oj;
+                out.data_mut()[o] = best;
+                argmax[o] = p * in_plane + best_idx;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Gradient of [`max_pool2d`]: routes each output gradient to the input
+/// element recorded in `argmax`.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], in_dims: &[usize]) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "max_pool2d_backward: {} gradients but {} argmax entries",
+        grad_out.len(),
+        argmax.len()
+    );
+    let mut grad_in = Tensor::zeros(in_dims);
+    for (&g, &idx) in grad_out.data().iter().zip(argmax) {
+        grad_in.data_mut()[idx] += g;
+    }
+    grad_in
+}
+
+fn unpack4(t: &Tensor) -> (usize, usize, usize, usize) {
+    match t.dims() {
+        [n, c, h, w] => (*n, *c, *h, *w),
+        d => panic!("pooling input must be rank 4, got shape {d:?}"),
+    }
+}
+
+fn check_divisible(h: usize, w: usize, k: usize) {
+    assert!(k > 0, "pooling window must be positive");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "pooling window {k} does not divide spatial extent {h}x{w}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]);
+        let gx = avg_pool2d_backward(&g, &[1, 1, 2, 2], 2);
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_selects_max_and_routes_grad() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 1, 2, 2]);
+        let (y, arg) = max_pool2d(&x, 2);
+        assert_eq!(y.data(), &[5.0]);
+        assert_eq!(arg, vec![1]);
+        let gx = max_pool2d_backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]), &arg, &[1, 1, 2, 2]);
+        assert_eq!(gx.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn pool_rejects_non_divisible() {
+        avg_pool2d(&Tensor::zeros(&[1, 1, 3, 3]), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Reductions: full-tensor sums/means, row-wise softmax helpers and argmax.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every tensor holds at least one element.
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// For a `[N, C]` matrix, the argmax of each row — i.e. the predicted
+    /// class per sample for a logits matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (n, c) = match self.dims() {
+            [n, c] => (*n, *c),
+            d => panic!("argmax_rows requires rank 2, got shape {d:?}"),
+        };
+        let mut out = Vec::with_capacity(n);
+        for row in self.data().chunks(c) {
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Row-wise log-softmax of a `[N, C]` matrix, computed with the max-shift
+    /// trick for numerical stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let (_, c) = match self.dims() {
+            [n, c] => (*n, *c),
+            d => panic!("log_softmax_rows requires rank 2, got shape {d:?}"),
+        };
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_mut(c) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+            for v in row {
+                *v -= lse;
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax of a `[N, C]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        self.log_softmax_rows().exp()
+    }
+
+    /// Sums a `[N, C]` matrix over its rows, returning `[C]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        let (_, c) = match self.dims() {
+            [n, c] => (*n, *c),
+            d => panic!("sum_rows requires rank 2, got shape {d:?}"),
+        };
+        let mut out = Tensor::zeros(&[c]);
+        for row in self.data().chunks(c) {
+            for (acc, v) in out.data_mut().iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        out
+    }
+
+    /// L2 norm of the tensor viewed as a flat vector.
+    pub fn norm(&self) -> f32 {
+        self.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+        assert!((t.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_picks_first_on_ties_only_when_strictly_greater() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0, -1.0, -2.0], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_after_exp() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 100.0, 100.0, 100.0], &[2, 3]);
+        let p = t.log_softmax_rows().exp();
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]);
+        let ls = t.log_softmax_rows();
+        assert!(!ls.has_non_finite() || ls.data()[1] == f32::NEG_INFINITY);
+        assert!((ls.data()[0] - 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_rows_reduces_batch() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[2, 2]);
+        assert_eq!(t.sum_rows().data(), &[11.0, 22.0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! The owned, contiguous, row-major tensor type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Shape, ShapeError};
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single numeric container shared by the whole workspace:
+/// network weights, activations, spike trains, gradients and adversarial
+/// perturbations are all `Tensor`s. Data is always contiguous, so views are
+/// realised by cheap reshapes ([`Tensor::reshape`]) rather than strided
+/// aliasing — a deliberate simplification that keeps every op a plain loop
+/// over `&[f32]`.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]);
+/// let relu = x.map(|v| v.max(0.0));
+/// assert_eq!(relu.data(), &[1.0, 0.0, 3.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`. Use
+    /// [`Tensor::try_from_vec`] to handle the mismatch as an error.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        match Self::try_from_vec(data, dims) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a tensor from a flat row-major buffer, or reports the length
+    /// mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len()` does not equal the product of
+    /// `dims`.
+    pub fn try_from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, ShapeError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(ShapeError::new(shape.len(), data.len(), dims));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor is a rank-0 scalar (it still holds one element).
+    pub fn is_empty(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// The single value of a scalar (or one-element) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a one-element tensor, got shape {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into shape {shape}",
+            self.data.len()
+        );
+        Self {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `true` if every element of `self` is within `tol` of the matching
+    /// element of `other` and the shapes are equal.
+    pub fn allclose(&self, other: &Self, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Maximum absolute element, or `0.0` for a scalar zero tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Renders a `[H, W]`, `[1, H, W]` or `[1, 1, H, W]` tensor in `[0, 1]`
+    /// as ASCII art (one character per pixel, darker ramp for brighter
+    /// values) — handy for eyeballing digit images in terminals and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor cannot be viewed as a single 2-D image.
+    pub fn render_ascii_image(&self) -> String {
+        let dims = self.dims();
+        let (h, w) = match dims {
+            [h, w] => (*h, *w),
+            [1, h, w] => (*h, *w),
+            [1, 1, h, w] => (*h, *w),
+            other => panic!("render_ascii_image needs one 2-D image, got shape {other:?}"),
+        };
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity(h * (w + 1));
+        for row in self.data.chunks(w).take(h) {
+            for &v in row {
+                let idx = (v.clamp(0.0, 1.0) * (RAMP.len() - 1) as f32).round() as usize;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, … {} more]",
+                self.data[0],
+                self.data[1],
+                self.data.len() - 2
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_correctly() {
+        assert!(Tensor::zeros(&[2, 2]).data().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones(&[3]).data().iter().all(|&v| v == 1.0));
+        assert_eq!(Tensor::full(&[2], 2.5).data(), &[2.5, 2.5]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.at(&[r, c]), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn try_from_vec_checks_length() {
+        assert!(Tensor::try_from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+        assert!(Tensor::try_from_vec(vec![1.0; 5], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn at_and_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0);
+        assert_eq!(t.at(&[1, 2]), 9.0);
+        assert_eq!(t.data()[5], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_bad_count() {
+        Tensor::zeros(&[2, 2]).reshape(&[3]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.map(|v| v * 2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0 - 1e-7], &[2]);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b, 1e-9));
+    }
+
+    #[test]
+    fn ascii_image_maps_brightness_to_ramp() {
+        let img = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.0], &[2, 2]);
+        let art = img.render_ascii_image();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().next(), Some(' '));
+        assert_eq!(lines[0].chars().nth(1), Some('@'));
+        // Same output through the rank-4 view.
+        assert_eq!(img.reshape(&[1, 1, 2, 2]).render_ascii_image(), art);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(!t.has_non_finite());
+        t.set(&[0], f32::NAN);
+        assert!(t.has_non_finite());
+    }
+}

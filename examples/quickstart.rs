@@ -1,0 +1,87 @@
+//! Quickstart: train one spiking network, attack it with PGD, and print its
+//! robustness — the smallest end-to-end tour of the public API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use attacks::{evaluate_attack, Attack, GaussianNoise, Pgd};
+use explore::{pipeline, presets, RobustnessClass};
+use snn::StructuralParams;
+
+fn main() {
+    // 1. A CPU-friendly experiment configuration: 12×12 SynthDigits and a
+    //    small spiking MLP (see `presets::paper_scale()` for the original
+    //    LeNet-5 / 28×28 dimensions).
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    println!(
+        "dataset: {} train / {} test samples of {}x{} digits",
+        data.train.len(),
+        data.test.len(),
+        config.image_hw,
+        config.image_hw
+    );
+
+    // 2. Train the SNN at a chosen structural point (V_th, T).
+    // Peek at one generated digit (the dataset is procedural SynthDigits).
+    let sample = data.test.subset(1);
+    println!(
+        "sample digit (label {}):\n{}",
+        sample.labels()[0],
+        sample.images().render_ascii_image()
+    );
+
+    let structural = StructuralParams::new(1.0, 6);
+    println!("training SNN at {structural} ...");
+    let trained = pipeline::train_snn(&config, &data, structural);
+    println!("clean test accuracy: {:.1}%", trained.clean_accuracy * 100.0);
+
+    // 3. Attack it: white-box PGD at a mid-range noise budget, plus the
+    //    random-noise control at the same budget.
+    let eps = presets::paper_eps_to_pixel(1.0);
+    let attack_set = data.test.subset(config.attack_samples);
+    for attack in [
+        &Pgd::standard(eps) as &dyn Attack,
+        &GaussianNoise::new(eps, config.seed),
+    ] {
+        let outcome = evaluate_attack(
+            &trained.classifier,
+            attack,
+            attack_set.images(),
+            attack_set.labels(),
+            config.batch_size,
+        );
+        println!(
+            "{:<12} eps={:.3} (paper eps=1.0): accuracy {:.1}% -> {:.1}%",
+            attack.name(),
+            eps,
+            outcome.clean_accuracy * 100.0,
+            outcome.adversarial_accuracy * 100.0,
+        );
+    }
+
+    // 4. Summarise with the paper's Algorithm 1 and robustness classes.
+    let outcome = explore::algorithm::explore_one(
+        &config,
+        &data,
+        structural,
+        &presets::epsilon_sweep(),
+    );
+    println!(
+        "robustness sweep: {:?}",
+        outcome
+            .robustness
+            .iter()
+            .map(|&(e, r)| format!("paper-eps {:.2} -> {:.0}%", presets::pixel_eps_to_paper(e), r * 100.0))
+            .collect::<Vec<_>>()
+    );
+    match RobustnessClass::classify(&outcome) {
+        Some(class) => println!("robustness class at {structural}: {class:?}"),
+        None => println!("combination {structural} did not meet the learnability threshold"),
+    }
+
+    // 5. Peek inside: per-layer firing rates of the trained network.
+    let (model, params) = trained.classifier.into_parts();
+    println!("\nfiring activity on the attacked subset:\n{}", model.activity(&params, attack_set.images()));
+}

@@ -1,0 +1,103 @@
+//! Robust-deployment walkthrough: the workflow a practitioner follows to
+//! ship a trustworthy SNN per the paper's recommendations.
+//!
+//! 1. explore a `(V_th, T)` grid (learnability + security, Algorithm 1);
+//! 2. pick the sweet spot;
+//! 3. fine-tune the deployment point around it *without retraining* (§VI-C);
+//! 4. control-check against non-adversarial corruptions;
+//! 5. checkpoint the final model.
+//!
+//! ```text
+//! cargo run --release --example robust_deployment
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use explore::{corruption, grid, mismatch, pipeline, presets, GridSpec};
+
+fn main() {
+    let config = presets::quick();
+    let data = pipeline::prepare_data(&config);
+    let out_dir = Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create target/figures");
+
+    // 1. Grid exploration.
+    let spec = GridSpec::new(vec![0.5, 1.0, 1.5, 2.0], vec![4, 6, 8]);
+    println!("step 1: exploring {} (V_th, T) combinations ...", spec.len());
+    let result = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
+    println!(
+        "  {:.0}% learnable at A_th = {:.0}%",
+        result.learnable_fraction() * 100.0,
+        config.accuracy_threshold * 100.0
+    );
+
+    // 2. Sweet spot.
+    let sweet = result
+        .sweet_spot()
+        .expect("at least one combination must be learnable");
+    println!(
+        "step 2: sweet spot {} (clean {:.1}%, robustness at strongest eps {:.1}%)",
+        sweet.structural,
+        sweet.clean_accuracy * 100.0,
+        sweet.final_robustness().unwrap_or(0.0) * 100.0
+    );
+
+    // 3. Fine-tune the deployment point around the sweet spot.
+    println!("step 3: fine-tuning deployment point around the sweet spot ...");
+    let candidates = mismatch::neighbourhood(sweet.structural, 0.25, 2);
+    let tuned = mismatch::fine_tune_structural(
+        &config,
+        &data,
+        sweet.structural,
+        &candidates,
+        &presets::heatmap_epsilons(),
+    );
+    for e in &tuned.entries {
+        println!(
+            "  candidate {}: clean {:.1}%, robustness {:?}",
+            e.eval_at,
+            e.clean_accuracy * 100.0,
+            e.robustness
+                .iter()
+                .map(|&(_, r)| format!("{:.0}%", r * 100.0))
+                .collect::<Vec<_>>()
+        );
+    }
+    let deployment = tuned
+        .best_deployment()
+        .map(|e| e.eval_at)
+        .unwrap_or(sweet.structural);
+    println!("  selected deployment point: {deployment}");
+
+    // 4. Corruption control: robustness to *non-adversarial* noise.
+    println!("step 4: corruption control study ...");
+    let control = corruption::corruption_robustness(&config, &data, deployment, &[0.2, 0.4]);
+    println!(
+        "  clean {:.1}% | mean corrupted {:.1}%",
+        control.clean_accuracy * 100.0,
+        control.mean_corrupted_accuracy() * 100.0
+    );
+
+    // 5. Checkpoint the deployed model.
+    let trained = pipeline::train_snn(&config, &data, deployment);
+    let ckpt = out_dir.join("deployed_snn.json");
+    trained
+        .classifier
+        .params()
+        .save_json(&ckpt)
+        .expect("write checkpoint");
+    println!(
+        "step 5: checkpointed {} parameters to {}",
+        trained.classifier.params().num_scalars(),
+        ckpt.display()
+    );
+
+    // Verify the checkpoint round-trips.
+    let reloaded = nn::Params::load_json(&ckpt).expect("reload checkpoint");
+    assert_eq!(
+        reloaded.num_scalars(),
+        trained.classifier.params().num_scalars()
+    );
+    println!("checkpoint verified; deployment complete.");
+}

@@ -1,0 +1,100 @@
+//! Figure 9 reproduction: robustness-vs-ε curves for structurally different
+//! SNNs against the CNN baseline, and the high/medium/low robustness
+//! classification of §VI-C.
+//!
+//! The combinations are picked from a (reduced) grid exploration the same
+//! way the paper picks its §VI-C examples: the sweet spot, the least robust
+//! learnable cell, and a mid-pack cell.
+//!
+//! ```text
+//! cargo run --release --example sweet_spot
+//! ```
+
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::{algorithm, grid, pipeline, presets, GridSpec, RobustnessClass};
+
+fn main() {
+    let (config, epsilons) = presets::fig9();
+    let data = pipeline::prepare_data(&config);
+
+    // Stage 1: a coarse grid to locate interesting combinations (the full
+    // paper grid works too; see the `heatmap` example's --full mode).
+    let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
+    println!("stage 1: locating combinations on a {} cell grid ...", spec.len());
+    let coarse = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
+
+    let mut picks: Vec<snn::StructuralParams> = Vec::new();
+    if let Some(sweet) = coarse.sweet_spot() {
+        picks.push(sweet.structural);
+    }
+    if let Some(worst) = coarse.worst_learnable() {
+        if !picks.contains(&worst.structural) {
+            picks.push(worst.structural);
+        }
+    }
+    // A mid-pack learnable cell different from the extremes.
+    if let Some(mid) = coarse
+        .outcomes
+        .iter()
+        .filter(|o| o.learnable && !picks.contains(&o.structural))
+        .min_by(|a, b| {
+            let med = |o: &explore::ExplorationOutcome| {
+                (o.final_robustness().unwrap_or(0.0) - 0.5f32).abs()
+            };
+            med(a).total_cmp(&med(b))
+        })
+    {
+        picks.push(mid.structural);
+    }
+    println!("picked combinations: {picks:?}\n");
+
+    // Stage 2: full ε sweeps for the picks and the CNN.
+    println!("stage 2: sweeping eps for {} SNNs and the CNN ...", picks.len());
+    let mut set = CurveSet::new();
+    let to_paper = |points: Vec<(f32, f32)>| {
+        points
+            .into_iter()
+            .map(|(e, a)| (presets::pixel_eps_to_paper(e), a))
+            .collect::<Vec<_>>()
+    };
+    for sp in &picks {
+        let trained = pipeline::train_snn(&config, &data, *sp);
+        let sweep = algorithm::sweep_attack(&config, &data, &trained.classifier, &epsilons);
+        let outcome = algorithm::explore_trained(&config, &data, *sp, &trained, &epsilons);
+        let class = match RobustnessClass::classify(&outcome) {
+            Some(c) => format!("{c:?}"),
+            None => "unlearnable".to_string(),
+        };
+        set.push(RobustnessCurve::new(
+            format!("SNN {sp} [{class}]"),
+            to_paper(sweep),
+        ));
+    }
+    let cnn = pipeline::train_cnn(&config, &data);
+    let cnn_sweep = algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons);
+    let cnn_curve = RobustnessCurve::new("CNN baseline", to_paper(cnn_sweep));
+
+    println!("\naccuracy under PGD (eps in the paper's normalised units)\n");
+    let mut all = set.clone();
+    all.push(cnn_curve.clone());
+    println!("{}", all.render_table());
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("create target/figures");
+    std::fs::write(
+        out_dir.join("fig9_robustness_curves.svg"),
+        explore::viz::svg_curves(&all, "Fig. 9: robustness of selected (Vth, T) vs CNN"),
+    )
+    .expect("write fig9 svg");
+    std::fs::write(out_dir.join("fig9_robustness_curves.csv"), all.to_csv())
+        .expect("write fig9 csv");
+
+    for curve in set.curves() {
+        if let Some(adv) = curve.max_advantage_over(&cnn_curve) {
+            println!(
+                "{}: max advantage over CNN {:+.1}% (paper: up to +85% for the sweet spot, negative for bad combinations)",
+                curve.label(),
+                adv * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Temporal-data extension: direction-of-motion classification, where the
+//! time window is *semantically necessary* rather than a rate-coding
+//! convenience.
+//!
+//! The MovingBars task stacks frames of a sweeping bar; no single frame
+//! identifies the direction. Two models compete:
+//!
+//! * a CNN that sees all frames at once, stacked as input channels (the
+//!   standard frame-stacking baseline), and
+//! * a spiking MLP that *replays* the frames through its time window
+//!   ([`snn::Encoder::Replay`]) and integrates the motion in its membrane
+//!   dynamics.
+//!
+//! Both are then attacked with PGD, extending the paper's robustness
+//! question to temporal inputs.
+//!
+//! ```text
+//! cargo run --release --example temporal_motion
+//! ```
+
+use dataset::motion::MovingBars;
+use nn::{Adam, Classifier, Cnn, CnnConfig, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn::{Encoder, SnnConfig, SpikingMlp, StructuralParams};
+
+use attacks::{evaluate_attack, Pgd};
+
+const HW: usize = 8;
+const FRAMES: usize = 8;
+const TIME_WINDOW: usize = 16;
+
+fn main() {
+    let train = MovingBars::new(HW, FRAMES).samples_per_class(48).seed(0).generate();
+    let test = MovingBars::new(HW, FRAMES).samples_per_class(12).seed(999).generate();
+    println!(
+        "MovingBars: {} train / {} test sequences of {FRAMES} frames at {HW}x{HW}",
+        train.len(),
+        test.len()
+    );
+
+    // --- CNN baseline: frames stacked as input channels -----------------
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut cnn_params = Params::new();
+    let cnn_cfg = CnnConfig {
+        in_channels: FRAMES,
+        in_hw: HW,
+        conv_blocks: vec![nn::ConvBlockConfig { out_channels: 8, kernel: 3, padding: 1, pool: 2 }],
+        fc_hidden: vec![32],
+        classes: 4,
+    };
+    let cnn = Cnn::new(&mut cnn_params, &mut rng, &cnn_cfg);
+    let mut opt = Adam::new(5e-3);
+    for _ in 0..20 {
+        nn::train::train_epoch(
+            &cnn, &mut cnn_params, &mut opt, train.images(), train.labels(), 32, &mut rng,
+        );
+    }
+    let cnn_acc = nn::train::evaluate(&cnn, &cnn_params, test.images(), test.labels(), 48);
+    println!("frame-stacked CNN: test accuracy {:.1}%", cnn_acc * 100.0);
+
+    // --- Spiking MLP: frames replayed through the time window -----------
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut snn_params = Params::new();
+    let mut snn_cfg = SnnConfig::new(StructuralParams::new(0.5, TIME_WINDOW));
+    snn_cfg.encoder = Encoder::Replay { frames: FRAMES, time_window: TIME_WINDOW };
+    // One frame (HW*HW pixels) enters the network per step.
+    let snn = SpikingMlp::new(&mut snn_params, &mut rng, HW * HW, &[48], 4, &snn_cfg);
+    let mut opt = Adam::new(1e-2);
+    for _ in 0..20 {
+        nn::train::train_epoch(
+            &snn, &mut snn_params, &mut opt, train.images(), train.labels(), 32, &mut rng,
+        );
+    }
+    let snn_acc = nn::train::evaluate(&snn, &snn_params, test.images(), test.labels(), 48);
+    println!("frame-replay SNN:  test accuracy {:.1}%", snn_acc * 100.0);
+
+    // --- Robustness of both under PGD ------------------------------------
+    let eps = 0.15; // pixel scale
+    let cnn_clf = Classifier::new(cnn, cnn_params);
+    let snn_clf = Classifier::new(snn, snn_params);
+    for (tag, clf) in [
+        ("CNN", &cnn_clf as &dyn nn::AdversarialTarget),
+        ("SNN", &snn_clf),
+    ] {
+        let outcome = evaluate_attack(
+            clf,
+            &Pgd::standard(eps),
+            test.images(),
+            test.labels(),
+            24,
+        );
+        println!(
+            "{tag} under PGD eps={eps}: {:.1}% -> {:.1}%",
+            outcome.clean_accuracy * 100.0,
+            outcome.adversarial_accuracy * 100.0
+        );
+    }
+    println!(
+        "\nthe SNN consumes one frame per step (time window {TIME_WINDOW}); the class is\n\
+         carried by motion across frames, so T is structurally necessary here.\n\
+         note the robustness flip vs the static-digit experiments: frame replay\n\
+         gives the attacker independent leverage on every frame, so temporal\n\
+         SNN inputs are *not* automatically more robust."
+    );
+}

@@ -1,0 +1,163 @@
+//! Figure-level integration tests: each paper figure's generation path runs
+//! end to end at reduced scale and produces structurally valid artefacts.
+//!
+//! These tests exercise exactly the code the `examples/` binaries and the
+//! `bench` crate use; the full-size runs live there.
+
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{algorithm, grid, pipeline, presets, GridSpec, RobustnessClass};
+use snn::StructuralParams;
+
+/// Shrinks a preset so a figure path runs in seconds inside the test suite.
+fn shrink(mut cfg: explore::ExperimentConfig) -> explore::ExperimentConfig {
+    cfg.epochs = 6;
+    cfg.train_per_class = 16;
+    cfg.test_per_class = 4;
+    cfg.attack_samples = 12;
+    cfg.pgd_steps = 3;
+    // Keep the learnability gate permissive at this tiny scale: the tests
+    // check figure *structure*, not model quality.
+    cfg.accuracy_threshold = 0.2;
+    cfg
+}
+
+#[test]
+fn fig1_cnn_vs_snn_curves_have_the_right_shape() {
+    let (cfg, epsilons) = presets::fig1();
+    let cfg = shrink(cfg);
+    let data = pipeline::prepare_data(&cfg);
+    let cnn = pipeline::train_cnn(&cfg, &data);
+    let snn = pipeline::train_snn(&cfg, &data, presets::fig1_structural());
+    let cnn_curve = RobustnessCurve::new(
+        "cnn",
+        algorithm::sweep_attack(&cfg, &data, &cnn.classifier, &epsilons),
+    );
+    let snn_curve = RobustnessCurve::new(
+        "snn",
+        algorithm::sweep_attack(&cfg, &data, &snn.classifier, &epsilons),
+    );
+    // Both curves cover the full sweep and start at their clean accuracy.
+    assert_eq!(cnn_curve.points().len(), epsilons.len());
+    assert_eq!(snn_curve.points().len(), epsilons.len());
+    let r0 = cnn_curve.at(0.0).unwrap();
+    assert!(r0 > 0.0, "clean accuracy must be positive");
+    // Accuracy at the strongest budget must not exceed the clean accuracy.
+    assert!(cnn_curve.points().last().unwrap().1 <= r0 + 1e-6);
+    // The comparison statistic the figure reports is computable.
+    assert!(snn_curve.max_advantage_over(&cnn_curve).is_some());
+}
+
+#[test]
+fn fig6_to_8_heatmaps_cover_grid_and_mask_unlearnable() {
+    let (cfg, _, epsilons) = presets::heatmap_grid();
+    let cfg = shrink(cfg);
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![0.5, 2.0], vec![4, 8]);
+    let result = grid::run_grid(&cfg, &data, &spec, &epsilons, 2);
+    assert_eq!(result.outcomes.len(), 4);
+
+    let clean = Heatmap::from_grid(&result, HeatmapKind::CleanAccuracy);
+    for sp in spec.cells() {
+        assert!(
+            clean.value_at(sp.v_th, sp.time_window).is_some(),
+            "clean heat map must cover {sp}"
+        );
+    }
+    let attacked = Heatmap::from_grid(&result, HeatmapKind::AttackedAccuracy { eps: epsilons[0] });
+    for sp in spec.cells() {
+        let outcome = result.outcome_at(sp.v_th, sp.time_window).unwrap();
+        assert_eq!(
+            attacked.value_at(sp.v_th, sp.time_window).is_some(),
+            outcome.learnable,
+            "attacked heat map must mask exactly the unlearnable cells"
+        );
+    }
+    // Renderings are non-trivial.
+    assert!(clean.render_ascii().lines().count() >= 2 + spec.windows().len());
+    assert!(attacked.to_csv().lines().count() == 1 + spec.len());
+}
+
+#[test]
+fn fig9_pick_and_sweep_produces_classifiable_curves() {
+    let (cfg, epsilons) = presets::fig9();
+    let cfg = shrink(cfg);
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![0.5, 2.0], vec![4, 8]);
+    let coarse = grid::run_grid(&cfg, &data, &spec, &presets::heatmap_epsilons(), 2);
+
+    let sweet = coarse.sweet_spot().expect("some cell must be learnable");
+    let outcome = algorithm::explore_one(&cfg, &data, sweet.structural, &epsilons);
+    assert!(outcome.learnable);
+    assert_eq!(outcome.robustness.len(), epsilons.len());
+    assert!(
+        RobustnessClass::classify(&outcome).is_some(),
+        "a learnable attacked cell must be classifiable"
+    );
+
+    let mut set = CurveSet::new();
+    set.push(RobustnessCurve::new("snn", outcome.robustness.clone()));
+    let cnn = pipeline::train_cnn(&cfg, &data);
+    set.push(RobustnessCurve::new(
+        "cnn",
+        algorithm::sweep_attack(&cfg, &data, &cnn.classifier, &epsilons),
+    ));
+    let table = set.render_table();
+    assert!(table.contains("snn") && table.contains("cnn"));
+    // Every ε of the sweep appears as a row.
+    assert_eq!(table.lines().count(), 2 + epsilons.len());
+}
+
+#[test]
+fn grid_results_serialise_and_reload() {
+    let (cfg, _, epsilons) = presets::heatmap_grid();
+    let cfg = shrink(cfg);
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![1.0], vec![4]);
+    let result = grid::run_grid(&cfg, &data, &spec, &epsilons, 1);
+    let dir = std::env::temp_dir().join("spiking_armor_figures_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grid.json");
+    explore::report::save_json(&result, &path).unwrap();
+    let back: explore::GridResult = explore::report::load_json(&path).unwrap();
+    assert_eq!(result, back);
+}
+
+/// One cell of the paper-scale configuration (28×28, spiking LeNet-5,
+/// `T = 16`), shrunk to a smoke-testable sample count. Run explicitly with
+/// `cargo test -- --ignored` on a machine with minutes to spare.
+#[test]
+#[ignore = "paper-scale smoke test: minutes of CPU"]
+fn paper_scale_single_cell_smoke() {
+    let (mut cfg, _, _) = presets::paper_scale();
+    cfg.train_per_class = 24;
+    cfg.test_per_class = 4;
+    cfg.epochs = 2;
+    cfg.attack_samples = 10;
+    cfg.pgd_steps = 5;
+    cfg.accuracy_threshold = 0.15;
+    let data = pipeline::prepare_data(&cfg);
+    let outcome = algorithm::explore_one(
+        &cfg,
+        &data,
+        StructuralParams::new(1.0, 16),
+        &presets::heatmap_epsilons(),
+    );
+    assert!(outcome.clean_accuracy.is_finite());
+    if outcome.learnable {
+        assert_eq!(outcome.robustness.len(), 2);
+    }
+}
+
+#[test]
+fn paper_default_structural_point_is_explorable() {
+    // The paper's (V_th, T) = (1, 64) default: validate that the library
+    // accepts it and the scaled presets expose a faithful analogue.
+    let paper_default = StructuralParams::paper_default();
+    assert_eq!(paper_default.v_th, 1.0);
+    assert_eq!(paper_default.time_window, 64);
+    let (_, grid, _) = presets::paper_scale();
+    assert!(grid
+        .cells()
+        .any(|sp| sp.v_th == 1.0 && sp.time_window == 64));
+}

@@ -1,0 +1,195 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! input, checked with proptest over randomly generated tensors, models and
+//! attack budgets.
+
+use proptest::prelude::*;
+
+use attacks::{Attack, Fgsm, GaussianNoise, Pgd};
+use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn::{Encoder, SnnConfig, SpikingMlp, StructuralParams};
+use tensor::Tensor;
+
+fn tiny_cnn(seed: u64) -> Classifier<Cnn> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = Params::new();
+    let model = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4));
+    Classifier::new(model, params)
+}
+
+fn tiny_snn(seed: u64, v_th: f32, t: usize) -> Classifier<SpikingMlp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = Params::new();
+    let cfg = SnnConfig::new(StructuralParams::new(v_th, t));
+    let model = SpikingMlp::new(&mut params, &mut rng, 64, &[16], 4, &cfg);
+    Classifier::new(model, params)
+}
+
+fn image_strategy() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0.0f32..=1.0, 64)
+        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every attack keeps its perturbation inside the ε-ball and the pixel
+    /// box, for arbitrary images, budgets and both model families.
+    #[test]
+    fn attacks_always_respect_budget(
+        x in image_strategy(),
+        eps in 0.0f32..0.6,
+        label in 0usize..4,
+        seed in 0u64..4,
+    ) {
+        let cnn = tiny_cnn(seed);
+        let snn = tiny_snn(seed, 0.5 + seed as f32 * 0.5, 3);
+        for target in [&cnn as &dyn AdversarialTarget, &snn] {
+            for attack in [
+                &Pgd::standard(eps) as &dyn Attack,
+                &Fgsm::new(eps),
+                &GaussianNoise::new(eps, seed),
+            ] {
+                let adv = attack.perturb(target, &x, &[label]);
+                prop_assert!(adv.sub(&x).max_abs() <= eps + 1e-5,
+                    "{} exceeded eps {eps}", attack.name());
+                prop_assert!(adv.min() >= 0.0 && adv.max() <= 1.0,
+                    "{} left the pixel box", attack.name());
+                prop_assert_eq!(adv.dims(), x.dims());
+            }
+        }
+    }
+
+    /// The SNN forward pass is deterministic and finite for arbitrary valid
+    /// images and structural parameters (constant-current encoding).
+    #[test]
+    fn snn_logits_are_finite_and_deterministic(
+        x in image_strategy(),
+        v_th_step in 1u8..6,
+        t in 1usize..6,
+    ) {
+        let v_th = v_th_step as f32 * 0.5;
+        let clf = tiny_snn(1, v_th, t);
+        let a = clf.logits(&x);
+        let b = clf.logits(&x);
+        prop_assert!(!a.has_non_finite());
+        prop_assert_eq!(a, b);
+    }
+
+    /// White-box loss gradients are finite for both families and zero-budget
+    /// PGD is always the identity.
+    #[test]
+    fn gradients_finite_and_zero_eps_identity(
+        x in image_strategy(),
+        label in 0usize..4,
+    ) {
+        let cnn = tiny_cnn(2);
+        let (loss, grad) = cnn.loss_and_input_grad(&x, &[label]);
+        prop_assert!(loss.is_finite());
+        prop_assert!(!grad.has_non_finite());
+        let adv = Pgd::standard(0.0).perturb(&cnn, &x, &[label]);
+        prop_assert_eq!(adv, x);
+    }
+
+    /// Poisson encoding produces strictly binary spike trains whose rate is
+    /// bounded by the pixel intensity axis, for any seed.
+    #[test]
+    fn poisson_spikes_binary_for_any_seed(seed in 0u64..1000, step in 0usize..64) {
+        let tape = ad::Tape::new();
+        let x = tape.leaf(Tensor::from_vec(
+            (0..16).map(|i| i as f32 / 15.0).collect(),
+            &[16],
+        ));
+        let s = Encoder::poisson(seed).encode_step(x, step).value();
+        prop_assert!(s.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        // Intensity 0 never fires; intensity 1 always fires.
+        prop_assert_eq!(s.data()[0], 0.0);
+        prop_assert_eq!(s.data()[15], 1.0);
+    }
+
+    /// Robustness evaluation accuracy values are proper probabilities and
+    /// success_rate is their complement.
+    #[test]
+    fn attack_outcomes_are_probabilities(
+        eps in 0.0f32..0.5,
+        n in 2usize..6,
+    ) {
+        let clf = tiny_cnn(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let images = tensor::init::uniform(&mut rng, &[n, 1, 8, 8], 0.0, 1.0);
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let out = attacks::evaluate_attack(&clf, &Pgd::standard(eps), &images, &labels, 2);
+        prop_assert!((0.0..=1.0).contains(&out.clean_accuracy));
+        prop_assert!((0.0..=1.0).contains(&out.adversarial_accuracy));
+        prop_assert!((out.success_rate + out.adversarial_accuracy - 1.0).abs() < 1e-6);
+        prop_assert_eq!(out.samples, n);
+    }
+}
+
+/// LIF reset invariants: under subtraction reset the post-step membrane is
+/// exactly `β·v + I − s·V_th`; under zero reset a spike always clears the
+/// membrane to zero; and a spike occurs iff the integrated membrane reached
+/// the threshold.
+#[test]
+fn membrane_reset_invariants() {
+    use ad::Tape;
+    use snn::{LifCell, LifParams, ResetMode};
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..100 {
+        let v_th = 0.5 + rand::Rng::gen_range(&mut rng, 0.0..2.0f32);
+        let input = rand::Rng::gen_range(&mut rng, -1.0..v_th * 3.0);
+        let v0 = rand::Rng::gen_range(&mut rng, 0.0..v_th);
+        let v_int = 0.9 * v0 + input;
+
+        let tape = Tape::new();
+        let cell = LifCell::new(LifParams::new(v_th));
+        let (s, v1) = cell.step(
+            tape.leaf(Tensor::scalar(input)),
+            tape.leaf(Tensor::scalar(v0)),
+        );
+        let spiked = s.value().item();
+        assert_eq!(
+            spiked > 0.0,
+            v_int >= v_th,
+            "spike condition mismatch: v_int {v_int}, v_th {v_th}"
+        );
+        assert!(
+            (v1.value().item() - (v_int - spiked * v_th)).abs() < 1e-5,
+            "subtraction reset arithmetic violated"
+        );
+
+        let tape = Tape::new();
+        let cell = LifCell::new(LifParams::new(v_th).with_reset(ResetMode::Zero));
+        let (s, v1) = cell.step(
+            tape.leaf(Tensor::scalar(input)),
+            tape.leaf(Tensor::scalar(v0)),
+        );
+        if s.value().item() > 0.0 {
+            assert_eq!(v1.value().item(), 0.0, "zero reset must clear the membrane");
+        }
+    }
+}
+
+/// The frame-replay pipeline end to end: a spiking MLP learns a purely
+/// temporal task (direction of motion) that no single frame can solve.
+#[test]
+fn replay_snn_learns_temporal_motion() {
+    use dataset::motion::MovingBars;
+    use nn::Adam;
+    use snn::SnnConfig;
+
+    let train = MovingBars::new(6, 6).samples_per_class(24).seed(0).generate();
+    let test = MovingBars::new(6, 6).samples_per_class(6).seed(99).generate();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut params = Params::new();
+    let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 12));
+    cfg.encoder = Encoder::Replay { frames: 6, time_window: 12 };
+    let model = SpikingMlp::new(&mut params, &mut rng, 36, &[32], 4, &cfg);
+    let mut opt = Adam::new(1e-2);
+    for _ in 0..25 {
+        nn::train::train_epoch(&model, &mut params, &mut opt, train.images(), train.labels(), 24, &mut rng);
+    }
+    let acc = nn::train::evaluate(&model, &params, test.images(), test.labels(), 24);
+    assert!(acc > 0.7, "replay SNN failed the temporal task: accuracy {acc}");
+}

@@ -1,0 +1,128 @@
+//! Cross-crate persistence and reporting: checkpoints reload into working
+//! classifiers, grids round-trip through JSON, and the figure artefacts
+//! (CSV/SVG) are structurally valid.
+
+use std::fs;
+
+use explore::curves::{CurveSet, RobustnessCurve};
+use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::{grid, pipeline, presets, viz, GridSpec};
+use nn::{AdversarialTarget, Classifier, Params};
+use snn::StructuralParams;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiking_armor_{name}"));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_config() -> explore::ExperimentConfig {
+    let mut cfg = presets::quick();
+    cfg.epochs = 4;
+    cfg.attack_samples = 8;
+    cfg.pgd_steps = 2;
+    cfg.accuracy_threshold = 0.15;
+    cfg
+}
+
+#[test]
+fn checkpoint_reload_reproduces_predictions() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let trained = pipeline::train_snn(&cfg, &data, StructuralParams::new(1.0, 4));
+    let x = data.test.subset(6);
+    let before = trained.classifier.predict(x.images());
+
+    let path = tmp_dir("ckpt").join("snn.json");
+    trained.classifier.params().save_json(&path).unwrap();
+    let reloaded = Params::load_json(&path).unwrap();
+
+    // Same architecture + reloaded weights must predict identically.
+    let (model, _) = trained.classifier.into_parts();
+    let clf = Classifier::new(model, reloaded);
+    assert_eq!(clf.predict(x.images()), before);
+}
+
+#[test]
+fn grid_json_round_trip_preserves_sweet_spot() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![0.5, 1.5], vec![4]);
+    let result = grid::run_grid(&cfg, &data, &spec, &presets::heatmap_epsilons(), 2);
+
+    let path = tmp_dir("grid").join("grid.json");
+    explore::report::save_json(&result, &path).unwrap();
+    let back: explore::GridResult = explore::report::load_json(&path).unwrap();
+    assert_eq!(back, result);
+    assert_eq!(
+        back.sweet_spot().map(|o| o.structural),
+        result.sweet_spot().map(|o| o.structural)
+    );
+}
+
+#[test]
+fn svg_artefacts_are_valid_for_real_grids() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![0.5, 1.5], vec![4, 8]);
+    let result = grid::run_grid(&cfg, &data, &spec, &presets::heatmap_epsilons(), 2);
+
+    let map = Heatmap::from_grid(&result, HeatmapKind::CleanAccuracy);
+    let svg = viz::svg_heatmap(&map);
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    assert_eq!(svg.matches("<rect").count(), spec.len());
+
+    let mut curves = CurveSet::new();
+    for o in result.outcomes.iter().filter(|o| o.learnable) {
+        if !o.robustness.is_empty() {
+            curves.push(RobustnessCurve::new(
+                format!("{}", o.structural),
+                o.robustness.clone(),
+            ));
+        }
+    }
+    if !curves.curves().is_empty() {
+        let svg = viz::svg_curves(&curves, "integration");
+        assert_eq!(svg.matches("<polyline").count(), curves.curves().len());
+    }
+}
+
+#[test]
+fn csv_artefacts_parse_back_numerically() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let spec = GridSpec::new(vec![1.0], vec![4]);
+    let result = grid::run_grid(&cfg, &data, &spec, &presets::heatmap_epsilons(), 1);
+    let map = Heatmap::from_grid(&result, HeatmapKind::CleanAccuracy);
+    let csv = map.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("time_window,v_th,value"));
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 3, "bad CSV row {line}");
+        fields[0].parse::<usize>().unwrap();
+        fields[1].parse::<f32>().unwrap();
+        if !fields[2].is_empty() {
+            let v: f32 = fields[2].parse().unwrap();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn repeated_stats_are_serialisable_and_sane() {
+    let mut cfg = small_config();
+    cfg.epochs = 2;
+    cfg.train_per_class = 8;
+    let out = explore::stats::explore_repeated(
+        &cfg,
+        StructuralParams::new(1.0, 4),
+        &[presets::paper_eps_to_pixel(0.5)],
+        2,
+    );
+    let path = tmp_dir("stats").join("repeated.json");
+    explore::report::save_json(&out, &path).unwrap();
+    let back: explore::stats::RepeatedOutcome = explore::report::load_json(&path).unwrap();
+    assert_eq!(back, out);
+    assert!(back.clean_accuracy.std >= 0.0);
+}
