@@ -43,7 +43,9 @@ impl Grads {
     /// loss does not depend on `var` — convenient for optimizers that treat
     /// "no gradient" as "zero gradient".
     pub fn wrt_or_zero(&self, var: Var<'_>, dims: &[usize]) -> Tensor {
-        self.wrt(var).cloned().unwrap_or_else(|| Tensor::zeros(dims))
+        self.wrt(var)
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(dims))
     }
 
     /// Number of tape nodes covered by this gradient record.

@@ -246,6 +246,7 @@ impl<'t> Var<'t> {
     /// # Panics
     ///
     /// Panics if the shapes differ or the tapes differ.
+    #[allow(clippy::should_implement_trait)] // by-value taped op, not std::ops::Div
     pub fn div(self, other: Var<'t>) -> Var<'t> {
         let value = self.value().div(&other.value());
         self.binary(other, value, Op::Div(self.id, other.id))
@@ -258,7 +259,14 @@ impl<'t> Var<'t> {
     /// Panics on the shape violations of [`Tensor::add_bias`].
     pub fn add_bias(self, b: Var<'t>) -> Var<'t> {
         let value = self.value().add_bias(&b.value());
-        self.binary(b, value, Op::AddBias { x: self.id, b: b.id })
+        self.binary(
+            b,
+            value,
+            Op::AddBias {
+                x: self.id,
+                b: b.id,
+            },
+        )
     }
 
     /// Reshapes to `dims` (element count must match).
@@ -283,9 +291,17 @@ impl<'t> Var<'t> {
     pub fn slice_channels(self, start: usize, end: usize) -> Var<'t> {
         let value = self.value();
         let dims = value.dims();
-        assert_eq!(dims.len(), 4, "slice_channels needs [N, C, H, W], got {dims:?}");
+        assert_eq!(
+            dims.len(),
+            4,
+            "slice_channels needs [N, C, H, W], got {dims:?}"
+        );
         assert!(start < end, "empty channel slice [{start}, {end})");
-        assert!(end <= dims[1], "channel slice end {end} exceeds {}", dims[1]);
+        assert!(
+            end <= dims[1],
+            "channel slice end {end} exceeds {}",
+            dims[1]
+        );
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
         let out_c = end - start;
@@ -338,7 +354,12 @@ impl<'t> Var<'t> {
             [n, c] => (*n, *c),
             d => panic!("nll_loss requires rank-2 log-probabilities, got {d:?}"),
         };
-        assert_eq!(targets.len(), n, "nll_loss: {n} rows but {} targets", targets.len());
+        assert_eq!(
+            targets.len(),
+            n,
+            "nll_loss: {n} rows but {} targets",
+            targets.len()
+        );
         let mut acc = 0.0;
         for (i, &t) in targets.iter().enumerate() {
             assert!(t < c, "target {t} out of range for {c} classes");
@@ -455,7 +476,9 @@ pub(crate) fn propagate(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Opti
             accumulate(grads, *x, gx);
         }
         Op::Relu(a) => {
-            let gx = nodes[*a].value.zip_map(g, |x, gv| if x > 0.0 { gv } else { 0.0 });
+            let gx = nodes[*a]
+                .value
+                .zip_map(g, |x, gv| if x > 0.0 { gv } else { 0.0 });
             accumulate(grads, *a, gx);
         }
         Op::Exp(a) => {
@@ -478,7 +501,9 @@ pub(crate) fn propagate(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Opti
         Op::Div(a, b) => {
             let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
             accumulate(grads, *a, g.div(bv));
-            let gb = g.zip_map(av, |gv, x| gv * x).zip_map(bv, |n, d| -n / (d * d));
+            let gb = g
+                .zip_map(av, |gv, x| gv * x)
+                .zip_map(bv, |n, d| -n / (d * d));
             accumulate(grads, *b, gb);
         }
         Op::AddBias { x, b } => {

@@ -129,7 +129,9 @@ impl Tape {
             nodes[loss.id].value.shape()
         );
         let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        grads[loss.id] = Some(Tensor::ones(nodes[loss.id].value.dims().to_vec().as_slice()));
+        grads[loss.id] = Some(Tensor::ones(
+            nodes[loss.id].value.dims().to_vec().as_slice(),
+        ));
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             crate::ops::propagate(&nodes, id, &g, &mut grads);

@@ -136,11 +136,15 @@ fn cross_entropy_gradient_is_softmax_minus_onehot() {
 #[test]
 fn conv_avgpool_pipeline_gradchecks() {
     let x = t(
-        &(0..32).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect::<Vec<_>>(),
+        &(0..32)
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.25)
+            .collect::<Vec<_>>(),
         &[1, 2, 4, 4],
     );
     let w = t(
-        &(0..36).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect::<Vec<_>>(),
+        &(0..36)
+            .map(|i| ((i % 5) as f32 - 2.0) * 0.3)
+            .collect::<Vec<_>>(),
         &[2, 2, 3, 3],
     );
     gradcheck::check(
@@ -148,7 +152,13 @@ fn conv_avgpool_pipeline_gradchecks() {
             // No ReLU here: its kink makes finite differences unreliable;
             // the ReLU derivative is checked separately with kink-safe input.
             vars[0]
-                .conv2d(vars[1], Conv2dSpec { stride: 1, padding: 1 })
+                .conv2d(
+                    vars[1],
+                    Conv2dSpec {
+                        stride: 1,
+                        padding: 1,
+                    },
+                )
                 .avg_pool2d(2)
                 .sum()
         },
@@ -222,7 +232,10 @@ fn deep_chain_backward_terminates_and_is_exact() {
     let grads = tape.backward(y.sum());
     let expected = 1.01f32.powi(100);
     let got = grads.wrt(x).unwrap().item();
-    assert!((got - expected).abs() / expected < 1e-4, "{got} vs {expected}");
+    assert!(
+        (got - expected).abs() / expected < 1e-4,
+        "{got} vs {expected}"
+    );
 }
 
 #[test]
@@ -332,13 +345,23 @@ fn ln_gradient_is_reciprocal() {
     let tape = Tape::new();
     let x = tape.leaf(t(&[0.5, 2.0, 4.0], &[3]));
     let grads = tape.backward(x.ln().sum());
-    assert!(grads.wrt(x).unwrap().allclose(&t(&[2.0, 0.5, 0.25], &[3]), 1e-6));
+    assert!(grads
+        .wrt(x)
+        .unwrap()
+        .allclose(&t(&[2.0, 0.5, 0.25], &[3]), 1e-6));
 }
 
 #[test]
 fn sigmoid_and_tanh_gradcheck() {
     let x = t(&[-1.5, -0.3, 0.4, 2.0], &[4]);
-    gradcheck::check(&|_, vars| vars[0].sigmoid().sum(), &[x.clone()], 1e-3, 1e-2, 1e-2).unwrap();
+    gradcheck::check(
+        &|_, vars| vars[0].sigmoid().sum(),
+        std::slice::from_ref(&x),
+        1e-3,
+        1e-2,
+        1e-2,
+    )
+    .unwrap();
     gradcheck::check(&|_, vars| vars[0].tanh().sum(), &[x], 1e-3, 1e-2, 1e-2).unwrap();
 }
 
@@ -346,7 +369,14 @@ fn sigmoid_and_tanh_gradcheck() {
 fn div_gradcheck() {
     let a = t(&[1.0, -2.0, 0.5], &[3]);
     let b = t(&[2.0, 4.0, -1.5], &[3]);
-    gradcheck::check(&|_, vars| vars[0].div(vars[1]).sum(), &[a, b], 1e-3, 1e-2, 2e-2).unwrap();
+    gradcheck::check(
+        &|_, vars| vars[0].div(vars[1]).sum(),
+        &[a, b],
+        1e-3,
+        1e-2,
+        2e-2,
+    )
+    .unwrap();
 }
 
 #[test]

@@ -32,17 +32,20 @@ use crate::Attack;
 /// assert_eq!(ensemble.name(), "WorstCase");
 /// ```
 pub struct WorstCase {
-    attacks: Vec<Box<dyn Attack>>,
+    attacks: Vec<Box<dyn Attack + Send + Sync>>,
 }
 
 impl WorstCase {
     /// Builds the ensemble.
     ///
+    /// Members are `Send + Sync` so [`WorstCase::perturb_parallel`] can run
+    /// them on worker threads; every attack in this crate qualifies.
+    ///
     /// # Panics
     ///
     /// Panics if `attacks` is empty or the inner budgets differ (the
     /// ensemble must have one well-defined ε).
-    pub fn new(attacks: Vec<Box<dyn Attack>>) -> Self {
+    pub fn new(attacks: Vec<Box<dyn Attack + Send + Sync>>) -> Self {
         assert!(!attacks.is_empty(), "ensemble needs at least one attack");
         let eps = attacks[0].epsilon();
         assert!(
@@ -73,35 +76,45 @@ impl WorstCase {
     pub fn is_empty(&self) -> bool {
         self.attacks.is_empty()
     }
-}
 
-impl std::fmt::Debug for WorstCase {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorstCase")
-            .field("members", &self.attacks.iter().map(|a| a.name()).collect::<Vec<_>>())
-            .finish()
+    /// [`Attack::perturb`] with the member attacks run on up to `threads`
+    /// worker threads (`0` = all available cores).
+    ///
+    /// Each member derives its randomness from the batch content, so the
+    /// per-member perturbations — and the member-order best-of selection
+    /// applied afterwards — are bitwise-identical to the serial
+    /// [`Attack::perturb`] for every thread count.
+    pub fn perturb_parallel(
+        &self,
+        target: &(dyn AdversarialTarget + Sync),
+        x: &Tensor,
+        labels: &[usize],
+        threads: usize,
+    ) -> Tensor {
+        let advs = tensor::parallel::par_map_collect(self.attacks.len(), threads, |i| {
+            self.attacks[i].perturb(target, x, labels)
+        });
+        self.select_best(target, x, labels, &advs)
     }
-}
 
-impl Attack for WorstCase {
-    fn name(&self) -> &'static str {
-        "WorstCase"
-    }
-
-    fn epsilon(&self) -> f32 {
-        self.attacks[0].epsilon()
-    }
-
-    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor {
+    /// Keeps, per sample, the strongest of the member perturbations,
+    /// scanning members in declaration order (fooling the victim beats not
+    /// fooling it; ties break toward the higher victim loss).
+    fn select_best(
+        &self,
+        target: &dyn AdversarialTarget,
+        x: &Tensor,
+        labels: &[usize],
+        advs: &[Tensor],
+    ) -> Tensor {
         let dims = x.dims();
         let n = dims[0];
         let sample_len: usize = dims[1..].iter().product();
         let mut best = x.clone();
         // Track, per sample, (fooled?, loss) of the current best candidate.
         let mut best_score: Vec<(bool, f32)> = vec![(false, f32::NEG_INFINITY); n];
-        for attack in &self.attacks {
-            let adv = attack.perturb(target, x, labels);
-            let preds = target.predict(&adv);
+        for adv in advs {
+            let preds = target.predict(adv);
             for (i, (&pred, &label)) in preds.iter().zip(labels).enumerate() {
                 let sample = Tensor::from_vec(
                     adv.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
@@ -125,10 +138,40 @@ impl Attack for WorstCase {
     }
 }
 
+impl std::fmt::Debug for WorstCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorstCase")
+            .field(
+                "members",
+                &self.attacks.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Attack for WorstCase {
+    fn name(&self) -> &'static str {
+        "WorstCase"
+    }
+
+    fn epsilon(&self) -> f32 {
+        self.attacks[0].epsilon()
+    }
+
+    fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor {
+        let advs: Vec<Tensor> = self
+            .attacks
+            .iter()
+            .map(|attack| attack.perturb(target, x, labels))
+            .collect();
+        self.select_best(target, x, labels, &advs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Fgsm, GaussianNoise, Pgd};
+    use crate::{Fgsm, Pgd, UniformNoise};
 
     /// A victim only fooled by pushing the first pixel above 0.9.
     struct FirstPixelVictim;
@@ -157,8 +200,8 @@ mod tests {
             }
             let mut grad = Tensor::zeros(x.dims());
             let per = x.len() / n;
-            for i in 0..n {
-                grad.data_mut()[i * per] = if labels[i] == 0 { 0.1 } else { -0.1 };
+            for (i, &l) in labels.iter().enumerate() {
+                grad.data_mut()[i * per] = if l == 0 { 0.1 } else { -0.1 };
             }
             (loss / n as f32, grad)
         }
@@ -174,9 +217,9 @@ mod tests {
     fn ensemble_is_at_least_as_strong_as_each_member() {
         let x = Tensor::full(&[2, 1, 2, 2], 0.8);
         let labels = [0usize, 0];
-        let members: Vec<Box<dyn Attack>> = vec![
-            Box::new(GaussianNoise::new(0.15, 7)), // weak
-            Box::new(Pgd::standard(0.15)),         // strong
+        let members: Vec<Box<dyn Attack + Send + Sync>> = vec![
+            Box::new(UniformNoise::new(0.15, 7)), // weak
+            Box::new(Pgd::standard(0.15)),        // strong
         ];
         let ensemble = WorstCase::new(members);
         let adv = ensemble.perturb(&FirstPixelVictim, &x, &labels);
@@ -209,5 +252,24 @@ mod tests {
         let e = WorstCase::standard(0.1);
         assert_eq!(e.len(), 5);
         assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn perturb_parallel_is_bitwise_identical_to_serial() {
+        let x = Tensor::from_vec(
+            (0..2 * 9).map(|i| (i as f32) / 18.0).collect(),
+            &[2, 1, 3, 3],
+        );
+        let labels = [0usize, 1];
+        let ensemble = WorstCase::standard(0.2);
+        let serial = ensemble.perturb(&FirstPixelVictim, &x, &labels);
+        for threads in [1, 2, 4] {
+            let par = ensemble.perturb_parallel(&FirstPixelVictim, &x, &labels, threads);
+            assert_eq!(
+                par.data(),
+                serial.data(),
+                "ensemble output differs at {threads} threads"
+            );
+        }
     }
 }

@@ -55,34 +55,92 @@ pub fn evaluate_attack(
     labels: &[usize],
     batch_size: usize,
 ) -> AttackOutcome {
+    let n = validate_eval_inputs(images, labels, batch_size);
+    let counts: Vec<(usize, usize)> = (0..batch_count(n, batch_size))
+        .map(|bi| eval_one_batch(target, attack, images, labels, batch_size, bi))
+        .collect();
+    reduce_counts(&counts, n)
+}
+
+/// [`evaluate_attack`] with independent mini-batches sharded over up to
+/// `threads` worker threads.
+///
+/// Every attack in this crate seeds its randomness from the batch *content*
+/// (see `crate::per_call_seed`), so each mini-batch's perturbation — and
+/// therefore its correct-prediction counts — is independent of which thread
+/// processes it. The integer counts are reduced in batch order, making the
+/// returned [`AttackOutcome`] bitwise-identical to the serial
+/// [`evaluate_attack`] for every thread count.
+///
+/// `threads == 0` means "use all available cores".
+///
+/// # Panics
+///
+/// As [`evaluate_attack`]; also propagates worker-thread panics.
+pub fn evaluate_attack_parallel(
+    target: &(dyn AdversarialTarget + Sync),
+    attack: &(dyn Attack + Sync),
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    threads: usize,
+) -> AttackOutcome {
+    let n = validate_eval_inputs(images, labels, batch_size);
+    let counts = tensor::parallel::par_map_collect(batch_count(n, batch_size), threads, |bi| {
+        eval_one_batch(target, attack, images, labels, batch_size, bi)
+    });
+    reduce_counts(&counts, n)
+}
+
+/// Validates the shared preconditions and returns the sample count.
+fn validate_eval_inputs(images: &Tensor, labels: &[usize], batch_size: usize) -> usize {
     assert!(batch_size > 0, "batch_size must be positive");
     let dims = images.dims();
     assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
     let n = dims[0];
     assert_eq!(labels.len(), n, "{} labels for {n} images", labels.len());
+    n
+}
+
+/// Number of mini-batches covering `n` samples (the last may be ragged).
+fn batch_count(n: usize, batch_size: usize) -> usize {
+    n.div_ceil(batch_size)
+}
+
+/// Evaluates mini-batch `bi`, returning its `(clean, adversarial)`
+/// correct-prediction counts. One batch is one unit of parallel work.
+fn eval_one_batch(
+    target: &dyn AdversarialTarget,
+    attack: &dyn Attack,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    bi: usize,
+) -> (usize, usize) {
+    let dims = images.dims();
+    let n = dims[0];
     let sample_len: usize = dims[1..].iter().product();
+    let start = bi * batch_size;
+    let end = (start + batch_size).min(n);
+    let batch = Tensor::from_vec(
+        images.data()[start * sample_len..end * sample_len].to_vec(),
+        &[end - start, dims[1], dims[2], dims[3]],
+    );
+    let batch_labels = &labels[start..end];
+    let clean = count_correct(&target.predict(&batch), batch_labels);
+    let adv = attack.perturb(target, &batch, batch_labels);
+    debug_assert!(
+        adv.sub(&batch).max_abs() <= attack.epsilon() + 1e-5,
+        "attack {} exceeded its budget",
+        attack.name()
+    );
+    (clean, count_correct(&target.predict(&adv), batch_labels))
+}
 
-    let mut clean_correct = 0usize;
-    let mut adv_correct = 0usize;
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch_size).min(n);
-        let batch = Tensor::from_vec(
-            images.data()[start * sample_len..end * sample_len].to_vec(),
-            &[end - start, dims[1], dims[2], dims[3]],
-        );
-        let batch_labels = &labels[start..end];
-        clean_correct += count_correct(&target.predict(&batch), batch_labels);
-        let adv = attack.perturb(target, &batch, batch_labels);
-        debug_assert!(
-            adv.sub(&batch).max_abs() <= attack.epsilon() + 1e-5,
-            "attack {} exceeded its budget",
-            attack.name()
-        );
-        adv_correct += count_correct(&target.predict(&adv), batch_labels);
-        start = end;
-    }
-
+/// Sums per-batch counts (in batch order) into the final outcome.
+fn reduce_counts(counts: &[(usize, usize)], n: usize) -> AttackOutcome {
+    let clean_correct: usize = counts.iter().map(|&(c, _)| c).sum();
+    let adv_correct: usize = counts.iter().map(|&(_, a)| a).sum();
     let clean_accuracy = clean_correct as f32 / n as f32;
     let adversarial_accuracy = adv_correct as f32 / n as f32;
     AttackOutcome {
@@ -104,7 +162,7 @@ fn count_correct(predictions: &[usize], labels: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GaussianNoise;
+    use crate::UniformNoise;
 
     /// Predicts class 0 for dark images, 1 for bright images.
     struct BrightnessVictim;
@@ -139,7 +197,7 @@ mod tests {
         let labels = vec![0, 1, 1, 1];
         let outcome = evaluate_attack(
             &BrightnessVictim,
-            &GaussianNoise::new(0.0, 0),
+            &UniformNoise::new(0.0, 0),
             &images,
             &labels,
             3, // deliberately not dividing 4
@@ -159,7 +217,7 @@ mod tests {
         let labels = vec![0, 0, 1, 1];
         let outcome = evaluate_attack(
             &BrightnessVictim,
-            &GaussianNoise::new(0.1, 7),
+            &UniformNoise::new(0.1, 7),
             &images,
             &labels,
             4,
@@ -204,5 +262,104 @@ mod more_tests {
     fn zero_batch_size_rejected() {
         let images = Tensor::zeros(&[1, 1, 2, 2]);
         evaluate_attack(&Flat, &Fgsm::new(0.1), &images, &[0], 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::{Pgd, UniformNoise};
+    use proptest::prelude::*;
+
+    /// Brightness classifier *with* a usable input gradient, so PGD and
+    /// FGSM actually move samples during these tests.
+    struct GradientBrightnessVictim;
+
+    impl AdversarialTarget for GradientBrightnessVictim {
+        fn num_classes(&self) -> usize {
+            2
+        }
+        fn logits(&self, x: &Tensor) -> Tensor {
+            let n = x.dims()[0];
+            let per = x.len() / n;
+            let mut out = Vec::with_capacity(n * 2);
+            for s in x.data().chunks(per) {
+                let mean = s.iter().sum::<f32>() / per as f32;
+                out.push(0.5 - mean);
+                out.push(mean - 0.5);
+            }
+            Tensor::from_vec(out, &[n, 2])
+        }
+        fn loss_and_input_grad(&self, x: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+            // Raising the mean hurts class 0 and helps class 1; the exact
+            // magnitude is irrelevant for sign-based attacks.
+            let n = x.dims()[0];
+            let per = x.len() / n;
+            let mut grad = Tensor::zeros(x.dims());
+            for (i, &l) in labels.iter().enumerate() {
+                let g = if l == 0 { 1.0 } else { -1.0 };
+                for e in 0..per {
+                    grad.data_mut()[i * per + e] = g;
+                }
+            }
+            (1.0, grad)
+        }
+    }
+
+    /// Images whose content varies per sample, so the content-seeded attacks
+    /// draw different noise in every mini-batch.
+    fn ramp_images(n: usize) -> (Tensor, Vec<usize>) {
+        let per = 2 * 2;
+        let data: Vec<f32> = (0..n * per)
+            .map(|i| ((i * 37 % 101) as f32) / 101.0)
+            .collect();
+        let labels = (0..n).map(|i| i % 2).collect();
+        (Tensor::from_vec(data, &[n, 1, 2, 2]), labels)
+    }
+
+    #[test]
+    fn parallel_outcome_is_bitwise_identical_to_serial() {
+        let (images, labels) = ramp_images(23);
+        let attack = Pgd::standard(0.1);
+        // Batch size 4 leaves a ragged final batch of 3.
+        let serial = evaluate_attack(&GradientBrightnessVictim, &attack, &images, &labels, 4);
+        for threads in [1, 2, 4] {
+            let parallel = evaluate_attack_parallel(
+                &GradientBrightnessVictim,
+                &attack,
+                &images,
+                &labels,
+                4,
+                threads,
+            );
+            assert_eq!(parallel, serial, "outcome differs at {threads} threads");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Sharded batch accounting must cover every sample exactly once —
+        /// including when `batch_size` does not divide `n` — and match the
+        /// serial evaluation bitwise at any thread count.
+        #[test]
+        fn sharded_accounting_sums_to_n(
+            n in 1usize..40,
+            batch_size in 1usize..17,
+            threads in 1usize..5,
+        ) {
+            let (images, labels) = ramp_images(n);
+            let attack = UniformNoise::new(0.05, 9);
+            let parallel = evaluate_attack_parallel(
+                &GradientBrightnessVictim, &attack, &images, &labels, batch_size, threads,
+            );
+            let serial =
+                evaluate_attack(&GradientBrightnessVictim, &attack, &images, &labels, batch_size);
+            prop_assert_eq!(parallel.samples, n);
+            prop_assert!(
+                (parallel.success_rate + parallel.adversarial_accuracy - 1.0).abs() < 1e-6
+            );
+            prop_assert_eq!(parallel, serial);
+        }
     }
 }

@@ -15,7 +15,9 @@
 //! * [`MomentumPgd`] — the momentum iterative method (MI-FGSM),
 //! * [`PgdL2`] — PGD under an L2 budget,
 //! * [`TargetedPgd`] — targeted descent toward an attacker-chosen class,
-//! * [`GaussianNoise`] — a gradient-free random baseline for sanity checks,
+//! * [`UniformNoise`] — a gradient-free random baseline for sanity checks
+//!   (previously misnamed `GaussianNoise`; the old name remains as a
+//!   deprecated alias),
 //!
 //! plus [`evaluate_transfer`] for craft-on-A / test-on-B transfer studies
 //! (the DNN→SNN protocol of the paper's reference \[15\]).
@@ -55,10 +57,12 @@ mod targeted;
 mod transfer;
 
 pub use ensemble::WorstCase;
-pub use eval::{evaluate_attack, AttackOutcome};
+pub use eval::{evaluate_attack, evaluate_attack_parallel, AttackOutcome};
 pub use fgsm::Fgsm;
 pub use mim::MomentumPgd;
+#[allow(deprecated)]
 pub use noise::GaussianNoise;
+pub use noise::UniformNoise;
 pub use pgd::Pgd;
 pub use pgd_l2::PgdL2;
 pub use targeted::TargetedPgd;
@@ -89,6 +93,43 @@ pub trait Attack {
     fn perturb(&self, target: &dyn AdversarialTarget, x: &Tensor, labels: &[usize]) -> Tensor;
 }
 
+/// Derives the RNG seed for one `perturb` call from the attack's base seed
+/// and the batch content.
+///
+/// Seeding a fresh generator from the base seed alone inside `perturb` is a
+/// correctness bug for batched evaluation: every mini-batch then receives
+/// the *same* noise pattern, so "random" starts are perfectly correlated
+/// across batches and restart averaging under-explores the ε-ball. Mixing a
+/// hash of the input (shape and pixels) keeps attacks deterministic — the
+/// same batch always draws the same noise, independent of batch order or
+/// sharding — while decorrelating distinct batches. Attacks differing only
+/// in their base seed (e.g. PGD restarts) stay decorrelated on the *same*
+/// batch through `base`.
+pub(crate) fn per_call_seed(base: u64, x: &Tensor) -> u64 {
+    // FNV-1a over dims and raw pixel bits.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for &d in x.dims() {
+        mix(d as u64);
+    }
+    for &v in x.data() {
+        mix(u64::from(v.to_bits()));
+    }
+    // A final avalanche so base seeds differing in one bit give unrelated
+    // streams (SplitMix64 finalizer).
+    let mut z = hash ^ base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Projects `adv` back into the ε-ball around `x` (L∞) and the pixel box.
 ///
 /// Shared by all attack implementations; public so downstream code can build
@@ -98,10 +139,11 @@ pub trait Attack {
 ///
 /// Panics if the shapes differ or `epsilon` is negative.
 pub fn project(adv: &Tensor, x: &Tensor, epsilon: f32) -> Tensor {
-    assert!(epsilon >= 0.0, "epsilon must be non-negative, got {epsilon}");
-    let clipped = adv.zip_map(x, move |a, orig| {
-        a.clamp(orig - epsilon, orig + epsilon)
-    });
+    assert!(
+        epsilon >= 0.0,
+        "epsilon must be non-negative, got {epsilon}"
+    );
+    let clipped = adv.zip_map(x, move |a, orig| a.clamp(orig - epsilon, orig + epsilon));
     clipped.clamp(PIXEL_BOUNDS.0, PIXEL_BOUNDS.1)
 }
 

@@ -78,9 +78,7 @@ impl Attack for MomentumPgd {
         for _ in 0..self.steps {
             let (_, grad) = target.loss_and_input_grad(&adv, labels);
             let l1 = grad.map(f32::abs).sum().max(1e-12);
-            momentum = momentum
-                .mul_scalar(self.mu)
-                .add(&grad.mul_scalar(1.0 / l1));
+            momentum = momentum.mul_scalar(self.mu).add(&grad.mul_scalar(1.0 / l1));
             let stepped = adv.add(&momentum.sign().mul_scalar(self.alpha));
             adv = project(&stepped, x, self.epsilon);
         }
@@ -128,7 +126,10 @@ mod tests {
     #[test]
     fn zero_epsilon_is_identity() {
         let x = Tensor::full(&[1, 1, 2, 2], 0.3);
-        assert_eq!(MomentumPgd::new(0.0, 0.0, 5, 1.0).perturb(&SumVictim, &x, &[0]), x);
+        assert_eq!(
+            MomentumPgd::new(0.0, 0.0, 5, 1.0).perturb(&SumVictim, &x, &[0]),
+            x
+        );
     }
 
     #[test]

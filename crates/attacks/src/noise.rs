@@ -12,21 +12,35 @@ use crate::{project, Attack};
 /// condition that separates "the model is brittle to *any* perturbation"
 /// from "the model is brittle to *adversarial* perturbations".
 ///
+/// Each pixel receives an independent draw from `U(−ε, ε)`; the result is
+/// then projected into the pixel box. The noise is deterministic in the
+/// seed *and* the input batch (see `crate::per_call_seed`), so repeated
+/// evaluations reproduce exactly while distinct batches get distinct noise.
+///
 /// # Example
 ///
 /// ```
-/// use attacks::{Attack, GaussianNoise};
+/// use attacks::{Attack, UniformNoise};
 ///
-/// let baseline = GaussianNoise::new(0.1, 42);
-/// assert_eq!(baseline.name(), "RandomNoise");
+/// let baseline = UniformNoise::new(0.1, 42);
+/// assert_eq!(baseline.name(), "UniformNoise");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GaussianNoise {
+pub struct UniformNoise {
     epsilon: f32,
     seed: u64,
 }
 
-impl GaussianNoise {
+/// The old name of [`UniformNoise`], kept for downstream code.
+///
+/// The baseline has always sampled *uniform* noise; it was merely misnamed.
+#[deprecated(
+    since = "0.1.0",
+    note = "the baseline samples uniform, not Gaussian, noise; use `UniformNoise`"
+)]
+pub type GaussianNoise = UniformNoise;
+
+impl UniformNoise {
     /// Creates the baseline with budget `epsilon` and a sampling seed.
     ///
     /// # Panics
@@ -41,9 +55,9 @@ impl GaussianNoise {
     }
 }
 
-impl Attack for GaussianNoise {
+impl Attack for UniformNoise {
     fn name(&self) -> &'static str {
-        "RandomNoise"
+        "UniformNoise"
     }
 
     fn epsilon(&self) -> f32 {
@@ -55,7 +69,7 @@ impl Attack for GaussianNoise {
         if eps == 0.0 {
             return x.clone();
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(crate::per_call_seed(self.seed, x));
         let mut noisy = x.clone();
         for v in noisy.data_mut() {
             *v += rng.gen_range(-eps..=eps);
@@ -84,7 +98,7 @@ mod tests {
     #[test]
     fn stays_in_ball_and_box() {
         let x = Tensor::full(&[1, 1, 8, 8], 0.05);
-        let adv = GaussianNoise::new(0.2, 1).perturb(&Dummy, &x, &[0]);
+        let adv = UniformNoise::new(0.2, 1).perturb(&Dummy, &x, &[0]);
         assert!(adv.sub(&x).max_abs() <= 0.2 + 1e-6);
         assert!(adv.min() >= 0.0);
     }
@@ -92,11 +106,29 @@ mod tests {
     #[test]
     fn is_seed_deterministic_and_actually_noisy() {
         let x = Tensor::full(&[1, 1, 4, 4], 0.5);
-        let a = GaussianNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
-        let b = GaussianNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
-        let c = GaussianNoise::new(0.1, 4).perturb(&Dummy, &x, &[0]);
+        let a = UniformNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
+        let b = UniformNoise::new(0.1, 3).perturb(&Dummy, &x, &[0]);
+        let c = UniformNoise::new(0.1, 4).perturb(&Dummy, &x, &[0]);
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.sub(&x).max_abs() > 0.0);
+    }
+
+    #[test]
+    fn distinct_batches_draw_distinct_noise() {
+        // Same per-call-seed regression guarded for PGD in `pgd.rs`.
+        let attack = UniformNoise::new(0.1, 3);
+        let b1 = Tensor::full(&[1, 1, 4, 4], 0.4);
+        let b2 = Tensor::full(&[1, 1, 4, 4], 0.6);
+        let n1 = attack.perturb(&Dummy, &b1, &[0]).sub(&b1);
+        let n2 = attack.perturb(&Dummy, &b2, &[0]).sub(&b2);
+        assert_ne!(n1.data(), n2.data());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_constructs() {
+        let old: GaussianNoise = GaussianNoise::new(0.1, 1);
+        assert_eq!(old, UniformNoise::new(0.1, 1));
     }
 }

@@ -103,7 +103,10 @@ impl Attack for Pgd {
             return x.clone();
         }
         let mut adv = if self.random_start {
-            let mut rng = StdRng::seed_from_u64(self.seed);
+            // Seed per call from (base seed, batch content): reusing the base
+            // seed alone would hand every mini-batch the identical noise
+            // pattern. See `crate::per_call_seed`.
+            let mut rng = StdRng::seed_from_u64(crate::per_call_seed(self.seed, x));
             let eps = self.epsilon;
             let mut noisy = x.clone();
             for v in noisy.data_mut() {
@@ -161,11 +164,7 @@ mod tests {
                 let pl = p.data()[i * 2 + l];
                 loss -= pl.max(1e-12).ln();
                 // d loss / d sum = p(wrong) with sign depending on label.
-                let g = if l == 0 {
-                    -(1.0 - pl)
-                } else {
-                    1.0 - pl
-                };
+                let g = if l == 0 { -(1.0 - pl) } else { 1.0 - pl };
                 for e in 0..per {
                     grad.data_mut()[i * per + e] = g / n as f32;
                 }
@@ -203,7 +202,9 @@ mod tests {
     fn pgd_is_at_least_as_strong_as_fgsm_on_linear_victim() {
         let x = Tensor::full(&[1, 1, 4, 4], 0.5);
         let labels = [0usize];
-        let pgd = Pgd::standard(0.2).without_random_start().perturb(&LinearVictim, &x, &labels);
+        let pgd = Pgd::standard(0.2)
+            .without_random_start()
+            .perturb(&LinearVictim, &x, &labels);
         let fgsm = crate::Fgsm::new(0.2).perturb(&LinearVictim, &x, &labels);
         let vic = LinearVictim;
         let (pgd_loss, _) = vic.loss_and_input_grad(&pgd, &labels);
@@ -214,14 +215,76 @@ mod tests {
     #[test]
     fn zero_epsilon_is_identity() {
         let x = Tensor::full(&[1, 1, 2, 2], 0.4);
-        assert_eq!(Pgd::new(0.0, 0.0, 3, true, 0).perturb(&LinearVictim, &x, &[1]), x);
+        assert_eq!(
+            Pgd::new(0.0, 0.0, 3, true, 0).perturb(&LinearVictim, &x, &[1]),
+            x
+        );
     }
 
     #[test]
     fn random_start_is_seed_deterministic() {
         let x = Tensor::full(&[1, 1, 3, 3], 0.5);
-        let a = Pgd::standard(0.1).with_seed(7).perturb(&LinearVictim, &x, &[1]);
-        let b = Pgd::standard(0.1).with_seed(7).perturb(&LinearVictim, &x, &[1]);
+        let a = Pgd::standard(0.1)
+            .with_seed(7)
+            .perturb(&LinearVictim, &x, &[1]);
+        let b = Pgd::standard(0.1)
+            .with_seed(7)
+            .perturb(&LinearVictim, &x, &[1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_start_differs_across_consecutive_batches() {
+        // Regression: `perturb` used to reseed from the attack's base seed
+        // on every call, so every mini-batch of an evaluation received the
+        // same start noise. Two batches with different content must now draw
+        // different starts (compare the raw noise via the perturbation
+        // deltas of a zero-gradient victim).
+        struct Inert;
+        impl AdversarialTarget for Inert {
+            fn num_classes(&self) -> usize {
+                2
+            }
+            fn logits(&self, x: &Tensor) -> Tensor {
+                Tensor::zeros(&[x.dims()[0], 2])
+            }
+            fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+                (0.0, Tensor::zeros(x.dims()))
+            }
+        }
+        let attack = Pgd::standard(0.1).with_seed(7);
+        let batch1 = Tensor::full(&[2, 1, 3, 3], 0.4);
+        let batch2 = Tensor::full(&[2, 1, 3, 3], 0.6);
+        let noise1 = attack.perturb(&Inert, &batch1, &[0, 1]).sub(&batch1);
+        let noise2 = attack.perturb(&Inert, &batch2, &[0, 1]).sub(&batch2);
+        assert_ne!(
+            noise1.data(),
+            noise2.data(),
+            "consecutive batches drew identical random starts"
+        );
+    }
+
+    #[test]
+    fn restart_seeds_decorrelate_on_the_same_batch() {
+        // Restart averaging relies on different base seeds producing
+        // different starts for one batch. A zero-gradient victim exposes the
+        // raw start (gradient steps cannot move it and would otherwise
+        // converge restarts to the same ε-corner).
+        struct Inert;
+        impl AdversarialTarget for Inert {
+            fn num_classes(&self) -> usize {
+                2
+            }
+            fn logits(&self, x: &Tensor) -> Tensor {
+                Tensor::zeros(&[x.dims()[0], 2])
+            }
+            fn loss_and_input_grad(&self, x: &Tensor, _l: &[usize]) -> (f32, Tensor) {
+                (0.0, Tensor::zeros(x.dims()))
+            }
+        }
+        let x = Tensor::full(&[1, 1, 3, 3], 0.5);
+        let a = Pgd::standard(0.1).with_seed(1).perturb(&Inert, &x, &[1]);
+        let b = Pgd::standard(0.1).with_seed(2).perturb(&Inert, &x, &[1]);
+        assert_ne!(a, b);
     }
 }

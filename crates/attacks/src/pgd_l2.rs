@@ -111,7 +111,10 @@ mod tests {
         let x = Tensor::full(&[1, 1, 4, 4], 0.5);
         let adv = PgdL2::standard(0.5).perturb(&GradientOnly, &x, &[0]);
         let delta_norm = adv.sub(&x).norm();
-        assert!(delta_norm <= 0.5 + 1e-5, "L2 norm {delta_norm} exceeds budget");
+        assert!(
+            delta_norm <= 0.5 + 1e-5,
+            "L2 norm {delta_norm} exceeds budget"
+        );
         assert!(delta_norm > 0.4, "the attack should use most of its budget");
     }
 

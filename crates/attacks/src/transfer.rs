@@ -96,7 +96,7 @@ fn count_correct(predictions: &[usize], labels: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GaussianNoise, Pgd};
+    use crate::{Pgd, UniformNoise};
 
     /// Thresholds the mean pixel at `cut`.
     struct MeanVictim {
@@ -169,7 +169,7 @@ mod tests {
         let out = evaluate_transfer(
             &MeanVictim { cut: 0.5 },
             &MeanVictim { cut: 0.5 },
-            &GaussianNoise::new(0.01, 1),
+            &UniformNoise::new(0.01, 1),
             &images,
             &labels,
             2,

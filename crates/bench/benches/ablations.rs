@@ -123,7 +123,13 @@ fn ablations(c: &mut Criterion) {
     for (name, neuron) in [
         ("lif", NeuronModel::Lif),
         ("synaptic", NeuronModel::SynapticLif { gamma: 0.7 }),
-        ("adaptive", NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.2 }),
+        (
+            "adaptive",
+            NeuronModel::AdaptiveLif {
+                rho: 0.9,
+                kappa: 0.2,
+            },
+        ),
     ] {
         let mut cfg = base.clone();
         cfg.neuron = neuron;

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use attacks::{
-    evaluate_attack, Attack, Fgsm, GaussianNoise, MomentumPgd, Pgd, PgdL2, TargetedPgd,
-};
+use attacks::{evaluate_attack, Attack, Fgsm, MomentumPgd, Pgd, PgdL2, TargetedPgd, UniformNoise};
 use bench::{bench_scale, data_for, write_artefact};
 use explore::{pipeline, presets};
 use snn::StructuralParams;
@@ -22,7 +20,7 @@ fn attack_zoo(c: &mut Criterion) {
         ("pgd", Box::new(Pgd::standard(eps))),
         ("momentum_pgd", Box::new(MomentumPgd::standard(eps))),
         ("pgd_l2", Box::new(PgdL2::standard(eps))),
-        ("random_noise", Box::new(GaussianNoise::new(eps, 0))),
+        ("random_noise", Box::new(UniformNoise::new(eps, 0))),
     ];
 
     // Setup: the strength comparison table.

@@ -23,7 +23,10 @@ fn fig1(c: &mut Criterion) {
         format!("SNN {}", presets::fig1_structural()),
         snn_points,
     ));
-    println!("\n[fig1] accuracy under PGD (pixel-scale eps):\n{}", set.render_table());
+    println!(
+        "\n[fig1] accuracy under PGD (pixel-scale eps):\n{}",
+        set.render_table()
+    );
     write_artefact("fig1_cnn_vs_snn.csv", &set.to_csv());
 
     // Timing: one full ε sweep per model family.

@@ -25,7 +25,13 @@ fn fig7(c: &mut Criterion) {
     // Timing: the security-study inner loop for one pre-trained cell.
     let trained = pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 8));
     let attack_set = data.test.subset(config.attack_samples);
-    let pgd = Pgd::new(eps1, 2.5 * eps1 / config.pgd_steps as f32, config.pgd_steps, true, 0);
+    let pgd = Pgd::new(
+        eps1,
+        2.5 * eps1 / config.pgd_steps as f32,
+        config.pgd_steps,
+        true,
+        0,
+    );
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);
     group.bench_function("attack_cell_eps1", |b| {

@@ -34,7 +34,10 @@ fn fig9(c: &mut Criterion) {
     let cnn = pipeline::train_cnn(&config, &data);
     let cnn_sweep = algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons);
     set.push(RobustnessCurve::new("CNN baseline", cnn_sweep));
-    println!("\n[fig9] robustness curves (pixel-scale eps):\n{}", set.render_table());
+    println!(
+        "\n[fig9] robustness curves (pixel-scale eps):\n{}",
+        set.render_table()
+    );
     write_artefact("fig9_robustness_curves.csv", &set.to_csv());
 
     // Timing: the full Algorithm-1 exploration of one combination (train +

@@ -21,7 +21,16 @@ fn tensor_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
     group.bench_function("matmul_64x64", |bch| bch.iter(|| a.matmul(&b)));
     group.bench_function("conv2d_4x8x16x16_k3", |bch| {
-        bch.iter(|| conv2d(&x, &w, Conv2dSpec { stride: 1, padding: 1 }))
+        bch.iter(|| {
+            conv2d(
+                &x,
+                &w,
+                Conv2dSpec {
+                    stride: 1,
+                    padding: 1,
+                },
+            )
+        })
     });
     group.bench_function("elementwise_add_16k", |bch| {
         let u = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
@@ -79,7 +88,9 @@ fn lif_dynamics(c: &mut Criterion) {
         bch.iter(|| {
             let tape = Tape::new();
             let xv = tape.leaf(x.clone());
-            (0..16).map(|t| enc.encode_step(xv, t).value().sum()).sum::<f32>()
+            (0..16)
+                .map(|t| enc.encode_step(xv, t).value().sum())
+                .sum::<f32>()
         })
     });
     group.finish();
@@ -103,5 +114,11 @@ fn attack_iterations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tensor_kernels, autodiff_overhead, lif_dynamics, attack_iterations);
+criterion_group!(
+    benches,
+    tensor_kernels,
+    autodiff_overhead,
+    lif_dynamics,
+    attack_iterations
+);
 criterion_main!(benches);

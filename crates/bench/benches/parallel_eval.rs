@@ -1,0 +1,108 @@
+//! Parallel attack-evaluation bench: the same batched PGD evaluation at 1
+//! vs 4 worker threads, plus a conv2d micro-bench at both thread counts.
+//!
+//! The parallel paths are deterministic (bitwise-identical outcomes for
+//! every thread count — asserted during setup), so this bench isolates the
+//! wall-clock effect of the `tensor::parallel` layer. On a single-core
+//! machine the 4-thread numbers show scheduling overhead instead of
+//! speedup; compare the reported timings against `nproc` before reading
+//! them as a scaling result.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use attacks::{evaluate_attack, evaluate_attack_parallel, Pgd};
+use bench::{bench_scale, data_for};
+use explore::presets;
+use snn::StructuralParams;
+use tensor::conv::{conv2d, Conv2dSpec};
+use tensor::Tensor;
+
+fn parallel_eval(c: &mut Criterion) {
+    let mut config = bench_scale(presets::quick());
+    // Enough work for sharding to matter: more samples, small batches.
+    config.attack_samples = 40;
+    config.test_per_class = 8;
+    config.batch_size = 4;
+    let data = data_for(&config);
+    let trained = explore::pipeline::train_snn(&config, &data, StructuralParams::new(1.0, 6));
+    let attack_set = data.test.subset(config.attack_samples);
+    let attack = Pgd::standard(presets::paper_eps_to_pixel(1.0));
+
+    // Setup assertion: sharding must not change the outcome.
+    let serial = evaluate_attack(
+        &trained.classifier,
+        &attack,
+        attack_set.images(),
+        attack_set.labels(),
+        config.batch_size,
+    );
+    for threads in [1usize, 2, 4] {
+        let parallel = evaluate_attack_parallel(
+            &trained.classifier,
+            &attack,
+            attack_set.images(),
+            attack_set.labels(),
+            config.batch_size,
+            threads,
+        );
+        assert_eq!(
+            parallel, serial,
+            "parallel outcome diverged at {threads} threads"
+        );
+    }
+    println!(
+        "[bench setup] evaluate_attack_parallel bitwise-identical to serial at 1/2/4 threads \
+         ({} samples, available cores: {})",
+        serial.samples,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("pgd_eval_{threads}_threads"), |b| {
+            b.iter(|| {
+                evaluate_attack_parallel(
+                    &trained.classifier,
+                    &attack,
+                    black_box(attack_set.images()),
+                    attack_set.labels(),
+                    config.batch_size,
+                    threads,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Conv micro-bench: batch-level parallelism inside one kernel call.
+    let x = Tensor::from_vec(
+        (0..32 * 16 * 16)
+            .map(|i| ((i * 31 % 97) as f32) / 97.0)
+            .collect(),
+        &[32, 1, 16, 16],
+    );
+    let w = Tensor::from_vec(
+        (0..8 * 3 * 3)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1)
+            .collect(),
+        &[8, 1, 3, 3],
+    );
+    let spec = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    let mut group = c.benchmark_group("parallel_conv");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("conv2d_32x16x16_{threads}_threads"), |b| {
+            tensor::parallel::set_max_threads(threads);
+            b.iter(|| conv2d(black_box(&x), &w, spec))
+        });
+    }
+    tensor::parallel::set_max_threads(1);
+    group.finish();
+}
+
+criterion_group!(benches, parallel_eval);
+criterion_main!(benches);

@@ -72,9 +72,8 @@ impl Augment {
     /// Applies the policy to every sample, deterministically in
     /// `(self.seed, epoch)`.
     pub fn apply(&self, data: &Dataset, epoch: usize) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0xA076_1D64_78BD_642F));
         let dims = data.images().dims().to_vec();
         let (h, w) = (dims[2], dims[3]);
         let plane = h * w;
@@ -95,8 +94,8 @@ impl Augment {
             }
             if self.noise > 0.0 {
                 for v in sample.data_mut() {
-                    *v = (*v + tensor::init::standard_normal(&mut rng) * self.noise)
-                        .clamp(0.0, 1.0);
+                    *v =
+                        (*v + tensor::init::standard_normal(&mut rng) * self.noise).clamp(0.0, 1.0);
                 }
             }
             out.data_mut()[s * plane..(s + 1) * plane].copy_from_slice(sample.data());

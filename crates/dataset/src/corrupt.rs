@@ -195,7 +195,9 @@ mod tests {
 
     #[test]
     fn dataset_corruption_preserves_labels() {
-        let data = crate::synth::SynthDigits::new(8).samples_per_class(2).generate();
+        let data = crate::synth::SynthDigits::new(8)
+            .samples_per_class(2)
+            .generate();
         let corrupted = Corruption::ContrastLoss.apply_dataset(&data, 0.3);
         assert_eq!(corrupted.labels(), data.labels());
         assert_eq!(corrupted.len(), data.len());

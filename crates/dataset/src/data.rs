@@ -107,7 +107,11 @@ impl Dataset {
         let mut data = Vec::with_capacity(indices.len() * sample_len);
         let mut labels = Vec::with_capacity(indices.len());
         for &i in indices {
-            assert!(i < self.len(), "index {i} out of range for {} samples", self.len());
+            assert!(
+                i < self.len(),
+                "index {i} out of range for {} samples",
+                self.len()
+            );
             data.extend_from_slice(&self.images.data()[i * sample_len..(i + 1) * sample_len]);
             labels.push(self.labels[i]);
         }

@@ -29,7 +29,10 @@ pub fn load_idx_images(path: &Path) -> io::Result<Tensor> {
     let bytes = fs::read(path)?;
     let (magic, rest) = split_u32(&bytes)?;
     if magic != 0x0000_0803 {
-        return Err(bad_data(format!("bad image magic {magic:#x} in {}", path.display())));
+        return Err(bad_data(format!(
+            "bad image magic {magic:#x} in {}",
+            path.display()
+        )));
     }
     let (n, rest) = split_u32(rest)?;
     let (h, rest) = split_u32(rest)?;
@@ -42,7 +45,10 @@ pub fn load_idx_images(path: &Path) -> io::Result<Tensor> {
             rest.len()
         )));
     }
-    let data: Vec<f32> = rest[..n * h * w].iter().map(|&b| b as f32 / 255.0).collect();
+    let data: Vec<f32> = rest[..n * h * w]
+        .iter()
+        .map(|&b| b as f32 / 255.0)
+        .collect();
     Ok(Tensor::from_vec(data, &[n, 1, h, w]))
 }
 
@@ -56,7 +62,10 @@ pub fn load_idx_labels(path: &Path) -> io::Result<Vec<usize>> {
     let bytes = fs::read(path)?;
     let (magic, rest) = split_u32(&bytes)?;
     if magic != 0x0000_0801 {
-        return Err(bad_data(format!("bad label magic {magic:#x} in {}", path.display())));
+        return Err(bad_data(format!(
+            "bad label magic {magic:#x} in {}",
+            path.display()
+        )));
     }
     let (n, rest) = split_u32(rest)?;
     let n = n as usize;

@@ -30,7 +30,12 @@ pub enum Direction {
 impl Direction {
     /// All four directions in label order.
     pub fn all() -> [Direction; 4] {
-        [Direction::Right, Direction::Left, Direction::Down, Direction::Up]
+        [
+            Direction::Right,
+            Direction::Left,
+            Direction::Down,
+            Direction::Up,
+        ]
     }
 
     /// The class label of this direction.
@@ -150,7 +155,10 @@ mod tests {
 
     #[test]
     fn generation_shape_and_balance() {
-        let d = MovingBars::new(6, 4).samples_per_class(3).seed(2).generate();
+        let d = MovingBars::new(6, 4)
+            .samples_per_class(3)
+            .seed(2)
+            .generate();
         assert_eq!(d.images().dims(), &[12, 4, 6, 6]);
         assert_eq!(d.class_counts(), vec![3; 4]);
         assert!(d.images().min() >= 0.0 && d.images().max() <= 1.0);
@@ -166,7 +174,11 @@ mod tests {
 
     #[test]
     fn bar_actually_moves_between_frames() {
-        let d = MovingBars::new(8, 4).samples_per_class(1).noise(0.0).seed(4).generate();
+        let d = MovingBars::new(8, 4)
+            .samples_per_class(1)
+            .noise(0.0)
+            .seed(4)
+            .generate();
         let hw = 8;
         let plane = hw * hw;
         // Frame 0 and frame 1 of the first sample must differ (the bar
@@ -182,7 +194,11 @@ mod tests {
         // checking right/left samples share at least one identical frame
         // for suitable phases. Statistically: the per-frame marginal
         // distribution of bar positions is uniform for all classes.
-        let d = MovingBars::new(6, 6).samples_per_class(24).noise(0.0).seed(5).generate();
+        let d = MovingBars::new(6, 6)
+            .samples_per_class(24)
+            .noise(0.0)
+            .seed(5)
+            .generate();
         let hw = 6;
         let plane = hw * hw;
         // For each class, count how often column 2 is lit in frame 0 —
@@ -200,7 +216,10 @@ mod tests {
         if totals[0] > 0 && totals[1] > 0 {
             let r = lit[0] as f32 / totals[0] as f32;
             let l = lit[1] as f32 / totals[1] as f32;
-            assert!((r - l).abs() < 0.5, "frame-0 marginals should overlap: {r} vs {l}");
+            assert!(
+                (r - l).abs() < 0.5,
+                "frame-0 marginals should overlap: {r} vs {l}"
+            );
         }
     }
 }

@@ -30,16 +30,16 @@ const SEGMENTS: [((f32, f32), (f32, f32)); 7] = [
 
 /// Active segments per digit (standard seven-segment encoding).
 const DIGIT_SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, true, true, true, false],    // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],   // 2
-    [true, true, true, true, false, false, true],   // 3
-    [false, true, true, false, false, true, true],  // 4
-    [true, false, true, true, false, true, true],   // 5
-    [true, false, true, true, true, true, true],    // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Builder for a SynthDigits dataset.
@@ -244,14 +244,21 @@ mod tests {
             let mut count = 0;
             for (i, &l) in d.labels().iter().enumerate() {
                 if l == class {
-                    let s: f32 = d.images().data()[i * hw * hw..(i + 1) * hw * hw].iter().sum();
+                    let s: f32 = d.images().data()[i * hw * hw..(i + 1) * hw * hw]
+                        .iter()
+                        .sum();
                     total += s;
                     count += 1;
                 }
             }
             total / count as f32
         };
-        assert!(ink(8) > 2.0 * ink(1), "8 ink {} vs 1 ink {}", ink(8), ink(1));
+        assert!(
+            ink(8) > 2.0 * ink(1),
+            "8 ink {} vs 1 ink {}",
+            ink(8),
+            ink(1)
+        );
     }
 
     #[test]
@@ -316,8 +323,16 @@ mod render_tests {
             let img = &noisy.images().data()[i * hw..(i + 1) * hw];
             let best = (0..10)
                 .min_by(|&a, &b| {
-                    let da: f32 = templates[a].iter().zip(img).map(|(t, v)| (t - v) * (t - v)).sum();
-                    let db: f32 = templates[b].iter().zip(img).map(|(t, v)| (t - v) * (t - v)).sum();
+                    let da: f32 = templates[a]
+                        .iter()
+                        .zip(img)
+                        .map(|(t, v)| (t - v) * (t - v))
+                        .sum();
+                    let db: f32 = templates[b]
+                        .iter()
+                        .zip(img)
+                        .map(|(t, v)| (t - v) * (t - v))
+                        .sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();
@@ -326,6 +341,9 @@ mod render_tests {
             }
         }
         let acc = correct as f32 / noisy.len() as f32;
-        assert!(acc > 0.5, "template matching should beat 10% chance easily, got {acc}");
+        assert!(
+            acc > 0.5,
+            "template matching should beat 10% chance easily, got {acc}"
+        );
     }
 }

@@ -59,7 +59,12 @@ pub fn explore_one(
 
 /// Like [`explore_one`] but for an already-trained model, so callers doing
 /// multiple sweeps (e.g. one per figure) train only once.
-pub fn explore_trained<M: nn::Model>(
+///
+/// The per-ε evaluations are independent (each PGD instance is seeded from
+/// `(config.seed, ε index)` and the batch content), so they run on up to
+/// [`ExperimentConfig::effective_threads`] worker threads; results are
+/// collected in ε order and identical for every thread count.
+pub fn explore_trained<M: nn::Model + Sync>(
     config: &ExperimentConfig,
     data: &SplitData,
     structural: StructuralParams,
@@ -69,17 +74,7 @@ pub fn explore_trained<M: nn::Model>(
     let learnable = trained.clean_accuracy >= config.accuracy_threshold;
     let mut robustness = Vec::new();
     if learnable {
-        let attack_set = data.test.subset(config.attack_samples);
-        for (k, &eps) in epsilons.iter().enumerate() {
-            let outcome = evaluate_attack(
-                &trained.classifier,
-                &pgd_for(config, eps, k as u64),
-                attack_set.images(),
-                attack_set.labels(),
-                config.batch_size,
-            );
-            robustness.push((eps, outcome.adversarial_accuracy));
-        }
+        robustness = sweep_attack(config, data, &trained.classifier, epsilons);
     }
     ExplorationOutcome {
         structural,
@@ -91,32 +86,36 @@ pub fn explore_trained<M: nn::Model>(
 
 /// Measures an arbitrary classifier (e.g. the CNN baseline) across the same
 /// ε sweep — used for the paper's Figs. 1 and 9 comparisons.
+///
+/// Budgets are swept on up to [`ExperimentConfig::effective_threads`] worker
+/// threads (see [`explore_trained`] for why this cannot change results).
 pub fn sweep_attack(
     config: &ExperimentConfig,
     data: &SplitData,
-    target: &dyn AdversarialTarget,
+    target: &(dyn AdversarialTarget + Sync),
     epsilons: &[f32],
 ) -> Vec<(f32, f32)> {
     let attack_set = data.test.subset(config.attack_samples);
-    epsilons
-        .iter()
-        .enumerate()
-        .map(|(k, &eps)| {
-            let outcome = evaluate_attack(
-                target,
-                &pgd_for(config, eps, k as u64),
-                attack_set.images(),
-                attack_set.labels(),
-                config.batch_size,
-            );
-            (eps, outcome.adversarial_accuracy)
-        })
-        .collect()
+    tensor::parallel::par_map_collect(epsilons.len(), config.effective_threads(), |k| {
+        let eps = epsilons[k];
+        let outcome = evaluate_attack(
+            target,
+            &pgd_for(config, eps, k as u64),
+            attack_set.images(),
+            attack_set.labels(),
+            config.batch_size,
+        );
+        (eps, outcome.adversarial_accuracy)
+    })
 }
 
 fn pgd_for(config: &ExperimentConfig, eps: f32, salt: u64) -> Pgd {
     let steps = config.pgd_steps;
-    let alpha = if eps == 0.0 { 0.0 } else { 2.5 * eps / steps as f32 };
+    let alpha = if eps == 0.0 {
+        0.0
+    } else {
+        2.5 * eps / steps as f32
+    };
     Pgd::new(eps, alpha, steps, true, config.seed.wrapping_add(salt))
 }
 
@@ -133,9 +132,35 @@ mod tests {
         // An absurd threshold silences the network; it cannot learn.
         let data = prepare_data(&cfg);
         let outcome = explore_one(&cfg, &data, StructuralParams::new(500.0, 2), &[0.5]);
-        assert!(!outcome.learnable, "clean accuracy {}", outcome.clean_accuracy);
+        assert!(
+            !outcome.learnable,
+            "clean accuracy {}",
+            outcome.clean_accuracy
+        );
         assert!(outcome.robustness.is_empty());
         assert_eq!(outcome.final_robustness(), None);
+    }
+
+    #[test]
+    fn epsilon_sweep_is_thread_count_invariant() {
+        // The parallel ε sweep must reproduce the serial results exactly:
+        // per-ε PGD seeds depend on (config.seed, ε index, batch content),
+        // never on scheduling.
+        let mut cfg = presets::quick();
+        cfg.epochs = 1;
+        cfg.attack_samples = 8;
+        cfg.accuracy_threshold = 0.0; // always run the sweep
+        let data = prepare_data(&cfg);
+        let trained = crate::pipeline::train_snn(&cfg, &data, StructuralParams::new(1.0, 6));
+        let eps = [0.05, 0.1, 0.2];
+        cfg.threads = 1;
+        let serial = explore_trained(&cfg, &data, StructuralParams::new(1.0, 6), &trained, &eps);
+        for threads in [2, 4] {
+            cfg.threads = threads;
+            let parallel =
+                explore_trained(&cfg, &data, StructuralParams::new(1.0, 6), &trained, &eps);
+            assert_eq!(parallel, serial, "sweep differs at {threads} threads");
+        }
     }
 
     #[test]
@@ -153,6 +178,9 @@ mod tests {
         assert!(r0 >= cfg.accuracy_threshold - 0.2);
         // Larger ε can only help the attacker on average; allow small noise.
         let r_last = outcome.final_robustness().unwrap();
-        assert!(r_last <= r0 + 0.1, "robustness rose with ε: {r0} -> {r_last}");
+        assert!(
+            r_last <= r0 + 0.1,
+            "robustness rose with ε: {r0} -> {r_last}"
+        );
     }
 }

@@ -9,6 +9,12 @@
 //! spiking-armor activity              # firing-rate analysis across V_th
 //! ```
 //!
+//! Every command accepts `--threads N` (0 = all cores) to set the worker
+//! count for the command's dominant parallel level — grid cells for the
+//! heat maps, ε sweeps for the curve figures, tensor kernels elsewhere.
+//! All parallel paths are deterministic: `--threads` changes wall-clock
+//! time, never the artefacts.
+//!
 //! All artefacts (CSV/JSON) are written under `target/figures/`.
 
 use std::fs;
@@ -17,31 +23,68 @@ use std::process::ExitCode;
 
 use explore::curves::{CurveSet, RobustnessCurve};
 use explore::heatmap::{Heatmap, HeatmapKind};
-use explore::{algorithm, corruption, grid, mismatch, pipeline, presets, report, transfer, GridSpec};
+use explore::{
+    algorithm, corruption, grid, mismatch, pipeline, presets, report, transfer, GridSpec,
+};
 use snn::StructuralParams;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str);
+    let threads = match parse_threads(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let out_dir = Path::new("target/figures");
     fs::create_dir_all(out_dir).expect("create target/figures");
     match command {
-        Some("fig1") => fig1(),
-        Some("heatmap") => heatmap(args.iter().any(|a| a == "--full"), out_dir),
-        Some("fig9") => fig9(),
-        Some("finetune") => finetune(),
-        Some("transfer") => transfer_study(),
-        Some("activity") => activity(),
-        Some("corruptions") => corruptions(),
-        Some("defense") => defense_study(),
+        Some("fig1") => fig1(threads),
+        Some("heatmap") => heatmap(args.iter().any(|a| a == "--full"), out_dir, threads),
+        Some("fig9") => fig9(threads),
+        Some("finetune") => finetune(threads),
+        Some("transfer") => transfer_study(threads),
+        Some("activity") => activity(threads),
+        Some("corruptions") => corruptions(threads),
+        Some("defense") => defense_study(threads),
         _ => {
             eprintln!(
-                "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense>"
+                "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense> [--threads N]"
             );
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Extracts `--threads N` from the argument list (`None` when absent, so
+/// each preset's own `threads` field applies).
+fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or("--threads needs a value (0 = all cores)")?;
+    value
+        .parse::<usize>()
+        .map(Some)
+        .map_err(|_| format!("--threads expects a non-negative integer, got {value:?}"))
+}
+
+/// Applies a `--threads` override to a preset configuration.
+fn apply_threads(config: &mut explore::ExperimentConfig, threads: Option<usize>) {
+    if let Some(t) = threads {
+        config.threads = t;
+    }
+}
+
+/// Routes the thread budget into the tensor kernels for commands whose only
+/// parallelism is batch-level conv/elementwise work (no grid or ε sweep).
+fn enable_kernel_threads(config: &explore::ExperimentConfig) {
+    tensor::parallel::set_max_threads(config.effective_threads());
 }
 
 fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
@@ -51,39 +94,60 @@ fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
         .collect()
 }
 
-fn fig1() {
-    let (config, epsilons) = presets::fig1();
+fn fig1(threads: Option<usize>) {
+    let (mut config, epsilons) = presets::fig1();
+    apply_threads(&mut config, threads);
     let data = pipeline::prepare_data(&config);
     let cnn = pipeline::train_cnn(&config, &data);
     let snn = pipeline::train_snn(&config, &data, presets::fig1_structural());
     let mut set = CurveSet::new();
     set.push(RobustnessCurve::new(
         "CNN",
-        to_paper_axis(algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons)),
+        to_paper_axis(algorithm::sweep_attack(
+            &config,
+            &data,
+            &cnn.classifier,
+            &epsilons,
+        )),
     ));
     set.push(RobustnessCurve::new(
         format!("SNN {}", presets::fig1_structural()),
-        to_paper_axis(algorithm::sweep_attack(&config, &data, &snn.classifier, &epsilons)),
+        to_paper_axis(algorithm::sweep_attack(
+            &config,
+            &data,
+            &snn.classifier,
+            &epsilons,
+        )),
     ));
     println!("{}", set.render_table());
 }
 
-fn heatmap(full: bool, out_dir: &Path) {
-    let (config, full_spec, epsilons) = presets::heatmap_grid();
+fn heatmap(full: bool, out_dir: &Path, threads: Option<usize>) {
+    let (mut config, full_spec, epsilons) = presets::heatmap_grid();
+    apply_threads(&mut config, threads);
     let spec = if full {
         full_spec
     } else {
         GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24])
     };
     let data = pipeline::prepare_data(&config);
-    let result = grid::run_grid(&config, &data, &spec, &epsilons, 2);
+    let result = grid::run_grid(&config, &data, &spec, &epsilons, config.effective_threads());
     report::save_json(&result, &out_dir.join("heatmap_grid.json")).expect("write grid json");
-    fs::write(out_dir.join("summary.md"), report::markdown_summary(&result))
-        .expect("write markdown summary");
+    fs::write(
+        out_dir.join("summary.md"),
+        report::markdown_summary(&result),
+    )
+    .expect("write markdown summary");
     for (name, kind) in [
         ("fig6_clean", HeatmapKind::CleanAccuracy),
-        ("fig7_eps1.0", HeatmapKind::AttackedAccuracy { eps: epsilons[0] }),
-        ("fig8_eps1.5", HeatmapKind::AttackedAccuracy { eps: epsilons[1] }),
+        (
+            "fig7_eps1.0",
+            HeatmapKind::AttackedAccuracy { eps: epsilons[0] },
+        ),
+        (
+            "fig8_eps1.5",
+            HeatmapKind::AttackedAccuracy { eps: epsilons[1] },
+        ),
     ] {
         let map = Heatmap::from_grid(&result, kind);
         println!("{}", map.render_ascii());
@@ -91,11 +155,18 @@ fn heatmap(full: bool, out_dir: &Path) {
     }
 }
 
-fn fig9() {
-    let (config, epsilons) = presets::fig9();
+fn fig9(threads: Option<usize>) {
+    let (mut config, epsilons) = presets::fig9();
+    apply_threads(&mut config, threads);
     let data = pipeline::prepare_data(&config);
     let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
-    let coarse = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
+    let coarse = grid::run_grid(
+        &config,
+        &data,
+        &spec,
+        &presets::heatmap_epsilons(),
+        config.effective_threads(),
+    );
     let mut picks = Vec::new();
     if let Some(s) = coarse.sweet_spot() {
         picks.push(s.structural);
@@ -110,23 +181,38 @@ fn fig9() {
         let trained = pipeline::train_snn(&config, &data, sp);
         set.push(RobustnessCurve::new(
             format!("SNN {sp}"),
-            to_paper_axis(algorithm::sweep_attack(&config, &data, &trained.classifier, &epsilons)),
+            to_paper_axis(algorithm::sweep_attack(
+                &config,
+                &data,
+                &trained.classifier,
+                &epsilons,
+            )),
         ));
     }
     let cnn = pipeline::train_cnn(&config, &data);
     set.push(RobustnessCurve::new(
         "CNN",
-        to_paper_axis(algorithm::sweep_attack(&config, &data, &cnn.classifier, &epsilons)),
+        to_paper_axis(algorithm::sweep_attack(
+            &config,
+            &data,
+            &cnn.classifier,
+            &epsilons,
+        )),
     ));
     println!("{}", set.render_table());
 }
 
-fn finetune() {
-    let config = presets::quick();
+fn finetune(threads: Option<usize>) {
+    let mut config = presets::quick();
+    apply_threads(&mut config, threads);
+    enable_kernel_threads(&config);
     let data = pipeline::prepare_data(&config);
     let center = StructuralParams::new(1.0, 6);
     let candidates = mismatch::neighbourhood(center, 0.25, 2);
-    let eps = vec![presets::paper_eps_to_pixel(0.5), presets::paper_eps_to_pixel(1.0)];
+    let eps = vec![
+        presets::paper_eps_to_pixel(0.5),
+        presets::paper_eps_to_pixel(1.0),
+    ];
     let result = mismatch::fine_tune_structural(&config, &data, center, &candidates, &eps);
     println!(
         "trained at {} (clean {:.1}%); deployment candidates:",
@@ -137,7 +223,13 @@ fn finetune() {
         let rob: Vec<String> = e
             .robustness
             .iter()
-            .map(|&(eps, r)| format!("eps {:.2}: {:.0}%", presets::pixel_eps_to_paper(eps), r * 100.0))
+            .map(|&(eps, r)| {
+                format!(
+                    "eps {:.2}: {:.0}%",
+                    presets::pixel_eps_to_paper(eps),
+                    r * 100.0
+                )
+            })
             .collect();
         println!(
             "  {}  clean {:.1}%  [{}]",
@@ -151,20 +243,18 @@ fn finetune() {
     }
 }
 
-fn transfer_study() {
-    let config = presets::quick();
+fn transfer_study(threads: Option<usize>) {
+    let mut config = presets::quick();
+    apply_threads(&mut config, threads);
+    enable_kernel_threads(&config);
     let data = pipeline::prepare_data(&config);
     let points = [
         StructuralParams::new(0.5, 4),
         StructuralParams::new(1.0, 6),
         StructuralParams::new(2.0, 8),
     ];
-    let study = transfer::cnn_to_snn_transfer(
-        &config,
-        &data,
-        &points,
-        presets::paper_eps_to_pixel(1.0),
-    );
+    let study =
+        transfer::cnn_to_snn_transfer(&config, &data, &points, presets::paper_eps_to_pixel(1.0));
     println!(
         "CNN clean {:.1}%; PGD crafted on the CNN at paper-eps 1.0:",
         study.cnn_clean_accuracy * 100.0
@@ -180,8 +270,10 @@ fn transfer_study() {
     }
 }
 
-fn activity() {
-    let config = presets::quick();
+fn activity(threads: Option<usize>) {
+    let mut config = presets::quick();
+    apply_threads(&mut config, threads);
+    enable_kernel_threads(&config);
     let data = pipeline::prepare_data(&config);
     let x = data.test.subset(16);
     println!("firing rates of trained SNNs across thresholds (T = 6):");
@@ -197,11 +289,17 @@ fn activity() {
     }
 }
 
-fn corruptions() {
-    let config = presets::quick();
+fn corruptions(threads: Option<usize>) {
+    let mut config = presets::quick();
+    apply_threads(&mut config, threads);
+    enable_kernel_threads(&config);
     let data = pipeline::prepare_data(&config);
     let severities = [0.2f32, 0.4, 0.6];
-    for sp in [StructuralParams::new(0.5, 4), StructuralParams::new(1.0, 6), StructuralParams::new(2.0, 8)] {
+    for sp in [
+        StructuralParams::new(0.5, 4),
+        StructuralParams::new(1.0, 6),
+        StructuralParams::new(2.0, 8),
+    ] {
         let study = corruption::corruption_robustness(&config, &data, sp, &severities);
         println!(
             "SNN {} clean {:.1}%  mean corrupted {:.1}%",
@@ -210,13 +308,19 @@ fn corruptions() {
             study.mean_corrupted_accuracy() * 100.0
         );
         for e in &study.entries {
-            println!("    {:<15} severity {:.1}: {:.1}%", e.corruption, e.severity, e.accuracy * 100.0);
+            println!(
+                "    {:<15} severity {:.1}: {:.1}%",
+                e.corruption,
+                e.severity,
+                e.accuracy * 100.0
+            );
         }
     }
 }
 
-fn defense_study() {
+fn defense_study(threads: Option<usize>) {
     let mut config = presets::quick();
+    apply_threads(&mut config, threads);
     config.accuracy_threshold = 0.3;
     let data = pipeline::prepare_data(&config);
     let sp = StructuralParams::new(1.0, 6);

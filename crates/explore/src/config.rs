@@ -107,6 +107,12 @@ pub struct ExperimentConfig {
     /// configuration's `image_hw` must match.
     #[serde(default)]
     pub mnist_dir: Option<String>,
+    /// Worker threads for the parallel execution paths (grid cells, per-ε
+    /// attack sweeps, batched evaluation). `0` means "all available cores".
+    /// Every parallel path is deterministic, so this knob changes wall-clock
+    /// time only, never results (see `DESIGN.md`, threading model).
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -129,6 +135,12 @@ impl ExperimentConfig {
     /// The shared topology materialised for this experiment's image size.
     pub fn cnn_config(&self) -> CnnConfig {
         self.topology.cnn_config(self.image_hw, 10)
+    }
+
+    /// The resolved worker-thread count: [`ExperimentConfig::threads`], with
+    /// `0` mapped to the number of available cores.
+    pub fn effective_threads(&self) -> usize {
+        tensor::parallel::resolve(self.threads)
     }
 
     /// Validates internal consistency (positive sizes, threshold in range).
@@ -212,6 +224,8 @@ mod tests {
         assert_eq!(cfg.surrogate, SurrogateShape::FastSigmoid);
         assert_eq!(cfg.neuron, NeuronModel::Lif);
         assert_eq!(cfg.mnist_dir, None);
+        assert_eq!(cfg.threads, 0, "missing threads field defaults to auto");
+        assert!(cfg.effective_threads() >= 1);
         cfg.validate();
     }
 

@@ -124,12 +124,7 @@ mod tests {
         cfg.epochs = 4;
         cfg.attack_samples = 10;
         let data = prepare_data(&cfg);
-        let study = corruption_robustness(
-            &cfg,
-            &data,
-            StructuralParams::new(1.0, 4),
-            &[0.2, 0.6],
-        );
+        let study = corruption_robustness(&cfg, &data, StructuralParams::new(1.0, 4), &[0.2, 0.6]);
         assert_eq!(study.entries.len(), 4 * 2);
         assert!(study.accuracy_at("contrast_loss", 0.2).is_some());
         assert!(study.accuracy_at("contrast_loss", 0.9).is_none());
@@ -142,12 +137,7 @@ mod tests {
         cfg.epochs = 6;
         cfg.attack_samples = 20;
         let data = prepare_data(&cfg);
-        let study = corruption_robustness(
-            &cfg,
-            &data,
-            StructuralParams::new(1.0, 6),
-            &[0.1, 0.8],
-        );
+        let study = corruption_robustness(&cfg, &data, StructuralParams::new(1.0, 6), &[0.1, 0.8]);
         let mild: f32 = study
             .entries
             .iter()

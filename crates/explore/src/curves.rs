@@ -95,7 +95,11 @@ impl RobustnessCurve {
             if a <= target {
                 // Linear interpolation between prev and (e, a).
                 let (e0, a0) = prev;
-                let t = if (a0 - a).abs() < 1e-12 { 1.0 } else { (a0 - target) / (a0 - a) };
+                let t = if (a0 - a).abs() < 1e-12 {
+                    1.0
+                } else {
+                    (a0 - target) / (a0 - a)
+                };
                 return Some(e0 + t * (e - e0));
             }
             prev = (e, a);

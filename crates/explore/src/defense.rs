@@ -56,7 +56,11 @@ pub fn adversarial_train_snn(
     let inner_steps = (config.pgd_steps / 2).max(1);
     let attack = Pgd::new(
         train_eps,
-        if train_eps == 0.0 { 0.0 } else { 2.5 * train_eps / inner_steps as f32 },
+        if train_eps == 0.0 {
+            0.0
+        } else {
+            2.5 * train_eps / inner_steps as f32
+        },
         inner_steps,
         true,
         config.seed,

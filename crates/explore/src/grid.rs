@@ -37,7 +37,10 @@ impl GridSpec {
     /// Panics if either axis is empty, unsorted, or contains invalid values
     /// (non-positive thresholds or zero windows).
     pub fn new(v_ths: Vec<f32>, windows: Vec<usize>) -> Self {
-        assert!(!v_ths.is_empty() && !windows.is_empty(), "grid axes must be non-empty");
+        assert!(
+            !v_ths.is_empty() && !windows.is_empty(),
+            "grid axes must be non-empty"
+        );
         assert!(
             v_ths.windows(2).all(|w| w[0] < w[1]),
             "thresholds must be strictly increasing"
@@ -46,7 +49,10 @@ impl GridSpec {
             windows.windows(2).all(|w| w[0] < w[1]),
             "time windows must be strictly increasing"
         );
-        assert!(v_ths.iter().all(|&v| v > 0.0), "thresholds must be positive");
+        assert!(
+            v_ths.iter().all(|&v| v > 0.0),
+            "thresholds must be positive"
+        );
         assert!(windows.iter().all(|&t| t > 0), "windows must be positive");
         Self { v_ths, windows }
     }
@@ -68,11 +74,9 @@ impl GridSpec {
 
     /// Iterates the cross product in row-major `(window, v_th)` order.
     pub fn cells(&self) -> impl Iterator<Item = StructuralParams> + '_ {
-        self.windows.iter().flat_map(move |&t| {
-            self.v_ths
-                .iter()
-                .map(move |&v| StructuralParams::new(v, t))
-        })
+        self.windows
+            .iter()
+            .flat_map(move |&t| self.v_ths.iter().map(move |&v| StructuralParams::new(v, t)))
     }
 
     /// Number of cells.
@@ -101,9 +105,9 @@ pub struct GridResult {
 impl GridResult {
     /// The outcome at a specific structural point, if it is in the grid.
     pub fn outcome_at(&self, v_th: f32, window: usize) -> Option<&ExplorationOutcome> {
-        self.outcomes.iter().find(|o| {
-            (o.structural.v_th - v_th).abs() < 1e-6 && o.structural.time_window == window
-        })
+        self.outcomes
+            .iter()
+            .find(|o| (o.structural.v_th - v_th).abs() < 1e-6 && o.structural.time_window == window)
     }
 
     /// Fraction of cells that met the learnability threshold.
@@ -117,27 +121,21 @@ impl GridResult {
     /// The learnable cell with the highest robustness at the largest ε
     /// (the "sweet spot" of the paper's §VI-C), if any cell is learnable.
     pub fn sweet_spot(&self) -> Option<&ExplorationOutcome> {
-        self.outcomes
-            .iter()
-            .filter(|o| o.learnable)
-            .max_by(|a, b| {
-                let ra = a.final_robustness().unwrap_or(0.0);
-                let rb = b.final_robustness().unwrap_or(0.0);
-                ra.total_cmp(&rb)
-            })
+        self.outcomes.iter().filter(|o| o.learnable).max_by(|a, b| {
+            let ra = a.final_robustness().unwrap_or(0.0);
+            let rb = b.final_robustness().unwrap_or(0.0);
+            ra.total_cmp(&rb)
+        })
     }
 
     /// The learnable cell with the *lowest* robustness at the largest ε —
     /// the counterexample to unconditional inherent robustness.
     pub fn worst_learnable(&self) -> Option<&ExplorationOutcome> {
-        self.outcomes
-            .iter()
-            .filter(|o| o.learnable)
-            .min_by(|a, b| {
-                let ra = a.final_robustness().unwrap_or(0.0);
-                let rb = b.final_robustness().unwrap_or(0.0);
-                ra.total_cmp(&rb)
-            })
+        self.outcomes.iter().filter(|o| o.learnable).min_by(|a, b| {
+            let ra = a.final_robustness().unwrap_or(0.0);
+            let rb = b.final_robustness().unwrap_or(0.0);
+            ra.total_cmp(&rb)
+        })
     }
 }
 
@@ -155,6 +153,14 @@ pub fn run_grid(
     threads: usize,
 ) -> GridResult {
     assert!(threads > 0, "need at least one worker thread");
+    // Cells are the coarsest unit of work: while several run concurrently,
+    // the per-cell ε sweep stays serial so thread counts don't multiply.
+    // `threads` stays out of the per-cell seeding, so this cannot change
+    // results either way.
+    let config = &ExperimentConfig {
+        threads: if threads > 1 { 1 } else { config.threads },
+        ..config.clone()
+    };
     let cells: Vec<StructuralParams> = spec.cells().collect();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<ExplorationOutcome>>> = Mutex::new(vec![None; cells.len()]);
@@ -250,7 +256,11 @@ mod outcome_query_tests {
                 robustness: vec![],
             })
             .collect();
-        let grid = GridResult { spec, epsilons: vec![], outcomes };
+        let grid = GridResult {
+            spec,
+            epsilons: vec![],
+            outcomes,
+        };
         assert_eq!(grid.learnable_fraction(), 0.5);
         // No attacked cells: extremes still resolve among learnable cells
         // (final robustness defaults to 0 for ranking purposes).

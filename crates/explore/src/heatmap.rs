@@ -134,20 +134,12 @@ impl Heatmap {
 
     /// The largest value in the map, if any cell has one.
     pub fn max_value(&self) -> Option<f32> {
-        self.values
-            .iter()
-            .flatten()
-            .copied()
-            .max_by(f32::total_cmp)
+        self.values.iter().flatten().copied().max_by(f32::total_cmp)
     }
 
     /// The smallest value in the map, if any cell has one.
     pub fn min_value(&self) -> Option<f32> {
-        self.values
-            .iter()
-            .flatten()
-            .copied()
-            .min_by(f32::total_cmp)
+        self.values.iter().flatten().copied().min_by(f32::total_cmp)
     }
 
     /// Renders the map as aligned ASCII with one row per time window
@@ -303,7 +295,11 @@ mod edge_tests {
                 robustness: vec![],
             })
             .collect();
-        let grid = GridResult { spec, epsilons: vec![0.3], outcomes };
+        let grid = GridResult {
+            spec,
+            epsilons: vec![0.3],
+            outcomes,
+        };
         let map = Heatmap::from_grid(&grid, HeatmapKind::AttackedAccuracy { eps: 0.3 });
         assert_eq!(map.max_value(), None);
         assert_eq!(map.min_value(), None);
@@ -328,7 +324,11 @@ mod retention_tests {
             learnable: true,
             robustness: vec![(0.3, 0.4)],
         }];
-        let grid = GridResult { spec, epsilons: vec![0.3], outcomes };
+        let grid = GridResult {
+            spec,
+            epsilons: vec![0.3],
+            outcomes,
+        };
         let map = Heatmap::from_grid(&grid, HeatmapKind::Retention { eps: 0.3 });
         let v = map.value_at(1.0, 4).unwrap();
         assert!((v - 0.5).abs() < 1e-6, "0.4 / 0.8 = 0.5, got {v}");

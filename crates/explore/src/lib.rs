@@ -62,11 +62,11 @@ pub mod transfer;
 pub mod viz;
 
 pub use algorithm::ExplorationOutcome;
-pub use corruption::CorruptionStudy;
-pub use mismatch::MismatchResult;
-pub use transfer::TransferStudy;
 pub use config::{ExperimentConfig, Topology};
+pub use corruption::CorruptionStudy;
 pub use curves::RobustnessCurve;
 pub use grid::{GridResult, GridSpec};
 pub use heatmap::Heatmap;
+pub use mismatch::MismatchResult;
 pub use report::RobustnessClass;
+pub use transfer::TransferStudy;

@@ -93,8 +93,18 @@ pub fn fine_tune_structural(
         let classifier = Classifier::new(deployed, params.clone());
         let mut robustness = Vec::with_capacity(epsilons.len());
         for (k, &eps) in epsilons.iter().enumerate() {
-            let alpha = if eps == 0.0 { 0.0 } else { 2.5 * eps / config.pgd_steps as f32 };
-            let attack = Pgd::new(eps, alpha, config.pgd_steps, true, config.seed.wrapping_add(k as u64));
+            let alpha = if eps == 0.0 {
+                0.0
+            } else {
+                2.5 * eps / config.pgd_steps as f32
+            };
+            let attack = Pgd::new(
+                eps,
+                alpha,
+                config.pgd_steps,
+                true,
+                config.seed.wrapping_add(k as u64),
+            );
             let outcome = evaluate_attack(
                 &classifier,
                 &attack,
@@ -127,13 +137,25 @@ pub fn neighbourhood(
 ) -> Vec<StructuralParams> {
     let mut out = vec![center];
     if center.v_th - v_step > 0.0 {
-        out.push(StructuralParams::new(center.v_th - v_step, center.time_window));
+        out.push(StructuralParams::new(
+            center.v_th - v_step,
+            center.time_window,
+        ));
     }
-    out.push(StructuralParams::new(center.v_th + v_step, center.time_window));
+    out.push(StructuralParams::new(
+        center.v_th + v_step,
+        center.time_window,
+    ));
     if center.time_window > t_step {
-        out.push(StructuralParams::new(center.v_th, center.time_window - t_step));
+        out.push(StructuralParams::new(
+            center.v_th,
+            center.time_window - t_step,
+        ));
     }
-    out.push(StructuralParams::new(center.v_th, center.time_window + t_step));
+    out.push(StructuralParams::new(
+        center.v_th,
+        center.time_window + t_step,
+    ));
     out
 }
 
@@ -161,7 +183,11 @@ mod tests {
         cfg.pgd_steps = 3;
         let data = prepare_data(&cfg);
         let center = StructuralParams::new(1.0, 6);
-        let candidates = vec![center, StructuralParams::new(1.0, 4), StructuralParams::new(1.5, 6)];
+        let candidates = vec![
+            center,
+            StructuralParams::new(1.0, 4),
+            StructuralParams::new(1.5, 6),
+        ];
         let eps = [presets::paper_eps_to_pixel(0.5)];
         let result = fine_tune_structural(&cfg, &data, center, &candidates, &eps);
         assert_eq!(result.entries.len(), 3);

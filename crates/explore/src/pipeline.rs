@@ -169,7 +169,8 @@ mod tests {
             let mut f = std::fs::File::create(dir.join(name)).unwrap();
             f.write_all(&0x0000_0801u32.to_be_bytes()).unwrap();
             f.write_all(&n.to_be_bytes()).unwrap();
-            f.write_all(&(0..n).map(|i| (i % 10) as u8).collect::<Vec<_>>()).unwrap();
+            f.write_all(&(0..n).map(|i| (i % 10) as u8).collect::<Vec<_>>())
+                .unwrap();
         };
         write_images("train-images-idx3-ubyte", n_train);
         write_labels("train-labels-idx1-ubyte", n_train);

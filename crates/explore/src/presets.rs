@@ -41,7 +41,10 @@ pub fn paper_epsilon_axis() -> Vec<f32> {
 
 /// The ε sweep used by the curve figures, converted to pixel scale.
 pub fn epsilon_sweep() -> Vec<f32> {
-    paper_epsilon_axis().into_iter().map(paper_eps_to_pixel).collect()
+    paper_epsilon_axis()
+        .into_iter()
+        .map(paper_eps_to_pixel)
+        .collect()
 }
 
 /// The two heat-map budgets of Figs. 7 and 8 (paper ε ∈ {1, 1.5}), in pixel
@@ -77,6 +80,7 @@ pub fn quick() -> ExperimentConfig {
         surrogate: SurrogateShape::FastSigmoid,
         neuron: NeuronModel::Lif,
         mnist_dir: None,
+        threads: 0,
     }
 }
 
@@ -103,6 +107,7 @@ pub fn fig1() -> (ExperimentConfig, Vec<f32>) {
         surrogate: SurrogateShape::FastSigmoid,
         neuron: NeuronModel::Lif,
         mnist_dir: None,
+        threads: 0,
     };
     (config, epsilon_sweep())
 }
@@ -137,6 +142,7 @@ pub fn heatmap_grid() -> (ExperimentConfig, GridSpec, Vec<f32>) {
         surrogate: SurrogateShape::FastSigmoid,
         neuron: NeuronModel::Lif,
         mnist_dir: None,
+        threads: 0,
     };
     let grid = GridSpec::new(GridSpec::paper_v_ths(), vec![4, 8, 12, 16, 20, 24]);
     (config, grid, heatmap_epsilons())
@@ -176,6 +182,7 @@ pub fn paper_scale() -> (ExperimentConfig, GridSpec, Vec<f32>) {
         surrogate: SurrogateShape::FastSigmoid,
         neuron: NeuronModel::Lif,
         mnist_dir: None,
+        threads: 0,
     };
     let grid = GridSpec::new(
         GridSpec::paper_v_ths(),

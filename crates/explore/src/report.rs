@@ -104,7 +104,10 @@ pub fn markdown_summary(grid: &crate::GridResult) -> String {
         );
     }
     let _ = writeln!(out, "\n## Per-cell outcomes\n");
-    let _ = writeln!(out, "| V_th | T | clean | learnable | final robustness | class |");
+    let _ = writeln!(
+        out,
+        "| V_th | T | clean | learnable | final robustness | class |"
+    );
     let _ = writeln!(out, "|---|---|---|---|---|---|");
     for o in &grid.outcomes {
         let _ = writeln!(

@@ -31,8 +31,7 @@ impl MeanStd {
     pub fn of(values: &[f32]) -> Self {
         assert!(!values.is_empty(), "mean of an empty sample");
         let mean = values.iter().sum::<f32>() / values.len() as f32;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / values.len() as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
         Self {
             mean,
             std: var.sqrt(),

@@ -60,10 +60,17 @@ pub fn cnn_to_snn_transfer(
     structurals: &[StructuralParams],
     epsilon: f32,
 ) -> TransferStudy {
-    assert!(!structurals.is_empty(), "need at least one structural point");
+    assert!(
+        !structurals.is_empty(),
+        "need at least one structural point"
+    );
     let cnn = train_cnn(config, data);
     let attack_set = data.test.subset(config.attack_samples);
-    let alpha = if epsilon == 0.0 { 0.0 } else { 2.5 * epsilon / config.pgd_steps as f32 };
+    let alpha = if epsilon == 0.0 {
+        0.0
+    } else {
+        2.5 * epsilon / config.pgd_steps as f32
+    };
     let attack = Pgd::new(epsilon, alpha, config.pgd_steps, true, config.seed);
     let mut entries = Vec::with_capacity(structurals.len());
     for &sp in structurals {
@@ -104,12 +111,7 @@ mod tests {
         cfg.pgd_steps = 3;
         let data = prepare_data(&cfg);
         let points = [StructuralParams::new(0.5, 4), StructuralParams::new(1.5, 6)];
-        let study = cnn_to_snn_transfer(
-            &cfg,
-            &data,
-            &points,
-            presets::paper_eps_to_pixel(1.0),
-        );
+        let study = cnn_to_snn_transfer(&cfg, &data, &points, presets::paper_eps_to_pixel(1.0));
         assert_eq!(study.entries.len(), 2);
         for e in &study.entries {
             assert!((0.0..=1.0).contains(&e.transfer_accuracy));

@@ -104,7 +104,9 @@ pub fn svg_curves(set: &CurveSet, title: &str) -> String {
         .flat_map(|c| c.points().iter().map(|&(e, _)| e))
         .fold(0.0f32, f32::max)
         .max(1e-6);
-    let colors = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let colors = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+    ];
     let mut svg = String::new();
     let _ = write!(
         svg,
@@ -239,7 +241,11 @@ pub fn svg_membrane_trace(trace: &snn::trace::NeuronTrace, v_th: f32, title: &st
 
 /// Cold→hot colour ramp over `[lo, hi]`.
 fn ramp(v: f32, lo: f32, hi: f32) -> (u8, u8, u8) {
-    let t = if hi > lo { ((v - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 };
+    let t = if hi > lo {
+        ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
     // Blue (low) → yellow (mid) → red (high), roughly matching the paper's
     // colormap reading.
     if t < 0.5 {
@@ -270,7 +276,11 @@ mod tests {
                 structural: sp,
                 clean_accuracy: (sp.v_th / 2.0).min(1.0),
                 learnable: sp.v_th < 1.4,
-                robustness: if sp.v_th < 1.4 { vec![(0.3, 0.4)] } else { vec![] },
+                robustness: if sp.v_th < 1.4 {
+                    vec![(0.3, 0.4)]
+                } else {
+                    vec![]
+                },
             })
             .collect();
         GridResult {

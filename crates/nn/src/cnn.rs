@@ -62,8 +62,18 @@ impl CnnConfig {
             in_channels: 1,
             in_hw: hw,
             conv_blocks: vec![
-                ConvBlockConfig { out_channels: 6, kernel: 5, padding: 2, pool: 2 },
-                ConvBlockConfig { out_channels: 16, kernel: 5, padding: 2, pool: 2 },
+                ConvBlockConfig {
+                    out_channels: 6,
+                    kernel: 5,
+                    padding: 2,
+                    pool: 2,
+                },
+                ConvBlockConfig {
+                    out_channels: 16,
+                    kernel: 5,
+                    padding: 2,
+                    pool: 2,
+                },
             ],
             fc_hidden: vec![120, 84],
             classes,
@@ -76,9 +86,24 @@ impl CnnConfig {
             in_channels: 1,
             in_hw: hw,
             conv_blocks: vec![
-                ConvBlockConfig { out_channels: 8, kernel: 3, padding: 1, pool: 2 },
-                ConvBlockConfig { out_channels: 16, kernel: 3, padding: 1, pool: 2 },
-                ConvBlockConfig { out_channels: 32, kernel: 3, padding: 1, pool: 1 },
+                ConvBlockConfig {
+                    out_channels: 8,
+                    kernel: 3,
+                    padding: 1,
+                    pool: 2,
+                },
+                ConvBlockConfig {
+                    out_channels: 16,
+                    kernel: 3,
+                    padding: 1,
+                    pool: 2,
+                },
+                ConvBlockConfig {
+                    out_channels: 32,
+                    kernel: 3,
+                    padding: 1,
+                    pool: 1,
+                },
             ],
             fc_hidden: vec![64],
             classes,
@@ -91,7 +116,12 @@ impl CnnConfig {
         Self {
             in_channels: 1,
             in_hw: hw,
-            conv_blocks: vec![ConvBlockConfig { out_channels: 4, kernel: 3, padding: 1, pool: 2 }],
+            conv_blocks: vec![ConvBlockConfig {
+                out_channels: 4,
+                kernel: 3,
+                padding: 1,
+                pool: 2,
+            }],
             fc_hidden: vec![32],
             classes,
         }
@@ -106,11 +136,14 @@ impl CnnConfig {
     pub fn final_hw(&self) -> usize {
         let mut hw = self.in_hw;
         for b in &self.conv_blocks {
-            let spec = Conv2dSpec { stride: 1, padding: b.padding };
+            let spec = Conv2dSpec {
+                stride: 1,
+                padding: b.padding,
+            };
             hw = spec.out_extent(hw, b.kernel);
             if b.pool > 1 {
                 assert!(
-                    hw % b.pool == 0,
+                    hw.is_multiple_of(b.pool),
                     "pool {} does not divide extent {hw}; adjust CnnConfig",
                     b.pool
                 );
@@ -161,7 +194,10 @@ impl Cnn {
                 in_c,
                 b.out_channels,
                 b.kernel,
-                Conv2dSpec { stride: 1, padding: b.padding },
+                Conv2dSpec {
+                    stride: 1,
+                    padding: b.padding,
+                },
             ));
             in_c = b.out_channels;
         }

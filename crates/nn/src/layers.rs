@@ -49,7 +49,10 @@ impl Linear {
         in_features: usize,
         out_features: usize,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be positive"
+        );
         let w = params.register(
             format!("{name}.w"),
             init::kaiming_uniform(rng, &[in_features, out_features], in_features),
@@ -145,7 +148,8 @@ impl Conv2d {
     ///
     /// Panics on channel or extent mismatches (see [`tensor::conv::conv2d`]).
     pub fn forward<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
-        x.conv2d(bound.get(self.w), self.spec).add_bias(bound.get(self.b))
+        x.conv2d(bound.get(self.w), self.spec)
+            .add_bias(bound.get(self.b))
     }
 
     /// Number of input channels.
@@ -240,7 +244,10 @@ mod tests {
             1,
             4,
             3,
-            Conv2dSpec { stride: 1, padding: 1 },
+            Conv2dSpec {
+                stride: 1,
+                padding: 1,
+            },
         );
         let tape = Tape::new();
         let bound = params.bind(&tape);

@@ -38,11 +38,7 @@ pub fn mse<'t>(prediction: Var<'t>, target: &Tensor) -> Var<'t> {
 ///
 /// Panics if `logits` is not `[N, C]`, `targets.len() != N`, any target is
 /// out of range, or `smoothing` is outside `[0, 1)`.
-pub fn cross_entropy_smoothed<'t>(
-    logits: Var<'t>,
-    targets: &[usize],
-    smoothing: f32,
-) -> Var<'t> {
+pub fn cross_entropy_smoothed<'t>(logits: Var<'t>, targets: &[usize], smoothing: f32) -> Var<'t> {
     assert!(
         (0.0..1.0).contains(&smoothing),
         "smoothing must be in [0, 1), got {smoothing}"
@@ -91,10 +87,16 @@ mod tests {
     #[test]
     fn zero_smoothing_matches_cross_entropy_exactly() {
         let tape = Tape::new();
-        let logits = tape.leaf(Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9], &[2, 3]));
+        let logits = tape.leaf(Tensor::from_vec(
+            vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9],
+            &[2, 3],
+        ));
         let a = cross_entropy_smoothed(logits, &[2, 0], 0.0).value().item();
         let tape2 = Tape::new();
-        let logits2 = tape2.leaf(Tensor::from_vec(vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9], &[2, 3]));
+        let logits2 = tape2.leaf(Tensor::from_vec(
+            vec![0.2, -0.4, 1.0, 0.5, 0.1, -0.9],
+            &[2, 3],
+        ));
         let b = logits2.cross_entropy(&[2, 0]).value().item();
         assert!((a - b).abs() < 1e-6);
     }
@@ -118,7 +120,10 @@ mod tests {
     fn smoothed_loss_gradchecks() {
         ad::gradcheck::check(
             &|_, vars| cross_entropy_smoothed(vars[0], &[1, 2], 0.2),
-            &[Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.9, -0.6, 0.2], &[2, 3])],
+            &[Tensor::from_vec(
+                vec![0.1, 0.5, -0.3, 0.9, -0.6, 0.2],
+                &[2, 3],
+            )],
             1e-3,
             1e-2,
             1e-2,

@@ -22,7 +22,10 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
         predictions.len(),
         labels.len()
     );
-    assert!(!labels.is_empty(), "accuracy of an empty batch is undefined");
+    assert!(
+        !labels.is_empty(),
+        "accuracy of an empty batch is undefined"
+    );
     let correct = predictions
         .iter()
         .zip(labels)

@@ -126,7 +126,9 @@ impl Optimizer for Sgd {
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[i];
                 *v = v.mul_scalar(self.momentum).add(&grads[i]);
-                params.get_mut(id).add_scaled_inplace(&self.velocity[i].clone(), -self.lr);
+                params
+                    .get_mut(id)
+                    .add_scaled_inplace(&self.velocity[i].clone(), -self.lr);
             } else {
                 params.get_mut(id).add_scaled_inplace(&grads[i], -self.lr);
             }
@@ -223,7 +225,9 @@ impl Optimizer for Adam {
         for (i, id) in ids.into_iter().enumerate() {
             let g = &grads[i];
             let m = &mut self.m[i];
-            *m = m.mul_scalar(self.beta1).add(&g.mul_scalar(1.0 - self.beta1));
+            *m = m
+                .mul_scalar(self.beta1)
+                .add(&g.mul_scalar(1.0 - self.beta1));
             let v = &mut self.v[i];
             *v = v
                 .mul_scalar(self.beta2)

@@ -93,7 +93,10 @@ impl Params {
 
     /// Iterates over `(id, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), t))
     }
 
     /// A human-readable table of all parameters: name, shape and scalar
@@ -110,7 +113,12 @@ impl Params {
                 t.len()
             );
         }
-        let _ = write!(out, "total: {} parameters, {} scalars", self.len(), self.num_scalars());
+        let _ = write!(
+            out,
+            "total: {} parameters, {} scalars",
+            self.len(),
+            self.num_scalars()
+        );
         out
     }
 

@@ -271,7 +271,10 @@ mod tests {
         let mut params = Params::new();
         let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 2));
         let mut opt = Adam::new(5e-3);
-        let mut last = EpochStats { mean_loss: f32::INFINITY, accuracy: 0.0 };
+        let mut last = EpochStats {
+            mean_loss: f32::INFINITY,
+            accuracy: 0.0,
+        };
         for _ in 0..8 {
             last = train_epoch(&cnn, &mut params, &mut opt, &images, &labels, 8, &mut rng);
         }
@@ -294,9 +297,21 @@ mod tests {
             patience: Some(4),
             seed: 7,
         };
-        let report = fit(&cnn, &mut params, &images, &labels, &val_images, &val_labels, &cfg);
+        let report = fit(
+            &cnn,
+            &mut params,
+            &images,
+            &labels,
+            &val_images,
+            &val_labels,
+            &cfg,
+        );
         assert!(report.epochs_run() >= 1 && report.epochs_run() <= 12);
-        assert!(report.best_val_accuracy > 0.8, "best val {}", report.best_val_accuracy);
+        assert!(
+            report.best_val_accuracy > 0.8,
+            "best val {}",
+            report.best_val_accuracy
+        );
         // The restored weights reproduce the best validation accuracy.
         let acc = evaluate(&cnn, &params, &val_images, &val_labels, 12);
         assert!((acc - report.best_val_accuracy).abs() < 1e-6);

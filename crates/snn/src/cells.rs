@@ -65,7 +65,12 @@ impl SynapticLifCell {
     }
 
     /// Advances one step: returns `(spikes, (i_next, v_next))`.
-    pub fn step<'t>(&self, input: Var<'t>, i: Var<'t>, v: Var<'t>) -> (Var<'t>, (Var<'t>, Var<'t>)) {
+    pub fn step<'t>(
+        &self,
+        input: Var<'t>,
+        i: Var<'t>,
+        v: Var<'t>,
+    ) -> (Var<'t>, (Var<'t>, Var<'t>)) {
         let i_next = i.mul_scalar(self.gamma) + input;
         // Reuse the plain LIF threshold/reset dynamics on the filtered
         // current.
@@ -102,12 +107,20 @@ impl AdaptiveLifCell {
             (0.0..=1.0).contains(&rho),
             "adaptation decay must be in [0, 1], got {rho}"
         );
-        assert!(kappa >= 0.0, "adaptation increment must be non-negative, got {kappa}");
+        assert!(
+            kappa >= 0.0,
+            "adaptation increment must be non-negative, got {kappa}"
+        );
         Self { params, rho, kappa }
     }
 
     /// Advances one step: returns `(spikes, (v_next, a_next))`.
-    pub fn step<'t>(&self, input: Var<'t>, v: Var<'t>, a: Var<'t>) -> (Var<'t>, (Var<'t>, Var<'t>)) {
+    pub fn step<'t>(
+        &self,
+        input: Var<'t>,
+        v: Var<'t>,
+        a: Var<'t>,
+    ) -> (Var<'t>, (Var<'t>, Var<'t>)) {
         let p = self.params;
         let v_int = v.mul_scalar(p.beta) + input;
         // Effective threshold V_th + κ·a enters the centered membrane.
@@ -176,7 +189,9 @@ impl NeuronModel {
                 let (i, v) = match state {
                     Some(CellState::SynapticMembrane(i, v)) => (i, v),
                     None => (zeros(), zeros()),
-                    Some(other) => panic!("synaptic LIF layer resumed with foreign state {other:?}"),
+                    Some(other) => {
+                        panic!("synaptic LIF layer resumed with foreign state {other:?}")
+                    }
                 };
                 let (s, (i_next, v_next)) = SynapticLifCell::new(params, gamma).step(input, i, v);
                 (s, CellState::SynapticMembrane(i_next, v_next))
@@ -185,7 +200,9 @@ impl NeuronModel {
                 let (v, a) = match state {
                     Some(CellState::MembraneAdaptation(v, a)) => (v, a),
                     None => (zeros(), zeros()),
-                    Some(other) => panic!("adaptive LIF layer resumed with foreign state {other:?}"),
+                    Some(other) => {
+                        panic!("adaptive LIF layer resumed with foreign state {other:?}")
+                    }
                 };
                 let (s, (v_next, a_next)) =
                     AdaptiveLifCell::new(params, rho, kappa).step(input, v, a);
@@ -232,7 +249,10 @@ mod tests {
         };
         let plain = first_spike(NeuronModel::Lif);
         let filtered = first_spike(NeuronModel::SynapticLif { gamma: 0.5 });
-        assert!(filtered >= plain, "synaptic filter fired earlier: {filtered} < {plain}");
+        assert!(
+            filtered >= plain,
+            "synaptic filter fired earlier: {filtered} < {plain}"
+        );
         assert!(plain < 50, "plain LIF must fire under this drive");
     }
 
@@ -240,7 +260,10 @@ mod tests {
     fn adaptation_reduces_firing_rate() {
         let no_adapt = run_steps(NeuronModel::Lif, 1.0, 0.8, 60);
         let adapted = run_steps(
-            NeuronModel::AdaptiveLif { rho: 0.95, kappa: 0.5 },
+            NeuronModel::AdaptiveLif {
+                rho: 0.95,
+                kappa: 0.5,
+            },
             1.0,
             0.8,
             60,
@@ -257,7 +280,10 @@ mod tests {
         for model in [
             NeuronModel::Lif,
             NeuronModel::SynapticLif { gamma: 0.7 },
-            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.3 },
+            NeuronModel::AdaptiveLif {
+                rho: 0.9,
+                kappa: 0.3,
+            },
         ] {
             let tape = Tape::new();
             let input = tape.leaf(Tensor::from_vec(vec![0.9, 1.1], &[2]));
@@ -291,7 +317,10 @@ mod tests {
     fn zero_kappa_adaptive_matches_plain_lif() {
         let plain = run_steps(NeuronModel::Lif, 1.0, 0.7, 40);
         let alif = run_steps(
-            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.0 },
+            NeuronModel::AdaptiveLif {
+                rho: 0.9,
+                kappa: 0.0,
+            },
             1.0,
             0.7,
             40,

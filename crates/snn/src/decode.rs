@@ -53,7 +53,11 @@ mod serde_tests {
 
     #[test]
     fn decoder_serde_round_trip() {
-        for d in [Decoder::MaxMembrane, Decoder::MeanMembrane, Decoder::SpikeCount] {
+        for d in [
+            Decoder::MaxMembrane,
+            Decoder::MeanMembrane,
+            Decoder::SpikeCount,
+        ] {
             let json = serde_json::to_string(&d).unwrap();
             let back: Decoder = serde_json::from_str(&json).unwrap();
             assert_eq!(d, back);

@@ -88,13 +88,8 @@ impl Encoder {
             }
             Encoder::Poisson { rate, seed } => {
                 let value = x.value();
-                let mut spikes = Tensor::zeros(&value.dims().to_vec());
-                for (i, (s, &v)) in spikes
-                    .data_mut()
-                    .iter_mut()
-                    .zip(value.data())
-                    .enumerate()
-                {
+                let mut spikes = Tensor::zeros(value.dims());
+                for (i, (s, &v)) in spikes.data_mut().iter_mut().zip(value.data()).enumerate() {
                     let p = (v * rate).clamp(0.0, 1.0);
                     if counter_uniform(seed, step as u64, i as u64) < p {
                         *s = 1.0;
@@ -102,7 +97,10 @@ impl Encoder {
                 }
                 x.custom_unary(Box::new(StraightThrough::new(spikes)))
             }
-            Encoder::Replay { frames, time_window } => {
+            Encoder::Replay {
+                frames,
+                time_window,
+            } => {
                 assert!(frames > 0 && time_window > 0, "replay needs positive sizes");
                 let idx = ((step * frames) / time_window).min(frames - 1);
                 x.slice_channels(idx, idx + 1)
@@ -110,7 +108,7 @@ impl Encoder {
             Encoder::Latency { time_window } => {
                 assert!(time_window > 0, "latency encoder needs a positive window");
                 let value = x.value();
-                let mut spikes = Tensor::zeros(&value.dims().to_vec());
+                let mut spikes = Tensor::zeros(value.dims());
                 let span = (time_window - 1).max(1) as f32;
                 for (s, &v) in spikes.data_mut().iter_mut().zip(value.data()) {
                     if v > 0.0 {
@@ -223,7 +221,10 @@ mod tests {
         let tape = Tape::new();
         // 1 sample, 3 frames of a single pixel: values 10, 20, 30.
         let x = tape.leaf(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3, 1, 1]));
-        let enc = Encoder::Replay { frames: 3, time_window: 6 };
+        let enc = Encoder::Replay {
+            frames: 3,
+            time_window: 6,
+        };
         let seen: Vec<f32> = (0..6)
             .map(|t| enc.encode_step(x, t).value().item())
             .collect();
@@ -234,7 +235,10 @@ mod tests {
     fn replay_clamps_to_last_frame_and_routes_gradients() {
         let tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]));
-        let enc = Encoder::Replay { frames: 2, time_window: 3 };
+        let enc = Encoder::Replay {
+            frames: 2,
+            time_window: 3,
+        };
         // Steps 0, 1 -> frame 0; step 2 -> frame 1 (exact division 2*2/3=1).
         assert_eq!(enc.encode_step(x, 2).value().item(), 2.0);
         // Gradient reaches only the presented frame.

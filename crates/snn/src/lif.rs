@@ -324,7 +324,10 @@ mod tests {
     fn suprathreshold_input_spikes_and_resets_by_subtraction() {
         let (s, v) = single_step(LifParams::new(1.0), 1.4, 0.0);
         assert_eq!(s, 1.0);
-        assert!((v - 0.4).abs() < 1e-6, "residual should be 1.4 − 1.0, got {v}");
+        assert!(
+            (v - 0.4).abs() < 1e-6,
+            "residual should be 1.4 − 1.0, got {v}"
+        );
     }
 
     #[test]

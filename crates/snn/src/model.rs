@@ -153,7 +153,10 @@ impl SpikingCnn {
                 in_c,
                 b.out_channels,
                 b.kernel,
-                Conv2dSpec { stride: 1, padding: b.padding },
+                Conv2dSpec {
+                    stride: 1,
+                    padding: b.padding,
+                },
             ));
             in_c = b.out_channels;
         }
@@ -220,7 +223,12 @@ impl SpikingCnn {
 
         for step in 0..t_window {
             let mut h = self.config.encoder.encode_step(x, step);
-            for (i, (conv, block)) in self.convs.iter().zip(&self.topology.conv_blocks).enumerate() {
+            for (i, (conv, block)) in self
+                .convs
+                .iter()
+                .zip(&self.topology.conv_blocks)
+                .enumerate()
+            {
                 let current = conv.forward(bound, h);
                 let (spikes, next) = neuron.step(lif_params, current, conv_states.take(i));
                 conv_states.put(i, next);
@@ -335,7 +343,10 @@ impl SpikingMlp {
         classes: usize,
         config: &SnnConfig,
     ) -> Self {
-        assert!(in_features > 0 && classes > 0, "layer sizes must be positive");
+        assert!(
+            in_features > 0 && classes > 0,
+            "layer sizes must be positive"
+        );
         let mut fcs = Vec::new();
         let mut in_f = in_features;
         for (i, &h) in hidden.iter().enumerate() {
@@ -521,7 +532,11 @@ mod tests {
 
     #[test]
     fn all_decoders_produce_logits() {
-        for decoder in [Decoder::MaxMembrane, Decoder::MeanMembrane, Decoder::SpikeCount] {
+        for decoder in [
+            Decoder::MaxMembrane,
+            Decoder::MeanMembrane,
+            Decoder::SpikeCount,
+        ] {
             let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 5));
             cfg.decoder = decoder;
             let (model, params) = build_cnn(2, &cfg);
@@ -632,7 +647,10 @@ mod tests {
     fn alternate_neuron_models_train_forward_and_attack() {
         for neuron in [
             NeuronModel::SynapticLif { gamma: 0.7 },
-            NeuronModel::AdaptiveLif { rho: 0.9, kappa: 0.2 },
+            NeuronModel::AdaptiveLif {
+                rho: 0.9,
+                kappa: 0.2,
+            },
         ] {
             let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 5));
             cfg.neuron = neuron;
@@ -667,7 +685,10 @@ mod tests {
         let clf_b = nn::Classifier::new(tri_model, params);
         let (_, ga) = nn::AdversarialTarget::loss_and_input_grad(&clf_a, &x, &[1]);
         let (_, gb) = nn::AdversarialTarget::loss_and_input_grad(&clf_b, &x, &[1]);
-        assert_ne!(ga, gb, "different surrogates should give different gradients");
+        assert_ne!(
+            ga, gb,
+            "different surrogates should give different gradients"
+        );
     }
 
     #[test]

@@ -105,8 +105,14 @@ mod display_tests {
 
     #[test]
     fn display_is_stable_for_fractional_thresholds() {
-        assert_eq!(StructuralParams::new(0.25, 16).to_string(), "(Vth=0.25, T=16)");
-        assert_eq!(StructuralParams::new(2.5, 80).to_string(), "(Vth=2.5, T=80)");
+        assert_eq!(
+            StructuralParams::new(0.25, 16).to_string(),
+            "(Vth=0.25, T=16)"
+        );
+        assert_eq!(
+            StructuralParams::new(2.5, 80).to_string(),
+            "(Vth=2.5, T=80)"
+        );
     }
 
     #[test]

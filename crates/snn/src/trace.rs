@@ -76,11 +76,15 @@ pub fn simulate(model: NeuronModel, params: LifParams, inputs: &[f32]) -> Neuron
             CellState::Membrane(v) => membrane.push(v.value().item()),
             CellState::SynapticMembrane(i, v) => {
                 membrane.push(v.value().item());
-                auxiliary.get_or_insert_with(Vec::new).push(i.value().item());
+                auxiliary
+                    .get_or_insert_with(Vec::new)
+                    .push(i.value().item());
             }
             CellState::MembraneAdaptation(v, a) => {
                 membrane.push(v.value().item());
-                auxiliary.get_or_insert_with(Vec::new).push(a.value().item());
+                auxiliary
+                    .get_or_insert_with(Vec::new)
+                    .push(a.value().item());
             }
         }
         state = Some(next);
@@ -127,7 +131,10 @@ mod tests {
         let inputs = vec![0.8; 60];
         let plain = simulate(NeuronModel::Lif, LifParams::new(1.0), &inputs);
         let alif = simulate(
-            NeuronModel::AdaptiveLif { rho: 0.97, kappa: 0.8 },
+            NeuronModel::AdaptiveLif {
+                rho: 0.97,
+                kappa: 0.8,
+            },
             LifParams::new(1.0),
             &inputs,
         );

@@ -46,7 +46,10 @@ impl SpikeTrain {
             .iter()
             .enumerate()
             .filter_map(|(t, &v)| {
-                assert!(v == 0.0 || v == 1.0, "non-binary activation {v} at step {t}");
+                assert!(
+                    v == 0.0 || v == 1.0,
+                    "non-binary activation {v} at step {t}"
+                );
                 (v == 1.0).then_some(t)
             })
             .collect();
@@ -208,7 +211,11 @@ mod tests {
     fn from_binary_round_trips_with_trace() {
         use crate::{trace, LifParams, NeuronModel};
         let t = trace::simulate(NeuronModel::Lif, LifParams::new(1.0), &[0.5; 30]);
-        let binary: Vec<f32> = t.spikes.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect();
+        let binary: Vec<f32> = t
+            .spikes
+            .iter()
+            .map(|&s| if s { 1.0 } else { 0.0 })
+            .collect();
         let train = SpikeTrain::from_binary(&binary);
         assert_eq!(train.times(), t.spike_times().as_slice());
         assert_eq!(train.rate(), t.firing_rate());

@@ -172,12 +172,19 @@ pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
     let mut out = Tensor::zeros(&[n, o, ho, wo]);
     let image_len = c * h * width;
     let out_len = o * ho * wo;
-    for ni in 0..n {
-        let image = &x.data()[ni * image_len..(ni + 1) * image_len];
-        let col = im2col(image, c, h, width, kh, kw, spec);
-        let y = w_mat.matmul(&col); // [O, HO*WO]
-        out.data_mut()[ni * out_len..(ni + 1) * out_len].copy_from_slice(y.data());
-    }
+    // Images are independent: each worker owns one image's disjoint output
+    // slice, so the result is bitwise-identical for every thread count.
+    crate::parallel::par_chunks_mut(
+        out.data_mut(),
+        out_len,
+        crate::parallel::max_threads(),
+        |ni, out_chunk| {
+            let image = &x.data()[ni * image_len..(ni + 1) * image_len];
+            let col = im2col(image, c, h, width, kh, kw, spec);
+            let y = w_mat.matmul(&col); // [O, HO*WO]
+            out_chunk.copy_from_slice(y.data());
+        },
+    );
     out
 }
 
@@ -212,20 +219,26 @@ pub fn conv2d_backward(
     let mut grad_w_mat = Tensor::zeros(&[o, c * kh * kw]);
     let image_len = c * h * width;
     let out_len = o * ho * wo;
-    for ni in 0..n {
-        let image = &x.data()[ni * image_len..(ni + 1) * image_len];
-        let col = im2col(image, c, h, width, kh, kw, spec);
-        let g = Tensor::from_vec(
-            grad_out.data()[ni * out_len..(ni + 1) * out_len].to_vec(),
-            &[o, ho * wo],
-        );
-        // ∂L/∂w += g · colᵀ
-        let gw = g.matmul(&col.transpose2d());
-        grad_w_mat.add_scaled_inplace(&gw, 1.0);
-        // ∂L/∂x = col2im(wᵀ · g)
-        let gcol = w_mat_t.matmul(&g);
-        let gx = col2im(&gcol, c, h, width, kh, kw, spec);
-        grad_x.data_mut()[ni * image_len..(ni + 1) * image_len].copy_from_slice(&gx);
+    // Per-image contributions are computed in parallel; the weight gradient
+    // is then reduced serially in image order so float summation matches the
+    // serial loop bit for bit.
+    let per_image: Vec<(Tensor, Vec<f32>)> =
+        crate::parallel::par_map_collect(n, crate::parallel::max_threads(), |ni| {
+            let image = &x.data()[ni * image_len..(ni + 1) * image_len];
+            let col = im2col(image, c, h, width, kh, kw, spec);
+            let g = Tensor::from_vec(
+                grad_out.data()[ni * out_len..(ni + 1) * out_len].to_vec(),
+                &[o, ho * wo],
+            );
+            // ∂L/∂w contribution: g · colᵀ; ∂L/∂x = col2im(wᵀ · g).
+            let gw = g.matmul(&col.transpose2d());
+            let gcol = w_mat_t.matmul(&g);
+            let gx = col2im(&gcol, c, h, width, kh, kw, spec);
+            (gw, gx)
+        });
+    for (ni, (gw, gx)) in per_image.iter().enumerate() {
+        grad_w_mat.add_scaled_inplace(gw, 1.0);
+        grad_x.data_mut()[ni * image_len..(ni + 1) * image_len].copy_from_slice(gx);
     }
     (grad_x, grad_w_mat.reshape(&[o, c, kh, kw]))
 }
@@ -352,7 +365,10 @@ mod stride_tests {
     /// geometry differs from the stride-1 case checked above.
     #[test]
     fn strided_backward_matches_finite_differences() {
-        let spec = Conv2dSpec { stride: 2, padding: 0 };
+        let spec = Conv2dSpec {
+            stride: 2,
+            padding: 0,
+        };
         let x0 = Tensor::from_vec(
             (0..32).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.2).collect(),
             &[2, 1, 4, 4],
@@ -372,7 +388,11 @@ mod stride_tests {
             let mut xm = x0.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &w0) - loss(&xm, &w0)) / (2.0 * eps);
-            assert!((fd - gx.data()[i]).abs() < 1e-2, "x[{i}]: {fd} vs {}", gx.data()[i]);
+            assert!(
+                (fd - gx.data()[i]).abs() < 1e-2,
+                "x[{i}]: {fd} vs {}",
+                gx.data()[i]
+            );
         }
         for i in 0..w0.len() {
             let mut wp = w0.clone();
@@ -380,8 +400,61 @@ mod stride_tests {
             let mut wm = w0.clone();
             wm.data_mut()[i] -= eps;
             let fd = (loss(&x0, &wp) - loss(&x0, &wm)) / (2.0 * eps);
-            assert!((fd - gw.data()[i]).abs() < 1e-2, "w[{i}]: {fd} vs {}", gw.data()[i]);
+            assert!(
+                (fd - gw.data()[i]).abs() < 1e-2,
+                "w[{i}]: {fd} vs {}",
+                gw.data()[i]
+            );
         }
+    }
+
+    /// The parallel per-image dispatch must be invisible in the results:
+    /// forward and backward outputs are bitwise-identical across thread
+    /// counts (each image's computation is untouched and the weight-gradient
+    /// reduction stays in image order).
+    #[test]
+    fn parallel_conv_is_bitwise_identical_to_serial() {
+        let spec = Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 5 * 5)
+                .map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.1)
+                .collect(),
+            &[2, 2, 5, 5],
+        );
+        let w = Tensor::from_vec(
+            (0..3 * 2 * 3 * 3)
+                .map(|i| ((i * 5 % 9) as f32 - 4.0) * 0.25)
+                .collect(),
+            &[3, 2, 3, 3],
+        );
+        let before = crate::parallel::max_threads();
+        crate::parallel::set_max_threads(1);
+        let y_serial = conv2d(&x, &w, spec);
+        let (gx_serial, gw_serial) = conv2d_backward(&x, &w, &Tensor::ones(y_serial.dims()), spec);
+        for threads in [2, 4] {
+            crate::parallel::set_max_threads(threads);
+            let y = conv2d(&x, &w, spec);
+            let (gx, gw) = conv2d_backward(&x, &w, &Tensor::ones(y.dims()), spec);
+            assert_eq!(
+                y.data(),
+                y_serial.data(),
+                "forward differs at {threads} threads"
+            );
+            assert_eq!(
+                gx.data(),
+                gx_serial.data(),
+                "grad_x differs at {threads} threads"
+            );
+            assert_eq!(
+                gw.data(),
+                gw_serial.data(),
+                "grad_w differs at {threads} threads"
+            );
+        }
+        crate::parallel::set_max_threads(before);
     }
 
     /// 1x1 kernels degenerate to per-pixel channel mixing.

@@ -42,6 +42,7 @@ mod tensor;
 
 pub mod conv;
 pub mod init;
+pub mod parallel;
 pub mod pool;
 pub mod reduce;
 

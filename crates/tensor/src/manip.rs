@@ -167,8 +167,8 @@ impl Tensor {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
                 let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
-                for i in 0..inner {
-                    dst[i] += self.data()[base + i];
+                for (d, &s) in dst.iter_mut().zip(&self.data()[base..base + inner]) {
+                    *d += s;
                 }
             }
         }
@@ -204,8 +204,8 @@ impl Tensor {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
                 let dst = &mut out.data_mut()[o * inner..(o + 1) * inner];
-                for i in 0..inner {
-                    dst[i] = dst[i].max(self.data()[base + i]);
+                for (d, &s) in dst.iter_mut().zip(&self.data()[base..base + inner]) {
+                    *d = d.max(s);
                 }
             }
         }

@@ -1,0 +1,291 @@
+//! Deterministic data-parallel helpers shared by the tensor kernels and the
+//! attack-evaluation pipeline.
+//!
+//! Every helper splits its index space into at most `threads` *contiguous*
+//! shards and writes (or collects) per-index results into their natural
+//! positions. Each index is processed by exactly the same code a serial loop
+//! would run, and nothing is reduced across shard boundaries, so the output
+//! is bitwise-identical to the serial loop for every thread count.
+//! Parallelism here changes wall-clock time, never results.
+//!
+//! The workspace-wide default thread count lives behind
+//! [`set_max_threads`]/[`max_threads`]; kernels such as [`crate::conv::conv2d`]
+//! and [`crate::Tensor::map`] consult it so callers opt whole pipelines into
+//! parallel execution with one switch (the CLI's `--threads` flag).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Workspace-wide default thread count; 0 means "all available cores".
+/// Defaults to 1 so libraries stay serial unless a binary opts in.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Elementwise kernels stay serial below this element count: for tiny
+/// tensors the thread spawn costs more than the arithmetic it distributes.
+pub const PAR_ELEMENTWISE_MIN_LEN: usize = 1 << 15;
+
+/// Sets the workspace-wide default thread count consulted by the parallel
+/// tensor kernels. `0` means "use every available core"; `1` (the initial
+/// value) keeps all kernels serial.
+pub fn set_max_threads(threads: usize) {
+    MAX_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The workspace-wide default thread count, resolved to a concrete positive
+/// number (see [`set_max_threads`]).
+pub fn max_threads() -> usize {
+    resolve(MAX_THREADS.load(Ordering::Relaxed))
+}
+
+/// Resolves a requested thread count: `0` becomes the number of available
+/// cores (at least 1), anything else is returned unchanged.
+pub fn resolve(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Splits `0..total` into at most `pieces` contiguous, near-equal, non-empty
+/// ranges covering every index exactly once (fewer than `pieces` ranges when
+/// `total < pieces`).
+///
+/// # Panics
+///
+/// Panics if `pieces` is zero.
+pub fn chunk_ranges(total: usize, pieces: usize) -> Vec<Range<usize>> {
+    assert!(pieces > 0, "cannot split work into zero pieces");
+    let pieces = pieces.min(total);
+    if pieces == 0 {
+        return Vec::new();
+    }
+    let mut ranges = Vec::with_capacity(pieces);
+    let (base, extra) = (total / pieces, total % pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+/// Maps `f` over `0..n` with up to `threads` workers and returns the results
+/// in index order — the parallel equivalent of `(0..n).map(f).collect()`.
+///
+/// With `threads <= 1` (or `n <= 1`) no thread is spawned and `f` runs on
+/// the caller's stack.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins every worker first).
+pub fn par_map_collect<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let pieces = resolve(threads).min(n);
+    if pieces <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let shards: Vec<Vec<T>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(n, pieces)
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move |_| range.map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+    .expect("parallel worker panicked");
+    let mut out = Vec::with_capacity(n);
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Applies `f(offset, shard)` to contiguous shards of `data` with up to
+/// `threads` workers; `offset` is the shard's starting index in `data`.
+///
+/// Used for elementwise kernels where every output element depends only on
+/// the same-index input element(s).
+pub fn par_apply<F>(data: &mut [f32], threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let pieces = resolve(threads).min(data.len());
+    if pieces <= 1 {
+        f(0, data);
+        return;
+    }
+    let ranges = chunk_ranges(data.len(), pieces);
+    crossbeam::scope(|scope| {
+        let mut rest = data;
+        for range in ranges {
+            let (shard, tail) = rest.split_at_mut(range.end - range.start);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| f(range.start, shard));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` and calls
+/// `f(chunk_index, chunk)` for each, distributing contiguous runs of chunks
+/// over up to `threads` workers.
+///
+/// This is the writer side of batch parallelism: e.g. `conv2d` hands every
+/// image its disjoint slice of the output buffer.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero or does not divide `data.len()`, and
+/// propagates panics from `f`.
+pub fn par_chunks_mut<F>(data: &mut [f32], chunk_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "chunk_len {chunk_len} does not divide buffer length {}",
+        data.len()
+    );
+    let n = data.len() / chunk_len;
+    let pieces = resolve(threads).min(n);
+    if pieces <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(n, pieces);
+    crossbeam::scope(|scope| {
+        let mut rest = data;
+        for range in ranges {
+            let (shard, tail) = rest.split_at_mut((range.end - range.start) * chunk_len);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, chunk) in shard.chunks_mut(chunk_len).enumerate() {
+                    f(range.start + j, chunk);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for total in [0usize, 1, 2, 7, 16, 100] {
+            for pieces in [1usize, 2, 3, 4, 13] {
+                let ranges = chunk_ranges(total, pieces);
+                assert!(ranges.len() <= pieces);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?}");
+                    assert!(!r.is_empty(), "empty shard {r:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, total, "{total} split into {pieces}");
+                // Near-equal: shard sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pieces")]
+    fn zero_pieces_rejected() {
+        chunk_ranges(4, 0);
+    }
+
+    #[test]
+    fn par_map_collect_matches_serial_for_every_thread_count() {
+        let serial: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 64] {
+            assert_eq!(par_map_collect(37, threads, |i| i * i), serial);
+        }
+        assert_eq!(par_map_collect(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_apply_writes_every_offset() {
+        for threads in [1, 3, 8] {
+            let mut data = vec![0.0f32; 41];
+            par_apply(&mut data, threads, |offset, shard| {
+                for (i, v) in shard.iter_mut().enumerate() {
+                    *v = (offset + i) as f32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_hands_out_disjoint_chunks_in_order() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0.0f32; 6 * 4];
+            par_chunks_mut(&mut data, 4, threads, |i, chunk| {
+                assert_eq!(chunk.len(), 4);
+                for v in chunk {
+                    *v = i as f32;
+                }
+            });
+            for (i, chunk) in data.chunks(4).enumerate() {
+                assert!(chunk.iter().all(|&v| v == i as f32));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn ragged_chunks_rejected() {
+        par_chunks_mut(&mut [0.0; 5], 2, 2, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_collect(8, 4, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn knob_round_trips_and_resolves() {
+        assert!(resolve(0) >= 1);
+        assert_eq!(resolve(3), 3);
+        // Don't disturb other tests: restore the knob afterwards.
+        let before = max_threads();
+        set_max_threads(2);
+        assert_eq!(max_threads(), 2);
+        set_max_threads(before);
+    }
+}

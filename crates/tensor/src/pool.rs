@@ -157,7 +157,7 @@ fn unpack4(t: &Tensor) -> (usize, usize, usize, usize) {
 fn check_divisible(h: usize, w: usize, k: usize) {
     assert!(k > 0, "pooling window must be positive");
     assert!(
-        h % k == 0 && w % k == 0,
+        h.is_multiple_of(k) && w.is_multiple_of(k),
         "pooling window {k} does not divide spatial extent {h}x{w}"
     );
 }
@@ -187,7 +187,11 @@ mod tests {
         let (y, arg) = max_pool2d(&x, 2);
         assert_eq!(y.data(), &[5.0]);
         assert_eq!(arg, vec![1]);
-        let gx = max_pool2d_backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]), &arg, &[1, 1, 2, 2]);
+        let gx = max_pool2d_backward(
+            &Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]),
+            &arg,
+            &[1, 1, 2, 2],
+        );
         assert_eq!(gx.data(), &[0.0, 2.0, 0.0, 0.0]);
     }
 

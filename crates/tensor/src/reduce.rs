@@ -19,7 +19,10 @@ impl Tensor {
     ///
     /// Never panics: every tensor holds at least one element.
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.

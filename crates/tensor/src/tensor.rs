@@ -189,19 +189,33 @@ impl Tensor {
         }
     }
 
-    /// Applies `f` to every element, producing a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+    /// Thread count for an elementwise kernel over `len` elements: the
+    /// global [`crate::parallel`] knob, or 1 when the tensor is too small
+    /// for forking to pay off. Elementwise results are position-independent,
+    /// so the thread count never changes the output.
+    fn elementwise_threads(len: usize) -> usize {
+        if len >= crate::parallel::PAR_ELEMENTWISE_MIN_LEN {
+            crate::parallel::max_threads()
+        } else {
+            1
         }
     }
 
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
     /// Applies `f` to every element in place.
-    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        let threads = Self::elementwise_threads(self.data.len());
+        crate::parallel::par_apply(&mut self.data, threads, |_, shard| {
+            for v in shard {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Combines two same-shape tensors elementwise with `f`.
@@ -209,21 +223,20 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes differ.
-    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Self {
+    pub fn zip_map<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Self, f: F) -> Self {
         assert_eq!(
             self.shape, other.shape,
             "zip_map shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        Self {
-            shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        }
+        let mut out = self.clone();
+        let threads = Self::elementwise_threads(out.data.len());
+        crate::parallel::par_apply(&mut out.data, threads, |offset, shard| {
+            for (i, v) in shard.iter_mut().enumerate() {
+                *v = f(*v, other.data[offset + i]);
+            }
+        });
+        out
     }
 
     /// `true` if every element of `self` is within `tol` of the matching

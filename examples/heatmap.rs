@@ -27,7 +27,11 @@ fn main() {
     println!(
         "exploring {} (V_th, T) combinations ({} mode); threshold A_th = {:.0}%",
         spec.len(),
-        if full { "full" } else { "reduced, pass --full for the paper grid" },
+        if full {
+            "full"
+        } else {
+            "reduced, pass --full for the paper grid"
+        },
         config.accuracy_threshold * 100.0
     );
 
@@ -43,16 +47,28 @@ fn main() {
     let out_dir = Path::new("target/figures");
     fs::create_dir_all(out_dir).expect("create target/figures");
     report::save_json(&result, &out_dir.join("heatmap_grid.json")).expect("write grid json");
-    fs::write(out_dir.join("summary.md"), report::markdown_summary(&result))
-        .expect("write markdown summary");
+    fs::write(
+        out_dir.join("summary.md"),
+        report::markdown_summary(&result),
+    )
+    .expect("write markdown summary");
 
     let kinds = [
         ("fig6_clean", HeatmapKind::CleanAccuracy),
-        ("fig7_eps1.0", HeatmapKind::AttackedAccuracy { eps: epsilons[0] }),
-        ("fig8_eps1.5", HeatmapKind::AttackedAccuracy { eps: epsilons[1] }),
+        (
+            "fig7_eps1.0",
+            HeatmapKind::AttackedAccuracy { eps: epsilons[0] },
+        ),
+        (
+            "fig8_eps1.5",
+            HeatmapKind::AttackedAccuracy { eps: epsilons[1] },
+        ),
         // Retention = attacked/clean, the quantity behind the paper's
         // "loses only 6% of its initial accuracy" comparisons.
-        ("retention_eps1.0", HeatmapKind::Retention { eps: epsilons[0] }),
+        (
+            "retention_eps1.0",
+            HeatmapKind::Retention { eps: epsilons[0] },
+        ),
     ];
     for (name, kind) in kinds {
         let map = Heatmap::from_grid(&result, kind);

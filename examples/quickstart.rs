@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use attacks::{evaluate_attack, Attack, GaussianNoise, Pgd};
+use attacks::{evaluate_attack, Attack, Pgd, UniformNoise};
 use explore::{pipeline, presets, RobustnessClass};
 use snn::StructuralParams;
 
@@ -35,7 +35,10 @@ fn main() {
     let structural = StructuralParams::new(1.0, 6);
     println!("training SNN at {structural} ...");
     let trained = pipeline::train_snn(&config, &data, structural);
-    println!("clean test accuracy: {:.1}%", trained.clean_accuracy * 100.0);
+    println!(
+        "clean test accuracy: {:.1}%",
+        trained.clean_accuracy * 100.0
+    );
 
     // 3. Attack it: white-box PGD at a mid-range noise budget, plus the
     //    random-noise control at the same budget.
@@ -43,7 +46,7 @@ fn main() {
     let attack_set = data.test.subset(config.attack_samples);
     for attack in [
         &Pgd::standard(eps) as &dyn Attack,
-        &GaussianNoise::new(eps, config.seed),
+        &UniformNoise::new(eps, config.seed),
     ] {
         let outcome = evaluate_attack(
             &trained.classifier,
@@ -62,18 +65,18 @@ fn main() {
     }
 
     // 4. Summarise with the paper's Algorithm 1 and robustness classes.
-    let outcome = explore::algorithm::explore_one(
-        &config,
-        &data,
-        structural,
-        &presets::epsilon_sweep(),
-    );
+    let outcome =
+        explore::algorithm::explore_one(&config, &data, structural, &presets::epsilon_sweep());
     println!(
         "robustness sweep: {:?}",
         outcome
             .robustness
             .iter()
-            .map(|&(e, r)| format!("paper-eps {:.2} -> {:.0}%", presets::pixel_eps_to_paper(e), r * 100.0))
+            .map(|&(e, r)| format!(
+                "paper-eps {:.2} -> {:.0}%",
+                presets::pixel_eps_to_paper(e),
+                r * 100.0
+            ))
             .collect::<Vec<_>>()
     );
     match RobustnessClass::classify(&outcome) {
@@ -83,5 +86,8 @@ fn main() {
 
     // 5. Peek inside: per-layer firing rates of the trained network.
     let (model, params) = trained.classifier.into_parts();
-    println!("\nfiring activity on the attacked subset:\n{}", model.activity(&params, attack_set.images()));
+    println!(
+        "\nfiring activity on the attacked subset:\n{}",
+        model.activity(&params, attack_set.images())
+    );
 }

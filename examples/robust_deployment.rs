@@ -24,7 +24,10 @@ fn main() {
 
     // 1. Grid exploration.
     let spec = GridSpec::new(vec![0.5, 1.0, 1.5, 2.0], vec![4, 6, 8]);
-    println!("step 1: exploring {} (V_th, T) combinations ...", spec.len());
+    println!(
+        "step 1: exploring {} (V_th, T) combinations ...",
+        spec.len()
+    );
     let result = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
     println!(
         "  {:.0}% learnable at A_th = {:.0}%",

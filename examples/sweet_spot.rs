@@ -20,7 +20,10 @@ fn main() {
     // Stage 1: a coarse grid to locate interesting combinations (the full
     // paper grid works too; see the `heatmap` example's --full mode).
     let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
-    println!("stage 1: locating combinations on a {} cell grid ...", spec.len());
+    println!(
+        "stage 1: locating combinations on a {} cell grid ...",
+        spec.len()
+    );
     let coarse = grid::run_grid(&config, &data, &spec, &presets::heatmap_epsilons(), 2);
 
     let mut picks: Vec<snn::StructuralParams> = Vec::new();
@@ -49,7 +52,10 @@ fn main() {
     println!("picked combinations: {picks:?}\n");
 
     // Stage 2: full ε sweeps for the picks and the CNN.
-    println!("stage 2: sweeping eps for {} SNNs and the CNN ...", picks.len());
+    println!(
+        "stage 2: sweeping eps for {} SNNs and the CNN ...",
+        picks.len()
+    );
     let mut set = CurveSet::new();
     let to_paper = |points: Vec<(f32, f32)>| {
         points

@@ -31,8 +31,14 @@ const FRAMES: usize = 8;
 const TIME_WINDOW: usize = 16;
 
 fn main() {
-    let train = MovingBars::new(HW, FRAMES).samples_per_class(48).seed(0).generate();
-    let test = MovingBars::new(HW, FRAMES).samples_per_class(12).seed(999).generate();
+    let train = MovingBars::new(HW, FRAMES)
+        .samples_per_class(48)
+        .seed(0)
+        .generate();
+    let test = MovingBars::new(HW, FRAMES)
+        .samples_per_class(12)
+        .seed(999)
+        .generate();
     println!(
         "MovingBars: {} train / {} test sequences of {FRAMES} frames at {HW}x{HW}",
         train.len(),
@@ -45,7 +51,12 @@ fn main() {
     let cnn_cfg = CnnConfig {
         in_channels: FRAMES,
         in_hw: HW,
-        conv_blocks: vec![nn::ConvBlockConfig { out_channels: 8, kernel: 3, padding: 1, pool: 2 }],
+        conv_blocks: vec![nn::ConvBlockConfig {
+            out_channels: 8,
+            kernel: 3,
+            padding: 1,
+            pool: 2,
+        }],
         fc_hidden: vec![32],
         classes: 4,
     };
@@ -53,7 +64,13 @@ fn main() {
     let mut opt = Adam::new(5e-3);
     for _ in 0..20 {
         nn::train::train_epoch(
-            &cnn, &mut cnn_params, &mut opt, train.images(), train.labels(), 32, &mut rng,
+            &cnn,
+            &mut cnn_params,
+            &mut opt,
+            train.images(),
+            train.labels(),
+            32,
+            &mut rng,
         );
     }
     let cnn_acc = nn::train::evaluate(&cnn, &cnn_params, test.images(), test.labels(), 48);
@@ -63,13 +80,22 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut snn_params = Params::new();
     let mut snn_cfg = SnnConfig::new(StructuralParams::new(0.5, TIME_WINDOW));
-    snn_cfg.encoder = Encoder::Replay { frames: FRAMES, time_window: TIME_WINDOW };
+    snn_cfg.encoder = Encoder::Replay {
+        frames: FRAMES,
+        time_window: TIME_WINDOW,
+    };
     // One frame (HW*HW pixels) enters the network per step.
     let snn = SpikingMlp::new(&mut snn_params, &mut rng, HW * HW, &[48], 4, &snn_cfg);
     let mut opt = Adam::new(1e-2);
     for _ in 0..20 {
         nn::train::train_epoch(
-            &snn, &mut snn_params, &mut opt, train.images(), train.labels(), 32, &mut rng,
+            &snn,
+            &mut snn_params,
+            &mut opt,
+            train.images(),
+            train.labels(),
+            32,
+            &mut rng,
         );
     }
     let snn_acc = nn::train::evaluate(&snn, &snn_params, test.images(), test.labels(), 48);
@@ -83,13 +109,7 @@ fn main() {
         ("CNN", &cnn_clf as &dyn nn::AdversarialTarget),
         ("SNN", &snn_clf),
     ] {
-        let outcome = evaluate_attack(
-            clf,
-            &Pgd::standard(eps),
-            test.images(),
-            test.labels(),
-            24,
-        );
+        let outcome = evaluate_attack(clf, &Pgd::standard(eps), test.images(), test.labels(), 24);
         println!(
             "{tag} under PGD eps={eps}: {:.1}% -> {:.1}%",
             outcome.clean_accuracy * 100.0,

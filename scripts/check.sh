@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the full test suite.
+#
+# Usage: scripts/check.sh
+# Runs from any directory; exits non-zero on the first failing step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "All checks passed."

@@ -2,12 +2,16 @@
 //! strength ordering, worst-case ensembles, and targeted attacks.
 
 use attacks::{
-    evaluate_attack, Attack, Fgsm, GaussianNoise, MomentumPgd, Pgd, PgdL2, TargetedPgd, WorstCase,
+    evaluate_attack, Attack, Fgsm, MomentumPgd, Pgd, PgdL2, TargetedPgd, UniformNoise, WorstCase,
 };
 use explore::{pipeline, presets};
 use snn::StructuralParams;
 
-fn trained_snn() -> (explore::ExperimentConfig, pipeline::SplitData, pipeline::Trained<snn::SpikingCnn>) {
+fn trained_snn() -> (
+    explore::ExperimentConfig,
+    pipeline::SplitData,
+    pipeline::Trained<snn::SpikingCnn>,
+) {
     let mut cfg = presets::quick();
     cfg.epochs = 8;
     cfg.attack_samples = 24;
@@ -32,7 +36,7 @@ fn gradient_attacks_beat_noise_and_ensemble_beats_members() {
         )
         .adversarial_accuracy
     };
-    let noise = run(&GaussianNoise::new(eps, 1));
+    let noise = run(&UniformNoise::new(eps, 1));
     let fgsm = run(&Fgsm::new(eps));
     let pgd = run(&Pgd::standard(eps));
     let mim = run(&MomentumPgd::standard(eps));
@@ -41,29 +45,41 @@ fn gradient_attacks_beat_noise_and_ensemble_beats_members() {
 
     // Gradient attacks must beat the random control.
     assert!(pgd <= noise, "PGD ({pgd}) weaker than noise ({noise})");
-    assert!(fgsm <= noise + 0.1, "FGSM ({fgsm}) no better than noise ({noise})");
+    assert!(
+        fgsm <= noise + 0.1,
+        "FGSM ({fgsm}) no better than noise ({noise})"
+    );
     // The worst-case ensemble is at least as strong as every member it
     // contains (PGD, momentum PGD, FGSM).
-    assert!(ensemble <= pgd + 1e-6, "ensemble ({ensemble}) weaker than PGD ({pgd})");
-    assert!(ensemble <= mim + 1e-6, "ensemble ({ensemble}) weaker than MIM ({mim})");
-    assert!(ensemble <= fgsm + 1e-6, "ensemble ({ensemble}) weaker than FGSM ({fgsm})");
+    assert!(
+        ensemble <= pgd + 1e-6,
+        "ensemble ({ensemble}) weaker than PGD ({pgd})"
+    );
+    assert!(
+        ensemble <= mim + 1e-6,
+        "ensemble ({ensemble}) weaker than MIM ({mim})"
+    );
+    assert!(
+        ensemble <= fgsm + 1e-6,
+        "ensemble ({ensemble}) weaker than FGSM ({fgsm})"
+    );
     // An L2 ball with radius = the L∞ budget is a subset: cannot be stronger
     // than PGD by more than noise.
-    assert!(l2 >= pgd - 1e-6, "L2 ({l2}) should not exceed L∞ strength ({pgd})");
+    assert!(
+        l2 >= pgd - 1e-6,
+        "L2 ({l2}) should not exceed L∞ strength ({pgd})"
+    );
 }
 
 #[test]
 fn targeted_attack_forces_chosen_labels_at_large_budget() {
-    let (cfg, data, trained) = trained_snn();
+    let (_cfg, data, trained) = trained_snn();
     let subset = data.test.subset(12);
     // Target: the next class cyclically (never the true label).
     let targets: Vec<usize> = subset.labels().iter().map(|&l| (l + 1) % 10).collect();
     let eps = presets::paper_eps_to_pixel(1.5);
-    let success = TargetedPgd::standard(eps).success_rate(
-        &trained.classifier,
-        subset.images(),
-        &targets,
-    );
+    let success =
+        TargetedPgd::standard(eps).success_rate(&trained.classifier, subset.images(), &targets);
     // At a near-total budget the attacker should usually reach its target.
     assert!(
         success >= 0.25,
@@ -72,11 +88,8 @@ fn targeted_attack_forces_chosen_labels_at_large_budget() {
     );
     let (_, _, trained2) = trained_snn();
     // Determinism of the whole pipeline.
-    let again = TargetedPgd::standard(eps).success_rate(
-        &trained2.classifier,
-        subset.images(),
-        &targets,
-    );
+    let again =
+        TargetedPgd::standard(eps).success_rate(&trained2.classifier, subset.images(), &targets);
     assert_eq!(success, again);
 }
 
@@ -85,7 +98,8 @@ fn worst_case_ensemble_respects_budget_on_trained_model() {
     let (_, data, trained) = trained_snn();
     let subset = data.test.subset(6);
     let eps = 0.2;
-    let adv = WorstCase::standard(eps).perturb(&trained.classifier, subset.images(), subset.labels());
+    let adv =
+        WorstCase::standard(eps).perturb(&trained.classifier, subset.images(), subset.labels());
     assert!(adv.sub(subset.images()).max_abs() <= eps + 1e-5);
     assert!(adv.min() >= 0.0 && adv.max() <= 1.0);
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use attacks::{Attack, Fgsm, GaussianNoise, Pgd};
+use attacks::{Attack, Fgsm, Pgd, UniformNoise};
 use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,8 +27,7 @@ fn tiny_snn(seed: u64, v_th: f32, t: usize) -> Classifier<SpikingMlp> {
 }
 
 fn image_strategy() -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(0.0f32..=1.0, 64)
-        .prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
+    proptest::collection::vec(0.0f32..=1.0, 64).prop_map(|v| Tensor::from_vec(v, &[1, 1, 8, 8]))
 }
 
 proptest! {
@@ -49,7 +48,7 @@ proptest! {
             for attack in [
                 &Pgd::standard(eps) as &dyn Attack,
                 &Fgsm::new(eps),
-                &GaussianNoise::new(eps, seed),
+                &UniformNoise::new(eps, seed),
             ] {
                 let adv = attack.perturb(target, &x, &[label]);
                 prop_assert!(adv.sub(&x).max_abs() <= eps + 1e-5,
@@ -179,17 +178,37 @@ fn replay_snn_learns_temporal_motion() {
     use nn::Adam;
     use snn::SnnConfig;
 
-    let train = MovingBars::new(6, 6).samples_per_class(24).seed(0).generate();
-    let test = MovingBars::new(6, 6).samples_per_class(6).seed(99).generate();
+    let train = MovingBars::new(6, 6)
+        .samples_per_class(24)
+        .seed(0)
+        .generate();
+    let test = MovingBars::new(6, 6)
+        .samples_per_class(6)
+        .seed(99)
+        .generate();
     let mut rng = StdRng::seed_from_u64(5);
     let mut params = Params::new();
     let mut cfg = SnnConfig::new(StructuralParams::new(0.5, 12));
-    cfg.encoder = Encoder::Replay { frames: 6, time_window: 12 };
+    cfg.encoder = Encoder::Replay {
+        frames: 6,
+        time_window: 12,
+    };
     let model = SpikingMlp::new(&mut params, &mut rng, 36, &[32], 4, &cfg);
     let mut opt = Adam::new(1e-2);
     for _ in 0..25 {
-        nn::train::train_epoch(&model, &mut params, &mut opt, train.images(), train.labels(), 24, &mut rng);
+        nn::train::train_epoch(
+            &model,
+            &mut params,
+            &mut opt,
+            train.images(),
+            train.labels(),
+            24,
+            &mut rng,
+        );
     }
     let acc = nn::train::evaluate(&model, &params, test.images(), test.labels(), 24);
-    assert!(acc > 0.7, "replay SNN failed the temporal task: accuracy {acc}");
+    assert!(
+        acc > 0.7,
+        "replay SNN failed the temporal task: accuracy {acc}"
+    );
 }

@@ -1,0 +1,95 @@
+//! Offline stand-in for the crates.io `crossbeam` crate.
+//!
+//! Only [`scope`] is provided — the single entry point the workspace uses —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63, which
+//! postdates crossbeam's scoped-thread API). Matching crossbeam's contract,
+//! a panic on any worker thread is reported as `Err` from [`scope`] instead
+//! of unwinding through the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    /// A scope handle: spawned closures receive `&Scope` so workers can
+    /// spawn further workers, exactly like `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker thread.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Returns `Err` with the panic payload if the closure or any spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&thread::Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawns_through_the_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_as_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+}

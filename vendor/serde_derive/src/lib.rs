@@ -1,0 +1,412 @@
+//! Offline stand-in for the crates.io `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored value-tree `serde` without `syn`/`quote` (unavailable offline):
+//! the item is parsed directly from its token stream and the impls are
+//! emitted as source text.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic enums whose variants are unit or struct-like
+//!   (externally tagged, matching real serde's JSON representation);
+//! * `#[serde(default)]` on struct fields;
+//! * missing `Option<T>` fields deserialize as `None`, as with real serde.
+//!
+//! Anything else (generics, tuple structs/variants, other serde attributes)
+//! panics at expansion time with an explicit message rather than silently
+//! producing wrong code.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present on the field.
+    default: bool,
+    /// The field's type path ends in `Option`, so a missing key means `None`.
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => serialize_struct(&item.name, fields),
+        Body::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    code.parse()
+        .expect("generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => deserialize_struct(&item.name, fields),
+        Body::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    code.parse()
+        .expect("generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let kind = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "the type name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("offline serde derive does not support generic type `{name}`");
+        }
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "offline serde derive supports only brace-bodied structs and enums \
+             (on `{name}`, found {other:?})"
+        ),
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(&name, body)),
+        "enum" => Body::Enum(parse_variants(&name, body)),
+        other => panic!("offline serde derive cannot handle `{other} {name}`"),
+    };
+    Item { name, body }
+}
+
+fn parse_fields(owner: &str, body: TokenStream) -> Vec<Field> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let default = skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it, "a field name (named fields only)");
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{owner}.{name}`, found {other:?}"),
+        }
+        // Skip the type, noting whether its outermost path ends in `Option`.
+        // Commas inside angle brackets belong to the type, not the field list.
+        let mut angle_depth = 0i32;
+        let mut path_tail = String::new();
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Ident(i)) if angle_depth == 0 => path_tail = i.to_string(),
+                _ => {}
+            }
+            it.next();
+        }
+        let is_option = path_tail == "Option";
+        fields.push(Field {
+            name,
+            default,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(owner: &str, body: TokenStream) -> Vec<Variant> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        skip_attributes(&mut it);
+        let name = expect_ident(&mut it, "a variant name");
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                it.next();
+                Some(parse_fields(&format!("{owner}::{name}"), stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("offline serde derive does not support tuple variant `{owner}::{name}`")
+            }
+            _ => None,
+        };
+        match it.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!(
+                "unexpected token after variant `{owner}::{name}`: {other:?} \
+                 (discriminants are not supported)"
+            ),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consumes any leading `#[...]` attributes. Returns true if one of them was
+/// `#[serde(default)]`; panics on any other `#[serde(...)]` content so
+/// unsupported attributes fail loudly instead of being ignored.
+fn skip_attributes(it: &mut TokenIter) -> bool {
+    let mut default = false;
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if let Some(serde_args) = serde_attribute_args(g.stream()) {
+                            match parse_serde_args(serde_args) {
+                                SerdeArg::Default => default = true,
+                                SerdeArg::Unsupported(what) => panic!(
+                                    "offline serde derive supports only \
+                                     #[serde(default)], found #[serde({what})]"
+                                ),
+                            }
+                        }
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// If the bracket content is `serde(...)`, returns the inner arguments.
+fn serde_attribute_args(content: TokenStream) -> Option<TokenStream> {
+    let mut it = content.into_iter();
+    match (it.next(), it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)), None)
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(args.stream())
+        }
+        _ => None,
+    }
+}
+
+enum SerdeArg {
+    Default,
+    Unsupported(String),
+}
+
+fn parse_serde_args(args: TokenStream) -> SerdeArg {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(i)] if i.to_string() == "default" => SerdeArg::Default,
+        other => SerdeArg::Unsupported(
+            other
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+        ),
+    }
+}
+
+fn skip_visibility(it: &mut TokenIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("offline serde derive expected {what}, found {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let n = &f.name;
+        pushes.push_str(&format!(
+            "entries.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value(&self.{n})));"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\
+                 {pushes}\
+                 ::serde::Value::Map(entries)\
+             }}\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    assert!(
+        !variants.is_empty(),
+        "offline serde derive cannot handle empty enum `{name}`"
+    );
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+            )),
+            Some(fields) => {
+                let binds = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut pushes = String::new();
+                for f in fields {
+                    let n = &f.name;
+                    pushes.push_str(&format!(
+                        "entries.push((::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value({n})));"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\
+                         let mut entries: \
+                             ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\
+                         {pushes}\
+                         ::serde::Value::Map(::std::vec::Vec::from([(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(entries))]))\
+                     }},"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{\
+                 match self {{ {arms} }}\
+             }}\
+         }}"
+    )
+}
+
+/// The initializer expression for one named field, reading from the map
+/// value reachable through `{source}` (e.g. `v` or `inner`).
+fn field_initializer(owner: &str, f: &Field, source: &str) -> String {
+    let n = &f.name;
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else if f.is_option {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{n}` in {owner}\"))"
+        )
+    };
+    format!(
+        "{n}: match {source}.get(\"{n}\") {{\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\
+             ::std::option::Option::None => {missing},\
+         }},"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| field_initializer(name, f, "v"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\
+                 match v {{\
+                     ::serde::Value::Map(_) => {{}}\
+                     other => return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected map for {name}, got {{other:?}}\"))),\
+                 }}\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\
+             }}\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut struct_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            None => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            Some(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| field_initializer(&format!("{name}::{vname}"), f, "inner"))
+                    .collect();
+                struct_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\
+                 match v {{\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\
+                                 \"unknown unit variant `{{other}}` for {name}\"))),\
+                     }},\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                         let (tag, inner) = &entries[0];\
+                         match tag.as_str() {{\
+                             {struct_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\
+                         }}\
+                     }}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\
+                             \"expected a {name} variant, got {{other:?}}\"))),\
+                 }}\
+             }}\
+         }}"
+    )
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for the crates.io `serde_json` crate.
+//!
+//! Serializes the vendored [`serde::Value`] tree to JSON text and parses
+//! JSON text back, exposing the three entry points the workspace uses:
+//! [`to_string`], [`to_string_pretty`], and [`from_str`].
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the value model used here; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON indented with two spaces.
+///
+/// # Errors
+///
+/// Infallible for the value model used here; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the text is not valid JSON or does not describe
+/// a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------- printing
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_seq_items(out, items, ('[', ']'), indent, depth, |out, item, d| {
+                write_value(out, item, indent, d);
+            })
+        }
+        Value::Map(entries) => {
+            write_seq_items(out, entries, ('{', '}'), indent, depth, |out, (k, v), d| {
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, d);
+            });
+        }
+    }
+}
+
+fn write_seq_items<T>(
+    out: &mut String,
+    items: &[T],
+    brackets: (char, char),
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, &T, usize),
+) {
+    out.push(brackets.0);
+    if items.is_empty() {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let text = format!("{f}");
+        out.push_str(&text);
+        // serde_json always distinguishes floats from integers on output.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // Real serde_json rejects non-finite floats; emitting null matches
+        // its `Value` printing behaviour and keeps serialization total.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.consume(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.consume(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.error("unknown escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    // Copy one whole UTF-8 character (the input is a &str,
+                    // so slicing at a char boundary is always possible).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let code = self.parse_hex4()?;
+        // Surrogate pairs encode characters outside the BMP.
+        if (0xD800..0xDC00).contains(&code) {
+            if !self.consume_literal("\\u") {
+                return Err(self.error("unpaired surrogate in \\u escape"));
+            }
+            let low = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.error("invalid low surrogate in \\u escape"));
+            }
+            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(combined).ok_or_else(|| self.error("invalid \\u escape"))
+        } else {
+            char::from_u32(code).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits in \\u escape"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.error("invalid integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.error("invalid integer"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        label: String,
+        weight: f32,
+        count: usize,
+        #[serde(default)]
+        note: Option<String>,
+        #[serde(default)]
+        retries: usize,
+        points: Vec<(f32, f32)>,
+        mode: Mode,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Tuned { rate: f32, warmup: usize },
+    }
+
+    fn sample() -> Sample {
+        Sample {
+            label: "run \"A\"\n".to_string(),
+            weight: 0.25,
+            count: 3,
+            note: None,
+            retries: 0,
+            points: vec![(0.0, 1.0), (-2.5, 4.0)],
+            mode: Mode::Tuned {
+                rate: 0.1,
+                warmup: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_struct_round_trips_compact_and_pretty() {
+        let original = sample();
+        let compact: Sample = from_str(&to_string(&original).unwrap()).unwrap();
+        let pretty: Sample = from_str(&to_string_pretty(&original).unwrap()).unwrap();
+        assert_eq!(compact, original);
+        assert_eq!(pretty, original);
+    }
+
+    #[test]
+    fn external_enum_tagging_matches_serde_convention() {
+        assert_eq!(to_string(&Mode::Fast).unwrap(), "\"Fast\"");
+        let tuned = to_string(&Mode::Tuned {
+            rate: 1.0,
+            warmup: 2,
+        })
+        .unwrap();
+        assert_eq!(tuned, "{\"Tuned\":{\"rate\":1.0,\"warmup\":2}}");
+        assert_eq!(
+            from_str::<Mode>(&tuned).unwrap(),
+            Mode::Tuned {
+                rate: 1.0,
+                warmup: 2
+            }
+        );
+    }
+
+    #[test]
+    fn missing_defaulted_and_option_fields_fall_back() {
+        let json = r#"{
+            "label": "x",
+            "weight": 1,
+            "count": 2,
+            "points": [],
+            "mode": "Fast"
+        }"#;
+        let parsed: Sample = from_str(json).unwrap();
+        assert_eq!(parsed.note, None);
+        assert_eq!(parsed.retries, 0);
+        assert_eq!(parsed.weight, 1.0, "integer literal must coerce to float");
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let json = r#"{"label": "x"}"#;
+        let err = from_str::<Sample>(json).unwrap_err();
+        assert!(err.to_string().contains("weight"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        assert!(from_str::<Mode>("\"Slow\"").is_err());
+        assert!(from_str::<Mode>("{\"Slow\":{}}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let text = "tab\t quote\" back\\ newline\n unicode \u{1F600} nul\u{0001}";
+        let json = to_string(&text.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, text);
+        // Surrogate-pair escapes from other writers parse too.
+        let emoji: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(emoji, "\u{1F600}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_str::<Vec<f32>>("[1, 2,]").is_err());
+        assert!(from_str::<Vec<f32>>("[1 2]").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_json() {
+        let json = to_string_pretty(&vec![1u64, 2]).unwrap();
+        assert_eq!(json, "[\n  1,\n  2\n]");
+    }
+}
