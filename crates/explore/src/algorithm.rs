@@ -1,13 +1,17 @@
 //! Algorithm 1 of the paper: per-combination robustness exploration.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use attacks::{evaluate_attack, Pgd};
 use nn::AdversarialTarget;
 use snn::StructuralParams;
+use store::{Event, RunStore};
 
 use crate::config::ExperimentConfig;
-use crate::pipeline::{train_snn, SplitData, Trained};
+use crate::pipeline::{train_snn_stored, SplitData, Trained};
+use crate::runs;
 
 /// The result of exploring one `(V_th, T)` combination — one execution of
 /// the inner body of the paper's Algorithm 1.
@@ -53,8 +57,36 @@ pub fn explore_one(
     structural: StructuralParams,
     epsilons: &[f32],
 ) -> ExplorationOutcome {
-    let trained = train_snn(config, data, structural);
-    explore_trained(config, data, structural, &trained, epsilons)
+    explore_one_stored(config, data, structural, epsilons, None)
+}
+
+/// Like [`explore_one`], but durable: with a run store, a cell whose
+/// training checkpoint exists is loaded instead of retrained, attack
+/// results already cached for this sweep are reused, and fresh work is
+/// checkpointed as it completes. Results are bitwise-identical with and
+/// without a store, resumed or not.
+pub fn explore_one_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    epsilons: &[f32],
+    store: Option<&RunStore>,
+) -> ExplorationOutcome {
+    if let Some(s) = store {
+        s.log(&Event::CellStarted {
+            cell: runs::cell_key(structural),
+        });
+    }
+    let trained = train_snn_stored(config, data, structural, store);
+    let key = runs::cell_key(structural);
+    explore_trained_stored(
+        config,
+        data,
+        structural,
+        &trained,
+        epsilons,
+        store.map(|s| (s, key.as_str())),
+    )
 }
 
 /// Like [`explore_one`] but for an already-trained model, so callers doing
@@ -71,10 +103,28 @@ pub fn explore_trained<M: nn::Model + Sync>(
     trained: &Trained<M>,
     epsilons: &[f32],
 ) -> ExplorationOutcome {
+    explore_trained_stored(config, data, structural, trained, epsilons, None)
+}
+
+/// Like [`explore_trained`], but the per-ε attack outcomes flow through the
+/// run store's attack cache (which is separate from the training cache, so
+/// extending the ε sweep reuses every trained model).
+///
+/// The caller chooses the cache key, because two differently-trained
+/// networks can share a structural point (e.g. standard vs adversarially
+/// trained) and must not share cache entries.
+pub fn explore_trained_stored<M: nn::Model + Sync>(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    trained: &Trained<M>,
+    epsilons: &[f32],
+    store: Option<(&RunStore, &str)>,
+) -> ExplorationOutcome {
     let learnable = trained.clean_accuracy >= config.accuracy_threshold;
     let mut robustness = Vec::new();
     if learnable {
-        robustness = sweep_attack(config, data, &trained.classifier, epsilons);
+        robustness = sweep_attack_stored(config, data, &trained.classifier, epsilons, store);
     }
     ExplorationOutcome {
         structural,
@@ -95,9 +145,42 @@ pub fn sweep_attack(
     target: &(dyn AdversarialTarget + Sync),
     epsilons: &[f32],
 ) -> Vec<(f32, f32)> {
+    sweep_attack_stored(config, data, target, epsilons, None)
+}
+
+/// Like [`sweep_attack`], but each `(cell, ε)` outcome is served from and
+/// saved to the run store's attack cache. Cache entries are keyed by the
+/// sweep position *and* the exact ε bit pattern, because the PGD instance
+/// is seeded per sweep position — appending a new ε hits the cache for the
+/// unchanged prefix, while reordering the sweep misses it.
+pub fn sweep_attack_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    target: &(dyn AdversarialTarget + Sync),
+    epsilons: &[f32],
+    store: Option<(&RunStore, &str)>,
+) -> Vec<(f32, f32)> {
     let attack_set = data.test.subset(config.attack_samples);
     tensor::parallel::par_map_collect(epsilons.len(), config.effective_threads(), |k| {
         let eps = epsilons[k];
+        if let Some((s, cell)) = store {
+            match s.load_attack(cell, k, eps) {
+                Ok(Some(robustness)) => {
+                    s.log(&Event::AttackCached {
+                        cell: cell.to_string(),
+                        eps,
+                        robustness,
+                    });
+                    return (eps, robustness);
+                }
+                Ok(None) => {}
+                Err(e) => s.log(&Event::CacheError {
+                    cell: cell.to_string(),
+                    error: e.to_string(),
+                }),
+            }
+        }
+        let start = Instant::now();
         let outcome = evaluate_attack(
             target,
             &pgd_for(config, eps, k as u64),
@@ -105,7 +188,19 @@ pub fn sweep_attack(
             attack_set.labels(),
             config.batch_size,
         );
-        (eps, outcome.adversarial_accuracy)
+        let robustness = outcome.adversarial_accuracy;
+        if let Some((s, cell)) = store {
+            if let Err(e) = s.save_attack(cell, k, eps, robustness) {
+                eprintln!("warning: could not cache attack result for {cell} at eps {eps}: {e}");
+            }
+            s.log(&Event::AttackEvaluated {
+                cell: cell.to_string(),
+                eps,
+                robustness,
+                millis: start.elapsed().as_millis() as u64,
+            });
+        }
+        (eps, robustness)
     })
 }
 

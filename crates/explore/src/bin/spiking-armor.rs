@@ -4,78 +4,145 @@
 //! spiking-armor fig1                  # CNN vs SNN PGD sweep (Fig. 1)
 //! spiking-armor heatmap [--full]      # (V_th, T) heat maps (Figs. 6-8)
 //! spiking-armor fig9                  # robustness curves vs CNN (Fig. 9)
-//! spiking-armor finetune              # structural fine-tuning (§VI-C)
+//! spiking-armor finetune             # structural fine-tuning (§VI-C)
 //! spiking-armor transfer              # CNN->SNN transfer study
 //! spiking-armor activity              # firing-rate analysis across V_th
+//! spiking-armor corruptions           # non-adversarial control condition
+//! spiking-armor defense               # PGD adversarial training study
 //! ```
 //!
-//! Every command accepts `--threads N` (0 = all cores) to set the worker
-//! count for the command's dominant parallel level — grid cells for the
-//! heat maps, ε sweeps for the curve figures, tensor kernels elsewhere.
-//! All parallel paths are deterministic: `--threads` changes wall-clock
-//! time, never the artefacts.
+//! Shared flags, accepted by every command:
 //!
-//! All artefacts (CSV/JSON) are written under `target/figures/`.
+//! * `--threads N` — worker count for the command's dominant parallel
+//!   level (0 = all cores). All parallel paths are deterministic:
+//!   `--threads` changes wall-clock time, never the artefacts.
+//! * `--out-dir DIR` — where artefacts and run checkpoints are written
+//!   (default `target/figures/`).
+//! * `--resume` — reuse the checkpoints of a previous identically
+//!   configured run under `--out-dir` instead of starting over. Cells and
+//!   attack sweeps already completed are loaded from the run store; the
+//!   final artefacts are bitwise-identical to an uninterrupted run.
+//!
+//! Unknown flags are rejected with a usage error and a non-zero exit.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use explore::curves::{CurveSet, RobustnessCurve};
 use explore::heatmap::{Heatmap, HeatmapKind};
 use explore::{
-    algorithm, corruption, grid, mismatch, pipeline, presets, report, transfer, GridSpec,
+    algorithm, corruption, grid, mismatch, pipeline, presets, report, runs, transfer,
+    ExperimentConfig, GridSpec,
 };
 use snn::StructuralParams;
+use store::RunStore;
+
+const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense> \
+[--threads N] [--out-dir DIR] [--resume]";
+
+/// Parsed command line: one command plus the flags shared by every command.
+struct Cli {
+    command: String,
+    /// `heatmap` only: run the paper-sized grid instead of the quick one.
+    full: bool,
+    /// `--threads` override (`None` keeps each preset's own setting).
+    threads: Option<usize>,
+    /// Artefact/checkpoint directory (`--out-dir`, default `target/figures`).
+    out_dir: PathBuf,
+    /// Reuse a previous identically-configured run's checkpoints.
+    resume: bool,
+}
+
+/// Parses the argument list strictly: every flag must be known, `--full`
+/// is only meaningful for `heatmap`, and anything unrecognised is an error
+/// (so a typo like `--theads` can never be silently ignored).
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut command: Option<String> = None;
+    let mut full = false;
+    let mut threads = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--resume" => resume = true,
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--threads needs a value (0 = all cores)\n{USAGE}"))?;
+                threads = Some(value.parse::<usize>().map_err(|_| {
+                    format!("--threads expects a non-negative integer, got {value:?}\n{USAGE}")
+                })?);
+            }
+            "--out-dir" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--out-dir needs a directory path\n{USAGE}"))?;
+                out_dir = Some(PathBuf::from(value));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unrecognized flag {other:?}\n{USAGE}"));
+            }
+            other => {
+                if command.is_some() {
+                    return Err(format!("unexpected argument {other:?}\n{USAGE}"));
+                }
+                command = Some(other.to_string());
+            }
+        }
+    }
+    let command = command.ok_or_else(|| USAGE.to_string())?;
+    if full && command != "heatmap" {
+        return Err(format!(
+            "--full is only valid for the heatmap command\n{USAGE}"
+        ));
+    }
+    Ok(Cli {
+        command,
+        full,
+        threads,
+        out_dir: out_dir.unwrap_or_else(|| PathBuf::from("target/figures")),
+        resume,
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = args.first().map(String::as_str);
-    let threads = match parse_threads(&args) {
-        Ok(t) => t,
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let out_dir = Path::new("target/figures");
-    fs::create_dir_all(out_dir).expect("create target/figures");
-    match command {
-        Some("fig1") => fig1(threads),
-        Some("heatmap") => heatmap(args.iter().any(|a| a == "--full"), out_dir, threads),
-        Some("fig9") => fig9(threads),
-        Some("finetune") => finetune(threads),
-        Some("transfer") => transfer_study(threads),
-        Some("activity") => activity(threads),
-        Some("corruptions") => corruptions(threads),
-        Some("defense") => defense_study(threads),
-        _ => {
-            eprintln!(
-                "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense> [--threads N]"
-            );
+    if let Err(e) = fs::create_dir_all(&cli.out_dir) {
+        eprintln!(
+            "error: cannot create output directory {}: {e}",
+            cli.out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    match cli.command.as_str() {
+        "fig1" => fig1(&cli),
+        "heatmap" => heatmap(&cli),
+        "fig9" => fig9(&cli),
+        "finetune" => finetune(&cli),
+        "transfer" => transfer_study(&cli),
+        "activity" => activity(&cli),
+        "corruptions" => corruptions(&cli),
+        "defense" => defense_study(&cli),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
 }
 
-/// Extracts `--threads N` from the argument list (`None` when absent, so
-/// each preset's own `threads` field applies).
-fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
-    let Some(pos) = args.iter().position(|a| a == "--threads") else {
-        return Ok(None);
-    };
-    let value = args
-        .get(pos + 1)
-        .ok_or("--threads needs a value (0 = all cores)")?;
-    value
-        .parse::<usize>()
-        .map(Some)
-        .map_err(|_| format!("--threads expects a non-negative integer, got {value:?}"))
-}
-
 /// Applies a `--threads` override to a preset configuration.
-fn apply_threads(config: &mut explore::ExperimentConfig, threads: Option<usize>) {
+fn apply_threads(config: &mut ExperimentConfig, threads: Option<usize>) {
     if let Some(t) = threads {
         config.threads = t;
     }
@@ -83,8 +150,43 @@ fn apply_threads(config: &mut explore::ExperimentConfig, threads: Option<usize>)
 
 /// Routes the thread budget into the tensor kernels for commands whose only
 /// parallelism is batch-level conv/elementwise work (no grid or ε sweep).
-fn enable_kernel_threads(config: &explore::ExperimentConfig) {
+fn enable_kernel_threads(config: &ExperimentConfig) {
     tensor::parallel::set_max_threads(config.effective_threads());
+}
+
+/// Opens the run store for this command under `--out-dir`. A store failure
+/// is downgraded to a warning — the experiment still runs, just without
+/// checkpoints — so a read-only disk never blocks the science.
+fn open_store(
+    cli: &Cli,
+    config: &ExperimentConfig,
+    spec: Option<&GridSpec>,
+    epsilons: &[f32],
+) -> Option<RunStore> {
+    match runs::open(
+        &cli.out_dir,
+        &cli.command,
+        config,
+        spec,
+        epsilons,
+        cli.resume,
+    ) {
+        Ok(opened) => {
+            if opened.resumed {
+                println!(
+                    "resuming run {} (completed work is served from its checkpoints)",
+                    opened.store.dir().display()
+                );
+            } else {
+                println!("run directory: {}", opened.store.dir().display());
+            }
+            Some(opened.store)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot open the run store ({e}); running without checkpoints");
+            None
+        }
+    }
 }
 
 fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
@@ -94,50 +196,66 @@ fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
         .collect()
 }
 
-fn fig1(threads: Option<usize>) {
+fn fig1(cli: &Cli) {
     let (mut config, epsilons) = presets::fig1();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
+    let store = open_store(cli, &config, None, &epsilons);
+    let store = store.as_ref();
     let data = pipeline::prepare_data(&config);
-    let cnn = pipeline::train_cnn(&config, &data);
-    let snn = pipeline::train_snn(&config, &data, presets::fig1_structural());
+    let cnn = pipeline::train_cnn_stored(&config, &data, store);
+    let snn = pipeline::train_snn_stored(&config, &data, presets::fig1_structural(), store);
+    let snn_key = runs::cell_key(presets::fig1_structural());
     let mut set = CurveSet::new();
     set.push(RobustnessCurve::new(
         "CNN",
-        to_paper_axis(algorithm::sweep_attack(
+        to_paper_axis(algorithm::sweep_attack_stored(
             &config,
             &data,
             &cnn.classifier,
             &epsilons,
+            store.map(|s| (s, pipeline::CNN_BASELINE_KEY)),
         )),
     ));
     set.push(RobustnessCurve::new(
         format!("SNN {}", presets::fig1_structural()),
-        to_paper_axis(algorithm::sweep_attack(
+        to_paper_axis(algorithm::sweep_attack_stored(
             &config,
             &data,
             &snn.classifier,
             &epsilons,
+            store.map(|s| (s, snn_key.as_str())),
         )),
     ));
     println!("{}", set.render_table());
 }
 
-fn heatmap(full: bool, out_dir: &Path, threads: Option<usize>) {
+fn heatmap(cli: &Cli) {
     let (mut config, full_spec, epsilons) = presets::heatmap_grid();
-    apply_threads(&mut config, threads);
-    let spec = if full {
+    apply_threads(&mut config, cli.threads);
+    let spec = if cli.full {
         full_spec
     } else {
         GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24])
     };
+    let store = open_store(cli, &config, Some(&spec), &epsilons);
     let data = pipeline::prepare_data(&config);
-    let result = grid::run_grid(&config, &data, &spec, &epsilons, config.effective_threads());
-    report::save_json(&result, &out_dir.join("heatmap_grid.json")).expect("write grid json");
-    fs::write(
-        out_dir.join("summary.md"),
-        report::markdown_summary(&result),
-    )
-    .expect("write markdown summary");
+    let result = grid::run_grid_stored(
+        &config,
+        &data,
+        &spec,
+        &epsilons,
+        config.effective_threads(),
+        store.as_ref(),
+    );
+    save_artifact(&cli.out_dir.join("heatmap_grid.json"), || {
+        report::save_json(&result, &cli.out_dir.join("heatmap_grid.json"))
+    });
+    save_artifact(&cli.out_dir.join("summary.md"), || {
+        fs::write(
+            cli.out_dir.join("summary.md"),
+            report::markdown_summary(&result),
+        )
+    });
     for (name, kind) in [
         ("fig6_clean", HeatmapKind::CleanAccuracy),
         (
@@ -151,21 +269,38 @@ fn heatmap(full: bool, out_dir: &Path, threads: Option<usize>) {
     ] {
         let map = Heatmap::from_grid(&result, kind);
         println!("{}", map.render_ascii());
-        fs::write(out_dir.join(format!("{name}.csv")), map.to_csv()).expect("write csv");
+        let path = cli.out_dir.join(format!("{name}.csv"));
+        save_artifact(&path, || fs::write(&path, map.to_csv()));
     }
 }
 
-fn fig9(threads: Option<usize>) {
+/// Writes one figure artefact, downgrading failure to a warning: the
+/// results are already printed and checkpointed, so a failed CSV write
+/// should not kill the process.
+fn save_artifact(path: &Path, write: impl FnOnce() -> std::io::Result<()>) {
+    if let Err(e) = write() {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+fn fig9(cli: &Cli) {
     let (mut config, epsilons) = presets::fig9();
-    apply_threads(&mut config, threads);
-    let data = pipeline::prepare_data(&config);
+    apply_threads(&mut config, cli.threads);
     let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
-    let coarse = grid::run_grid(
+    // The run is defined by both sweeps it performs: the coarse grid sweep
+    // that picks the cells, and the fine curve sweep.
+    let mut all_epsilons = presets::heatmap_epsilons();
+    all_epsilons.extend_from_slice(&epsilons);
+    let store = open_store(cli, &config, Some(&spec), &all_epsilons);
+    let store = store.as_ref();
+    let data = pipeline::prepare_data(&config);
+    let coarse = grid::run_grid_stored(
         &config,
         &data,
         &spec,
         &presets::heatmap_epsilons(),
         config.effective_threads(),
+        store,
     );
     let mut picks = Vec::new();
     if let Some(s) = coarse.sweet_spot() {
@@ -178,42 +313,55 @@ fn fig9(threads: Option<usize>) {
     }
     let mut set = CurveSet::new();
     for sp in picks {
-        let trained = pipeline::train_snn(&config, &data, sp);
+        // The grid already trained this cell, so this is a cache hit on
+        // resume *and* within a single run.
+        let trained = pipeline::train_snn_stored(&config, &data, sp, store);
+        let key = runs::cell_key(sp);
         set.push(RobustnessCurve::new(
             format!("SNN {sp}"),
-            to_paper_axis(algorithm::sweep_attack(
+            to_paper_axis(algorithm::sweep_attack_stored(
                 &config,
                 &data,
                 &trained.classifier,
                 &epsilons,
+                store.map(|s| (s, key.as_str())),
             )),
         ));
     }
-    let cnn = pipeline::train_cnn(&config, &data);
+    let cnn = pipeline::train_cnn_stored(&config, &data, store);
     set.push(RobustnessCurve::new(
         "CNN",
-        to_paper_axis(algorithm::sweep_attack(
+        to_paper_axis(algorithm::sweep_attack_stored(
             &config,
             &data,
             &cnn.classifier,
             &epsilons,
+            store.map(|s| (s, pipeline::CNN_BASELINE_KEY)),
         )),
     ));
     println!("{}", set.render_table());
 }
 
-fn finetune(threads: Option<usize>) {
+fn finetune(cli: &Cli) {
     let mut config = presets::quick();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
-    let data = pipeline::prepare_data(&config);
-    let center = StructuralParams::new(1.0, 6);
-    let candidates = mismatch::neighbourhood(center, 0.25, 2);
     let eps = vec![
         presets::paper_eps_to_pixel(0.5),
         presets::paper_eps_to_pixel(1.0),
     ];
-    let result = mismatch::fine_tune_structural(&config, &data, center, &candidates, &eps);
+    let store = open_store(cli, &config, None, &eps);
+    let data = pipeline::prepare_data(&config);
+    let center = StructuralParams::new(1.0, 6);
+    let candidates = mismatch::neighbourhood(center, 0.25, 2);
+    let result = mismatch::fine_tune_structural_stored(
+        &config,
+        &data,
+        center,
+        &candidates,
+        &eps,
+        store.as_ref(),
+    );
     println!(
         "trained at {} (clean {:.1}%); deployment candidates:",
         result.trained_at,
@@ -243,10 +391,12 @@ fn finetune(threads: Option<usize>) {
     }
 }
 
-fn transfer_study(threads: Option<usize>) {
+fn transfer_study(cli: &Cli) {
     let mut config = presets::quick();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
+    let epsilon = presets::paper_eps_to_pixel(1.0);
+    let store = open_store(cli, &config, None, &[epsilon]);
     let data = pipeline::prepare_data(&config);
     let points = [
         StructuralParams::new(0.5, 4),
@@ -254,7 +404,7 @@ fn transfer_study(threads: Option<usize>) {
         StructuralParams::new(2.0, 8),
     ];
     let study =
-        transfer::cnn_to_snn_transfer(&config, &data, &points, presets::paper_eps_to_pixel(1.0));
+        transfer::cnn_to_snn_transfer_stored(&config, &data, &points, epsilon, store.as_ref());
     println!(
         "CNN clean {:.1}%; PGD crafted on the CNN at paper-eps 1.0:",
         study.cnn_clean_accuracy * 100.0
@@ -270,15 +420,21 @@ fn transfer_study(threads: Option<usize>) {
     }
 }
 
-fn activity(threads: Option<usize>) {
+fn activity(cli: &Cli) {
     let mut config = presets::quick();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
+    let store = open_store(cli, &config, None, &[]);
     let data = pipeline::prepare_data(&config);
     let x = data.test.subset(16);
     println!("firing rates of trained SNNs across thresholds (T = 6):");
     for v_th in [0.25f32, 0.5, 1.0, 1.5, 2.0, 2.5] {
-        let trained = pipeline::train_snn(&config, &data, StructuralParams::new(v_th, 6));
+        let trained = pipeline::train_snn_stored(
+            &config,
+            &data,
+            StructuralParams::new(v_th, 6),
+            store.as_ref(),
+        );
         let (model, params) = trained.classifier.into_parts();
         let report = model.activity(&params, x.images());
         println!(
@@ -289,10 +445,13 @@ fn activity(threads: Option<usize>) {
     }
 }
 
-fn corruptions(threads: Option<usize>) {
+fn corruptions(cli: &Cli) {
     let mut config = presets::quick();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
+    // Severities do not key the run: only trainings are checkpointed, and
+    // training is independent of the corruption sweep.
+    let store = open_store(cli, &config, None, &[]);
     let data = pipeline::prepare_data(&config);
     let severities = [0.2f32, 0.4, 0.6];
     for sp in [
@@ -300,7 +459,13 @@ fn corruptions(threads: Option<usize>) {
         StructuralParams::new(1.0, 6),
         StructuralParams::new(2.0, 8),
     ] {
-        let study = corruption::corruption_robustness(&config, &data, sp, &severities);
+        let study = corruption::corruption_robustness_stored(
+            &config,
+            &data,
+            sp,
+            &severities,
+            store.as_ref(),
+        );
         println!(
             "SNN {} clean {:.1}%  mean corrupted {:.1}%",
             study.structural,
@@ -318,23 +483,33 @@ fn corruptions(threads: Option<usize>) {
     }
 }
 
-fn defense_study(threads: Option<usize>) {
+fn defense_study(cli: &Cli) {
     let mut config = presets::quick();
-    apply_threads(&mut config, threads);
+    apply_threads(&mut config, cli.threads);
     config.accuracy_threshold = 0.3;
-    let data = pipeline::prepare_data(&config);
     let sp = StructuralParams::new(1.0, 6);
     let eps = presets::paper_eps_to_pixel(0.5);
+    let sweep = [eps, presets::paper_eps_to_pixel(1.0)];
+    let store = open_store(cli, &config, None, &sweep);
+    let store = store.as_ref();
+    let data = pipeline::prepare_data(&config);
     println!("adversarial training at {sp} (train budget paper-eps 0.5):");
-    let standard = pipeline::train_snn(&config, &data, sp);
-    let defended = explore::defense::adversarial_train_snn(&config, &data, sp, eps);
-    for (tag, trained) in [("standard", &standard), ("PGD-trained", &defended)] {
-        let outcome = algorithm::explore_trained(
+    let standard = pipeline::train_snn_stored(&config, &data, sp, store);
+    let defended = explore::defense::adversarial_train_snn_stored(&config, &data, sp, eps, store);
+    // Distinct attack-cache keys: same structural point, different weights.
+    let standard_key = runs::cell_key(sp);
+    let defended_key = format!("adv{:08x}-{}", eps.to_bits(), standard_key);
+    for (tag, trained, key) in [
+        ("standard", &standard, standard_key.as_str()),
+        ("PGD-trained", &defended, defended_key.as_str()),
+    ] {
+        let outcome = algorithm::explore_trained_stored(
             &config,
             &data,
             sp,
             trained,
-            &[eps, presets::paper_eps_to_pixel(1.0)],
+            &sweep,
+            store.map(|s| (s, key)),
         );
         println!(
             "  {tag:<12} clean {:.1}%  robustness {:?}",

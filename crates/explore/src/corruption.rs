@@ -12,7 +12,9 @@ use dataset::corrupt::Corruption;
 use snn::StructuralParams;
 
 use crate::config::ExperimentConfig;
-use crate::pipeline::{train_snn, SplitData};
+use store::RunStore;
+
+use crate::pipeline::{train_snn_stored, SplitData};
 
 /// Accuracy under one corruption at one severity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,8 +79,20 @@ pub fn corruption_robustness(
     structural: StructuralParams,
     severities: &[f32],
 ) -> CorruptionStudy {
+    corruption_robustness_stored(config, data, structural, severities, None)
+}
+
+/// Like [`corruption_robustness`], but the training goes through the run
+/// store's training cache.
+pub fn corruption_robustness_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    severities: &[f32],
+    store: Option<&RunStore>,
+) -> CorruptionStudy {
     assert!(!severities.is_empty(), "need at least one severity");
-    let trained = train_snn(config, data, structural);
+    let trained = train_snn_stored(config, data, structural, store);
     let subset = data.test.subset(config.attack_samples);
     let clean_accuracy = nn::train::evaluate(
         trained.classifier.model(),

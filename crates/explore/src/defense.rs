@@ -10,13 +10,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::time::Instant;
+
 use ad::Tape;
 use attacks::{Attack, Pgd};
 use nn::{Adam, Classifier, Model, Optimizer, Params};
 use snn::{SpikingCnn, StructuralParams};
+use store::RunStore;
 
 use crate::config::ExperimentConfig;
-use crate::pipeline::{SplitData, Trained};
+use crate::pipeline::{self, SplitData, Trained};
+use crate::runs;
 
 /// Trains the spiking twin with PGD adversarial training: every mini-batch
 /// is perturbed against the *current* weights (budget `train_eps`, pixel
@@ -31,6 +35,52 @@ use crate::pipeline::{SplitData, Trained};
 ///
 /// Panics if `train_eps` is negative or the configuration is invalid.
 pub fn adversarial_train_snn(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    train_eps: f32,
+) -> Trained<SpikingCnn> {
+    adversarial_train_snn_stored(config, data, structural, train_eps, None)
+}
+
+/// Like [`adversarial_train_snn`], but durable: the defended network is
+/// checkpointed in the run store under a key that includes the training
+/// budget, so it can never be confused with the standard training of the
+/// same structural point.
+pub fn adversarial_train_snn_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    train_eps: f32,
+    store: Option<&RunStore>,
+) -> Trained<SpikingCnn> {
+    let key = format!(
+        "adv{:08x}-{}",
+        train_eps.to_bits(),
+        runs::cell_key(structural)
+    );
+    if let Some(s) = store {
+        if let Some(hit) =
+            pipeline::load_cached_model(s, &key, pipeline::build_snn(config, structural))
+        {
+            return hit;
+        }
+    }
+    let start = Instant::now();
+    let trained = adversarial_train_raw(config, data, structural, train_eps);
+    if let Some(s) = store {
+        pipeline::save_trained_model(
+            s,
+            &key,
+            config,
+            &trained,
+            start.elapsed().as_millis() as u64,
+        );
+    }
+    trained
+}
+
+fn adversarial_train_raw(
     config: &ExperimentConfig,
     data: &SplitData,
     structural: StructuralParams,

@@ -7,8 +7,9 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use snn::StructuralParams;
+use store::RunStore;
 
-use crate::algorithm::{explore_one, ExplorationOutcome};
+use crate::algorithm::{explore_one_stored, ExplorationOutcome};
 use crate::config::ExperimentConfig;
 use crate::pipeline::SplitData;
 
@@ -152,6 +153,25 @@ pub fn run_grid(
     epsilons: &[f32],
     threads: usize,
 ) -> GridResult {
+    run_grid_stored(config, data, spec, epsilons, threads, None)
+}
+
+/// Like [`run_grid`], but durable: with a run store every completed cell is
+/// checkpointed (trained weights, clean accuracy, per-ε robustness), and a
+/// restarted run loads completed cells from the store instead of retraining
+/// them. A resumed grid is bitwise-identical to an uninterrupted one.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker thread panics.
+pub fn run_grid_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    spec: &GridSpec,
+    epsilons: &[f32],
+    threads: usize,
+    store: Option<&RunStore>,
+) -> GridResult {
     assert!(threads > 0, "need at least one worker thread");
     // Cells are the coarsest unit of work: while several run concurrently,
     // the per-cell ε sweep stays serial so thread counts don't multiply.
@@ -171,7 +191,7 @@ pub fn run_grid(
                 if idx >= cells.len() {
                     break;
                 }
-                let outcome = explore_one(config, data, cells[idx], epsilons);
+                let outcome = explore_one_stored(config, data, cells[idx], epsilons, store);
                 results.lock().expect("result mutex poisoned")[idx] = Some(outcome);
             });
         }

@@ -57,6 +57,7 @@ pub mod mismatch;
 pub mod pipeline;
 pub mod presets;
 pub mod report;
+pub mod runs;
 pub mod stats;
 pub mod transfer;
 pub mod viz;

@@ -13,9 +13,10 @@ use serde::{Deserialize, Serialize};
 use attacks::{evaluate_attack, Pgd};
 use nn::Classifier;
 use snn::StructuralParams;
+use store::RunStore;
 
 use crate::config::ExperimentConfig;
-use crate::pipeline::{train_snn, SplitData};
+use crate::pipeline::{train_snn_stored, SplitData};
 
 /// Clean and attacked accuracy of a trained network evaluated at one
 /// (possibly different) structural point.
@@ -75,8 +76,22 @@ pub fn fine_tune_structural(
     candidates: &[StructuralParams],
     epsilons: &[f32],
 ) -> MismatchResult {
+    fine_tune_structural_stored(config, data, trained_at, candidates, epsilons, None)
+}
+
+/// Like [`fine_tune_structural`], but the (single, expensive) training at
+/// `trained_at` goes through the run store's training cache; the cheap
+/// per-candidate re-evaluations always run.
+pub fn fine_tune_structural_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    trained_at: StructuralParams,
+    candidates: &[StructuralParams],
+    epsilons: &[f32],
+    store: Option<&RunStore>,
+) -> MismatchResult {
     assert!(!candidates.is_empty(), "need at least one candidate point");
-    let trained = train_snn(config, data, trained_at);
+    let trained = train_snn_stored(config, data, trained_at, store);
     let (model, params) = trained.classifier.into_parts();
     let attack_set = data.test.subset(config.attack_samples);
     let mut entries = Vec::with_capacity(candidates.len());

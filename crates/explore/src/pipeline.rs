@@ -1,5 +1,7 @@
 //! Data preparation and model training helpers shared by every experiment.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -7,8 +9,10 @@ use dataset::synth::SynthDigits;
 use dataset::Dataset;
 use nn::{Adam, Classifier, Cnn, Params};
 use snn::{SpikingCnn, StructuralParams};
+use store::{CellMeta, Event, RunStore};
 
 use crate::config::ExperimentConfig;
+use crate::runs;
 
 /// Train/test datasets generated for one experiment.
 #[derive(Debug, Clone)]
@@ -71,6 +75,188 @@ pub struct Trained<M> {
     pub clean_accuracy: f32,
 }
 
+/// The deterministic training seed of one `(config, structural)` cell.
+pub(crate) fn snn_cell_seed(config: &ExperimentConfig, structural: StructuralParams) -> u64 {
+    config
+        .seed
+        .wrapping_add(u64::from(structural.v_th.to_bits()))
+        .wrapping_add((structural.time_window as u64).wrapping_mul(0x9E37_79B9))
+}
+
+/// Initialises one cell's model, parameters, and the *continuing* RNG
+/// stream (model init consumes the head of the stream; training epochs
+/// must consume the rest, exactly as before checkpointing existed).
+fn init_snn(
+    config: &ExperimentConfig,
+    structural: StructuralParams,
+) -> (SpikingCnn, Params, StdRng) {
+    let mut rng = StdRng::seed_from_u64(snn_cell_seed(config, structural));
+    let mut params = Params::new();
+    let model = SpikingCnn::new(
+        &mut params,
+        &mut rng,
+        &config.cnn_config(),
+        &config.snn_config(structural),
+    );
+    (model, params, rng)
+}
+
+fn init_cnn(config: &ExperimentConfig) -> (Cnn, Params, StdRng) {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xC44));
+    let mut params = Params::new();
+    let model = Cnn::new(&mut params, &mut rng, &config.cnn_config());
+    (model, params, rng)
+}
+
+/// Builds the untrained SNN skeleton for one cell — the same architecture,
+/// parameter names, and initial weights that [`train_snn`] starts from.
+/// Checkpoint loads validate against this skeleton before trusting cached
+/// weights.
+pub fn build_snn(config: &ExperimentConfig, structural: StructuralParams) -> (SpikingCnn, Params) {
+    let (model, params, _) = init_snn(config, structural);
+    (model, params)
+}
+
+/// Builds the untrained CNN-baseline skeleton (see [`build_snn`]).
+pub fn build_cnn(config: &ExperimentConfig) -> (Cnn, Params) {
+    let (model, params, _) = init_cnn(config);
+    (model, params)
+}
+
+/// `true` when `loaded` can stand in for `expected`: same parameter count,
+/// names, and shapes, in the same registration order.
+pub fn params_compatible(expected: &Params, loaded: &Params) -> bool {
+    expected.len() == loaded.len()
+        && expected
+            .iter()
+            .zip(loaded.iter())
+            .all(|((ia, ta), (ib, tb))| {
+                expected.name(ia) == loaded.name(ib) && ta.dims() == tb.dims()
+            })
+}
+
+/// Tries to serve a trained model from the run store. Returns `None` on a
+/// cache miss; a damaged or architecturally incompatible checkpoint is
+/// journalled as a [`Event::CacheError`] and treated as a miss (the caller
+/// retrains), never trusted.
+pub(crate) fn load_cached_model<M: nn::Model>(
+    store: &RunStore,
+    key: &str,
+    skeleton: (M, Params),
+) -> Option<Trained<M>> {
+    let (model, expected) = skeleton;
+    match store.load_trained(key) {
+        Ok(Some((params, meta))) => {
+            if params_compatible(&expected, &params) {
+                store.log(&Event::CellCached {
+                    cell: key.to_string(),
+                    clean_accuracy: meta.clean_accuracy,
+                });
+                Some(Trained {
+                    classifier: Classifier::new(model, params),
+                    clean_accuracy: meta.clean_accuracy,
+                })
+            } else {
+                store.log(&Event::CacheError {
+                    cell: key.to_string(),
+                    error: "checkpointed parameters do not match the model architecture".into(),
+                });
+                None
+            }
+        }
+        Ok(None) => None,
+        Err(e) => {
+            store.log(&Event::CacheError {
+                cell: key.to_string(),
+                error: e.to_string(),
+            });
+            None
+        }
+    }
+}
+
+/// Checkpoints a freshly trained model and journals the training.
+pub(crate) fn save_trained_model<M: nn::Model>(
+    store: &RunStore,
+    key: &str,
+    config: &ExperimentConfig,
+    trained: &Trained<M>,
+    elapsed_millis: u64,
+) {
+    let meta = CellMeta {
+        clean_accuracy: trained.clean_accuracy,
+        learnable: trained.clean_accuracy >= config.accuracy_threshold,
+    };
+    if let Err(e) = store.save_trained(key, trained.classifier.params(), &meta) {
+        eprintln!("warning: could not checkpoint cell {key}: {e}");
+    }
+    store.log(&Event::CellTrained {
+        cell: key.to_string(),
+        clean_accuracy: meta.clean_accuracy,
+        learnable: meta.learnable,
+        millis: elapsed_millis,
+    });
+}
+
+/// Like [`train_snn`], but durable: when a run store is given, a completed
+/// checkpoint for this cell is loaded instead of retraining, and a fresh
+/// training is checkpointed for future resumes. Cached and fresh results
+/// are bitwise-identical (the checkpoint format preserves exact bits).
+pub fn train_snn_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structural: StructuralParams,
+    store: Option<&RunStore>,
+) -> Trained<SpikingCnn> {
+    let key = runs::cell_key(structural);
+    if let Some(s) = store {
+        if let Some(hit) = load_cached_model(s, &key, build_snn(config, structural)) {
+            return hit;
+        }
+    }
+    let start = Instant::now();
+    let trained = train_snn(config, data, structural);
+    if let Some(s) = store {
+        save_trained_model(
+            s,
+            &key,
+            config,
+            &trained,
+            start.elapsed().as_millis() as u64,
+        );
+    }
+    trained
+}
+
+/// The store key of the (single, structural-parameter-free) CNN baseline,
+/// for both its training checkpoint and its attack-cache entries.
+pub const CNN_BASELINE_KEY: &str = "cnn-baseline";
+
+/// Like [`train_cnn`], but durable (see [`train_snn_stored`]).
+pub fn train_cnn_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    store: Option<&RunStore>,
+) -> Trained<Cnn> {
+    if let Some(s) = store {
+        if let Some(hit) = load_cached_model(s, CNN_BASELINE_KEY, build_cnn(config)) {
+            return hit;
+        }
+    }
+    let start = Instant::now();
+    let trained = train_cnn(config, data);
+    if let Some(s) = store {
+        save_trained_model(
+            s,
+            CNN_BASELINE_KEY,
+            config,
+            &trained,
+            start.elapsed().as_millis() as u64,
+        );
+    }
+    trained
+}
+
 /// Trains the spiking twin at the given structural point.
 ///
 /// Each `(config, structural)` pair trains from its own deterministic seed,
@@ -81,18 +267,7 @@ pub fn train_snn(
     data: &SplitData,
     structural: StructuralParams,
 ) -> Trained<SpikingCnn> {
-    let cell_seed = config
-        .seed
-        .wrapping_add(u64::from(structural.v_th.to_bits()))
-        .wrapping_add((structural.time_window as u64).wrapping_mul(0x9E37_79B9));
-    let mut rng = StdRng::seed_from_u64(cell_seed);
-    let mut params = Params::new();
-    let model = SpikingCnn::new(
-        &mut params,
-        &mut rng,
-        &config.cnn_config(),
-        &config.snn_config(structural),
-    );
+    let (model, mut params, mut rng) = init_snn(config, structural);
     let mut opt = Adam::new(config.learning_rate);
     for _ in 0..config.epochs {
         nn::train::train_epoch(
@@ -120,9 +295,7 @@ pub fn train_snn(
 
 /// Trains the non-spiking CNN baseline on the same data and topology.
 pub fn train_cnn(config: &ExperimentConfig, data: &SplitData) -> Trained<Cnn> {
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xC44));
-    let mut params = Params::new();
-    let model = Cnn::new(&mut params, &mut rng, &config.cnn_config());
+    let (model, mut params, mut rng) = init_cnn(config);
     let mut opt = Adam::new(config.learning_rate);
     for _ in 0..config.epochs {
         nn::train::train_epoch(

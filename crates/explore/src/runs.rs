@@ -1,0 +1,199 @@
+//! Run-store integration: fingerprinting experiments and opening their
+//! durable run directories.
+//!
+//! Every experiment that wants resumability opens a [`store::RunStore`]
+//! through [`open`]. The run directory is keyed by a deterministic
+//! fingerprint over the *complete* definition of the run:
+//!
+//! * the command name (two different figures never share a directory),
+//! * the full [`ExperimentConfig`] (serialised as JSON — Rust's float
+//!   formatting is shortest-round-trip, so distinct configs always
+//!   serialise distinctly),
+//! * the [`GridSpec`] when the run explores a grid,
+//! * the ε sweep, hashed by exact IEEE-754 bit patterns,
+//! * the checkpoint format version (mixed in by
+//!   [`Fingerprint::builder`]).
+//!
+//! Changing any of these changes the fingerprint and therefore the
+//! directory — stale checkpoints can never leak into a differently
+//! configured run. The same facts are written to `manifest.json` inside
+//! the run directory, and re-opening verifies the manifest byte-for-byte.
+
+use std::path::Path;
+
+use snn::StructuralParams;
+use store::{Fingerprint, OpenedRun, RunStore, StoreError};
+
+use crate::config::ExperimentConfig;
+use crate::grid::GridSpec;
+
+/// Subdirectory of the output directory holding all run directories.
+pub const RUNS_SUBDIR: &str = "runs";
+
+/// The store key of one `(V_th, T)` cell: the exact `V_th` bit pattern plus
+/// the window, so distinct-but-close thresholds never collide.
+///
+/// # Example
+///
+/// ```
+/// use snn::StructuralParams;
+///
+/// let key = explore::runs::cell_key(StructuralParams::new(1.0, 6));
+/// assert_eq!(key, "v3f800000-t6");
+/// ```
+pub fn cell_key(structural: StructuralParams) -> String {
+    format!(
+        "v{:08x}-t{}",
+        structural.v_th.to_bits(),
+        structural.time_window
+    )
+}
+
+/// The ε sweep rendered as comma-separated IEEE-754 bit patterns — the
+/// exact (collision-free) form used both in the fingerprint and in the
+/// manifest.
+pub fn epsilon_bits(epsilons: &[f32]) -> String {
+    epsilons
+        .iter()
+        .map(|e| format!("{:08x}", e.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn serialize<T: serde::Serialize>(what: &str, value: &T) -> Result<String, StoreError> {
+    serde_json::to_string(value)
+        .map_err(|e| StoreError::Corrupt(format!("cannot serialise {what}: {e}")))
+}
+
+/// The config as it participates in fingerprint and manifest: the worker
+/// thread count is normalised away, because every parallel path is
+/// deterministic — a 4-thread run may resume a 1-thread run and vice versa.
+fn canonical_config(config: &ExperimentConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        threads: 0,
+        ..config.clone()
+    }
+}
+
+/// Computes the run fingerprint for `command` with the given inputs.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] if an input cannot be serialised.
+pub fn fingerprint(
+    command: &str,
+    config: &ExperimentConfig,
+    spec: Option<&GridSpec>,
+    epsilons: &[f32],
+) -> Result<Fingerprint, StoreError> {
+    let config_json = serialize("the experiment config", &canonical_config(config))?;
+    let spec_json = match spec {
+        Some(s) => serialize("the grid spec", s)?,
+        None => "null".to_string(),
+    };
+    Ok(Fingerprint::builder()
+        .section("command", command.as_bytes())
+        .section("config", config_json.as_bytes())
+        .section("spec", spec_json.as_bytes())
+        .section("epsilons", epsilon_bits(epsilons).as_bytes())
+        .finish())
+}
+
+/// Opens (or resumes) the run store for `command` under
+/// `<out_dir>/runs/`. See the module docs for the fingerprinting rule;
+/// `resume = false` clears any previous state for this exact experiment,
+/// `resume = true` reuses it as a cache.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] if the directory cannot be prepared or holds a
+/// conflicting manifest.
+pub fn open(
+    out_dir: &Path,
+    command: &str,
+    config: &ExperimentConfig,
+    spec: Option<&GridSpec>,
+    epsilons: &[f32],
+    resume: bool,
+) -> Result<OpenedRun, StoreError> {
+    let fp = fingerprint(command, config, spec, epsilons)?;
+    let config_json = serialize("the experiment config", &canonical_config(config))?;
+    let spec_json = match spec {
+        Some(s) => serialize("the grid spec", s)?,
+        None => "null".to_string(),
+    };
+    let epsilons_json = serialize("the epsilon sweep", &epsilons.to_vec())?;
+    // Hand-assembled so the manifest is byte-deterministic for a given run
+    // definition (re-opening compares it byte-for-byte).
+    let manifest = format!(
+        "{{\n  \"command\": \"{command}\",\n  \"fingerprint\": \"{fp}\",\n  \"format_version\": {version},\n  \"config\": {config_json},\n  \"spec\": {spec_json},\n  \"epsilons\": {epsilons_json},\n  \"epsilon_bits\": \"{bits}\"\n}}\n",
+        version = store::FORMAT_VERSION,
+        bits = epsilon_bits(epsilons),
+    );
+    RunStore::open(&out_dir.join(RUNS_SUBDIR), &fp, &manifest, resume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_sensitive() {
+        let cfg = presets::quick();
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4]);
+        let eps = [0.1f32, 0.2];
+        let base = fingerprint("heatmap", &cfg, Some(&spec), &eps).unwrap();
+        assert_eq!(
+            base,
+            fingerprint("heatmap", &cfg, Some(&spec), &eps).unwrap()
+        );
+        // Command, config, spec, and ε sweep all key the fingerprint.
+        assert_ne!(base, fingerprint("fig9", &cfg, Some(&spec), &eps).unwrap());
+        let mut tweaked = cfg.clone();
+        tweaked.seed += 1;
+        assert_ne!(
+            base,
+            fingerprint("heatmap", &tweaked, Some(&spec), &eps).unwrap()
+        );
+        assert_ne!(base, fingerprint("heatmap", &cfg, None, &eps).unwrap());
+        assert_ne!(
+            base,
+            fingerprint("heatmap", &cfg, Some(&spec), &[0.1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_fingerprint() {
+        // Every parallel path is deterministic (PR 1), so `--threads` must
+        // not key the cache: a 4-thread run resumes a 1-thread run.
+        let mut cfg = presets::quick();
+        let eps = [0.1f32];
+        cfg.threads = 1;
+        let one = fingerprint("fig1", &cfg, None, &eps).unwrap();
+        cfg.threads = 4;
+        assert_eq!(one, fingerprint("fig1", &cfg, None, &eps).unwrap());
+    }
+
+    #[test]
+    fn epsilon_bits_are_exact_and_ordered() {
+        assert_eq!(epsilon_bits(&[1.0, 0.5]), "3f800000,3f000000");
+        assert_ne!(epsilon_bits(&[0.1]), epsilon_bits(&[0.1000001]));
+    }
+
+    #[test]
+    fn open_resume_round_trip() {
+        let out = std::env::temp_dir().join("explore_runs_open_test");
+        let _ = std::fs::remove_dir_all(&out);
+        let cfg = presets::quick();
+        let eps = [0.25f32];
+        let first = open(&out, "fig1", &cfg, None, &eps, false).unwrap();
+        assert!(!first.resumed);
+        drop(first);
+        let second = open(&out, "fig1", &cfg, None, &eps, true).unwrap();
+        assert!(second.resumed);
+        // A fresh (non-resume) open starts over.
+        let third = open(&out, "fig1", &cfg, None, &eps, false).unwrap();
+        assert!(!third.resumed);
+    }
+}

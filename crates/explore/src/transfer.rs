@@ -12,7 +12,9 @@ use attacks::{evaluate_transfer, Pgd, TransferOutcome};
 use snn::StructuralParams;
 
 use crate::config::ExperimentConfig;
-use crate::pipeline::{train_cnn, train_snn, SplitData};
+use store::RunStore;
+
+use crate::pipeline::{train_cnn_stored, train_snn_stored, SplitData};
 
 /// Transfer outcome for one structural point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,11 +62,23 @@ pub fn cnn_to_snn_transfer(
     structurals: &[StructuralParams],
     epsilon: f32,
 ) -> TransferStudy {
+    cnn_to_snn_transfer_stored(config, data, structurals, epsilon, None)
+}
+
+/// Like [`cnn_to_snn_transfer`], but every training (the CNN source and
+/// each SNN victim) goes through the run store's training cache.
+pub fn cnn_to_snn_transfer_stored(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    structurals: &[StructuralParams],
+    epsilon: f32,
+    store: Option<&RunStore>,
+) -> TransferStudy {
     assert!(
         !structurals.is_empty(),
         "need at least one structural point"
     );
-    let cnn = train_cnn(config, data);
+    let cnn = train_cnn_stored(config, data, store);
     let attack_set = data.test.subset(config.attack_samples);
     let alpha = if epsilon == 0.0 {
         0.0
@@ -74,7 +88,7 @@ pub fn cnn_to_snn_transfer(
     let attack = Pgd::new(epsilon, alpha, config.pgd_steps, true, config.seed);
     let mut entries = Vec::with_capacity(structurals.len());
     for &sp in structurals {
-        let snn = train_snn(config, data, sp);
+        let snn = train_snn_stored(config, data, sp, store);
         let outcome: TransferOutcome = evaluate_transfer(
             &cnn.classifier,
             &snn.classifier,
@@ -142,7 +156,7 @@ mod tests {
         entry: &TransferEntry,
     ) -> f32 {
         // Recompute the SNN's accuracy on the attacked subset for ε = 0.
-        let snn = train_snn(cfg, data, entry.structural);
+        let snn = crate::pipeline::train_snn(cfg, data, entry.structural);
         let subset = data.test.subset(cfg.attack_samples);
         nn::train::evaluate(
             snn.classifier.model(),

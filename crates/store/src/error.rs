@@ -1,0 +1,123 @@
+//! Typed failures of the checkpoint format and the run store.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Everything that can go wrong reading or writing durable experiment
+/// state. Checkpoint loads return these instead of panicking so a damaged
+/// cache entry can be healed (retrained) rather than aborting a long run.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with the format's magic bytes — it is not a
+    /// checkpoint at all.
+    BadMagic {
+        /// The bytes actually found (at most four).
+        found: Vec<u8>,
+    },
+    /// The file was written by an unknown (usually future) format version.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u16,
+        /// The version this build reads and writes.
+        supported: u16,
+    },
+    /// The file ends before the declared content does.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The content checksum does not match — the payload was altered or
+    /// damaged after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the bytes actually present.
+        computed: u64,
+    },
+    /// The envelope is intact (magic, version, checksum all pass) but the
+    /// payload is structurally invalid for the declared kind.
+    Corrupt(String),
+    /// An existing run directory's manifest disagrees with the requested
+    /// run — the fingerprint collided or the directory was tampered with.
+    ManifestMismatch {
+        /// The run directory holding the conflicting manifest.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a checkpoint file (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is not supported (this build reads version {supported})"
+            ),
+            StoreError::Truncated { needed, available } => write!(
+                f,
+                "checkpoint is truncated: needed {needed} bytes, only {available} available"
+            ),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            StoreError::Corrupt(why) => write!(f, "checkpoint payload is corrupt: {why}"),
+            StoreError::ManifestMismatch { dir } => write!(
+                f,
+                "run directory {} holds a manifest for a different experiment",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        let text = e.to_string();
+        assert!(text.contains('9') && text.contains('1'), "{text}");
+        assert!(StoreError::Truncated {
+            needed: 8,
+            available: 3
+        }
+        .to_string()
+        .contains("truncated"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic run fingerprints.
+//!
+//! A run directory is keyed by a fingerprint hashed over *everything that
+//! determines its results*: the experiment configuration, the grid, the ε
+//! sweep, and the checkpoint format version. Two runs share a directory —
+//! and therefore checkpoints — only when every section is byte-identical,
+//! so a config change can never silently reuse stale state, and a format
+//! bump invalidates all prior runs at once.
+
+use std::fmt;
+
+use crate::format::{fnv1a, FORMAT_VERSION, MAGIC};
+
+/// A 64-bit fingerprint of a run's defining inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts building a fingerprint; the format version and magic are
+    /// always mixed in first.
+    pub fn builder() -> FingerprintBuilder {
+        let mut seed = Vec::with_capacity(6);
+        seed.extend_from_slice(&MAGIC);
+        seed.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        FingerprintBuilder { hash: fnv1a(&seed) }
+    }
+
+    /// The fingerprint as a fixed-width 16-digit hex string — the run
+    /// directory name component.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Accumulates named sections into a [`Fingerprint`].
+///
+/// Section names participate in the hash (with length prefixes), so moving
+/// bytes between sections or reordering them changes the result.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    hash: u64,
+}
+
+impl FingerprintBuilder {
+    /// Mixes one named section into the fingerprint.
+    pub fn section(mut self, name: &str, bytes: &[u8]) -> Self {
+        let mut chunk = Vec::with_capacity(16 + name.len() + bytes.len());
+        chunk.extend_from_slice(&self.hash.to_le_bytes());
+        chunk.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        chunk.extend_from_slice(name.as_bytes());
+        chunk.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        chunk.extend_from_slice(bytes);
+        self.hash = fnv1a(&chunk);
+        self
+    }
+
+    /// Finishes the accumulation.
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint(self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sections_give_identical_fingerprints() {
+        let a = Fingerprint::builder()
+            .section("config", b"abc")
+            .section("grid", b"xyz")
+            .finish();
+        let b = Fingerprint::builder()
+            .section("config", b"abc")
+            .section("grid", b"xyz")
+            .finish();
+        assert_eq!(a, b);
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn any_difference_changes_the_fingerprint() {
+        let base = Fingerprint::builder().section("config", b"abc").finish();
+        let content = Fingerprint::builder().section("config", b"abd").finish();
+        let name = Fingerprint::builder().section("confiG", b"abc").finish();
+        assert_ne!(base, content);
+        assert_ne!(base, name);
+    }
+
+    #[test]
+    fn section_boundaries_matter() {
+        // Moving a byte across the section boundary must not collide.
+        let a = Fingerprint::builder()
+            .section("x", b"ab")
+            .section("y", b"c")
+            .finish();
+        let b = Fingerprint::builder()
+            .section("x", b"a")
+            .section("y", b"bc")
+            .finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_matches_hex() {
+        let fp = Fingerprint::builder().section("s", b"1").finish();
+        assert_eq!(fp.to_string(), fp.hex());
+    }
+}

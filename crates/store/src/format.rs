@@ -1,0 +1,512 @@
+//! The versioned, checksummed binary checkpoint format.
+//!
+//! Every checkpoint file shares one envelope:
+//!
+//! ```text
+//! offset 0   magic  b"SARM"                (4 bytes)
+//! offset 4   format version, u16 LE        (2 bytes)
+//! offset 6   payload kind, u8              (1 byte)
+//! offset 7   kind-specific payload         (variable)
+//! trailing   FNV-1a64 of bytes[0..n-8], LE (8 bytes)
+//! ```
+//!
+//! All integers are little-endian; `f32` values are stored as their exact
+//! IEEE-754 bit patterns, so a round trip is always bitwise lossless.
+//! Decoding validates the envelope *before* interpreting the payload and
+//! returns typed [`StoreError`]s — it never panics on hostile input:
+//!
+//! * wrong/short magic → [`StoreError::BadMagic`] / [`StoreError::Truncated`]
+//! * unknown version → [`StoreError::UnsupportedVersion`]
+//! * any byte flipped → [`StoreError::ChecksumMismatch`]
+//! * structurally invalid payload → [`StoreError::Corrupt`]
+//!
+//! File writes go through a temp-file-then-rename, so a checkpoint path
+//! never holds a partially written file even if the process is killed
+//! mid-write.
+
+use std::fs;
+use std::path::Path;
+
+use nn::Params;
+use tensor::Tensor;
+
+use crate::error::StoreError;
+
+/// Magic bytes identifying a spiking-armor checkpoint file.
+pub const MAGIC: [u8; 4] = *b"SARM";
+
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Payload kind tags (one per serialisable artefact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A single [`Tensor`].
+    Tensor = 1,
+    /// A full [`Params`] set: named tensors in registration order.
+    ParamSet = 2,
+    /// A per-cell training summary (see [`CellMeta`](crate::CellMeta)).
+    CellMeta = 3,
+    /// A cached per-(cell, ε) attack outcome.
+    AttackResult = 4,
+}
+
+/// Sanity bound on tensor rank; real tensors in this workspace are rank ≤ 4.
+const MAX_RANK: u32 = 8;
+/// Sanity bound on parameter-name length.
+const MAX_NAME_LEN: u32 = 4096;
+
+/// FNV-1a 64-bit hash — the format's content checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in the magic/version/kind envelope and appends the
+/// checksum.
+fn seal(kind: Kind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 2 + 1 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.extend_from_slice(payload);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Validates the envelope and returns the payload of the expected kind.
+fn unseal(bytes: &[u8], expected: Kind) -> Result<&[u8], StoreError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(StoreError::BadMagic {
+            found: bytes.to_vec(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: bytes[..4].to_vec(),
+        });
+    }
+    // magic(4) + version(2) + kind(1) + checksum(8)
+    if bytes.len() < 15 {
+        return Err(StoreError::Truncated {
+            needed: 15,
+            available: bytes.len(),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    if body[6] != expected as u8 {
+        return Err(StoreError::Corrupt(format!(
+            "expected payload kind {} but found {}",
+            expected as u8, body[6]
+        )));
+    }
+    Ok(&body[7..])
+}
+
+/// A bounds-checked reader over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let available = self.buf.len() - self.pos;
+        if n > available {
+            return Err(StoreError::Truncated {
+                needed: n,
+                available,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32_bits(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn finish(self) -> Result<(), StoreError> {
+        if self.pos != self.buf.len() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor
+// ---------------------------------------------------------------------------
+
+fn push_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.dims().len() as u32).to_le_bytes());
+    for &d in t.dims() {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn parse_tensor(cur: &mut Cursor<'_>) -> Result<Tensor, StoreError> {
+    let rank = cur.u32()?;
+    if rank > MAX_RANK {
+        return Err(StoreError::Corrupt(format!(
+            "tensor rank {rank} exceeds the maximum of {MAX_RANK}"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = cur.u64()?;
+        let d = usize::try_from(d)
+            .map_err(|_| StoreError::Corrupt(format!("dimension {d} overflows usize")))?;
+        len = len
+            .checked_mul(d)
+            .ok_or_else(|| StoreError::Corrupt("tensor element count overflows".into()))?;
+        dims.push(d);
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(cur.f32_bits()?);
+    }
+    Tensor::try_from_vec(data, &dims)
+        .map_err(|e| StoreError::Corrupt(format!("inconsistent tensor block: {e}")))
+}
+
+/// Serialises one tensor into a sealed checkpoint block.
+pub fn encode_tensor(t: &Tensor) -> Vec<u8> {
+    let mut payload = Vec::new();
+    push_tensor(&mut payload, t);
+    seal(Kind::Tensor, &payload)
+}
+
+/// Decodes a block produced by [`encode_tensor`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] for anything that is not a bitwise-intact
+/// tensor block of the supported version.
+pub fn decode_tensor(bytes: &[u8]) -> Result<Tensor, StoreError> {
+    let mut cur = Cursor::new(unseal(bytes, Kind::Tensor)?);
+    let t = parse_tensor(&mut cur)?;
+    cur.finish()?;
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// ParamSet
+// ---------------------------------------------------------------------------
+
+/// Serialises a full parameter set (names + tensors, in registration order)
+/// into a sealed checkpoint block.
+pub fn encode_params(params: &Params) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for (id, t) in params.iter() {
+        let name = params.name(id).as_bytes();
+        payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        payload.extend_from_slice(name);
+        push_tensor(&mut payload, t);
+    }
+    seal(Kind::ParamSet, &payload)
+}
+
+/// Decodes a block produced by [`encode_params`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] for anything that is not a bitwise-intact
+/// parameter-set block of the supported version.
+pub fn decode_params(bytes: &[u8]) -> Result<Params, StoreError> {
+    let mut cur = Cursor::new(unseal(bytes, Kind::ParamSet)?);
+    let count = cur.u32()?;
+    let mut params = Params::new();
+    for _ in 0..count {
+        let name_len = cur.u32()?;
+        if name_len > MAX_NAME_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "parameter name length {name_len} exceeds the maximum of {MAX_NAME_LEN}"
+            )));
+        }
+        let name = std::str::from_utf8(cur.take(name_len as usize)?)
+            .map_err(|_| StoreError::Corrupt("parameter name is not UTF-8".into()))?
+            .to_string();
+        let tensor = parse_tensor(&mut cur)?;
+        params.register(name, tensor);
+    }
+    cur.finish()?;
+    Ok(params)
+}
+
+// ---------------------------------------------------------------------------
+// Small fixed records (cell metadata, attack results)
+// ---------------------------------------------------------------------------
+
+/// Serialises a `(clean_accuracy, learnable)` training summary.
+pub fn encode_cell_meta(clean_accuracy: f32, learnable: bool) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5);
+    payload.extend_from_slice(&clean_accuracy.to_bits().to_le_bytes());
+    payload.push(u8::from(learnable));
+    seal(Kind::CellMeta, &payload)
+}
+
+/// Decodes a block produced by [`encode_cell_meta`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] on any damaged or mismatched block.
+pub fn decode_cell_meta(bytes: &[u8]) -> Result<(f32, bool), StoreError> {
+    let mut cur = Cursor::new(unseal(bytes, Kind::CellMeta)?);
+    let acc = cur.f32_bits()?;
+    let learnable = match cur.u8()? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "learnable flag must be 0 or 1, got {other}"
+            )))
+        }
+    };
+    cur.finish()?;
+    Ok((acc, learnable))
+}
+
+/// Serialises one cached attack outcome `(ε, robustness)`.
+pub fn encode_attack_result(eps: f32, robustness: f32) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8);
+    payload.extend_from_slice(&eps.to_bits().to_le_bytes());
+    payload.extend_from_slice(&robustness.to_bits().to_le_bytes());
+    seal(Kind::AttackResult, &payload)
+}
+
+/// Decodes a block produced by [`encode_attack_result`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] on any damaged or mismatched block.
+pub fn decode_attack_result(bytes: &[u8]) -> Result<(f32, f32), StoreError> {
+    let mut cur = Cursor::new(unseal(bytes, Kind::AttackResult)?);
+    let eps = cur.f32_bits()?;
+    let robustness = cur.f32_bits()?;
+    cur.finish()?;
+    Ok((eps, robustness))
+}
+
+// ---------------------------------------------------------------------------
+// Files
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the full content lands under a
+/// temporary name first and is renamed into place, so `path` never holds a
+/// torn file even if the process dies mid-write.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the write or rename fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".part");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Writes one tensor as a checkpoint file (atomically).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the file cannot be written.
+pub fn write_tensor(path: &Path, t: &Tensor) -> Result<(), StoreError> {
+    write_atomic(path, &encode_tensor(t))
+}
+
+/// Reads a tensor checkpoint written by [`write_tensor`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] if the file is unreadable, damaged, or of
+/// an unsupported version.
+pub fn read_tensor(path: &Path) -> Result<Tensor, StoreError> {
+    decode_tensor(&fs::read(path)?)
+}
+
+/// Writes a parameter-set checkpoint file (atomically).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the file cannot be written.
+pub fn write_params(path: &Path, params: &Params) -> Result<(), StoreError> {
+    write_atomic(path, &encode_params(params))
+}
+
+/// Reads a parameter-set checkpoint written by [`write_params`].
+///
+/// # Errors
+///
+/// Returns a typed [`StoreError`] if the file is unreadable, damaged, or of
+/// an unsupported version.
+pub fn read_params(path: &Path) -> Result<Params, StoreError> {
+    decode_params(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tensor() -> Tensor {
+        Tensor::from_vec(vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE], &[2, 2])
+    }
+
+    #[test]
+    fn tensor_round_trip_is_bitwise_exact() {
+        let t = sample_tensor();
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        let bits: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u32> = back.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+    }
+
+    #[test]
+    fn scalar_and_nan_survive() {
+        let t = Tensor::from_vec(vec![f32::NAN], &[1]);
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.data()[0].to_bits(), t.data()[0].to_bits());
+    }
+
+    #[test]
+    fn params_round_trip_preserves_names_and_order() {
+        let mut p = Params::new();
+        p.register("conv.w", Tensor::ones(&[2, 1, 3, 3]));
+        p.register("fc.b", Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let back = decode_params(&encode_params(&p)).unwrap();
+        assert_eq!(back.len(), 2);
+        let names: Vec<&str> = back.iter().map(|(id, _)| back.name(id)).collect();
+        assert_eq!(names, ["conv.w", "fc.b"]);
+        assert_eq!(back.num_scalars(), p.num_scalars());
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = encode_tensor(&sample_tensor());
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_tensor(&bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_tensor(&sample_tensor());
+        bytes[4] = 0xFF; // version LE low byte
+        let n = bytes.len();
+        let checksum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_tensor(&bytes),
+            Err(StoreError::UnsupportedVersion { found, supported: FORMAT_VERSION }) if found != FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let mut bytes = encode_tensor(&sample_tensor());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode_tensor(&bytes),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode_tensor(&sample_tensor());
+        for keep in [0, 3, 10, bytes.len() - 1] {
+            let err = decode_tensor(&bytes[..keep]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::BadMagic { .. }
+                ),
+                "keep={keep}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let bytes = encode_tensor(&sample_tensor());
+        assert!(matches!(decode_params(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn small_records_round_trip_exactly() {
+        let (acc, learnable) = decode_cell_meta(&encode_cell_meta(0.123_456_79, true)).unwrap();
+        assert_eq!(acc.to_bits(), 0.123_456_79f32.to_bits());
+        assert!(learnable);
+        let (eps, rob) = decode_attack_result(&encode_attack_result(0.3, 0.875)).unwrap();
+        assert_eq!(eps, 0.3);
+        assert_eq!(rob, 0.875);
+    }
+
+    #[test]
+    fn file_round_trip_and_no_torn_writes() {
+        let dir = std::env::temp_dir().join("store_format_files");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        write_tensor(&path, &sample_tensor()).unwrap();
+        assert!(!dir.join("t.bin.part").exists(), "temp file left behind");
+        assert_eq!(read_tensor(&path).unwrap(), sample_tensor());
+    }
+}

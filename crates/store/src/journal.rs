@@ -1,0 +1,235 @@
+//! The append-only JSONL event journal (`events.jsonl`).
+//!
+//! Every run directory carries a journal with one JSON object per line,
+//! recording what actually happened — cells trained, cells served from
+//! cache, attack evaluations and their durations. The journal is pure
+//! observability: results never flow through it, so it can grow across
+//! resumed runs without affecting determinism, and `tail -f events.jsonl`
+//! is the progress view for a long `--full` grid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// One journal entry. Durations are wall-clock milliseconds; they describe
+/// the run that *produced* the artefact, never influence results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A store was opened over this run directory.
+    RunStarted {
+        /// `true` when prior state in the directory is being reused.
+        resumed: bool,
+    },
+    /// Work on a grid cell began.
+    CellStarted {
+        /// The cell's directory key.
+        cell: String,
+    },
+    /// A cell's model was trained (cache miss) and checkpointed.
+    CellTrained {
+        /// The cell's directory key.
+        cell: String,
+        /// Clean test accuracy after training.
+        clean_accuracy: f32,
+        /// Whether the accuracy met the learnability threshold.
+        learnable: bool,
+        /// Training duration in milliseconds.
+        millis: u64,
+    },
+    /// A cell's trained model was loaded from the store instead of
+    /// retrained (cache hit).
+    CellCached {
+        /// The cell's directory key.
+        cell: String,
+        /// The checkpointed clean accuracy.
+        clean_accuracy: f32,
+    },
+    /// One `(cell, ε)` attack evaluation ran (cache miss) and was cached.
+    AttackEvaluated {
+        /// The cell's directory key.
+        cell: String,
+        /// The attacked noise budget.
+        eps: f32,
+        /// Measured robustness at that budget.
+        robustness: f32,
+        /// Evaluation duration in milliseconds.
+        millis: u64,
+    },
+    /// One `(cell, ε)` attack outcome was served from the cache.
+    AttackCached {
+        /// The cell's directory key.
+        cell: String,
+        /// The attacked noise budget.
+        eps: f32,
+        /// The cached robustness.
+        robustness: f32,
+    },
+    /// A cache entry could not be used (damaged or mismatched); the work
+    /// was redone from scratch.
+    CacheError {
+        /// The cell's directory key.
+        cell: String,
+        /// Why the entry was rejected.
+        error: String,
+    },
+}
+
+impl Event {
+    /// The cell key this event concerns, if any.
+    pub fn cell(&self) -> Option<&str> {
+        match self {
+            Event::RunStarted { .. } => None,
+            Event::CellStarted { cell }
+            | Event::CellTrained { cell, .. }
+            | Event::CellCached { cell, .. }
+            | Event::AttackEvaluated { cell, .. }
+            | Event::AttackCached { cell, .. }
+            | Event::CacheError { cell, .. } => Some(cell),
+        }
+    }
+}
+
+/// A thread-safe, append-only journal writer.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` for appending.
+    ///
+    /// A killed run can leave a torn final line; without a terminator the
+    /// next append would continue *on* that line and the reader would drop
+    /// both halves. Opening therefore heals the tail: a non-empty file not
+    /// ending in `\n` gets one before any new event is written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be opened.
+    pub fn open_append(path: &Path) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event as a single JSON line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the line cannot be written.
+    pub fn log(&self, event: &Event) -> io::Result<()> {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = self.file.lock().expect("journal mutex poisoned");
+        writeln!(file, "{line}")?;
+        file.flush()
+    }
+}
+
+/// Reads every event in a journal file, in order. Unparseable lines (e.g.
+/// a torn trailing line from a killed run) are skipped, not fatal.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be opened or read.
+pub fn read_events(path: &Path) -> io::Result<Vec<Event>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if let Ok(event) = serde_json::from_str::<Event>(&line) {
+            events.push(event);
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("store_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let path = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open_append(&path).unwrap();
+        let events = [
+            Event::RunStarted { resumed: false },
+            Event::CellTrained {
+                cell: "v-t".into(),
+                clean_accuracy: 0.75,
+                learnable: true,
+                millis: 12,
+            },
+            Event::AttackCached {
+                cell: "v-t".into(),
+                eps: 0.5,
+                robustness: 0.25,
+            },
+        ];
+        for e in &events {
+            journal.log(e).unwrap();
+        }
+        let back = read_events(&path).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let path = tmp("torn.jsonl");
+        let journal_line = serde_json::to_string(&Event::RunStarted { resumed: true }).unwrap();
+        std::fs::write(&path, format!("{journal_line}\n{{\"CellTra")).unwrap();
+        let events = read_events(&path).unwrap();
+        assert_eq!(events, [Event::RunStarted { resumed: true }]);
+    }
+
+    #[test]
+    fn reopening_heals_a_torn_tail() {
+        let path = tmp("heal.jsonl");
+        let first = serde_json::to_string(&Event::RunStarted { resumed: false }).unwrap();
+        // A killed run left the last line torn (no trailing newline).
+        std::fs::write(&path, format!("{first}\n{{\"CellTra")).unwrap();
+        let journal = Journal::open_append(&path).unwrap();
+        let appended = Event::RunStarted { resumed: true };
+        journal.log(&appended).unwrap();
+        // The torn line is skipped; the appended event is NOT lost to it.
+        let events = read_events(&path).unwrap();
+        assert_eq!(events, [Event::RunStarted { resumed: false }, appended]);
+    }
+
+    #[test]
+    fn cell_accessor_extracts_keys() {
+        assert_eq!(Event::RunStarted { resumed: false }.cell(), None);
+        assert_eq!(Event::CellStarted { cell: "a".into() }.cell(), Some("a"));
+    }
+}

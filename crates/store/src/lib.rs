@@ -1,0 +1,64 @@
+//! Durable experiment state for the exploration pipeline.
+//!
+//! The `--full` `(V_th, T)` grid is the most expensive computation in this
+//! workspace: one SNN training per grid cell *before* the security study
+//! even starts. This crate makes that work durable, resumable, and
+//! cacheable:
+//!
+//! * [`mod@format`] — a versioned, checksummed binary serialization for
+//!   [`Tensor`](tensor::Tensor) and [`Params`](nn::Params) checkpoints.
+//!   Loads reject truncated, corrupted, or version-mismatched files with
+//!   typed [`StoreError`]s; they never panic.
+//! * [`fingerprint`] — a deterministic run fingerprint hashed over the
+//!   experiment configuration, grid, ε sweep, and format version, so a
+//!   config change can never silently reuse stale checkpoints.
+//! * [`journal`] — an append-only JSONL event log (`events.jsonl`) giving
+//!   basic observability into long runs: which cells trained, which were
+//!   served from cache, and how long each step took.
+//! * [`run`] — the [`RunStore`] handle tying it together: one directory per
+//!   fingerprint holding a manifest, per-cell training checkpoints, and a
+//!   *separate* per-(cell, ε) attack cache, so extending the ε sweep reuses
+//!   every trained model.
+//!
+//! # Run directory layout
+//!
+//! ```text
+//! <out-dir>/runs/run-<fingerprint>/
+//!   manifest.json            what this run is (config, grid, ε sweep)
+//!   events.jsonl             append-only journal, one JSON event per line
+//!   cells/<cell>/train.bin   training summary (clean accuracy, learnability)
+//!   cells/<cell>/params.bin  trained weights (format::write_params)
+//!   cells/<cell>/attacks/<ε>.bin   one cached robustness value per budget
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use store::{CellMeta, Fingerprint, RunStore};
+//!
+//! let root = std::env::temp_dir().join("store_doc_example");
+//! let fp = Fingerprint::builder().section("config", b"demo").finish();
+//! let opened = RunStore::open(&root, &fp, "{\"demo\":true}", false).unwrap();
+//! let store = opened.store;
+//! assert!(!opened.resumed);
+//!
+//! let mut params = nn::Params::new();
+//! params.register("w", tensor::Tensor::ones(&[2, 2]));
+//! let meta = CellMeta { clean_accuracy: 0.9, learnable: true };
+//! store.save_trained("v1-t4", &params, &meta).unwrap();
+//! let (back, m) = store.load_trained("v1-t4").unwrap().unwrap();
+//! assert_eq!(back.num_scalars(), 4);
+//! assert_eq!(m, meta);
+//! ```
+
+pub mod error;
+pub mod fingerprint;
+pub mod format;
+pub mod journal;
+pub mod run;
+
+pub use error::StoreError;
+pub use fingerprint::Fingerprint;
+pub use format::FORMAT_VERSION;
+pub use journal::Event;
+pub use run::{CellMeta, OpenedRun, RunStore};

@@ -1,0 +1,361 @@
+//! The [`RunStore`] handle: one fingerprinted directory per run, holding a
+//! manifest, per-cell training checkpoints, a separate per-(cell, ε) attack
+//! cache, and the event journal.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nn::Params;
+
+use crate::error::StoreError;
+use crate::fingerprint::Fingerprint;
+use crate::format;
+use crate::journal::{Event, Journal};
+
+/// File name of the run manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// File name of the event journal inside a run directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// The checkpointed training summary of one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMeta {
+    /// Clean test accuracy after training.
+    pub clean_accuracy: f32,
+    /// Whether the accuracy met the learnability threshold `A_th`.
+    pub learnable: bool,
+}
+
+/// The result of [`RunStore::open`].
+#[derive(Debug)]
+pub struct OpenedRun {
+    /// The opened store.
+    pub store: RunStore,
+    /// `true` when an existing run directory (and its checkpoints) is being
+    /// reused.
+    pub resumed: bool,
+}
+
+/// A handle to one run directory.
+///
+/// The handle is `Sync`: grid workers share one `&RunStore` and each writes
+/// only its own cell's files, while journal appends are serialised through
+/// an internal mutex.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    journal: Journal,
+}
+
+impl RunStore {
+    /// Opens the run directory for `fingerprint` under `root`, creating it
+    /// if needed.
+    ///
+    /// With `resume = false` any existing directory for this fingerprint is
+    /// cleared first — the run starts from scratch. With `resume = true`
+    /// existing checkpoints are kept and will be served as cache hits.
+    /// Either way the manifest is compared byte-for-byte when it already
+    /// exists; a mismatch means the directory does not describe this
+    /// experiment and is refused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::ManifestMismatch`] when the directory belongs to a
+    /// different experiment.
+    pub fn open(
+        root: &Path,
+        fingerprint: &Fingerprint,
+        manifest_json: &str,
+        resume: bool,
+    ) -> Result<OpenedRun, StoreError> {
+        let dir = root.join(format!("run-{}", fingerprint.hex()));
+        if !resume && dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let resumed = resume && manifest_path.exists();
+        fs::create_dir_all(dir.join("cells"))?;
+        if resumed {
+            let existing = fs::read_to_string(&manifest_path)?;
+            if existing != manifest_json {
+                return Err(StoreError::ManifestMismatch { dir });
+            }
+        } else {
+            format::write_atomic(&manifest_path, manifest_json.as_bytes())?;
+        }
+        let journal = Journal::open_append(&dir.join(EVENTS_FILE))?;
+        let store = Self { dir, journal };
+        store.log(&Event::RunStarted { resumed });
+        Ok(OpenedRun { store, resumed })
+    }
+
+    /// The run directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The journal file path (`events.jsonl`).
+    pub fn journal_path(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// Appends an event to the journal. Journal writes are best-effort:
+    /// a failure is reported on stderr but never aborts the run, because
+    /// observability must not cost results.
+    pub fn log(&self, event: &Event) {
+        if let Err(e) = self.journal.log(event) {
+            eprintln!(
+                "warning: could not append to {}: {e}",
+                self.journal.path().display()
+            );
+        }
+    }
+
+    fn cell_dir(&self, cell: &str) -> PathBuf {
+        self.dir.join("cells").join(cell)
+    }
+
+    // -- training cache ----------------------------------------------------
+
+    /// Checkpoints a trained cell: weights plus training summary.
+    ///
+    /// The weights land before the summary, and the loader requires the
+    /// summary, so a cell killed mid-save is simply absent, never torn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the checkpoint cannot be written.
+    pub fn save_trained(
+        &self,
+        cell: &str,
+        params: &Params,
+        meta: &CellMeta,
+    ) -> Result<(), StoreError> {
+        let dir = self.cell_dir(cell);
+        fs::create_dir_all(&dir)?;
+        format::write_params(&dir.join("params.bin"), params)?;
+        format::write_atomic(
+            &dir.join("train.bin"),
+            &format::encode_cell_meta(meta.clean_accuracy, meta.learnable),
+        )
+    }
+
+    /// Loads a cell's training checkpoint, if it is complete.
+    ///
+    /// `Ok(None)` means the cell was never (fully) checkpointed; any error
+    /// means files exist but cannot be trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StoreError`] if a present checkpoint is damaged,
+    /// truncated, or of an unsupported version.
+    pub fn load_trained(&self, cell: &str) -> Result<Option<(Params, CellMeta)>, StoreError> {
+        let dir = self.cell_dir(cell);
+        let meta_path = dir.join("train.bin");
+        if !meta_path.exists() {
+            return Ok(None);
+        }
+        let (clean_accuracy, learnable) = format::decode_cell_meta(&fs::read(&meta_path)?)?;
+        let params = format::read_params(&dir.join("params.bin"))?;
+        Ok(Some((
+            params,
+            CellMeta {
+                clean_accuracy,
+                learnable,
+            },
+        )))
+    }
+
+    // -- attack cache ------------------------------------------------------
+
+    /// The attack-cache file name for sweep position `index` at budget
+    /// `eps`. The exact ε bit pattern and its position in the sweep both
+    /// participate, because the PGD instance is seeded per sweep position —
+    /// reordering the sweep must miss the cache.
+    fn attack_path(&self, cell: &str, index: usize, eps: f32) -> PathBuf {
+        self.cell_dir(cell)
+            .join("attacks")
+            .join(format!("k{index:02}-e{:08x}.bin", eps.to_bits()))
+    }
+
+    /// Caches one `(cell, ε)` attack outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the entry cannot be written.
+    pub fn save_attack(
+        &self,
+        cell: &str,
+        index: usize,
+        eps: f32,
+        robustness: f32,
+    ) -> Result<(), StoreError> {
+        let path = self.attack_path(cell, index, eps);
+        fs::create_dir_all(path.parent().expect("attack path has a parent"))?;
+        format::write_atomic(&path, &format::encode_attack_result(eps, robustness))
+    }
+
+    /// Looks up a cached `(cell, ε)` attack outcome. `Ok(None)` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StoreError`] if a present entry is damaged or was
+    /// recorded for a different ε than its file name claims.
+    pub fn load_attack(
+        &self,
+        cell: &str,
+        index: usize,
+        eps: f32,
+    ) -> Result<Option<f32>, StoreError> {
+        let path = self.attack_path(cell, index, eps);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let (stored_eps, robustness) = format::decode_attack_result(&fs::read(&path)?)?;
+        if stored_eps.to_bits() != eps.to_bits() {
+            return Err(StoreError::Corrupt(format!(
+                "attack cache entry stores ε bits {:08x}, expected {:08x}",
+                stored_eps.to_bits(),
+                eps.to_bits()
+            )));
+        }
+        Ok(Some(robustness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Tensor;
+
+    fn fresh_root(name: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("store_run_tests_{name}"));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn fp(tag: &[u8]) -> Fingerprint {
+        Fingerprint::builder().section("t", tag).finish()
+    }
+
+    fn sample_params() -> Params {
+        let mut p = Params::new();
+        p.register("w", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        p
+    }
+
+    #[test]
+    fn fresh_open_then_resume_round_trips_cells() {
+        let root = fresh_root("roundtrip");
+        let f = fp(b"a");
+        let opened = RunStore::open(&root, &f, "{\"m\":1}", false).unwrap();
+        assert!(!opened.resumed);
+        let meta = CellMeta {
+            clean_accuracy: 0.8125,
+            learnable: true,
+        };
+        opened
+            .store
+            .save_trained("c1", &sample_params(), &meta)
+            .unwrap();
+        opened.store.save_attack("c1", 0, 0.5, 0.75).unwrap();
+
+        let reopened = RunStore::open(&root, &f, "{\"m\":1}", true).unwrap();
+        assert!(reopened.resumed);
+        let (params, back) = reopened.store.load_trained("c1").unwrap().unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(params.num_scalars(), 3);
+        assert_eq!(
+            reopened.store.load_attack("c1", 0, 0.5).unwrap(),
+            Some(0.75)
+        );
+        // Same ε at a different sweep position is a distinct entry.
+        assert_eq!(reopened.store.load_attack("c1", 1, 0.5).unwrap(), None);
+        assert_eq!(reopened.store.load_trained("c2").unwrap().map(|_| ()), None);
+    }
+
+    #[test]
+    fn non_resume_open_clears_prior_state() {
+        let root = fresh_root("clears");
+        let f = fp(b"b");
+        let first = RunStore::open(&root, &f, "{}", false).unwrap();
+        first
+            .store
+            .save_trained(
+                "c1",
+                &sample_params(),
+                &CellMeta {
+                    clean_accuracy: 0.5,
+                    learnable: true,
+                },
+            )
+            .unwrap();
+        let second = RunStore::open(&root, &f, "{}", false).unwrap();
+        assert!(!second.resumed);
+        assert!(second.store.load_trained("c1").unwrap().is_none());
+    }
+
+    #[test]
+    fn manifest_disagreement_is_refused() {
+        let root = fresh_root("mismatch");
+        let f = fp(b"c");
+        RunStore::open(&root, &f, "{\"v\":1}", false).unwrap();
+        let err = RunStore::open(&root, &f, "{\"v\":2}", true).unwrap_err();
+        assert!(matches!(err, StoreError::ManifestMismatch { .. }));
+    }
+
+    #[test]
+    fn different_fingerprints_use_disjoint_directories() {
+        let root = fresh_root("disjoint");
+        let a = RunStore::open(&root, &fp(b"a"), "{}", false).unwrap();
+        let b = RunStore::open(&root, &fp(b"b"), "{}", false).unwrap();
+        assert_ne!(a.store.dir(), b.store.dir());
+    }
+
+    #[test]
+    fn journal_records_run_starts() {
+        let root = fresh_root("journal");
+        let f = fp(b"j");
+        let opened = RunStore::open(&root, &f, "{}", false).unwrap();
+        opened.store.log(&Event::CellStarted { cell: "c".into() });
+        drop(opened);
+        let reopened = RunStore::open(&root, &f, "{}", true).unwrap();
+        let events = crate::journal::read_events(reopened.store.journal_path()).unwrap();
+        assert_eq!(
+            events,
+            [
+                Event::RunStarted { resumed: false },
+                Event::CellStarted { cell: "c".into() },
+                Event::RunStarted { resumed: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn damaged_cell_checkpoint_is_a_typed_error() {
+        let root = fresh_root("damaged");
+        let f = fp(b"d");
+        let opened = RunStore::open(&root, &f, "{}", false).unwrap();
+        opened
+            .store
+            .save_trained(
+                "c1",
+                &sample_params(),
+                &CellMeta {
+                    clean_accuracy: 0.5,
+                    learnable: true,
+                },
+            )
+            .unwrap();
+        let params_path = opened.store.dir().join("cells/c1/params.bin");
+        let mut bytes = fs::read(&params_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&params_path, bytes).unwrap();
+        assert!(matches!(
+            opened.store.load_trained("c1"),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+}

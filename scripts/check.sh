@@ -13,6 +13,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run --quiet
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 

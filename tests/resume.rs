@@ -1,0 +1,219 @@
+//! Kill-and-resume acceptance tests for the run store.
+//!
+//! The contract under test: a grid run that is killed partway through and
+//! restarted with `--resume` produces artefacts **bitwise-identical** to an
+//! uninterrupted run, and the journal proves which cells were served from
+//! the cache instead of retrained.
+
+use std::fs;
+use std::path::PathBuf;
+
+use explore::{grid, pipeline, presets, runs, GridSpec};
+use snn::StructuralParams;
+use store::journal::read_events;
+use store::Event;
+
+fn tmp_out(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiking_armor_resume_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_config() -> explore::ExperimentConfig {
+    let mut cfg = presets::quick();
+    cfg.epochs = 3;
+    cfg.attack_samples = 8;
+    cfg.pgd_steps = 2;
+    cfg.accuracy_threshold = 0.15;
+    cfg
+}
+
+fn small_grid() -> (GridSpec, Vec<f32>) {
+    (GridSpec::new(vec![0.5, 1.5], vec![2, 4]), vec![0.1f32, 0.3])
+}
+
+/// The acceptance scenario from the issue: run a small grid to completion,
+/// "kill" it after N cells (by deleting the later cells' checkpoints and
+/// tearing the journal's last line, which is exactly the state a SIGKILL
+/// leaves behind), re-run with resume, and require (a) the re-run's
+/// artefact bytes equal the uninterrupted run's, and (b) the journal shows
+/// the first N cells loaded from cache, the rest retrained.
+#[test]
+fn killed_grid_resumes_bitwise_identical() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let (spec, epsilons) = small_grid();
+    let cells: Vec<StructuralParams> = spec.cells().collect();
+    assert_eq!(cells.len(), 4);
+
+    // Uninterrupted reference run.
+    let out_a = tmp_out("reference");
+    let opened = runs::open(&out_a, "heatmap", &cfg, Some(&spec), &epsilons, false).unwrap();
+    assert!(!opened.resumed);
+    let reference = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&opened.store));
+    let artifact_a = out_a.join("grid.json");
+    explore::report::save_json(&reference, &artifact_a).unwrap();
+
+    // Interrupted run: complete it, then reconstruct the on-disk state of a
+    // run killed after the first two cells.
+    let out_b = tmp_out("interrupted");
+    let opened = runs::open(&out_b, "heatmap", &cfg, Some(&spec), &epsilons, false).unwrap();
+    let _ = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&opened.store));
+    let run_dir = opened.store.dir().to_path_buf();
+    drop(opened);
+    let (survivors, killed) = cells.split_at(2);
+    for &sp in killed {
+        fs::remove_dir_all(run_dir.join("cells").join(runs::cell_key(sp))).unwrap();
+    }
+    // Tear the journal mid-line, as a kill during an append would.
+    let journal_path = run_dir.join("events.jsonl");
+    let journal_bytes = fs::read(&journal_path).unwrap();
+    fs::write(&journal_path, &journal_bytes[..journal_bytes.len() - 7]).unwrap();
+
+    // Resume. A different thread count on purpose: parallelism must not
+    // key the cache or change the results.
+    let resumed = runs::open(&out_b, "heatmap", &cfg, Some(&spec), &epsilons, true).unwrap();
+    assert!(resumed.resumed);
+    let rerun = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 1, Some(&resumed.store));
+    let artifact_b = out_b.join("grid.json");
+    explore::report::save_json(&rerun, &artifact_b).unwrap();
+
+    // (a) Bitwise-identical artefacts.
+    assert_eq!(rerun, reference);
+    assert_eq!(
+        fs::read(&artifact_a).unwrap(),
+        fs::read(&artifact_b).unwrap(),
+        "resumed artefact must be bitwise-identical to the uninterrupted one"
+    );
+
+    // (b) The journal proves the cache behaviour: after the resumed
+    // RunStarted, the surviving cells were loaded, the killed ones
+    // retrained.
+    let events = read_events(resumed.store.journal_path()).unwrap();
+    let last_start = events
+        .iter()
+        .rposition(|e| matches!(e, Event::RunStarted { resumed: true }))
+        .expect("the resumed run logged its start");
+    let after: &[Event] = &events[last_start + 1..];
+    for &sp in survivors {
+        let key = runs::cell_key(sp);
+        assert!(
+            after
+                .iter()
+                .any(|e| matches!(e, Event::CellCached { cell, .. } if *cell == key)),
+            "surviving cell {key} must be served from the cache"
+        );
+        assert!(
+            !after
+                .iter()
+                .any(|e| matches!(e, Event::CellTrained { cell, .. } if *cell == key)),
+            "surviving cell {key} must not be retrained"
+        );
+    }
+    for &sp in killed {
+        let key = runs::cell_key(sp);
+        assert!(
+            after
+                .iter()
+                .any(|e| matches!(e, Event::CellTrained { cell, .. } if *cell == key)),
+            "killed cell {key} must be retrained"
+        );
+    }
+}
+
+/// A damaged checkpoint (bit rot, torn write on a weird filesystem) must
+/// never poison a resumed run: the store reports it in the journal, the
+/// cell retrains, and the results still match an uninterrupted run.
+#[test]
+fn corrupted_checkpoint_self_heals_on_resume() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let (spec, epsilons) = small_grid();
+    let victim = spec.cells().next().unwrap();
+
+    let out = tmp_out("corrupted");
+    let opened = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, false).unwrap();
+    let reference = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&opened.store));
+    let run_dir = opened.store.dir().to_path_buf();
+    drop(opened);
+
+    // Flip one byte in the middle of the victim cell's weights.
+    let params_path = run_dir
+        .join("cells")
+        .join(runs::cell_key(victim))
+        .join("params.bin");
+    let mut bytes = fs::read(&params_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&params_path, bytes).unwrap();
+
+    let resumed = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, true).unwrap();
+    let rerun = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&resumed.store));
+    assert_eq!(rerun, reference);
+
+    let events = read_events(resumed.store.journal_path()).unwrap();
+    let key = runs::cell_key(victim);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::CacheError { cell, .. } if *cell == key)),
+        "the rejected checkpoint must be reported in the journal"
+    );
+}
+
+/// Extending the ε sweep is a new run (new fingerprint), but the training
+/// cache of the old run must not be consulted — while *within* one run,
+/// the attack cache and training cache are independent, so re-running the
+/// same store with the same sweep hits both.
+#[test]
+fn rerun_with_same_sweep_is_pure_cache() {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let (spec, epsilons) = small_grid();
+
+    let out = tmp_out("pure_cache");
+    let opened = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, false).unwrap();
+    let reference = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&opened.store));
+    drop(opened);
+
+    let resumed = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, true).unwrap();
+    let rerun = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, 2, Some(&resumed.store));
+    assert_eq!(rerun, reference);
+
+    let events = read_events(resumed.store.journal_path()).unwrap();
+    let last_start = events
+        .iter()
+        .rposition(|e| matches!(e, Event::RunStarted { resumed: true }))
+        .unwrap();
+    let after = &events[last_start + 1..];
+    assert!(
+        !after
+            .iter()
+            .any(|e| matches!(e, Event::CellTrained { .. } | Event::AttackEvaluated { .. })),
+        "a full resume must neither retrain nor re-attack anything"
+    );
+    // Every learnable cell's every ε came from the attack cache.
+    let attack_hits = after
+        .iter()
+        .filter(|e| matches!(e, Event::AttackCached { .. }))
+        .count();
+    let learnable = reference.outcomes.iter().filter(|o| o.learnable).count();
+    assert_eq!(attack_hits, learnable * epsilons.len());
+}
+
+/// A run with a different configuration never shares a directory (and thus
+/// never shares checkpoints) with an existing run.
+#[test]
+fn different_config_gets_a_fresh_run_directory() {
+    let cfg = small_config();
+    let (spec, epsilons) = small_grid();
+    let out = tmp_out("fresh_dir");
+    let first = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, false).unwrap();
+    let mut tweaked = cfg.clone();
+    tweaked.seed ^= 1;
+    let second = runs::open(&out, "heatmap", &tweaked, Some(&spec), &epsilons, true).unwrap();
+    assert_ne!(first.store.dir(), second.store.dir());
+    // Even with --resume there is nothing to resume: the run is new.
+    assert!(!second.resumed);
+}
