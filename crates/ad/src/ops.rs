@@ -144,19 +144,22 @@ impl<'t> Var<'t> {
     ///
     /// Panics if the shapes differ or the tapes differ.
     pub fn maximum(self, other: Var<'t>) -> Var<'t> {
-        let value = self.value().maximum(&other.value());
+        self.assert_same_tape(&other);
+        let value = self
+            .tape
+            .with_values_of(self.id, other.id, |a, b| a.maximum(b));
         self.binary(other, value, Op::Maximum(self.id, other.id))
     }
 
     /// Multiplies every element by `s`.
     pub fn mul_scalar(self, s: f32) -> Var<'t> {
-        let value = self.value().mul_scalar(s);
+        let value = self.with_value(|v| v.mul_scalar(s));
         self.tape.push(value, Op::MulScalar(self.id, s))
     }
 
     /// Adds `s` to every element (gradient passes through unchanged).
     pub fn add_scalar(self, s: f32) -> Var<'t> {
-        let value = self.value().add_scalar(s);
+        let value = self.with_value(|v| v.add_scalar(s));
         self.tape.push(value, Op::AddScalar(self.id))
     }
 
@@ -166,7 +169,10 @@ impl<'t> Var<'t> {
     ///
     /// Panics on rank/shape mismatch or cross-tape operands.
     pub fn matmul(self, other: Var<'t>) -> Var<'t> {
-        let value = self.value().matmul(&other.value());
+        self.assert_same_tape(&other);
+        let value = self
+            .tape
+            .with_values_of(self.id, other.id, |a, b| a.matmul(b));
         self.binary(other, value, Op::Matmul(self.id, other.id))
     }
 
@@ -177,7 +183,10 @@ impl<'t> Var<'t> {
     ///
     /// Panics on any shape violation (see [`tensor::conv::conv2d`]).
     pub fn conv2d(self, w: Var<'t>, spec: Conv2dSpec) -> Var<'t> {
-        let value = conv2d(&self.value(), &w.value(), spec);
+        self.assert_same_tape(&w);
+        let value = self
+            .tape
+            .with_values_of(self.id, w.id, |x, k| conv2d(x, k, spec));
         self.binary(
             w,
             value,
@@ -195,7 +204,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `k` does not divide the spatial extent.
     pub fn avg_pool2d(self, k: usize) -> Var<'t> {
-        let value = avg_pool2d(&self.value(), k);
+        let value = self.with_value(|v| avg_pool2d(v, k));
         self.tape.push(value, Op::AvgPool { x: self.id, k })
     }
 
@@ -205,19 +214,19 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `k` does not divide the spatial extent.
     pub fn max_pool2d(self, k: usize) -> Var<'t> {
-        let (value, argmax) = max_pool2d(&self.value(), k);
+        let (value, argmax) = self.with_value(|v| max_pool2d(v, k));
         self.tape.push(value, Op::MaxPool { x: self.id, argmax })
     }
 
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'t> {
-        let value = self.value().map(|v| v.max(0.0));
+        let value = self.with_value(|v| v.map(|x| x.max(0.0)));
         self.tape.push(value, Op::Relu(self.id))
     }
 
     /// Elementwise natural exponential.
     pub fn exp(self) -> Var<'t> {
-        let value = self.value().exp();
+        let value = self.with_value(Tensor::exp);
         self.tape.push(value, Op::Exp(self.id))
     }
 
@@ -225,19 +234,19 @@ impl<'t> Var<'t> {
     /// for meaningful gradients; non-positive inputs produce `-inf`/NaN
     /// values exactly as `f32::ln` does.
     pub fn ln(self) -> Var<'t> {
-        let value = self.value().ln();
+        let value = self.with_value(Tensor::ln);
         self.tape.push(value, Op::Ln(self.id))
     }
 
     /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(self) -> Var<'t> {
-        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.with_value(|v| v.map(|x| 1.0 / (1.0 + (-x).exp())));
         self.tape.push(value, Op::Sigmoid(self.id))
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(self) -> Var<'t> {
-        let value = self.value().map(f32::tanh);
+        let value = self.with_value(|v| v.map(f32::tanh));
         self.tape.push(value, Op::Tanh(self.id))
     }
 
@@ -248,7 +257,8 @@ impl<'t> Var<'t> {
     /// Panics if the shapes differ or the tapes differ.
     #[allow(clippy::should_implement_trait)] // by-value taped op, not std::ops::Div
     pub fn div(self, other: Var<'t>) -> Var<'t> {
-        let value = self.value().div(&other.value());
+        self.assert_same_tape(&other);
+        let value = self.tape.with_values_of(self.id, other.id, |a, b| a.div(b));
         self.binary(other, value, Op::Div(self.id, other.id))
     }
 
@@ -258,7 +268,10 @@ impl<'t> Var<'t> {
     ///
     /// Panics on the shape violations of [`Tensor::add_bias`].
     pub fn add_bias(self, b: Var<'t>) -> Var<'t> {
-        let value = self.value().add_bias(&b.value());
+        self.assert_same_tape(&b);
+        let value = self
+            .tape
+            .with_values_of(self.id, b.id, |x, bias| x.add_bias(bias));
         self.binary(
             b,
             value,
@@ -275,7 +288,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(self, dims: &[usize]) -> Var<'t> {
-        let value = self.value().reshape(dims);
+        let value = self.with_value(|v| v.reshape(dims));
         self.tape.push(value, Op::Reshape(self.id))
     }
 
@@ -289,27 +302,29 @@ impl<'t> Var<'t> {
     /// Panics if the variable is not rank 4, `start >= end`, or `end`
     /// exceeds the channel count.
     pub fn slice_channels(self, start: usize, end: usize) -> Var<'t> {
-        let value = self.value();
-        let dims = value.dims();
-        assert_eq!(
-            dims.len(),
-            4,
-            "slice_channels needs [N, C, H, W], got {dims:?}"
-        );
-        assert!(start < end, "empty channel slice [{start}, {end})");
-        assert!(
-            end <= dims[1],
-            "channel slice end {end} exceeds {}",
-            dims[1]
-        );
-        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        let plane = h * w;
-        let out_c = end - start;
-        let mut out = Tensor::zeros(&[n, out_c, h, w]);
-        for s in 0..n {
-            let src = &value.data()[(s * c + start) * plane..(s * c + end) * plane];
-            out.data_mut()[s * out_c * plane..(s + 1) * out_c * plane].copy_from_slice(src);
-        }
+        let out = self.with_value(|value| {
+            let dims = value.dims();
+            assert_eq!(
+                dims.len(),
+                4,
+                "slice_channels needs [N, C, H, W], got {dims:?}"
+            );
+            assert!(start < end, "empty channel slice [{start}, {end})");
+            assert!(
+                end <= dims[1],
+                "channel slice end {end} exceeds {}",
+                dims[1]
+            );
+            let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+            let plane = h * w;
+            let out_c = end - start;
+            let mut out = Tensor::zeros(&[n, out_c, h, w]);
+            for s in 0..n {
+                let src = &value.data()[(s * c + start) * plane..(s * c + end) * plane];
+                out.data_mut()[s * out_c * plane..(s + 1) * out_c * plane].copy_from_slice(src);
+            }
+            out
+        });
         self.tape.push(
             out,
             Op::SliceChannels {
@@ -322,13 +337,13 @@ impl<'t> Var<'t> {
 
     /// Sum of all elements, as a rank-0 scalar.
     pub fn sum(self) -> Var<'t> {
-        let value = Tensor::scalar(self.value().sum());
+        let value = Tensor::scalar(self.with_value(Tensor::sum));
         self.tape.push(value, Op::Sum(self.id))
     }
 
     /// Mean of all elements, as a rank-0 scalar.
     pub fn mean(self) -> Var<'t> {
-        let value = Tensor::scalar(self.value().mean());
+        let value = Tensor::scalar(self.with_value(Tensor::mean));
         self.tape.push(value, Op::Mean(self.id))
     }
 
@@ -338,7 +353,7 @@ impl<'t> Var<'t> {
     ///
     /// Panics if the value is not rank 2.
     pub fn log_softmax(self) -> Var<'t> {
-        let value = self.value().log_softmax_rows();
+        let value = self.with_value(Tensor::log_softmax_rows);
         self.tape.push(value, Op::LogSoftmax(self.id))
     }
 
@@ -349,23 +364,24 @@ impl<'t> Var<'t> {
     ///
     /// Panics if `targets.len() != N` or any target is `>= C`.
     pub fn nll_loss(self, targets: &[usize]) -> Var<'t> {
-        let logp = self.value();
-        let (n, c) = match logp.dims() {
-            [n, c] => (*n, *c),
-            d => panic!("nll_loss requires rank-2 log-probabilities, got {d:?}"),
-        };
-        assert_eq!(
-            targets.len(),
-            n,
-            "nll_loss: {n} rows but {} targets",
-            targets.len()
-        );
-        let mut acc = 0.0;
-        for (i, &t) in targets.iter().enumerate() {
-            assert!(t < c, "target {t} out of range for {c} classes");
-            acc -= logp.data()[i * c + t];
-        }
-        let value = Tensor::scalar(acc / n as f32);
+        let value = self.with_value(|logp| {
+            let (n, c) = match logp.dims() {
+                [n, c] => (*n, *c),
+                d => panic!("nll_loss requires rank-2 log-probabilities, got {d:?}"),
+            };
+            assert_eq!(
+                targets.len(),
+                n,
+                "nll_loss: {n} rows but {} targets",
+                targets.len()
+            );
+            let mut acc = 0.0;
+            for (i, &t) in targets.iter().enumerate() {
+                assert!(t < c, "target {t} out of range for {c} classes");
+                acc -= logp.data()[i * c + t];
+            }
+            Tensor::scalar(acc / n as f32)
+        });
         self.tape.push(
             value,
             Op::NllLoss {
@@ -388,7 +404,7 @@ impl<'t> Var<'t> {
     /// Applies a [`CustomUnary`] operation (see the trait docs for an
     /// example). The op's `backward` defines the gradient.
     pub fn custom_unary(self, op: Box<dyn CustomUnary>) -> Var<'t> {
-        let value = op.forward(&self.value());
+        let value = self.with_value(|v| op.forward(v));
         self.tape.push(value, Op::Custom { x: self.id, op })
     }
 }
@@ -396,7 +412,8 @@ impl<'t> Var<'t> {
 impl<'t> std::ops::Add for Var<'t> {
     type Output = Var<'t>;
     fn add(self, rhs: Var<'t>) -> Var<'t> {
-        let value = self.value().add(&rhs.value());
+        self.assert_same_tape(&rhs);
+        let value = self.tape.with_values_of(self.id, rhs.id, |a, b| a.add(b));
         self.binary(rhs, value, Op::Add(self.id, rhs.id))
     }
 }
@@ -404,7 +421,8 @@ impl<'t> std::ops::Add for Var<'t> {
 impl<'t> std::ops::Sub for Var<'t> {
     type Output = Var<'t>;
     fn sub(self, rhs: Var<'t>) -> Var<'t> {
-        let value = self.value().sub(&rhs.value());
+        self.assert_same_tape(&rhs);
+        let value = self.tape.with_values_of(self.id, rhs.id, |a, b| a.sub(b));
         self.binary(rhs, value, Op::Sub(self.id, rhs.id))
     }
 }
@@ -412,7 +430,8 @@ impl<'t> std::ops::Sub for Var<'t> {
 impl<'t> std::ops::Mul for Var<'t> {
     type Output = Var<'t>;
     fn mul(self, rhs: Var<'t>) -> Var<'t> {
-        let value = self.value().mul(&rhs.value());
+        self.assert_same_tape(&rhs);
+        let value = self.tape.with_values_of(self.id, rhs.id, |a, b| a.mul(b));
         self.binary(rhs, value, Op::Mul(self.id, rhs.id))
     }
 }
@@ -420,7 +439,7 @@ impl<'t> std::ops::Mul for Var<'t> {
 impl<'t> std::ops::Neg for Var<'t> {
     type Output = Var<'t>;
     fn neg(self) -> Var<'t> {
-        let value = self.value().neg();
+        let value = self.with_value(Tensor::neg);
         self.tape.push(value, Op::Neg(self.id))
     }
 }
@@ -458,9 +477,11 @@ pub(crate) fn propagate(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Opti
         Op::MulScalar(a, s) => accumulate(grads, *a, g.mul_scalar(*s)),
         Op::AddScalar(a) => accumulate(grads, *a, g.clone()),
         Op::Matmul(a, b) => {
+            // ∂A = g·Bᵀ, ∂B = Aᵀ·g — the _nt/_tn kernels pack the transposed
+            // operand directly instead of materialising the transpose.
             let (av, bv) = (&nodes[*a].value, &nodes[*b].value);
-            accumulate(grads, *a, g.matmul(&bv.transpose2d()));
-            accumulate(grads, *b, av.transpose2d().matmul(g));
+            accumulate(grads, *a, g.matmul_nt(bv));
+            accumulate(grads, *b, av.matmul_tn(g));
         }
         Op::Conv2d { x, w, spec } => {
             let (gx, gw) = conv2d_backward(&nodes[*x].value, &nodes[*w].value, g, *spec);

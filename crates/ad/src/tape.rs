@@ -87,6 +87,20 @@ impl Tape {
         self.nodes.borrow()[id].value.clone()
     }
 
+    pub(crate) fn with_value_of<R>(&self, id: usize, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.nodes.borrow()[id].value)
+    }
+
+    pub(crate) fn with_values_of<R>(
+        &self,
+        a: usize,
+        b: usize,
+        f: impl FnOnce(&Tensor, &Tensor) -> R,
+    ) -> R {
+        let nodes = self.nodes.borrow();
+        f(&nodes[a].value, &nodes[b].value)
+    }
+
     /// Summarises the recording: node count, total stored elements (a proxy
     /// for memory) and per-op counts — the tool for diagnosing BPTT memory
     /// growth with long time windows.
@@ -188,8 +202,32 @@ impl<'t> Var<'t> {
     }
 
     /// A clone of the recorded value.
+    ///
+    /// Copies the whole tensor; when a borrow suffices (summing, recording
+    /// statistics, shape checks) prefer [`Var::with_value`], which is what
+    /// keeps the SNN timestep loop free of per-step clones.
     pub fn value(&self) -> Tensor {
         self.tape.value_of(self.id)
+    }
+
+    /// Runs `f` on a borrow of the recorded value, without cloning it.
+    ///
+    /// `f` must not record new nodes on the same tape (the tape is borrowed
+    /// for the duration of the call); compute derived scalars or copies
+    /// inside and tape afterwards.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ad::Tape;
+    /// use tensor::Tensor;
+    ///
+    /// let tape = Tape::new();
+    /// let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+    /// assert_eq!(x.with_value(|v| v.sum()), 3.0);
+    /// ```
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        self.tape.with_value_of(self.id, f)
     }
 
     /// The dimensions of the recorded value.

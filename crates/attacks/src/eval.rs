@@ -56,8 +56,10 @@ pub fn evaluate_attack(
     batch_size: usize,
 ) -> AttackOutcome {
     let n = validate_eval_inputs(images, labels, batch_size);
+    // One slicing buffer reused (grow-only) across every mini-batch.
+    let mut batch = Tensor::zeros(&[1]);
     let counts: Vec<(usize, usize)> = (0..batch_count(n, batch_size))
-        .map(|bi| eval_one_batch(target, attack, images, labels, batch_size, bi))
+        .map(|bi| eval_one_batch(target, attack, images, labels, batch_size, bi, &mut batch))
         .collect();
     reduce_counts(&counts, n)
 }
@@ -87,7 +89,11 @@ pub fn evaluate_attack_parallel(
 ) -> AttackOutcome {
     let n = validate_eval_inputs(images, labels, batch_size);
     let counts = tensor::parallel::par_map_collect(batch_count(n, batch_size), threads, |bi| {
-        eval_one_batch(target, attack, images, labels, batch_size, bi)
+        // Each unit of parallel work brings its own slicing buffer; the
+        // batch-order reduction below keeps the outcome bitwise equal to
+        // the serial path regardless of which thread ran which batch.
+        let mut batch = Tensor::zeros(&[1]);
+        eval_one_batch(target, attack, images, labels, batch_size, bi, &mut batch)
     });
     reduce_counts(&counts, n)
 }
@@ -109,6 +115,11 @@ fn batch_count(n: usize, batch_size: usize) -> usize {
 
 /// Evaluates mini-batch `bi`, returning its `(clean, adversarial)`
 /// correct-prediction counts. One batch is one unit of parallel work.
+///
+/// `batch` is a caller-owned scratch tensor the mini-batch is sliced into
+/// (grow-only, so a reused buffer stops allocating once it has seen the
+/// largest batch shape).
+#[allow(clippy::too_many_arguments)]
 fn eval_one_batch(
     target: &dyn AdversarialTarget,
     attack: &dyn Attack,
@@ -116,21 +127,22 @@ fn eval_one_batch(
     labels: &[usize],
     batch_size: usize,
     bi: usize,
+    batch: &mut Tensor,
 ) -> (usize, usize) {
     let dims = images.dims();
     let n = dims[0];
     let sample_len: usize = dims[1..].iter().product();
     let start = bi * batch_size;
     let end = (start + batch_size).min(n);
-    let batch = Tensor::from_vec(
-        images.data()[start * sample_len..end * sample_len].to_vec(),
-        &[end - start, dims[1], dims[2], dims[3]],
-    );
+    batch.resize_reusing(&[end - start, dims[1], dims[2], dims[3]]);
+    batch
+        .data_mut()
+        .copy_from_slice(&images.data()[start * sample_len..end * sample_len]);
     let batch_labels = &labels[start..end];
-    let clean = count_correct(&target.predict(&batch), batch_labels);
-    let adv = attack.perturb(target, &batch, batch_labels);
+    let clean = count_correct(&target.predict(batch), batch_labels);
+    let adv = attack.perturb(target, batch, batch_labels);
     debug_assert!(
-        adv.sub(&batch).max_abs() <= attack.epsilon() + 1e-5,
+        adv.sub(batch).max_abs() <= attack.epsilon() + 1e-5,
         "attack {} exceeded its budget",
         attack.name()
     );

@@ -147,6 +147,44 @@ pub fn project(adv: &Tensor, x: &Tensor, epsilon: f32) -> Tensor {
     clipped.clamp(PIXEL_BOUNDS.0, PIXEL_BOUNDS.1)
 }
 
+/// One signed-gradient ascent step followed by the ε-ball/pixel-box
+/// projection, applied to `adv` in place.
+///
+/// Per element this performs exactly the float operations, in exactly the
+/// order, of the allocating composition
+/// `project(&adv.add(&grad.sign().mul_scalar(alpha)), x, epsilon)`, so the
+/// result is bitwise identical to it — but without materialising the four
+/// intermediate tensors that composition builds on every PGD iteration.
+///
+/// Public for the same reason as [`project`]: downstream code building
+/// custom iterative attacks gets the allocation-free hot loop with the same
+/// guarantees.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `epsilon` is negative.
+pub fn step_project_inplace(adv: &mut Tensor, grad: &Tensor, x: &Tensor, alpha: f32, epsilon: f32) {
+    assert!(
+        epsilon >= 0.0,
+        "epsilon must be non-negative, got {epsilon}"
+    );
+    assert_eq!(adv.dims(), grad.dims(), "adv/grad shapes differ");
+    assert_eq!(adv.dims(), x.dims(), "adv/x shapes differ");
+    for ((a, &g), &orig) in adv.data_mut().iter_mut().zip(grad.data()).zip(x.data()) {
+        // Same -1/0/+1 convention as `Tensor::sign` (NaN gradients step 0).
+        let sign = if g > 0.0 {
+            1.0
+        } else if g < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        let stepped = *a + sign * alpha;
+        let balled = stepped.clamp(orig - epsilon, orig + epsilon);
+        *a = balled.clamp(PIXEL_BOUNDS.0, PIXEL_BOUNDS.1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +202,25 @@ mod tests {
         let x = Tensor::from_vec(vec![0.3, 0.6], &[2]);
         let adv = Tensor::from_vec(vec![0.9, 0.1], &[2]);
         assert_eq!(project(&adv, &x, 0.0), x);
+    }
+
+    #[test]
+    fn inplace_step_matches_allocating_composition_bitwise() {
+        // Gradients covering every sign case, including ±0.0 and NaN, plus
+        // awkward magnitudes that stress the clamp boundaries.
+        let grad = Tensor::from_vec(
+            vec![3.7, -0.001, 0.0, -0.0, f32::NAN, 1e-30, -42.0, 0.25],
+            &[8],
+        );
+        let x = Tensor::from_vec(vec![0.0, 0.1, 0.5, 0.9, 1.0, 0.3, 0.05, 0.95], &[8]);
+        let adv0 = Tensor::from_vec(vec![0.02, 0.12, 0.48, 0.88, 0.99, 0.31, 0.0, 1.0], &[8]);
+        for &(alpha, eps) in &[(0.01f32, 0.03f32), (0.3, 0.1), (0.07, 0.0)] {
+            let reference = project(&adv0.add(&grad.sign().mul_scalar(alpha)), &x, eps);
+            let mut inplace = adv0.clone();
+            step_project_inplace(&mut inplace, &grad, &x, alpha, eps);
+            let bits_ref: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+            let bits_in: Vec<u32> = inplace.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_in, bits_ref, "alpha={alpha} eps={eps}");
+        }
     }
 }

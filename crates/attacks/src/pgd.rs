@@ -118,8 +118,9 @@ impl Attack for Pgd {
         };
         for _ in 0..self.steps {
             let (_, grad) = target.loss_and_input_grad(&adv, labels);
-            let stepped = adv.add(&grad.sign().mul_scalar(self.alpha));
-            adv = project(&stepped, x, self.epsilon);
+            // In-place, allocation-free step: bitwise identical to
+            // `project(&adv.add(&grad.sign().mul_scalar(alpha)), x, eps)`.
+            crate::step_project_inplace(&mut adv, &grad, x, self.alpha, self.epsilon);
         }
         adv
     }

@@ -1,7 +1,26 @@
-//! Microbenchmarks of the substrate layers: tensor kernels, autodiff tape
-//! overhead, LIF stepping, encoders and PGD iterations.
+//! Microbenchmarks of the substrate layers: tensor kernels (naive vs
+//! blocked GEMM, conv forward/backward), autodiff tape overhead, LIF
+//! stepping, encoders and PGD iterations.
+//!
+//! Unlike the figure benches this target uses its own harness so it can
+//! emit a machine-readable record of every measurement:
+//!
+//! * `cargo bench --bench micro` — full budgets; writes
+//!   `BENCH_tensor.json` (op, shape, ns/iter, threads) to the workspace
+//!   root, the committed before/after baseline for kernel work.
+//! * `cargo bench --bench micro -- --smoke` — second-scale budgets and
+//!   reduced shapes for CI; prints measurements but does not overwrite
+//!   the committed baseline.
+//!
+//! Both modes end with an allocation guard: every `*_into` kernel entry
+//! point (`matmul_into`, `conv2d_into`, `conv2d_backward_into`) is run
+//! against a warm [`Workspace`] and the bench **fails** (non-zero exit)
+//! if the workspace allocation counter moves — steady-state hot loops
+//! must not allocate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use ad::Tape;
 use attacks::Attack;
@@ -9,116 +28,279 @@ use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn::{Encoder, LifCell, LifParams};
-use tensor::conv::{conv2d, Conv2dSpec};
+use tensor::conv::{conv2d, conv2d_backward_into, conv2d_into, Conv2dSpec};
+use tensor::workspace::{alloc_count, Workspace};
 use tensor::Tensor;
 
-fn tensor_kernels(c: &mut Criterion) {
+/// One measurement destined for `BENCH_tensor.json`.
+struct Record {
+    op: &'static str,
+    shape: String,
+    ns_per_iter: f64,
+    threads: usize,
+}
+
+struct Runner {
+    smoke: bool,
+    records: Vec<Record>,
+}
+
+impl Runner {
+    fn budgets(&self) -> (Duration, Duration) {
+        if self.smoke {
+            (Duration::from_millis(20), Duration::from_millis(80))
+        } else {
+            (Duration::from_millis(300), Duration::from_millis(1500))
+        }
+    }
+
+    /// Times `f` (warm-up then fixed measuring budget) and records the
+    /// mean iteration time under `op`/`shape`/`threads`.
+    fn bench<O, F: FnMut() -> O>(
+        &mut self,
+        op: &'static str,
+        shape: &str,
+        threads: usize,
+        mut f: F,
+    ) {
+        tensor::parallel::set_max_threads(threads);
+        let (warmup, measure) = self.budgets();
+        let start = Instant::now();
+        while start.elapsed() < warmup {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= measure {
+                break;
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "  {op} [{shape}] x{threads}: {} ({iters} iters)",
+            fmt_ns(ns)
+        );
+        self.records.push(Record {
+            op,
+            shape: shape.to_string(),
+            ns_per_iter: ns,
+            threads,
+        });
+        tensor::parallel::set_max_threads(1);
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"bench_tensor/v1\",\n");
+        let _ = writeln!(
+            out,
+            "  \"mode\": \"{}\",",
+            if self.smoke { "smoke" } else { "full" }
+        );
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"op\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \"threads\": {}}}{comma}",
+                r.op, r.shape, r.ns_per_iter, r.threads
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn tensor_kernels(r: &mut Runner) {
+    println!("\ngroup: tensor");
     let mut rng = StdRng::seed_from_u64(0);
-    let a = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
-    let b = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    // The headline before/after pair: the naive triple loop the blocked
+    // kernel replaced, on the acceptance shape (shrunk under --smoke).
+    let side = if r.smoke { 96 } else { 256 };
+    let shape = format!("{side}x{side}x{side}");
+    let a = tensor::init::uniform(&mut rng, &[side, side], -1.0, 1.0);
+    let b = tensor::init::uniform(&mut rng, &[side, side], -1.0, 1.0);
+    r.bench("matmul_naive", &shape, 1, || a.matmul_naive(&b));
+    r.bench("matmul_blocked", &shape, 1, || a.matmul(&b));
+    // Row-sharded GEMM: honest numbers for whatever core count this
+    // machine has (on one core this measures sharding overhead, not
+    // speedup; determinism is asserted by the test suite either way).
+    r.bench("matmul_blocked", &shape, 2, || a.matmul(&b));
+    let a64 = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    let b64 = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
+    r.bench("matmul_blocked", "64x64x64", 1, || a64.matmul(&b64));
+
     let x = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
     let w = tensor::init::uniform(&mut rng, &[8, 8, 3, 3], -1.0, 1.0);
-    let mut group = c.benchmark_group("tensor");
-    group.bench_function("matmul_64x64", |bch| bch.iter(|| a.matmul(&b)));
-    group.bench_function("conv2d_4x8x16x16_k3", |bch| {
-        bch.iter(|| {
-            conv2d(
-                &x,
-                &w,
-                Conv2dSpec {
-                    stride: 1,
-                    padding: 1,
-                },
-            )
-        })
+    let spec = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    r.bench("conv2d", "4x8x16x16_k3", 1, || conv2d(&x, &w, spec));
+    let mut ws = Workspace::new();
+    let mut out = Tensor::zeros(&[1]);
+    r.bench("conv2d_into", "4x8x16x16_k3", 1, || {
+        conv2d_into(&mut out, &x, &w, spec, &mut ws);
     });
-    group.bench_function("elementwise_add_16k", |bch| {
-        let u = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
-        let v = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
-        bch.iter(|| u.add(&v))
+    let g = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
+    let mut gx = Tensor::zeros(&[1]);
+    let mut gw = Tensor::zeros(&[1]);
+    r.bench("conv2d_backward_into", "4x8x16x16_k3", 1, || {
+        conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
     });
-    group.finish();
+
+    let u = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
+    let v = tensor::init::uniform(&mut rng, &[16384], -1.0, 1.0);
+    r.bench("elementwise_add", "16384", 1, || u.add(&v));
 }
 
-fn autodiff_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("autodiff");
-    group.bench_function("tape_mlp_forward_backward", |bch| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let w1 = tensor::init::uniform(&mut rng, &[144, 64], -0.1, 0.1);
-        let w2 = tensor::init::uniform(&mut rng, &[64, 10], -0.1, 0.1);
-        let x = tensor::init::uniform(&mut rng, &[32, 144], 0.0, 1.0);
-        let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
-        bch.iter(|| {
-            let tape = Tape::new();
-            let xv = tape.leaf(x.clone());
-            let w1v = tape.leaf(w1.clone());
-            let w2v = tape.leaf(w2.clone());
-            let loss = xv.matmul(w1v).relu().matmul(w2v).cross_entropy(&labels);
-            tape.backward(loss)
-        })
+fn autodiff_overhead(r: &mut Runner) {
+    println!("\ngroup: autodiff");
+    let mut rng = StdRng::seed_from_u64(1);
+    let w1 = tensor::init::uniform(&mut rng, &[144, 64], -0.1, 0.1);
+    let w2 = tensor::init::uniform(&mut rng, &[64, 10], -0.1, 0.1);
+    let x = tensor::init::uniform(&mut rng, &[32, 144], 0.0, 1.0);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    r.bench("tape_mlp_forward_backward", "32x144x64x10", 1, || {
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let w1v = tape.leaf(w1.clone());
+        let w2v = tape.leaf(w2.clone());
+        let loss = xv.matmul(w1v).relu().matmul(w2v).cross_entropy(&labels);
+        tape.backward(loss)
     });
-    group.finish();
 }
 
-fn lif_dynamics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lif");
+fn lif_dynamics(r: &mut Runner) {
+    println!("\ngroup: lif");
     let cell = LifCell::new(LifParams::new(1.0));
     let mut rng = StdRng::seed_from_u64(2);
     let input = tensor::init::uniform(&mut rng, &[32, 256], 0.0, 1.0);
-    group.bench_function("step_32x256_x16", |bch| {
-        bch.iter(|| {
-            let tape = Tape::new();
-            let i = tape.leaf(input.clone());
-            let mut v = tape.leaf(Tensor::zeros(&[32, 256]));
-            let mut acc = None;
-            for _ in 0..16 {
-                let (s, vn) = cell.step(i, v);
-                v = vn;
-                acc = Some(match acc {
-                    None => s,
-                    Some(a) => a + s,
-                });
-            }
-            acc.map(|a| a.value())
-        })
+    r.bench("lif_step_x16", "32x256", 1, || {
+        let tape = Tape::new();
+        let i = tape.leaf(input.clone());
+        let mut v = tape.leaf(Tensor::zeros(&[32, 256]));
+        let mut acc = None;
+        for _ in 0..16 {
+            let (s, vn) = cell.step(i, v);
+            v = vn;
+            acc = Some(match acc {
+                None => s,
+                Some(a) => a + s,
+            });
+        }
+        acc.map(|a| a.value())
     });
-    group.bench_function("encoder_poisson_784_x16", |bch| {
-        let enc = Encoder::poisson(7);
-        let x = tensor::init::uniform(&mut rng, &[784], 0.0, 1.0);
-        bch.iter(|| {
-            let tape = Tape::new();
-            let xv = tape.leaf(x.clone());
-            (0..16)
-                .map(|t| enc.encode_step(xv, t).value().sum())
-                .sum::<f32>()
-        })
+    let enc = Encoder::poisson(7);
+    let px = tensor::init::uniform(&mut rng, &[784], 0.0, 1.0);
+    r.bench("encoder_poisson_x16", "784", 1, || {
+        let tape = Tape::new();
+        let xv = tape.leaf(px.clone());
+        (0..16)
+            .map(|t| enc.encode_step(xv, t).value().sum())
+            .sum::<f32>()
     });
-    group.finish();
 }
 
-fn attack_iterations(c: &mut Criterion) {
+fn attack_iterations(r: &mut Runner) {
+    println!("\ngroup: attacks");
     let mut rng = StdRng::seed_from_u64(3);
     let mut params = Params::new();
     let cnn = Cnn::new(&mut params, &mut rng, &CnnConfig::tiny(12, 10));
     let clf = Classifier::new(cnn, params);
     let x = tensor::init::uniform(&mut rng, &[8, 1, 12, 12], 0.0, 1.0);
     let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
-    let mut group = c.benchmark_group("attacks");
-    group.bench_function("input_grad_batch8", |bch| {
-        bch.iter(|| clf.loss_and_input_grad(&x, &labels))
+    r.bench("input_grad", "batch8_12x12", 1, || {
+        clf.loss_and_input_grad(&x, &labels)
     });
-    group.bench_function("pgd10_batch8", |bch| {
-        let pgd = attacks::Pgd::standard(0.3);
-        bch.iter(|| pgd.perturb(&clf, &x, &labels))
+    let pgd = attacks::Pgd::standard(0.3);
+    r.bench("pgd10", "batch8_12x12", 1, || {
+        pgd.perturb(&clf, &x, &labels)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    tensor_kernels,
-    autodiff_overhead,
-    lif_dynamics,
-    attack_iterations
-);
-criterion_main!(benches);
+/// Fails the bench if any `*_into` kernel entry point allocates from a
+/// warm workspace: steady-state hot loops must be allocation-free.
+fn alloc_guard() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = tensor::init::uniform(&mut rng, &[48, 32], -1.0, 1.0);
+    let b = tensor::init::uniform(&mut rng, &[32, 40], -1.0, 1.0);
+    let x = tensor::init::uniform(&mut rng, &[2, 3, 10, 10], -1.0, 1.0);
+    let w = tensor::init::uniform(&mut rng, &[4, 3, 3, 3], -1.0, 1.0);
+    let g = tensor::init::uniform(&mut rng, &[2, 4, 10, 10], -1.0, 1.0);
+    let spec = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    let mut ws = Workspace::new();
+    let mut mm = Tensor::zeros(&[1]);
+    let mut out = Tensor::zeros(&[1]);
+    let mut gx = Tensor::zeros(&[1]);
+    let mut gw = Tensor::zeros(&[1]);
+    // Warm-up pass grows every buffer once.
+    a.matmul_into(&b, &mut mm, &mut ws);
+    conv2d_into(&mut out, &x, &w, spec, &mut ws);
+    conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
+    let baseline = alloc_count();
+    for _ in 0..5 {
+        a.matmul_into(&b, &mut mm, &mut ws);
+        conv2d_into(&mut out, &x, &w, spec, &mut ws);
+        conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
+    }
+    let after = alloc_count();
+    if after != baseline {
+        return Err(format!(
+            "*_into kernels allocated from a warm workspace: \
+             counter moved {baseline} -> {after}"
+        ));
+    }
+    println!("\nalloc guard: ok (warm *_into kernels made 0 workspace allocations)");
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut runner = Runner {
+        smoke,
+        records: Vec::new(),
+    };
+    tensor_kernels(&mut runner);
+    autodiff_overhead(&mut runner);
+    lif_dynamics(&mut runner);
+    attack_iterations(&mut runner);
+
+    if let Err(msg) = alloc_guard() {
+        eprintln!("FAILED: {msg}");
+        std::process::exit(1);
+    }
+
+    if smoke {
+        println!("smoke mode: leaving committed BENCH_tensor.json untouched");
+    } else {
+        // cargo runs benches with the package directory as CWD; anchor the
+        // baseline at the workspace root instead.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_tensor.json");
+        std::fs::write(&path, runner.to_json()).expect("write BENCH_tensor.json");
+        println!(
+            "wrote {} ({} records)",
+            path.display(),
+            runner.records.len()
+        );
+    }
+}

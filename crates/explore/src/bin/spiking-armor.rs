@@ -14,8 +14,11 @@
 //! Shared flags, accepted by every command:
 //!
 //! * `--threads N` — worker count for the command's dominant parallel
-//!   level (0 = all cores). All parallel paths are deterministic:
-//!   `--threads` changes wall-clock time, never the artefacts.
+//!   level (0 = all cores). At the kernel level this now also shards the
+//!   blocked GEMM behind `matmul` (large matrix products split by output
+//!   rows), not just conv batch rows. All parallel paths are
+//!   deterministic: `--threads` changes wall-clock time, never the
+//!   artefacts.
 //! * `--out-dir DIR` — where artefacts and run checkpoints are written
 //!   (default `target/figures/`).
 //! * `--resume` — reuse the checkpoints of a previous identically

@@ -32,20 +32,44 @@ pub struct EpochStats {
 /// Panics if `images` is not rank 4, the label count differs from `N`, or
 /// any index is out of range.
 pub fn gather_batch(images: &Tensor, labels: &[usize], indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let mut batch = Tensor::zeros(&[1]);
+    let mut batch_labels = Vec::with_capacity(indices.len());
+    gather_batch_into(&mut batch, &mut batch_labels, images, labels, indices);
+    (batch, batch_labels)
+}
+
+/// [`gather_batch`] into caller-owned buffers, so a loop over many
+/// mini-batches reuses one allocation instead of building a fresh tensor
+/// per batch.
+///
+/// `batch` is resized (grow-only via [`Tensor::resize_reusing`]) to
+/// `[indices.len(), C, H, W]` and overwritten; `batch_labels` is cleared
+/// and refilled. Loops that only *read* the batch (like [`evaluate`]) stop
+/// allocating entirely once the buffer has seen the largest batch shape.
+///
+/// # Panics
+///
+/// As [`gather_batch`].
+pub fn gather_batch_into(
+    batch: &mut Tensor,
+    batch_labels: &mut Vec<usize>,
+    images: &Tensor,
+    labels: &[usize],
+    indices: &[usize],
+) {
     let dims = images.dims();
     assert_eq!(dims.len(), 4, "images must be [N, C, H, W], got {dims:?}");
     let n = dims[0];
     assert_eq!(labels.len(), n, "{} labels for {n} images", labels.len());
     let sample_len: usize = dims[1..].iter().product();
-    let mut data = Vec::with_capacity(indices.len() * sample_len);
-    let mut batch_labels = Vec::with_capacity(indices.len());
-    for &i in indices {
+    batch.resize_reusing(&[indices.len(), dims[1], dims[2], dims[3]]);
+    batch_labels.clear();
+    for (slot, &i) in indices.iter().enumerate() {
         assert!(i < n, "sample index {i} out of range for {n} images");
-        data.extend_from_slice(&images.data()[i * sample_len..(i + 1) * sample_len]);
+        batch.data_mut()[slot * sample_len..(slot + 1) * sample_len]
+            .copy_from_slice(&images.data()[i * sample_len..(i + 1) * sample_len]);
         batch_labels.push(labels[i]);
     }
-    let batch = Tensor::from_vec(data, &[indices.len(), dims[1], dims[2], dims[3]]);
-    (batch, batch_labels)
 }
 
 /// Runs one epoch of shuffled mini-batch training and returns its stats.
@@ -112,8 +136,12 @@ pub fn evaluate<M: Model>(
     let n = images.dims()[0];
     let mut predictions = Vec::with_capacity(n);
     let all: Vec<usize> = (0..n).collect();
+    // Evaluation only reads the batch, so one grow-only buffer serves every
+    // chunk (the ragged tail shrinks the view, not the allocation).
+    let mut batch = Tensor::zeros(&[1]);
+    let mut batch_labels = Vec::with_capacity(batch_size);
     for chunk in all.chunks(batch_size) {
-        let (batch, _) = gather_batch(images, labels, chunk);
+        gather_batch_into(&mut batch, &mut batch_labels, images, labels, chunk);
         predictions.extend(crate::model::predict(model, params, &batch));
     }
     metrics::accuracy(&predictions, labels)
@@ -262,6 +290,22 @@ mod tests {
         assert_eq!(b.dims(), &[2, 1, 1, 2]);
         assert_eq!(b.data(), &[6.0, 7.0, 2.0, 3.0]);
         assert_eq!(l, vec![3, 1]);
+    }
+
+    #[test]
+    fn gather_batch_into_reuses_buffers_across_shrink_and_grow() {
+        let images = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[6, 1, 1, 2]);
+        let labels = vec![0, 1, 2, 3, 4, 5];
+        let mut batch = Tensor::zeros(&[1]);
+        let mut batch_labels = Vec::new();
+        // Grow, shrink (ragged tail), grow again: every fill must match the
+        // allocating gather exactly, with stale data fully overwritten.
+        for chunk in [&[0usize, 2, 4][..], &[5][..], &[1, 3, 5, 0][..]] {
+            gather_batch_into(&mut batch, &mut batch_labels, &images, &labels, chunk);
+            let (fresh, fresh_labels) = gather_batch(&images, &labels, chunk);
+            assert_eq!(batch, fresh);
+            assert_eq!(batch_labels, fresh_labels);
+        }
     }
 
     #[test]

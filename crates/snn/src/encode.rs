@@ -87,14 +87,17 @@ impl Encoder {
                 }
             }
             Encoder::Poisson { rate, seed } => {
-                let value = x.value();
-                let mut spikes = Tensor::zeros(value.dims());
-                for (i, (s, &v)) in spikes.data_mut().iter_mut().zip(value.data()).enumerate() {
-                    let p = (v * rate).clamp(0.0, 1.0);
-                    if counter_uniform(seed, step as u64, i as u64) < p {
-                        *s = 1.0;
+                // Borrow the taped value instead of cloning it every step.
+                let spikes = x.with_value(|value| {
+                    let mut spikes = Tensor::zeros(value.dims());
+                    for (i, (s, &v)) in spikes.data_mut().iter_mut().zip(value.data()).enumerate() {
+                        let p = (v * rate).clamp(0.0, 1.0);
+                        if counter_uniform(seed, step as u64, i as u64) < p {
+                            *s = 1.0;
+                        }
                     }
-                }
+                    spikes
+                });
                 x.custom_unary(Box::new(StraightThrough::new(spikes)))
             }
             Encoder::Replay {
@@ -107,17 +110,19 @@ impl Encoder {
             }
             Encoder::Latency { time_window } => {
                 assert!(time_window > 0, "latency encoder needs a positive window");
-                let value = x.value();
-                let mut spikes = Tensor::zeros(value.dims());
-                let span = (time_window - 1).max(1) as f32;
-                for (s, &v) in spikes.data_mut().iter_mut().zip(value.data()) {
-                    if v > 0.0 {
-                        let fire_at = ((1.0 - v.clamp(0.0, 1.0)) * span).floor() as usize;
-                        if fire_at == step {
-                            *s = 1.0;
+                let spikes = x.with_value(|value| {
+                    let mut spikes = Tensor::zeros(value.dims());
+                    let span = (time_window - 1).max(1) as f32;
+                    for (s, &v) in spikes.data_mut().iter_mut().zip(value.data()) {
+                        if v > 0.0 {
+                            let fire_at = ((1.0 - v.clamp(0.0, 1.0)) * span).floor() as usize;
+                            if fire_at == step {
+                                *s = 1.0;
+                            }
                         }
                     }
-                }
+                    spikes
+                });
                 x.custom_unary(Box::new(StraightThrough::new(spikes)))
             }
         }

@@ -233,8 +233,8 @@ impl SpikingCnn {
                 let (spikes, next) = neuron.step(lif_params, current, conv_states.take(i));
                 conv_states.put(i, next);
                 if let Some(rec) = recorder.as_deref_mut() {
-                    let v = spikes.value();
-                    rec.record(&format!("conv{i}"), v.sum(), v.len());
+                    // Borrow the taped spikes; no per-step clone.
+                    spikes.with_value(|v| rec.record(&format!("conv{i}"), v.sum(), v.len()));
                 }
                 h = if block.pool > 1 {
                     spikes.avg_pool2d(block.pool)
@@ -248,8 +248,7 @@ impl SpikingCnn {
                 let (spikes, next) = neuron.step(lif_params, current, fc_states.take(j));
                 fc_states.put(j, next);
                 if let Some(rec) = recorder.as_deref_mut() {
-                    let v = spikes.value();
-                    rec.record(&format!("fc{j}"), v.sum(), v.len());
+                    spikes.with_value(|v| rec.record(&format!("fc{j}"), v.sum(), v.len()));
                 }
                 h = spikes;
             }
@@ -442,8 +441,7 @@ impl SpikingMlp {
                 fc_states.put(j, next);
                 prev_spikes[j] = Some(spikes);
                 if let Some(rec) = recorder.as_deref_mut() {
-                    let v = spikes.value();
-                    rec.record(&format!("fc{j}"), v.sum(), v.len());
+                    spikes.with_value(|v| rec.record(&format!("fc{j}"), v.sum(), v.len()));
                 }
                 h = spikes;
             }

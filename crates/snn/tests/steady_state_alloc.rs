@@ -1,0 +1,48 @@
+//! The SNN timestep loop must run allocation-free against the tensor
+//! workspace in steady state: the first forward pass grows the calling
+//! thread's arena (im2col buffers, GEMM packing panels, conv scratch),
+//! and every later pass — all `T` timesteps of it — reuses that memory.
+
+use nn::{CnnConfig, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn::{SnnConfig, SpikingCnn, SpikingMlp, StructuralParams};
+use tensor::workspace::alloc_count;
+
+#[test]
+fn spiking_cnn_forward_is_workspace_allocation_free_once_warm() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut params = Params::new();
+    let cfg = SnnConfig::new(StructuralParams::new(1.0, 6));
+    let model = SpikingCnn::new(&mut params, &mut rng, &CnnConfig::tiny(8, 4), &cfg);
+    let x = tensor::init::uniform(&mut StdRng::seed_from_u64(1), &[2, 1, 8, 8], 0.0, 1.0);
+
+    let warm = nn::logits(&model, &params, &x);
+    let baseline = alloc_count();
+    let steady = nn::logits(&model, &params, &x);
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "steady-state SNN forward grew the workspace arena"
+    );
+    assert_eq!(warm, steady, "reused workspace changed the logits");
+}
+
+#[test]
+fn spiking_mlp_forward_is_workspace_allocation_free_once_warm() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut params = Params::new();
+    let cfg = SnnConfig::new(StructuralParams::new(1.0, 4));
+    let model = SpikingMlp::new(&mut params, &mut rng, 16, &[12], 4, &cfg);
+    let x = tensor::init::uniform(&mut StdRng::seed_from_u64(4), &[3, 1, 4, 4], 0.0, 1.0);
+
+    let warm = nn::logits(&model, &params, &x);
+    let baseline = alloc_count();
+    let steady = nn::logits(&model, &params, &x);
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "steady-state MLP forward grew the workspace arena"
+    );
+    assert_eq!(warm, steady);
+}

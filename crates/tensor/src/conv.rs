@@ -7,7 +7,18 @@
 //! * weight `w`: `[O, C, KH, KW]`
 //! * output `y`: `[N, O, HO, WO]` where
 //!   `HO = (H + 2·pad − KH)/stride + 1` (and likewise for `WO`).
+//!
+//! Both passes lower to the packed blocked GEMM (the private `gemm` module),
+//! reading
+//! the weight tensor's buffer directly as its `[O, C·KH·KW]` matrix view (the
+//! data is already laid out that way). The [`conv2d_into`] /
+//! [`conv2d_backward_into`] variants lease every intermediate — im2col
+//! columns, GEMM packing panels, column gradients, per-image weight-gradient
+//! staging — from a caller-owned [`Workspace`], so the SNN time loop runs
+//! them allocation-free in steady state; [`conv2d`] / [`conv2d_backward`]
+//! are thin wrappers over the calling thread's default arena.
 
+use crate::workspace::{with_thread_workspace, ShardScratch, Workspace};
 use crate::Tensor;
 
 /// Hyperparameters of a 2-D convolution (square stride/padding).
@@ -56,12 +67,14 @@ impl Conv2dSpec {
     }
 }
 
-/// Unfolds one `[C, H, W]` image into a `[C·KH·KW, HO·WO]` column matrix.
+/// Unfolds one `[C, H, W]` image into the `[C·KH·KW, HO·WO]` column matrix
+/// `col` (which is fully overwritten; padding taps become zero).
 ///
 /// Row `c·KH·KW + ki·KW + kj` holds, for every output position, the input
-/// pixel that kernel tap `(ki, kj)` of channel `c` reads (zero where the tap
-/// falls in the padding).
-fn im2col(
+/// pixel that kernel tap `(ki, kj)` of channel `c` reads.
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
+    col: &mut [f32],
     image: &[f32],
     c: usize,
     h: usize,
@@ -69,18 +82,18 @@ fn im2col(
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-) -> Tensor {
+) {
     let ho = spec.out_extent(h, kh);
     let wo = spec.out_extent(w, kw);
-    let mut col = Tensor::zeros(&[c * kh * kw, ho * wo]);
-    let data = col.data_mut();
     let cols = ho * wo;
+    debug_assert_eq!(col.len(), c * kh * kw * cols);
+    col.fill(0.0);
     for ci in 0..c {
         let plane = &image[ci * h * w..(ci + 1) * h * w];
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
-                let out_row = &mut data[row * cols..(row + 1) * cols];
+                let out_row = &mut col[row * cols..(row + 1) * cols];
                 for oi in 0..ho {
                     let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
                     if ii < 0 || ii >= h as isize {
@@ -98,30 +111,33 @@ fn im2col(
             }
         }
     }
-    col
 }
 
-/// Folds a `[C·KH·KW, HO·WO]` column matrix back into a `[C, H, W]` image,
-/// accumulating overlapping taps (the adjoint of [`im2col`]).
-fn col2im(
-    col: &Tensor,
+/// Folds a `[C·KH·KW, HO·WO]` column matrix back into the `[C, H, W]` image
+/// `image` (fully overwritten), accumulating overlapping taps — the adjoint
+/// of [`im2col_into`].
+#[allow(clippy::too_many_arguments)]
+fn col2im_into(
+    image: &mut [f32],
+    col: &[f32],
     c: usize,
     h: usize,
     w: usize,
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-) -> Vec<f32> {
+) {
     let ho = spec.out_extent(h, kh);
     let wo = spec.out_extent(w, kw);
     let cols = ho * wo;
-    let mut image = vec![0.0f32; c * h * w];
+    debug_assert_eq!(image.len(), c * h * w);
+    image.fill(0.0);
     for ci in 0..c {
         let plane = &mut image[ci * h * w..(ci + 1) * h * w];
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
-                let col_row = &col.data()[row * cols..(row + 1) * cols];
+                let col_row = &col[row * cols..(row + 1) * cols];
                 for oi in 0..ho {
                     let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
                     if ii < 0 || ii >= h as isize {
@@ -138,10 +154,12 @@ fn col2im(
             }
         }
     }
-    image
 }
 
 /// 2-D convolution forward pass.
+///
+/// Equivalent to [`conv2d_into`] with the calling thread's default
+/// [`Workspace`] and a fresh output tensor.
 ///
 /// # Panics
 ///
@@ -160,6 +178,23 @@ fn col2im(
 /// assert_eq!(y.data(), &[4.0, 4.0, 4.0, 4.0]);
 /// ```
 pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let mut out = Tensor::zeros(&[1]);
+    with_thread_workspace(|ws| conv2d_into(&mut out, x, w, spec, ws));
+    out
+}
+
+/// [`conv2d`] writing into a caller-owned output tensor and scratch arena.
+///
+/// `out` is resized in place and overwritten; every intermediate (im2col
+/// columns, GEMM panels) is leased from `ws`. Once both are warm the call
+/// performs **zero heap allocations**, and results are bitwise identical to
+/// [`conv2d`] regardless of the workspace's history (see
+/// `tests/workspace_reuse.rs`).
+///
+/// # Panics
+///
+/// Same shape contract as [`conv2d`].
+pub fn conv2d_into(out: &mut Tensor, x: &Tensor, w: &Tensor, spec: Conv2dSpec, ws: &mut Workspace) {
     let (n, c, h, width) = unpack4(x, "conv2d input");
     let (o, cw, kh, kw) = unpack4(w, "conv2d weight");
     assert_eq!(
@@ -168,30 +203,46 @@ pub fn conv2d(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
     );
     let ho = spec.out_extent(h, kh);
     let wo = spec.out_extent(width, kw);
-    let w_mat = w.reshape(&[o, c * kh * kw]);
-    let mut out = Tensor::zeros(&[n, o, ho, wo]);
+    out.resize_reusing(&[n, o, ho, wo]);
     let image_len = c * h * width;
     let out_len = o * ho * wo;
-    // Images are independent: each worker owns one image's disjoint output
-    // slice, so the result is bitwise-identical for every thread count.
-    crate::parallel::par_chunks_mut(
+    let ckk = c * kh * kw;
+    let cols = ho * wo;
+    // The weight buffer *is* its [O, C·KH·KW] matrix view — no reshape copy.
+    let gemm = crate::gemm::GemmSpec {
+        m: o,
+        k: ckk,
+        n: cols,
+        a_trans: false,
+        b_trans: false,
+    };
+    // Images are independent: each worker owns one image range's disjoint
+    // output slice and its own scratch shard, so the result is
+    // bitwise-identical for every thread count.
+    let shards = ws.shards(crate::parallel::max_threads().min(n).max(1));
+    crate::parallel::par_row_shards(
         out.data_mut(),
+        n,
         out_len,
-        crate::parallel::max_threads(),
-        |ni, out_chunk| {
-            let image = &x.data()[ni * image_len..(ni + 1) * image_len];
-            let col = im2col(image, c, h, width, kh, kw, spec);
-            let y = w_mat.matmul(&col); // [O, HO*WO]
-            out_chunk.copy_from_slice(y.data());
+        shards,
+        |range, out_shard, scratch: &mut ShardScratch| {
+            for (j, out_chunk) in out_shard.chunks_mut(out_len).enumerate() {
+                let ni = range.start + j;
+                let image = &x.data()[ni * image_len..(ni + 1) * image_len];
+                let col = scratch.im2col.get(ckk * cols);
+                im2col_into(col, image, c, h, width, kh, kw, spec);
+                out_chunk.fill(0.0);
+                crate::gemm::gemm_block(out_chunk, w.data(), col, gemm, 0..o, &mut scratch.gemm);
+            }
         },
     );
-    out
 }
 
 /// Gradients of [`conv2d`] with respect to its input and weight.
 ///
 /// Given `grad_out = ∂L/∂y` of shape `[N, O, HO, WO]`, returns
-/// `(∂L/∂x, ∂L/∂w)` with the shapes of `x` and `w`.
+/// `(∂L/∂x, ∂L/∂w)` with the shapes of `x` and `w`. Equivalent to
+/// [`conv2d_backward_into`] with the calling thread's default [`Workspace`].
 ///
 /// # Panics
 ///
@@ -203,6 +254,34 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: Conv2dSpec,
 ) -> (Tensor, Tensor) {
+    let mut grad_x = Tensor::zeros(&[1]);
+    let mut grad_w = Tensor::zeros(&[1]);
+    with_thread_workspace(|ws| {
+        conv2d_backward_into(&mut grad_x, &mut grad_w, x, w, grad_out, spec, ws);
+    });
+    (grad_x, grad_w)
+}
+
+/// [`conv2d_backward`] writing into caller-owned gradient tensors and
+/// scratch arena: `grad_x`/`grad_w` are resized in place and overwritten,
+/// and all intermediates come from `ws` — allocation-free once warm.
+///
+/// Per-image contributions are computed in parallel into a staging area, and
+/// the weight gradient is then reduced serially in image order so float
+/// summation matches the serial loop bit for bit.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_backward`].
+pub fn conv2d_backward_into(
+    grad_x: &mut Tensor,
+    grad_w: &mut Tensor,
+    x: &Tensor,
+    w: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+    ws: &mut Workspace,
+) {
     let (n, c, h, width) = unpack4(x, "conv2d input");
     let (o, _, kh, kw) = unpack4(w, "conv2d weight");
     let ho = spec.out_extent(h, kh);
@@ -213,34 +292,64 @@ pub fn conv2d_backward(
         "conv2d_backward grad_out shape {:?} does not match expected [{n}, {o}, {ho}, {wo}]",
         grad_out.dims()
     );
-    let w_mat = w.reshape(&[o, c * kh * kw]);
-    let w_mat_t = w_mat.transpose2d();
-    let mut grad_x = Tensor::zeros(&[n, c, h, width]);
-    let mut grad_w_mat = Tensor::zeros(&[o, c * kh * kw]);
+    grad_x.resize_reusing(&[n, c, h, width]);
+    grad_w.resize_reusing(&[o, c, kh, kw]);
     let image_len = c * h * width;
     let out_len = o * ho * wo;
-    // Per-image contributions are computed in parallel; the weight gradient
-    // is then reduced serially in image order so float summation matches the
-    // serial loop bit for bit.
-    let per_image: Vec<(Tensor, Vec<f32>)> =
-        crate::parallel::par_map_collect(n, crate::parallel::max_threads(), |ni| {
-            let image = &x.data()[ni * image_len..(ni + 1) * image_len];
-            let col = im2col(image, c, h, width, kh, kw, spec);
-            let g = Tensor::from_vec(
-                grad_out.data()[ni * out_len..(ni + 1) * out_len].to_vec(),
-                &[o, ho * wo],
-            );
-            // ∂L/∂w contribution: g · colᵀ; ∂L/∂x = col2im(wᵀ · g).
-            let gw = g.matmul(&col.transpose2d());
-            let gcol = w_mat_t.matmul(&g);
-            let gx = col2im(&gcol, c, h, width, kh, kw, spec);
-            (gw, gx)
-        });
-    for (ni, (gw, gx)) in per_image.iter().enumerate() {
-        grad_w_mat.add_scaled_inplace(gw, 1.0);
-        grad_x.data_mut()[ni * image_len..(ni + 1) * image_len].copy_from_slice(gx);
+    let ckk = c * kh * kw;
+    let cols = ho * wo;
+    let wlen = o * ckk;
+    // ∂L/∂w contribution of one image: g · colᵀ (B packed transposed).
+    let gw_gemm = crate::gemm::GemmSpec {
+        m: o,
+        k: cols,
+        n: ckk,
+        a_trans: false,
+        b_trans: true,
+    };
+    // Column gradient: wᵀ · g (A packed transposed), then col2im → ∂L/∂x.
+    let gcol_gemm = crate::gemm::GemmSpec {
+        m: ckk,
+        k: o,
+        n: cols,
+        a_trans: true,
+        b_trans: false,
+    };
+    let (shards, staging) = ws.split(crate::parallel::max_threads().min(n).max(1));
+    let parts = staging.get(n * wlen);
+    crate::parallel::par_row_shards2(
+        grad_x.data_mut(),
+        image_len,
+        parts,
+        wlen,
+        n,
+        shards,
+        |range, gx_shard, gw_shard, scratch: &mut ShardScratch| {
+            for j in 0..range.len() {
+                let ni = range.start + j;
+                let image = &x.data()[ni * image_len..(ni + 1) * image_len];
+                let g = &grad_out.data()[ni * out_len..(ni + 1) * out_len];
+                let col = scratch.im2col.get(ckk * cols);
+                im2col_into(col, image, c, h, width, kh, kw, spec);
+                let gw = &mut gw_shard[j * wlen..(j + 1) * wlen];
+                gw.fill(0.0);
+                crate::gemm::gemm_block(gw, g, col, gw_gemm, 0..o, &mut scratch.gemm);
+                let gcol = scratch.col_grad.get_zeroed(ckk * cols);
+                crate::gemm::gemm_block(gcol, w.data(), g, gcol_gemm, 0..ckk, &mut scratch.gemm);
+                let gx = &mut gx_shard[j * image_len..(j + 1) * image_len];
+                col2im_into(gx, gcol, c, h, width, kh, kw, spec);
+            }
+        },
+    );
+    // Serial image-order reduction keeps the sum order independent of the
+    // thread count (and of the batch sharding).
+    let gw_out = grad_w.data_mut();
+    gw_out.fill(0.0);
+    for part in parts.chunks_exact(wlen).take(n) {
+        for (acc, &v) in gw_out.iter_mut().zip(part) {
+            *acc += v;
+        }
     }
-    (grad_x, grad_w_mat.reshape(&[o, c, kh, kw]))
 }
 
 fn unpack4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {

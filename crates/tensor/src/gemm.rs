@@ -1,0 +1,324 @@
+//! Cache-blocked, packed GEMM kernel — the compute core behind
+//! [`crate::Tensor::matmul`] and the im2col convolutions.
+//!
+//! # Algorithm
+//!
+//! Classic three-level BLIS-style tiling: the `N` dimension is split into
+//! `NC`-wide column blocks, the `K` dimension into `KC`-deep panels, and the
+//! `M` dimension into `MC`-tall row blocks. For each `(jc, pc)` pair the
+//! `KC × NC` slice of `B` is packed once into a contiguous panel buffer and
+//! reused across every row block; for each `(jc, pc, ic)` the `MC × KC`
+//! slice of `A` is packed likewise. The innermost work is a fixed
+//! `MR × NR` register microkernel that keeps the output tile in locals
+//! across the whole `KC` depth — `(MR + NR)` loads per `2·MR·NR` flops
+//! instead of the naive kernel's load-and-store per element.
+//!
+//! # Determinism contract
+//!
+//! For every output element `c[i][j]`, products `a[i][k]·b[k][j]` are added
+//! **in ascending `k` order into a single accumulator** — exactly the
+//! per-element operation sequence of the naive `i-k-j` triple loop
+//! ([`crate::Tensor::matmul_naive`]). The `KC` blocking merely spills the
+//! accumulator to `C` between depth panels (an exact f32 store/load), the
+//! `MC`/`NC` blocking only reorders *which elements* are produced when, and
+//! edge tiles run a scalar loop with the same `k` order. Transposed operand
+//! layouts change packing addresses, never values. The row-sharded parallel
+//! dispatch in [`crate::Tensor::matmul`] gives each worker disjoint rows of
+//! `C` computed by this same serial code. Results are therefore **bitwise
+//! identical** to the naive kernel — infinities and signed zeros included —
+//! at every thread count and for every tiling-boundary geometry
+//! (property-tested in `tests/gemm_bitwise.rs`). The single carve-out is
+//! NaN *payloads*: an element is NaN in the blocked kernel iff it is NaN in
+//! the naive one, but the payload/sign bits of freshly produced arithmetic
+//! NaNs are unspecified by the language (LLVM may pick different
+//! instructions per loop shape), so they are not compared.
+
+use std::ops::Range;
+
+use crate::workspace::GemmScratch;
+
+/// Microkernel tile height (rows of `C` held in registers).
+pub(crate) const MR: usize = 4;
+/// Microkernel tile width (columns of `C` held in registers).
+pub(crate) const NR: usize = 16;
+/// Row-block height; A panels are `MC × KC`. Multiple of `MR`.
+pub(crate) const MC: usize = 64;
+/// Depth-block size shared by both packed panels.
+pub(crate) const KC: usize = 256;
+/// Column-block width; B panels are `KC × NC`. Multiple of `NR`.
+pub(crate) const NC: usize = 256;
+
+/// Logical shape and operand layouts of one GEMM: `C[m×n] += A[m×k]·B[k×n]`.
+///
+/// `a_trans`/`b_trans` flag operands stored transposed: with `a_trans` the
+/// buffer holds `A` as `[k × m]` row-major (so `A[i,p]` reads
+/// `a[p·m + i]`), and with `b_trans` the buffer holds `B` as `[n × k]`
+/// (so `B[p,j]` reads `b[j·k + p]`). This lets the autodiff backward pass
+/// compute `g·Bᵀ` and `Aᵀ·g` without materialising transposes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GemmSpec {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub a_trans: bool,
+    pub b_trans: bool,
+}
+
+#[inline(always)]
+fn a_at(a: &[f32], spec: GemmSpec, i: usize, p: usize) -> f32 {
+    if spec.a_trans {
+        a[p * spec.m + i]
+    } else {
+        a[i * spec.k + p]
+    }
+}
+
+#[inline(always)]
+fn b_at(b: &[f32], spec: GemmSpec, p: usize, j: usize) -> f32 {
+    if spec.b_trans {
+        b[j * spec.k + p]
+    } else {
+        b[p * spec.n + j]
+    }
+}
+
+/// Packs the `rows × kc` block of `A` starting at `(row0, pc)` into `MR`-row
+/// panels: panel `ir` (covering absolute rows `row0+ir .. row0+ir+mr`) is
+/// stored depth-major at offset `ir·kc` with stride `mr` — the exact panel
+/// height, so edge panels carry no padding (padding would inject spurious
+/// `0·b` terms and break NaN/−0.0 bitwise identity).
+fn pack_a(
+    dst: &mut [f32],
+    a: &[f32],
+    spec: GemmSpec,
+    row0: usize,
+    rows: usize,
+    pc: usize,
+    kc: usize,
+) {
+    for ir in (0..rows).step_by(MR) {
+        let mr = MR.min(rows - ir);
+        let panel = &mut dst[ir * kc..(ir + mr) * kc];
+        for kk in 0..kc {
+            for r in 0..mr {
+                panel[kk * mr + r] = a_at(a, spec, row0 + ir + r, pc + kk);
+            }
+        }
+    }
+}
+
+/// Packs the `kc × nc` block of `B` starting at `(pc, jc)` into `NR`-column
+/// panels: panel `jr` is stored depth-major at offset `jr·kc` with stride
+/// `nr` (exact width, no padding — same rationale as [`pack_a`]).
+fn pack_b(dst: &mut [f32], b: &[f32], spec: GemmSpec, pc: usize, kc: usize, jc: usize, nc: usize) {
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        let panel = &mut dst[jr * kc..(jr + nr) * kc];
+        for kk in 0..kc {
+            for cc in 0..nr {
+                panel[kk * nr + cc] = b_at(b, spec, pc + kk, jc + jr + cc);
+            }
+        }
+    }
+}
+
+/// The full `MR × NR` register microkernel: loads the output tile, streams
+/// both packed panels over the `kc` depth and stores the tile back. Per
+/// element the additions run in ascending `k` order into one accumulator.
+#[inline]
+fn kernel_full(kc: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for (a_k, b_k) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = a_k[r];
+            for (cc, slot) in row.iter_mut().enumerate() {
+                *slot += ar * b_k[cc];
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(row);
+    }
+}
+
+/// Edge-tile kernel for partial `mr × nr` tiles (panel strides are the
+/// actual tile sizes). Scalar loops, same ascending-`k` accumulation.
+fn kernel_edge(kc: usize, mr: usize, nr: usize, ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize) {
+    for r in 0..mr {
+        for cc in 0..nr {
+            let mut acc = c[r * ldc + cc];
+            for kk in 0..kc {
+                acc += ap[kk * mr + r] * bp[kk * nr + cc];
+            }
+            c[r * ldc + cc] = acc;
+        }
+    }
+}
+
+/// Accumulates `A[rows, :] · B` into `c`, the row-major `rows.len() × n`
+/// output slice for the absolute row range `rows` (callers pre-zero `c` for
+/// a plain product). Packing panels are leased from `scratch` — warm
+/// buffers make the call allocation-free.
+pub(crate) fn gemm_block(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    spec: GemmSpec,
+    rows: Range<usize>,
+    scratch: &mut GemmScratch,
+) {
+    let (k, n) = (spec.k, spec.n);
+    debug_assert_eq!(c.len(), rows.len() * n);
+    if rows.is_empty() || n == 0 || k == 0 {
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp = scratch.pack_b.get(nc * kc);
+            pack_b(bp, b, spec, pc, kc, jc, nc);
+            for ic in (0..rows.len()).step_by(MC) {
+                let mc = MC.min(rows.len() - ic);
+                let ap = scratch.pack_a.get(mc * kc);
+                pack_a(ap, a, spec, rows.start + ic, mc, pc, kc);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let bpanel = &bp[jr * kc..(jr + nr) * kc];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let apanel = &ap[ir * kc..(ir + mr) * kc];
+                        let c_tile = &mut c[(ic + ir) * n + jc + jr..];
+                        if mr == MR && nr == NR {
+                            kernel_full(kc, apanel, bpanel, c_tile, n);
+                        } else {
+                            kernel_edge(kc, mr, nr, apanel, bpanel, c_tile, n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::GemmScratch;
+
+    fn gemm_dense(a: &[f32], b: &[f32], spec: GemmSpec) -> Vec<f32> {
+        let mut c = vec![0.0; spec.m * spec.n];
+        let mut scratch = GemmScratch::default();
+        gemm_block(&mut c, a, b, spec, 0..spec.m, &mut scratch);
+        c
+    }
+
+    fn naive(a: &[f32], b: &[f32], spec: GemmSpec) -> Vec<f32> {
+        let mut c = vec![0.0; spec.m * spec.n];
+        for i in 0..spec.m {
+            for p in 0..spec.k {
+                let av = a_at(a, spec, i, p);
+                for j in 0..spec.n {
+                    c[i * spec.n + j] += av * b_at(b, spec, p, j);
+                }
+            }
+        }
+        c
+    }
+
+    fn spec(m: usize, k: usize, n: usize) -> GemmSpec {
+        GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: false,
+        }
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_across_tile_boundaries() {
+        // Geometries chosen to hit: exact microkernel multiples, edge tiles
+        // in both directions, and KC/MC/NC block crossings.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (MR, 3, NR),
+            (MR + 1, 5, NR + 3),
+            (MC + 2, KC + 5, 7),
+            (3, 2 * KC + 1, 2),
+            (5, 4, NC + 9),
+            (MC, KC, NR),
+        ] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let s = spec(m, k, n);
+            assert_eq!(
+                gemm_dense(&a, &b, s),
+                naive(&a, &b, s),
+                "mismatch at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_layouts_match_naive() {
+        let (m, k, n) = (9, 11, 10);
+        let a_t = ramp(k * m, 0.3); // A stored [k, m]
+        let b_t = ramp(n * k, 0.7); // B stored [n, k]
+        for (a_trans, b_trans) in [(true, false), (false, true), (true, true)] {
+            let s = GemmSpec {
+                m,
+                k,
+                n,
+                a_trans,
+                b_trans,
+            };
+            let a = if a_trans {
+                a_t.clone()
+            } else {
+                ramp(m * k, 0.3)
+            };
+            let b = if b_trans {
+                b_t.clone()
+            } else {
+                ramp(k * n, 0.7)
+            };
+            assert_eq!(gemm_dense(&a, &b, s), naive(&a, &b, s));
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        let s = spec(2, 3, 2);
+        let a = ramp(6, 1.0);
+        let b = ramp(6, 1.0);
+        let mut c = vec![10.0; 4];
+        let mut scratch = GemmScratch::default();
+        gemm_block(&mut c, &a, &b, s, 0..2, &mut scratch);
+        let plain = naive(&a, &b, s);
+        for (got, want) in c.iter().zip(&plain) {
+            assert_eq!(*got, 10.0 + want);
+        }
+    }
+
+    #[test]
+    fn row_range_computes_the_requested_rows_only() {
+        let s = spec(10, 6, 5);
+        let a = ramp(60, 0.5);
+        let b = ramp(30, 0.25);
+        let full = naive(&a, &b, s);
+        let rows = 3..8;
+        let mut c = vec![0.0; rows.len() * s.n];
+        gemm_block(&mut c, &a, &b, s, rows.clone(), &mut GemmScratch::default());
+        assert_eq!(c, full[rows.start * s.n..rows.end * s.n]);
+    }
+}

@@ -7,8 +7,12 @@
 //! * [`Shape`] — dimension bookkeeping with row-major strides,
 //! * [`Tensor`] — an owned, contiguous, row-major `f32` buffer plus shape,
 //! * elementwise algebra ([`Tensor::add`], [`Tensor::mul`], scalar variants),
-//! * linear algebra ([`Tensor::matmul`], [`Tensor::transpose2d`]),
-//! * convolution primitives ([`conv::conv2d`], [`conv::conv2d_backward`]),
+//! * linear algebra ([`Tensor::matmul`], [`Tensor::transpose2d`]) backed by
+//!   a packed, cache-blocked GEMM kernel that is bitwise identical to the
+//!   naive loop ([`Tensor::matmul_naive`]) at every thread count,
+//! * convolution primitives ([`conv::conv2d`], [`conv::conv2d_backward`])
+//!   with allocation-free `_into` variants over a reusable
+//!   [`workspace::Workspace`] arena,
 //! * pooling ([`pool::avg_pool2d`], [`pool::max_pool2d`]),
 //! * reductions ([`Tensor::sum`], [`Tensor::mean`], [`Tensor::argmax_rows`]),
 //! * random and deterministic initializers ([`init`]).
@@ -34,6 +38,7 @@
 
 mod elementwise;
 mod error;
+mod gemm;
 mod linalg;
 mod manip;
 mod shape;
@@ -45,6 +50,7 @@ pub mod init;
 pub mod parallel;
 pub mod pool;
 pub mod reduce;
+pub mod workspace;
 
 pub use error::ShapeError;
 pub use shape::Shape;

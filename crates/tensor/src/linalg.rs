@@ -1,12 +1,72 @@
 //! Matrix products and transposes for rank-2 tensors.
+//!
+//! [`Tensor::matmul`] dispatches to the packed, cache-blocked kernel in
+//! [`crate::gemm`]; it is bitwise identical to the simple
+//! [`Tensor::matmul_naive`] triple loop at every thread count (see the
+//! determinism contract in the `gemm` module docs) and several times faster
+//! on cache-resident and larger problems. Scratch comes from the calling
+//! thread's [`crate::workspace`] arena, so repeated products allocate
+//! nothing beyond their outputs; [`Tensor::matmul_into`] also reuses the
+//! output.
 
+use crate::gemm::{gemm_block, GemmSpec};
+use crate::workspace::{with_thread_workspace, Workspace};
 use crate::Tensor;
+
+/// Below this many multiply-adds (`m·k·n`) the product always runs on the
+/// calling thread: sub-millisecond GEMMs lose more to thread spawning than
+/// sharding recovers.
+pub const PAR_GEMM_MIN_WORK: usize = 1 << 20;
+
+/// Validates shapes for `[M, K] x [K, N]` and returns `(m, k, n)`.
+fn mmdims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = match a.dims() {
+        [m, k] => (*m, *k),
+        d => panic!("matmul lhs must be rank 2, got shape {d:?}"),
+    };
+    let (k2, n) = match b.dims() {
+        [k2, n] => (*k2, *n),
+        d => panic!("matmul rhs must be rank 2, got shape {d:?}"),
+    };
+    assert_eq!(
+        k, k2,
+        "matmul inner dimensions differ: [{m}, {k}] x [{k2}, {n}]"
+    );
+    (m, k, n)
+}
+
+/// Runs one GEMM through the blocked kernel, row-sharded across threads when
+/// the problem is big enough to pay for them. `out` must be zeroed (or hold
+/// values to accumulate onto) and exactly `m·n` long.
+pub(crate) fn gemm_dispatch(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    spec: GemmSpec,
+    ws: &mut Workspace,
+) {
+    let work = spec.m * spec.k * spec.n;
+    let threads = if work >= PAR_GEMM_MIN_WORK {
+        crate::parallel::max_threads()
+    } else {
+        1
+    };
+    let shards = ws.shards(threads.min(spec.m).max(1));
+    crate::parallel::par_row_shards(out, spec.m, spec.n, shards, |rows, c, scratch| {
+        gemm_block(c, a, b, spec, rows, &mut scratch.gemm);
+    });
+}
 
 impl Tensor {
     /// Matrix product of a `[M, K]` tensor with a `[K, N]` tensor.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop walks both the output
-    /// row and the right-hand operand row contiguously.
+    /// Runs the packed, cache-blocked kernel (the private `gemm` module),
+    /// sharding
+    /// output rows across [`crate::parallel::max_threads`] workers for large
+    /// problems. Results are **bitwise identical** to
+    /// [`Tensor::matmul_naive`] for every thread count; scratch buffers are
+    /// reused from the calling thread's workspace, so steady-state calls
+    /// allocate only the output.
     ///
     /// # Panics
     ///
@@ -23,18 +83,145 @@ impl Tensor {
     /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
     /// ```
     pub fn matmul(&self, other: &Self) -> Self {
+        let (m, _, n) = mmdims(self, other);
+        let mut out = Tensor::zeros(&[m, n]);
+        with_thread_workspace(|ws| self.matmul_into(other, &mut out, ws));
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-owned output tensor and
+    /// workspace: `out` is resized in place ([`Tensor::resize_reusing`]) and
+    /// overwritten, so a warm `(out, ws)` pair makes the whole product
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Same shape contract as [`Tensor::matmul`].
+    pub fn matmul_into(&self, other: &Self, out: &mut Tensor, ws: &mut Workspace) {
+        let (m, k, n) = mmdims(self, other);
+        out.resize_reusing(&[m, n]);
+        out.data_mut().fill(0.0);
+        let spec = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: false,
+        };
+        gemm_dispatch(out.data_mut(), self.data(), other.data(), spec, ws);
+    }
+
+    /// `self · otherᵀ` for `self: [M, K]` and `other: [N, K]`, without
+    /// materialising the transpose (the blocked kernel packs the transposed
+    /// operand directly). Backward passes use this for `∂L/∂A = g · Bᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with matching trailing
+    /// dimensions.
+    pub fn matmul_nt(&self, other: &Self) -> Self {
         let (m, k) = match self.dims() {
             [m, k] => (*m, *k),
-            d => panic!("matmul lhs must be rank 2, got shape {d:?}"),
+            d => panic!("matmul_nt lhs must be rank 2, got shape {d:?}"),
         };
-        let (k2, n) = match other.dims() {
-            [k2, n] => (*k2, *n),
-            d => panic!("matmul rhs must be rank 2, got shape {d:?}"),
+        let (n, k2) = match other.dims() {
+            [n, k2] => (*n, *k2),
+            d => panic!("matmul_nt rhs must be rank 2, got shape {d:?}"),
         };
         assert_eq!(
             k, k2,
-            "matmul inner dimensions differ: [{m}, {k}] x [{k2}, {n}]"
+            "matmul_nt inner dimensions differ: [{m}, {k}] x [{n}, {k2}]ᵀ"
         );
+        let mut out = Tensor::zeros(&[m, n]);
+        let spec = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: true,
+        };
+        with_thread_workspace(|ws| {
+            gemm_dispatch(out.data_mut(), self.data(), other.data(), spec, ws)
+        });
+        out
+    }
+
+    /// `selfᵀ · other` for `self: [K, M]` and `other: [K, N]`, without
+    /// materialising the transpose. Backward passes use this for
+    /// `∂L/∂B = Aᵀ · g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with matching leading
+    /// dimensions.
+    pub fn matmul_tn(&self, other: &Self) -> Self {
+        let (k, m) = match self.dims() {
+            [k, m] => (*k, *m),
+            d => panic!("matmul_tn lhs must be rank 2, got shape {d:?}"),
+        };
+        let (k2, n) = match other.dims() {
+            [k2, n] => (*k2, *n),
+            d => panic!("matmul_tn rhs must be rank 2, got shape {d:?}"),
+        };
+        assert_eq!(
+            k, k2,
+            "matmul_tn inner dimensions differ: [{k}, {m}]ᵀ x [{k2}, {n}]"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        let spec = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: true,
+            b_trans: false,
+        };
+        with_thread_workspace(|ws| {
+            gemm_dispatch(out.data_mut(), self.data(), other.data(), spec, ws)
+        });
+        out
+    }
+
+    /// Reference matrix product: the plain `i-k-j` triple loop, one
+    /// accumulator pass per output row. This is the semantic definition the
+    /// blocked kernel is property-tested against; use it in tests and
+    /// cross-checks, not hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_naive(&self, other: &Self) -> Self {
+        let (m, k, n) = mmdims(self, other);
+        let mut out = Tensor::zeros(&[m, n]);
+        let a = self.data();
+        let b = other.data();
+        let c = out.data_mut();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product that **skips zero elements of the left operand** — an
+    /// explicit opt-in for very sparse `A` (e.g. binary spike matrices, where
+    /// most rows are mostly zeros).
+    ///
+    /// The skip is *not* IEEE-clean: a skipped `0·b` term would contribute
+    /// `NaN` for `b = ±inf`/`NaN`, so results can differ from
+    /// [`Tensor::matmul`] in exactly those corners (identical whenever `B`
+    /// is finite). The general entry points never take this shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_sparse_rows(&self, other: &Self) -> Self {
+        let (m, k, n) = mmdims(self, other);
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.data();
         let b = other.data();
@@ -120,6 +307,71 @@ mod tests {
     #[should_panic(expected = "inner dimensions differ")]
     fn matmul_rejects_mismatch() {
         Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    /// Regression for the old `aik == 0.0` fast path: a zero times a
+    /// non-finite operand must produce NaN, exactly as IEEE summation says —
+    /// only the explicit sparse entry point may skip.
+    #[test]
+    fn matmul_propagates_nan_through_zero_lhs() {
+        let a = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 2.0, 3.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.data()[0].is_nan(), "0·NaN + 1·2 must be NaN");
+        assert!(c.data()[1].is_nan(), "0·inf + 1·3 must be NaN");
+        assert!(a.matmul_naive(&b).data()[0].is_nan());
+        // The sparse helper intentionally keeps the skip.
+        assert_eq!(a.matmul_sparse_rows(&b).data(), &[2.0, 3.0]);
+    }
+
+    /// Signed zeros and non-finite operands flow through the blocked kernel
+    /// exactly as through the naive reference (bit-for-bit).
+    #[test]
+    fn matmul_special_values_match_naive_bitwise() {
+        let a = Tensor::from_vec(
+            vec![-0.0, 0.0, 1.0, f32::NEG_INFINITY, -1.0, f32::NAN],
+            &[2, 3],
+        );
+        let b = Tensor::from_vec(vec![1.0, -0.0, f32::INFINITY, 0.5, f32::NAN, -2.0], &[3, 2]);
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in blocked.data().iter().zip(naive.data()) {
+            // NaN payload/sign of fresh arithmetic NaNs is unspecified by
+            // the language, so NaN compares as NaN; everything else (signed
+            // zeros, infinities) must match bit for bit.
+            if x.is_nan() || y.is_nan() {
+                assert!(x.is_nan() && y.is_nan(), "blocked {x} vs naive {y}");
+            } else {
+                assert_eq!(x.to_bits(), y.to_bits(), "blocked {x} vs naive {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_across_shapes() {
+        let mut out = Tensor::zeros(&[1]);
+        let mut ws = crate::workspace::Workspace::new();
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32) * 0.5).collect(), &[4, 5]);
+        a.matmul_into(&b, &mut out, &mut ws);
+        assert_eq!(out, a.matmul_naive(&b));
+        // Shrink, then grow again: contents must match fresh computation.
+        let a2 = Tensor::from_vec(vec![2.0, 3.0], &[1, 2]);
+        let b2 = Tensor::from_vec(vec![4.0, 5.0], &[2, 1]);
+        a2.matmul_into(&b2, &mut out, &mut ws);
+        assert_eq!(out.dims(), &[1, 1]);
+        assert_eq!(out.item(), 23.0);
+        a.matmul_into(&b, &mut out, &mut ws);
+        assert_eq!(out, a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn matmul_nt_and_tn_match_materialised_transposes() {
+        let a = Tensor::from_vec((0..15).map(|i| (i as f32) - 7.0).collect(), &[3, 5]);
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32) * 0.25).collect(), &[4, 5]);
+        assert_eq!(a.matmul_nt(&b), a.matmul_naive(&b.transpose2d()));
+        let g = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5 - 3.0).collect(), &[3, 4]);
+        assert_eq!(a.matmul_tn(&g), a.transpose2d().matmul_naive(&g));
     }
 
     #[test]

@@ -187,6 +187,120 @@ where
     .expect("parallel worker panicked");
 }
 
+/// Splits `data` (`rows` logical rows of `row_len` elements each) into the
+/// contiguous row shards of [`chunk_ranges`]`(rows, scratch.len())` and runs
+/// `f(row_range, shard, scratch_i)` for each, one shard per worker, each
+/// worker owning one scratch slot.
+///
+/// This is [`par_chunks_mut`] for kernels that need per-worker scratch
+/// buffers (GEMM packing panels, im2col columns): scoped threads are spawned
+/// fresh per call, so thread-locals cannot carry warm buffers — the caller's
+/// [`crate::workspace::Workspace`] supplies one scratch slot per shard
+/// instead. With one shard (or one row) everything runs on the caller's
+/// stack using `scratch[0]`.
+///
+/// # Panics
+///
+/// Panics if `scratch` is empty while there are rows to process, if
+/// `row_len · rows` disagrees with `data.len()`, and propagates panics
+/// from `f`.
+pub fn par_row_shards<T, F>(data: &mut [f32], rows: usize, row_len: usize, scratch: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [f32], &mut T) + Sync,
+{
+    assert_eq!(
+        data.len(),
+        rows * row_len,
+        "buffer length {} does not hold {rows} rows of {row_len}",
+        data.len()
+    );
+    if rows == 0 {
+        return;
+    }
+    assert!(!scratch.is_empty(), "need at least one scratch slot");
+    let pieces = scratch.len().min(rows);
+    if pieces <= 1 {
+        f(0..rows, data, &mut scratch[0]);
+        return;
+    }
+    let ranges = chunk_ranges(rows, pieces);
+    crossbeam::scope(|scope| {
+        let mut rest = data;
+        let mut scratch_rest = scratch;
+        for range in ranges {
+            let (shard, tail) = rest.split_at_mut(range.len() * row_len);
+            rest = tail;
+            let (slot, scratch_tail) = scratch_rest.split_first_mut().expect("scratch underflow");
+            scratch_rest = scratch_tail;
+            let f = &f;
+            scope.spawn(move |_| f(range, shard, slot));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Like [`par_row_shards`], but shards **two** buffers by the same row
+/// ranges: `f(row_range, a_shard, b_shard, scratch_i)` where `a` has rows of
+/// `a_row_len` elements and `b` rows of `b_row_len`. Used by the conv
+/// backward pass, whose workers write an input-gradient slice and a
+/// weight-gradient staging slice for the same image range.
+///
+/// # Panics
+///
+/// Same contract as [`par_row_shards`], applied to both buffers.
+pub fn par_row_shards2<T, F>(
+    a: &mut [f32],
+    a_row_len: usize,
+    b: &mut [f32],
+    b_row_len: usize,
+    rows: usize,
+    scratch: &mut [T],
+    f: F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [f32], &mut [f32], &mut T) + Sync,
+{
+    assert_eq!(
+        a.len(),
+        rows * a_row_len,
+        "first buffer length {} does not hold {rows} rows of {a_row_len}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        rows * b_row_len,
+        "second buffer length {} does not hold {rows} rows of {b_row_len}",
+        b.len()
+    );
+    if rows == 0 {
+        return;
+    }
+    assert!(!scratch.is_empty(), "need at least one scratch slot");
+    let pieces = scratch.len().min(rows);
+    if pieces <= 1 {
+        f(0..rows, a, b, &mut scratch[0]);
+        return;
+    }
+    let ranges = chunk_ranges(rows, pieces);
+    crossbeam::scope(|scope| {
+        let mut a_rest = a;
+        let mut b_rest = b;
+        let mut scratch_rest = scratch;
+        for range in ranges {
+            let (a_shard, a_tail) = a_rest.split_at_mut(range.len() * a_row_len);
+            a_rest = a_tail;
+            let (b_shard, b_tail) = b_rest.split_at_mut(range.len() * b_row_len);
+            b_rest = b_tail;
+            let (slot, scratch_tail) = scratch_rest.split_first_mut().expect("scratch underflow");
+            scratch_rest = scratch_tail;
+            let f = &f;
+            scope.spawn(move |_| f(range, a_shard, b_shard, slot));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +390,56 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn par_row_shards_covers_rows_with_private_scratch() {
+        for slots in [1usize, 2, 3, 8] {
+            let mut data = vec![0.0f32; 7 * 3];
+            let mut scratch = vec![0u32; slots];
+            par_row_shards(&mut data, 7, 3, &mut scratch, |rows, shard, slot| {
+                *slot += 1; // each worker owns its slot exclusively
+                for (j, row) in shard.chunks_mut(3).enumerate() {
+                    row.fill((rows.start + j) as f32);
+                }
+            });
+            for (i, row) in data.chunks(3).enumerate() {
+                assert!(row.iter().all(|&v| v == i as f32), "{slots} slots, row {i}");
+            }
+            // Every shard used exactly one slot exactly once.
+            assert_eq!(scratch.iter().sum::<u32>() as usize, slots.min(7));
+        }
+    }
+
+    #[test]
+    fn par_row_shards2_shards_both_buffers_identically() {
+        for slots in [1usize, 2, 4] {
+            let mut a = vec![0.0f32; 5 * 2];
+            let mut b = vec![0.0f32; 5 * 3];
+            let mut scratch = vec![(); slots];
+            par_row_shards2(&mut a, 2, &mut b, 3, 5, &mut scratch, |rows, ax, bx, _| {
+                assert_eq!(ax.len(), rows.len() * 2);
+                assert_eq!(bx.len(), rows.len() * 3);
+                for (j, row) in ax.chunks_mut(2).enumerate() {
+                    row.fill((rows.start + j) as f32);
+                }
+                for (j, row) in bx.chunks_mut(3).enumerate() {
+                    row.fill(-((rows.start + j) as f32));
+                }
+            });
+            for (i, row) in a.chunks(2).enumerate() {
+                assert!(row.iter().all(|&v| v == i as f32));
+            }
+            for (i, row) in b.chunks(3).enumerate() {
+                assert!(row.iter().all(|&v| v == -(i as f32)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch slot")]
+    fn par_row_shards_requires_scratch() {
+        par_row_shards::<(), _>(&mut [0.0; 4], 2, 2, &mut [], |_, _, _| {});
     }
 
     #[test]

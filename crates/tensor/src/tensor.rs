@@ -170,6 +170,21 @@ impl Tensor {
         self.data[0]
     }
 
+    /// Reshapes this tensor **in place** to `dims`, reusing the existing
+    /// buffer capacity — the counterpart of [`Tensor::reshape`] for the
+    /// `_into` kernel variants, which recycle one output tensor across calls
+    /// of varying shape.
+    ///
+    /// Elements that survive the resize keep their values; any newly exposed
+    /// elements are zero. Capacity never shrinks, so a tensor cycled through
+    /// smaller and larger shapes stops allocating once it has seen its
+    /// high-water size.
+    pub fn resize_reusing(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Returns a tensor with the same data and a new shape.
     ///
     /// # Panics

@@ -1,0 +1,249 @@
+//! Reusable scratch-buffer arenas for the allocation-free kernel paths.
+//!
+//! The SNN hot path re-runs im2col convolution and GEMM at every one of `T`
+//! timesteps, for every PGD iteration, for every cell of the exploration
+//! grid. Allocating the im2col column matrix and the GEMM packing panels
+//! afresh each time dominates small-model wall time; a [`Workspace`] owns
+//! those buffers and hands them out for reuse, so in steady state (after the
+//! first step warms the arena) the kernels perform **zero scratch
+//! allocations**.
+//!
+//! # Structure
+//!
+//! * [`WsBuffer`] — one growable `f32` buffer that only ever reallocates
+//!   when a request exceeds its high-water capacity.
+//! * [`GemmScratch`] — the A/B packing panels of one GEMM worker.
+//! * [`ShardScratch`] — everything one parallel worker shard needs
+//!   (im2col columns, GEMM panels, gradient scratch). A [`Workspace`]
+//!   holds one per worker so scoped threads never contend.
+//! * [`Workspace`] — the arena. Create one per batch/simulation and pass it
+//!   to the `_into` kernel variants ([`crate::conv::conv2d_into`],
+//!   [`crate::conv::conv2d_backward_into`]), or rely on the per-thread
+//!   default used by the allocating wrappers ([`with_thread_workspace`]).
+//!
+//! # Determinism
+//!
+//! Buffers only affect *where* intermediates live, never the order of
+//! floating-point operations: results are bitwise independent of whether a
+//! workspace is fresh, reused, or grown/shrunk between calls (see
+//! `tests/workspace_reuse.rs`).
+//!
+//! # Allocation accounting
+//!
+//! Every buffer growth increments a **thread-local** counter, readable via
+//! [`alloc_count`]. Tests warm a path once, snapshot the counter, run the
+//! path again and assert the count is unchanged — proving the steady state
+//! allocates nothing from the arena. The counter is thread-local so
+//! concurrently running tests cannot pollute each other; scratch handed to
+//! scoped worker threads is counted on the worker, not the spawner.
+
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// Number of workspace buffer allocations (growths) on this thread.
+    static WS_ALLOCS: Cell<u64> = const { Cell::new(0) };
+
+    /// The per-thread default workspace used by the allocating kernel
+    /// wrappers (`Tensor::matmul`, `conv::conv2d`, …).
+    static THREAD_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Workspace buffer allocations performed by the **current thread** so far.
+///
+/// Monotonically increasing; diff two snapshots around a region to count its
+/// scratch allocations. See the module docs for the steady-state test
+/// pattern.
+pub fn alloc_count() -> u64 {
+    WS_ALLOCS.with(Cell::get)
+}
+
+fn note_alloc() {
+    WS_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+/// One growable scratch buffer: requests within the high-water capacity are
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct WsBuffer {
+    buf: Vec<f32>,
+}
+
+impl WsBuffer {
+    /// Grows the logical length to at least `len` (counting a workspace
+    /// allocation only when the capacity must grow).
+    fn ensure(&mut self, len: usize) {
+        if self.buf.len() < len {
+            if self.buf.capacity() < len {
+                note_alloc();
+            }
+            self.buf.resize(len, 0.0);
+        }
+    }
+
+    /// A `len`-element slice with **unspecified contents** (stale data from
+    /// earlier uses); callers must overwrite every element they read.
+    pub fn get(&mut self, len: usize) -> &mut [f32] {
+        self.ensure(len);
+        &mut self.buf[..len]
+    }
+
+    /// A `len`-element slice filled with zeros.
+    pub fn get_zeroed(&mut self, len: usize) -> &mut [f32] {
+        self.ensure(len);
+        let s = &mut self.buf[..len];
+        s.fill(0.0);
+        s
+    }
+
+    /// Current capacity in `f32` elements (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
+/// The packing panels of one GEMM worker (see [`crate::Tensor::matmul`]'s
+/// blocked kernel): an `MC × KC` A-panel and a `KC × NC` B-panel.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    pub(crate) pack_a: WsBuffer,
+    pub(crate) pack_b: WsBuffer,
+}
+
+/// All the scratch one parallel worker shard needs. A [`Workspace`] keeps
+/// one `ShardScratch` per worker so scoped threads own disjoint buffers.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    /// im2col column matrix of the image currently being convolved.
+    pub(crate) im2col: WsBuffer,
+    /// GEMM packing panels.
+    pub(crate) gemm: GemmScratch,
+    /// Column-gradient matrix (`wᵀ·g`) in the conv backward pass.
+    pub(crate) col_grad: WsBuffer,
+}
+
+/// A reusable scratch arena for the `_into` kernel variants.
+///
+/// Create one per batch/simulation, pass it to every
+/// [`crate::conv::conv2d_into`] / [`crate::conv::conv2d_backward_into`]
+/// call, and the im2col/packing/gradient scratch is allocated once and
+/// reused across all timesteps and attack iterations. See the module docs
+/// for the determinism and accounting contracts.
+///
+/// # Example
+///
+/// ```
+/// use tensor::conv::{conv2d, conv2d_into, Conv2dSpec};
+/// use tensor::{workspace::Workspace, Tensor};
+///
+/// let x = Tensor::ones(&[1, 1, 4, 4]);
+/// let w = Tensor::ones(&[1, 1, 3, 3]);
+/// let mut ws = Workspace::new();
+/// let mut y = Tensor::zeros(&[1]);
+/// for _step in 0..8 {
+///     // After the first call the arena is warm: no scratch allocations.
+///     conv2d_into(&mut y, &x, &w, Conv2dSpec::default(), &mut ws);
+/// }
+/// assert_eq!(y, conv2d(&x, &w, Conv2dSpec::default()));
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    shards: Vec<ShardScratch>,
+    /// Per-image weight-gradient contributions of the conv backward pass,
+    /// kept outside the shards because it is reduced serially in image
+    /// order after the parallel section (bitwise-stable summation).
+    grad_w_parts: WsBuffer,
+}
+
+impl Workspace {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// At least `n` per-worker scratch shards (growing the list as needed;
+    /// `ShardScratch` construction itself allocates no `f32` storage).
+    pub(crate) fn shards(&mut self, n: usize) -> &mut [ShardScratch] {
+        if self.shards.len() < n {
+            self.shards.resize_with(n, Default::default);
+        }
+        &mut self.shards[..n]
+    }
+
+    /// Simultaneous access to `n` shards and the weight-gradient staging
+    /// buffer (the conv backward pass needs both at once).
+    pub(crate) fn split(&mut self, n: usize) -> (&mut [ShardScratch], &mut WsBuffer) {
+        if self.shards.len() < n {
+            self.shards.resize_with(n, Default::default);
+        }
+        (&mut self.shards[..n], &mut self.grad_w_parts)
+    }
+}
+
+/// Runs `f` with the calling thread's persistent default [`Workspace`].
+///
+/// This is what makes the plain allocating APIs ([`crate::Tensor::matmul`],
+/// [`crate::conv::conv2d`], …) allocation-free in steady state without any
+/// caller plumbing: the training loop, the SNN time loop and every PGD
+/// iteration run on one thread and therefore share one warm arena.
+///
+/// Re-entrant calls (a kernel invoked while the thread workspace is already
+/// borrowed) fall back to a fresh temporary arena instead of panicking.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_reuse_is_allocation_free() {
+        let mut b = WsBuffer::default();
+        let before = alloc_count();
+        b.get_zeroed(128);
+        assert_eq!(alloc_count(), before + 1, "first growth must be counted");
+        b.get(64);
+        b.get_zeroed(128);
+        b.get(1);
+        assert_eq!(
+            alloc_count(),
+            before + 1,
+            "requests within capacity are free"
+        );
+        b.get(129);
+        assert_eq!(alloc_count(), before + 2, "exceeding capacity reallocates");
+    }
+
+    #[test]
+    fn get_zeroed_clears_stale_contents() {
+        let mut b = WsBuffer::default();
+        b.get(8).fill(7.0);
+        assert!(b.get_zeroed(8).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shards_grow_and_persist() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.shards(3).len(), 3);
+        ws.shards(3)[2].im2col.get(16);
+        let cap = ws.shards(3)[2].im2col.capacity();
+        assert!(cap >= 16);
+        // Asking for fewer shards must not drop the extras' buffers.
+        ws.shards(1);
+        assert_eq!(ws.shards(3)[2].im2col.capacity(), cap);
+    }
+
+    #[test]
+    fn thread_workspace_is_reentrant_safe() {
+        with_thread_workspace(|outer| {
+            outer.shards(1)[0].im2col.get(4);
+            // A nested borrow gets a temporary arena rather than panicking.
+            with_thread_workspace(|inner| {
+                inner.shards(1)[0].im2col.get(4);
+            });
+        });
+    }
+}

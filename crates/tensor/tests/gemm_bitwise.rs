@@ -1,0 +1,122 @@
+//! The blocked, packed GEMM behind [`Tensor::matmul`] must be bitwise
+//! identical to the naive `i-k-j` triple loop ([`Tensor::matmul_naive`])
+//! at every thread count.
+//!
+//! "Bitwise identical" here is the kernel's documented contract: every
+//! non-NaN element (signed zeros and infinities included) has the exact
+//! same bit pattern, and an element is NaN in one kernel iff it is NaN in
+//! the other (NaN payload bits of fresh arithmetic NaNs are unspecified
+//! by the compiler and therefore exempt).
+
+use proptest::prelude::*;
+use tensor::parallel::set_max_threads;
+use tensor::Tensor;
+
+/// Deterministic value stream (SplitMix64) mixing ordinary magnitudes
+/// with the special values the old sparse-row skip used to mishandle:
+/// signed zeros, ±∞ and NaN.
+fn stream_value(seed: u64, i: u64) -> f32 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    match z % 64 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::NAN,
+        3 => f32::INFINITY,
+        4 => f32::NEG_INFINITY,
+        5 => 1e-38,
+        _ => ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0,
+    }
+}
+
+fn stream_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as u64).map(|i| stream_value(seed, i)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Asserts the contract: same bits for non-NaN elements, NaN-ness agrees.
+fn assert_bitwise_or_nan(blocked: &Tensor, naive: &Tensor, context: &str) {
+    assert_eq!(blocked.dims(), naive.dims(), "{context}: shape mismatch");
+    for (i, (&x, &y)) in blocked.data().iter().zip(naive.data()).enumerate() {
+        if x.is_nan() || y.is_nan() {
+            assert!(
+                x.is_nan() && y.is_nan(),
+                "{context}: element {i} NaN-ness differs: blocked={x}, naive={y}"
+            );
+        } else {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{context}: element {i} differs: blocked={x}, naive={y}"
+            );
+        }
+    }
+}
+
+fn check_shape(m: usize, k: usize, n: usize, seed: u64) {
+    let a = stream_tensor(seed, &[m, k]);
+    let b = stream_tensor(seed ^ 0xD1B5_4A32_D192_ED03, &[k, n]);
+    let naive = a.matmul_naive(&b);
+    for threads in [1usize, 2, 4] {
+        set_max_threads(threads);
+        let blocked = a.matmul(&b);
+        assert_bitwise_or_nan(
+            &blocked,
+            &naive,
+            &format!("[{m}x{k}]x[{k}x{n}] at {threads} threads"),
+        );
+    }
+    set_max_threads(1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random shapes straddling the MR=4 / NR=8 microkernel edges, with
+    /// data containing signed zeros, infinities and NaNs.
+    #[test]
+    fn blocked_matches_naive_on_random_shapes(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        check_shape(m, k, n, seed);
+    }
+}
+
+/// Shapes that cross every cache-blocking boundary: MC=64 (m), KC=256 (k)
+/// and NC=256 (n), including ragged remainders on each.
+#[test]
+fn blocked_matches_naive_across_cache_block_boundaries() {
+    for &(m, k, n) in &[
+        (65, 10, 9),   // crosses MC with ragged microtiles
+        (7, 300, 11),  // crosses KC: two depth panels, ragged second
+        (9, 10, 300),  // crosses NC: two column panels
+        (70, 260, 17), // MC and KC together
+    ] {
+        check_shape(m, k, n, 12345);
+    }
+}
+
+/// A product big enough to trigger the parallel dispatch path
+/// (`work >= PAR_GEMM_MIN_WORK`), checked at 1/2/4 threads.
+#[test]
+fn parallel_dispatch_is_bitwise_identical() {
+    // 160 * 64 * 128 = 1.3M multiply-adds > 1<<20.
+    check_shape(160, 64, 128, 777);
+}
+
+/// The transposed-operand entry points used by the autodiff backward pass
+/// agree with materialised transposes composed with the blocked kernel.
+#[test]
+fn transposed_entry_points_agree_with_materialised_transposes() {
+    let g = stream_tensor(1, &[13, 21]);
+    let b = stream_tensor(2, &[17, 21]); // used as Bᵀ: [13,21]x[21,17]
+    let a = stream_tensor(3, &[13, 9]); // used as Aᵀ: [9,13]x[13,21]
+    assert_bitwise_or_nan(&g.matmul_nt(&b), &g.matmul(&b.transpose2d()), "matmul_nt");
+    assert_bitwise_or_nan(&a.matmul_tn(&g), &a.transpose2d().matmul(&g), "matmul_tn");
+}

@@ -1,0 +1,163 @@
+//! Workspace reuse: `conv2d_into` driving one long-lived [`Workspace`]
+//! through an arbitrary sequence of shapes must be bitwise identical to a
+//! fresh [`conv2d`] per call — and must stop allocating once the arena has
+//! seen the largest shape.
+
+use proptest::prelude::*;
+use tensor::conv::{conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, Conv2dSpec};
+use tensor::workspace::{alloc_count, Workspace};
+use tensor::Tensor;
+
+/// SplitMix64 stream for deterministic pseudo-random shapes and data.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn stream_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as u64)
+        .map(|i| (mix(seed, i) >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0)
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// A pseudo-random but valid conv problem: `(x, w, spec)` with the kernel
+/// guaranteed to fit in the padded input.
+fn conv_case(seed: u64, step: u64) -> (Tensor, Tensor, Conv2dSpec) {
+    let s = |i: u64, range: u64, lo: u64| (mix(seed, step * 16 + i) % range + lo) as usize;
+    let (n, c, o) = (s(0, 3, 1), s(1, 3, 1), s(2, 4, 1));
+    let (kh, kw) = (s(3, 3, 1), s(4, 3, 1));
+    let hw_min = kh.max(kw) as u64;
+    let (h, w) = (s(5, 5, hw_min), s(6, 5, hw_min));
+    let spec = Conv2dSpec {
+        stride: s(7, 2, 1),
+        padding: s(8, 2, 0),
+    };
+    let x = stream_tensor(seed ^ step, &[n, c, h, w]);
+    let wt = stream_tensor(seed ^ step ^ 0xABCD, &[o, c, kh, kw]);
+    (x, wt, spec)
+}
+
+fn assert_bitwise(a: &Tensor, b: &Tensor, context: &str) {
+    assert_eq!(a.dims(), b.dims(), "{context}: shape mismatch");
+    for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// 100 mixed-shape forward calls through one reused workspace and one
+    /// reused output tensor — shapes grow and shrink arbitrarily — each
+    /// bitwise identical to a fresh `conv2d`.
+    #[test]
+    fn reused_workspace_matches_fresh_conv2d_across_100_shapes(
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let mut ws = Workspace::new();
+        let mut out = Tensor::zeros(&[1]);
+        for step in 0..100u64 {
+            let (x, w, spec) = conv_case(seed, step);
+            conv2d_into(&mut out, &x, &w, spec, &mut ws);
+            let fresh = conv2d(&x, &w, spec);
+            assert_bitwise(&out, &fresh, &format!("step {step}"));
+        }
+    }
+
+    /// The same property for the backward pass (both gradients).
+    #[test]
+    fn reused_workspace_matches_fresh_conv2d_backward(
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let mut ws = Workspace::new();
+        let mut gx = Tensor::zeros(&[1]);
+        let mut gw = Tensor::zeros(&[1]);
+        for step in 0..25u64 {
+            let (x, w, spec) = conv_case(seed, step);
+            let y = conv2d(&x, &w, spec);
+            let g = stream_tensor(seed ^ 0x5EED ^ step, y.dims());
+            conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
+            let (fx, fw) = conv2d_backward(&x, &w, &g, spec);
+            assert_bitwise(&gx, &fx, &format!("step {step} grad_x"));
+            assert_bitwise(&gw, &fw, &format!("step {step} grad_w"));
+        }
+    }
+}
+
+/// Once the workspace has served a shape, repeating that shape allocates
+/// nothing: the arena, the output tensor and the gradient tensors are all
+/// grow-only and warm.
+#[test]
+fn warm_workspace_stops_allocating() {
+    let x = stream_tensor(7, &[2, 3, 9, 9]);
+    let w = stream_tensor(8, &[4, 3, 3, 3]);
+    let spec = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    let mut ws = Workspace::new();
+    let mut out = Tensor::zeros(&[1]);
+    conv2d_into(&mut out, &x, &w, spec, &mut ws); // warm-up growth
+    let baseline = alloc_count();
+    for _ in 0..10 {
+        conv2d_into(&mut out, &x, &w, spec, &mut ws);
+    }
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "steady-state conv2d_into grew the workspace arena"
+    );
+
+    // Backward likewise, including its grad_w staging buffer.
+    let y = conv2d(&x, &w, spec);
+    let g = stream_tensor(9, y.dims());
+    let mut gx = Tensor::zeros(&[1]);
+    let mut gw = Tensor::zeros(&[1]);
+    conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
+    let baseline = alloc_count();
+    for _ in 0..10 {
+        conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
+    }
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "steady-state conv2d_backward_into grew the workspace arena"
+    );
+}
+
+/// A *smaller* problem after a large one must not shrink the arena (the
+/// buffers are grow-only), so alternating shapes settles to zero growth.
+#[test]
+fn alternating_shapes_settle_to_zero_growth() {
+    let big = (
+        stream_tensor(1, &[2, 2, 10, 10]),
+        stream_tensor(2, &[3, 2, 3, 3]),
+    );
+    let small = (
+        stream_tensor(3, &[1, 1, 5, 5]),
+        stream_tensor(4, &[2, 1, 3, 3]),
+    );
+    let spec = Conv2dSpec::default();
+    let mut ws = Workspace::new();
+    let mut out = Tensor::zeros(&[1]);
+    conv2d_into(&mut out, &big.0, &big.1, spec, &mut ws);
+    conv2d_into(&mut out, &small.0, &small.1, spec, &mut ws);
+    let baseline = alloc_count();
+    for _ in 0..6 {
+        conv2d_into(&mut out, &big.0, &big.1, spec, &mut ws);
+        conv2d_into(&mut out, &small.0, &small.1, spec, &mut ws);
+    }
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "alternating shapes kept allocating"
+    );
+}

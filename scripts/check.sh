@@ -19,6 +19,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run --quiet
 
+# Kernel smoke: seconds-scale run of every micro-bench op, ending in the
+# allocation guard — fails if any warm *_into kernel allocates from the
+# workspace arena. Does not touch the committed BENCH_tensor.json.
+echo "==> cargo bench --bench micro -- --smoke"
+cargo bench --bench micro --quiet -- --smoke
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
