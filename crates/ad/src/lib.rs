@@ -27,6 +27,8 @@
 //! assert_eq!(grads.wrt(w).unwrap().data(), &[1.0, 2.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod grads;
 mod ops;
 mod tape;

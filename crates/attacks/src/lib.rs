@@ -46,6 +46,8 @@
 //! assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ensemble;
 mod eval;
 mod fgsm;

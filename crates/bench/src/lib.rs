@@ -8,6 +8,8 @@
 //! figure-faithful runs live in the `examples/` binaries and
 //! `EXPERIMENTS.md` records their output.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

@@ -26,6 +26,8 @@
 //! assert_eq!(data.images().dims(), &[30, 1, 12, 12]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod data;
 
 pub mod augment;

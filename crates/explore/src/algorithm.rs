@@ -162,6 +162,7 @@ pub fn sweep_attack_stored(
 ) -> Vec<(f32, f32)> {
     let attack_set = data.test.subset(config.attack_samples);
     tensor::parallel::par_map_collect(epsilons.len(), config.effective_threads(), |k| {
+        // armor-lint: allow(no-panic-in-io) -- par_map_collect yields k < epsilons.len() by contract
         let eps = epsilons[k];
         if let Some((s, cell)) = store {
             match s.load_attack(cell, k, eps) {
@@ -180,6 +181,7 @@ pub fn sweep_attack_stored(
                 }),
             }
         }
+        // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
         let start = Instant::now();
         let outcome = evaluate_attack(
             target,

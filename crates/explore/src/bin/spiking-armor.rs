@@ -259,15 +259,19 @@ fn heatmap(cli: &Cli) {
             report::markdown_summary(&result),
         )
     });
+    let &[fig7_eps, fig8_eps] = epsilons.as_slice() else {
+        eprintln!("error: the heat-map preset must supply exactly the Fig. 7 and Fig. 8 budgets");
+        return;
+    };
     for (name, kind) in [
         ("fig6_clean", HeatmapKind::CleanAccuracy),
         (
             "fig7_eps1.0",
-            HeatmapKind::AttackedAccuracy { eps: epsilons[0] },
+            HeatmapKind::AttackedAccuracy { eps: fig7_eps },
         ),
         (
             "fig8_eps1.5",
-            HeatmapKind::AttackedAccuracy { eps: epsilons[1] },
+            HeatmapKind::AttackedAccuracy { eps: fig8_eps },
         ),
     ] {
         let map = Heatmap::from_grid(&result, kind);

@@ -30,7 +30,10 @@ impl RobustnessCurve {
     pub fn new(label: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
         assert!(!points.is_empty(), "a curve needs at least one point");
         assert!(
-            points.windows(2).all(|w| w[0].0 < w[1].0),
+            points
+                .iter()
+                .zip(points.iter().skip(1))
+                .all(|(a, b)| a.0 < b.0),
             "epsilon axis must be strictly increasing"
         );
         Self {
@@ -60,13 +63,14 @@ impl RobustnessCurve {
     /// Area under the curve by the trapezoid rule — a single-number
     /// robustness summary (higher is more robust across the sweep).
     pub fn area(&self) -> f32 {
-        if self.points.len() < 2 {
-            return self.points[0].1;
+        match self.points.as_slice() {
+            [only] => only.1,
+            pts => pts
+                .iter()
+                .zip(pts.iter().skip(1))
+                .map(|(&(e0, a0), &(e1, a1))| 0.5 * (a1 + a0) * (e1 - e0))
+                .sum(),
         }
-        self.points
-            .windows(2)
-            .map(|w| 0.5 * (w[1].1 + w[0].1) * (w[1].0 - w[0].0))
-            .sum()
     }
 
     /// The *critical budget*: the smallest ε at which accuracy falls to
@@ -85,13 +89,13 @@ impl RobustnessCurve {
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0, 1], got {fraction}"
         );
-        let clean = self.points[0].1;
-        let target = clean * fraction;
-        let mut prev = self.points[0];
+        let (&first, rest) = self.points.split_first()?;
+        let target = first.1 * fraction;
+        let mut prev = first;
         if prev.1 <= target {
             return Some(prev.0);
         }
-        for &(e, a) in &self.points[1..] {
+        for &(e, a) in rest {
             if a <= target {
                 // Linear interpolation between prev and (e, a).
                 let (e0, a0) = prev;
@@ -193,7 +197,7 @@ impl CurveSet {
 
 fn truncate(s: &str, n: usize) -> &str {
     match s.char_indices().nth(n) {
-        Some((i, _)) => &s[..i],
+        Some((i, _)) => s.get(..i).unwrap_or(s),
         None => s,
     }
 }

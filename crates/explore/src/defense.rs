@@ -66,6 +66,7 @@ pub fn adversarial_train_snn_stored(
             return hit;
         }
     }
+    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
     let start = Instant::now();
     let trained = adversarial_train_raw(config, data, structural, train_eps);
     if let Some(s) = store {

@@ -2,7 +2,7 @@
 //! parallel across worker threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -43,11 +43,14 @@ impl GridSpec {
             "grid axes must be non-empty"
         );
         assert!(
-            v_ths.windows(2).all(|w| w[0] < w[1]),
+            v_ths.iter().zip(v_ths.iter().skip(1)).all(|(a, b)| a < b),
             "thresholds must be strictly increasing"
         );
         assert!(
-            windows.windows(2).all(|w| w[0] < w[1]),
+            windows
+                .iter()
+                .zip(windows.iter().skip(1))
+                .all(|(a, b)| a < b),
             "time windows must be strictly increasing"
         );
         assert!(
@@ -188,21 +191,30 @@ pub fn run_grid_stored(
         for _ in 0..threads.min(cells.len()) {
             scope.spawn(|_| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= cells.len() {
-                    break;
+                let Some(&cell) = cells.get(idx) else { break };
+                let outcome = explore_one_stored(config, data, cell, epsilons, store);
+                // A poisoned lock means a sibling worker panicked; the slot
+                // write is still sound (panics never tear a `Vec` element).
+                let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(slot) = slots.get_mut(idx) {
+                    *slot = Some(outcome);
                 }
-                let outcome = explore_one_stored(config, data, cells[idx], epsilons, store);
-                results.lock().expect("result mutex poisoned")[idx] = Some(outcome);
             });
         }
     })
+    // armor-lint: allow(no-panic-in-io) -- worker panics must abort the grid, not truncate it
     .expect("a grid worker thread panicked");
-    let outcomes = results
+    let outcomes: Vec<ExplorationOutcome> = results
         .into_inner()
-        .expect("result mutex poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|o| o.expect("every cell is visited exactly once"))
+        .flatten()
         .collect();
+    assert_eq!(
+        outcomes.len(),
+        cells.len(),
+        "every cell is visited exactly once"
+    );
     GridResult {
         spec: spec.clone(),
         epsilons: epsilons.to_vec(),

@@ -61,6 +61,7 @@ impl Heatmap {
             for &v in &v_ths {
                 let outcome = grid
                     .outcome_at(v, t)
+                    // armor-lint: allow(no-panic-in-io) -- a GridResult always covers its own spec
                     .expect("grid result covers its own spec");
                 let value = match kind {
                     HeatmapKind::CleanAccuracy => Some(outcome.clean_accuracy),
@@ -113,23 +114,30 @@ impl Heatmap {
     /// Iterates `(window, v_th, value)` in display order (row-major, top
     /// row first).
     pub fn cells(&self) -> impl Iterator<Item = (usize, f32, Option<f32>)> + '_ {
-        self.windows_desc.iter().flat_map(move |&t| {
-            self.v_ths.iter().enumerate().map(move |(col, &v)| {
-                let row = self
-                    .windows_desc
+        self.windows_desc
+            .iter()
+            .enumerate()
+            .flat_map(move |(row, &t)| {
+                self.v_ths
                     .iter()
-                    .position(|&w| w == t)
-                    .expect("window from own axis");
-                (t, v, self.values[row * self.v_ths.len() + col])
+                    .enumerate()
+                    .map(move |(col, &v)| (t, v, self.value_index(row, col)))
             })
-        })
+    }
+
+    /// The stored value at display coordinates `(row, col)`.
+    fn value_index(&self, row: usize, col: usize) -> Option<f32> {
+        self.values
+            .get(row * self.v_ths.len() + col)
+            .copied()
+            .flatten()
     }
 
     /// The value at `(window, v_th)` if present.
     pub fn value_at(&self, v_th: f32, window: usize) -> Option<f32> {
         let col = self.v_ths.iter().position(|&v| (v - v_th).abs() < 1e-6)?;
         let row = self.windows_desc.iter().position(|&t| t == window)?;
-        self.values[row * self.v_ths.len() + col]
+        self.value_index(row, col)
     }
 
     /// The largest value in the map, if any cell has one.
@@ -166,7 +174,7 @@ impl Heatmap {
         for (row, &t) in self.windows_desc.iter().enumerate() {
             let _ = write!(out, "{t:>7} |");
             for col in 0..self.v_ths.len() {
-                match self.values[row * self.v_ths.len() + col] {
+                match self.value_index(row, col) {
                     Some(v) => {
                         let _ = write!(out, "{:>6.1}", v * 100.0);
                     }
@@ -186,7 +194,7 @@ impl Heatmap {
         let mut out = String::from("time_window,v_th,value\n");
         for (row, &t) in self.windows_desc.iter().enumerate() {
             for (col, &v) in self.v_ths.iter().enumerate() {
-                match self.values[row * self.v_ths.len() + col] {
+                match self.value_index(row, col) {
                     Some(val) => {
                         let _ = writeln!(out, "{t},{v},{val}");
                     }

@@ -46,6 +46,8 @@
 //! assert_eq!(outcome.robustness.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod config;
 pub mod corruption;

@@ -38,6 +38,7 @@ pub fn prepare_data(config: &ExperimentConfig) -> SplitData {
     config.validate();
     if let Some(dir) = &config.mnist_dir {
         let (train_full, test_full) = dataset::mnist::load_dir(std::path::Path::new(dir))
+            // armor-lint: allow(no-panic-in-io) -- documented fail-fast on bad --mnist-dir input
             .unwrap_or_else(|e| panic!("failed to load MNIST from {dir}: {e}"));
         assert_eq!(
             train_full.hw(),
@@ -214,6 +215,7 @@ pub fn train_snn_stored(
             return hit;
         }
     }
+    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
     let start = Instant::now();
     let trained = train_snn(config, data, structural);
     if let Some(s) = store {
@@ -243,6 +245,7 @@ pub fn train_cnn_stored(
             return hit;
         }
     }
+    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
     let start = Instant::now();
     let trained = train_cnn(config, data);
     if let Some(s) = store {

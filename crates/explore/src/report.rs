@@ -91,16 +91,17 @@ pub fn markdown_summary(grid: &crate::GridResult) -> String {
             .iter()
             .filter_map(|o| o.robustness_at(eps))
             .collect();
-        if values.is_empty() {
-            continue;
-        }
         values.sort_by(f32::total_cmp);
+        let (Some(&min), Some(&max)) = (values.first(), values.last()) else {
+            continue;
+        };
+        let median = values.get(values.len() / 2).copied().unwrap_or(max);
         let _ = writeln!(
             out,
             "| {eps:.3} | {:.1}% | {:.1}% | {:.1}% |",
-            values[0] * 100.0,
-            values[values.len() / 2] * 100.0,
-            values[values.len() - 1] * 100.0
+            min * 100.0,
+            median * 100.0,
+            max * 100.0
         );
     }
     let _ = writeln!(out, "\n## Per-cell outcomes\n");

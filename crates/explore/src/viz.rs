@@ -142,7 +142,7 @@ pub fn svg_curves(set: &CurveSet, title: &str) -> String {
         );
     }
     for (ci, curve) in set.curves().iter().enumerate() {
-        let color = colors[ci % colors.len()];
+        let color = colors.get(ci % colors.len()).copied().unwrap_or("black");
         let points: Vec<String> = curve
             .points()
             .iter()

@@ -1,0 +1,178 @@
+//! Rule identifiers and per-rule scope configuration.
+//!
+//! Each rule carries its own scope: the path prefixes it applies to and
+//! whether test code (a `tests/`, `benches/` or `examples/` path component,
+//! a `#[cfg(test)]` module, or a `#[test]` function) is exempt. The
+//! [`Config::workspace_default`] scopes encode this repository's contracts;
+//! the binary can override any rule's prefixes with `--scope`.
+
+/// Rule: `unwrap()`/`expect()`/`panic!`-family macros/`[idx]` indexing are
+/// forbidden in I/O-facing code — a corrupt run directory must surface as a
+/// typed error, never a crash.
+pub const NO_PANIC_IN_IO: &str = "no-panic-in-io";
+/// Rule: `Instant::now`/`SystemTime` are forbidden where fingerprints,
+/// checkpoints, or `events.jsonl` payloads are produced.
+pub const WALLCLOCK_PURITY: &str = "wallclock-purity";
+/// Rule: `HashMap`/`HashSet` are forbidden in artifact-producing code;
+/// their iteration order is nondeterministic across runs.
+pub const UNORDERED_ITERATION: &str = "unordered-iteration";
+/// Rule: allocation (`Vec::new`, `vec!`, `.to_vec()`, `.clone()`,
+/// `.collect()`) is forbidden inside hot functions — names ending in
+/// `_into` or carrying a `// armor-lint: hot` marker.
+pub const NO_ALLOC_IN_HOT_LOOP: &str = "no-alloc-in-hot-loop";
+/// Rule: every `unsafe` needs a `// SAFETY:` comment directly above it.
+pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
+
+/// Meta-rule: an `armor-lint: allow(...)` without a `-- justification`.
+pub const BARE_ALLOW: &str = "bare-allow";
+/// Meta-rule: a directive naming a rule that does not exist.
+pub const UNKNOWN_RULE: &str = "unknown-rule";
+/// Meta-rule: a comment that looks like a directive but does not parse.
+pub const UNKNOWN_DIRECTIVE: &str = "unknown-directive";
+
+/// The five suppressible rules, in documentation order.
+pub const RULES: [&str; 5] = [
+    NO_PANIC_IN_IO,
+    WALLCLOCK_PURITY,
+    UNORDERED_ITERATION,
+    NO_ALLOC_IN_HOT_LOOP,
+    UNSAFE_NEEDS_SAFETY_COMMENT,
+];
+
+/// Where one rule applies.
+#[derive(Debug, Clone)]
+pub struct RuleScope {
+    /// Workspace-relative path prefixes (forward slashes). A file is in
+    /// scope when its path starts with any of these. Empty = nowhere.
+    pub include: Vec<String>,
+    /// When `true`, findings inside test code are dropped.
+    pub skip_test_code: bool,
+}
+
+impl RuleScope {
+    /// `true` when `path` (workspace-relative, forward slashes) is covered.
+    pub fn covers(&self, path: &str) -> bool {
+        self.include.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The full per-rule scope configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Scope of [`NO_PANIC_IN_IO`].
+    pub no_panic_in_io: RuleScope,
+    /// Scope of [`WALLCLOCK_PURITY`].
+    pub wallclock_purity: RuleScope,
+    /// Scope of [`UNORDERED_ITERATION`].
+    pub unordered_iteration: RuleScope,
+    /// Scope of [`NO_ALLOC_IN_HOT_LOOP`].
+    pub no_alloc_in_hot_loop: RuleScope,
+    /// Scope of [`UNSAFE_NEEDS_SAFETY_COMMENT`].
+    pub unsafe_needs_safety_comment: RuleScope,
+}
+
+impl Config {
+    /// This repository's contracts:
+    ///
+    /// * `no-panic-in-io` — the run store and everything driving it
+    ///   (`crates/store`, `crates/explore`): a damaged run directory must
+    ///   degrade per the PR 2 contract, not crash.
+    /// * `wallclock-purity` — the same crates: they produce fingerprints,
+    ///   checkpoints, and `events.jsonl` payloads.
+    /// * `unordered-iteration` — the same crates: artifacts must be
+    ///   byte-stable across runs.
+    /// * `no-alloc-in-hot-loop` — everywhere: hot functions are named
+    ///   `*_into` or marked `// armor-lint: hot` wherever they live.
+    /// * `unsafe-needs-safety-comment` — everywhere, test code included;
+    ///   with `#![forbid(unsafe_code)]` on every other crate this polices
+    ///   `crates/tensor` in practice.
+    pub fn workspace_default() -> Self {
+        let artifact_scope = || RuleScope {
+            include: vec!["crates/store/src".into(), "crates/explore/src".into()],
+            skip_test_code: true,
+        };
+        Self {
+            no_panic_in_io: artifact_scope(),
+            wallclock_purity: artifact_scope(),
+            unordered_iteration: artifact_scope(),
+            no_alloc_in_hot_loop: RuleScope {
+                include: vec!["crates/".into()],
+                skip_test_code: true,
+            },
+            unsafe_needs_safety_comment: RuleScope {
+                include: vec!["crates/".into()],
+                skip_test_code: false,
+            },
+        }
+    }
+
+    /// The scope of a rule by id, if `rule` names one.
+    pub fn scope(&self, rule: &str) -> Option<&RuleScope> {
+        match rule {
+            NO_PANIC_IN_IO => Some(&self.no_panic_in_io),
+            WALLCLOCK_PURITY => Some(&self.wallclock_purity),
+            UNORDERED_ITERATION => Some(&self.unordered_iteration),
+            NO_ALLOC_IN_HOT_LOOP => Some(&self.no_alloc_in_hot_loop),
+            UNSAFE_NEEDS_SAFETY_COMMENT => Some(&self.unsafe_needs_safety_comment),
+            _ => None,
+        }
+    }
+
+    /// Replaces one rule's include prefixes (the `--scope` CLI override).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the offending id when `rule` is not a rule.
+    pub fn set_include(&mut self, rule: &str, prefixes: Vec<String>) -> Result<(), String> {
+        let scope = match rule {
+            NO_PANIC_IN_IO => &mut self.no_panic_in_io,
+            WALLCLOCK_PURITY => &mut self.wallclock_purity,
+            UNORDERED_ITERATION => &mut self.unordered_iteration,
+            NO_ALLOC_IN_HOT_LOOP => &mut self.no_alloc_in_hot_loop,
+            UNSAFE_NEEDS_SAFETY_COMMENT => &mut self.unsafe_needs_safety_comment,
+            other => return Err(other.to_string()),
+        };
+        scope.include = prefixes;
+        Ok(())
+    }
+}
+
+/// `true` when a path component marks the whole file as test code.
+pub fn path_is_test_code(path: &str) -> bool {
+    path.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scopes_cover_the_contract_crates() {
+        let c = Config::workspace_default();
+        assert!(c.no_panic_in_io.covers("crates/store/src/run.rs"));
+        assert!(c
+            .no_panic_in_io
+            .covers("crates/explore/src/bin/spiking-armor.rs"));
+        assert!(!c.no_panic_in_io.covers("crates/tensor/src/gemm.rs"));
+        assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/conv.rs"));
+        assert!(c
+            .unsafe_needs_safety_comment
+            .covers("crates/lint/src/lexer.rs"));
+    }
+
+    #[test]
+    fn test_paths_are_recognised() {
+        assert!(path_is_test_code("crates/store/tests/format_robustness.rs"));
+        assert!(path_is_test_code("crates/bench/benches/micro.rs"));
+        assert!(!path_is_test_code("crates/store/src/run.rs"));
+    }
+
+    #[test]
+    fn scope_override_rejects_unknown_rules() {
+        let mut c = Config::workspace_default();
+        assert!(c.set_include("no-panic-in-io", vec!["x/".into()]).is_ok());
+        assert!(c.no_panic_in_io.covers("x/y.rs"));
+        assert!(c.set_include("not-a-rule", vec![]).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Diagnostics: the rustc-style text rendering and the `--json` report.
+
+use std::fmt;
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Rule identifier (e.g. `no-panic-in-io`).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable reporting order: path, line, column,
+/// rule id.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders the machine-readable report: a JSON object with the finding
+/// count and one entry per diagnostic. Hand-rolled so the lint crate stays
+/// dependency-free.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": \"");
+        escape_json(&d.path, &mut out);
+        out.push_str(&format!(
+            "\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"",
+            d.line, d.col, d.rule
+        ));
+        escape_json(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", diags.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic {
+            path: "crates/store/src/run.rs".into(),
+            line: 12,
+            col: 5,
+            rule: "no-panic-in-io",
+            message: "boom".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/store/src/run.rs:12:5: [no-panic-in-io] boom"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            path: "a.rs".into(),
+            line: 1,
+            col: 2,
+            rule: "r",
+            message: "say \"hi\"\\".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("say \\\"hi\\\"\\\\"));
+        assert_eq!(to_json(&[]), "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+    }
+}

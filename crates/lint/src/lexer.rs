@@ -1,0 +1,404 @@
+//! A minimal, self-contained Rust lexer: comment-, string-, and
+//! raw-string-aware, producing a flat token stream with positions.
+//!
+//! The lexer does not try to be a parser. It only has to be precise about
+//! the places where naive text search goes wrong — patterns inside string
+//! literals, comments, raw strings, char literals, and lifetimes — so that
+//! the rules in [`crate::rules`] can match token *sequences* without false
+//! positives. Everything else (numbers, punctuation) is kept deliberately
+//! coarse.
+
+/// The coarse class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `Vec`, `r#type`).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `:`, `!`, …).
+    Punct(char),
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`1`, `0x2A`, `1.5e3`).
+    Num,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text; for [`TokKind::Str`] and [`TokKind::Char`] only the
+    /// delimiters' *content* is irrelevant to the rules, so the text is left
+    /// empty to keep the stream small.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment (line or block) with the position of its opening delimiter.
+/// Line comments keep their full text including the leading `//`; block
+/// comments keep everything between `/*` and `*/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Full comment text.
+    pub text: String,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based column of the opening delimiter.
+    pub col: u32,
+    /// 1-based line of the closing delimiter (equals `line` for `//`
+    /// comments; larger for multi-line block comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Consumes a `"…"`-style literal; the opening quote is already eaten.
+    fn eat_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string starting after `r`; returns `true` if one was
+    /// present (otherwise nothing is consumed and the caller lexes an
+    /// identifier).
+    fn eat_raw_string(&mut self) -> bool {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        true
+    }
+
+    /// Consumes a char/byte literal; the opening `'` is already eaten.
+    fn eat_char_literal(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let push = |out: &mut Lexed, kind: TokKind, text: String| {
+            out.tokens.push(Tok {
+                kind,
+                text,
+                line,
+                col,
+            });
+        };
+        match c {
+            _ if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                let mut text = String::new();
+                while let Some(k) = lx.peek(0) {
+                    if k == '\n' {
+                        break;
+                    }
+                    text.push(k);
+                    lx.bump();
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    end_line: line,
+                });
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            lx.bump();
+                            lx.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            lx.bump();
+                            lx.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(k), _) => {
+                            text.push(k);
+                            lx.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    end_line: lx.line,
+                });
+            }
+            '"' => {
+                lx.bump();
+                lx.eat_string();
+                push(&mut out, TokKind::Str, String::new());
+            }
+            'r' => {
+                // `r"…"` / `r#"…"#` are raw strings; `r#ident` is a raw
+                // identifier; plain `r…` is an ordinary identifier.
+                lx.bump();
+                if lx.eat_raw_string() {
+                    push(&mut out, TokKind::Str, String::new());
+                } else if lx.peek(0) == Some('#')
+                    && lx.peek(1).is_some_and(|k| k.is_alphanumeric() || k == '_')
+                {
+                    lx.bump();
+                    let name = lx.eat_ident();
+                    push(&mut out, TokKind::Ident, name);
+                } else {
+                    let mut name = String::from("r");
+                    name.push_str(&lx.eat_ident());
+                    push(&mut out, TokKind::Ident, name);
+                }
+            }
+            'b' if matches!(lx.peek(1), Some('"') | Some('\'') | Some('r')) => {
+                match lx.peek(1) {
+                    Some('"') => {
+                        lx.bump();
+                        lx.bump();
+                        lx.eat_string();
+                        push(&mut out, TokKind::Str, String::new());
+                    }
+                    Some('\'') => {
+                        lx.bump();
+                        lx.bump();
+                        lx.eat_char_literal();
+                        push(&mut out, TokKind::Char, String::new());
+                    }
+                    _ => {
+                        // `br"…"` or an identifier starting with `br`.
+                        lx.bump();
+                        lx.bump();
+                        if lx.eat_raw_string() {
+                            push(&mut out, TokKind::Str, String::new());
+                        } else {
+                            let mut name = String::from("br");
+                            name.push_str(&lx.eat_ident());
+                            push(&mut out, TokKind::Ident, name);
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime: `'x'` is a char,
+                // `'ident` (no closing quote right after one ident char) is
+                // a lifetime.
+                let next = lx.peek(1);
+                let after = lx.peek(2);
+                if next == Some('\\') {
+                    lx.bump();
+                    lx.bump();
+                    lx.bump();
+                    lx.eat_char_literal();
+                    push(&mut out, TokKind::Char, String::new());
+                } else if next.is_some_and(|k| k.is_alphanumeric() || k == '_')
+                    && after != Some('\'')
+                {
+                    lx.bump();
+                    let name = lx.eat_ident();
+                    push(&mut out, TokKind::Lifetime, name);
+                } else {
+                    lx.bump();
+                    lx.eat_char_literal();
+                    push(&mut out, TokKind::Char, String::new());
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let name = lx.eat_ident();
+                push(&mut out, TokKind::Ident, name);
+            }
+            _ if c.is_ascii_digit() => {
+                let mut text = lx.eat_ident();
+                // `1.5` continues the number; `1..n` does not.
+                if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|k| k.is_ascii_digit()) {
+                    text.push('.');
+                    lx.bump();
+                    text.push_str(&lx.eat_ident());
+                }
+                push(&mut out, TokKind::Num, text);
+            }
+            _ => {
+                lx.bump();
+                push(&mut out, TokKind::Punct(c), c.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "unwrap() inside a string";
+            // unwrap() inside a comment
+            /* HashMap in /* nested */ block */
+            let b = r#"Instant::now() in a raw string"#;
+            let c = 'x';
+            let d = b"vec![]";
+        "##;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "unwrap"));
+        assert!(!names.iter().any(|n| n == "HashMap"));
+        assert!(!names.iter().any(|n| n == "Instant"));
+        assert!(!names.iter().any(|n| n == "vec"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let toks = lex(r"let nl = '\n'; let q = '\''; let x = 'x'; let u = 'é';").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            4,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_swallow_float_dots_but_not_ranges() {
+        let toks = lex("1.5 + 0..n + 0x2A").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5", "0", "0x2A"]);
+    }
+}

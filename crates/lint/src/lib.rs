@@ -1,0 +1,60 @@
+//! `armor-lint`: workspace-specific static analysis for spiking-armor.
+//!
+//! The workspace rests on invariants no off-the-shelf tool checks —
+//! bitwise-identical results at every thread count, fingerprinted run
+//! artifacts that must never absorb wall-clock time or hash-map iteration
+//! order, and steady-state hot loops that must not allocate. This crate
+//! turns those contracts into a merge gate: a self-contained source-level
+//! pass (own minimal lexer, no external parser dependencies) that walks
+//! every workspace `.rs` file and enforces five rules:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-panic-in-io` | `unwrap`/`expect`/`panic!`-family/`[idx]` indexing forbidden in `crates/store` and `crates/explore` non-test code |
+//! | `wallclock-purity` | `Instant::now`/`SystemTime` forbidden where fingerprints, checkpoints, or journal payloads are produced |
+//! | `unordered-iteration` | `HashMap`/`HashSet` forbidden in artifact-producing code |
+//! | `no-alloc-in-hot-loop` | `Vec::new`/`vec!`/`.to_vec()`/`.clone()`/`.collect()` forbidden in `*_into` functions and `// armor-lint: hot`-marked functions |
+//! | `unsafe-needs-safety-comment` | every `unsafe` needs a `// SAFETY:` comment directly above |
+//!
+//! Findings can be suppressed inline with a *justified* allow:
+//!
+//! ```text
+//! // armor-lint: allow(no-panic-in-io) -- index bounded by the loop guard above
+//! ```
+//!
+//! A bare allow (no ` -- justification`), an unknown rule id, or a typoed
+//! directive is itself a diagnostic, so a suppression can never silently
+//! rot. See `DESIGN.md` §10 for the full rule rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use config::Config;
+pub use diag::Diagnostic;
+pub use rules::lint_source;
+
+use std::path::Path;
+
+/// Lints every workspace file under `root` with `config`, returning all
+/// diagnostics in reporting order.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if the tree cannot be walked or a file
+/// cannot be read.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for file in walk::workspace_files(root)? {
+        let rel = walk::relative_display(root, &file);
+        let src = std::fs::read_to_string(&file)?;
+        diags.extend(rules::lint_source(&rel, &src, config));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}

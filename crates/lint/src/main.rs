@@ -1,0 +1,143 @@
+//! The `armor-lint` binary: lints the workspace and exits non-zero on any
+//! finding, so it composes into `scripts/check.sh`.
+//!
+//! ```text
+//! armor-lint [--json] [--root DIR] [--scope RULE=PREFIX[,PREFIX…]] [FILE…]
+//! ```
+//!
+//! With no `FILE` arguments every workspace `.rs` file under
+//! `<root>/crates` is linted (build output, `vendor/` stand-ins, and the
+//! fixture corpus are skipped). `--scope` replaces one rule's include
+//! prefixes for ad-hoc runs; the defaults encode the workspace contracts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{diag, walk, Config};
+
+const USAGE: &str = "usage: armor-lint [--json] [--root DIR] \
+                     [--scope RULE=PREFIX[,PREFIX...]] [FILE...]";
+
+struct Cli {
+    json: bool,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+    config: Config,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        json: false,
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        config: Config::workspace_default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                cli.root = PathBuf::from(dir);
+            }
+            "--scope" => {
+                let spec = it.next().ok_or("--scope needs RULE=PREFIX[,PREFIX...]")?;
+                let (rule, prefixes) = spec
+                    .split_once('=')
+                    .ok_or("--scope needs RULE=PREFIX[,PREFIX...]")?;
+                let prefixes: Vec<String> =
+                    prefixes.split(',').map(|p| p.trim().to_string()).collect();
+                cli.config
+                    .set_include(rule, prefixes)
+                    .map_err(|r| format!("--scope: unknown rule `{r}`"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            file => cli.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> std::io::Result<Vec<lint::Diagnostic>> {
+    if cli.files.is_empty() {
+        return lint::lint_workspace(&cli.root, &cli.config);
+    }
+    let mut diags = Vec::new();
+    for file in &cli.files {
+        let rel = walk::relative_display(&cli.root, file);
+        let src = std::fs::read_to_string(file)?;
+        diags.extend(lint::lint_source(&rel, &src, &cli.config));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+fn file_count(cli: &Cli) -> usize {
+    if cli.files.is_empty() {
+        walk::workspace_files(&cli.root).map_or(0, |f| f.len())
+    } else {
+        cli.files.len()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = match run(&cli) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("armor-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.json {
+        print!("{}", diag::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        if !cli.json {
+            println!("armor-lint: clean ({} files)", file_count(&cli));
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("armor-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse_args(&s(&["--json", "--root", "/tmp", "a.rs"])).unwrap();
+        assert!(cli.json);
+        assert_eq!(cli.root, PathBuf::from("/tmp"));
+        assert_eq!(cli.files, [PathBuf::from("a.rs")]);
+    }
+
+    #[test]
+    fn scope_override_parses_and_unknown_flag_rejected() {
+        let cli = parse_args(&s(&["--scope", "no-panic-in-io=crates/nn/src"])).unwrap();
+        assert!(cli.config.no_panic_in_io.covers("crates/nn/src/train.rs"));
+        assert!(parse_args(&s(&["--bogus"])).is_err());
+        assert!(parse_args(&s(&["--scope", "nope=crates/"])).is_err());
+    }
+}

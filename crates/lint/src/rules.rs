@@ -1,0 +1,517 @@
+//! The five armor-lint rules, implemented as patterns over the token
+//! stream produced by [`crate::lexer`].
+
+use crate::config::{self, Config};
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Tok, TokKind};
+use crate::suppress;
+
+/// Rust keywords that can legally precede `[` without forming an index
+/// expression (`let [a, b] = …`, `in [1, 2]`, `return [x]`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const ALLOC_METHODS: &[&str] = &["to_vec", "clone", "collect"];
+
+/// Marks the token ranges covered by `#[test]` / `#[cfg(test)]` (and any
+/// other attribute whose tokens mention `test`): from the attribute to the
+/// end of the annotated item — its matching closing brace, or the first
+/// statement-level `;` for brace-less items.
+fn test_token_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].kind == TokKind::Punct('!') {
+            j += 1; // inner attribute `#![…]`
+        }
+        if j >= tokens.len() || tokens[j].kind != TokKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                TokKind::Ident if tokens[j].text == "test" => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        while j + 1 < tokens.len()
+            && tokens[j].kind == TokKind::Punct('#')
+            && tokens[j + 1].kind == TokKind::Punct('[')
+        {
+            let mut d = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The annotated item runs to its matching `}` (tracking nesting),
+        // or to the first `;` outside any braces/parens for `use …;` etc.
+        let mut braces = 0usize;
+        let mut parens = 0usize;
+        let mut end = tokens.len();
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('{') => braces += 1,
+                TokKind::Punct('}') => {
+                    braces = braces.saturating_sub(1);
+                    if braces == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                TokKind::Punct('(') => parens += 1,
+                TokKind::Punct(')') => parens = parens.saturating_sub(1),
+                TokKind::Punct(';') if braces == 0 && parens == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(end.min(tokens.len())).skip(start) {
+            *m = true;
+        }
+        i = end.min(tokens.len());
+    }
+    mask
+}
+
+/// For each token, the name of the innermost enclosing function that is
+/// *hot* (name ends in `_into` or a `// armor-lint: hot` marker precedes
+/// the `fn`), if any.
+fn hot_fn_mask(tokens: &[Tok], hot_lines: &[u32]) -> Vec<Option<String>> {
+    #[derive(Debug)]
+    struct Frame {
+        name: Option<String>, // Some(..) when hot
+        depth: usize,
+    }
+    let mut mask: Vec<Option<String>> = vec![None; tokens.len()];
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut depth = 0usize;
+    // A pending fn whose body `{` we are still looking for.
+    let mut pending: Option<(String, bool, usize)> = None; // (name, hot, paren_depth)
+    let mut markers: Vec<u32> = hot_lines.to_vec();
+    markers.sort_unstable();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident && t.text == "fn" {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    // A marker fires for the first fn at or below its line.
+                    let marked = match markers.iter().position(|&m| m <= t.line) {
+                        Some(p) => {
+                            markers.remove(p);
+                            true
+                        }
+                        None => false,
+                    };
+                    let hot = marked || name_tok.text.ends_with("_into");
+                    pending = Some((name_tok.text.clone(), hot, 0));
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        match t.kind {
+            TokKind::Punct('(') => {
+                if let Some(p) = pending.as_mut() {
+                    p.2 += 1;
+                }
+            }
+            TokKind::Punct(')') => {
+                if let Some(p) = pending.as_mut() {
+                    p.2 = p.2.saturating_sub(1);
+                }
+            }
+            TokKind::Punct(';') if pending.as_ref().is_some_and(|p| p.2 == 0) => {
+                pending = None; // trait method declaration, no body
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                if let Some((name, hot, paren_depth)) = pending.take() {
+                    if paren_depth == 0 {
+                        stack.push(Frame {
+                            name: hot.then_some(name),
+                            depth,
+                        });
+                    } else {
+                        // `{` inside the signature (e.g. a const generic
+                        // default) — keep looking for the body.
+                        pending = Some((name, hot, paren_depth));
+                    }
+                }
+            }
+            TokKind::Punct('}') => {
+                if stack.last().is_some_and(|f| f.depth == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        if let Some(hot) = stack.iter().rev().find_map(|f| f.name.clone()) {
+            mask[i] = Some(hot);
+        }
+        i += 1;
+    }
+    mask
+}
+
+struct Finding {
+    rule: &'static str,
+    line: u32,
+    col: u32,
+    message: String,
+}
+
+fn scan(tokens: &[Tok], hot: &[Option<String>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, t: &Tok, message: String| {
+        out.push(Finding {
+            rule,
+            line: t.line,
+            col: t.col,
+            message,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        let next = tokens.get(i + 1);
+        let next2 = tokens.get(i + 2);
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                // `panic!` / `todo!` / `unimplemented!` / `unreachable!`
+                if PANIC_MACROS.contains(&name)
+                    && next.is_some_and(|n| n.kind == TokKind::Punct('!'))
+                {
+                    push(
+                        config::NO_PANIC_IN_IO,
+                        t,
+                        format!("`{name}!` in I/O-facing code; return a typed error instead"),
+                    );
+                }
+                // `Instant :: now` and any `SystemTime`
+                if name == "Instant"
+                    && next.is_some_and(|n| n.kind == TokKind::Punct(':'))
+                    && next2.is_some_and(|n| n.kind == TokKind::Punct(':'))
+                    && tokens
+                        .get(i + 3)
+                        .is_some_and(|n| n.kind == TokKind::Ident && n.text == "now")
+                {
+                    push(
+                        config::WALLCLOCK_PURITY,
+                        t,
+                        "`Instant::now()` in artifact-scoped code; wall-clock time must \
+                         never reach fingerprints, checkpoints, or journal payloads"
+                            .into(),
+                    );
+                }
+                if name == "SystemTime" {
+                    push(
+                        config::WALLCLOCK_PURITY,
+                        t,
+                        "`SystemTime` in artifact-scoped code; wall-clock time must \
+                         never reach fingerprints, checkpoints, or journal payloads"
+                            .into(),
+                    );
+                }
+                if name == "HashMap" || name == "HashSet" {
+                    push(
+                        config::UNORDERED_ITERATION,
+                        t,
+                        format!(
+                            "`{name}` in artifact-producing code iterates in \
+                             nondeterministic order; use `BTreeMap`/`BTreeSet` or a \
+                             sorted collection"
+                        ),
+                    );
+                }
+                if name == "unsafe" {
+                    push(
+                        config::UNSAFE_NEEDS_SAFETY_COMMENT,
+                        t,
+                        "`unsafe` without a `// SAFETY:` comment on the same line or \
+                         the three lines above"
+                            .into(),
+                    );
+                }
+                // Hot-loop allocation: `Vec::new` / `Vec::with_capacity` / `vec!`
+                if let Some(Some(fn_name)) = hot.get(i) {
+                    if name == "Vec"
+                        && next.is_some_and(|n| n.kind == TokKind::Punct(':'))
+                        && next2.is_some_and(|n| n.kind == TokKind::Punct(':'))
+                        && tokens.get(i + 3).is_some_and(|n| {
+                            n.kind == TokKind::Ident
+                                && (n.text == "new" || n.text == "with_capacity")
+                        })
+                    {
+                        let what = &tokens[i + 3].text;
+                        push(
+                            config::NO_ALLOC_IN_HOT_LOOP,
+                            t,
+                            format!(
+                                "`Vec::{what}` allocates inside hot function \
+                                 `{fn_name}`; lease the buffer from the workspace arena"
+                            ),
+                        );
+                    }
+                    if name == "vec" && next.is_some_and(|n| n.kind == TokKind::Punct('!')) {
+                        push(
+                            config::NO_ALLOC_IN_HOT_LOOP,
+                            t,
+                            format!(
+                                "`vec!` allocates inside hot function `{fn_name}`; \
+                                 lease the buffer from the workspace arena"
+                            ),
+                        );
+                    }
+                }
+            }
+            TokKind::Punct('.') => {
+                // `.unwrap()` / `.expect(` and hot-loop `.to_vec()` etc.
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident
+                        && next2.is_some_and(|p| p.kind == TokKind::Punct('('))
+                    {
+                        let m = n.text.as_str();
+                        if PANIC_METHODS.contains(&m) {
+                            push(
+                                config::NO_PANIC_IN_IO,
+                                n,
+                                format!(
+                                    "`.{m}()` can panic in I/O-facing code; return a \
+                                     typed error instead"
+                                ),
+                            );
+                        }
+                        if ALLOC_METHODS.contains(&m) {
+                            if let Some(Some(fn_name)) = hot.get(i) {
+                                push(
+                                    config::NO_ALLOC_IN_HOT_LOOP,
+                                    n,
+                                    format!(
+                                        "`.{m}()` allocates inside hot function \
+                                         `{fn_name}`; reuse a leased buffer instead"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            TokKind::Punct('[') => {
+                // Index expressions: `expr[...]` — the `[` directly follows
+                // an identifier, `)`, `]`, or `?`. Array types/literals,
+                // attributes, and slice patterns follow other tokens.
+                let is_index = i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|prev| match prev.kind {
+                        TokKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                        TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('?') => true,
+                        _ => false,
+                    });
+                if is_index {
+                    push(
+                        config::NO_PANIC_IN_IO,
+                        t,
+                        "`[…]` indexing can panic in I/O-facing code; use `.get()` or a \
+                         checked pattern"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Lints one file's source text under `config`, returning its diagnostics
+/// in reporting order. `path` must be workspace-relative with forward
+/// slashes — it drives scope resolution and test-code detection.
+pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let directives = suppress::parse(path, &lexed.comments);
+    let file_is_test = config::path_is_test_code(path);
+    let test_mask = test_token_mask(&lexed.tokens);
+    let hot = hot_fn_mask(&lexed.tokens, &directives.hot_lines);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let findings = scan(&lexed.tokens, &hot);
+    // `scan` anchors findings to tokens; map each back to its token index
+    // for the test mask by position.
+    let mut tok_ix = 0usize;
+    for f in findings {
+        while tok_ix < lexed.tokens.len()
+            && (lexed.tokens[tok_ix].line, lexed.tokens[tok_ix].col) < (f.line, f.col)
+        {
+            tok_ix += 1;
+        }
+        let in_test = file_is_test || test_mask.get(tok_ix).copied().unwrap_or(false);
+        let Some(scope) = config.scope(f.rule) else {
+            continue;
+        };
+        if !scope.covers(path) {
+            continue;
+        }
+        if scope.skip_test_code && in_test {
+            continue;
+        }
+        if f.rule == config::UNSAFE_NEEDS_SAFETY_COMMENT && directives.has_safety_comment(f.line) {
+            continue;
+        }
+        if directives.allows(f.rule, f.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            path: path.to_string(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule,
+            message: f.message,
+        });
+    }
+    // Directive-grammar diagnostics are never suppressible and apply to
+    // every walked file.
+    diags.extend(directives.diags);
+    crate::diag::sort(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_path_lint(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/store/src/x.rs", src, &Config::workspace_default())
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_and_indexing_in_scope() {
+        let src = "fn f(v: &[u8]) { v.get(0).unwrap(); x.expect(\"m\"); panic!(\"b\"); \
+                   let y = v[0]; }";
+        let rules: Vec<_> = store_path_lint(src).iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            ["no-panic-in-io"; 4].to_vec(),
+            "{:?}",
+            store_path_lint(src)
+        );
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        let src = "fn f() { x.unwrap(); }";
+        assert!(
+            lint_source("crates/tensor/src/x.rs", src, &Config::workspace_default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); let y = v[0]; }\n}\n";
+        assert!(store_path_lint(src).is_empty());
+    }
+
+    #[test]
+    fn test_fn_is_exempt_but_surrounding_code_is_not() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn g() { y.unwrap(); }\n";
+        let d = store_path_lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn slice_patterns_attributes_and_array_types_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(x: [u8; 4]) -> [u8; 2] {\n\
+                   let [a, b] = [x[0], 1];\n let v = vec![0; 4];\n [a, b]\n}";
+        let d = store_path_lint(src);
+        assert_eq!(d.len(), 1, "{d:?}"); // only x[0]
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn wallclock_and_unordered_fire_in_scope() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n\
+                   fn g(m: &HashMap<u32, u32>) {}\n";
+        let rules: Vec<_> = store_path_lint(src).iter().map(|d| d.rule).collect();
+        assert_eq!(rules, ["wallclock-purity", "unordered-iteration"]);
+    }
+
+    #[test]
+    fn hot_functions_reject_allocation() {
+        let src = "fn pack_into(out: &mut [f32]) { let v = Vec::new(); let w = vec![0]; \
+                   let c = x.clone(); let t = y.to_vec(); let z: Vec<_> = it.collect(); }\n\
+                   fn cold() { let v = Vec::new(); }\n\
+                   // armor-lint: hot\nfn marked() { let v = x.to_vec(); }\n";
+        let d = lint_source("crates/tensor/src/x.rs", src, &Config::workspace_default());
+        assert_eq!(d.len(), 6, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "no-alloc-in-hot-loop"));
+        assert!(d.iter().any(|x| x.message.contains("`marked`")));
+    }
+
+    #[test]
+    fn unsafe_requires_a_safety_comment() {
+        let src = "fn f() { unsafe { go() } }\n\
+                   // SAFETY: exclusive access guaranteed by the mutex\n\
+                   fn g() { unsafe { go() } }\n";
+        let d = lint_source("crates/tensor/src/x.rs", src, &Config::workspace_default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn justified_allow_suppresses_and_bare_allow_reports() {
+        let src = "// armor-lint: allow(no-panic-in-io) -- index bounded by loop guard\n\
+                   fn f(v: &[u8]) { let x = v[0]; }\n\
+                   fn g(v: &[u8]) { let x = v[0]; } // armor-lint: allow(no-panic-in-io)\n";
+        let d = store_path_lint(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        // The bare allow reports itself AND does not suppress the finding.
+        assert!(d.iter().any(|x| x.rule == "bare-allow"));
+        assert!(d.iter().any(|x| x.rule == "no-panic-in-io" && x.line == 3));
+    }
+}

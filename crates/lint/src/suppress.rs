@@ -1,0 +1,211 @@
+//! The `armor-lint` comment-directive grammar.
+//!
+//! ```text
+//! // armor-lint: allow(<rule>[, <rule>…]) -- <justification>
+//! // armor-lint: hot
+//! ```
+//!
+//! An allow silences matching findings on its own line and on the line
+//! directly below it — trailing and preceding placement both work. The
+//! justification is mandatory: a bare `allow(...)` is itself a diagnostic
+//! ([`crate::config::BARE_ALLOW`]), as is an unknown rule id or an
+//! unparseable directive, so a typo can never silently disable a rule.
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::lexer::Comment;
+
+/// One parsed `allow` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule ids being allowed.
+    pub rules: Vec<String>,
+    /// Line of the directive comment.
+    pub line: u32,
+}
+
+/// All directives of one file, plus the diagnostics the directives
+/// themselves produced.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// Parsed, justified allows.
+    pub allows: Vec<Allow>,
+    /// Lines carrying a `// armor-lint: hot` marker.
+    pub hot_lines: Vec<u32>,
+    /// Lines of comments containing `SAFETY:` (for the unsafe rule; for a
+    /// block comment every spanned line counts).
+    pub safety_lines: Vec<u32>,
+    /// Grammar violations: bare allows, unknown rules, unparseable
+    /// directives.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Directives {
+    /// `true` when a justified allow for `rule` covers `line`.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// `true` when a `SAFETY:` comment sits on `line` or within the three
+    /// lines above it.
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        self.safety_lines
+            .iter()
+            .any(|&s| s <= line && line - s <= 3)
+    }
+}
+
+/// Extracts every directive from `comments`. `path` anchors the grammar
+/// diagnostics.
+pub fn parse(path: &str, comments: &[Comment]) -> Directives {
+    let mut out = Directives::default();
+    for c in comments {
+        // `SAFETY:` anywhere in a comment qualifies; credit every line the
+        // comment spans so multi-line block comments work.
+        if c.text.contains("SAFETY:") {
+            out.safety_lines.extend(c.line..=c.end_line);
+        }
+        // A directive must *be* the comment, not be quoted inside one: the
+        // body of a plain `//` (or block) comment, starting with the
+        // `armor-lint:` key. Doc comments (`///`, `//!`) are prose — a
+        // mention of the grammar there must not parse as a directive.
+        let stripped = match c.text.strip_prefix("//") {
+            Some(rest) if rest.starts_with('/') || rest.starts_with('!') => continue,
+            Some(rest) => rest.trim(),
+            None => c.text.trim(),
+        };
+        let Some(body) = stripped.strip_prefix("armor-lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        if body == "hot" {
+            out.hot_lines.push(c.line);
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix("allow") {
+            let rest = rest.trim_start();
+            if let Some((inside, after)) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+                let rules: Vec<String> = inside
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                let mut ok = !rules.is_empty();
+                for r in &rules {
+                    if !config::RULES.contains(&r.as_str()) {
+                        out.diags.push(Diagnostic {
+                            path: path.to_string(),
+                            line: c.line,
+                            col: c.col,
+                            rule: config::UNKNOWN_RULE,
+                            message: format!("unknown rule `{r}` in armor-lint allow"),
+                        });
+                        ok = false;
+                    }
+                }
+                let justification = after
+                    .trim_start()
+                    .strip_prefix("--")
+                    .map(str::trim)
+                    .unwrap_or("");
+                if justification.is_empty() {
+                    out.diags.push(Diagnostic {
+                        path: path.to_string(),
+                        line: c.line,
+                        col: c.col,
+                        rule: config::BARE_ALLOW,
+                        message: format!(
+                            "suppression without justification: write `armor-lint: \
+                             allow({}) -- <why this is sound>`",
+                            rules.join(", ")
+                        ),
+                    });
+                    ok = false;
+                }
+                if ok {
+                    out.allows.push(Allow {
+                        rules,
+                        line: c.line,
+                    });
+                }
+                continue;
+            }
+        }
+        out.diags.push(Diagnostic {
+            path: path.to_string(),
+            line: c.line,
+            col: c.col,
+            rule: config::UNKNOWN_DIRECTIVE,
+            message: format!(
+                "unparseable armor-lint directive `{}`; expected `allow(<rule>) -- \
+                 <justification>` or `hot`",
+                body
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Directives {
+        parse("f.rs", &lex(src).comments)
+    }
+
+    #[test]
+    fn justified_allow_parses_and_covers_next_line() {
+        let d = directives("// armor-lint: allow(no-panic-in-io) -- checked above\nlet x = 1;");
+        assert!(d.diags.is_empty());
+        assert!(d.allows("no-panic-in-io", 1));
+        assert!(d.allows("no-panic-in-io", 2));
+        assert!(!d.allows("no-panic-in-io", 3));
+        assert!(!d.allows("wallclock-purity", 2));
+    }
+
+    #[test]
+    fn bare_allow_is_a_diagnostic() {
+        let d = directives("// armor-lint: allow(no-panic-in-io)");
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].rule, "bare-allow");
+        assert!(!d.allows("no-panic-in-io", 1));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_diagnostic() {
+        let d = directives("// armor-lint: allow(no-panics) -- sure");
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].rule, "unknown-rule");
+    }
+
+    #[test]
+    fn typoed_directive_is_a_diagnostic() {
+        let d = directives("// armor-lint: alow(no-panic-in-io) -- oops");
+        assert_eq!(d.diags.len(), 1);
+        assert_eq!(d.diags[0].rule, "unknown-directive");
+    }
+
+    #[test]
+    fn multi_rule_allow_and_hot_marker() {
+        let d = directives(
+            "// armor-lint: allow(no-panic-in-io, wallclock-purity) -- both fine\n\
+             // armor-lint: hot\nfn go() {}",
+        );
+        assert!(d.diags.is_empty());
+        assert!(d.allows("no-panic-in-io", 2));
+        assert!(d.allows("wallclock-purity", 2));
+        assert_eq!(d.hot_lines, [2]);
+    }
+
+    #[test]
+    fn safety_comments_cover_nearby_lines() {
+        let d = directives("// SAFETY: in-bounds by the loop guard\nx;\ny;\nz;\nw;");
+        assert!(d.has_safety_comment(1));
+        assert!(d.has_safety_comment(4));
+        assert!(!d.has_safety_comment(5));
+    }
+}

@@ -1,0 +1,88 @@
+//! Deterministic workspace file discovery.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// the lint fixture corpus (whose files *deliberately* violate the rules).
+/// `vendor/` holds offline stand-ins for crates.io dependencies, not
+/// first-party code, so the workspace contracts do not apply there.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor", ".git"];
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Collects every `.rs` file under `root/crates`, sorted by path, skipping
+/// build output, fixtures, vendored stand-ins, and VCS metadata (see
+/// `SKIP_DIRS`). Returns paths as given (joinable back onto `root`).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if a directory cannot be read.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        visit(&crates, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace-relative, forward-slash form of `path` used in
+/// diagnostics and scope matching. Paths outside `root` (explicit `FILE`
+/// arguments) keep their leading `/` without duplicating it.
+pub fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for c in rel.components() {
+        match c {
+            std::path::Component::RootDir => out.push('/'),
+            c => {
+                if !out.is_empty() && !out.ends_with('/') {
+                    out.push('/');
+                }
+                out.push_str(&c.as_os_str().to_string_lossy());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate_and_skips_fixtures_and_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).unwrap();
+        let rels: Vec<String> = files.iter().map(|f| relative_display(&root, f)).collect();
+        assert!(
+            rels.iter().any(|r| r == "crates/lint/src/walk.rs"),
+            "{rels:?}"
+        );
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")));
+        assert!(rels.iter().all(|r| !r.starts_with("vendor/")));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk order must be deterministic");
+    }
+}

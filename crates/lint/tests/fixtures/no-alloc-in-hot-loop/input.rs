@@ -1,0 +1,26 @@
+// Fixture: allocation inside hot functions (`*_into` names and
+// `// armor-lint: hot` markers). Linted under the virtual path
+// `crates/tensor/src/input.rs`.
+
+fn conv_into(out: &mut [f32], x: &[f32]) {
+    let scratch = Vec::new();
+    let mut lut = Vec::with_capacity(16);
+    let staged = vec![0.0f32; 8];
+    let copy = x.to_vec();
+    let dup = staged.clone();
+    let total: Vec<f32> = x.iter().copied().collect();
+    let _ = (scratch, lut, copy, dup, total, out);
+}
+
+// armor-lint: hot
+fn steady_state(x: &[f32]) -> f32 {
+    let v = x.to_vec();
+    v.iter().sum()
+}
+
+fn cold_setup() -> Vec<f32> {
+    // Setup code allocates freely; only hot functions are constrained.
+    let mut v = Vec::with_capacity(64);
+    v.push(1.0);
+    v.clone()
+}

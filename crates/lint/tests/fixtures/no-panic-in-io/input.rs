@@ -1,0 +1,37 @@
+// Fixture: every panic-family construct the rule must flag in artifact code.
+// Linted under the virtual path `crates/store/src/input.rs`.
+
+fn load(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("second byte");
+    if *first == 0 {
+        panic!("zero header");
+    }
+    if *second == 0 {
+        todo!()
+    }
+    bytes[2]
+}
+
+fn indexing_variants(v: Vec<u32>, pairs: &[(u32, u32)]) -> u32 {
+    let a = v[0];
+    let b = pairs[1].0;
+    a + b
+}
+
+fn not_flagged(bytes: &[u8]) -> Option<u8> {
+    // Array types, slice patterns and attributes use brackets without
+    // indexing; none of these may fire.
+    let _buf: [u8; 4] = [0; 4];
+    let [_x, _y] = [1, 2];
+    bytes.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+// Fixture: the suppression grammar itself.
+// Linted under the virtual path `crates/store/src/input.rs`.
+
+fn justified_allows_silence_findings(v: &[u8]) -> u8 {
+    // armor-lint: allow(no-panic-in-io) -- index bounded by the caller's length check
+    let first = v[0];
+    let second = v[1]; // armor-lint: allow(no-panic-in-io) -- same bound as above
+    first + second
+}
+
+fn multi_rule_allow(v: &[u8]) -> u8 {
+    // armor-lint: allow(no-panic-in-io, unordered-iteration) -- demo of the list form
+    let byte = v[0];
+    byte
+}
+
+fn bare_allow_reports_and_does_not_suppress(v: &[u8]) -> u8 {
+    // armor-lint: allow(no-panic-in-io)
+    v[0]
+}
+
+fn unknown_rule_reports(v: &[u8]) -> u8 {
+    // armor-lint: allow(no-panics) -- rule id typo
+    v[0]
+}
+
+fn typoed_directive_reports(v: &[u8]) -> u8 {
+    // armor-lint: alow(no-panic-in-io) -- directive typo
+    v[0]
+}
+
+fn allow_does_not_reach_two_lines_down(v: &[u8]) -> u8 {
+    // armor-lint: allow(no-panic-in-io) -- covers the next line only
+    let fine = v[0];
+    let still_flagged = v[1];
+    fine + still_flagged
+}

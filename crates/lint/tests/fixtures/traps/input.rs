@@ -1,0 +1,43 @@
+// Fixture: false-positive traps. Every construct below LOOKS like a
+// violation but sits in a string, comment, raw string, or test-only
+// region — the expected diagnostic list is empty.
+// Linted under the virtual path `crates/store/src/input.rs`.
+
+//! Not real: x.unwrap() and panic!("boom") inside a doc comment.
+
+/* Block comment with v[0], HashMap, Instant::now() — all inert. */
+
+fn strings_hide_everything() -> String {
+    let plain = "call .unwrap() then panic!(\"no\") and index v[0]";
+    let raw = r#"HashMap::new() and Instant::now() and "v[1]""#;
+    let nested = r##"even r#"x.expect("inner")"# stays quiet"##;
+    format!("{plain}{raw}{nested}")
+}
+
+fn brackets_that_are_not_indexing(bytes: &[u8]) -> Option<[u8; 2]> {
+    let _arr: [u8; 4] = [0, 1, 2, 3];
+    let [_a, _b] = [1u8, 2u8];
+    match bytes {
+        [x, y, ..] => Some([*x, *y]),
+        _ => None,
+    }
+}
+
+fn char_literals_are_not_lifetimes() -> (char, char) {
+    ('[', ']')
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn violations_in_tests_are_exempt() {
+        let started = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, started.elapsed().as_nanos());
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], *v.first().unwrap());
+    }
+}

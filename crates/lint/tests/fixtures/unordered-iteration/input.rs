@@ -1,0 +1,32 @@
+// Fixture: nondeterministic-iteration collections in artifact code.
+// Linted under the virtual path `crates/store/src/input.rs`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn count(keys: &[String]) -> HashMap<String, usize> {
+    let mut seen: HashSet<String> = HashSet::new();
+    for k in keys {
+        seen.insert(k.clone());
+    }
+    HashMap::new()
+}
+
+fn sorted_is_fine(keys: &[String]) -> BTreeMap<String, usize> {
+    // BTreeMap iterates in key order, so artifacts stay deterministic.
+    let mut out = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        out.insert(k.clone(), i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_maps() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: `unsafe` blocks with and without safety comments. (The
+// safety keyword is spelled out only in the compliant cases below, so
+// this header cannot accidentally cover the violations.)
+// Linted under the virtual path `crates/tensor/src/input.rs`.
+
+unsafe fn raw_read(p: *const f32) -> f32 {
+    *p
+}
+
+fn undocumented(p: *const f32) -> f32 {
+    unsafe { raw_read(p) }
+}
+
+fn documented(p: *const f32, len: usize, i: usize) -> f32 {
+    assert!(i < len);
+    // SAFETY: `i < len` is asserted above and `p` covers `len` elements.
+    unsafe { raw_read(p.add(i)) }
+}
+
+fn documented_same_line(p: *const f32) -> f32 {
+    /* SAFETY: caller contract — p is valid for reads. */
+    unsafe { raw_read(p) }
+}

@@ -1,0 +1,26 @@
+// Fixture: wall-clock sources in artifact-scoped code.
+// Linted under the virtual path `crates/explore/src/input.rs`.
+
+use std::time::{Instant, SystemTime};
+
+fn fingerprint_run() -> u64 {
+    let started = Instant::now();
+    let _ = started;
+    7
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn journal_duration_is_justified() -> u64 {
+    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
+    let start = Instant::now();
+    start.elapsed().as_millis() as u64
+}
+
+fn not_flagged() {
+    // A comment mentioning Instant::now() must not fire, and neither may a
+    // string: "Instant::now()".
+    let _doc = "SystemTime is banned here";
+}

@@ -1,0 +1,107 @@
+//! Golden tests for the fixture corpus.
+//!
+//! Each `tests/fixtures/<name>/` directory holds an `input.rs` that is
+//! linted under a *virtual* workspace path (fixture files live under a
+//! `tests/` component, which the real scope rules would exempt as test
+//! code) and an `expected.txt` with the exact diagnostics, one per line.
+//!
+//! To regenerate the goldens after an intentional diagnostic change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p lint --test golden
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lint::{lint_source, Config};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_fixture(name: &str, virtual_path: &str) {
+    let dir = fixture_dir(name);
+    let src = fs::read_to_string(dir.join("input.rs")).expect("fixture input.rs");
+    let diags = lint_source(virtual_path, &src, &Config::workspace_default());
+    let actual: String = diags.iter().map(|d| format!("{d}\n")).collect();
+    let golden_path = dir.join("expected.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden_path).expect("fixture expected.txt");
+    assert_eq!(
+        actual, expected,
+        "fixture `{name}` diverged from its golden file; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn no_panic_in_io_fixture() {
+    check_fixture("no-panic-in-io", "crates/store/src/input.rs");
+}
+
+#[test]
+fn wallclock_purity_fixture() {
+    check_fixture("wallclock-purity", "crates/explore/src/input.rs");
+}
+
+#[test]
+fn unordered_iteration_fixture() {
+    check_fixture("unordered-iteration", "crates/store/src/input.rs");
+}
+
+#[test]
+fn no_alloc_in_hot_loop_fixture() {
+    check_fixture("no-alloc-in-hot-loop", "crates/tensor/src/input.rs");
+}
+
+#[test]
+fn unsafe_needs_safety_comment_fixture() {
+    check_fixture("unsafe-needs-safety-comment", "crates/tensor/src/input.rs");
+}
+
+#[test]
+fn traps_fixture_is_all_quiet() {
+    let dir = fixture_dir("traps");
+    let src = fs::read_to_string(dir.join("input.rs")).expect("fixture input.rs");
+    let diags = lint_source(
+        "crates/store/src/input.rs",
+        &src,
+        &Config::workspace_default(),
+    );
+    assert!(
+        diags.is_empty(),
+        "every construct in the traps fixture is a false-positive bait and \
+         must stay quiet, got: {diags:#?}"
+    );
+    check_fixture("traps", "crates/store/src/input.rs");
+}
+
+#[test]
+fn suppression_fixture() {
+    check_fixture("suppression", "crates/store/src/input.rs");
+}
+
+/// The merge gate itself: the workspace the lint crate ships in must be
+/// lint-clean under the default configuration.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint::lint_workspace(&root, &Config::workspace_default()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "the workspace must merge lint-clean, got:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -29,6 +29,8 @@
 //! assert_eq!(logits.dims(), &[2, 10]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cnn;
 mod layers;
 mod model;

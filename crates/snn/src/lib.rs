@@ -38,6 +38,8 @@
 //! assert_eq!(logits.dims(), &[1, 10]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod activity;
 mod cells;
 mod decode;

@@ -83,16 +83,24 @@ fn seal(kind: Kind, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// The `N` bytes at `bytes[at..at + N]` as a fixed array, or a typed
+/// truncation error.
+fn array_at<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], StoreError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(StoreError::Truncated {
+            needed: at + N,
+            available: bytes.len(),
+        })
+}
+
 /// Validates the envelope and returns the payload of the expected kind.
 fn unseal(bytes: &[u8], expected: Kind) -> Result<&[u8], StoreError> {
-    if bytes.len() < MAGIC.len() {
+    let magic = bytes.get(..MAGIC.len()).unwrap_or(bytes);
+    if magic != MAGIC {
         return Err(StoreError::BadMagic {
-            found: bytes.to_vec(),
-        });
-    }
-    if bytes[..4] != MAGIC {
-        return Err(StoreError::BadMagic {
-            found: bytes[..4].to_vec(),
+            found: magic.to_vec(),
         });
     }
     // magic(4) + version(2) + kind(1) + checksum(8)
@@ -102,7 +110,7 @@ fn unseal(bytes: &[u8], expected: Kind) -> Result<&[u8], StoreError> {
             available: bytes.len(),
         });
     }
-    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let version = u16::from_le_bytes(array_at(bytes, 4)?);
     if version != FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             found: version,
@@ -110,18 +118,22 @@ fn unseal(bytes: &[u8], expected: Kind) -> Result<&[u8], StoreError> {
         });
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    let stored = u64::from_le_bytes(array_at(trailer, 0)?);
     let computed = fnv1a(body);
     if stored != computed {
         return Err(StoreError::ChecksumMismatch { stored, computed });
     }
-    if body[6] != expected as u8 {
+    let [kind_byte] = array_at(body, 6)?;
+    if kind_byte != expected as u8 {
         return Err(StoreError::Corrupt(format!(
-            "expected payload kind {} but found {}",
-            expected as u8, body[6]
+            "expected payload kind {} but found {kind_byte}",
+            expected as u8
         )));
     }
-    Ok(&body[7..])
+    body.get(7..).ok_or(StoreError::Truncated {
+        needed: 15,
+        available: bytes.len(),
+    })
 }
 
 /// A bounds-checked reader over a payload.
@@ -136,32 +148,36 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        let available = self.buf.len() - self.pos;
-        if n > available {
-            return Err(StoreError::Truncated {
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+            .ok_or(StoreError::Truncated {
                 needed: n,
-                available,
-            });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+                available: self.buf.len().saturating_sub(self.pos),
+            })?;
         self.pos += n;
         Ok(slice)
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        let at = self.pos;
+        let out = array_at(self.buf, at)?;
+        self.pos += N;
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32_bits(&mut self) -> Result<f32, StoreError> {

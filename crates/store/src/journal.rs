@@ -10,7 +10,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -121,7 +121,7 @@ impl Journal {
             file.seek(SeekFrom::End(-1))?;
             let mut last = [0u8; 1];
             file.read_exact(&mut last)?;
-            if last[0] != b'\n' {
+            if last != [b'\n'] {
                 file.write_all(b"\n")?;
             }
         }
@@ -144,7 +144,9 @@ impl Journal {
     pub fn log(&self, event: &Event) -> io::Result<()> {
         let line = serde_json::to_string(event)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut file = self.file.lock().expect("journal mutex poisoned");
+        // A writer that panicked mid-`writeln!` cannot have torn the line
+        // (the buffer flushes whole), so a poisoned lock is still usable.
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         writeln!(file, "{line}")?;
         file.flush()
     }

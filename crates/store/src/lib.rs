@@ -51,6 +51,8 @@
 //! assert_eq!(m, meta);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fingerprint;
 pub mod format;

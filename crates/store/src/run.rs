@@ -192,7 +192,9 @@ impl RunStore {
         robustness: f32,
     ) -> Result<(), StoreError> {
         let path = self.attack_path(cell, index, eps);
-        fs::create_dir_all(path.parent().expect("attack path has a parent"))?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
         format::write_atomic(&path, &format::encode_attack_result(eps, robustness))
     }
 

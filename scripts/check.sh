@@ -13,6 +13,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Workspace contracts clippy cannot express: panic hygiene on I/O paths,
+# wall-clock purity of artifacts, deterministic iteration, zero-alloc hot
+# loops, and SAFETY-commented unsafe. See DESIGN.md §10.
+echo "==> armor-lint"
+cargo run -q -p lint --release --bin armor-lint
+
 echo "==> cargo doc --workspace --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
