@@ -58,10 +58,10 @@ pub fn evaluate_attack(
     let n = validate_eval_inputs(images, labels, batch_size);
     // One slicing buffer reused (grow-only) across every mini-batch.
     let mut batch = Tensor::zeros(&[1]);
-    let counts: Vec<(usize, usize)> = (0..batch_count(n, batch_size))
+    let counts: Vec<BatchCounts> = (0..batch_count(n, batch_size))
         .map(|bi| eval_one_batch(target, attack, images, labels, batch_size, bi, &mut batch))
         .collect();
-    reduce_counts(&counts, n)
+    reduce_counts(&counts, n, attack.epsilon())
 }
 
 /// [`evaluate_attack`] with independent mini-batches sharded over up to
@@ -95,7 +95,7 @@ pub fn evaluate_attack_parallel(
         let mut batch = Tensor::zeros(&[1]);
         eval_one_batch(target, attack, images, labels, batch_size, bi, &mut batch)
     });
-    reduce_counts(&counts, n)
+    reduce_counts(&counts, n, attack.epsilon())
 }
 
 /// Validates the shared preconditions and returns the sample count.
@@ -113,8 +113,19 @@ fn batch_count(n: usize, batch_size: usize) -> usize {
     n.div_ceil(batch_size)
 }
 
-/// Evaluates mini-batch `bi`, returning its `(clean, adversarial)`
-/// correct-prediction counts. One batch is one unit of parallel work.
+/// Per-batch accounting: how many samples the batch held, and how many of
+/// them the victim predicted correctly before and after perturbation.
+/// Carrying the example count through the reduction lets
+/// [`reduce_counts`] assert the sharding covered every sample exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchCounts {
+    examples: usize,
+    clean: usize,
+    adversarial: usize,
+}
+
+/// Evaluates mini-batch `bi`, returning its [`BatchCounts`]. One batch is
+/// one unit of parallel work.
 ///
 /// `batch` is a caller-owned scratch tensor the mini-batch is sliced into
 /// (grow-only, so a reused buffer stops allocating once it has seen the
@@ -128,7 +139,7 @@ fn eval_one_batch(
     batch_size: usize,
     bi: usize,
     batch: &mut Tensor,
-) -> (usize, usize) {
+) -> BatchCounts {
     let dims = images.dims();
     let n = dims[0];
     let sample_len: usize = dims[1..].iter().product();
@@ -146,13 +157,35 @@ fn eval_one_batch(
         "attack {} exceeded its budget",
         attack.name()
     );
-    (clean, count_correct(&target.predict(&adv), batch_labels))
+    BatchCounts {
+        examples: end - start,
+        clean,
+        adversarial: count_correct(&target.predict(&adv), batch_labels),
+    }
 }
 
 /// Sums per-batch counts (in batch order) into the final outcome.
-fn reduce_counts(counts: &[(usize, usize)], n: usize) -> AttackOutcome {
-    let clean_correct: usize = counts.iter().map(|&(c, _)| c).sum();
-    let adv_correct: usize = counts.iter().map(|&(_, a)| a).sum();
+///
+/// The robustness metric divides by `|D|`, so a sharding bug that dropped
+/// or double-counted a batch would silently skew `Robustness(ε) = 1 −
+/// Adv/|D|`; the debug check makes such a regression fail loudly instead.
+fn reduce_counts(counts: &[BatchCounts], n: usize, epsilon: f32) -> AttackOutcome {
+    let examples: usize = counts.iter().map(|c| c.examples).sum();
+    debug_assert_eq!(
+        examples, n,
+        "per-shard example counts must sum to |D| exactly"
+    );
+    let clean_correct: usize = counts.iter().map(|c| c.clean).sum();
+    let adv_correct: usize = counts.iter().map(|c| c.adversarial).sum();
+    if obs::enabled() {
+        let bits = epsilon.to_bits();
+        obs::counter_add("attack/evaluations", 1);
+        obs::counter_add(&format!("attack/examples/e{bits:08x}"), n as u64);
+        obs::counter_add(
+            &format!("attack/adv_success/e{bits:08x}"),
+            (n - adv_correct) as u64,
+        );
+    }
     let clean_accuracy = clean_correct as f32 / n as f32;
     let adversarial_accuracy = adv_correct as f32 / n as f32;
     AttackOutcome {
@@ -274,6 +307,45 @@ mod more_tests {
     fn zero_batch_size_rejected() {
         let images = Tensor::zeros(&[1, 1, 2, 2]);
         evaluate_attack(&Flat, &Fgsm::new(0.1), &images, &[0], 0);
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+
+    fn counts(parts: &[(usize, usize, usize)]) -> Vec<BatchCounts> {
+        parts
+            .iter()
+            .map(|&(examples, clean, adversarial)| BatchCounts {
+                examples,
+                clean,
+                adversarial,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduction_accepts_counts_that_cover_every_sample() {
+        let out = reduce_counts(&counts(&[(3, 2, 1), (2, 2, 2)]), 5, 0.1);
+        assert_eq!(out.samples, 5);
+        assert_eq!(out.clean_accuracy, 4.0 / 5.0);
+        assert_eq!(out.adversarial_accuracy, 3.0 / 5.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "per-shard example counts must sum to |D|")]
+    fn reduction_rejects_dropped_shards() {
+        // A lost batch (3 + 2 != 6) must fail loudly, not skew robustness.
+        reduce_counts(&counts(&[(3, 2, 1), (2, 2, 2)]), 6, 0.1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "per-shard example counts must sum to |D|")]
+    fn reduction_rejects_double_counted_shards() {
+        reduce_counts(&counts(&[(4, 2, 1), (4, 2, 1), (2, 2, 2)]), 6, 0.1);
     }
 }
 

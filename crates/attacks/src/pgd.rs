@@ -117,11 +117,13 @@ impl Attack for Pgd {
             x.clone()
         };
         for _ in 0..self.steps {
+            let _span = obs::span("attack/pgd_iter");
             let (_, grad) = target.loss_and_input_grad(&adv, labels);
             // In-place, allocation-free step: bitwise identical to
             // `project(&adv.add(&grad.sign().mul_scalar(alpha)), x, eps)`.
             crate::step_project_inplace(&mut adv, &grad, x, self.alpha, self.epsilon);
         }
+        obs::counter_add("attack/pgd_iters", self.steps as u64);
         adv
     }
 }

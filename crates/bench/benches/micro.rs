@@ -12,11 +12,16 @@
 //!   reduced shapes for CI; prints measurements but does not overwrite
 //!   the committed baseline.
 //!
-//! Both modes end with an allocation guard: every `*_into` kernel entry
-//! point (`matmul_into`, `conv2d_into`, `conv2d_backward_into`) is run
-//! against a warm [`Workspace`] and the bench **fails** (non-zero exit)
-//! if the workspace allocation counter moves — steady-state hot loops
-//! must not allocate.
+//! Both modes end with two guards that **fail** the bench (non-zero exit):
+//!
+//! * allocation guard — every `*_into` kernel entry point (`matmul_into`,
+//!   `conv2d_into`, `conv2d_backward_into`) is run against a warm
+//!   [`Workspace`]; the workspace allocation counter must not move —
+//!   steady-state hot loops must not allocate.
+//! * obs guard — with metrics recording disabled, `obs::counter_add` /
+//!   `obs::observe` must cost near-zero (one relaxed atomic load) and
+//!   must leave the registry empty, so instrumented kernels run at full
+//!   speed when `--metrics` is off.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -272,6 +277,37 @@ fn alloc_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// Fails the bench if *disabled* metrics recording does measurable work:
+/// the contract is one relaxed atomic load per call site, so a build that
+/// never passes `--metrics` must not pay for the instrumentation.
+fn obs_guard() -> Result<(), String> {
+    obs::disable();
+    // Nothing may reach the registry while disabled.
+    obs::counter_add("bench/guard", 1);
+    obs::observe("bench/guard_h", 0.5, obs::RATE_BOUNDS);
+    if !obs::snapshot().is_empty() {
+        return Err("disabled obs recording still reached the registry".into());
+    }
+    // Budget: generous even for a cold branch predictor — a stray lock,
+    // allocation, or thread-local registration shows up as microseconds.
+    const ITERS: u64 = 2_000_000;
+    const MAX_NS_PER_OP: f64 = 250.0;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        obs::counter_add("bench/guard", black_box(i));
+        obs::observe("bench/guard_h", black_box(0.5), obs::RATE_BOUNDS);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    if ns > MAX_NS_PER_OP {
+        return Err(format!(
+            "disabled obs recording costs {ns:.1} ns per counter+observe pair \
+             (budget {MAX_NS_PER_OP} ns): the disabled path must stay near-zero"
+        ));
+    }
+    println!("obs guard: ok (disabled recording: {ns:.2} ns per counter+observe pair)");
+    Ok(())
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut runner = Runner {
@@ -284,6 +320,10 @@ fn main() {
     attack_iterations(&mut runner);
 
     if let Err(msg) = alloc_guard() {
+        eprintln!("FAILED: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(msg) = obs_guard() {
         eprintln!("FAILED: {msg}");
         std::process::exit(1);
     }

@@ -72,6 +72,7 @@ pub fn explore_one_stored(
     epsilons: &[f32],
     store: Option<&RunStore>,
 ) -> ExplorationOutcome {
+    let _span = obs::span("grid/cell");
     if let Some(s) = store {
         s.log(&Event::CellStarted {
             cell: runs::cell_key(structural),
@@ -125,6 +126,16 @@ pub fn explore_trained_stored<M: nn::Model + Sync>(
     let mut robustness = Vec::new();
     if learnable {
         robustness = sweep_attack_stored(config, data, &trained.classifier, epsilons, store);
+        obs::counter_add("grid/cells_completed", 1);
+    } else {
+        obs::counter_add("grid/cells_skipped", 1);
+    }
+    // Recorded here — on the sweep's *results* — rather than in the fresh
+    // evaluation path, so robustness points served from the attack cache
+    // count identically to freshly computed ones (resume convergence).
+    obs::counter_add("sweep/robustness_points", robustness.len() as u64);
+    for &(_, r) in &robustness {
+        obs::observe("sweep/robustness", f64::from(r), obs::RATE_BOUNDS);
     }
     ExplorationOutcome {
         structural,
@@ -162,11 +173,13 @@ pub fn sweep_attack_stored(
 ) -> Vec<(f32, f32)> {
     let attack_set = data.test.subset(config.attack_samples);
     tensor::parallel::par_map_collect(epsilons.len(), config.effective_threads(), |k| {
+        let _span = obs::span("sweep/epsilon");
         // armor-lint: allow(no-panic-in-io) -- par_map_collect yields k < epsilons.len() by contract
         let eps = epsilons[k];
         if let Some((s, cell)) = store {
             match s.load_attack(cell, k, eps) {
                 Ok(Some(robustness)) => {
+                    obs::counter_add("sweep/cache_hits", 1);
                     s.log(&Event::AttackCached {
                         cell: cell.to_string(),
                         eps,

@@ -25,6 +25,13 @@
 //!   configured run under `--out-dir` instead of starting over. Cells and
 //!   attack sweeps already completed are loaded from the run store; the
 //!   final artefacts are bitwise-identical to an uninterrupted run.
+//! * `--metrics` — record counters/histograms/phase spans (see
+//!   DESIGN.md §11) and write a versioned `metrics.json` into the run
+//!   directory (or `--out-dir` when no run store opened), plus periodic
+//!   progress lines on stderr. Everything except the trailing `"timing"`
+//!   section is bitwise-identical at every `--threads` setting.
+//! * `--quiet` — with `--metrics`: keep recording and writing
+//!   `metrics.json`, but suppress the stderr progress lines.
 //!
 //! Unknown flags are rejected with a usage error and a non-zero exit.
 
@@ -42,7 +49,7 @@ use snn::StructuralParams;
 use store::RunStore;
 
 const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense> \
-[--threads N] [--out-dir DIR] [--resume]";
+[--threads N] [--out-dir DIR] [--resume] [--metrics [--quiet]]";
 
 /// Parsed command line: one command plus the flags shared by every command.
 struct Cli {
@@ -55,6 +62,10 @@ struct Cli {
     out_dir: PathBuf,
     /// Reuse a previous identically-configured run's checkpoints.
     resume: bool,
+    /// Record metrics and write `metrics.json` (`--metrics`).
+    metrics: bool,
+    /// With `--metrics`: suppress the stderr progress lines (`--quiet`).
+    quiet: bool,
 }
 
 /// Parses the argument list strictly: every flag must be known, `--full`
@@ -66,11 +77,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut threads = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut resume = false;
+    let mut metrics = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--full" => full = true,
             "--resume" => resume = true,
+            "--metrics" => metrics = true,
+            "--quiet" => quiet = true,
             "--threads" => {
                 let value = it
                     .next()
@@ -102,12 +117,19 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--full is only valid for the heatmap command\n{USAGE}"
         ));
     }
+    if quiet && !metrics {
+        return Err(format!(
+            "--quiet only silences the progress lines of --metrics\n{USAGE}"
+        ));
+    }
     Ok(Cli {
         command,
         full,
         threads,
         out_dir: out_dir.unwrap_or_else(|| PathBuf::from("target/figures")),
         resume,
+        metrics,
+        quiet,
     })
 }
 
@@ -127,7 +149,10 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    match cli.command.as_str() {
+    if cli.metrics {
+        obs::enable(!cli.quiet);
+    }
+    let run_dir = match cli.command.as_str() {
         "fig1" => fig1(&cli),
         "heatmap" => heatmap(&cli),
         "fig9" => fig9(&cli),
@@ -140,8 +165,23 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n{USAGE}");
             return ExitCode::FAILURE;
         }
-    }
+    };
+    write_metrics(&cli, run_dir.as_deref());
     ExitCode::SUCCESS
+}
+
+/// Writes the `metrics.json` artifact after a `--metrics` command: into the
+/// run directory when a store opened, otherwise straight under `--out-dir`.
+/// A write failure is a warning — the science is already printed.
+fn write_metrics(cli: &Cli, run_dir: Option<&Path>) {
+    if !cli.metrics {
+        return;
+    }
+    let path = run_dir.unwrap_or(&cli.out_dir).join("metrics.json");
+    match obs::write_metrics(&path) {
+        Ok(()) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Applies a `--threads` override to a preset configuration.
@@ -199,10 +239,11 @@ fn to_paper_axis(points: Vec<(f32, f32)>) -> Vec<(f32, f32)> {
         .collect()
 }
 
-fn fig1(cli: &Cli) {
+fn fig1(cli: &Cli) -> Option<PathBuf> {
     let (mut config, epsilons) = presets::fig1();
     apply_threads(&mut config, cli.threads);
     let store = open_store(cli, &config, None, &epsilons);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let store = store.as_ref();
     let data = pipeline::prepare_data(&config);
     let cnn = pipeline::train_cnn_stored(&config, &data, store);
@@ -230,9 +271,10 @@ fn fig1(cli: &Cli) {
         )),
     ));
     println!("{}", set.render_table());
+    run_dir
 }
 
-fn heatmap(cli: &Cli) {
+fn heatmap(cli: &Cli) -> Option<PathBuf> {
     let (mut config, full_spec, epsilons) = presets::heatmap_grid();
     apply_threads(&mut config, cli.threads);
     let spec = if cli.full {
@@ -241,6 +283,7 @@ fn heatmap(cli: &Cli) {
         GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24])
     };
     let store = open_store(cli, &config, Some(&spec), &epsilons);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let data = pipeline::prepare_data(&config);
     let result = grid::run_grid_stored(
         &config,
@@ -261,7 +304,7 @@ fn heatmap(cli: &Cli) {
     });
     let &[fig7_eps, fig8_eps] = epsilons.as_slice() else {
         eprintln!("error: the heat-map preset must supply exactly the Fig. 7 and Fig. 8 budgets");
-        return;
+        return run_dir;
     };
     for (name, kind) in [
         ("fig6_clean", HeatmapKind::CleanAccuracy),
@@ -279,6 +322,7 @@ fn heatmap(cli: &Cli) {
         let path = cli.out_dir.join(format!("{name}.csv"));
         save_artifact(&path, || fs::write(&path, map.to_csv()));
     }
+    run_dir
 }
 
 /// Writes one figure artefact, downgrading failure to a warning: the
@@ -290,7 +334,7 @@ fn save_artifact(path: &Path, write: impl FnOnce() -> std::io::Result<()>) {
     }
 }
 
-fn fig9(cli: &Cli) {
+fn fig9(cli: &Cli) -> Option<PathBuf> {
     let (mut config, epsilons) = presets::fig9();
     apply_threads(&mut config, cli.threads);
     let spec = GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24]);
@@ -299,6 +343,7 @@ fn fig9(cli: &Cli) {
     let mut all_epsilons = presets::heatmap_epsilons();
     all_epsilons.extend_from_slice(&epsilons);
     let store = open_store(cli, &config, Some(&spec), &all_epsilons);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let store = store.as_ref();
     let data = pipeline::prepare_data(&config);
     let coarse = grid::run_grid_stored(
@@ -347,9 +392,10 @@ fn fig9(cli: &Cli) {
         )),
     ));
     println!("{}", set.render_table());
+    run_dir
 }
 
-fn finetune(cli: &Cli) {
+fn finetune(cli: &Cli) -> Option<PathBuf> {
     let mut config = presets::quick();
     apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
@@ -358,6 +404,7 @@ fn finetune(cli: &Cli) {
         presets::paper_eps_to_pixel(1.0),
     ];
     let store = open_store(cli, &config, None, &eps);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let data = pipeline::prepare_data(&config);
     let center = StructuralParams::new(1.0, 6);
     let candidates = mismatch::neighbourhood(center, 0.25, 2);
@@ -396,14 +443,16 @@ fn finetune(cli: &Cli) {
     if let Some(best) = result.best_deployment() {
         println!("best deployment point: {}", best.eval_at);
     }
+    run_dir
 }
 
-fn transfer_study(cli: &Cli) {
+fn transfer_study(cli: &Cli) -> Option<PathBuf> {
     let mut config = presets::quick();
     apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
     let epsilon = presets::paper_eps_to_pixel(1.0);
     let store = open_store(cli, &config, None, &[epsilon]);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let data = pipeline::prepare_data(&config);
     let points = [
         StructuralParams::new(0.5, 4),
@@ -425,13 +474,15 @@ fn transfer_study(cli: &Cli) {
             e.source_accuracy * 100.0
         );
     }
+    run_dir
 }
 
-fn activity(cli: &Cli) {
+fn activity(cli: &Cli) -> Option<PathBuf> {
     let mut config = presets::quick();
     apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
     let store = open_store(cli, &config, None, &[]);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let data = pipeline::prepare_data(&config);
     let x = data.test.subset(16);
     println!("firing rates of trained SNNs across thresholds (T = 6):");
@@ -450,15 +501,17 @@ fn activity(cli: &Cli) {
             report.overall_rate()
         );
     }
+    run_dir
 }
 
-fn corruptions(cli: &Cli) {
+fn corruptions(cli: &Cli) -> Option<PathBuf> {
     let mut config = presets::quick();
     apply_threads(&mut config, cli.threads);
     enable_kernel_threads(&config);
     // Severities do not key the run: only trainings are checkpointed, and
     // training is independent of the corruption sweep.
     let store = open_store(cli, &config, None, &[]);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let data = pipeline::prepare_data(&config);
     let severities = [0.2f32, 0.4, 0.6];
     for sp in [
@@ -488,9 +541,10 @@ fn corruptions(cli: &Cli) {
             );
         }
     }
+    run_dir
 }
 
-fn defense_study(cli: &Cli) {
+fn defense_study(cli: &Cli) -> Option<PathBuf> {
     let mut config = presets::quick();
     apply_threads(&mut config, cli.threads);
     config.accuracy_threshold = 0.3;
@@ -498,6 +552,7 @@ fn defense_study(cli: &Cli) {
     let eps = presets::paper_eps_to_pixel(0.5);
     let sweep = [eps, presets::paper_eps_to_pixel(1.0)];
     let store = open_store(cli, &config, None, &sweep);
+    let run_dir = store.as_ref().map(|s| s.dir().to_path_buf());
     let store = store.as_ref();
     let data = pipeline::prepare_data(&config);
     println!("adversarial training at {sp} (train budget paper-eps 0.5):");
@@ -532,4 +587,5 @@ fn defense_study(cli: &Cli) {
                 .collect::<Vec<_>>()
         );
     }
+    run_dir
 }

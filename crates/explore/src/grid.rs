@@ -186,6 +186,7 @@ pub fn run_grid_stored(
     };
     let cells: Vec<StructuralParams> = spec.cells().collect();
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<ExplorationOutcome>>> = Mutex::new(vec![None; cells.len()]);
     crossbeam::scope(|scope| {
         for _ in 0..threads.min(cells.len()) {
@@ -193,6 +194,18 @@ pub fn run_grid_stored(
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&cell) = cells.get(idx) else { break };
                 let outcome = explore_one_stored(config, data, cell, epsilons, store);
+                // Completion order is scheduling-dependent, so this may only
+                // ever reach stderr — never an artifact.
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                obs::progress_with(|| {
+                    format!(
+                        "grid: cell {finished}/{} done (v_th={}, T={}, clean={:.3})",
+                        cells.len(),
+                        cell.v_th,
+                        cell.time_window,
+                        outcome.clean_accuracy,
+                    )
+                });
                 // A poisoned lock means a sibling worker panicked; the slot
                 // write is still sound (panics never tear a `Vec` element).
                 let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);

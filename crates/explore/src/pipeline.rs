@@ -149,6 +149,7 @@ pub(crate) fn load_cached_model<M: nn::Model>(
     match store.load_trained(key) {
         Ok(Some((params, meta))) => {
             if params_compatible(&expected, &params) {
+                obs::counter_add("grid/cells_cached", 1);
                 store.log(&Event::CellCached {
                     cell: key.to_string(),
                     clean_accuracy: meta.clean_accuracy,
@@ -218,6 +219,7 @@ pub fn train_snn_stored(
     // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
     let start = Instant::now();
     let trained = train_snn(config, data, structural);
+    obs::counter_add("grid/cells_trained", 1);
     if let Some(s) = store {
         save_trained_model(
             s,
@@ -248,6 +250,7 @@ pub fn train_cnn_stored(
     // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
     let start = Instant::now();
     let trained = train_cnn(config, data);
+    obs::counter_add("grid/cells_trained", 1);
     if let Some(s) = store {
         save_trained_model(
             s,

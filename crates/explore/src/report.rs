@@ -43,6 +43,30 @@ impl RobustnessClass {
     }
 }
 
+/// One row of the summary's per-ε distribution table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionRow {
+    /// Smallest sampled value.
+    pub min: f32,
+    /// Upper median (index `len / 2` of the sorted sample) — the summary
+    /// table's historical convention, so for an even-sized sample this is
+    /// the larger of the two middle values.
+    pub median: f32,
+    /// Largest sampled value.
+    pub max: f32,
+}
+
+/// Summarises a sample into min/median/max; `None` on an empty sample.
+/// NaNs are ordered by `f32::total_cmp`, so they sort to the top rather
+/// than poisoning the comparison.
+pub fn distribution(values: &[f32]) -> Option<DistributionRow> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let (&min, &max) = (sorted.first()?, sorted.last()?);
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(max);
+    Some(DistributionRow { min, median, max })
+}
+
 /// Renders a full markdown summary of a grid exploration: learnability
 /// statistics, the extreme cells, and the per-ε robustness distribution —
 /// the narrative section of an experiment report, generated from data.
@@ -86,22 +110,20 @@ pub fn markdown_summary(grid: &crate::GridResult) -> String {
     let _ = writeln!(out, "| ε | min | median | max |");
     let _ = writeln!(out, "|---|---|---|---|");
     for &eps in &grid.epsilons {
-        let mut values: Vec<f32> = grid
+        let values: Vec<f32> = grid
             .outcomes
             .iter()
             .filter_map(|o| o.robustness_at(eps))
             .collect();
-        values.sort_by(f32::total_cmp);
-        let (Some(&min), Some(&max)) = (values.first(), values.last()) else {
+        let Some(row) = distribution(&values) else {
             continue;
         };
-        let median = values.get(values.len() / 2).copied().unwrap_or(max);
         let _ = writeln!(
             out,
             "| {eps:.3} | {:.1}% | {:.1}% | {:.1}% |",
-            min * 100.0,
-            median * 100.0,
-            max * 100.0
+            row.min * 100.0,
+            row.median * 100.0,
+            row.max * 100.0
         );
     }
     let _ = writeln!(out, "\n## Per-cell outcomes\n");
@@ -209,6 +231,40 @@ mod tests {
         assert!(md.contains("| 0.300 | 10.0% | 80.0% | 80.0% |"), "{md}");
         // Per-cell table has one row per cell.
         assert_eq!(md.matches("| yes |").count(), 2);
+    }
+
+    #[test]
+    fn distribution_of_empty_sample_is_none() {
+        assert_eq!(distribution(&[]), None);
+    }
+
+    #[test]
+    fn distribution_of_single_element_is_that_element() {
+        let row = distribution(&[0.42]).unwrap();
+        assert_eq!((row.min, row.median, row.max), (0.42, 0.42, 0.42));
+    }
+
+    #[test]
+    fn distribution_of_all_equal_values_collapses() {
+        let row = distribution(&[0.7, 0.7, 0.7, 0.7]).unwrap();
+        assert_eq!((row.min, row.median, row.max), (0.7, 0.7, 0.7));
+    }
+
+    #[test]
+    fn distribution_median_is_the_upper_median() {
+        // Odd-sized: the true middle. Even-sized: the upper of the two
+        // middles (index len / 2) — the table's historical convention.
+        let odd = distribution(&[0.3, 0.1, 0.2]).unwrap();
+        assert_eq!(odd.median, 0.2);
+        let even = distribution(&[0.4, 0.1, 0.3, 0.2]).unwrap();
+        assert_eq!((even.min, even.median, even.max), (0.1, 0.3, 0.4));
+    }
+
+    #[test]
+    fn distribution_is_input_order_independent() {
+        let a = distribution(&[0.9, 0.1, 0.5]).unwrap();
+        let b = distribution(&[0.5, 0.9, 0.1]).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -77,10 +77,12 @@ impl Config {
     /// * `no-panic-in-io` — the run store and everything driving it
     ///   (`crates/store`, `crates/explore`): a damaged run directory must
     ///   degrade per the PR 2 contract, not crash.
-    /// * `wallclock-purity` — the same crates: they produce fingerprints,
-    ///   checkpoints, and `events.jsonl` payloads.
-    /// * `unordered-iteration` — the same crates: artifacts must be
-    ///   byte-stable across runs.
+    /// * `wallclock-purity` — the same crates plus `crates/obs`: the
+    ///   metrics layer's deterministic sections must never observe a clock
+    ///   (its timing sink carries the one justified allow).
+    /// * `unordered-iteration` — the same crates plus `crates/obs`:
+    ///   artifacts (including `metrics.json`) must be byte-stable across
+    ///   runs.
     /// * `no-alloc-in-hot-loop` — everywhere: hot functions are named
     ///   `*_into` or marked `// armor-lint: hot` wherever they live.
     /// * `unsafe-needs-safety-comment` — everywhere, test code included;
@@ -91,10 +93,21 @@ impl Config {
             include: vec!["crates/store/src".into(), "crates/explore/src".into()],
             skip_test_code: true,
         };
+        // The metrics layer produces `metrics.json`; it is artifact code for
+        // the determinism rules, but its recording errors are programmer
+        // errors, not I/O degradation, so `no-panic-in-io` stays off it.
+        let metrics_scope = |base: RuleScope| RuleScope {
+            include: base
+                .include
+                .into_iter()
+                .chain(std::iter::once("crates/obs/src".into()))
+                .collect(),
+            ..base
+        };
         Self {
             no_panic_in_io: artifact_scope(),
-            wallclock_purity: artifact_scope(),
-            unordered_iteration: artifact_scope(),
+            wallclock_purity: metrics_scope(artifact_scope()),
+            unordered_iteration: metrics_scope(artifact_scope()),
             no_alloc_in_hot_loop: RuleScope {
                 include: vec!["crates/".into()],
                 skip_test_code: true,
@@ -155,6 +168,11 @@ mod tests {
             .no_panic_in_io
             .covers("crates/explore/src/bin/spiking-armor.rs"));
         assert!(!c.no_panic_in_io.covers("crates/tensor/src/gemm.rs"));
+        // The metrics layer is artifact code for the determinism rules
+        // only; recording bugs may panic, artifacts may not wobble.
+        assert!(c.wallclock_purity.covers("crates/obs/src/span.rs"));
+        assert!(c.unordered_iteration.covers("crates/obs/src/registry.rs"));
+        assert!(!c.no_panic_in_io.covers("crates/obs/src/recorder.rs"));
         assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/conv.rs"));
         assert!(c
             .unsafe_needs_safety_comment

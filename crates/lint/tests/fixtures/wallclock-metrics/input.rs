@@ -1,0 +1,38 @@
+// Fixture: wall-clock sources inside metrics-payload code.
+// Linted under the virtual path `crates/obs/src/input.rs` — the metrics
+// layer is artifact-producing code, so a clock feeding a counter or a
+// serialized registry is a determinism bug, exactly like one feeding a
+// fingerprint.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Registry {
+    counters: Vec<(String, u64)>,
+}
+
+fn record_epoch_duration(reg: &mut Registry) {
+    // A duration flowing into a *deterministic* counter: flagged.
+    let start = Instant::now();
+    reg.counters
+        .push(("train/epoch_nanos".into(), start.elapsed().as_nanos() as u64));
+}
+
+fn shard_by_hash() -> HashMap<String, u64> {
+    // Nondeterministic iteration order inside a metrics payload: flagged.
+    HashMap::new()
+}
+
+fn quarantined_timing_sink() -> u128 {
+    // The sanctioned pattern: the one clock read whose output is confined
+    // to the excluded "timing" section of metrics.json.
+    // armor-lint: allow(wallclock-purity) -- the timing sink is the one quarantined wall-clock consumer; its output is confined to the excluded "timing" section of metrics.json
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}
+
+fn not_flagged() {
+    // Mentions in comments and strings must stay quiet: Instant::now(),
+    // HashMap.
+    let _doc = "Instant::now() inside a string is fine";
+}

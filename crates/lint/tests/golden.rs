@@ -53,6 +53,14 @@ fn wallclock_purity_fixture() {
 }
 
 #[test]
+fn wallclock_metrics_fixture() {
+    // The obs crate is in the wallclock-purity/unordered-iteration scopes:
+    // a clock or hash map inside metrics-payload code is flagged, and the
+    // timing sink's justified allow is the only sanctioned clock read.
+    check_fixture("wallclock-metrics", "crates/obs/src/input.rs");
+}
+
+#[test]
 fn unordered_iteration_fixture() {
     check_fixture("unordered-iteration", "crates/store/src/input.rs");
 }

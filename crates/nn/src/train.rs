@@ -88,6 +88,7 @@ pub fn train_epoch<M: Model, O: Optimizer, R: Rng>(
     rng: &mut R,
 ) -> EpochStats {
     assert!(batch_size > 0, "batch_size must be positive");
+    let _span = obs::span("train/epoch");
     let n = images.dims()[0];
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
@@ -114,10 +115,23 @@ pub fn train_epoch<M: Model, O: Optimizer, R: Rng>(
         optimizer.step(params, &grad_tensors);
         batches += 1;
     }
-    EpochStats {
+    let stats = EpochStats {
         mean_loss: total_loss / batches.max(1) as f32,
         accuracy: correct as f32 / n as f32,
-    }
+    };
+    obs::counter_add("train/epochs", 1);
+    obs::counter_add("train/batches", batches as u64);
+    obs::observe(
+        "train/epoch_loss",
+        f64::from(stats.mean_loss),
+        obs::LOSS_BOUNDS,
+    );
+    obs::observe(
+        "train/epoch_accuracy",
+        f64::from(stats.accuracy),
+        obs::RATE_BOUNDS,
+    );
+    stats
 }
 
 /// Computes test accuracy in mini-batches (no gradient work).
@@ -144,6 +158,7 @@ pub fn evaluate<M: Model>(
         gather_batch_into(&mut batch, &mut batch_labels, images, labels, chunk);
         predictions.extend(crate::model::predict(model, params, &batch));
     }
+    obs::counter_add("eval/examples", n as u64);
     metrics::accuracy(&predictions, labels)
 }
 

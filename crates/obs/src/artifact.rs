@@ -1,0 +1,202 @@
+//! The versioned `metrics.json` artifact.
+//!
+//! Layout (compact JSON, all maps in sorted-key order):
+//!
+//! ```json
+//! {
+//!   "schema": "metrics/v1",
+//!   "counters": { "<name>": <u64>, ... },
+//!   "histograms": {
+//!     "<name>": { "bounds": [..], "counts": [..], "rejected": <u64> }, ...
+//!   },
+//!   "timing": {
+//!     "spans": { "<name>": { "count": <u64>, "total_nanos": <u128> }, ... },
+//!     "gauges": { "<name>": <u64>, ... }
+//!   }
+//! }
+//! ```
+//!
+//! The `"timing"` key is always last, and it is the *only* section allowed
+//! to differ between runs of the same work: everything before it is covered
+//! by the determinism contract (bitwise-identical across `--threads` —
+//! enforced by `tests/metrics_determinism.rs`). [`strip_timing`] slices a
+//! document down to its deterministic part for byte comparison.
+//!
+//! Rendering is hand-rolled (the crate is dependency-free); `f64` bounds
+//! use Rust's shortest-roundtrip `Display`, which is deterministic.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::recorder;
+use crate::registry::Registry;
+use crate::span::{self, TimingSink};
+
+/// Version tag of the artifact layout.
+pub const SCHEMA: &str = "metrics/v1";
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_deterministic_body(out: &mut String, reg: &Registry) {
+    out.push_str("\"schema\":");
+    push_json_str(out, SCHEMA);
+    out.push_str(",\"counters\":{");
+    for (i, (name, value)) in reg.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in reg.histograms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        out.push_str(":{\"bounds\":[");
+        for (j, b) in hist.bounds().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("],\"counts\":[");
+        for (j, c) in hist.counts().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "],\"rejected\":{}}}", hist.rejected());
+    }
+    out.push('}');
+}
+
+fn push_timing(out: &mut String, timing: &TimingSink) {
+    out.push_str("\"timing\":{\"spans\":{");
+    for (i, (name, stats)) in timing.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"total_nanos\":{}}}",
+            stats.count, stats.total_nanos
+        );
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in timing.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("}}");
+}
+
+/// Renders the deterministic sections of a registry — schema, counters,
+/// histograms — with no timing. Byte-identical for equal registries.
+pub fn deterministic_json(reg: &Registry) -> String {
+    let mut out = String::from("{");
+    push_deterministic_body(&mut out, reg);
+    out.push('}');
+    out
+}
+
+/// Renders the full current metrics document: a [`recorder::snapshot`] plus
+/// the timing sink, `"timing"` last.
+pub fn metrics_json() -> String {
+    render(&recorder::snapshot(), &span::timing_snapshot())
+}
+
+/// Renders a full document from explicit parts.
+pub fn render(reg: &Registry, timing: &TimingSink) -> String {
+    let mut out = String::from("{");
+    push_deterministic_body(&mut out, reg);
+    out.push(',');
+    push_timing(&mut out, timing);
+    out.push('}');
+    out
+}
+
+/// The deterministic prefix of a rendered document: everything before the
+/// trailing `"timing"` section. Two documents describing the same work must
+/// satisfy `strip_timing(a) == strip_timing(b)` regardless of `--threads`.
+pub fn strip_timing(document: &str) -> &str {
+    match document.find(",\"timing\":") {
+        Some(i) => document.get(..i).unwrap_or(document),
+        None => document,
+    }
+}
+
+/// Writes the current metrics document to `path` (atomic temp + rename).
+///
+/// # Errors
+///
+/// Returns any I/O error from writing or renaming the temp file.
+pub fn write_metrics(path: &Path) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, metrics_json())?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sorted_compact_json() {
+        let mut reg = Registry::new();
+        reg.counter_add("z/second", 2);
+        reg.counter_add("a/first", 1);
+        reg.observe("h", 0.1, &[0.5, 1.0]);
+        let det = deterministic_json(&reg);
+        assert_eq!(
+            det,
+            "{\"schema\":\"metrics/v1\",\"counters\":{\"a/first\":1,\"z/second\":2},\
+             \"histograms\":{\"h\":{\"bounds\":[0.5,1],\"counts\":[1,0,0],\"rejected\":0}}}"
+        );
+    }
+
+    #[test]
+    fn timing_is_last_and_strippable() {
+        let mut reg = Registry::new();
+        reg.counter_add("c", 1);
+        let mut timing = TimingSink::new();
+        timing.gauges.insert("g".into(), 5);
+        let full = render(&reg, &timing);
+        assert!(full.ends_with("\"gauges\":{\"g\":5}}}"));
+        let det = deterministic_json(&reg);
+        assert_eq!(strip_timing(&full), &det[..det.len() - 1]);
+        assert_eq!(strip_timing(&det), det.as_str());
+    }
+
+    #[test]
+    fn escapes_metric_names() {
+        let mut reg = Registry::new();
+        reg.counter_add("weird\"name\\x", 1);
+        let det = deterministic_json(&reg);
+        assert!(det.contains("\"weird\\\"name\\\\x\":1"));
+    }
+}

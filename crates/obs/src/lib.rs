@@ -1,0 +1,40 @@
+//! Deterministic observability for the exploration pipeline.
+//!
+//! A long `--full` grid run trains dozens of `(V_th, T)` cells and PGD-sweeps
+//! each one over ε, yet without this crate the only mid-run signals are the
+//! run store's journal events. `obs` adds the missing layer — counters,
+//! histograms, and phase spans over the hot paths — under one hard rule:
+//!
+//! **everything except wall-clock time is bitwise-reproducible across
+//! `--threads` settings.**
+//!
+//! * [`registry`] — the pure containers: monotonic [`Registry`] counters and
+//!   fixed-bucket [`Histogram`]s whose merge is commutative and associative,
+//!   so shard merge order cannot change the result.
+//! * [`recorder`] — the global switch and per-thread shards: [`enable`] /
+//!   [`counter_add`] / [`observe`] / [`snapshot`]. Disabled recording is one
+//!   relaxed atomic load per call site (asserted by `crates/bench`).
+//! * [`mod@span`] — phase spans (`train/epoch`, `attack/pgd_iter`, `grid/cell`,
+//!   `sweep/epsilon`): a deterministic entry counter plus a *quarantined*
+//!   wall-clock timing sink, the single place durations may accumulate.
+//! * [`artifact`] — the versioned `metrics.json` document; its `"timing"`
+//!   section is always last and is the only part excluded from the
+//!   determinism contract ([`strip_timing`]).
+//!
+//! See DESIGN.md §11 for the metric taxonomy and the full contract, and
+//! `tests/metrics_determinism.rs` for the end-to-end enforcement.
+
+#![forbid(unsafe_code)]
+
+pub mod artifact;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use artifact::{deterministic_json, metrics_json, render, strip_timing, write_metrics, SCHEMA};
+pub use recorder::{
+    counter_add, disable, enable, enabled, flush_local, observe, progress_enabled, progress_with,
+    reset, snapshot,
+};
+pub use registry::{Histogram, Registry, LOSS_BOUNDS, RATE_BOUNDS};
+pub use span::{span, timing_gauge_add, timing_snapshot, Span, SpanStats, TimingSink};

@@ -1,0 +1,216 @@
+//! The global recorder: an enable switch, per-thread shards, and the merge
+//! into one global [`Registry`].
+//!
+//! Recording is off by default and every entry point checks one relaxed
+//! atomic load first, so a build that never calls [`enable`] pays a single
+//! predictable branch per call site — nothing else (guarded by the
+//! `obs_guard` assertion in `crates/bench`).
+//!
+//! When enabled, each thread records into its own shard: an
+//! `Arc<Mutex<Registry>>` created on first use and registered in a global
+//! shard list. The shard's mutex is only ever contended by [`snapshot`] and
+//! [`reset`], so the owning thread's records stay a fast uncontended lock.
+//!
+//! Shards are merged *by the reader*, never by thread-exit machinery:
+//! [`snapshot`] walks the shard list and folds every shard into the result
+//! (draining shards whose thread has exited into a global base so the list
+//! cannot grow without bound). Thread-local destructors are deliberately
+//! not part of the design — `std::thread::scope` is allowed to return
+//! before a finished worker runs its TLS destructors, so a destructor-based
+//! flush would race the snapshot and silently drop whole shards. Because
+//! [`Registry::merge`] is commutative and associative, the arbitrary order
+//! in which shards are folded cannot change the merged result.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::registry::Registry;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+/// Records from threads whose shard has been drained (exited threads folded
+/// in by [`snapshot`], or any thread flushed by [`flush_local`]).
+static GLOBAL: Mutex<Registry> = Mutex::new(Registry::new());
+/// Every live (and not-yet-drained dead) shard, in registration order.
+static SHARDS: Mutex<Vec<Arc<Mutex<Registry>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// This thread's shard; `None` until the first record. The TLS slot
+    /// only holds a reference — the shard itself lives in [`SHARDS`], so
+    /// nothing is lost whenever this thread exits.
+    static SHARD: Cell<Option<Arc<Mutex<Registry>>>> = const { Cell::new(None) };
+}
+
+/// A poisoned lock means another thread panicked mid-record; the registry
+/// itself is never left torn (all its operations only add), so keep going
+/// rather than losing the data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` on this thread's shard, creating and registering it on first
+/// use.
+fn with_shard<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    SHARD.with(|slot| {
+        let shard = match slot.take() {
+            Some(shard) => shard,
+            None => {
+                let shard = Arc::new(Mutex::new(Registry::new()));
+                lock(&SHARDS).push(Arc::clone(&shard));
+                shard
+            }
+        };
+        let result = f(&mut lock(&shard));
+        slot.set(Some(shard));
+        result
+    })
+}
+
+/// Turns recording on. `progress` additionally enables stderr progress
+/// lines (see [`progress_with`]).
+pub fn enable(progress: bool) {
+    ENABLED.store(true, Ordering::Relaxed);
+    PROGRESS.store(progress, Ordering::Relaxed);
+}
+
+/// Turns recording (and progress lines) off. Already-recorded values are
+/// kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    PROGRESS.store(false, Ordering::Relaxed);
+}
+
+/// `true` while recording is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` while stderr progress lines are wanted.
+#[inline]
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Prints one progress line to stderr if progress is enabled. The closure
+/// only runs when the line will actually be printed, so call sites pay
+/// nothing to format messages nobody sees.
+pub fn progress_with<F: FnOnce() -> String>(f: F) {
+    if progress_enabled() {
+        eprintln!("[obs] {}", f());
+    }
+}
+
+/// Adds `delta` to the counter `name` on this thread's shard. No-op while
+/// recording is disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|reg| reg.counter_add(name, delta));
+}
+
+/// Records `value` into the histogram `name` (created over `bounds` on
+/// first use) on this thread's shard. No-op while recording is disabled.
+#[inline]
+pub fn observe(name: &str, value: f64, bounds: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    with_shard(|reg| reg.observe(name, value, bounds));
+}
+
+/// Merges every shard with the global base and returns the combined state.
+///
+/// Shards of exited threads (we hold their only reference) are drained
+/// into the base and dropped, so a workload spawning many short-lived
+/// workers does not accumulate dead shards. Records made concurrently by
+/// still-running threads may or may not be included — call this after
+/// worker scopes have joined for an exact result.
+pub fn snapshot() -> Registry {
+    let mut global = lock(&GLOBAL);
+    let mut shards = lock(&SHARDS);
+    shards.retain(|shard| {
+        if Arc::strong_count(shard) == 1 {
+            global.merge(&std::mem::take(&mut *lock(shard)));
+            false
+        } else {
+            true
+        }
+    });
+    let mut snap = global.clone();
+    for shard in shards.iter() {
+        snap.merge(&lock(shard));
+    }
+    snap
+}
+
+/// Folds the calling thread's shard into the global base immediately
+/// (normally unnecessary — [`snapshot`] reads live shards in place).
+pub fn flush_local() {
+    let local = with_shard(std::mem::take);
+    if !local.is_empty() {
+        lock(&GLOBAL).merge(&local);
+    }
+}
+
+/// Clears the global base, every registered shard, and the timing sink.
+/// Records made concurrently by still-running threads may survive; tests
+/// that reset between scenarios must do so after worker scopes have joined.
+pub fn reset() {
+    let mut global = lock(&GLOBAL);
+    let mut shards = lock(&SHARDS);
+    *global = Registry::new();
+    shards.retain(|shard| {
+        *lock(shard) = Registry::new();
+        // Drop shards of exited threads entirely.
+        Arc::strong_count(shard) > 1
+    });
+    crate::span::reset_timing();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global state: the whole lifecycle lives in one #[test] so parallel
+    // test threads cannot interleave enable/reset calls.
+    #[test]
+    fn lifecycle_disabled_enabled_threads_reset() {
+        // Disabled: nothing records.
+        counter_add("t/c", 1);
+        observe("t/h", 0.5, &[1.0]);
+        assert_eq!(snapshot().counter("t/c"), 0);
+
+        enable(false);
+        counter_add("t/c", 2);
+        observe("t/h", 0.5, &[1.0]);
+
+        // Worker shards are visible the moment the scope joins — without
+        // relying on the workers' TLS destructors having run.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter_add("t/c", 10));
+            }
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counter("t/c"), 42);
+        assert_eq!(snap.histogram("t/h").map(|h| h.total()), Some(1));
+
+        // A second snapshot sees the same state (dead-shard draining moves
+        // data into the base, it must never lose or double it).
+        assert_eq!(snapshot().counter("t/c"), 42);
+
+        disable();
+        counter_add("t/c", 100);
+        assert_eq!(snapshot().counter("t/c"), 42, "disabled calls are no-ops");
+
+        flush_local();
+        assert_eq!(snapshot().counter("t/c"), 42);
+
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

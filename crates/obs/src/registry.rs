@@ -1,0 +1,269 @@
+//! Pure metric containers: monotonic counters and fixed-bucket histograms,
+//! plus the deterministic merge that combines per-thread shards.
+//!
+//! Everything here is plain data — no clocks, no I/O, no global state. The
+//! merge is commutative and associative by construction (counter deltas and
+//! bucket counts are `u64` sums), so the order in which worker-thread shards
+//! reach the global registry cannot change the merged result. That is the
+//! foundation of the bitwise `--threads`-invariance contract; see
+//! DESIGN.md §11.
+
+use std::collections::BTreeMap;
+
+/// Histogram bounds for values in the unit interval — accuracies, spike
+/// rates, robustness points. Upper-edge inclusive deciles.
+pub const RATE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Histogram bounds for loss values (roughly log-spaced).
+pub const LOSS_BOUNDS: &[f64] = &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+/// A fixed-bucket histogram.
+///
+/// Buckets are defined by a strictly increasing slice of finite upper
+/// bounds; a value lands in the first bucket whose bound it does not exceed
+/// (upper edge *inclusive*: `value == bounds[i]` counts into bucket `i`).
+/// Values above the last bound land in a final overflow bucket, so
+/// `counts.len() == bounds.len() + 1`. Non-finite values (`NaN`, `±∞`) are
+/// never bucketed — they increment [`Histogram::rejected`] instead, so a
+/// poisoned metric is visible rather than silently misfiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    rejected: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.iter().zip(bounds.iter().skip(1)).all(|(a, b)| a < b),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.iter().map(|b| b.to_bits()).collect(),
+            counts: vec![0; bounds.len() + 1],
+            rejected: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= f64::from_bits(b))
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built over different bounds — that
+    /// is a programming error (one metric name, two bucketings), not data.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.rejected += other.rejected;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> Vec<f64> {
+        self.bounds.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket, so this is
+    /// one longer than [`Histogram::bounds`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of non-finite observations that were rejected.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total number of bucketed observations (rejections excluded).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A set of named counters and histograms.
+///
+/// Keys live in `BTreeMap`s so iteration — and therefore serialization — is
+/// always in sorted-key order, independent of insertion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Records `value` into the histogram `name`, creating it over `bounds`
+    /// if absent. All observations of one name must use the same bounds.
+    pub fn observe(&mut self, name: &str, value: f64, bounds: &[f64]) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new(bounds);
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Merges another registry into this one. Commutative and associative:
+    /// any merge order of any sharding of the same observations produces an
+    /// identical registry.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, delta) in &other.counters {
+            self.counter_add(name, *delta);
+        }
+        for (name, hist) in &other.histograms {
+            if let Some(h) = self.histograms.get_mut(name) {
+                h.merge(hist);
+            } else {
+                self.histograms.insert(name.clone(), hist.clone());
+            }
+        }
+    }
+
+    /// `true` when no counter or histogram has ever been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Current value of a counter (zero if it was never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any observation created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in sorted-key order.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All histograms in sorted-key order.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_upper_edge_inclusive() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.record(0.5); // bucket 0
+        h.record(1.0); // exactly on the first edge -> bucket 0
+        h.record(1.5); // bucket 1
+        h.record(2.0); // exactly on the last edge -> bucket 1
+        h.record(2.5); // overflow
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.rejected(), 0);
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.counts(), &[0, 0]);
+        assert_eq!(h.rejected(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_bound_mismatch() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_buckets() {
+        let mut a = Registry::new();
+        a.counter_add("n", 1);
+        a.observe("h", 0.5, &[1.0]);
+        let mut b = Registry::new();
+        b.counter_add("n", 2);
+        b.counter_add("m", 7);
+        b.observe("h", 3.0, &[1.0]);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("m"), 7);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Phase spans and the wall-clock timing sink.
+//!
+//! A [`span`] marks one pass through a named phase (`train/epoch`,
+//! `attack/pgd_iter`, `grid/cell`, `sweep/epsilon`). It does two separate
+//! things, and keeping them separate is the whole design:
+//!
+//! * it increments the deterministic counter `span/<name>` — a pure count
+//!   of phase entries, bitwise-reproducible across `--threads`;
+//! * on drop it adds the elapsed wall-clock time to this module's *timing
+//!   sink* — the one place in the workspace where wall-clock durations are
+//!   allowed to accumulate.
+//!
+//! The timing sink is quarantined: its contents go into the `"timing"`
+//! section of `metrics.json`, which the determinism contract explicitly
+//! excludes (see DESIGN.md §11), and it carries the workspace's single
+//! justified `wallclock-purity` allow. Nothing in the deterministic
+//! sections can ever observe a clock.
+//!
+//! Spans nest naturally — each guard times its own scope independently, so
+//! a `grid/cell` span can enclose many `sweep/epsilon` spans which enclose
+//! many `attack/pgd_iter` spans.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Aggregate timing of one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans of this name completed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all of them.
+    pub total_nanos: u128,
+}
+
+/// The quarantined wall-clock section of a metrics document: per-span
+/// durations plus free-form gauges for values that are *expected* to vary
+/// across thread counts (e.g. per-thread workspace warm-up allocations).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingSink {
+    /// Aggregate durations keyed by span name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Nondeterministic gauges keyed by name.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl TimingSink {
+    /// Creates an empty sink.
+    pub const fn new() -> Self {
+        Self {
+            spans: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+}
+
+static TIMING: Mutex<TimingSink> = Mutex::new(TimingSink::new());
+
+/// An active phase span; dropping it records the elapsed time.
+///
+/// Inert (no clock was read, nothing will be recorded) when recording was
+/// disabled at creation.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+/// Opens a span over the named phase. While recording is disabled this is
+/// a single atomic load returning an inert guard.
+pub fn span(name: &'static str) -> Span {
+    if !crate::recorder::enabled() {
+        return Span {
+            name,
+            started: None,
+        };
+    }
+    crate::recorder::counter_add(&format!("span/{name}"), 1);
+    Span {
+        name,
+        // The single sanctioned clock read: it can only ever flow into the
+        // TIMING sink below, never into a deterministic counter/histogram.
+        // armor-lint: allow(wallclock-purity) -- the timing sink is the one quarantined wall-clock consumer; its output is confined to the excluded "timing" section of metrics.json
+        started: Some(Instant::now()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(started) = self.started else { return };
+        let nanos = started.elapsed().as_nanos();
+        let mut sink = TIMING.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = sink.spans.get_mut(self.name) {
+            s.count += 1;
+            s.total_nanos += nanos;
+        } else {
+            sink.spans.insert(
+                self.name.to_string(),
+                SpanStats {
+                    count: 1,
+                    total_nanos: nanos,
+                },
+            );
+        }
+    }
+}
+
+/// Adds `delta` to a timing-section gauge. Use this — not a counter — for
+/// quantities that legitimately differ across `--threads` settings, so they
+/// can never poison the deterministic sections. No-op while disabled.
+pub fn timing_gauge_add(name: &str, delta: u64) {
+    if !crate::recorder::enabled() {
+        return;
+    }
+    let mut sink = TIMING.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(g) = sink.gauges.get_mut(name) {
+        *g += delta;
+    } else {
+        sink.gauges.insert(name.to_string(), delta);
+    }
+}
+
+/// A clone of the current timing sink.
+pub fn timing_snapshot() -> TimingSink {
+    TIMING
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Clears the timing sink (called from [`crate::recorder::reset`]).
+pub(crate) fn reset_timing() {
+    *TIMING.lock().unwrap_or_else(PoisonError::into_inner) = TimingSink::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One #[test] for the whole lifecycle: spans share global state with
+    // the recorder, so interleaving with other tests must be avoided.
+    #[test]
+    fn spans_count_deterministically_and_time_into_the_sink() {
+        crate::recorder::reset();
+
+        // Disabled: inert guard, no counter, no timing.
+        drop(span("t/phase"));
+        assert_eq!(crate::recorder::snapshot().counter("span/t/phase"), 0);
+        assert!(timing_snapshot().spans.is_empty());
+
+        crate::recorder::enable(false);
+        {
+            let _outer = span("t/phase");
+            let _inner = span("t/inner"); // spans nest
+        }
+        drop(span("t/phase"));
+        timing_gauge_add("t/gauge", 3);
+
+        let snap = crate::recorder::snapshot();
+        assert_eq!(snap.counter("span/t/phase"), 2);
+        assert_eq!(snap.counter("span/t/inner"), 1);
+
+        let timing = timing_snapshot();
+        assert_eq!(timing.spans.get("t/phase").map(|s| s.count), Some(2));
+        assert_eq!(timing.spans.get("t/inner").map(|s| s.count), Some(1));
+        assert_eq!(timing.gauges.get("t/gauge"), Some(&3));
+
+        crate::recorder::disable();
+        timing_gauge_add("t/gauge", 100);
+        assert_eq!(timing_snapshot().gauges.get("t/gauge"), Some(&3));
+
+        crate::recorder::reset();
+        assert!(timing_snapshot().spans.is_empty());
+        assert!(timing_snapshot().gauges.is_empty());
+    }
+}

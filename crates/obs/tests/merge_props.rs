@@ -1,0 +1,151 @@
+//! Property tests for the registry merge laws.
+//!
+//! The `--threads`-invariance contract rests on one algebraic fact: folding
+//! per-thread shards into the global registry is a commutative, associative,
+//! order-independent operation. These properties prove it over randomized
+//! shards by comparing *serialized* registries (the same byte-comparison the
+//! end-to-end determinism test uses), plus directed histogram boundary
+//! cases.
+
+use obs::{deterministic_json, Registry};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Metric names drawn from a small pool so shards collide on keys (merges
+/// that never share a key would not exercise the interesting paths).
+const NAMES: [&str; 4] = ["a/one", "b/two", "c/three", "d/four"];
+const BOUNDS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// One shard: counter bumps and histogram observations, as flat op lists.
+#[derive(Debug, Clone)]
+struct Shard {
+    counts: Vec<(usize, u64)>,
+    observations: Vec<(usize, f64)>,
+}
+
+fn build(shard: &Shard) -> Registry {
+    let mut reg = Registry::new();
+    for &(name, delta) in &shard.counts {
+        reg.counter_add(NAMES[name % NAMES.len()], delta);
+    }
+    for &(name, value) in &shard.observations {
+        reg.observe(NAMES[name % NAMES.len()], value, &BOUNDS);
+    }
+    reg
+}
+
+fn merged<'a>(shards: impl Iterator<Item = &'a Shard>) -> Registry {
+    let mut acc = Registry::new();
+    for s in shards {
+        acc.merge(&build(s));
+    }
+    acc
+}
+
+fn shards_from(raw: &[(u64, u64, f64)]) -> Vec<Shard> {
+    // Each raw tuple seeds one shard with a couple of ops derived from it.
+    raw.iter()
+        .map(|&(k, delta, value)| Shard {
+            counts: vec![(k as usize, delta % 1000), ((k / 7) as usize, 1)],
+            observations: vec![(k as usize, value), ((k / 3) as usize, value * 2.0)],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(A, B) == merge(B, A), compared on serialized bytes.
+    #[test]
+    fn merge_is_commutative(raw in proptest::collection::vec((0u64..32, 0u64..1000, 0.0f64..2.0), 2)) {
+        let shards = shards_from(&raw);
+        let (a, b) = (build(&shards[0]), build(&shards[1]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(deterministic_json(&ab), deterministic_json(&ba));
+    }
+
+    /// (A ∪ B) ∪ C == A ∪ (B ∪ C).
+    #[test]
+    fn merge_is_associative(raw in proptest::collection::vec((0u64..32, 0u64..1000, 0.0f64..2.0), 3)) {
+        let shards = shards_from(&raw);
+        let (a, b, c) = (build(&shards[0]), build(&shards[1]), build(&shards[2]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(deterministic_json(&left), deterministic_json(&right));
+    }
+
+    /// Merging any shuffled permutation of the shards serializes to the same
+    /// bytes as merging them in order — thread-exit order cannot matter.
+    #[test]
+    fn merge_is_order_independent(
+        raw in proptest::collection::vec((0u64..32, 0u64..1000, 0.0f64..2.0), 6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let shards = shards_from(&raw);
+        let in_order = deterministic_json(&merged(shards.iter()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.shuffle(&mut rng); // proptest supplies the seed
+
+        let shuffled = deterministic_json(&merged(order.iter().map(|&i| &shards[i])));
+        prop_assert_eq!(shuffled, in_order);
+    }
+
+    /// Sharding a stream of observations arbitrarily and merging the shards
+    /// equals recording the whole stream into one registry.
+    #[test]
+    fn sharding_is_lossless(
+        raw in proptest::collection::vec((0u64..32, 0u64..1000, 0.0f64..2.0), 8),
+        split in 1usize..8,
+    ) {
+        let shards = shards_from(&raw);
+        let whole = Shard {
+            counts: shards.iter().flat_map(|s| s.counts.clone()).collect(),
+            observations: shards.iter().flat_map(|s| s.observations.clone()).collect(),
+        };
+        let (left, right) = shards.split_at(split);
+        let mut halves = merged(left.iter());
+        halves.merge(&merged(right.iter()));
+        prop_assert_eq!(deterministic_json(&halves), deterministic_json(&build(&whole)));
+    }
+
+    /// A value exactly on a bucket edge always lands in that bucket (upper
+    /// edge inclusive), never the next one — for every edge.
+    #[test]
+    fn edge_values_land_in_their_bucket(edge in 0usize..BOUNDS.len()) {
+        let mut reg = Registry::new();
+        reg.observe("h", BOUNDS[edge], &BOUNDS);
+        let hist = reg.histogram("h").unwrap();
+        let mut expected = vec![0u64; BOUNDS.len() + 1];
+        expected[edge] = 1;
+        prop_assert_eq!(hist.counts(), expected.as_slice());
+        prop_assert_eq!(hist.rejected(), 0);
+    }
+
+    /// Non-finite observations are rejected, leave every bucket untouched,
+    /// and survive merges as rejection counts.
+    #[test]
+    fn non_finite_is_rejected_and_merge_preserves_it(n in 1u64..20) {
+        let mut a = Registry::new();
+        for _ in 0..n {
+            a.observe("h", f64::NAN, &BOUNDS);
+            a.observe("h", f64::INFINITY, &BOUNDS);
+        }
+        let mut b = Registry::new();
+        b.observe("h", f64::NEG_INFINITY, &BOUNDS);
+        a.merge(&b);
+        let hist = a.histogram("h").unwrap();
+        prop_assert_eq!(hist.total(), 0);
+        prop_assert_eq!(hist.rejected(), 2 * n + 1);
+    }
+}

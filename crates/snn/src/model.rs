@@ -17,6 +17,50 @@ use crate::lif::{LiCell, LifCell, LifParams, ResetMode};
 use crate::structural::StructuralParams;
 use crate::surrogate::SurrogateShape;
 
+/// Obs-gated spike accounting for one forward pass: the hidden-layer sites
+/// feed it per timestep, and it flushes once per call. The per-layer spike
+/// sums are computed serially from the taped values (no extra clone), so the
+/// recorded totals are identical at every `--threads` setting.
+struct SpikeTally {
+    sum: f64,
+    units: u64,
+    window: usize,
+}
+
+impl SpikeTally {
+    fn new(window: usize) -> Self {
+        Self {
+            sum: 0.0,
+            units: 0,
+            window,
+        }
+    }
+
+    fn observe_layer(&mut self, spikes: Var<'_>) {
+        if !obs::enabled() {
+            return;
+        }
+        spikes.with_value(|v| {
+            self.sum += f64::from(v.sum());
+            self.units += v.len() as u64;
+        });
+    }
+
+    fn flush(&self) {
+        if self.units == 0 {
+            return;
+        }
+        // Spikes are exact 0.0/1.0 values, so the f64 sum is integral.
+        obs::counter_add("snn/spikes_emitted", self.sum as u64);
+        obs::counter_add("snn/forward_windows", self.window as u64);
+        obs::observe(
+            "snn/spike_rate",
+            self.sum / self.units as f64,
+            obs::RATE_BOUNDS,
+        );
+    }
+}
+
 /// Everything that defines the *spiking* behaviour of a network, independent
 /// of its synaptic topology.
 ///
@@ -220,6 +264,7 @@ impl SpikingCnn {
             .fcs
             .split_last()
             .expect("SpikingCnn always has a head layer");
+        let mut tally = SpikeTally::new(t_window);
 
         for step in 0..t_window {
             let mut h = self.config.encoder.encode_step(x, step);
@@ -236,6 +281,7 @@ impl SpikingCnn {
                     // Borrow the taped spikes; no per-step clone.
                     spikes.with_value(|v| rec.record(&format!("conv{i}"), v.sum(), v.len()));
                 }
+                tally.observe_layer(spikes);
                 h = if block.pool > 1 {
                     spikes.avg_pool2d(block.pool)
                 } else {
@@ -250,6 +296,7 @@ impl SpikingCnn {
                 if let Some(rec) = recorder.as_deref_mut() {
                     spikes.with_value(|v| rec.record(&format!("fc{j}"), v.sum(), v.len()));
                 }
+                tally.observe_layer(spikes);
                 h = spikes;
             }
             let head_current = head.forward(bound, h);
@@ -283,6 +330,7 @@ impl SpikingCnn {
                 }
             });
         }
+        tally.flush();
         let out = decoded.expect("time_window is validated positive");
         match self.config.decoder {
             Decoder::MeanMembrane => out.mul_scalar(1.0 / t_window as f32),
@@ -418,6 +466,7 @@ impl SpikingMlp {
             .split_last()
             .expect("SpikingMlp always has a head layer");
         let mut fc_states = StateStore::new(hidden_fcs.len());
+        let mut tally = SpikeTally::new(t_window);
         let mut prev_spikes: Vec<Option<Var<'t>>> = vec![None; hidden_fcs.len()];
         let mut head_state: Option<Var<'t>> = None;
         let mut decoded: Option<Var<'t>> = None;
@@ -443,6 +492,7 @@ impl SpikingMlp {
                 if let Some(rec) = recorder.as_deref_mut() {
                     spikes.with_value(|v| rec.record(&format!("fc{j}"), v.sum(), v.len()));
                 }
+                tally.observe_layer(spikes);
                 h = spikes;
             }
             let head_current = head.forward(bound, h);
@@ -476,6 +526,7 @@ impl SpikingMlp {
                 }
             });
         }
+        tally.flush();
         let out = decoded.expect("time_window is validated positive");
         match self.config.decoder {
             Decoder::MeanMembrane => out.mul_scalar(1.0 / t_window as f32),

@@ -104,6 +104,7 @@ impl RunStore {
     /// a failure is reported on stderr but never aborts the run, because
     /// observability must not cost results.
     pub fn log(&self, event: &Event) {
+        obs::counter_add("store/journal_events", 1);
         if let Err(e) = self.journal.log(event) {
             eprintln!(
                 "warning: could not append to {}: {e}",

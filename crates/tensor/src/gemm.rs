@@ -175,6 +175,10 @@ pub(crate) fn gemm_block(
     if rows.is_empty() || n == 0 || k == 0 {
         return;
     }
+    // Every matmul/conv funnels through this block (the parallel dispatch
+    // shards disjoint row ranges), so per-shard MAC counts sum to exactly
+    // m·k·n per GEMM regardless of thread count.
+    obs::counter_add("tensor/gemm_macs", (rows.len() * k * n) as u64);
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {

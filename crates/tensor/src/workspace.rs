@@ -59,6 +59,9 @@ pub fn alloc_count() -> u64 {
 
 fn note_alloc() {
     WS_ALLOCS.with(|c| c.set(c.get() + 1));
+    // A timing-section gauge, not a counter: each worker thread warms its
+    // own arena, so growth events legitimately scale with `--threads`.
+    obs::timing_gauge_add("workspace/alloc_growth", 1);
 }
 
 /// One growable scratch buffer: requests within the high-water capacity are

@@ -27,9 +27,16 @@ cargo bench --workspace --no-run --quiet
 
 # Kernel smoke: seconds-scale run of every micro-bench op, ending in the
 # allocation guard — fails if any warm *_into kernel allocates from the
-# workspace arena. Does not touch the committed BENCH_tensor.json.
+# workspace arena — and the obs guard — fails if disabled metrics
+# recording does measurable work. Does not touch the committed
+# BENCH_tensor.json.
 echo "==> cargo bench --bench micro -- --smoke"
 cargo bench --bench micro --quiet -- --smoke
+
+# The metrics layer first: its merge/determinism properties (proptests
+# included) underpin the workspace-wide metrics determinism test.
+echo "==> cargo test -p obs"
+cargo test -q -p obs
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet

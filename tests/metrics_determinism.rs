@@ -1,0 +1,151 @@
+//! Determinism acceptance tests for the metrics layer (DESIGN.md §11).
+//!
+//! The contract under test: everything `metrics.json` records outside its
+//! trailing `"timing"` section is **bitwise-identical** across `--threads`
+//! settings, and a run that is killed partway through and resumed converges
+//! to the same result-describing counters as an uninterrupted run.
+//!
+//! The recorder is global state (one registry per process), so the whole
+//! scenario lives in a single `#[test]` — parallel test threads must never
+//! interleave `enable`/`reset` calls.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use explore::{grid, pipeline, presets, runs, GridSpec};
+use snn::StructuralParams;
+
+fn tmp_out(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiking_armor_metrics_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_config() -> explore::ExperimentConfig {
+    let mut cfg = presets::quick();
+    cfg.epochs = 3;
+    cfg.attack_samples = 8;
+    cfg.pgd_steps = 2;
+    cfg.accuracy_threshold = 0.15;
+    cfg
+}
+
+fn small_grid() -> (GridSpec, Vec<f32>) {
+    (GridSpec::new(vec![0.5, 1.5], vec![2, 4]), vec![0.1f32, 0.3])
+}
+
+/// Runs the small grid into a store under `out` with `threads` workers
+/// while recording, and returns the merged registry. Resets the recorder
+/// first so each invocation observes exactly one run.
+fn recorded_grid(out: &Path, threads: usize, resume: bool) -> obs::Registry {
+    let cfg = small_config();
+    let data = pipeline::prepare_data(&cfg);
+    let (spec, epsilons) = small_grid();
+    obs::reset();
+    obs::enable(false);
+    let opened = runs::open(out, "heatmap", &cfg, Some(&spec), &epsilons, resume).unwrap();
+    assert_eq!(opened.resumed, resume);
+    let _ = grid::run_grid_stored(&cfg, &data, &spec, &epsilons, threads, Some(&opened.store));
+    obs::disable();
+    obs::snapshot()
+}
+
+#[test]
+fn metrics_are_thread_invariant_and_resume_converges() {
+    // --- Part 1: thread invariance -------------------------------------
+    // Same work at 1, 2 and 4 workers; the deterministic document must be
+    // byte-for-byte identical (fresh store each time: no cache crosstalk).
+    let single = recorded_grid(&tmp_out("t1"), 1, false);
+    let reference = obs::deterministic_json(&single);
+
+    // The document must actually describe the run, not be trivially empty.
+    let (spec, epsilons) = small_grid();
+    let cells = spec.cells().count() as u64;
+    assert_eq!(
+        single.counter("grid/cells_completed") + single.counter("grid/cells_skipped"),
+        cells,
+        "every grid cell ends as completed or skipped"
+    );
+    assert!(single.counter("tensor/gemm_macs") > 0);
+    assert!(single.counter("attack/pgd_iters") > 0);
+    assert_eq!(
+        single.counter("sweep/robustness_points"),
+        single.counter("grid/cells_completed") * epsilons.len() as u64
+    );
+    assert_eq!(
+        single
+            .histogram("sweep/robustness")
+            .map(obs::Histogram::total),
+        Some(single.counter("sweep/robustness_points"))
+    );
+
+    for threads in [2, 4] {
+        let reg = recorded_grid(&tmp_out(&format!("t{threads}")), threads, false);
+        assert_eq!(
+            obs::deterministic_json(&reg),
+            reference,
+            "metrics must be bitwise-identical at --threads {threads}"
+        );
+    }
+
+    // The written artifact's deterministic prefix is that same document
+    // (the global registry still holds the 4-thread run at this point).
+    let artifact_dir = tmp_out("artifact");
+    let path = artifact_dir.join("metrics.json");
+    obs::write_metrics(&path).unwrap();
+    let written = fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        obs::strip_timing(&written),
+        &reference[..reference.len() - 1],
+        "metrics.json must start with the deterministic document, timing last"
+    );
+
+    // --- Part 2: kill-and-resume convergence ---------------------------
+    // Complete a run, reconstruct the on-disk state of a SIGKILL after the
+    // first two cells (the tests/resume.rs recipe), then resume. Work
+    // counters legitimately differ (cached cells are not retrained), but
+    // every result-describing value must converge to the reference.
+    let out = tmp_out("resume");
+    let killed_reference = recorded_grid(&out, 2, false);
+    let run_dir = {
+        let cfg = small_config();
+        let opened = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, true).unwrap();
+        opened.store.dir().to_path_buf()
+    };
+    let all_cells: Vec<StructuralParams> = spec.cells().collect();
+    for &sp in &all_cells[2..] {
+        fs::remove_dir_all(run_dir.join("cells").join(runs::cell_key(sp))).unwrap();
+    }
+    // Tear the journal mid-line, as a kill during an append would.
+    let journal_path = run_dir.join("events.jsonl");
+    let journal_bytes = fs::read(&journal_path).unwrap();
+    fs::write(&journal_path, &journal_bytes[..journal_bytes.len() - 7]).unwrap();
+
+    let resumed = recorded_grid(&out, 2, true);
+    for counter in [
+        "grid/cells_completed",
+        "grid/cells_skipped",
+        "sweep/robustness_points",
+    ] {
+        assert_eq!(
+            resumed.counter(counter),
+            killed_reference.counter(counter),
+            "resumed run must converge on {counter}"
+        );
+    }
+    assert_eq!(
+        resumed.histogram("sweep/robustness"),
+        killed_reference.histogram("sweep/robustness"),
+        "resumed run must reproduce the robustness distribution exactly"
+    );
+    // The surviving cells were served from the cache, not retrained: the
+    // work counters prove the resume actually resumed.
+    assert_eq!(resumed.counter("grid/cells_cached"), 2);
+    assert!(
+        resumed.counter("grid/cells_trained") < killed_reference.counter("grid/cells_trained"),
+        "a resumed run must retrain fewer cells than a cold one"
+    );
+
+    obs::reset();
+}
