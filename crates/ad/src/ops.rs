@@ -75,6 +75,9 @@ impl Op {
             Op::LogSoftmax(..) => "log_softmax",
             Op::NllLoss { .. } => "nll_loss",
             Op::Custom { .. } => "custom",
+            Op::LifIntegrate { .. } => "lif_integrate",
+            Op::LifSpike { .. } => "lif_spike",
+            Op::LifReset { .. } => "lif_reset",
         }
     }
 }
@@ -128,6 +131,33 @@ pub(crate) enum Op {
     Custom {
         x: usize,
         op: Box<dyn CustomUnary>,
+    },
+    /// Membrane integration `v_int = v·β + I` of one fused LIF step
+    /// (see [`Var::lif_step`]).
+    LifIntegrate {
+        input: usize,
+        v: usize,
+        beta: f32,
+    },
+    /// Spike decision of one fused LIF step. The threshold-centered
+    /// potential is stored *inside the op* (it is consumed only by the
+    /// surrogate's backward, never by other nodes), and `op` supplies the
+    /// surrogate derivative exactly as [`Op::Custom`] would.
+    LifSpike {
+        v_int: usize,
+        /// Adaptation state id and coupling κ for ALIF; `None` for plain
+        /// LIF.
+        adapt: Option<(usize, f32)>,
+        centered: Tensor,
+        op: Box<dyn CustomUnary>,
+    },
+    /// Membrane reset of one fused LIF step: `v_int − spikes·V_th`
+    /// (subtract) or `v_int − v_int·spikes` (zero).
+    LifReset {
+        v_int: usize,
+        spikes: usize,
+        v_th: f32,
+        zero_reset: bool,
     },
 }
 
@@ -407,6 +437,88 @@ impl<'t> Var<'t> {
         let value = self.with_value(|v| op.forward(v));
         self.tape.push(value, Op::Custom { x: self.id, op })
     }
+
+    /// Matrix product whose **forward** runs the event-driven spike GEMM
+    /// ([`tensor::Tensor::matmul_events`]: dense blocked kernel above the
+    /// measured-density crossover, sparse event gather below it). The
+    /// recorded node is an ordinary [`Var::matmul`], so the backward pass
+    /// is untouched — valid because the event forward is bitwise identical
+    /// to the dense product whenever `other` (the weights) is finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or cross-tape operands.
+    pub fn matmul_events(self, other: Var<'t>) -> Var<'t> {
+        self.assert_same_tape(&other);
+        let value = self
+            .tape
+            .with_values_of(self.id, other.id, |a, b| a.matmul_events(b));
+        self.binary(other, value, Op::Matmul(self.id, other.id))
+    }
+
+    /// One fused LIF membrane update: integrates `self` (the synaptic
+    /// drive) into membrane `v`, thresholds (optionally against an ALIF
+    /// adaptation state `adapt = (a, κ)`), and resets — all in a single
+    /// kernel sweep ([`tensor::simd::lif_step`]) recording three tape
+    /// nodes instead of six. Returns `(spikes, v_next)`.
+    ///
+    /// `surrogate.backward` supplies the spike derivative; its `forward`
+    /// must be the Heaviside step `centered ≥ 0 → 1` the kernel computes
+    /// (the kernel's spike lane is recorded directly, `forward` is never
+    /// called). Forward values and gradients are bitwise identical to the
+    /// composed-op formulation this replaces — see `tests/lif_fused.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-tape operands.
+    pub fn lif_step(
+        self,
+        v: Var<'t>,
+        adapt: Option<(Var<'t>, f32)>,
+        spec: tensor::simd::LifKernelSpec,
+        surrogate: Box<dyn CustomUnary>,
+    ) -> (Var<'t>, Var<'t>) {
+        self.assert_same_tape(&v);
+        if let Some((a, _)) = &adapt {
+            self.assert_same_tape(a);
+        }
+        let out = {
+            let nodes = self.tape.nodes.borrow();
+            tensor::simd::lif_step(
+                &nodes[self.id].value,
+                &nodes[v.id].value,
+                adapt.as_ref().map(|(a, k)| (&nodes[a.id].value, *k)),
+                spec,
+            )
+        };
+        let v_int = self.tape.push(
+            out.v_int,
+            Op::LifIntegrate {
+                input: self.id,
+                v: v.id,
+                beta: spec.beta,
+            },
+        );
+        let spikes = self.tape.push(
+            out.spikes,
+            Op::LifSpike {
+                v_int: v_int.id,
+                adapt: adapt.map(|(a, k)| (a.id, k)),
+                centered: out.centered,
+                op: surrogate,
+            },
+        );
+        let v_next = self.tape.push(
+            out.v_next,
+            Op::LifReset {
+                v_int: v_int.id,
+                spikes: spikes.id,
+                v_th: spec.v_th,
+                zero_reset: spec.zero_reset,
+            },
+        );
+        (spikes, v_next)
+    }
 }
 
 impl<'t> std::ops::Add for Var<'t> {
@@ -587,6 +699,58 @@ pub(crate) fn propagate(nodes: &[Node], id: usize, g: &Tensor, grads: &mut [Opti
                 "custom op {op:?} returned gradient of wrong shape"
             );
             accumulate(grads, *x, gx);
+        }
+        // The three fused-LIF arms replicate the exact accumulation values
+        // AND order of the composed-op formulation they replaced, so
+        // gradients are bitwise unchanged (proven in `tests/lif_fused.rs`).
+        Op::LifIntegrate { input, v, beta } => {
+            // v_int = v·β + I: the add fans g out unchanged, the
+            // mul_scalar scales the membrane branch after g is fully
+            // accumulated — same as the old Add→MulScalar chain.
+            accumulate(grads, *input, g.clone());
+            accumulate(grads, *v, g.mul_scalar(*beta));
+        }
+        Op::LifSpike {
+            v_int,
+            adapt,
+            centered,
+            op,
+        } => {
+            let gc = op.backward(centered, g);
+            assert_eq!(
+                gc.dims(),
+                centered.dims(),
+                "surrogate {op:?} returned gradient of wrong shape"
+            );
+            // centered = (v_int − a·κ) + (−V_th): the add_scalar passes gc
+            // through; the subtraction sends gc to v_int and −gc·κ to the
+            // adaptation state (old Sub→MulScalar chain order).
+            if let Some((a, kappa)) = adapt {
+                accumulate(grads, *v_int, gc.clone());
+                accumulate(grads, *a, gc.neg().mul_scalar(*kappa));
+            } else {
+                accumulate(grads, *v_int, gc);
+            }
+        }
+        Op::LifReset {
+            v_int,
+            spikes,
+            v_th,
+            zero_reset,
+        } => {
+            if *zero_reset {
+                // v_next = v_int − v_int·spikes: old Sub then Mul order —
+                // g to v_int, then −g routed through the product to both
+                // factors.
+                accumulate(grads, *v_int, g.clone());
+                let gn = g.neg();
+                accumulate(grads, *v_int, gn.mul(&nodes[*spikes].value));
+                accumulate(grads, *spikes, gn.mul(&nodes[*v_int].value));
+            } else {
+                // v_next = v_int − spikes·V_th: old Sub then MulScalar.
+                accumulate(grads, *v_int, g.clone());
+                accumulate(grads, *spikes, g.neg().mul_scalar(*v_th));
+            }
         }
     }
 }

@@ -1,0 +1,227 @@
+//! The fused LIF tape ops ([`ad::Var::lif_step`]) must be **bitwise**
+//! equivalent to the composed-op formulation they replaced — forward
+//! values and every gradient, across reset modes, adaptation, and
+//! multi-timestep unrolls with recurrent gradient flow.
+
+use ad::{CustomUnary, Tape, Var};
+use tensor::simd::LifKernelSpec;
+use tensor::Tensor;
+
+/// A surrogate spike function: Heaviside forward, `g / (1 + α|x|)²`
+/// backward (the fast-sigmoid derivative used by SNN training).
+#[derive(Debug)]
+struct FastSigmoidSurrogate {
+    alpha: f32,
+}
+
+impl CustomUnary for FastSigmoidSurrogate {
+    fn forward(&self, x: &Tensor) -> Tensor {
+        x.map(|v| if v >= 0.0 { 1.0 } else { 0.0 })
+    }
+    fn backward(&self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        x.zip_map(grad_out, |v, g| {
+            let d = 1.0 + self.alpha * v.abs();
+            g / (d * d)
+        })
+    }
+}
+
+fn surrogate() -> Box<dyn CustomUnary> {
+    Box::new(FastSigmoidSurrogate { alpha: 2.0 })
+}
+
+/// The exact op composition `lif_step` replaced.
+fn legacy_step<'t>(
+    input: Var<'t>,
+    v: Var<'t>,
+    adapt: Option<(Var<'t>, f32)>,
+    spec: LifKernelSpec,
+) -> (Var<'t>, Var<'t>) {
+    let v_int = v.mul_scalar(spec.beta) + input;
+    let centered = match adapt {
+        Some((a, kappa)) => (v_int - a.mul_scalar(kappa)).add_scalar(-spec.v_th),
+        None => v_int.add_scalar(-spec.v_th),
+    };
+    let spikes = centered.custom_unary(surrogate());
+    let v_next = if spec.zero_reset {
+        v_int - v_int * spikes
+    } else {
+        v_int - spikes.mul_scalar(spec.v_th)
+    };
+    (spikes, v_next)
+}
+
+fn stream_tensor(seed: u64, n: usize) -> Tensor {
+    let data = (0..n as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect();
+    Tensor::from_vec(data, &[n])
+}
+
+fn assert_bits(a: &Tensor, b: &Tensor, context: &str) {
+    assert_eq!(a.dims(), b.dims(), "{context}: shape");
+    for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Unrolls `steps` timesteps of both formulations on identical leaves,
+/// takes a loss touching every spike train AND the final membrane (so
+/// gradients flow through integrate, spike, and reset paths at once), and
+/// demands bitwise-equal values and gradients.
+fn check(steps: usize, spec: LifKernelSpec, with_adapt: bool) {
+    let n = 23; // odd length: exercises the SIMD tail as well
+    let run = |fused: bool| -> (Vec<Tensor>, Tensor, Vec<Tensor>) {
+        let tape = Tape::new();
+        let inputs: Vec<Var> = (0..steps)
+            .map(|t| tape.leaf(stream_tensor(100 + t as u64, n)))
+            .collect();
+        let v0 = tape.leaf(stream_tensor(7, n));
+        let a0 = tape.leaf(stream_tensor(8, n));
+        let mut v = v0;
+        let mut a = a0;
+        let mut spike_vals = Vec::new();
+        let mut loss_acc: Option<Var> = None;
+        for (t, &input) in inputs.iter().enumerate() {
+            let adapt = with_adapt.then_some((a, 0.4f32));
+            let (spikes, v_next) = if fused {
+                input.lif_step(v, adapt, spec, surrogate())
+            } else {
+                legacy_step(input, v, adapt, spec)
+            };
+            if with_adapt {
+                a = a.mul_scalar(0.7) + spikes;
+            }
+            v = v_next;
+            spike_vals.push(spikes.value());
+            let term = spikes.mul_scalar(1.0 + t as f32).sum();
+            loss_acc = Some(match loss_acc {
+                Some(l) => l + term,
+                None => term,
+            });
+        }
+        let loss = loss_acc.unwrap() + v.sum();
+        let grads = tape.backward(loss);
+        let mut wanted: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| grads.wrt(*x).unwrap().clone())
+            .collect();
+        wanted.push(grads.wrt(v0).unwrap().clone());
+        if with_adapt {
+            wanted.push(grads.wrt(a0).unwrap().clone());
+        }
+        (spike_vals, v.value(), wanted)
+    };
+    let (fused_spikes, fused_v, fused_grads) = run(true);
+    let (legacy_spikes, legacy_v, legacy_grads) = run(false);
+    let ctx = format!(
+        "steps={steps} zero_reset={} adapt={with_adapt}",
+        spec.zero_reset
+    );
+    for (t, (f, l)) in fused_spikes.iter().zip(&legacy_spikes).enumerate() {
+        assert_bits(f, l, &format!("{ctx} spikes[{t}]"));
+    }
+    assert_bits(&fused_v, &legacy_v, &format!("{ctx} final v"));
+    assert_eq!(fused_grads.len(), legacy_grads.len());
+    for (i, (f, l)) in fused_grads.iter().zip(&legacy_grads).enumerate() {
+        assert_bits(f, l, &format!("{ctx} grad[{i}]"));
+    }
+}
+
+#[test]
+fn fused_matches_legacy_subtract_reset() {
+    check(
+        4,
+        LifKernelSpec {
+            beta: 0.9,
+            v_th: 1.0,
+            zero_reset: false,
+        },
+        false,
+    );
+}
+
+#[test]
+fn fused_matches_legacy_zero_reset() {
+    check(
+        4,
+        LifKernelSpec {
+            beta: 0.85,
+            v_th: 0.7,
+            zero_reset: true,
+        },
+        false,
+    );
+}
+
+#[test]
+fn fused_matches_legacy_with_adaptation() {
+    for zero_reset in [false, true] {
+        check(
+            3,
+            LifKernelSpec {
+                beta: 0.9,
+                v_th: 1.0,
+                zero_reset,
+            },
+            true,
+        );
+    }
+}
+
+#[test]
+fn fused_records_three_nodes_per_step() {
+    let tape = Tape::new();
+    let input = tape.leaf(stream_tensor(1, 8));
+    let v = tape.leaf(stream_tensor(2, 8));
+    let spec = LifKernelSpec {
+        beta: 0.9,
+        v_th: 1.0,
+        zero_reset: false,
+    };
+    let before = tape.len();
+    let _ = input.lif_step(v, None, spec, surrogate());
+    assert_eq!(tape.len() - before, 3, "integrate + spike + reset only");
+    let stats = tape.stats();
+    assert_eq!(stats.count_of("lif_integrate"), 1);
+    assert_eq!(stats.count_of("lif_spike"), 1);
+    assert_eq!(stats.count_of("lif_reset"), 1);
+}
+
+#[test]
+fn matmul_events_forward_and_backward_match_matmul() {
+    let spikes_data: Vec<f32> = (0..6 * 16)
+        .map(|i| if i % 11 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let run = |events: bool| -> (Tensor, Tensor, Tensor) {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(spikes_data.clone(), &[6, 16]));
+        let w = tape.leaf(stream_tensor(9, 16 * 4).reshape(&[16, 4]));
+        let y = if events {
+            x.matmul_events(w)
+        } else {
+            x.matmul(w)
+        };
+        let loss = y.sum();
+        let grads = tape.backward(loss);
+        (
+            y.value(),
+            grads.wrt(x).unwrap().clone(),
+            grads.wrt(w).unwrap().clone(),
+        )
+    };
+    let (ye, gxe, gwe) = run(true);
+    let (yd, gxd, gwd) = run(false);
+    assert_bits(&ye, &yd, "value");
+    assert_bits(&gxe, &gxd, "grad x");
+    assert_bits(&gwe, &gwd, "grad w");
+}

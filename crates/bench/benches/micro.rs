@@ -12,12 +12,17 @@
 //!   reduced shapes for CI; prints measurements but does not overwrite
 //!   the committed baseline.
 //!
-//! Both modes end with two guards that **fail** the bench (non-zero exit):
+//! Both modes end with three guards that **fail** the bench (non-zero
+//! exit):
 //!
 //! * allocation guard — every `*_into` kernel entry point (`matmul_into`,
-//!   `conv2d_into`, `conv2d_backward_into`) is run against a warm
-//!   [`Workspace`]; the workspace allocation counter must not move —
-//!   steady-state hot loops must not allocate.
+//!   `matmul_events_into`, `conv2d_into`, `conv2d_backward_into`) is run
+//!   against a warm [`Workspace`]; the workspace allocation counter must
+//!   not move — steady-state hot loops must not allocate.
+//! * LIF guard — the dispatched LIF kernel (SIMD where the CPU has it)
+//!   and the forced-scalar kernel are both run on the same data and must
+//!   agree bitwise, so the smoke bench exercises both code paths on
+//!   every CI machine.
 //! * obs guard — with metrics recording disabled, `obs::counter_add` /
 //!   `obs::observe` must cost near-zero (one relaxed atomic load) and
 //!   must leave the registry empty, so instrumented kernels run at full
@@ -32,7 +37,7 @@ use attacks::Attack;
 use nn::{AdversarialTarget, Classifier, Cnn, CnnConfig, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snn::{Encoder, LifCell, LifParams};
+use snn::{Encoder, LifCell, LifParams, Surrogate, SurrogateShape};
 use tensor::conv::{conv2d, conv2d_backward_into, conv2d_into, Conv2dSpec};
 use tensor::workspace::{alloc_count, Workspace};
 use tensor::Tensor;
@@ -173,6 +178,55 @@ fn tensor_kernels(r: &mut Runner) {
     r.bench("elementwise_add", "16384", 1, || u.add(&v));
 }
 
+/// A spike train of the given density: entries are 1.0 with probability
+/// `density`, 0.0 otherwise (deterministic SplitMix64 stream).
+fn spike_tensor(seed: u64, dims: &[usize], density: f64) -> Tensor {
+    let len: usize = dims.iter().product();
+    let cut = (density * 1000.0) as u64;
+    let data = (0..len as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            if z % 1000 < cut {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Density sweep of the event-driven product against the dense kernel on
+/// the same shape: locates the gather/dense crossover this machine sees
+/// (`EVENT_DENSITY_CROSSOVER` is tuned from the committed full-mode run).
+fn event_products(r: &mut Runner) {
+    println!("\ngroup: event");
+    let mut rng = StdRng::seed_from_u64(4);
+    let (m, k, n) = if r.smoke {
+        (16, 128, 128)
+    } else {
+        (32, 256, 256)
+    };
+    let w = tensor::init::uniform(&mut rng, &[k, n], -1.0, 1.0);
+    let mut ws = Workspace::new();
+    let mut out = Tensor::zeros(&[1]);
+    for density in [0.01f64, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let a = spike_tensor(0xE0E0 + (density * 1000.0) as u64, &[m, k], density);
+        let shape = format!("{m}x{k}x{n}_d{density}");
+        r.bench("event_gemm", &shape, 1, || {
+            a.matmul_events_into(&w, &mut out, &mut ws)
+        });
+    }
+    // The dense kernel on the same shape: the event path's fall-back cost
+    // and the bar the sparse gather has to clear.
+    let a = spike_tensor(0xD0D0, &[m, k], 0.1);
+    r.bench("event_gemm_dense_ref", &format!("{m}x{k}x{n}"), 1, || {
+        a.matmul_into(&w, &mut out, &mut ws)
+    });
+}
+
 fn autodiff_overhead(r: &mut Runner) {
     println!("\ngroup: autodiff");
     let mut rng = StdRng::seed_from_u64(1);
@@ -195,6 +249,8 @@ fn lif_dynamics(r: &mut Runner) {
     let cell = LifCell::new(LifParams::new(1.0));
     let mut rng = StdRng::seed_from_u64(2);
     let input = tensor::init::uniform(&mut rng, &[32, 256], 0.0, 1.0);
+    // Dispatched (SIMD where available), forced-scalar, and the composed
+    // tape formulation the fused kernel replaced — the before/after trio.
     r.bench("lif_step_x16", "32x256", 1, || {
         let tape = Tape::new();
         let i = tape.leaf(input.clone());
@@ -206,6 +262,54 @@ fn lif_dynamics(r: &mut Runner) {
             acc = Some(match acc {
                 None => s,
                 Some(a) => a + s,
+            });
+        }
+        acc.map(|a| a.value())
+    });
+    tensor::simd::set_force_scalar(true);
+    r.bench("lif_step_scalar_x16", "32x256", 1, || {
+        let tape = Tape::new();
+        let i = tape.leaf(input.clone());
+        let mut v = tape.leaf(Tensor::zeros(&[32, 256]));
+        let mut acc = None;
+        for _ in 0..16 {
+            let (s, vn) = cell.step(i, v);
+            v = vn;
+            acc = Some(match acc {
+                None => s,
+                Some(a) => a + s,
+            });
+        }
+        acc.map(|a| a.value())
+    });
+    tensor::simd::set_force_scalar(false);
+    // The raw kernel without the tape: isolates fused-sweep cost from
+    // node bookkeeping.
+    let spec = LifParams::new(1.0).kernel_spec();
+    r.bench("lif_kernel_x16", "32x256", 1, || {
+        let mut v = Tensor::zeros(&[32, 256]);
+        let mut fired = 0usize;
+        for _ in 0..16 {
+            let out = tensor::simd::lif_step(&input, &v, None, spec);
+            v = out.v_next;
+            fired += out.fired;
+        }
+        fired
+    });
+    r.bench("lif_step_legacy_x16", "32x256", 1, || {
+        let tape = Tape::new();
+        let i = tape.leaf(input.clone());
+        let mut v = tape.leaf(Tensor::zeros(&[32, 256]));
+        let mut acc = None;
+        for _ in 0..16 {
+            let v_int = v.mul_scalar(0.9) + i;
+            let centered = v_int.add_scalar(-1.0);
+            let spikes =
+                centered.custom_unary(Box::new(Surrogate::new(SurrogateShape::FastSigmoid, 10.0)));
+            v = v_int - spikes.mul_scalar(1.0);
+            acc = Some(match acc {
+                None => spikes,
+                Some(a) => a + spikes,
             });
         }
         acc.map(|a| a.value())
@@ -251,18 +355,22 @@ fn alloc_guard() -> Result<(), String> {
         stride: 1,
         padding: 1,
     };
+    let events = spike_tensor(0xA11C, &[48, 32], 0.05);
     let mut ws = Workspace::new();
     let mut mm = Tensor::zeros(&[1]);
+    let mut ev = Tensor::zeros(&[1]);
     let mut out = Tensor::zeros(&[1]);
     let mut gx = Tensor::zeros(&[1]);
     let mut gw = Tensor::zeros(&[1]);
     // Warm-up pass grows every buffer once.
     a.matmul_into(&b, &mut mm, &mut ws);
+    events.matmul_events_into(&b, &mut ev, &mut ws);
     conv2d_into(&mut out, &x, &w, spec, &mut ws);
     conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
     let baseline = alloc_count();
     for _ in 0..5 {
         a.matmul_into(&b, &mut mm, &mut ws);
+        events.matmul_events_into(&b, &mut ev, &mut ws);
         conv2d_into(&mut out, &x, &w, spec, &mut ws);
         conv2d_backward_into(&mut gx, &mut gw, &x, &w, &g, spec, &mut ws);
     }
@@ -274,6 +382,58 @@ fn alloc_guard() -> Result<(), String> {
         ));
     }
     println!("\nalloc guard: ok (warm *_into kernels made 0 workspace allocations)");
+    Ok(())
+}
+
+/// Fails the bench if the dispatched LIF kernel (SIMD on capable CPUs)
+/// and the forced-scalar kernel disagree on a single bit: every run of
+/// the smoke bench exercises both code paths and their equivalence.
+fn lif_guard() -> Result<(), String> {
+    use tensor::simd::{lif_step, set_force_scalar, simd_available, LifKernelSpec};
+    let mut rng = StdRng::seed_from_u64(11);
+    // Odd length exercises the vector body and the scalar tail.
+    let input = tensor::init::uniform(&mut rng, &[1031], -2.0, 2.0);
+    let v = tensor::init::uniform(&mut rng, &[1031], -1.0, 2.0);
+    let adapt = tensor::init::uniform(&mut rng, &[1031], 0.0, 1.0);
+    for zero_reset in [false, true] {
+        for with_adapt in [false, true] {
+            let spec = LifKernelSpec {
+                beta: 0.9,
+                v_th: 1.0,
+                zero_reset,
+            };
+            let adapt_arg = with_adapt.then_some((&adapt, 0.4f32));
+            set_force_scalar(true);
+            let scalar = lif_step(&input, &v, adapt_arg, spec);
+            set_force_scalar(false);
+            let dispatched = lif_step(&input, &v, adapt_arg, spec);
+            for (name, s, d) in [
+                ("v_int", &scalar.v_int, &dispatched.v_int),
+                ("centered", &scalar.centered, &dispatched.centered),
+                ("spikes", &scalar.spikes, &dispatched.spikes),
+                ("v_next", &scalar.v_next, &dispatched.v_next),
+            ] {
+                for (i, (&x, &y)) in s.data().iter().zip(d.data()).enumerate() {
+                    if x.to_bits() != y.to_bits() {
+                        return Err(format!(
+                            "LIF kernels disagree: {name}[{i}] scalar={x} dispatched={y} \
+                             (zero_reset={zero_reset}, adapt={with_adapt})"
+                        ));
+                    }
+                }
+            }
+            if scalar.fired != dispatched.fired {
+                return Err(format!(
+                    "LIF kernels disagree on fired count: scalar={} dispatched={}",
+                    scalar.fired, dispatched.fired
+                ));
+            }
+        }
+    }
+    println!(
+        "lif guard: ok (forced-scalar vs dispatched-{} bitwise identical, both reset modes, ±adaptation)",
+        if simd_available() { "avx2" } else { "scalar" }
+    );
     Ok(())
 }
 
@@ -315,11 +475,16 @@ fn main() {
         records: Vec::new(),
     };
     tensor_kernels(&mut runner);
+    event_products(&mut runner);
     autodiff_overhead(&mut runner);
     lif_dynamics(&mut runner);
     attack_iterations(&mut runner);
 
     if let Err(msg) = alloc_guard() {
+        eprintln!("FAILED: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(msg) = lif_guard() {
         eprintln!("FAILED: {msg}");
         std::process::exit(1);
     }

@@ -174,6 +174,13 @@ mod tests {
         assert!(c.unordered_iteration.covers("crates/obs/src/registry.rs"));
         assert!(!c.no_panic_in_io.covers("crates/obs/src/recorder.rs"));
         assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/conv.rs"));
+        // The explicit-SIMD and event-driven kernels live under the same
+        // tensor scope: their hot loops and `unsafe` blocks are covered.
+        assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/simd.rs"));
+        assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/event.rs"));
+        assert!(c
+            .unsafe_needs_safety_comment
+            .covers("crates/tensor/src/simd.rs"));
         assert!(c
             .unsafe_needs_safety_comment
             .covers("crates/lint/src/lexer.rs"));

@@ -1,0 +1,78 @@
+// Fixture: explicit-SIMD kernel idiom, `tensor::simd`-style — runtime
+// feature dispatch into a `#[target_feature]` function, with hot-loop
+// and safety-comment obligations. Compliant and violating forms are
+// interleaved; the violations below never spell the safety keyword.
+// Linted under the virtual path `crates/tensor/src/input.rs`.
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Violation: a `#[target_feature]` function is an `unsafe fn` and needs
+/// a safety comment stating its CPU-feature precondition.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// armor-lint: hot
+unsafe fn undocumented_lanes(x: &[f32], y: &mut [f32]) {
+    let n = x.len().min(y.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(v, v));
+        i += 8;
+    }
+}
+
+/// Compliant: precondition documented at the declaration — the comment
+/// must sit *below* the attributes to stay within the lint's three-line
+/// window around the `unsafe` keyword.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// armor-lint: hot
+// SAFETY: caller must ensure AVX2 is available (checked at the dispatch
+// site via `is_x86_feature_detected!`); slice bounds are re-checked here.
+unsafe fn documented_lanes(x: &[f32], y: &mut [f32]) {
+    let n = x.len().min(y.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_mul_ps(v, v));
+        i += 8;
+    }
+}
+
+/// Violation: dispatching into the kernel without a safety comment.
+#[cfg(target_arch = "x86_64")]
+pub fn dispatch_undocumented(x: &[f32], y: &mut [f32]) {
+    if is_x86_feature_detected!("avx2") {
+        unsafe { documented_lanes(x, y) }
+    }
+}
+
+/// Compliant dispatch: the feature check *is* the safety argument.
+#[cfg(target_arch = "x86_64")]
+pub fn dispatch_documented(x: &[f32], y: &mut [f32]) {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 cpuid check above is the kernel's only
+        // precondition.
+        unsafe { documented_lanes(x, y) }
+    }
+}
+
+/// Violation: a hot kernel (by `_into` suffix) allocating its scratch
+/// per call instead of leasing it from the workspace arena.
+pub fn gather_rows_into(out: &mut [f32], a: &[f32]) {
+    let idx: Vec<u32> = (0..a.len() as u32).collect();
+    for (&i, o) in idx.iter().zip(out.iter_mut()) {
+        *o = a[i as usize];
+    }
+}
+
+/// Compliant: scratch passed in, nothing allocated in the hot path.
+pub fn gather_rows_reused_into(out: &mut [f32], a: &[f32], idx: &mut [u32]) {
+    for (slot, i) in idx.iter_mut().zip(0..a.len() as u32) {
+        *slot = i;
+    }
+    for (&i, o) in idx.iter().zip(out.iter_mut()) {
+        *o = a[i as usize];
+    }
+}

@@ -76,6 +76,14 @@ fn unsafe_needs_safety_comment_fixture() {
 }
 
 #[test]
+fn simd_kernel_fixture() {
+    // The `tensor::simd` idiom: `#[target_feature]` kernels and their
+    // runtime-dispatch sites need SAFETY comments, and hot gather loops
+    // must lease scratch from the workspace instead of allocating.
+    check_fixture("simd-kernel", "crates/tensor/src/input.rs");
+}
+
+#[test]
 fn traps_fixture_is_all_quiet() {
     let dir = fixture_dir("traps");
     let src = fs::read_to_string(dir.join("input.rs")).expect("fixture input.rs");

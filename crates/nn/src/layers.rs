@@ -75,6 +75,22 @@ impl Linear {
         x.matmul(bound.get(self.w)).add_bias(bound.get(self.b))
     }
 
+    /// Applies the layer to a `[N, in_features]` batch whose rows are
+    /// expected to be sparse (spike trains).
+    ///
+    /// Identical to [`Linear::forward`] for finite weights — the product
+    /// switches to an event-driven gather when the input is sparse enough
+    /// (see [`tensor::event`]) and falls back to the dense kernel
+    /// otherwise, so dense inputs pay only a density scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have `in_features` columns.
+    pub fn forward_events<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
+        x.matmul_events(bound.get(self.w))
+            .add_bias(bound.get(self.b))
+    }
+
     /// Input width.
     pub fn in_features(&self) -> usize {
         self.in_features

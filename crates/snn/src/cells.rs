@@ -115,6 +115,12 @@ impl AdaptiveLifCell {
     }
 
     /// Advances one step: returns `(spikes, (v_next, a_next))`.
+    ///
+    /// The centered-threshold path (`v_int − κ·a − V_th`) routes through
+    /// the same fused spike/reset primitive as [`LifCell::step`]
+    /// ([`ad::Var::lif_step`] with the adaptation state attached), so the
+    /// SIMD kernel and the ALIF variant cannot silently diverge — see the
+    /// `adaptive_step_matches_composed_ops_bitwise` cross-check test.
     pub fn step<'t>(
         &self,
         input: Var<'t>,
@@ -122,14 +128,12 @@ impl AdaptiveLifCell {
         a: Var<'t>,
     ) -> (Var<'t>, (Var<'t>, Var<'t>)) {
         let p = self.params;
-        let v_int = v.mul_scalar(p.beta) + input;
-        // Effective threshold V_th + κ·a enters the centered membrane.
-        let centered = (v_int - a.mul_scalar(self.kappa)).add_scalar(-p.v_th);
-        let spikes = centered.custom_unary(Box::new(Surrogate::new(p.surrogate, p.alpha)));
-        let v_next = match p.reset {
-            crate::ResetMode::Subtract => v_int - spikes.mul_scalar(p.v_th),
-            crate::ResetMode::Zero => v_int - v_int * spikes,
-        };
+        let (spikes, v_next) = input.lif_step(
+            v,
+            Some((a, self.kappa)),
+            p.kernel_spec(),
+            Box::new(Surrogate::new(p.surrogate, p.alpha)),
+        );
         let a_next = a.mul_scalar(self.rho) + spikes;
         (spikes, (v_next, a_next))
     }
@@ -311,6 +315,66 @@ mod tests {
         let input = tape.leaf(Tensor::scalar(0.5));
         let (_, state) = NeuronModel::Lif.step(LifParams::new(1.0), input, None);
         NeuronModel::SynapticLif { gamma: 0.5 }.step(LifParams::new(1.0), input, Some(state));
+    }
+
+    /// Satellite cross-check: the ALIF centered-threshold path (fused
+    /// kernel) must be **bitwise** identical — spike trains, states, and
+    /// input gradients — to the composed-op formulation it replaced, for
+    /// both reset modes.
+    #[test]
+    fn adaptive_step_matches_composed_ops_bitwise() {
+        use crate::ResetMode;
+        let data: Vec<f32> = (0..12)
+            .map(|i| 0.3 + 0.17 * i as f32 * if i % 2 == 0 { 1.0 } else { -0.4 })
+            .collect();
+        for reset in [ResetMode::Subtract, ResetMode::Zero] {
+            let params = LifParams::new(1.0).with_reset(reset);
+            let (rho, kappa) = (0.9f32, 0.5f32);
+            let run = |fused: bool| -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+                let tape = ad::Tape::new();
+                let input = tape.leaf(Tensor::from_vec(data.clone(), &[12]));
+                let mut v = tape.leaf(Tensor::zeros(&[12]));
+                let mut a = tape.leaf(Tensor::zeros(&[12]));
+                let mut acc: Option<Var> = None;
+                let mut spike_bits = Vec::new();
+                for _ in 0..8 {
+                    let (s, (v_next, a_next)) = if fused {
+                        AdaptiveLifCell::new(params, rho, kappa).step(input, v, a)
+                    } else {
+                        // The pre-fusion op composition, kept inline as the
+                        // semantic reference.
+                        let p = params;
+                        let v_int = v.mul_scalar(p.beta) + input;
+                        let centered = (v_int - a.mul_scalar(kappa)).add_scalar(-p.v_th);
+                        let spikes =
+                            centered.custom_unary(Box::new(Surrogate::new(p.surrogate, p.alpha)));
+                        let v_next = match p.reset {
+                            ResetMode::Subtract => v_int - spikes.mul_scalar(p.v_th),
+                            ResetMode::Zero => v_int - v_int * spikes,
+                        };
+                        (spikes, (v_next, a.mul_scalar(rho) + spikes))
+                    };
+                    spike_bits.extend(s.value().data().iter().map(|x| x.to_bits()));
+                    v = v_next;
+                    a = a_next;
+                    acc = Some(match acc {
+                        None => s,
+                        Some(t) => t + s,
+                    });
+                }
+                let grads = tape.backward(acc.unwrap().sum());
+                let g: Vec<u32> = grads
+                    .wrt(input)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                let vf: Vec<u32> = v.value().data().iter().map(|x| x.to_bits()).collect();
+                (spike_bits, vf, g)
+            };
+            assert_eq!(run(true), run(false), "{reset:?}");
+        }
     }
 
     #[test]

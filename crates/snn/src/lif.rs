@@ -108,6 +108,17 @@ impl LifParams {
         self
     }
 
+    /// The scalar parameters of the fused membrane-update kernel
+    /// ([`tensor::simd::lif_step`]) for these hyperparameters — the single
+    /// spike/reset primitive every cell variant routes through.
+    pub fn kernel_spec(&self) -> tensor::simd::LifKernelSpec {
+        tensor::simd::LifKernelSpec {
+            beta: self.beta,
+            v_th: self.v_th,
+            zero_reset: matches!(self.reset, ResetMode::Zero),
+        }
+    }
+
     /// First-order prediction of the steady-state firing rate (spikes per
     /// step) under a constant input current, for subtraction reset.
     ///
@@ -116,14 +127,25 @@ impl LifParams {
     /// threshold loses `(1−β)·V_th/2` to leak per step on average, so
     /// `rate ≈ (I − (1−β)·V_th/2) / V_th`, clamped to `[0, 1]`.
     ///
-    /// This is an *approximation* (exact for β = 1); it exists to sanity-
-    /// check simulations and to size `(V_th, T)` sweeps analytically.
+    /// `β = 1` (which [`LifParams::with_beta`] accepts) is handled as the
+    /// documented exact case, not through the leak formula: a perfect
+    /// integrator loses nothing between spikes, so the rate is exactly
+    /// `I / V_th` capped at one spike per step. The leak branch previously
+    /// papered over this with a `max(1e-9)` epsilon, which also mis-gated
+    /// tiny currents for every β.
+    ///
+    /// This is an *approximation* for `β < 1` (exact for `β = 1`); it
+    /// exists to sanity-check simulations and to size `(V_th, T)` sweeps
+    /// analytically.
     pub fn predicted_rate(&self, current: f32) -> f32 {
         if current <= 0.0 {
             return 0.0;
         }
+        if self.beta >= 1.0 {
+            return (current / self.v_th).clamp(0.0, 1.0);
+        }
         let leak = 1.0 - self.beta;
-        if current / leak.max(1e-9) < self.v_th {
+        if current / leak < self.v_th {
             return 0.0;
         }
         ((current - leak * self.v_th * 0.5) / self.v_th).clamp(0.0, 1.0)
@@ -249,22 +271,23 @@ impl LifCell {
     /// Advances the membrane one step under input current `input`, returning
     /// `(spikes, next_membrane)`.
     ///
+    /// Runs the fused kernel ([`ad::Var::lif_step`] →
+    /// [`tensor::simd::lif_step`]): one sweep, three tape nodes, with an
+    /// AVX2 fast path — bitwise identical (values and gradients) to the
+    /// composed-op formulation it replaced.
+    ///
     /// # Panics
     ///
     /// Panics if `input` and `v` have different shapes (propagated from the
     /// tensor ops).
     pub fn step<'t>(&self, input: Var<'t>, v: Var<'t>) -> (Var<'t>, Var<'t>) {
-        let v_int = v.mul_scalar(self.params.beta) + input;
-        let centered = v_int.add_scalar(-self.params.v_th);
-        let spikes = centered.custom_unary(Box::new(Surrogate::new(
-            self.params.surrogate,
-            self.params.alpha,
-        )));
-        let v_next = match self.params.reset {
-            ResetMode::Subtract => v_int - spikes.mul_scalar(self.params.v_th),
-            ResetMode::Zero => v_int - v_int * spikes,
-        };
-        (spikes, v_next)
+        let p = self.params;
+        input.lif_step(
+            v,
+            None,
+            p.kernel_spec(),
+            Box::new(Surrogate::new(p.surrogate, p.alpha)),
+        )
     }
 }
 

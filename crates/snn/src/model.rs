@@ -288,9 +288,14 @@ impl SpikingCnn {
                     spikes
                 };
             }
+            // Post-conv activations are spike trains (or pooled spike
+            // averages), so the fully-connected stack uses the
+            // event-driven product: sparse timesteps take a gather over
+            // the active units, dense ones fall back to the blocked GEMM,
+            // bitwise-identically (see `tensor::event`).
             let mut h = h.reshape(&[n, flattened]);
             for (j, fc) in hidden_fcs.iter().enumerate() {
-                let current = fc.forward(bound, h);
+                let current = fc.forward_events(bound, h);
                 let (spikes, next) = neuron.step(lif_params, current, fc_states.take(j));
                 fc_states.put(j, next);
                 if let Some(rec) = recorder.as_deref_mut() {
@@ -299,7 +304,7 @@ impl SpikingCnn {
                 tally.observe_layer(spikes);
                 h = spikes;
             }
-            let head_current = head.forward(bound, h);
+            let head_current = head.forward_events(bound, h);
             let v = head_state
                 .take()
                 .unwrap_or_else(|| tape.leaf(Tensor::zeros(&head_current.dims())));
@@ -479,11 +484,15 @@ impl SpikingMlp {
                 .encoder
                 .encode_step(x, step)
                 .reshape(&[n, self.in_features]);
+            // Hidden layers consume spike trains (the first one consumes
+            // the encoded frame, which the density scan routes to the
+            // dense kernel when appropriate), so every synaptic matmul in
+            // the time loop goes through the event-driven product.
             for (j, fc) in hidden_fcs.iter().enumerate() {
-                let mut current = fc.forward(bound, h);
+                let mut current = fc.forward_events(bound, h);
                 if let Some(rec_fcs) = &self.recurrent {
                     if let Some(prev) = prev_spikes[j] {
-                        current = current + rec_fcs[j].forward(bound, prev);
+                        current = current + rec_fcs[j].forward_events(bound, prev);
                     }
                 }
                 let (spikes, next) = neuron.step(lif_params, current, fc_states.take(j));
@@ -495,7 +504,7 @@ impl SpikingMlp {
                 tally.observe_layer(spikes);
                 h = spikes;
             }
-            let head_current = head.forward(bound, h);
+            let head_current = head.forward_events(bound, h);
             let v = head_state
                 .take()
                 .unwrap_or_else(|| tape.leaf(Tensor::zeros(&head_current.dims())));

@@ -178,6 +178,38 @@ mod tests {
     }
 
     #[test]
+    fn predicted_rate_is_finite_and_tracks_simulation_at_beta_one() {
+        // β = 1.0 (a perfect integrator) used to be served by the leaky
+        // formula with an epsilon-clamped divisor, which predicted a rate
+        // of ~1.0 for any positive current. The integrator accumulates
+        // `I` per step and fires every ⌈V_th/I⌉ steps, so the rate is
+        // exactly I/V_th (capped at one spike per step).
+        for (v_th, current, exact) in [
+            (1.0f32, 0.25f32, 0.25f32),
+            (1.0, 0.5, 0.5),
+            (2.0, 0.5, 0.25),
+            (1.0, 2.0, 1.0), // supra-threshold: one spike every step
+        ] {
+            let params = LifParams::new(v_th).with_beta(1.0);
+            let predicted = params.predicted_rate(current);
+            assert!(predicted.is_finite(), "β=1 must not produce inf/NaN");
+            assert!(
+                (predicted - exact).abs() < 1e-6,
+                "Vth={v_th} I={current}: predicted {predicted}, exact {exact}"
+            );
+            let simulated = simulate(NeuronModel::Lif, params, &vec![current; 400]).firing_rate();
+            assert!(
+                (predicted - simulated).abs() < 0.01,
+                "Vth={v_th} I={current}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+        // Zero and negative drive never fire, even without leak.
+        let params = LifParams::new(1.0).with_beta(1.0);
+        assert_eq!(params.predicted_rate(0.0), 0.0);
+        assert_eq!(params.predicted_rate(-0.3), 0.0);
+    }
+
+    #[test]
     fn empty_input_gives_empty_trace() {
         let trace = simulate(NeuronModel::Lif, LifParams::new(1.0), &[]);
         assert!(trace.membrane.is_empty());

@@ -7,7 +7,8 @@ use nn::{CnnConfig, Params};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn::{SnnConfig, SpikingCnn, SpikingMlp, StructuralParams};
-use tensor::workspace::alloc_count;
+use tensor::workspace::{alloc_count, Workspace};
+use tensor::Tensor;
 
 #[test]
 fn spiking_cnn_forward_is_workspace_allocation_free_once_warm() {
@@ -45,4 +46,42 @@ fn spiking_mlp_forward_is_workspace_allocation_free_once_warm() {
         "steady-state MLP forward grew the workspace arena"
     );
     assert_eq!(warm, steady);
+}
+
+/// The event-driven product's index/value buffers live in the same
+/// per-shard arena as the GEMM packing panels: after one warm call at a
+/// given `k`, repeated sparse products (and density-induced switches to
+/// the dense path and back) must not grow the workspace.
+#[test]
+fn event_product_buffers_reuse_the_arena_once_warm() {
+    let k = 300usize;
+    let sparse = Tensor::from_vec(
+        (0..4 * k)
+            .map(|i| if i % 37 == 0 { 1.0 } else { 0.0 })
+            .collect(),
+        &[4, k],
+    );
+    let dense = Tensor::from_vec((0..4 * k).map(|i| 0.5 + (i % 3) as f32).collect(), &[4, k]);
+    let w = Tensor::from_vec(
+        (0..k * 8).map(|i| (i % 7) as f32 * 0.25 - 0.75).collect(),
+        &[k, 8],
+    );
+    let mut out = Tensor::zeros(&[4, 8]);
+    let mut ws = Workspace::new();
+
+    // Warm-up: one sparse call sizes the event buffers, one dense call
+    // sizes the packing panels.
+    assert!(sparse.matmul_events_into(&w, &mut out, &mut ws));
+    assert!(!dense.matmul_events_into(&w, &mut out, &mut ws));
+
+    let baseline = alloc_count();
+    for _ in 0..8 {
+        assert!(sparse.matmul_events_into(&w, &mut out, &mut ws));
+        assert!(!dense.matmul_events_into(&w, &mut out, &mut ws));
+    }
+    assert_eq!(
+        alloc_count(),
+        baseline,
+        "steady-state event products grew the workspace arena"
+    );
 }

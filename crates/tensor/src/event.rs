@@ -1,0 +1,253 @@
+//! Event-driven matrix products for spike-sparse left operands.
+//!
+//! Spiking networks spend their time-loop multiplying *binary, mostly
+//! zero* spike matrices into dense weight matrices. A dense GEMM pays for
+//! every zero; the event path instead represents each spike row as a list
+//! of `(index, value)` events — the neuromorphic "address-event" idiom —
+//! and gathers only the weight rows of active neurons. Raising the firing
+//! threshold `V_th` (the structural defense knob this repo studies) makes
+//! spikes sparser, so defended configurations are exactly the ones this
+//! path accelerates.
+//!
+//! # Per-call density switch
+//!
+//! [`Tensor::matmul_events`] scans the left operand once, measures
+//! `density = nnz / len`, and dispatches:
+//!
+//! * `density > `[`EVENT_DENSITY_CROSSOVER`] — the dense blocked kernel
+//!   (scatter-gather bookkeeping loses to packed panels on dense data);
+//!   counter `tensor/event_gemm_dense`.
+//! * otherwise — the event gather; counters `tensor/event_gemm_sparse`
+//!   and `tensor/events_propagated` (+nnz).
+//!
+//! The SNN time loop calls this per timestep, so the switch follows the
+//! *measured* per-step spike density, not a static guess: a dense analog
+//! encoder input takes the dense path while late-timestep sparse spikes
+//! take the event path, within one forward pass.
+//!
+//! # Determinism contract
+//!
+//! The gather accumulates `c[i][j] += a[i][k]·b[k][j]` in ascending `k`
+//! with a single accumulator per output element — the same order as
+//! [`Tensor::matmul_naive`] and the blocked kernel. Skipping `a[i][k] == 0`
+//! terms is bitwise invisible **for finite `B`**: an ascending-order
+//! accumulator seeded with `+0.0` can never hold `-0.0` (IEEE
+//! round-to-nearest returns `+0.0` for `x + (−x)` and for `+0.0 + ±0.0`),
+//! so each skipped `0·b` term would have added `±0.0` to a value it cannot
+//! change. The carve-out: if `B` holds `NaN`/`±∞` at a skipped row, dense
+//! would produce `NaN` (`0·∞`) where the event path does not — the same
+//! documented shortcut as [`Tensor::matmul_sparse_rows`], acceptable
+//! because weight matrices are finite. Row shards never cross output rows,
+//! so results are bitwise identical at every thread count (property-tested
+//! in `tests/event_bitwise.rs`).
+//!
+//! # Zero allocation
+//!
+//! Event index/value lists are leased from the per-shard
+//! [`crate::workspace::ShardScratch`] buffers, so a warm workspace runs
+//! the whole time-loop without scratch allocations (see the
+//! steady-state-alloc tests).
+
+use crate::linalg::{gemm_threads, mmdims};
+use crate::workspace::{with_thread_workspace, ShardScratch, Workspace};
+use crate::Tensor;
+
+/// Spike densities above this fraction take the dense blocked kernel;
+/// at or below it the event gather wins. Tuned from the measured density
+/// sweep in `BENCH_tensor.json` (see EXPERIMENTS.md): on the 32×256×256
+/// sweep the gather costs ~13.6 µs at density 0.01 and grows linearly to
+/// ~75 µs at 0.25, while the packed-panel kernel is flat at ~150–170 µs —
+/// the curves cross near a half-full spike matrix.
+pub const EVENT_DENSITY_CROSSOVER: f32 = 0.5;
+
+/// Gathers one shard of output rows from row event lists: for each row,
+/// scan the spike row into `(index, value)` events, then accumulate the
+/// active weight rows in ascending `k`. Leases event storage from the
+/// shard's scratch; allocation-free once warm.
+// armor-lint: hot
+fn event_gather_rows(
+    row_start: usize,
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    scratch: &mut ShardScratch,
+) {
+    let rows = c.len() / n;
+    let idx_buf = scratch.event_idx.get(k);
+    let val_buf = scratch.event_val.get(k);
+    for r in 0..rows {
+        let a_row = &a[(row_start + r) * k..(row_start + r + 1) * k];
+        let c_row = &mut c[r * n..(r + 1) * n];
+        let mut ne = 0usize;
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik != 0.0 {
+                idx_buf[ne] = kk as u32;
+                val_buf[ne] = aik;
+                ne += 1;
+            }
+        }
+        for e in 0..ne {
+            let kk = idx_buf[e] as usize;
+            let aik = val_buf[e];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product that switches per call between the dense blocked
+    /// kernel and a sparse event gather, based on the measured density of
+    /// `self` (see the module docs for the crossover rule and the
+    /// determinism contract).
+    ///
+    /// Identical to [`Tensor::matmul`] whenever `other` is finite; the
+    /// spike-row zero-skip is not IEEE-clean against `NaN`/`±∞` weights.
+    ///
+    /// # Panics
+    ///
+    /// Same shape contract as [`Tensor::matmul`].
+    pub fn matmul_events(&self, other: &Self) -> Self {
+        let (m, _, n) = mmdims(self, other);
+        let mut out = Tensor::zeros(&[m, n]);
+        with_thread_workspace(|ws| self.matmul_events_into(other, &mut out, ws));
+        out
+    }
+
+    /// [`Tensor::matmul_events`] writing into a caller-owned output tensor
+    /// and workspace; a warm `(out, ws)` pair makes the product
+    /// allocation-free on both paths. Returns `true` when the sparse event
+    /// path ran (`false`: dense fallback) so callers and benches can
+    /// assert which side of the crossover a workload exercises.
+    ///
+    /// # Panics
+    ///
+    /// Same shape contract as [`Tensor::matmul`].
+    pub fn matmul_events_into(&self, other: &Self, out: &mut Tensor, ws: &mut Workspace) -> bool {
+        let (m, k, n) = mmdims(self, other);
+        let a = self.data();
+        let nnz = a.iter().filter(|&&x| x != 0.0).count();
+        let density = if a.is_empty() {
+            0.0
+        } else {
+            nnz as f32 / a.len() as f32
+        };
+        if density > EVENT_DENSITY_CROSSOVER {
+            obs::counter_add("tensor/event_gemm_dense", 1);
+            self.matmul_into(other, out, ws);
+            return false;
+        }
+        obs::counter_add("tensor/event_gemm_sparse", 1);
+        obs::counter_add("tensor/events_propagated", nnz as u64);
+        out.resize_reusing(&[m, n]);
+        out.data_mut().fill(0.0);
+        // Thread sizing on *actual* multiply-adds (`nnz·n`), not the dense
+        // m·k·n: a near-empty spike matrix should never pay spawn/join.
+        let threads = gemm_threads(nnz * n);
+        let shards = ws.shards(threads.min(m).max(1));
+        let b = other.data();
+        crate::parallel::par_row_shards(out.data_mut(), m, n, shards, |rows, c, scratch| {
+            event_gather_rows(rows.start, c, a, b, k, n, scratch);
+        });
+        true
+    }
+
+    /// Matrix product that **skips zero elements of the left operand** — an
+    /// explicit opt-in for very sparse `A` (e.g. binary spike matrices,
+    /// where most rows are mostly zeros). This always takes the event
+    /// gather, regardless of density; [`Tensor::matmul_events`] adds the
+    /// measured-density switch on top.
+    ///
+    /// The skip is *not* IEEE-clean: a skipped `0·b` term would contribute
+    /// `NaN` for `b = ±inf`/`NaN`, so results can differ from
+    /// [`Tensor::matmul`] in exactly those corners (identical whenever `B`
+    /// is finite). The general entry points never take this shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_sparse_rows(&self, other: &Self) -> Self {
+        let (m, k, n) = mmdims(self, other);
+        let mut out = Tensor::zeros(&[m, n]);
+        with_thread_workspace(|ws| {
+            let scratch = &mut ws.shards(1)[0];
+            event_gather_rows(0, out.data_mut(), self.data(), other.data(), k, n, scratch);
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spike_tensor(m: usize, k: usize, density_per_mille: usize, seed: u64) -> Tensor {
+        let data = (0..(m * k) as u64)
+            .map(|i| {
+                let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 31;
+                if (z % 1000) < density_per_mille as u64 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[m, k])
+    }
+
+    #[test]
+    fn density_switch_picks_the_expected_path() {
+        let b = Tensor::from_vec((0..12 * 5).map(|i| i as f32 * 0.1).collect(), &[12, 5]);
+        let sparse_a = spike_tensor(6, 12, 100, 1); // ~10% dense
+        let dense_a = spike_tensor(6, 12, 900, 2); // ~90% dense
+        let mut out = Tensor::zeros(&[1]);
+        let mut ws = Workspace::new();
+        assert!(sparse_a.matmul_events_into(&b, &mut out, &mut ws));
+        assert_eq!(out, sparse_a.matmul_naive(&b));
+        assert!(!dense_a.matmul_events_into(&b, &mut out, &mut ws));
+        assert_eq!(out, dense_a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn event_path_matches_dense_bitwise_on_finite_data() {
+        let a = spike_tensor(17, 33, 150, 3);
+        let b = Tensor::from_vec(
+            (0..33 * 9)
+                .map(|i| ((i * 31 + 5) % 97) as f32 * 0.21 - 10.0)
+                .collect(),
+            &[33, 9],
+        );
+        let ev = a.matmul_events(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in ev.data().iter().zip(naive.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs_take_the_event_path() {
+        let a = Tensor::zeros(&[4, 8]);
+        let b = Tensor::from_vec((0..8 * 3).map(|i| i as f32).collect(), &[8, 3]);
+        let mut out = Tensor::zeros(&[1]);
+        let mut ws = Workspace::new();
+        assert!(a.matmul_events_into(&b, &mut out, &mut ws));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        assert_eq!(out.dims(), &[4, 3]);
+    }
+
+    /// Fractional event values (e.g. pooled spikes) flow through the
+    /// gather, not just binary spikes.
+    #[test]
+    fn value_carrying_events_are_propagated() {
+        let a = Tensor::from_vec(vec![0.0, 0.25, 0.0, 0.0, 0.0, 0.5], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0], &[3, 2]);
+        let ev = a.matmul_events(&b);
+        assert_eq!(ev.data(), a.matmul_naive(&b).data());
+    }
+}

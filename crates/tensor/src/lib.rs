@@ -13,6 +13,10 @@
 //! * convolution primitives ([`conv::conv2d`], [`conv::conv2d_backward`])
 //!   with allocation-free `_into` variants over a reusable
 //!   [`workspace::Workspace`] arena,
+//! * a fused LIF membrane-update kernel ([`simd::lif_step`]) with an AVX2
+//!   fast path and a bit-identical scalar fallback,
+//! * event-driven spike matrix products ([`Tensor::matmul_events`]) that
+//!   switch per call on measured spike density,
 //! * pooling ([`pool::avg_pool2d`], [`pool::max_pool2d`]),
 //! * reductions ([`Tensor::sum`], [`Tensor::mean`], [`Tensor::argmax_rows`]),
 //! * random and deterministic initializers ([`init`]).
@@ -46,10 +50,12 @@ mod shape;
 mod tensor;
 
 pub mod conv;
+pub mod event;
 pub mod init;
 pub mod parallel;
 pub mod pool;
 pub mod reduce;
+pub mod simd;
 pub mod workspace;
 
 pub use error::ShapeError;

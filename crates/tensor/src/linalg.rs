@@ -18,8 +18,32 @@ use crate::Tensor;
 /// sharding recovers.
 pub const PAR_GEMM_MIN_WORK: usize = 1 << 20;
 
+/// Minimum multiply-adds per *shard* once a GEMM goes parallel. The old
+/// heuristic gated only on total work, so a 256³ product (16M MACs) split
+/// two ways handed each worker a sub-millisecond slice whose spawn/join
+/// overhead exceeded the parallel win — threaded 256³ measured *slower*
+/// than serial (845µs vs 643µs). Sizing shards by this floor (and clamping
+/// to [`crate::parallel::available_cores`]) keeps each worker busy long
+/// enough to amortise its thread. Shard count never changes results, only
+/// wall-clock: rows are computed independently per shard.
+pub const PAR_GEMM_SHARD_WORK: usize = 1 << 21;
+
+/// How many worker threads a GEMM of `work` multiply-adds should use:
+/// serial below [`PAR_GEMM_MIN_WORK`], then the smallest of the `--threads`
+/// setting, the physical core count, and `work / `[`PAR_GEMM_SHARD_WORK`]
+/// (so every shard clears the per-shard work floor).
+pub(crate) fn gemm_threads(work: usize) -> usize {
+    if work < PAR_GEMM_MIN_WORK {
+        return 1;
+    }
+    crate::parallel::max_threads()
+        .min(crate::parallel::available_cores())
+        .min((work / PAR_GEMM_SHARD_WORK).max(1))
+        .max(1)
+}
+
 /// Validates shapes for `[M, K] x [K, N]` and returns `(m, k, n)`.
-fn mmdims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+pub(crate) fn mmdims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     let (m, k) = match a.dims() {
         [m, k] => (*m, *k),
         d => panic!("matmul lhs must be rank 2, got shape {d:?}"),
@@ -45,12 +69,7 @@ pub(crate) fn gemm_dispatch(
     spec: GemmSpec,
     ws: &mut Workspace,
 ) {
-    let work = spec.m * spec.k * spec.n;
-    let threads = if work >= PAR_GEMM_MIN_WORK {
-        crate::parallel::max_threads()
-    } else {
-        1
-    };
+    let threads = gemm_threads(spec.m * spec.k * spec.n);
     let shards = ws.shards(threads.min(spec.m).max(1));
     crate::parallel::par_row_shards(out, spec.m, spec.n, shards, |rows, c, scratch| {
         gemm_block(c, a, b, spec, rows, &mut scratch.gemm);
@@ -208,40 +227,6 @@ impl Tensor {
         out
     }
 
-    /// Matrix product that **skips zero elements of the left operand** — an
-    /// explicit opt-in for very sparse `A` (e.g. binary spike matrices, where
-    /// most rows are mostly zeros).
-    ///
-    /// The skip is *not* IEEE-clean: a skipped `0·b` term would contribute
-    /// `NaN` for `b = ±inf`/`NaN`, so results can differ from
-    /// [`Tensor::matmul`] in exactly those corners (identical whenever `B`
-    /// is finite). The general entry points never take this shortcut.
-    ///
-    /// # Panics
-    ///
-    /// Same contract as [`Tensor::matmul`].
-    pub fn matmul_sparse_rows(&self, other: &Self) -> Self {
-        let (m, k, n) = mmdims(self, other);
-        let mut out = Tensor::zeros(&[m, n]);
-        let a = self.data();
-        let b = other.data();
-        let c = out.data_mut();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-        out
-    }
-
     /// Transpose of a rank-2 tensor.
     ///
     /// # Panics
@@ -381,6 +366,69 @@ mod tests {
         assert_eq!(t.dims(), &[3, 2]);
         assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
         assert_eq!(t.transpose2d(), a);
+    }
+
+    /// The per-shard work floor: serial below the total-work gate, then
+    /// thread count scales with `work / PAR_GEMM_SHARD_WORK` instead of
+    /// jumping straight to the `--threads` setting.
+    #[test]
+    fn gemm_threads_enforces_per_shard_work_floor() {
+        let before = crate::parallel::max_threads();
+        crate::parallel::set_max_threads(8);
+        assert_eq!(gemm_threads(PAR_GEMM_MIN_WORK - 1), 1, "below total gate");
+        // 256³ = 16M MACs: at most 16M / 2M = 8 shards, further clamped by
+        // the physical core count — never more workers than cores.
+        let t = gemm_threads(256 * 256 * 256);
+        assert!(t <= crate::parallel::available_cores());
+        assert!(t <= 8);
+        // Just over the total gate but under 2·SHARD_WORK: one worker, the
+        // old 2-thread pessimization is structurally impossible.
+        assert_eq!(gemm_threads(PAR_GEMM_SHARD_WORK + 1), 1);
+        crate::parallel::set_max_threads(before);
+    }
+
+    /// Multi-shard execution must stay bitwise identical even when the
+    /// dispatch heuristic would choose fewer workers (e.g. on a 1-core
+    /// runner): drive `par_row_shards` with forced shard counts directly.
+    #[test]
+    fn forced_multi_shard_gemm_is_bitwise_identical() {
+        use crate::gemm::{gemm_block, GemmSpec};
+        let (m, k, n) = (37, 19, 23);
+        let a = Tensor::from_vec(
+            (0..m * k)
+                .map(|i| ((i * 37 + 11) % 97) as f32 * 0.17 - 8.0)
+                .collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n)
+                .map(|i| ((i * 53 + 7) % 89) as f32 * 0.23 - 10.0)
+                .collect(),
+            &[k, n],
+        );
+        let naive = a.matmul_naive(&b);
+        let spec = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: false,
+        };
+        for shards in [1usize, 2, 4, 7] {
+            let mut ws = Workspace::new();
+            let mut out = vec![0.0f32; m * n];
+            let slots = ws.shards(shards);
+            crate::parallel::par_row_shards(&mut out, m, n, slots, |rows, c, scratch| {
+                gemm_block(c, a.data(), b.data(), spec, rows, &mut scratch.gemm);
+            });
+            for (i, (&x, &y)) in out.iter().zip(naive.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "element {i} differs at {shards} forced shards"
+                );
+            }
+        }
     }
 
     #[test]

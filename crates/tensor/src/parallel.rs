@@ -15,6 +15,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Workspace-wide default thread count; 0 means "all available cores".
 /// Defaults to 1 so libraries stay serial unless a binary opts in.
@@ -41,12 +42,27 @@ pub fn max_threads() -> usize {
 /// cores (at least 1), anything else is returned unchanged.
 pub fn resolve(threads: usize) -> usize {
     if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        available_cores()
     } else {
         threads
     }
+}
+
+/// The number of cores actually available to this process (cached, at
+/// least 1).
+///
+/// Work-sizing heuristics clamp their shard counts to this: spawning more
+/// workers than cores cannot overlap any computation, so the extra shards
+/// would pay spawn/join overhead for zero parallelism (the measured
+/// 2-thread GEMM regression on a 1-core runner). Results are bitwise
+/// identical at every shard count, so the clamp changes wall-clock only.
+pub fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Splits `0..total` into at most `pieces` contiguous, near-equal, non-empty

@@ -1,0 +1,466 @@
+//! The fused LIF membrane-update kernel: one sweep over the membrane
+//! buffer computing integration, (optionally adaptive) threshold centering,
+//! the Heaviside spike decision, and the reset — with an explicit AVX2
+//! fast path and a bit-for-bit identical scalar fallback.
+//!
+//! # Why a fused kernel
+//!
+//! The SNN time loop runs the LIF update `T` times per forward pass, and
+//! PGD multiplies that by its iteration count. Expressed as composed tensor
+//! ops the step costs six full-buffer sweeps plus six intermediate
+//! allocations per timestep; fused, it is one sweep writing the four lanes
+//! the autodiff tape actually needs (`v_int`, `centered`, `spikes`,
+//! `v_next`).
+//!
+//! # Determinism contract
+//!
+//! Both paths execute the exact same per-element operation sequence as the
+//! previous composed-op formulation:
+//!
+//! ```text
+//! v_int    = v·β + I                      (mul, then add — NO fma)
+//! centered = (v_int − a·κ) + (−V_th)      (adaptive) | v_int + (−V_th)
+//! spikes   = 1.0 if centered ≥ 0.0 else 0.0
+//! v_next   = v_int − v_int·spikes (zero reset) | v_int − spikes·V_th
+//! ```
+//!
+//! The AVX2 path deliberately uses separate `_mm256_mul_ps` /
+//! `_mm256_add_ps` instructions rather than `vfmadd`: a fused
+//! multiply-add rounds once where the scalar reference rounds twice, which
+//! would break bitwise equality. The spike compare uses `_CMP_GE_OQ`,
+//! matching scalar `>=` exactly (NaN membranes do not spike; `-0.0 ≥ 0.0`
+//! does). Tail elements run the same scalar element function as the
+//! fallback. Dispatch therefore changes wall-clock only, never results —
+//! property-tested in this module across special values (NaN, ±∞, ±0,
+//! denormals) and every tail length.
+//!
+//! # Dispatch
+//!
+//! [`lif_step`] picks AVX2 when the CPU supports it (checked once via
+//! `is_x86_feature_detected!`, which caches) unless [`set_force_scalar`]
+//! pins the scalar path (used by benches to measure both, and by tests to
+//! prove equality on the dispatch boundary). Every call increments one of
+//! the `tensor/lif_steps_simd` / `tensor/lif_steps_scalar` obs counters.
+
+use crate::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When `true`, [`lif_step`] always takes the scalar path even if AVX2 is
+/// available. Results are identical either way; this is a measurement and
+/// test knob, not a correctness switch.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Pins (or unpins) [`lif_step`] to the scalar path. Safe to toggle at any
+/// time from any thread: both paths are bitwise identical, so a racing
+/// dispatch can only change which counter increments.
+pub fn set_force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// `true` while [`set_force_scalar`]`(true)` is in effect.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// `true` when this build/CPU combination has the AVX2 fast path (ignores
+/// the [`set_force_scalar`] override).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The scalar parameters of one LIF membrane update.
+#[derive(Debug, Clone, Copy)]
+pub struct LifKernelSpec {
+    /// Membrane decay factor `β ∈ [0, 1]`.
+    pub beta: f32,
+    /// Firing threshold `V_th`.
+    pub v_th: f32,
+    /// `true` for reset-to-zero, `false` for reset-by-subtraction.
+    pub zero_reset: bool,
+}
+
+/// The four lanes of one fused LIF step plus the spike count.
+///
+/// All four tensors are freshly allocated per call — they become autodiff
+/// tape values, which must own their storage; the kernel itself performs
+/// no intermediate allocations (down from six in the composed-op form).
+#[derive(Debug)]
+pub struct LifStepOut {
+    /// Integrated membrane `v·β + I` (pre-reset potential).
+    pub v_int: Tensor,
+    /// Threshold-centered potential the surrogate gradient differentiates.
+    pub centered: Tensor,
+    /// Binary spike lane (`1.0`/`0.0`).
+    pub spikes: Tensor,
+    /// Post-reset membrane for the next timestep.
+    pub v_next: Tensor,
+    /// Number of spiking neurons (exact popcount of `spikes`).
+    pub fired: usize,
+}
+
+/// Mutable views of the four output lanes, so the kernels stay under a
+/// sane argument count.
+struct Lanes<'a> {
+    v_int: &'a mut [f32],
+    centered: &'a mut [f32],
+    spikes: &'a mut [f32],
+    v_next: &'a mut [f32],
+}
+
+/// One LIF element — the single source of truth both kernels (and the AVX2
+/// tail) reduce to. See the module docs for the exact operation order.
+#[inline(always)]
+fn lif_element(
+    spec: LifKernelSpec,
+    inp: f32,
+    vm: f32,
+    adapt: Option<(f32, f32)>,
+) -> (f32, f32, f32, f32) {
+    let vi = vm * spec.beta + inp;
+    let c = match adapt {
+        Some((a, kappa)) => (vi - a * kappa) + (-spec.v_th),
+        None => vi + (-spec.v_th),
+    };
+    let s = if c >= 0.0 { 1.0 } else { 0.0 };
+    let vn = if spec.zero_reset {
+        vi - vi * s
+    } else {
+        vi - s * spec.v_th
+    };
+    (vi, c, s, vn)
+}
+
+/// Scalar reference kernel; also the fallback on non-AVX2 hardware.
+// armor-lint: hot
+fn lif_step_scalar(
+    input: &[f32],
+    v: &[f32],
+    adapt: Option<(&[f32], f32)>,
+    spec: LifKernelSpec,
+    out: &mut Lanes<'_>,
+) -> usize {
+    let mut fired = 0usize;
+    for i in 0..input.len() {
+        let (vi, c, s, vn) = lif_element(spec, input[i], v[i], adapt.map(|(a, k)| (a[i], k)));
+        out.v_int[i] = vi;
+        out.centered[i] = c;
+        out.spikes[i] = s;
+        out.v_next[i] = vn;
+        fired += usize::from(s != 0.0);
+    }
+    fired
+}
+
+/// AVX2 kernel: 8 lanes per iteration, scalar tail via [`lif_element`].
+/// Separate mul/add (never `vfmadd`) and `_CMP_GE_OQ` keep every element
+/// bit-identical to [`lif_step_scalar`] — see the module docs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// armor-lint: hot
+// SAFETY: `unsafe` only for `#[target_feature(enable = "avx2")]`; callers
+// verify AVX2 first. Loads/stores stay in bounds: the vector loop runs
+// while `i + 8 <= n` on equal-length slices, the tail uses safe indexing.
+unsafe fn lif_step_avx2(
+    input: &[f32],
+    v: &[f32],
+    adapt: Option<(&[f32], f32)>,
+    spec: LifKernelSpec,
+    out: &mut Lanes<'_>,
+) -> usize {
+    use std::arch::x86_64::*;
+    let n = input.len();
+    let beta_v = _mm256_set1_ps(spec.beta);
+    let neg_th_v = _mm256_set1_ps(-spec.v_th);
+    let th_v = _mm256_set1_ps(spec.v_th);
+    let one_v = _mm256_set1_ps(1.0);
+    let zero_v = _mm256_setzero_ps();
+    let adapt_v = adapt.map(|(a, k)| (a, _mm256_set1_ps(k)));
+    let mut fired = 0usize;
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let inp = _mm256_loadu_ps(input.as_ptr().add(i));
+        let vm = _mm256_loadu_ps(v.as_ptr().add(i));
+        // v·β + I with distinct round steps — fma would round once and
+        // diverge from the scalar reference by one ulp on some inputs.
+        let vi = _mm256_add_ps(_mm256_mul_ps(vm, beta_v), inp);
+        let pre = match adapt_v {
+            Some((a, kappa_v)) => {
+                let av = _mm256_loadu_ps(a.as_ptr().add(i));
+                _mm256_sub_ps(vi, _mm256_mul_ps(av, kappa_v))
+            }
+            None => vi,
+        };
+        let c = _mm256_add_ps(pre, neg_th_v);
+        // Ordered ≥: NaN lanes do not spike, matching scalar `c >= 0.0`.
+        let mask = _mm256_cmp_ps::<_CMP_GE_OQ>(c, zero_v);
+        let s = _mm256_and_ps(mask, one_v);
+        let vn = if spec.zero_reset {
+            _mm256_sub_ps(vi, _mm256_mul_ps(vi, s))
+        } else {
+            _mm256_sub_ps(vi, _mm256_mul_ps(s, th_v))
+        };
+        _mm256_storeu_ps(out.v_int.as_mut_ptr().add(i), vi);
+        _mm256_storeu_ps(out.centered.as_mut_ptr().add(i), c);
+        _mm256_storeu_ps(out.spikes.as_mut_ptr().add(i), s);
+        _mm256_storeu_ps(out.v_next.as_mut_ptr().add(i), vn);
+        fired += _mm256_movemask_ps(mask).count_ones() as usize;
+        i += 8;
+    }
+    while i < n {
+        let (vi, c, s, vn) = lif_element(spec, input[i], v[i], adapt.map(|(a, k)| (a[i], k)));
+        out.v_int[i] = vi;
+        out.centered[i] = c;
+        out.spikes[i] = s;
+        out.v_next[i] = vn;
+        fired += usize::from(s != 0.0);
+        i += 1;
+    }
+    fired
+}
+
+/// Runs the best available kernel; returns `(fired, used_simd)`.
+fn run_kernel(
+    input: &[f32],
+    v: &[f32],
+    adapt: Option<(&[f32], f32)>,
+    spec: LifKernelSpec,
+    out: &mut Lanes<'_>,
+) -> (usize, bool) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() && !force_scalar() {
+        // SAFETY: `simd_available()` just confirmed AVX2 on this CPU, and
+        // `lif_step` validated that all slices share one length.
+        return (unsafe { lif_step_avx2(input, v, adapt, spec, out) }, true);
+    }
+    (lif_step_scalar(input, v, adapt, spec, out), false)
+}
+
+/// One fused LIF membrane update over `input` (the synaptic drive) and `v`
+/// (the membrane state), optionally with an adaptation current
+/// `adapt = (a, κ)` subtracted before thresholding (ALIF).
+///
+/// Returns all four lanes the autodiff tape needs plus the spike count.
+/// Dispatches to AVX2 when available (see the module docs for the
+/// bitwise-determinism contract) and increments the
+/// `tensor/lif_steps_simd` / `tensor/lif_steps_scalar` obs counter for
+/// whichever path ran.
+///
+/// # Panics
+///
+/// Panics if `v` (or the adaptation tensor) does not match `input`'s shape.
+pub fn lif_step(
+    input: &Tensor,
+    v: &Tensor,
+    adapt: Option<(&Tensor, f32)>,
+    spec: LifKernelSpec,
+) -> LifStepOut {
+    assert_eq!(
+        input.shape(),
+        v.shape(),
+        "lif_step input/membrane shape mismatch: {} vs {}",
+        input.shape(),
+        v.shape()
+    );
+    if let Some((a, _)) = adapt {
+        assert_eq!(
+            input.shape(),
+            a.shape(),
+            "lif_step input/adaptation shape mismatch: {} vs {}",
+            input.shape(),
+            a.shape()
+        );
+    }
+    let n = input.len();
+    let mut v_int = vec![0.0f32; n];
+    let mut centered = vec![0.0f32; n];
+    let mut spikes = vec![0.0f32; n];
+    let mut v_next = vec![0.0f32; n];
+    let (fired, used_simd) = run_kernel(
+        input.data(),
+        v.data(),
+        adapt.map(|(a, k)| (a.data(), k)),
+        spec,
+        &mut Lanes {
+            v_int: &mut v_int,
+            centered: &mut centered,
+            spikes: &mut spikes,
+            v_next: &mut v_next,
+        },
+    );
+    obs::counter_add(
+        if used_simd {
+            "tensor/lif_steps_simd"
+        } else {
+            "tensor/lif_steps_scalar"
+        },
+        1,
+    );
+    let dims = input.dims();
+    LifStepOut {
+        v_int: Tensor::from_vec(v_int, dims),
+        centered: Tensor::from_vec(centered, dims),
+        spikes: Tensor::from_vec(spikes, dims),
+        v_next: Tensor::from_vec(v_next, dims),
+        fired,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic stream mixing ordinary magnitudes with the IEEE
+    /// corners the compare/reset lanes must handle: ±0, NaN, ±∞,
+    /// denormal-scale values, and exact-threshold hits.
+    fn stream_value(seed: u64, i: u64) -> f32 {
+        let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        match z % 32 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::NAN,
+            3 => f32::INFINITY,
+            4 => f32::NEG_INFINITY,
+            5 => 1e-38,
+            6 => 1.0, // lands exactly on V_th for β=1, I=0 setups
+            _ => ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0,
+        }
+    }
+
+    fn stream_tensor(seed: u64, n: usize) -> Tensor {
+        Tensor::from_vec((0..n as u64).map(|i| stream_value(seed, i)).collect(), &[n])
+    }
+
+    fn assert_bitwise_or_nan(a: &Tensor, b: &Tensor, context: &str) {
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            if x.is_nan() || y.is_nan() {
+                assert!(
+                    x.is_nan() && y.is_nan(),
+                    "{context}: element {i}: {x} vs {y}"
+                );
+            } else {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{context}: element {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    /// Runs both kernels directly on the same inputs and demands identical
+    /// bits in all four lanes (and an equal spike count).
+    fn check_paths(n: usize, seed: u64, spec: LifKernelSpec, with_adapt: bool) {
+        if !simd_available() {
+            return; // scalar-only hardware: dispatch has a single path
+        }
+        let input = stream_tensor(seed, n);
+        let v = stream_tensor(seed ^ 0xABCD_EF01_2345_6789, n);
+        let a = stream_tensor(seed ^ 0x1357_9BDF_0246_8ACE, n);
+        let adapt = with_adapt.then_some((&a, 0.35f32));
+        set_force_scalar(true);
+        let scalar = lif_step(&input, &v, adapt, spec);
+        set_force_scalar(false);
+        let simd = lif_step(&input, &v, adapt, spec);
+        let ctx = format!("n={n} zero_reset={} adapt={with_adapt}", spec.zero_reset);
+        assert_bitwise_or_nan(&simd.v_int, &scalar.v_int, &format!("{ctx} v_int"));
+        assert_bitwise_or_nan(&simd.centered, &scalar.centered, &format!("{ctx} centered"));
+        assert_bitwise_or_nan(&simd.spikes, &scalar.spikes, &format!("{ctx} spikes"));
+        assert_bitwise_or_nan(&simd.v_next, &scalar.v_next, &format!("{ctx} v_next"));
+        assert_eq!(simd.fired, scalar.fired, "{ctx} fired");
+    }
+
+    #[test]
+    fn simd_matches_scalar_bitwise_across_lengths_and_modes() {
+        for n in [1usize, 7, 8, 9, 15, 16, 17, 31, 32, 33, 256] {
+            for zero_reset in [false, true] {
+                for with_adapt in [false, true] {
+                    let spec = LifKernelSpec {
+                        beta: 0.9,
+                        v_th: 1.0,
+                        zero_reset,
+                    };
+                    check_paths(n, 42 + n as u64, spec, with_adapt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_at_edge_parameters() {
+        for (beta, v_th) in [(0.0f32, 0.5f32), (1.0, 1.0), (0.5, 0.0)] {
+            for zero_reset in [false, true] {
+                let spec = LifKernelSpec {
+                    beta,
+                    v_th,
+                    zero_reset,
+                };
+                check_paths(40, 7, spec, false);
+                check_paths(40, 8, spec, true);
+            }
+        }
+    }
+
+    /// The fused kernel must equal the composed tensor-op formulation it
+    /// replaced (the old `LifCell::step` data path), element for element.
+    #[test]
+    fn fused_matches_composed_ops_bitwise() {
+        let spec = LifKernelSpec {
+            beta: 0.9,
+            v_th: 1.0,
+            zero_reset: false,
+        };
+        let input = stream_tensor(5, 64);
+        let v = stream_tensor(6, 64);
+        let out = lif_step(&input, &v, None, spec);
+        let v_int = v.mul_scalar(spec.beta).add(&input);
+        let centered = v_int.add_scalar(-spec.v_th);
+        let spikes = centered.map(|c| if c >= 0.0 { 1.0 } else { 0.0 });
+        let v_next = v_int.sub(&spikes.mul_scalar(spec.v_th));
+        assert_bitwise_or_nan(&out.v_int, &v_int, "v_int");
+        assert_bitwise_or_nan(&out.centered, &centered, "centered");
+        assert_bitwise_or_nan(&out.spikes, &spikes, "spikes");
+        assert_bitwise_or_nan(&out.v_next, &v_next, "v_next");
+    }
+
+    #[test]
+    fn fired_counts_spiking_neurons_exactly() {
+        let spec = LifKernelSpec {
+            beta: 1.0,
+            v_th: 1.0,
+            zero_reset: false,
+        };
+        let input = Tensor::from_vec(vec![2.0, 0.5, 1.0, -3.0, 1.5, 0.0, 2.5, 0.9, 1.1], &[9]);
+        let v = Tensor::zeros(&[9]);
+        let out = lif_step(&input, &v, None, spec);
+        assert_eq!(out.fired, 5); // 2.0, 1.0, 1.5, 2.5, 1.1 reach V_th
+        assert_eq!(
+            out.fired,
+            out.spikes.data().iter().filter(|&&s| s != 0.0).count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_membrane_shape_rejected() {
+        lif_step(
+            &Tensor::zeros(&[4]),
+            &Tensor::zeros(&[5]),
+            None,
+            LifKernelSpec {
+                beta: 0.9,
+                v_th: 1.0,
+                zero_reset: false,
+            },
+        );
+    }
+}

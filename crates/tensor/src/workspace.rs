@@ -104,6 +104,40 @@ impl WsBuffer {
     }
 }
 
+/// One growable `u32` index buffer — [`WsBuffer`] for the active-neuron
+/// index lists of the sparse event path. Growth is counted by the same
+/// thread-local allocation counter, so the steady-state-alloc tests cover
+/// event buffers exactly like `f32` scratch.
+#[derive(Debug, Default)]
+pub struct WsIndexBuffer {
+    buf: Vec<u32>,
+}
+
+impl WsIndexBuffer {
+    /// Grows the logical length to at least `len` (counting a workspace
+    /// allocation only when the capacity must grow).
+    fn ensure(&mut self, len: usize) {
+        if self.buf.len() < len {
+            if self.buf.capacity() < len {
+                note_alloc();
+            }
+            self.buf.resize(len, 0);
+        }
+    }
+
+    /// A `len`-element slice with **unspecified contents** (stale data from
+    /// earlier uses); callers must overwrite every element they read.
+    pub fn get(&mut self, len: usize) -> &mut [u32] {
+        self.ensure(len);
+        &mut self.buf[..len]
+    }
+
+    /// Current capacity in `u32` elements (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
 /// The packing panels of one GEMM worker (see [`crate::Tensor::matmul`]'s
 /// blocked kernel): an `MC × KC` A-panel and a `KC × NC` B-panel.
 #[derive(Debug, Default)]
@@ -122,6 +156,11 @@ pub struct ShardScratch {
     pub(crate) gemm: GemmScratch,
     /// Column-gradient matrix (`wᵀ·g`) in the conv backward pass.
     pub(crate) col_grad: WsBuffer,
+    /// Active-neuron indices of the spike row currently being gathered
+    /// (sparse event path, see [`crate::Tensor::matmul_events`]).
+    pub(crate) event_idx: WsIndexBuffer,
+    /// The matching non-zero spike values (pooled spikes are fractional).
+    pub(crate) event_val: WsBuffer,
 }
 
 /// A reusable scratch arena for the `_into` kernel variants.
@@ -157,9 +196,51 @@ pub struct Workspace {
     grad_w_parts: WsBuffer,
 }
 
+/// Stops the process heap from bouncing pages between the allocator and
+/// the kernel (first call only; later calls are free).
+///
+/// The tape-based time loop allocates a few megabytes of per-step tensors
+/// per forward pass and frees them all when the tape drops. With glibc's
+/// default tuning that free raises the heap's top chunk past the trim
+/// threshold, the pages go back to the OS, and the *next* pass pays a
+/// minor page fault per 4 KiB re-touched — measured at ~460 faults (and
+/// most of the wall time) per 16-step LIF window. Raising the trim
+/// threshold once keeps the steady-state working set mapped, which is the
+/// same contract the [`Workspace`] arena provides for kernel scratch,
+/// extended to the heap that backs tape tensors.
+///
+/// Non-glibc targets get a no-op: the tuning is an optimization, never a
+/// correctness requirement, and results are bitwise identical either way.
+pub fn retain_heap_pages() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        {
+            extern "C" {
+                fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+            }
+            // glibc <malloc.h> parameter numbers (stable ABI).
+            const M_TRIM_THRESHOLD: core::ffi::c_int = -1;
+            const M_TOP_PAD: core::ffi::c_int = -2;
+            // SAFETY: `mallopt` is glibc's documented allocator-tuning
+            // entry point; it touches no caller memory and only adjusts
+            // malloc parameters, which is sound from any thread.
+            unsafe {
+                mallopt(M_TRIM_THRESHOLD, core::ffi::c_int::MAX);
+                mallopt(M_TOP_PAD, 4 << 20);
+            }
+        }
+    });
+}
+
 impl Workspace {
     /// An empty arena; buffers grow on first use.
+    ///
+    /// Also applies the process-wide [`retain_heap_pages`] tuning: every
+    /// hot path starts by creating (or lazily reaching) a workspace, so
+    /// this is the natural once-per-process hook.
     pub fn new() -> Self {
+        retain_heap_pages();
         Self::default()
     }
 

@@ -1,0 +1,132 @@
+//! The event-driven product ([`Tensor::matmul_events`]) must be bitwise
+//! identical to the naive `i-k-j` triple loop ([`Tensor::matmul_naive`])
+//! on finite data — at every density (whichever side of the crossover it
+//! lands on) and at every thread count.
+//!
+//! The documented carve-out: the gather path skips `a[i,k] == 0.0`
+//! terms, so rows of `b` that are only ever multiplied by zero may hide
+//! NaN/∞ that the dense kernel would propagate. Synaptic weights are
+//! finite, so the tests here use finite operands and demand exact bits.
+
+use proptest::prelude::*;
+use tensor::event::EVENT_DENSITY_CROSSOVER;
+use tensor::parallel::set_max_threads;
+use tensor::Tensor;
+
+/// SplitMix64 value stream of finite magnitudes in roughly [-2, 2].
+fn stream_value(seed: u64, i: u64) -> f32 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+}
+
+fn stream_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as u64).map(|i| stream_value(seed, i)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// A spike-train-shaped tensor: approximately `density_per_mille / 1000`
+/// of the entries are non-zero. Non-zero values are 1.0 spikes except
+/// every fourth, which is fractional (an avg-pooled spike).
+fn spike_tensor(seed: u64, dims: &[usize], density_per_mille: u64) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            if z % 1000 < density_per_mille {
+                if z % 4 == 0 {
+                    0.25
+                } else {
+                    1.0
+                }
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+fn assert_bitwise(events: &Tensor, naive: &Tensor, context: &str) {
+    assert_eq!(events.dims(), naive.dims(), "{context}: shape mismatch");
+    for (i, (&x, &y)) in events.data().iter().zip(naive.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs: events={x}, naive={y}"
+        );
+    }
+}
+
+fn check_density(m: usize, k: usize, n: usize, density_per_mille: u64, seed: u64) {
+    let a = spike_tensor(seed, &[m, k], density_per_mille);
+    let b = stream_tensor(seed ^ 0xD1B5_4A32_D192_ED03, &[k, n]);
+    let naive = a.matmul_naive(&b);
+    for threads in [1usize, 2, 4] {
+        set_max_threads(threads);
+        let events = a.matmul_events(&b);
+        assert_bitwise(
+            &events,
+            &naive,
+            &format!("[{m}x{k}]x[{k}x{n}] density {density_per_mille}/1000 at {threads} threads"),
+        );
+    }
+    set_max_threads(1);
+}
+
+/// The satellite's required grid: densities {0, 0.01, 0.1, 0.5, 1.0} ×
+/// threads {1, 2, 4}. The low densities take the gather path, the high
+/// ones the dense fallback; both must agree with the naive kernel.
+#[test]
+fn event_product_matches_naive_across_density_grid() {
+    for &per_mille in &[0u64, 10, 100, 500, 1000] {
+        check_density(24, 96, 40, per_mille, 0xE0E0 + per_mille);
+    }
+}
+
+/// A product big enough for the parallel gather dispatch, on both sides
+/// of the crossover.
+#[test]
+fn parallel_event_dispatch_is_bitwise_identical() {
+    // Sparse: 48*1024*64 MACs scale down with density but the row-shard
+    // machinery still engages at forced thread counts.
+    check_density(48, 1024, 64, 50, 0xBEEF);
+    // Dense side: falls back to the blocked GEMM under the same API.
+    check_density(48, 1024, 64, 900, 0xFEED);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes and densities straddling the crossover.
+    #[test]
+    fn event_product_matches_naive_on_random_shapes(
+        m in 1usize..24,
+        k in 1usize..80,
+        n in 1usize..24,
+        per_mille in 0u64..1000,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        check_density(m, k, n, per_mille, seed);
+    }
+}
+
+/// The density switch is observable through `matmul_events_into`'s
+/// return value; sanity-check the crossover constant is honoured.
+#[test]
+fn density_switch_honours_crossover_constant() {
+    let k = 1000usize;
+    let b = stream_tensor(3, &[k, 8]);
+    let mut out = Tensor::zeros(&[1, 8]);
+    let mut ws = tensor::workspace::Workspace::new();
+    let sparse_mille = (EVENT_DENSITY_CROSSOVER * 1000.0) as u64 / 2;
+    let a_sparse = spike_tensor(11, &[1, k], sparse_mille);
+    assert!(a_sparse.matmul_events_into(&b, &mut out, &mut ws));
+    let a_dense = spike_tensor(12, &[1, k], 990);
+    assert!(!a_dense.matmul_events_into(&b, &mut out, &mut ws));
+}

@@ -27,11 +27,16 @@ cargo bench --workspace --no-run --quiet
 
 # Kernel smoke: seconds-scale run of every micro-bench op, ending in the
 # allocation guard — fails if any warm *_into kernel allocates from the
-# workspace arena — and the obs guard — fails if disabled metrics
-# recording does measurable work. Does not touch the committed
-# BENCH_tensor.json.
+# workspace arena — the LIF guard — fails unless the forced-scalar and
+# dispatched (SIMD where available) LIF kernels both run and agree
+# bitwise — and the obs guard — fails if disabled metrics recording does
+# measurable work. Does not touch the committed BENCH_tensor.json.
 echo "==> cargo bench --bench micro -- --smoke"
-cargo bench --bench micro --quiet -- --smoke
+smoke_out=$(cargo bench --bench micro --quiet -- --smoke | tee /dev/stderr)
+if ! grep -q "lif guard: ok" <<<"$smoke_out"; then
+    echo "FAILED: smoke bench did not exercise both LIF kernel paths" >&2
+    exit 1
+fi
 
 # The metrics layer first: its merge/determinism properties (proptests
 # included) underpin the workspace-wide metrics determinism test.
