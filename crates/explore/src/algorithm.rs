@@ -219,7 +219,11 @@ pub fn sweep_attack_stored(
     })
 }
 
-fn pgd_for(config: &ExperimentConfig, eps: f32, salt: u64) -> Pgd {
+/// The PGD instance used at sweep position `salt` of a budget sweep — the
+/// single place the attack convention (step schedule, random start, seed
+/// derivation) is defined. `crate::serving` reuses it so online certify
+/// verdicts follow exactly the offline sweep's convention.
+pub(crate) fn pgd_for(config: &ExperimentConfig, eps: f32, salt: u64) -> Pgd {
     let steps = config.pgd_steps;
     let alpha = if eps == 0.0 {
         0.0

@@ -9,7 +9,18 @@
 //! spiking-armor activity              # firing-rate analysis across V_th
 //! spiking-armor corruptions           # non-adversarial control condition
 //! spiking-armor defense               # PGD adversarial training study
+//! spiking-armor serve                 # batched robustness-scoring service
 //! ```
+//!
+//! `serve` boots a TCP service (newline-framed JSON, see DESIGN.md §13)
+//! that classifies and PGD-certifies images over a trained checkpoint. Its
+//! own flags: `--addr HOST:PORT` (default `127.0.0.1:7878`, port 0 picks a
+//! free port), `--preset quick|tiny`, `--vth V --window T` (structural
+//! point, default `(1, 6)`), `--replicas N` model workers, `--max-batch N`
+//! / `--max-wait-ms MS` micro-batching, and `--queue-capacity N`
+//! admission control. Unlike the batch commands, `serve` *hard-fails* when
+//! the run store cannot open: a scoring service exists to answer from its
+//! checkpoints, so there is no degraded mode.
 //!
 //! Shared flags, accepted by every command:
 //!
@@ -38,20 +49,25 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use explore::curves::{CurveSet, RobustnessCurve};
 use explore::heatmap::{Heatmap, HeatmapKind};
+use explore::serving::SnnScorer;
 use explore::{
     algorithm, corruption, grid, mismatch, pipeline, presets, report, runs, transfer,
     ExperimentConfig, GridSpec,
 };
+use serve::{ServeOptions, Server};
 use snn::StructuralParams;
 use store::RunStore;
 
-const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense> \
-[--threads N] [--out-dir DIR] [--resume] [--metrics [--quiet]]";
+const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense|serve> \
+[--threads N] [--out-dir DIR] [--resume] [--metrics [--quiet]] \
+[serve only: --addr HOST:PORT --preset quick|tiny --vth V --window T --replicas N --max-batch N --max-wait-ms MS --queue-capacity N]";
 
 /// Parsed command line: one command plus the flags shared by every command.
+#[derive(Debug)]
 struct Cli {
     command: String,
     /// `heatmap` only: run the paper-sized grid instead of the quick one.
@@ -66,6 +82,45 @@ struct Cli {
     metrics: bool,
     /// With `--metrics`: suppress the stderr progress lines (`--quiet`).
     quiet: bool,
+    /// `serve` only: endpoint, batching, and model-point options.
+    serve: ServeFlags,
+}
+
+/// Options meaningful only for the `serve` command; any of them appearing
+/// with another command is a usage error (same policy as `--full`).
+#[derive(Debug)]
+struct ServeFlags {
+    /// Listen endpoint (`--addr`); port 0 binds a free port.
+    addr: String,
+    /// Upper bound on one micro-batch (`--max-batch`).
+    max_batch: usize,
+    /// How long the batcher lingers for co-travellers (`--max-wait-ms`).
+    max_wait_ms: u64,
+    /// Model replica worker count (`--replicas`).
+    replicas: usize,
+    /// Admission-control queue bound (`--queue-capacity`).
+    queue_capacity: usize,
+    /// Structural point served: spiking threshold (`--vth`) …
+    v_th: f32,
+    /// … and time window (`--window`).
+    window: usize,
+    /// Experiment preset the checkpoint is trained under (`--preset`).
+    preset: String,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            max_batch: 16,
+            max_wait_ms: 2,
+            replicas: 1,
+            queue_capacity: 64,
+            v_th: 1.0,
+            window: 6,
+            preset: "quick".to_string(),
+        }
+    }
 }
 
 /// Parses the argument list strictly: every flag must be known, `--full`
@@ -79,6 +134,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut resume = false;
     let mut metrics = false;
     let mut quiet = false;
+    let mut serve = ServeFlags::default();
+    // The first serve-only flag seen, for the "--addr is only valid for
+    // serve"-style rejection once the command is known.
+    let mut serve_flag: Option<&'static str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -99,6 +158,50 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .next()
                     .ok_or_else(|| format!("--out-dir needs a directory path\n{USAGE}"))?;
                 out_dir = Some(PathBuf::from(value));
+            }
+            "--addr" => {
+                serve_flag.get_or_insert("--addr");
+                serve.addr = flag_value(&mut it, "--addr", "a HOST:PORT endpoint")?.clone();
+            }
+            "--preset" => {
+                serve_flag.get_or_insert("--preset");
+                let value = flag_value(&mut it, "--preset", "quick or tiny")?;
+                if value != "quick" && value != "tiny" {
+                    return Err(format!(
+                        "--preset expects quick or tiny, got {value:?}\n{USAGE}"
+                    ));
+                }
+                serve.preset = value.clone();
+            }
+            "--vth" => {
+                serve_flag.get_or_insert("--vth");
+                let value = flag_value(&mut it, "--vth", "a positive threshold")?;
+                let v = value
+                    .parse::<f32>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v > 0.0);
+                serve.v_th = v.ok_or_else(|| {
+                    format!("--vth expects a finite positive number, got {value:?}\n{USAGE}")
+                })?;
+            }
+            "--window" => {
+                serve.window = positive_flag(&mut it, "--window", &mut serve_flag)?;
+            }
+            "--replicas" => {
+                serve.replicas = positive_flag(&mut it, "--replicas", &mut serve_flag)?;
+            }
+            "--max-batch" => {
+                serve.max_batch = positive_flag(&mut it, "--max-batch", &mut serve_flag)?;
+            }
+            "--queue-capacity" => {
+                serve.queue_capacity = positive_flag(&mut it, "--queue-capacity", &mut serve_flag)?;
+            }
+            "--max-wait-ms" => {
+                serve_flag.get_or_insert("--max-wait-ms");
+                let value = flag_value(&mut it, "--max-wait-ms", "milliseconds")?;
+                serve.max_wait_ms = value.parse::<u64>().map_err(|_| {
+                    format!("--max-wait-ms expects a non-negative integer, got {value:?}\n{USAGE}")
+                })?;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unrecognized flag {other:?}\n{USAGE}"));
@@ -122,6 +225,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--quiet only silences the progress lines of --metrics\n{USAGE}"
         ));
     }
+    if let Some(flag) = serve_flag {
+        if command != "serve" {
+            return Err(format!(
+                "{flag} is only valid for the serve command\n{USAGE}"
+            ));
+        }
+    }
     Ok(Cli {
         command,
         full,
@@ -130,7 +240,34 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         resume,
         metrics,
         quiet,
+        serve,
     })
+}
+
+/// The mandatory value of `flag`, or a usage error naming what was missing.
+fn flag_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+    what: &str,
+) -> Result<&'a String, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value ({what})\n{USAGE}"))
+}
+
+/// Parses a serve-only flag that must be a positive integer (a zero batch,
+/// window, replica count, or queue would deadlock or panic downstream).
+fn positive_flag(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &'static str,
+    serve_flag: &mut Option<&'static str>,
+) -> Result<usize, String> {
+    serve_flag.get_or_insert(flag);
+    let value = flag_value(it, flag, "a positive integer")?;
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} expects a positive integer, got {value:?}\n{USAGE}"))
 }
 
 fn main() -> ExitCode {
@@ -161,6 +298,15 @@ fn main() -> ExitCode {
         "activity" => activity(&cli),
         "corruptions" => corruptions(&cli),
         "defense" => defense_study(&cli),
+        // `serve` is the one command with a hard failure mode: no store,
+        // no server (see `serve_cmd`), and a failed bind is fatal too.
+        "serve" => match serve_cmd(&cli) {
+            Ok(run_dir) => run_dir,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");
             return ExitCode::FAILURE;
@@ -588,4 +734,155 @@ fn defense_study(cli: &Cli) -> Option<PathBuf> {
         );
     }
     run_dir
+}
+
+/// The `serve` command: load-or-train the checkpoint, then serve classify
+/// and certify requests until a shutdown frame arrives.
+///
+/// Store policy differs from every batch command on purpose: [`open_store`]
+/// downgrades a store failure to a warning because a figure can still be
+/// computed without checkpoints, but a scoring service exists *only* to
+/// answer from its trained checkpoint — so here the same failure is fatal.
+/// The store also holds the run-directory lock for the server's whole
+/// lifetime, keeping concurrent writers out of the serving checkpoint.
+fn serve_cmd(cli: &Cli) -> Result<Option<PathBuf>, String> {
+    let flags = &cli.serve;
+    let mut config = match flags.preset.as_str() {
+        "tiny" => presets::tiny(),
+        _ => presets::quick(),
+    };
+    apply_threads(&mut config, cli.threads);
+    enable_kernel_threads(&config);
+    // Flag validation already guaranteed v_th finite-positive, window >= 1.
+    let sp = StructuralParams::new(flags.v_th, flags.window);
+    // Resume unconditionally: re-serving an existing run directory must
+    // reuse its checkpoint, not retrain. The ε axis is empty because
+    // certify budgets arrive per request, not per run.
+    let opened = runs::open(&cli.out_dir, "serve", &config, None, &[], true).map_err(|e| {
+        format!("cannot open the run store ({e}); serve needs its checkpoint store to answer")
+    })?;
+    if opened.resumed {
+        println!(
+            "resuming run {} (the trained checkpoint is reused)",
+            opened.store.dir().display()
+        );
+    } else {
+        println!("run directory: {}", opened.store.dir().display());
+    }
+    let store = opened.store;
+    let run_dir = store.dir().to_path_buf();
+    let data = pipeline::prepare_data(&config);
+    let trained = pipeline::train_snn_stored(&config, &data, sp, Some(&store));
+    println!(
+        "model ready at {sp}: clean accuracy {:.1}%",
+        trained.clean_accuracy * 100.0
+    );
+    let scorer = SnnScorer::new(config, trained.classifier);
+    let options = ServeOptions {
+        addr: flags.addr.clone(),
+        max_batch: flags.max_batch,
+        max_wait: Duration::from_millis(flags.max_wait_ms),
+        queue_capacity: flags.queue_capacity,
+    };
+    let server = Server::bind(&options, scorer.replicas(flags.replicas))
+        .map_err(|e| format!("cannot start the server on {}: {e}", flags.addr))?;
+    // check.sh and the CLI tests poll for this exact line to learn the
+    // bound port (stdout is line-buffered, so it is visible immediately).
+    println!("serving on {}", server.local_addr());
+    let summary = server.run();
+    println!(
+        "served {} request(s) over {} connection(s); shut down cleanly",
+        summary.answered, summary.connections
+    );
+    // The store (and with it the run-directory lock) lives until here.
+    drop(store);
+    Ok(Some(run_dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(command: &str, out_dir: PathBuf) -> Cli {
+        Cli {
+            command: command.to_string(),
+            full: false,
+            threads: None,
+            out_dir,
+            resume: false,
+            metrics: false,
+            quiet: false,
+            serve: ServeFlags::default(),
+        }
+    }
+
+    /// Planting a *file* at `<out>/runs` makes every store open fail: the
+    /// store cannot create its runs directory over it.
+    fn broken_out_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spiking_armor_cli_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("runs"), b"not a directory").unwrap();
+        dir
+    }
+
+    #[test]
+    fn batch_commands_downgrade_a_broken_store_to_a_warning() {
+        let out = broken_out_dir("batch_downgrade");
+        let cli = cli("fig1", out.clone());
+        let (config, epsilons) = presets::fig1();
+        // The documented batch policy: the experiment still runs, just
+        // without checkpoints.
+        assert!(open_store(&cli, &config, None, &epsilons).is_none());
+        let _ = fs::remove_dir_all(out);
+    }
+
+    #[test]
+    fn serve_hard_fails_on_a_broken_store() {
+        let out = broken_out_dir("serve_hard_fail");
+        let mut cli = cli("serve", out.clone());
+        cli.serve.preset = "tiny".to_string();
+        let err = serve_cmd(&cli).unwrap_err();
+        assert!(
+            err.contains("cannot open the run store"),
+            "unexpected error: {err}"
+        );
+        let _ = fs::remove_dir_all(out);
+    }
+
+    #[test]
+    fn serve_flags_parse_and_are_serve_only() {
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let cli = parse_cli(&args(
+            "serve --addr 127.0.0.1:0 --preset tiny --vth 0.5 --window 4 \
+             --replicas 2 --max-batch 8 --max-wait-ms 1 --queue-capacity 32",
+        ))
+        .unwrap();
+        assert_eq!(cli.serve.addr, "127.0.0.1:0");
+        assert_eq!(cli.serve.preset, "tiny");
+        assert_eq!(cli.serve.v_th, 0.5);
+        assert_eq!(cli.serve.window, 4);
+        assert_eq!(cli.serve.replicas, 2);
+        assert_eq!(cli.serve.max_batch, 8);
+        assert_eq!(cli.serve.max_wait_ms, 1);
+        assert_eq!(cli.serve.queue_capacity, 32);
+
+        // Serve-only flags are rejected elsewhere, like --full outside
+        // heatmap; invalid values never reach StructuralParams::new.
+        assert!(parse_cli(&args("fig1 --addr 127.0.0.1:0"))
+            .unwrap_err()
+            .contains("only valid for the serve command"));
+        assert!(parse_cli(&args("serve --vth 0"))
+            .unwrap_err()
+            .contains("--vth"));
+        assert!(parse_cli(&args("serve --vth nan"))
+            .unwrap_err()
+            .contains("--vth"));
+        assert!(parse_cli(&args("serve --window 0"))
+            .unwrap_err()
+            .contains("--window"));
+        assert!(parse_cli(&args("serve --preset huge"))
+            .unwrap_err()
+            .contains("--preset"));
+    }
 }

@@ -60,6 +60,7 @@ pub mod pipeline;
 pub mod presets;
 pub mod report;
 pub mod runs;
+pub mod serving;
 pub mod stats;
 pub mod transfer;
 pub mod viz;

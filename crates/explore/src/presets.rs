@@ -84,6 +84,37 @@ pub fn quick() -> ExperimentConfig {
     }
 }
 
+/// The smallest configuration that still exercises the full pipeline: 8×8
+/// SynthDigits, a 16-unit spiking MLP, four epochs. Trains in well under a
+/// second — meant for sub-second smoke paths (`spiking-armor serve
+/// --preset tiny`, process-spawning CLI tests, the serve crate's
+/// batching-invariance matrix), where even [`quick`] is too slow to boot
+/// repeatedly.
+pub fn tiny() -> ExperimentConfig {
+    ExperimentConfig {
+        image_hw: 8,
+        train_per_class: 8,
+        test_per_class: 2,
+        topology: Topology::Mlp { hidden: vec![16] },
+        epochs: 4,
+        batch_size: 20,
+        learning_rate: 1e-2,
+        attack_samples: 4,
+        pgd_steps: 3,
+        accuracy_threshold: 0.0,
+        seed: 42,
+        beta: 0.9,
+        alpha: 10.0,
+        reset: ResetMode::Subtract,
+        encoder: Encoder::constant_current(),
+        decoder: Decoder::MaxMembrane,
+        surrogate: SurrogateShape::FastSigmoid,
+        neuron: NeuronModel::Lif,
+        mnist_dir: None,
+        threads: 0,
+    }
+}
+
 /// Fig. 1 — motivational CNN-vs-SNN sweep: a small conv topology shared by
 /// both networks, PGD budgets from [`epsilon_sweep`].
 pub fn fig1() -> (ExperimentConfig, Vec<f32>) {
@@ -198,6 +229,7 @@ mod tests {
     #[test]
     fn every_preset_validates() {
         quick().validate();
+        tiny().validate();
         fig1().0.validate();
         heatmap_grid().0.validate();
         fig9().0.validate();

@@ -192,6 +192,13 @@ mod tests {
         drop(first);
         let second = open(&out, "fig1", &cfg, None, &eps, true).unwrap();
         assert!(second.resumed);
+        // The run directory is single-writer: while `second` holds it, a
+        // concurrent open is refused with the typed lock error.
+        assert!(matches!(
+            open(&out, "fig1", &cfg, None, &eps, true),
+            Err(store::StoreError::Locked { .. })
+        ));
+        drop(second);
         // A fresh (non-resume) open starts over.
         let third = open(&out, "fig1", &cfg, None, &eps, false).unwrap();
         assert!(!third.resumed);

@@ -1,0 +1,206 @@
+//! The SNN-backed [`Scorer`]: what `spiking-armor serve` actually serves.
+//!
+//! `crates/serve` is model-agnostic; this module plugs the experiment stack
+//! into it. One [`SnnScorer`] wraps a trained spiking classifier (usually
+//! loaded from a run-store checkpoint) plus the [`ExperimentConfig`] whose
+//! attack convention its certify sweeps must follow.
+//!
+//! # Determinism
+//!
+//! * `classify_batch` runs one batched forward; the tensor kernels'
+//!   per-sample accumulation contract makes each row's logits independent
+//!   of the other rows in the batch and of the thread count, so scores are
+//!   bitwise batching-invariant.
+//! * `certify` runs PGD per request on a batch of one. The attack's random
+//!   start is seeded from `(config.seed, ε index, batch content)`; with a
+//!   single-sample batch that seed depends only on the request itself, so
+//!   the verdict cannot change with how unrelated requests were batched.
+//!   (This is also why certify is *not* cross-request batched.)
+//!
+//! Both properties are enforced end-to-end by the serve crate's
+//! `batch_invariance` test, which boots real servers over a scorer from
+//! this module at several `(max_batch, replicas, threads)` settings.
+
+use attacks::Attack;
+use nn::{AdversarialTarget, Classifier};
+use serve::{ClassifyOutcome, RobustnessPoint, Scorer};
+use snn::SpikingCnn;
+use tensor::Tensor;
+
+use crate::algorithm::pgd_for;
+use crate::config::ExperimentConfig;
+
+/// A servable spiking classifier replica.
+#[derive(Debug, Clone)]
+pub struct SnnScorer {
+    config: ExperimentConfig,
+    classifier: Classifier<SpikingCnn>,
+}
+
+impl SnnScorer {
+    /// Wraps a trained classifier with the experiment configuration that
+    /// defines its input shape and attack convention.
+    pub fn new(config: ExperimentConfig, classifier: Classifier<SpikingCnn>) -> Self {
+        Self { config, classifier }
+    }
+
+    /// `n` independent replicas of this scorer, boxed for
+    /// [`serve::Server::bind`]. Replicas share nothing mutable, so each
+    /// worker thread owns its model wholesale.
+    pub fn replicas(&self, n: usize) -> Vec<Box<dyn Scorer>> {
+        (0..n.max(1))
+            .map(|_| Box::new(self.clone()) as Box<dyn Scorer>)
+            .collect()
+    }
+
+    fn hw(&self) -> usize {
+        self.config.image_hw
+    }
+}
+
+impl Scorer for SnnScorer {
+    fn input_len(&self) -> usize {
+        self.hw() * self.hw()
+    }
+
+    fn num_classes(&self) -> usize {
+        AdversarialTarget::num_classes(&self.classifier)
+    }
+
+    fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome> {
+        let hw = self.hw();
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut flat = Vec::with_capacity(n * hw * hw);
+        for pixels in inputs {
+            flat.extend_from_slice(pixels);
+        }
+        let x = Tensor::from_vec(flat, &[n, 1, hw, hw]);
+        let logits = self.classifier.logits(&x);
+        // Labels come from the logits (the same source `predict` uses);
+        // scores are the softmax of those logits, so `scores[label]` is the
+        // distribution's maximum.
+        let labels = logits.argmax_rows();
+        let probs = logits.softmax_rows();
+        let classes = AdversarialTarget::num_classes(&self.classifier);
+        probs
+            .data()
+            .chunks(classes)
+            .zip(labels)
+            .map(|(row, label)| ClassifyOutcome {
+                label: label as u32,
+                confidence: row.get(label).copied().unwrap_or(0.0),
+                scores: row.to_vec(),
+            })
+            .collect()
+    }
+
+    fn certify(
+        &mut self,
+        pixels: &[f32],
+        clean: &ClassifyOutcome,
+        epsilons: &[f32],
+    ) -> Vec<RobustnessPoint> {
+        let hw = self.hw();
+        let x = Tensor::from_vec(pixels.to_vec(), &[1, 1, hw, hw]);
+        let clean_label = clean.label as usize;
+        epsilons
+            .iter()
+            .enumerate()
+            .map(|(k, &eps)| {
+                // Same convention as the offline sweep: position-salted
+                // seed, α = 2.5·ε/steps. ε was validated finite and
+                // non-negative at admission, so `pgd_for` cannot panic.
+                let pgd = pgd_for(&self.config, eps, k as u64);
+                let adv = pgd.perturb(&self.classifier, &x, &[clean_label]);
+                let adv_logits = self.classifier.logits(&adv);
+                let adv_label = adv_logits.argmax_rows().first().copied().unwrap_or(0);
+                let adv_probs = adv_logits.softmax_rows();
+                let adv_confidence = adv_probs.data().get(adv_label).copied().unwrap_or(0.0);
+                RobustnessPoint {
+                    eps,
+                    robust: adv_label == clean_label,
+                    adv_label: adv_label as u32,
+                    adv_confidence,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+    use crate::presets;
+    use snn::StructuralParams;
+
+    /// An untrained (but deterministically initialised) scorer — model
+    /// quality is irrelevant to the shape and determinism contracts.
+    fn scorer() -> SnnScorer {
+        let config = presets::tiny();
+        let (model, params) = pipeline::build_snn(&config, StructuralParams::new(1.0, 4));
+        SnnScorer::new(config, Classifier::new(model, params))
+    }
+
+    fn image(tag: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i as u64).wrapping_mul(37) + tag * 11) % 256) as f32 / 255.0)
+            .collect()
+    }
+
+    #[test]
+    fn shapes_follow_the_config() {
+        let s = scorer();
+        assert_eq!(s.input_len(), 64);
+        assert_eq!(Scorer::num_classes(&s), 10);
+        assert_eq!(s.replicas(3).len(), 3);
+        assert_eq!(s.replicas(0).len(), 1);
+    }
+
+    #[test]
+    fn scores_are_a_softmax_distribution_with_label_at_the_max() {
+        let mut s = scorer();
+        let px = image(1, 64);
+        let out = s.classify_batch(&[&px]).remove(0);
+        assert_eq!(out.scores.len(), 10);
+        let sum: f32 = out.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "softmax sums to 1, got {sum}");
+        let max = out.scores.iter().cloned().fold(f32::MIN, f32::max);
+        assert_eq!(out.scores[out.label as usize], max);
+        assert_eq!(out.confidence, max);
+    }
+
+    #[test]
+    fn classification_is_bitwise_batch_invariant() {
+        let mut s = scorer();
+        let imgs: Vec<Vec<f32>> = (0..3).map(|t| image(t, 64)).collect();
+        let refs: Vec<&[f32]> = imgs.iter().map(|v| v.as_slice()).collect();
+        let batched = s.classify_batch(&refs);
+        for (i, img) in imgs.iter().enumerate() {
+            let single = s.classify_batch(&[img.as_slice()]).remove(0);
+            let b = &batched[i];
+            assert_eq!(single.label, b.label, "label differs for sample {i}");
+            let sb: Vec<u32> = single.scores.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, bb, "score bits differ for sample {i}");
+        }
+    }
+
+    #[test]
+    fn certify_is_deterministic_and_one_point_per_epsilon() {
+        let mut s = scorer();
+        let px = image(2, 64);
+        let clean = s.classify_batch(&[&px]).remove(0);
+        let eps = [0.0f32, 0.1, 0.3];
+        let a = s.certify(&px, &clean, &eps);
+        let b = s.certify(&px, &clean, &eps);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b, "certify must be a pure function of the request");
+        // ε = 0 is the identity attack: the clean label survives.
+        assert!(a[0].robust);
+        assert_eq!(a[0].adv_label, clean.label);
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of `spiking-armor serve` as a real process: the store
+//! hard-fail policy, and a full boot → classify → certify → shutdown round
+//! trip over TCP.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spiking-armor"))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiking_armor_cli_serve_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn serve_exits_nonzero_when_the_store_cannot_open() {
+    let out = fresh_dir("broken_store");
+    // A file where the runs directory must go breaks every store open.
+    std::fs::write(out.join("runs"), b"not a directory").unwrap();
+    let output = bin()
+        .args(["serve", "--preset", "tiny", "--addr", "127.0.0.1:0"])
+        .arg("--out-dir")
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert!(
+        !output.status.success(),
+        "serve must hard-fail on a broken store"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cannot open the run store"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(out);
+}
+
+/// Reads the child's stdout until the `serving on <addr>` line appears and
+/// returns the bound address.
+fn wait_for_addr(child: &mut Child) -> SocketAddr {
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "server never announced its port");
+        let line = lines.next().expect("server stdout closed early").unwrap();
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            // Keep draining stdout in the background so the child never
+            // blocks on a full pipe.
+            std::thread::spawn(move || for _ in lines {});
+            return rest.trim().parse().unwrap();
+        }
+    }
+}
+
+fn round_trip(addr: SocketAddr, frame: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    line
+}
+
+#[test]
+fn serve_round_trips_classify_and_certify_then_shuts_down() {
+    let out = fresh_dir("round_trip");
+    let mut child = bin()
+        .args(["serve", "--preset", "tiny", "--addr", "127.0.0.1:0"])
+        .args(["--max-batch", "4", "--replicas", "2"])
+        .arg("--out-dir")
+        .arg(&out)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = wait_for_addr(&mut child);
+
+    let info = round_trip(addr, "{\"id\": 1, \"kind\": \"info\"}\n");
+    assert!(info.contains("\"ok\":true"), "info response: {info}");
+    assert!(info.contains("\"input_len\":64"), "info response: {info}");
+
+    let pixels: Vec<String> = (0..64).map(|i| format!("{}", i as f32 / 64.0)).collect();
+    let pixels = pixels.join(", ");
+    let classify = round_trip(
+        addr,
+        &format!("{{\"id\": 2, \"kind\": \"classify\", \"pixels\": [{pixels}]}}\n"),
+    );
+    assert!(classify.contains("\"ok\":true"), "classify: {classify}");
+    assert!(classify.contains("\"label\""), "classify: {classify}");
+
+    let certify = round_trip(
+        addr,
+        &format!(
+            "{{\"id\": 3, \"kind\": \"certify\", \"pixels\": [{pixels}], \
+             \"epsilons\": [0.0, 0.1]}}\n"
+        ),
+    );
+    assert!(certify.contains("\"ok\":true"), "certify: {certify}");
+    assert!(certify.contains("\"robustness\""), "certify: {certify}");
+    // ε = 0 is the identity attack — always robust.
+    assert!(certify.contains("\"robust\":true"), "certify: {certify}");
+
+    let bye = round_trip(addr, "{\"id\": 4, \"kind\": \"shutdown\"}\n");
+    assert!(bye.contains("\"ok\":true"), "shutdown ack: {bye}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "clean shutdown must exit 0");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        !stderr.contains("panicked"),
+        "server panicked somewhere: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(out);
+}

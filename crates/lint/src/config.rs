@@ -75,14 +75,15 @@ impl Config {
     /// This repository's contracts:
     ///
     /// * `no-panic-in-io` — the run store and everything driving it
-    ///   (`crates/store`, `crates/explore`): a damaged run directory must
-    ///   degrade per the PR 2 contract, not crash.
+    ///   (`crates/store`, `crates/explore`), plus the serving layer
+    ///   (`crates/serve`): a damaged run directory or a malformed network
+    ///   frame must degrade per the PR 2 contract, not crash.
     /// * `wallclock-purity` — the same crates plus `crates/obs`: the
     ///   metrics layer's deterministic sections must never observe a clock
     ///   (its timing sink carries the one justified allow).
-    /// * `unordered-iteration` — the same crates plus `crates/obs`:
-    ///   artifacts (including `metrics.json`) must be byte-stable across
-    ///   runs.
+    /// * `unordered-iteration` — the same crates plus `crates/obs` and
+    ///   `crates/serve`: artifacts (including `metrics.json` and
+    ///   `BENCH_serve.json`) must be byte-stable across runs.
     /// * `no-alloc-in-hot-loop` — everywhere: hot functions are named
     ///   `*_into` or marked `// armor-lint: hot` wherever they live.
     /// * `unsafe-needs-safety-comment` — everywhere, test code included;
@@ -92,6 +93,19 @@ impl Config {
         let artifact_scope = || RuleScope {
             include: vec!["crates/store/src".into(), "crates/explore/src".into()],
             skip_test_code: true,
+        };
+        // The serving layer faces the network: every malformed frame and
+        // full queue must come back as a typed response, never a panic, and
+        // its bench artifact must be byte-stable. It is NOT in the
+        // wallclock-purity scope — measuring request latency is its job;
+        // the readings stay quarantined in the obs timing sink.
+        let serve_scope = |base: RuleScope| RuleScope {
+            include: base
+                .include
+                .into_iter()
+                .chain(std::iter::once("crates/serve/src".into()))
+                .collect(),
+            ..base
         };
         // The metrics layer produces `metrics.json`; it is artifact code for
         // the determinism rules, but its recording errors are programmer
@@ -105,9 +119,9 @@ impl Config {
             ..base
         };
         Self {
-            no_panic_in_io: artifact_scope(),
+            no_panic_in_io: serve_scope(artifact_scope()),
             wallclock_purity: metrics_scope(artifact_scope()),
-            unordered_iteration: metrics_scope(artifact_scope()),
+            unordered_iteration: serve_scope(metrics_scope(artifact_scope())),
             no_alloc_in_hot_loop: RuleScope {
                 include: vec!["crates/".into()],
                 skip_test_code: true,
@@ -173,6 +187,12 @@ mod tests {
         assert!(c.wallclock_purity.covers("crates/obs/src/span.rs"));
         assert!(c.unordered_iteration.covers("crates/obs/src/registry.rs"));
         assert!(!c.no_panic_in_io.covers("crates/obs/src/recorder.rs"));
+        // The serving layer: typed errors on every network-facing path and
+        // byte-stable artifacts, but latency measurement is allowed (it is
+        // not in the wallclock-purity scope).
+        assert!(c.no_panic_in_io.covers("crates/serve/src/server.rs"));
+        assert!(c.unordered_iteration.covers("crates/serve/src/protocol.rs"));
+        assert!(!c.wallclock_purity.covers("crates/serve/src/server.rs"));
         assert!(c.no_alloc_in_hot_loop.covers("crates/tensor/src/conv.rs"));
         // The explicit-SIMD and event-driven kernels live under the same
         // tensor scope: their hot loops and `unsafe` blocks are covered.

@@ -1,0 +1,258 @@
+//! The micro-batching admission queue.
+//!
+//! Concurrent connections submit [`ScoreJob`]s into one bounded queue;
+//! replica workers pull *batches* off it so one SNN forward (whose T-step
+//! LIF loop dominates the cost) amortises over up to `max_batch` requests.
+//! A batch tick is: take the first job as soon as one exists, then linger
+//! up to `max_wait` for more to coalesce — the classic latency/throughput
+//! knob, tiny by default.
+//!
+//! Admission control is a hard bound: at `capacity` queued jobs, `submit`
+//! refuses with [`ServeError::Overloaded`] instead of queueing — the caller
+//! turns that into a typed response and the server keeps serving. Shutdown
+//! is a drain: no new admissions, workers finish what is queued, then
+//! [`BatchQueue::next_batch`] returns `None` and they exit.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+use crate::protocol::Response;
+
+/// Histogram bounds for the batch-size distribution (`serve/batch_size`).
+pub const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Histogram bounds for the queue depth observed at admission
+/// (`serve/queue_depth`).
+pub const DEPTH_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// One admitted scoring request, owned by the queue until a worker takes it.
+#[derive(Debug)]
+pub struct ScoreJob {
+    /// Client correlation id, echoed in the response.
+    pub id: u64,
+    /// Flattened input image (already length-validated).
+    pub pixels: Vec<f32>,
+    /// Noise budgets to certify at; empty for plain classification.
+    pub epsilons: Vec<f32>,
+    /// Where the worker sends the finished [`Response`].
+    pub reply: mpsc::Sender<Response>,
+    /// When admission happened — read only by the quarantined latency sink.
+    pub accepted_at: Instant,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<ScoreJob>,
+    draining: bool,
+}
+
+/// The bounded, condvar-signalled batch queue shared by all connection
+/// handlers (producers) and replica workers (consumers).
+#[derive(Debug)]
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    /// A queue admitting at most `capacity` (≥ 1) jobs at a time.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits one job, or refuses it with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once a drain has begun.
+    pub fn submit(&self, job: ScoreJob) -> Result<(), ServeError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.draining {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            obs::counter_add("serve/overloaded", 1);
+            return Err(ServeError::Overloaded {
+                capacity: self.capacity,
+            });
+        }
+        obs::observe("serve/queue_depth", state.jobs.len() as f64, DEPTH_BOUNDS);
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next micro-batch: waits until at least one job is
+    /// queued, then lingers up to `max_wait` (or until `max_batch` jobs
+    /// have coalesced, or a drain begins) before taking up to `max_batch`
+    /// jobs. Returns `None` exactly when the queue is draining *and* empty
+    /// — the worker's signal to exit after finishing all admitted work.
+    pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<ScoreJob>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.draining {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let deadline = Instant::now() + max_wait;
+        while state.jobs.len() < max_batch && !state.draining {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, timed_out) = self
+                .available
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        let take = state.jobs.len().min(max_batch);
+        let batch: Vec<ScoreJob> = state.jobs.drain(..take).collect();
+        let more = !state.jobs.is_empty();
+        drop(state);
+        if more {
+            // Jobs remain: make sure another waiting worker wakes for them.
+            self.available.notify_one();
+        }
+        obs::observe("serve/batch_size", batch.len() as f64, BATCH_BOUNDS);
+        Some(batch)
+    }
+
+    /// Begins the drain: refuses new admissions and wakes every waiter.
+    /// Already-admitted jobs will still be batched and answered.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.draining = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (for tests and diagnostics).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn job(id: u64) -> (ScoreJob, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            ScoreJob {
+                id,
+                pixels: vec![0.0; 4],
+                epsilons: Vec::new(),
+                reply: tx,
+                accepted_at: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn overload_is_a_typed_refusal() {
+        let q = BatchQueue::new(2);
+        let (a, _ra) = job(1);
+        let (b, _rb) = job(2);
+        let (c, _rc) = job(3);
+        q.submit(a).unwrap();
+        q.submit(b).unwrap();
+        let err = q.submit(c).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { capacity: 2 });
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn next_batch_takes_up_to_max_batch_in_fifo_order() {
+        let q = BatchQueue::new(8);
+        let mut keep = Vec::new();
+        for id in 0..5 {
+            let (j, r) = job(id);
+            q.submit(j).unwrap();
+            keep.push(r);
+        }
+        let batch = q.next_batch(3, Duration::from_millis(1)).unwrap();
+        let ids: Vec<u64> = batch.iter().map(|j| j.id).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drain_serves_queued_jobs_then_signals_exit() {
+        let q = BatchQueue::new(8);
+        let (j, _r) = job(1);
+        q.submit(j).unwrap();
+        q.shutdown();
+        let (late, _r2) = job(2);
+        assert_eq!(q.submit(late).unwrap_err(), ServeError::ShuttingDown);
+        let batch = q.next_batch(4, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(q.next_batch(4, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn blocked_worker_wakes_on_shutdown() {
+        let q = Arc::new(BatchQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.next_batch(4, Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.shutdown();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn lingering_batch_coalesces_later_submissions() {
+        let q = Arc::new(BatchQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.next_batch(4, Duration::from_millis(200)));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut keep = Vec::new();
+        for id in 0..2 {
+            let (j, r) = job(id);
+            q.submit(j).unwrap();
+            keep.push(r);
+        }
+        let batch = h.join().unwrap().unwrap();
+        assert_eq!(batch.len(), 2, "both jobs should coalesce into one tick");
+    }
+}

@@ -1,0 +1,325 @@
+//! Load generator for `spiking-armor serve`, emitting `BENCH_serve.json`.
+//!
+//! ```text
+//! serve-bench --addr HOST:PORT [--concurrency N] [--requests N]
+//!             [--out PATH] [--smoke] [--shutdown]
+//! ```
+//!
+//! `--concurrency` worker connections each fire their share of
+//! `--requests` classify frames back-to-back (one in flight per
+//! connection), with a deterministic pixel pattern derived from the global
+//! request index — so two bench runs against the same checkpoint ask for
+//! exactly the same work. The report (schema `bench_serve/v1`) carries the
+//! only nondeterministic readings this workspace allows out of a run:
+//! throughput and latency quantiles, quarantined in their own artifact
+//! exactly like the obs timing sink.
+//!
+//! `--smoke` shrinks the run to a seconds-scale health check (used by
+//! `scripts/check.sh`); `--shutdown` sends the server a shutdown frame
+//! after the measurement, so scripted runs can reap the process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use serve::Response;
+
+const USAGE: &str = "usage: serve-bench --addr HOST:PORT [--concurrency N] \
+[--requests N] [--out PATH] [--smoke] [--shutdown]";
+
+/// The committed baseline's schema identifier.
+const SCHEMA: &str = "bench_serve/v1";
+
+#[derive(Debug, Clone)]
+struct BenchOptions {
+    addr: String,
+    concurrency: usize,
+    requests: usize,
+    out: String,
+    shutdown: bool,
+}
+
+/// The `BENCH_serve.json` payload.
+#[derive(Debug, Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    concurrency: usize,
+    requests: usize,
+    reqs_per_sec: f64,
+    latency_ms: LatencyMs,
+}
+
+fn parse_args(args: &[String]) -> Result<BenchOptions, String> {
+    let mut options = BenchOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        concurrency: 8,
+        requests: 256,
+        out: "BENCH_serve.json".to_string(),
+        shutdown: false,
+    };
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--shutdown" => options.shutdown = true,
+            "--addr" => {
+                options.addr = it
+                    .next()
+                    .ok_or_else(|| format!("--addr needs a HOST:PORT value\n{USAGE}"))?
+                    .clone();
+            }
+            "--out" => {
+                options.out = it
+                    .next()
+                    .ok_or_else(|| format!("--out needs a file path\n{USAGE}"))?
+                    .clone();
+            }
+            "--concurrency" => {
+                options.concurrency = positive(it.next(), "--concurrency")?;
+            }
+            "--requests" => {
+                options.requests = positive(it.next(), "--requests")?;
+            }
+            other => return Err(format!("unrecognized argument {other:?}\n{USAGE}")),
+        }
+    }
+    if smoke {
+        // A seconds-scale health check: enough traffic to exercise
+        // coalescing and every percentile index, small enough for CI.
+        options.concurrency = options.concurrency.min(2);
+        options.requests = options.requests.min(16);
+    }
+    Ok(options)
+}
+
+fn positive(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| format!("{flag} expects a positive integer, got {value:?}\n{USAGE}"))
+}
+
+/// One newline-framed request/response exchange on an open connection.
+fn exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    frame: &str,
+) -> Result<Response, String> {
+    stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send to the server: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read the server's response: {e}"))?;
+    if line.is_empty() {
+        return Err("the server closed the connection mid-bench".to_string());
+    }
+    serde_json::from_str(&line).map_err(|e| format!("unparseable response {line:?}: {e}"))
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| format!("cannot configure the socket: {e}"))?;
+    let reader = stream
+        .try_clone()
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot clone the socket: {e}"))?;
+    Ok((stream, reader))
+}
+
+/// The classify frame for global request `index`: a deterministic pixel
+/// pattern, so every bench run asks the checkpoint for identical work.
+fn classify_frame(index: usize, input_len: usize) -> String {
+    let mut pixels = String::new();
+    for i in 0..input_len {
+        if i > 0 {
+            pixels.push(',');
+        }
+        let v = ((i as u64).wrapping_mul(97) + (index as u64).wrapping_mul(41)) % 256;
+        let _ = std::fmt::Write::write_fmt(&mut pixels, format_args!("{}", v as f32 / 255.0));
+    }
+    format!("{{\"id\": {index}, \"kind\": \"classify\", \"pixels\": [{pixels}]}}\n")
+}
+
+/// `sorted` must be ascending; returns the nearest-rank quantile in ms.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let last = sorted.len() - 1;
+    let idx = ((p / 100.0) * last as f64).round() as usize;
+    sorted.get(idx.min(last)).copied().unwrap_or(0.0)
+}
+
+/// One worker: a single connection firing its requests back-to-back.
+/// Returns every request's latency in milliseconds.
+fn worker(
+    addr: &str,
+    indices: std::ops::Range<usize>,
+    input_len: usize,
+) -> Result<Vec<f64>, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    let mut latencies = Vec::with_capacity(indices.len());
+    for index in indices {
+        let frame = classify_frame(index, input_len);
+        let start = Instant::now();
+        let response = exchange(&mut stream, &mut reader, &frame)?;
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        if !response.ok {
+            return Err(format!("request {index} was refused: {response:?}"));
+        }
+        if response.id != index as u64 {
+            return Err(format!(
+                "response id {} does not match request {index}",
+                response.id
+            ));
+        }
+    }
+    Ok(latencies)
+}
+
+fn run(options: &BenchOptions) -> Result<BenchReport, String> {
+    // Ask the server for its input shape first — the bench adapts to
+    // whatever checkpoint is being served.
+    let (mut stream, mut reader) = connect(&options.addr)?;
+    let info = exchange(&mut stream, &mut reader, "{\"kind\": \"info\"}\n")?;
+    let input_len = info
+        .info
+        .as_ref()
+        .map(|i| i.input_len)
+        .ok_or_else(|| format!("the server's info response carried no shape: {info:?}"))?;
+    drop((stream, reader));
+
+    let per_worker = options.requests.div_ceil(options.concurrency);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..options.concurrency)
+        .map(|w| {
+            let addr = options.addr.clone();
+            let lo = (w * per_worker).min(options.requests);
+            let hi = ((w + 1) * per_worker).min(options.requests);
+            std::thread::spawn(move || worker(&addr, lo..hi, input_len))
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(options.requests);
+    for handle in workers {
+        let worker_latencies = handle
+            .join()
+            .map_err(|_| "a bench worker panicked".to_string())??;
+        latencies.extend(worker_latencies);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if options.shutdown {
+        let (mut stream, mut reader) = connect(&options.addr)?;
+        exchange(&mut stream, &mut reader, "{\"kind\": \"shutdown\"}\n")?;
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    Ok(BenchReport {
+        schema: SCHEMA.to_string(),
+        concurrency: options.concurrency,
+        requests: latencies.len(),
+        reqs_per_sec: if elapsed > 0.0 {
+            latencies.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency_ms: LatencyMs {
+            p50: percentile(&latencies, 50.0),
+            p95: percentile(&latencies, 95.0),
+            p99: percentile(&latencies, 99.0),
+        },
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&options) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: cannot serialize the report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&options.out, format!("{json}\n")) {
+        eprintln!("error: cannot write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} requests at concurrency {} -> {:.1} req/s (p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms)",
+        options.out,
+        report.requests,
+        report.concurrency,
+        report.reqs_per_sec,
+        report.latency_ms.p50,
+        report.latency_ms.p95,
+        report.latency_ms.p99
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shrinks_and_flags_parse() {
+        let args: Vec<String> = ["--addr", "127.0.0.1:1234", "--smoke", "--shutdown"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let options = parse_args(&args).unwrap();
+        assert_eq!(options.addr, "127.0.0.1:1234");
+        assert!(options.shutdown);
+        assert!(options.concurrency <= 2);
+        assert!(options.requests <= 16);
+        assert!(parse_args(&["--concurrency".to_string(), "0".to_string()]).is_err());
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_sample() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn classify_frames_are_deterministic_and_distinct_per_index() {
+        assert_eq!(classify_frame(3, 8), classify_frame(3, 8));
+        assert_ne!(classify_frame(3, 8), classify_frame(4, 8));
+        assert!(classify_frame(0, 4).ends_with("]}\n"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed failures of the serving layer.
+//!
+//! Everything a client can trigger — malformed frames, oversized frames,
+//! wrong-shaped inputs, a full queue — maps to a [`ServeError`] that is
+//! written back as a JSON error response. Nothing a client sends may panic
+//! the server (enforced by the `no-panic-in-io` armor-lint scope over this
+//! crate) or tear down any connection other than its own.
+
+use std::fmt;
+
+/// Everything that can go wrong handling one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The frame was not valid JSON, or not a known request shape.
+    BadRequest(String),
+    /// The frame exceeded the per-frame byte limit and was discarded.
+    Oversized {
+        /// The limit that was exceeded ([`crate::protocol::MAX_FRAME_BYTES`]).
+        limit: usize,
+    },
+    /// The admission queue is full; the request was refused, not queued.
+    /// Retry later — the server keeps serving.
+    Overloaded {
+        /// The queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown,
+    /// `pixels` has the wrong length for the model being served.
+    WrongInputLen {
+        /// The model's flattened input length.
+        expected: usize,
+        /// The length actually sent.
+        got: usize,
+    },
+    /// An ε in `epsilons` is not a finite, non-negative number.
+    BadEpsilon {
+        /// Position of the offending value in the request's sweep.
+        index: usize,
+    },
+    /// The server failed internally (e.g. a replica died mid-request).
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable kind, used as the `error.kind` field of an
+    /// error response and as a metrics label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Oversized { .. } => "oversized",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::WrongInputLen { .. } => "wrong_input_len",
+            ServeError::BadEpsilon { .. } => "bad_epsilon",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit and was discarded")
+            }
+            ServeError::Overloaded { capacity } => write!(
+                f,
+                "server overloaded: admission queue is at capacity {capacity}; retry later"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WrongInputLen { expected, got } => write!(
+                f,
+                "pixels has length {got}, the served model expects {expected}"
+            ),
+            ServeError::BadEpsilon { index } => {
+                write!(f, "epsilons[{index}] is not a finite, non-negative number")
+            }
+            ServeError::Internal(why) => write!(f, "internal server error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let all = [
+            ServeError::BadRequest("x".into()),
+            ServeError::Oversized { limit: 1 },
+            ServeError::Overloaded { capacity: 1 },
+            ServeError::ShuttingDown,
+            ServeError::WrongInputLen {
+                expected: 4,
+                got: 3,
+            },
+            ServeError::BadEpsilon { index: 0 },
+            ServeError::Internal("x".into()),
+        ];
+        let mut kinds: Vec<&str> = all.iter().map(ServeError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len(), "kinds must be unique");
+    }
+
+    #[test]
+    fn display_mentions_the_limit_and_capacity() {
+        assert!(ServeError::Oversized { limit: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains('8'));
+    }
+}

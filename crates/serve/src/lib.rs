@@ -1,0 +1,52 @@
+//! Batched robustness-scoring service.
+//!
+//! The source paper (El-Allami et al. 2021) computes robustness *offline*:
+//! a `(V_th, T)` grid of SNNs is trained and PGD-swept, and the secure cell
+//! is picked from the resulting surface. This crate is the deployment half
+//! the ROADMAP's north star asks for: a long-lived TCP service that loads
+//! one grid-trained checkpoint and answers classification and per-ε
+//! robustness-certification requests online.
+//!
+//! * [`protocol`] — newline-framed JSON: [`Request`] in, [`Response`]
+//!   out, with a hard per-frame byte
+//!   budget and oversize resynchronisation ([`protocol::FrameReader`]).
+//! * [`batcher`] — the bounded micro-batching admission queue
+//!   ([`BatchQueue`]): concurrent requests coalesce into one SNN forward
+//!   per tick; at capacity, requests are *refused* with a typed
+//!   [`ServeError::Overloaded`], never queued unboundedly.
+//! * [`scorer`] — the model abstraction ([`Scorer`]); the crate is
+//!   model-agnostic and the SNN implementation lives in `explore::serving`.
+//! * [`worker`] — N replica workers, each owning one scorer with warm
+//!   per-replica buffers.
+//! * [`server`] — accept loop, per-connection handlers, graceful drain.
+//!
+//! # Determinism contract
+//!
+//! For a fixed checkpoint, the `scores` (and certify verdicts) returned
+//! for a given input are **bitwise-identical** regardless of how requests
+//! were micro-batched, which replica answered, or the thread count —
+//! enforced end-to-end by `tests/batch_invariance.rs`. Wall-clock latency
+//! exists only in the quarantined obs timing sink; every other metric this
+//! crate records is a deterministic function of the request history.
+//!
+//! Error handling is total: any bytes a client sends produce a typed
+//! response or a dropped connection, never a panic (`no-panic-in-io` lint
+//! scope covers this crate).
+
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod error;
+pub mod protocol;
+pub mod scorer;
+pub mod server;
+pub mod worker;
+
+pub use batcher::{BatchQueue, ScoreJob};
+pub use error::ServeError;
+pub use protocol::{
+    ErrorBody, Frame, FrameReader, InfoBody, Request, Response, RobustnessPoint, MAX_FRAME_BYTES,
+};
+pub use scorer::{ClassifyOutcome, Scorer};
+pub use server::{ServeOptions, ServeSummary, Server, StopHandle};
+pub use worker::spawn_workers;

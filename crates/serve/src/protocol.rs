@@ -1,0 +1,361 @@
+//! The newline-framed JSON wire protocol.
+//!
+//! One request per line, one response per line, UTF-8 JSON, `\n` terminated
+//! (see DESIGN.md §13 for the grammar). The framing layer is deliberately
+//! dumb: [`FrameReader`] splits the byte stream into lines under a hard
+//! per-frame byte budget ([`MAX_FRAME_BYTES`]) and *resynchronises* after an
+//! oversized frame by discarding to the next newline — a hostile client can
+//! cost bandwidth but never memory.
+//!
+//! Requests come in five kinds:
+//!
+//! | `kind`       | fields used            | reply                        |
+//! |--------------|------------------------|------------------------------|
+//! | `"ping"`     | `id`                   | `{ok: true}`                 |
+//! | `"info"`     | `id`                   | model + server parameters    |
+//! | `"classify"` | `id`, `pixels`         | label, confidence, scores    |
+//! | `"certify"`  | `id`, `pixels`, `epsilons` | classify + per-ε robustness |
+//! | `"shutdown"` | `id`                   | `{ok: true}`, then drain     |
+//!
+//! `scores` carries the full per-class softmax so the determinism contract
+//! is checkable down to the bit: the same `pixels` must yield the same
+//! `scores` bytes regardless of batching, replica, or thread count.
+
+use std::io::{self, BufRead};
+
+use serde::{Deserialize, Serialize};
+
+/// Hard per-frame byte budget (1 MiB), newline excluded. A 28×28 grayscale
+/// image as JSON floats is ~10 KiB, so the limit is generous for real
+/// requests while bounding per-connection memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One request line. Unknown `kind`s are rejected by the dispatcher, not
+/// the parser, so the error can echo the offending value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response. Defaults to 0.
+    #[serde(default)]
+    pub id: u64,
+    /// `"ping"`, `"info"`, `"classify"`, `"certify"`, or `"shutdown"`.
+    pub kind: String,
+    /// Flattened input image in `[0, 1]`, row-major. Required for
+    /// `classify` and `certify`.
+    #[serde(default)]
+    pub pixels: Option<Vec<f32>>,
+    /// Noise budgets to certify at. Required (non-empty) for `certify`.
+    #[serde(default)]
+    pub epsilons: Option<Vec<f32>>,
+}
+
+/// One `(ε, outcome)` point of a certify sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessPoint {
+    /// The noise budget attacked at.
+    pub eps: f32,
+    /// `true` when the PGD adversary failed to change the predicted label.
+    pub robust: bool,
+    /// The label predicted under attack.
+    pub adv_label: u32,
+    /// The confidence of `adv_label` under attack.
+    pub adv_confidence: f32,
+}
+
+/// The `info` response body: what is being served, and how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfoBody {
+    /// Flattened input length the model expects.
+    pub input_len: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Number of model replicas.
+    pub replicas: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// The `error` field of a failed response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Stable machine-readable kind ([`crate::ServeError::kind`]).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One response line. `ok` discriminates: success responses populate the
+/// fields their request kind produces, error responses populate `error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id (0 when the frame never parsed).
+    pub id: u64,
+    /// `true` on success.
+    pub ok: bool,
+    /// Predicted label (classify/certify).
+    #[serde(default)]
+    pub label: Option<u32>,
+    /// Confidence of `label` (classify/certify).
+    #[serde(default)]
+    pub confidence: Option<f32>,
+    /// Full per-class softmax scores (classify/certify) — the bitwise
+    /// determinism contract is stated over these.
+    #[serde(default)]
+    pub scores: Option<Vec<f32>>,
+    /// Per-ε robustness profile (certify).
+    #[serde(default)]
+    pub robustness: Option<Vec<RobustnessPoint>>,
+    /// Server/model parameters (info).
+    #[serde(default)]
+    pub info: Option<InfoBody>,
+    /// Failure description (when `ok` is false).
+    #[serde(default)]
+    pub error: Option<ErrorBody>,
+}
+
+impl Response {
+    /// An empty success response (ping/shutdown acknowledgements).
+    pub fn ack(id: u64) -> Self {
+        Self {
+            id,
+            ok: true,
+            label: None,
+            confidence: None,
+            scores: None,
+            robustness: None,
+            info: None,
+            error: None,
+        }
+    }
+
+    /// An error response for `err`.
+    pub fn failure(id: u64, err: &crate::ServeError) -> Self {
+        let mut r = Self::ack(id);
+        r.ok = false;
+        r.error = Some(ErrorBody {
+            kind: err.kind().to_string(),
+            message: err.to_string(),
+        });
+        r
+    }
+}
+
+/// One framing event from a [`FrameReader`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete line (newline stripped) within the byte budget.
+    Line(String),
+    /// A line crossed [`MAX_FRAME_BYTES`]; its remainder is discarded up to
+    /// the next newline, after which framing resynchronises.
+    Oversized,
+    /// The read timed out (or would block) with no complete line buffered —
+    /// poll again. Lets a connection handler check the shutdown flag.
+    Idle,
+    /// End of stream. A partial unterminated line at EOF is dropped: an
+    /// unterminated frame was never committed by the client.
+    Eof,
+}
+
+/// Incremental newline framer over any [`BufRead`] with a hard per-line
+/// byte budget and oversize resynchronisation.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    line: Vec<u8>,
+    discarding: bool,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            line: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    /// Reads until one framing event is available. Never returns raw I/O
+    /// errors: timeouts map to [`Frame::Idle`], everything else to
+    /// [`Frame::Eof`] (a broken connection is treated as a disconnect).
+    pub fn next_frame(&mut self) -> Frame {
+        loop {
+            let (consumed, event) = {
+                let available = match self.inner.fill_buf() {
+                    Ok(bytes) => bytes,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock
+                                | io::ErrorKind::TimedOut
+                                | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        return Frame::Idle;
+                    }
+                    Err(_) => return Frame::Eof,
+                };
+                if available.is_empty() {
+                    return Frame::Eof;
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(pos) if self.discarding => {
+                        // Tail of an already-reported oversized line: drop
+                        // it and resynchronise on the next line.
+                        self.discarding = false;
+                        self.line.clear();
+                        (pos + 1, None)
+                    }
+                    Some(pos) if self.line.len() + pos > MAX_FRAME_BYTES => {
+                        self.line.clear();
+                        (pos + 1, Some(Frame::Oversized))
+                    }
+                    Some(pos) => {
+                        self.line.extend(available.iter().take(pos).copied());
+                        let text = String::from_utf8_lossy(&self.line).into_owned();
+                        self.line.clear();
+                        (pos + 1, Some(Frame::Line(text)))
+                    }
+                    None if self.discarding => (available.len(), None),
+                    None if self.line.len() + available.len() > MAX_FRAME_BYTES => {
+                        // Report the oversize as soon as the budget is
+                        // crossed; keep discarding until the newline.
+                        self.discarding = true;
+                        self.line.clear();
+                        (available.len(), Some(Frame::Oversized))
+                    }
+                    None => {
+                        self.line.extend(available.iter().copied());
+                        (available.len(), None)
+                    }
+                }
+            };
+            self.inner.consume(consumed);
+            if let Some(frame) = event {
+                return frame;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frames(bytes: &[u8]) -> Vec<Frame> {
+        let mut reader = FrameReader::new(Cursor::new(bytes.to_vec()));
+        let mut out = Vec::new();
+        loop {
+            let f = reader.next_frame();
+            let done = f == Frame::Eof;
+            out.push(f);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_drops_partial_tail() {
+        assert_eq!(
+            frames(b"a\nbb\nccc"),
+            [
+                Frame::Line("a".into()),
+                Frame::Line("bb".into()),
+                Frame::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        assert_eq!(
+            frames(b"\n\n"),
+            [
+                Frame::Line(String::new()),
+                Frame::Line(String::new()),
+                Frame::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_reported_once_and_resyncs() {
+        let mut bytes = vec![b'x'; MAX_FRAME_BYTES + 10];
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"ok\n");
+        assert_eq!(
+            frames(&bytes),
+            [Frame::Oversized, Frame::Line("ok".into()), Frame::Eof]
+        );
+    }
+
+    #[test]
+    fn a_line_exactly_at_the_budget_passes() {
+        let mut bytes = vec![b'y'; MAX_FRAME_BYTES];
+        bytes.push(b'\n');
+        let got = frames(&bytes);
+        assert_eq!(got.len(), 2);
+        assert!(matches!(&got[0], Frame::Line(l) if l.len() == MAX_FRAME_BYTES));
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        assert_eq!(
+            frames(b"\xff\xfe\n"),
+            [Frame::Line("\u{fffd}\u{fffd}".into()), Frame::Eof]
+        );
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let req = Request {
+            id: 7,
+            kind: "certify".into(),
+            pixels: Some(vec![0.0, 1.0]),
+            epsilons: Some(vec![0.25]),
+        };
+        let text = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_id_defaults_to_zero() {
+        let req: Request = serde_json::from_str("{\"kind\": \"ping\"}").unwrap();
+        assert_eq!(req.id, 0);
+        assert_eq!(req.pixels, None);
+    }
+
+    #[test]
+    fn responses_round_trip_bitwise() {
+        let mut resp = Response::ack(3);
+        resp.label = Some(2);
+        resp.confidence = Some(0.7182818);
+        resp.scores = Some(vec![0.1, 0.7182818, f32::MIN_POSITIVE]);
+        resp.robustness = Some(vec![RobustnessPoint {
+            eps: 0.3,
+            robust: false,
+            adv_label: 4,
+            adv_confidence: 0.51,
+        }]);
+        let text = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        let bits = |v: &Option<Vec<f32>>| -> Vec<u32> {
+            v.iter().flatten().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(bits(&back.scores), bits(&resp.scores));
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn failure_response_carries_the_kind() {
+        let resp = Response::failure(9, &crate::ServeError::Overloaded { capacity: 4 });
+        assert!(!resp.ok);
+        let err = resp.error.unwrap();
+        assert_eq!(err.kind, "overloaded");
+        assert!(err.message.contains('4'));
+    }
+}

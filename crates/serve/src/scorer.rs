@@ -1,0 +1,53 @@
+//! The model abstraction the server replicates.
+//!
+//! `serve` is model-agnostic: anything implementing [`Scorer`] can be
+//! served. The SNN-backed implementation lives in `explore::serving` (this
+//! crate must not depend on the experiment stack). Methods take `&mut self`
+//! so an implementation can keep warm per-replica buffers — the zero-alloc
+//! warm path the tensor `Workspace` layer provides.
+//!
+//! # Determinism contract
+//!
+//! For a fixed checkpoint, [`Scorer::classify_batch`] must be *per-sample
+//! batch-invariant*: the scores produced for an input are bitwise-identical
+//! whatever other inputs share its batch, in any replica, at any thread
+//! count. [`Scorer::certify`] must likewise depend only on `(pixels,
+//! epsilons)`. The server's batching is then free to vary under load
+//! without ever changing an answer; `tests/batch_invariance.rs` enforces
+//! exactly this.
+
+use crate::protocol::RobustnessPoint;
+
+/// The clean classification of one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyOutcome {
+    /// Predicted label.
+    pub label: u32,
+    /// Softmax probability of `label`.
+    pub confidence: f32,
+    /// Full per-class softmax distribution.
+    pub scores: Vec<f32>,
+}
+
+/// A servable model replica.
+pub trait Scorer: Send {
+    /// Flattened input length the model expects.
+    fn input_len(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Classifies a batch in one forward pass. Must return exactly one
+    /// outcome per input, in order, and be per-sample batch-invariant (see
+    /// the module docs).
+    fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome>;
+
+    /// Runs the per-ε adversarial sweep for one input whose clean outcome
+    /// is `clean`. Must return one point per ε, in order.
+    fn certify(
+        &mut self,
+        pixels: &[f32],
+        clean: &ClassifyOutcome,
+        epsilons: &[f32],
+    ) -> Vec<RobustnessPoint>;
+}

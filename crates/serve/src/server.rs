@@ -1,0 +1,360 @@
+//! The TCP front end: accept loop, connection handlers, graceful drain.
+//!
+//! Thread model (the actor/recorder split from the RL exemplar, adapted):
+//! one accept loop, one handler thread per connection (parsing + admission
+//! only — never inference), N replica workers consuming the shared
+//! [`BatchQueue`]. Handlers block on a per-job reply channel, so slow
+//! clients back-pressure themselves while workers keep batching everyone
+//! else.
+//!
+//! Shutdown is cooperative: a `shutdown` frame (or [`Server`] being asked
+//! to stop) flips a flag, pokes the accept loop awake, drains the queue —
+//! every admitted job still gets its answer — and joins all threads.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::batcher::{BatchQueue, ScoreJob};
+use crate::error::ServeError;
+use crate::protocol::{Frame, FrameReader, InfoBody, Request, Response, MAX_FRAME_BYTES};
+use crate::scorer::Scorer;
+
+/// How long a connection handler blocks in a read before polling the
+/// shutdown flag again.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    pub addr: String,
+    /// Micro-batch size cap per tick.
+    pub max_batch: usize,
+    /// How long a tick lingers for more requests to coalesce.
+    pub max_wait: Duration,
+    /// Admission-queue capacity; beyond it requests get `overloaded`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// What a finished [`Server::run`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Jobs answered by the replica workers (admitted work is never lost).
+    pub answered: u64,
+}
+
+/// A bound, ready-to-run server. Created by [`Server::bind`], consumed by
+/// [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    queue: Arc<BatchQueue>,
+    workers: Vec<JoinHandle<u64>>,
+    stop: Arc<AtomicBool>,
+    info: InfoBody,
+}
+
+impl Server {
+    /// Binds the listener and spawns one worker per scorer replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] when no replicas are given, when
+    /// the replicas disagree on model shape, or when the address cannot be
+    /// bound.
+    pub fn bind(options: &ServeOptions, scorers: Vec<Box<dyn Scorer>>) -> Result<Self, ServeError> {
+        let Some(first) = scorers.first() else {
+            return Err(ServeError::Internal("no model replicas configured".into()));
+        };
+        let input_len = first.input_len();
+        let classes = first.num_classes();
+        if scorers
+            .iter()
+            .any(|s| s.input_len() != input_len || s.num_classes() != classes)
+        {
+            return Err(ServeError::Internal(
+                "model replicas disagree on input/output shape".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| ServeError::Internal(format!("cannot bind {}: {e}", options.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Internal(format!("cannot resolve bound address: {e}")))?;
+        let info = InfoBody {
+            input_len,
+            classes,
+            max_batch: options.max_batch.max(1),
+            replicas: scorers.len(),
+            queue_capacity: options.queue_capacity.max(1),
+        };
+        let queue = Arc::new(BatchQueue::new(options.queue_capacity));
+        let workers =
+            crate::worker::spawn_workers(&queue, scorers, options.max_batch, options.max_wait);
+        Ok(Self {
+            listener,
+            addr,
+            queue,
+            workers,
+            stop: Arc::new(AtomicBool::new(false)),
+            info,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that makes the running server drain and exit, as if a
+    /// `shutdown` frame had arrived.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until a `shutdown` frame (or [`StopHandle::stop`]) arrives,
+    /// then drains and joins everything. Every admitted request is
+    /// answered before workers exit.
+    pub fn run(self) -> ServeSummary {
+        let connections = Arc::new(AtomicU64::new(0));
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                // Transient accept failures (e.g. ECONNABORTED) must not
+                // kill the server.
+                Err(_) => continue,
+            };
+            connections.fetch_add(1, Ordering::Relaxed);
+            obs::counter_add("serve/connections", 1);
+            let queue = Arc::clone(&self.queue);
+            let stop = Arc::clone(&self.stop);
+            let info = self.info.clone();
+            let addr = self.addr;
+            handlers.push(thread::spawn(move || {
+                handle_connection(stream, &queue, &stop, &info, addr);
+            }));
+        }
+        // Drain: no new admissions; workers answer what is queued and exit.
+        self.queue.shutdown();
+        let mut answered: u64 = 0;
+        for worker in self.workers {
+            answered += worker.join().unwrap_or(0);
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        ServeSummary {
+            connections: connections.load(Ordering::Relaxed),
+            answered,
+        }
+    }
+}
+
+/// Remote control for a running [`Server`] (used by the CLI to install a
+/// signal-ish stop path and by tests).
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl StopHandle {
+    /// Asks the server to drain and exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        poke_accept_loop(self.addr);
+    }
+}
+
+/// Unblocks a listener stuck in `accept` by making one throwaway
+/// connection to it.
+fn poke_accept_loop(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    queue: &BatchQueue,
+    stop: &AtomicBool,
+    info: &InfoBody,
+    addr: SocketAddr,
+) {
+    // The read half polls so the handler can notice a drain started by
+    // another connection; the write half stays blocking.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    loop {
+        match reader.next_frame() {
+            Frame::Idle => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Frame::Eof => return,
+            Frame::Oversized => {
+                obs::counter_add("serve/errors/oversized", 1);
+                let resp = Response::failure(
+                    0,
+                    &ServeError::Oversized {
+                        limit: MAX_FRAME_BYTES,
+                    },
+                );
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Frame::Line(text) => {
+                if text.trim().is_empty() {
+                    continue;
+                }
+                obs::counter_add("serve/frames", 1);
+                let (resp, is_shutdown) = handle_line(&text, queue, info);
+                if !resp.ok {
+                    obs::counter_add("serve/errors", 1);
+                }
+                let write_failed = write_response(&mut stream, &resp).is_err();
+                if is_shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    poke_accept_loop(addr);
+                    return;
+                }
+                if write_failed {
+                    return;
+                }
+                // A drain begun elsewhere ends even never-idle connections
+                // after their in-flight frame is answered.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parses and dispatches one frame. The boolean is `true` when the frame
+/// was a `shutdown` request (acknowledged in the returned response).
+fn handle_line(text: &str, queue: &BatchQueue, info: &InfoBody) -> (Response, bool) {
+    let req: Request = match serde_json::from_str(text) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::failure(0, &ServeError::BadRequest(e.to_string())),
+                false,
+            );
+        }
+    };
+    match req.kind.as_str() {
+        "ping" => (Response::ack(req.id), false),
+        "info" => {
+            let mut r = Response::ack(req.id);
+            r.info = Some(info.clone());
+            (r, false)
+        }
+        "shutdown" => (Response::ack(req.id), true),
+        "classify" | "certify" => {
+            let resp = match score_request(&req, queue, info) {
+                Ok(r) => r,
+                Err(e) => Response::failure(req.id, &e),
+            };
+            (resp, false)
+        }
+        other => (
+            Response::failure(
+                req.id,
+                &ServeError::BadRequest(format!("unknown request kind {other:?}")),
+            ),
+            false,
+        ),
+    }
+}
+
+/// Validates a classify/certify request, admits it, and blocks for the
+/// worker's answer.
+fn score_request(
+    req: &Request,
+    queue: &BatchQueue,
+    info: &InfoBody,
+) -> Result<Response, ServeError> {
+    let Some(pixels) = req.pixels.as_ref() else {
+        return Err(ServeError::BadRequest(format!(
+            "{:?} requires a `pixels` array",
+            req.kind
+        )));
+    };
+    if pixels.len() != info.input_len {
+        return Err(ServeError::WrongInputLen {
+            expected: info.input_len,
+            got: pixels.len(),
+        });
+    }
+    let epsilons: Vec<f32> = if req.kind == "certify" {
+        let Some(eps) = req.epsilons.as_ref().filter(|e| !e.is_empty()) else {
+            return Err(ServeError::BadRequest(
+                "\"certify\" requires a non-empty `epsilons` array".into(),
+            ));
+        };
+        if let Some(index) = eps.iter().position(|e| !e.is_finite() || *e < 0.0) {
+            return Err(ServeError::BadEpsilon { index });
+        }
+        eps.clone()
+    } else {
+        Vec::new()
+    };
+    let (reply, answer) = mpsc::channel();
+    queue.submit(ScoreJob {
+        id: req.id,
+        pixels: pixels.clone(),
+        epsilons,
+        reply,
+        accepted_at: std::time::Instant::now(),
+    })?;
+    // Admitted jobs are always answered (drain semantics), so a closed
+    // channel means a replica died — an internal fault, not a hang.
+    answer
+        .recv()
+        .map_err(|_| ServeError::Internal("replica dropped the request".into()))
+}
+
+/// Writes one response line. Serialization failures degrade to a minimal
+/// hand-built error line rather than killing the connection.
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let text = serde_json::to_string(resp).unwrap_or_else(|_| {
+        format!(
+            "{{\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"internal\",\
+             \"message\":\"response serialization failed\"}}}}",
+            resp.id
+        )
+    });
+    stream.write_all(text.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

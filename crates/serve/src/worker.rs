@@ -1,0 +1,194 @@
+//! Replica workers: the consumers of the batch queue.
+//!
+//! Each worker owns one model replica ([`Scorer`]) and loops: pull a
+//! micro-batch, run one batched forward for every job's classification,
+//! then run each job's certify sweep (certify is deliberately *not*
+//! cross-request batched — the PGD sweep is seeded per request content, so
+//! per-request execution is what keeps answers batching-invariant). The
+//! worker exits when the queue reports drained.
+//!
+//! Observability follows the obs split: batch sizes and request counts go
+//! to the deterministic registry, wall-clock latencies go only to the
+//! quarantined timing sink.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::batcher::BatchQueue;
+use crate::error::ServeError;
+use crate::protocol::Response;
+use crate::scorer::Scorer;
+use std::sync::Arc;
+
+/// Spawns one worker thread per scorer replica. Each returns the number of
+/// jobs it answered, once the queue drains.
+pub fn spawn_workers(
+    queue: &Arc<BatchQueue>,
+    scorers: Vec<Box<dyn Scorer>>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> Vec<JoinHandle<u64>> {
+    scorers
+        .into_iter()
+        .map(|scorer| {
+            let queue = Arc::clone(queue);
+            thread::spawn(move || worker_loop(&queue, scorer, max_batch, max_wait))
+        })
+        .collect()
+}
+
+fn worker_loop(
+    queue: &BatchQueue,
+    mut scorer: Box<dyn Scorer>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> u64 {
+    let mut served: u64 = 0;
+    while let Some(batch) = queue.next_batch(max_batch, max_wait) {
+        let inputs: Vec<&[f32]> = batch.iter().map(|j| j.pixels.as_slice()).collect();
+        let outcomes = {
+            let _s = obs::span("serve/classify");
+            scorer.classify_batch(&inputs)
+        };
+        for (i, job) in batch.into_iter().enumerate() {
+            let response = match outcomes.get(i) {
+                Some(outcome) => {
+                    let mut r = Response::ack(job.id);
+                    r.label = Some(outcome.label);
+                    r.confidence = Some(outcome.confidence);
+                    r.scores = Some(outcome.scores.clone());
+                    if !job.epsilons.is_empty() {
+                        let _s = obs::span("serve/certify");
+                        r.robustness = Some(scorer.certify(&job.pixels, outcome, &job.epsilons));
+                    }
+                    r
+                }
+                // The scorer broke its one-outcome-per-input contract;
+                // answer the orphaned job with a typed error.
+                None => Response::failure(
+                    job.id,
+                    &ServeError::Internal("replica returned too few outcomes".into()),
+                ),
+            };
+            obs::counter_add("serve/answered", 1);
+            obs::timing_gauge_add(
+                "serve/request_nanos",
+                u64::try_from(job.accepted_at.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            served += 1;
+            // A gone receiver means the connection died mid-flight; the
+            // work is simply dropped with it.
+            let _ = job.reply.send(response);
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::ScoreJob;
+    use crate::protocol::RobustnessPoint;
+    use crate::scorer::ClassifyOutcome;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    /// Deterministic stub: label = index of the max pixel, scores echo the
+    /// pixels, every ε below 0.5 is "robust".
+    struct Stub;
+
+    impl Scorer for Stub {
+        fn input_len(&self) -> usize {
+            4
+        }
+        fn num_classes(&self) -> usize {
+            4
+        }
+        fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome> {
+            inputs
+                .iter()
+                .map(|px| {
+                    let (label, best) =
+                        px.iter()
+                            .enumerate()
+                            .fold(
+                                (0usize, f32::MIN),
+                                |(bi, bv), (i, &v)| {
+                                    if v > bv {
+                                        (i, v)
+                                    } else {
+                                        (bi, bv)
+                                    }
+                                },
+                            );
+                    ClassifyOutcome {
+                        label: label as u32,
+                        confidence: best,
+                        scores: px.to_vec(),
+                    }
+                })
+                .collect()
+        }
+        fn certify(
+            &mut self,
+            _pixels: &[f32],
+            clean: &ClassifyOutcome,
+            epsilons: &[f32],
+        ) -> Vec<RobustnessPoint> {
+            epsilons
+                .iter()
+                .map(|&eps| RobustnessPoint {
+                    eps,
+                    robust: eps < 0.5,
+                    adv_label: clean.label,
+                    adv_confidence: clean.confidence,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn workers_answer_classify_and_certify_jobs_then_drain() {
+        let queue = Arc::new(BatchQueue::new(16));
+        let handles = spawn_workers(
+            &queue,
+            vec![Box::new(Stub), Box::new(Stub)],
+            4,
+            Duration::from_millis(1),
+        );
+        let mut receivers = Vec::new();
+        for id in 0..6u64 {
+            let (tx, rx) = mpsc::channel();
+            let mut pixels = vec![0.0f32; 4];
+            if let Some(slot) = pixels.get_mut((id % 4) as usize) {
+                *slot = 1.0;
+            }
+            queue
+                .submit(ScoreJob {
+                    id,
+                    pixels,
+                    epsilons: if id == 0 { vec![0.1, 0.9] } else { Vec::new() },
+                    reply: tx,
+                    accepted_at: Instant::now(),
+                })
+                .unwrap();
+            receivers.push(rx);
+        }
+        for (id, rx) in receivers.iter().enumerate() {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(resp.ok);
+            assert_eq!(resp.id, id as u64);
+            assert_eq!(resp.label, Some((id % 4) as u32));
+            if id == 0 {
+                let profile = resp.robustness.unwrap();
+                assert_eq!(profile.len(), 2);
+                assert!(profile[0].robust && !profile[1].robust);
+            } else {
+                assert!(resp.robustness.is_none());
+            }
+        }
+        queue.shutdown();
+        let served: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(served, 6);
+    }
+}

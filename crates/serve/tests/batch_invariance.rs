@@ -1,0 +1,162 @@
+//! The serve determinism contract, end to end: the scores a client
+//! receives are **bitwise identical** no matter how its request was
+//! micro-batched, which replica answered, or how many kernel threads the
+//! model used. One SNN is trained once; real servers are then booted over
+//! the full `(max_batch, replicas, threads)` matrix and hit with the same
+//! concurrent request mix; every response must match the reference bits.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use explore::serving::SnnScorer;
+use explore::{pipeline, presets};
+use serve::{Response, ServeOptions, Server};
+
+/// One client's view of a response, reduced to exact bits.
+#[derive(Debug, PartialEq, Eq)]
+struct ResponseBits {
+    ok: bool,
+    label: Option<u32>,
+    confidence: Option<u32>,
+    scores: Option<Vec<u32>>,
+    robustness: Option<Vec<(u32, bool, u32, u32)>>,
+}
+
+impl ResponseBits {
+    fn of(r: &Response) -> Self {
+        Self {
+            ok: r.ok,
+            label: r.label,
+            confidence: r.confidence.map(f32::to_bits),
+            scores: r
+                .scores
+                .as_ref()
+                .map(|s| s.iter().map(|v| v.to_bits()).collect()),
+            robustness: r.robustness.as_ref().map(|points| {
+                points
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.eps.to_bits(),
+                            p.robust,
+                            p.adv_label,
+                            p.adv_confidence.to_bits(),
+                        )
+                    })
+                    .collect()
+            }),
+        }
+    }
+}
+
+fn image(tag: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i as u64).wrapping_mul(131) + tag * 29) % 256) as f32 / 255.0)
+        .collect()
+}
+
+/// The request mix: 8 classifies and 4 certifies over distinct images.
+fn request_frames() -> Vec<(u64, String)> {
+    let mut frames = Vec::new();
+    for id in 0..12u64 {
+        let pixels: Vec<String> = image(id, 64).iter().map(|v| format!("{v}")).collect();
+        let pixels = pixels.join(",");
+        let frame = if id % 3 == 2 {
+            format!(
+                "{{\"id\": {id}, \"kind\": \"certify\", \"pixels\": [{pixels}], \
+                 \"epsilons\": [0.0, 0.15, 0.3]}}\n"
+            )
+        } else {
+            format!("{{\"id\": {id}, \"kind\": \"classify\", \"pixels\": [{pixels}]}}\n")
+        };
+        frames.push((id, frame));
+    }
+    frames
+}
+
+fn send(addr: SocketAddr, frame: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+/// Boots a server over clones of `scorer`, fires the whole request mix
+/// concurrently, and returns the responses keyed by request id.
+fn serve_once(
+    scorer: &SnnScorer,
+    max_batch: usize,
+    replicas: usize,
+    threads: usize,
+) -> BTreeMap<u64, ResponseBits> {
+    tensor::parallel::set_max_threads(threads);
+    let options = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_batch,
+        // A long linger forces real coalescing whenever max_batch allows it.
+        max_wait: Duration::from_millis(20),
+        queue_capacity: 64,
+    };
+    let server = Server::bind(&options, scorer.replicas(replicas)).unwrap();
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let clients: Vec<_> = request_frames()
+        .into_iter()
+        .map(|(id, frame)| std::thread::spawn(move || (id, send(addr, &frame))))
+        .collect();
+    let mut responses = BTreeMap::new();
+    for client in clients {
+        let (id, response) = client.join().unwrap();
+        assert!(response.ok, "request {id} failed: {response:?}");
+        assert_eq!(response.id, id, "response correlated to the wrong request");
+        responses.insert(id, ResponseBits::of(&response));
+    }
+    send(addr, "{\"kind\": \"shutdown\"}\n");
+    server_thread.join().unwrap();
+    responses
+}
+
+#[test]
+fn scores_are_bitwise_identical_across_batching_replicas_and_threads() {
+    // One deterministic training run; every server serves clones of it.
+    let config = presets::tiny();
+    let data = pipeline::prepare_data(&config);
+    let trained = pipeline::train_snn(&config, &data, snn::StructuralParams::new(1.0, 4));
+    let scorer = SnnScorer::new(config, trained.classifier);
+
+    // Reference: the degenerate service (no batching, one replica, serial
+    // kernels). Everything else must reproduce its bits exactly.
+    let reference = serve_once(&scorer, 1, 1, 1);
+    assert_eq!(reference.len(), 12);
+    for (id, bits) in &reference {
+        if id % 3 == 2 {
+            let points = bits.robustness.as_ref().unwrap();
+            assert_eq!(points.len(), 3, "request {id} certify sweep length");
+        } else {
+            assert_eq!(bits.scores.as_ref().unwrap().len(), 10);
+        }
+    }
+
+    for max_batch in [1usize, 4, 16] {
+        for replicas in [1usize, 2] {
+            for threads in [1usize, 2, 4] {
+                if (max_batch, replicas, threads) == (1, 1, 1) {
+                    continue;
+                }
+                let got = serve_once(&scorer, max_batch, replicas, threads);
+                assert_eq!(
+                    got, reference,
+                    "bits diverged at max_batch={max_batch} replicas={replicas} threads={threads}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Backpressure: at queue capacity the server refuses with a typed
+//! `overloaded` response and *stays serving* — overload is load shedding,
+//! not a crash.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::{ClassifyOutcome, Response, RobustnessPoint, Scorer, ServeOptions, Server};
+
+/// A deliberately slow model so concurrent clients pile up on the queue.
+struct SlowScorer {
+    delay: Duration,
+    calls: Arc<AtomicU64>,
+}
+
+impl Scorer for SlowScorer {
+    fn input_len(&self) -> usize {
+        2
+    }
+    fn num_classes(&self) -> usize {
+        2
+    }
+    fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome> {
+        std::thread::sleep(self.delay);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        inputs
+            .iter()
+            .map(|_| ClassifyOutcome {
+                label: 0,
+                confidence: 1.0,
+                scores: vec![1.0, 0.0],
+            })
+            .collect()
+    }
+    fn certify(&mut self, _: &[f32], _: &ClassifyOutcome, _: &[f32]) -> Vec<RobustnessPoint> {
+        Vec::new()
+    }
+}
+
+fn send_classify(addr: std::net::SocketAddr, id: u64) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let frame = format!("{{\"id\": {id}, \"kind\": \"classify\", \"pixels\": [0.5, 0.5]}}\n");
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+#[test]
+fn queue_capacity_sheds_load_with_typed_responses_and_keeps_serving() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let options = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_batch: 1,
+        max_wait: Duration::from_millis(0),
+        queue_capacity: 1,
+    };
+    let server = Server::bind(
+        &options,
+        vec![Box::new(SlowScorer {
+            delay: Duration::from_millis(300),
+            calls: Arc::clone(&calls),
+        })],
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Burst: 6 concurrent requests against a capacity-1 queue served at
+    // ~300ms each. At most a couple can be in flight; the rest must be
+    // refused as `overloaded`.
+    let clients: Vec<_> = (0..6)
+        .map(|id| std::thread::spawn(move || send_classify(addr, id)))
+        .collect();
+    let responses: Vec<Response> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let overloaded = responses
+        .iter()
+        .filter(|r| !r.ok && r.error.as_ref().map(|e| e.kind.as_str()) == Some("overloaded"))
+        .count();
+    let succeeded = responses.iter().filter(|r| r.ok).count();
+    assert!(overloaded >= 1, "responses: {responses:?}");
+    assert!(succeeded >= 1, "responses: {responses:?}");
+    assert_eq!(overloaded + succeeded, 6, "responses: {responses:?}");
+
+    // The server survived the burst: a later request succeeds normally.
+    let after = send_classify(addr, 99);
+    assert!(
+        after.ok,
+        "server must keep serving after overload: {after:?}"
+    );
+
+    // Graceful shutdown still drains.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"{\"kind\": \"shutdown\"}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let summary = server_thread.join().unwrap();
+    assert_eq!(summary.answered as usize, succeeded + 1);
+    assert!(calls.load(Ordering::Relaxed) >= 1);
+}

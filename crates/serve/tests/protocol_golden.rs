@@ -1,0 +1,214 @@
+//! Protocol golden tests over a real loopback socket.
+//!
+//! Contract: whatever bytes a client sends, the server answers with a
+//! typed JSON error or drops the connection — it never panics and never
+//! stops serving other frames on the same connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serve::{
+    ClassifyOutcome, Response, RobustnessPoint, Scorer, ServeOptions, Server, MAX_FRAME_BYTES,
+};
+
+/// Deterministic stub model: 4 inputs, 4 classes, label = argmax pixel.
+struct Stub;
+
+impl Scorer for Stub {
+    fn input_len(&self) -> usize {
+        4
+    }
+    fn num_classes(&self) -> usize {
+        4
+    }
+    fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome> {
+        inputs
+            .iter()
+            .map(|px| {
+                let label = px
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i as u32)
+                    .unwrap();
+                ClassifyOutcome {
+                    label,
+                    confidence: 1.0,
+                    scores: px.to_vec(),
+                }
+            })
+            .collect()
+    }
+    fn certify(
+        &mut self,
+        _pixels: &[f32],
+        clean: &ClassifyOutcome,
+        epsilons: &[f32],
+    ) -> Vec<RobustnessPoint> {
+        epsilons
+            .iter()
+            .map(|&eps| RobustnessPoint {
+                eps,
+                robust: eps < 0.5,
+                adv_label: clean.label,
+                adv_confidence: clean.confidence,
+            })
+            .collect()
+    }
+}
+
+struct TestServer {
+    addr: std::net::SocketAddr,
+    thread: std::thread::JoinHandle<serve::ServeSummary>,
+}
+
+fn boot() -> TestServer {
+    let options = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        queue_capacity: 16,
+    };
+    let server = Server::bind(&options, vec![Box::new(Stub)]).unwrap();
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer { addr, thread }
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, frame: &[u8]) -> Response {
+    stream.write_all(frame).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+fn error_kind(resp: &Response) -> String {
+    assert!(!resp.ok, "expected an error response, got {resp:?}");
+    resp.error.as_ref().expect("error body").kind.clone()
+}
+
+#[test]
+fn golden_frames_get_typed_answers_and_the_connection_survives() {
+    let ts = boot();
+    let (mut stream, mut reader) = connect(ts.addr);
+    let rt =
+        |s: &mut TcpStream, r: &mut BufReader<TcpStream>, f: &str| roundtrip(s, r, f.as_bytes());
+
+    // Well-formed frames.
+    let pong = rt(&mut stream, &mut reader, "{\"id\": 1, \"kind\": \"ping\"}");
+    assert!(pong.ok);
+    assert_eq!(pong.id, 1);
+
+    let info = rt(&mut stream, &mut reader, "{\"id\": 2, \"kind\": \"info\"}");
+    let body = info.info.expect("info body");
+    assert_eq!(body.input_len, 4);
+    assert_eq!(body.classes, 4);
+    assert_eq!(body.replicas, 1);
+
+    let classify = rt(
+        &mut stream,
+        &mut reader,
+        "{\"id\": 3, \"kind\": \"classify\", \"pixels\": [0.0, 0.0, 1.0, 0.0]}",
+    );
+    assert!(classify.ok);
+    assert_eq!(classify.label, Some(2));
+    assert_eq!(classify.scores.as_deref(), Some(&[0.0, 0.0, 1.0, 0.0][..]));
+
+    let certify = rt(
+        &mut stream,
+        &mut reader,
+        "{\"id\": 4, \"kind\": \"certify\", \"pixels\": [1.0, 0.0, 0.0, 0.0], \
+         \"epsilons\": [0.1, 0.9]}",
+    );
+    assert!(certify.ok);
+    let profile = certify.robustness.expect("robustness profile");
+    assert_eq!(profile.len(), 2);
+    assert!(profile[0].robust && !profile[1].robust);
+
+    // Malformed frames: typed errors, never a dropped connection.
+    let cases: &[(&str, &str)] = &[
+        ("{\"id\": 5, \"kind\": \"clas", "bad_request"), // truncated JSON
+        ("\u{1}\u{2}binary garbage\u{3}", "bad_request"),
+        ("[1, 2, 3]", "bad_request"), // valid JSON, wrong shape
+        ("{\"id\": 6, \"kind\": \"warp\"}", "bad_request"), // unknown kind
+        ("{\"id\": 7, \"kind\": \"classify\"}", "bad_request"), // pixels missing
+        (
+            "{\"id\": 8, \"kind\": \"classify\", \"pixels\": [0.5]}",
+            "wrong_input_len",
+        ),
+        (
+            "{\"id\": 9, \"kind\": \"certify\", \"pixels\": [0.0, 0.0, 0.0, 0.0]}",
+            "bad_request", // epsilons missing
+        ),
+        (
+            "{\"id\": 10, \"kind\": \"certify\", \"pixels\": [0.0, 0.0, 0.0, 0.0], \
+             \"epsilons\": [0.1, -3.0]}",
+            "bad_epsilon",
+        ),
+    ];
+    for (frame, want_kind) in cases {
+        let resp = rt(&mut stream, &mut reader, frame);
+        assert_eq!(&error_kind(&resp), want_kind, "frame: {frame}");
+    }
+
+    // An oversized frame is refused and framing resynchronises.
+    let mut big = Vec::with_capacity(MAX_FRAME_BYTES + 64);
+    big.extend_from_slice(b"{\"kind\": \"classify\", \"pixels\": [");
+    while big.len() <= MAX_FRAME_BYTES {
+        big.extend_from_slice(b"0.0, ");
+    }
+    big.extend_from_slice(b"0.0]}");
+    let resp = roundtrip(&mut stream, &mut reader, &big);
+    assert_eq!(error_kind(&resp), "oversized");
+
+    // The same connection still serves real work afterwards.
+    let again = rt(
+        &mut stream,
+        &mut reader,
+        "{\"id\": 11, \"kind\": \"classify\", \"pixels\": [0.0, 1.0, 0.0, 0.0]}",
+    );
+    assert!(again.ok);
+    assert_eq!(again.label, Some(1));
+
+    let bye = rt(
+        &mut stream,
+        &mut reader,
+        "{\"id\": 12, \"kind\": \"shutdown\"}",
+    );
+    assert!(bye.ok);
+    let summary = ts.thread.join().unwrap();
+    assert!(summary.answered >= 3, "summary: {summary:?}");
+}
+
+#[test]
+fn ids_correlate_across_interleaved_requests_on_two_connections() {
+    let ts = boot();
+    let (mut a, mut ra) = connect(ts.addr);
+    let (mut b, mut rb) = connect(ts.addr);
+    let ca = roundtrip(
+        &mut a,
+        &mut ra,
+        b"{\"id\": 100, \"kind\": \"classify\", \"pixels\": [1.0, 0.0, 0.0, 0.0]}",
+    );
+    let cb = roundtrip(
+        &mut b,
+        &mut rb,
+        b"{\"id\": 200, \"kind\": \"classify\", \"pixels\": [0.0, 0.0, 0.0, 1.0]}",
+    );
+    assert_eq!((ca.id, ca.label), (100, Some(0)));
+    assert_eq!((cb.id, cb.label), (200, Some(3)));
+    let _ = roundtrip(&mut a, &mut ra, b"{\"kind\": \"shutdown\"}");
+    ts.thread.join().unwrap();
+}

@@ -48,6 +48,14 @@ pub enum StoreError {
         /// The run directory holding the conflicting manifest.
         dir: PathBuf,
     },
+    /// Another live process holds the run directory's single-writer lock
+    /// (e.g. a `serve` process and a batch run racing for the same run).
+    Locked {
+        /// The locked run directory.
+        dir: PathBuf,
+        /// Pid recorded in the lock file (0 when it could not be read).
+        pid: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -73,6 +81,11 @@ impl fmt::Display for StoreError {
             StoreError::ManifestMismatch { dir } => write!(
                 f,
                 "run directory {} holds a manifest for a different experiment",
+                dir.display()
+            ),
+            StoreError::Locked { dir, pid } => write!(
+                f,
+                "run directory {} is locked by live process {pid} (stale locks of dead processes are reclaimed automatically)",
                 dir.display()
             ),
         }

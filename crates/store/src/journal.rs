@@ -18,6 +18,17 @@ use serde::{Deserialize, Serialize};
 /// the run that *produced* the artefact, never influence results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
+    /// The run directory's single-writer lock was taken (always the first
+    /// event a store handle appends).
+    LockAcquired {
+        /// Pid of the acquiring process.
+        pid: u32,
+    },
+    /// The single-writer lock was released (the store handle was dropped).
+    LockReleased {
+        /// Pid of the releasing process.
+        pid: u32,
+    },
     /// A store was opened over this run directory.
     RunStarted {
         /// `true` when prior state in the directory is being reused.
@@ -81,7 +92,9 @@ impl Event {
     /// The cell key this event concerns, if any.
     pub fn cell(&self) -> Option<&str> {
         match self {
-            Event::RunStarted { .. } => None,
+            Event::RunStarted { .. } | Event::LockAcquired { .. } | Event::LockReleased { .. } => {
+                None
+            }
             Event::CellStarted { cell }
             | Event::CellTrained { cell, .. }
             | Event::CellCached { cell, .. }

@@ -15,6 +15,10 @@
 //! * [`journal`] — an append-only JSONL event log (`events.jsonl`) giving
 //!   basic observability into long runs: which cells trained, which were
 //!   served from cache, and how long each step took.
+//! * [`mod@lock`] — the single-writer [`RunLock`]: a create-exclusive
+//!   sibling lock file (`run-<fingerprint>.lock`) with a pid + fingerprint
+//!   payload and stale-lock reclamation, so a long-lived server and a
+//!   concurrent batch run can never both write one run directory.
 //! * [`run`] — the [`RunStore`] handle tying it together: one directory per
 //!   fingerprint holding a manifest, per-cell training checkpoints, and a
 //!   *separate* per-(cell, ε) attack cache, so extending the ε sweep reuses
@@ -23,6 +27,7 @@
 //! # Run directory layout
 //!
 //! ```text
+//! <out-dir>/runs/run-<fingerprint>.lock   single-writer lock (pid + fingerprint)
 //! <out-dir>/runs/run-<fingerprint>/
 //!   manifest.json            what this run is (config, grid, ε sweep)
 //!   events.jsonl             append-only journal, one JSON event per line
@@ -57,10 +62,12 @@ pub mod error;
 pub mod fingerprint;
 pub mod format;
 pub mod journal;
+pub mod lock;
 pub mod run;
 
 pub use error::StoreError;
 pub use fingerprint::Fingerprint;
 pub use format::FORMAT_VERSION;
 pub use journal::Event;
+pub use lock::{LockPayload, RunLock};
 pub use run::{CellMeta, OpenedRun, RunStore};

@@ -1,0 +1,236 @@
+//! Single-writer run-directory lock files.
+//!
+//! A run directory has exactly one writer at a time: either a batch command
+//! (`run_grid` and friends) or a long-lived `spiking-armor serve` process.
+//! Two concurrent writers would race the journal's append stream and could
+//! interleave half-written checkpoints, so [`RunStore::open`](crate::RunStore::open)
+//! takes a [`RunLock`] before touching the directory.
+//!
+//! The lock is a *sibling* file of the run directory
+//! (`run-<fingerprint>.lock` next to `run-<fingerprint>/`), created with
+//! `create_new` (O_EXCL) so acquisition is atomic on every platform. It
+//! lives outside the directory it guards on purpose: a non-resume open
+//! clears the run directory with `remove_dir_all`, which must never delete
+//! the very file that proves someone else is still writing.
+//!
+//! The payload is one JSON object recording the holder's pid and the run
+//! fingerprint, so `cat runs/run-*.lock` answers "who has this?" during an
+//! incident. A lock whose pid no longer runs is *stale* — the holder was
+//! killed before its `Drop` ran — and is reclaimed automatically on the
+//! next acquisition attempt.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StoreError;
+
+/// Extension appended to the run-directory name to form its lock file.
+pub const LOCK_EXTENSION: &str = "lock";
+
+/// The JSON payload written into a lock file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockPayload {
+    /// Pid of the process holding the lock.
+    pub pid: u32,
+    /// Hex fingerprint of the run the directory belongs to.
+    pub fingerprint: String,
+}
+
+/// An exclusive hold on one run directory. Dropping the guard releases the
+/// lock (removes the file); a process killed before `Drop` leaves a stale
+/// file that the next acquirer reclaims.
+#[derive(Debug)]
+pub struct RunLock {
+    path: PathBuf,
+    payload: LockPayload,
+}
+
+/// The lock-file path guarding `run_dir` (a sibling, never inside it).
+pub fn lock_path(run_dir: &Path) -> PathBuf {
+    let mut name = run_dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "run".to_string());
+    name.push('.');
+    name.push_str(LOCK_EXTENSION);
+    match run_dir.parent() {
+        Some(parent) => parent.join(name),
+        None => PathBuf::from(name),
+    }
+}
+
+/// `true` when `pid` refers to a process that is (as far as we can tell)
+/// still running. Our own pid is always alive. On systems with a `/proc`
+/// filesystem the check is exact; elsewhere liveness cannot be probed
+/// without spawning, so a foreign pid is conservatively considered alive —
+/// a stale lock then needs manual removal rather than risking a
+/// double-writer.
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        proc_root.join(pid.to_string()).is_dir()
+    } else {
+        true
+    }
+}
+
+impl RunLock {
+    /// Acquires the single-writer lock for `run_dir`.
+    ///
+    /// A present lock file whose recorded pid is dead (or whose payload is
+    /// unreadable — a torn write from a killed holder) counts as stale and
+    /// is reclaimed. Acquisition retries a few times so reclaiming a stale
+    /// file and losing the re-create race to another process degrades into
+    /// a normal "locked" answer, never a panic or a double-writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Locked`] when another live process holds the
+    /// lock, and [`StoreError::Io`] on filesystem failures.
+    pub fn acquire(run_dir: &Path, fingerprint_hex: &str) -> Result<Self, StoreError> {
+        let path = lock_path(run_dir);
+        let payload = LockPayload {
+            pid: std::process::id(),
+            fingerprint: fingerprint_hex.to_string(),
+        };
+        let mut last_holder: u32 = 0;
+        for _attempt in 0..3 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let text = serde_json::to_string(&payload)
+                        .map_err(|e| StoreError::Corrupt(format!("cannot serialise lock: {e}")))?;
+                    file.write_all(text.as_bytes())?;
+                    file.write_all(b"\n")?;
+                    return Ok(Self { path, payload });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    match read_holder(&path) {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(StoreError::Locked {
+                                dir: run_dir.to_path_buf(),
+                                pid,
+                            });
+                        }
+                        holder => {
+                            // Stale (dead pid) or torn (unreadable payload):
+                            // reclaim and retry. A second process may win the
+                            // re-create race; the loop then reads *its* pid.
+                            last_holder = holder.unwrap_or(0);
+                            match fs::remove_file(&path) {
+                                Ok(()) => {}
+                                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(StoreError::Locked {
+            dir: run_dir.to_path_buf(),
+            pid: last_holder,
+        })
+    }
+
+    /// The payload this lock wrote (own pid + fingerprint).
+    pub fn payload(&self) -> &LockPayload {
+        &self.payload
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for RunLock {
+    fn drop(&mut self) {
+        // Best-effort: a failed removal leaves a stale file that the next
+        // acquirer reclaims via the dead-pid path.
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// The pid recorded in an existing lock file, or `None` when the payload is
+/// unreadable/torn (which callers treat as stale).
+fn read_holder(path: &Path) -> Option<u32> {
+    let text = fs::read_to_string(path).ok()?;
+    let payload: LockPayload = serde_json::from_str(text.trim()).ok()?;
+    Some(payload.pid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("store_lock_tests_{name}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        root.join("run-abc")
+    }
+
+    #[test]
+    fn acquire_release_round_trip() {
+        let dir = fresh_dir("roundtrip");
+        let lock = RunLock::acquire(&dir, "abc").unwrap();
+        assert!(lock.path().exists());
+        assert_eq!(lock.payload().pid, std::process::id());
+        assert_eq!(lock.payload().fingerprint, "abc");
+        let path = lock.path().to_path_buf();
+        drop(lock);
+        assert!(!path.exists(), "drop must remove the lock file");
+    }
+
+    #[test]
+    fn second_acquire_by_live_holder_is_refused() {
+        let dir = fresh_dir("refused");
+        let _held = RunLock::acquire(&dir, "abc").unwrap();
+        let err = RunLock::acquire(&dir, "abc").unwrap_err();
+        match err {
+            StoreError::Locked { pid, .. } => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_lock_of_dead_pid_is_reclaimed() {
+        let dir = fresh_dir("stale");
+        // No live process has this pid (Linux pid_max is far below u32::MAX;
+        // on systems without /proc the conservative branch keeps it "alive"
+        // and this test would be vacuous, so skip there).
+        if !Path::new("/proc").is_dir() {
+            return;
+        }
+        let path = lock_path(&dir);
+        fs::write(&path, "{\"pid\": 4294967295, \"fingerprint\": \"old\"}\n").unwrap();
+        let lock = RunLock::acquire(&dir, "new").unwrap();
+        assert_eq!(read_holder(lock.path()), Some(std::process::id()));
+    }
+
+    #[test]
+    fn torn_lock_payload_counts_as_stale() {
+        let dir = fresh_dir("torn");
+        fs::write(lock_path(&dir), "{\"pi").unwrap();
+        let lock = RunLock::acquire(&dir, "new");
+        assert!(lock.is_ok(), "torn payload must be reclaimed: {lock:?}");
+    }
+
+    #[test]
+    fn lock_lives_next_to_the_directory_it_guards() {
+        let dir = PathBuf::from("/x/runs/run-12ab");
+        assert_eq!(lock_path(&dir), PathBuf::from("/x/runs/run-12ab.lock"));
+    }
+
+    #[test]
+    fn own_pid_is_always_alive() {
+        assert!(pid_alive(std::process::id()));
+    }
+}

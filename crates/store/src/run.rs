@@ -11,6 +11,7 @@ use crate::error::StoreError;
 use crate::fingerprint::Fingerprint;
 use crate::format;
 use crate::journal::{Event, Journal};
+use crate::lock::RunLock;
 
 /// File name of the run manifest inside a run directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -41,10 +42,20 @@ pub struct OpenedRun {
 /// The handle is `Sync`: grid workers share one `&RunStore` and each writes
 /// only its own cell's files, while journal appends are serialised through
 /// an internal mutex.
+///
+/// The handle also *owns the directory's single-writer lock*
+/// ([`RunLock`]): a second process (or a second handle in this process)
+/// opening the same run directory gets [`StoreError::Locked`] until this
+/// handle drops, so a long-lived server and a concurrent batch run can
+/// never interleave writes into one run directory.
 #[derive(Debug)]
 pub struct RunStore {
     dir: PathBuf,
     journal: Journal,
+    /// Held for the whole lifetime of the handle; released (file removed)
+    /// when the handle drops. Declared after `journal` so the release
+    /// event can still be appended during drop.
+    lock: RunLock,
 }
 
 impl RunStore {
@@ -60,9 +71,10 @@ impl RunStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// Returns [`StoreError::Io`] on filesystem failures,
     /// [`StoreError::ManifestMismatch`] when the directory belongs to a
-    /// different experiment.
+    /// different experiment, and [`StoreError::Locked`] when another live
+    /// handle (this process or another) is still writing the directory.
     pub fn open(
         root: &Path,
         fingerprint: &Fingerprint,
@@ -70,6 +82,12 @@ impl RunStore {
         resume: bool,
     ) -> Result<OpenedRun, StoreError> {
         let dir = root.join(format!("run-{}", fingerprint.hex()));
+        // Single-writer discipline: take the sibling lock before touching
+        // anything inside (or clearing) the directory. Dropping the store
+        // releases it; a killed process leaves a stale lock that the next
+        // open reclaims (see `crate::lock`).
+        fs::create_dir_all(root)?;
+        let lock = RunLock::acquire(&dir, &fingerprint.hex())?;
         if !resume && dir.exists() {
             fs::remove_dir_all(&dir)?;
         }
@@ -85,9 +103,17 @@ impl RunStore {
             format::write_atomic(&manifest_path, manifest_json.as_bytes())?;
         }
         let journal = Journal::open_append(&dir.join(EVENTS_FILE))?;
-        let store = Self { dir, journal };
+        let store = Self { dir, journal, lock };
+        store.log(&Event::LockAcquired {
+            pid: store.lock.payload().pid,
+        });
         store.log(&Event::RunStarted { resumed });
         Ok(OpenedRun { store, resumed })
+    }
+
+    /// The single-writer lock file guarding this run directory.
+    pub fn lock_path(&self) -> &Path {
+        self.lock.path()
     }
 
     /// The run directory this store writes into.
@@ -227,6 +253,16 @@ impl RunStore {
     }
 }
 
+impl Drop for RunStore {
+    fn drop(&mut self) {
+        // Journal the release while the journal is still open; the lock
+        // field's own drop then removes the lock file.
+        self.log(&Event::LockReleased {
+            pid: self.lock.payload().pid,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +299,7 @@ mod tests {
             .save_trained("c1", &sample_params(), &meta)
             .unwrap();
         opened.store.save_attack("c1", 0, 0.5, 0.75).unwrap();
+        drop(opened); // release the single-writer lock before reopening
 
         let reopened = RunStore::open(&root, &f, "{\"m\":1}", true).unwrap();
         assert!(reopened.resumed);
@@ -294,6 +331,7 @@ mod tests {
                 },
             )
             .unwrap();
+        drop(first); // release the single-writer lock before reopening
         let second = RunStore::open(&root, &f, "{}", false).unwrap();
         assert!(!second.resumed);
         assert!(second.store.load_trained("c1").unwrap().is_none());
@@ -325,14 +363,34 @@ mod tests {
         drop(opened);
         let reopened = RunStore::open(&root, &f, "{}", true).unwrap();
         let events = crate::journal::read_events(reopened.store.journal_path()).unwrap();
+        let pid = std::process::id();
         assert_eq!(
             events,
             [
+                Event::LockAcquired { pid },
                 Event::RunStarted { resumed: false },
                 Event::CellStarted { cell: "c".into() },
+                Event::LockReleased { pid },
+                Event::LockAcquired { pid },
                 Event::RunStarted { resumed: true },
             ]
         );
+    }
+
+    #[test]
+    fn second_open_of_a_held_run_directory_is_refused() {
+        let root = fresh_root("locked");
+        let f = fp(b"l");
+        let held = RunStore::open(&root, &f, "{}", false).unwrap();
+        let err = RunStore::open(&root, &f, "{}", true).unwrap_err();
+        match err {
+            StoreError::Locked { pid, .. } => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // The refused open must not have disturbed the holder's state.
+        assert!(held.store.lock_path().exists());
+        drop(held);
+        assert!(RunStore::open(&root, &f, "{}", true).is_ok());
     }
 
     #[test]

@@ -38,6 +38,47 @@ if ! grep -q "lif guard: ok" <<<"$smoke_out"; then
     exit 1
 fi
 
+# Serving smoke: boot the scoring service on a loopback port, drive it
+# with the bench load generator, and validate the emitted report against
+# the bench_serve/v1 schema. Does not touch the committed BENCH_serve.json.
+echo "==> serve smoke (spiking-armor serve + serve-bench --smoke)"
+cargo build -q --release --bin spiking-armor --bin serve-bench
+serve_dir=$(mktemp -d)
+serve_log="$serve_dir/serve.log"
+target/release/spiking-armor serve --preset tiny --addr 127.0.0.1:0 \
+    --out-dir "$serve_dir/figures" >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+serve_addr=""
+for _ in $(seq 1 300); do
+    serve_addr=$(sed -n 's/^serving on //p' "$serve_log" | head -n 1)
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "FAILED: the serve process died before binding:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "FAILED: the serve process never announced its port:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+target/release/serve-bench --smoke --shutdown --addr "$serve_addr" \
+    --out "$serve_dir/BENCH_serve.json"
+wait "$serve_pid"
+for key in '"schema": "bench_serve/v1"' '"concurrency"' '"reqs_per_sec"' \
+    '"p50"' '"p95"' '"p99"'; do
+    if ! grep -qF "$key" "$serve_dir/BENCH_serve.json"; then
+        echo "FAILED: BENCH_serve.json is missing $key:" >&2
+        cat "$serve_dir/BENCH_serve.json" >&2
+        exit 1
+    fi
+done
+rm -rf "$serve_dir"
+trap - EXIT
+
 # The metrics layer first: its merge/determinism properties (proptests
 # included) underpin the workspace-wide metrics determinism test.
 echo "==> cargo test -p obs"
