@@ -456,6 +456,73 @@ impl<'t> Var<'t> {
         self.binary(other, value, Op::Matmul(self.id, other.id))
     }
 
+    /// [`Var::matmul`] whose forward consumes a prepacked weight handle
+    /// ([`tensor::PrepackedB`], packed from `other`'s tensor): zero
+    /// B-packing work per call, bitwise-identical value. The recorded node
+    /// is an ordinary [`Var::matmul`], so the backward pass is untouched —
+    /// backward runs once per training step (not per timestep), so
+    /// prepacking it is deliberately out of scope.
+    ///
+    /// `other` must hold the same `[K, N]` weights `pb` was packed from;
+    /// the caller (the layer cache, invalidated on every weight mutation)
+    /// guarantees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or cross-tape operands.
+    pub fn matmul_prepacked(self, other: Var<'t>, pb: &tensor::PrepackedB) -> Var<'t> {
+        self.assert_same_tape(&other);
+        let value = self
+            .tape
+            .with_values_of(self.id, other.id, |a, _| a.matmul_prepacked(pb));
+        self.binary(other, value, Op::Matmul(self.id, other.id))
+    }
+
+    /// [`Var::matmul_events`] with a prepacked handle for the
+    /// dense-fallback side of the density switch (the sparse gather reads
+    /// raw weight rows and needs no panels). Same recorded node and same
+    /// weight-consistency contract as [`Var::matmul_prepacked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or cross-tape operands.
+    pub fn matmul_events_prepacked(self, other: Var<'t>, pb: &tensor::PrepackedB) -> Var<'t> {
+        self.assert_same_tape(&other);
+        let value = self
+            .tape
+            .with_values_of(self.id, other.id, |a, b| a.matmul_events_prepacked(b, pb));
+        self.binary(other, value, Op::Matmul(self.id, other.id))
+    }
+
+    /// [`Var::conv2d`] whose forward consumes prepacked conv weights
+    /// ([`tensor::PrepackedConvW`], packed from `w`'s tensor): zero
+    /// weight-packing work per call, bitwise-identical value, ordinary
+    /// `Op::Conv2d` node so the backward pass is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape violation (see [`tensor::conv::conv2d`]).
+    pub fn conv2d_prepacked(
+        self,
+        w: Var<'t>,
+        pw: &tensor::PrepackedConvW,
+        spec: Conv2dSpec,
+    ) -> Var<'t> {
+        self.assert_same_tape(&w);
+        let value = self
+            .tape
+            .with_values_of(self.id, w.id, |x, _| tensor::conv2d_prepacked(x, pw, spec));
+        self.binary(
+            w,
+            value,
+            Op::Conv2d {
+                x: self.id,
+                w: w.id,
+                spec,
+            },
+        )
+    }
+
     /// One fused LIF membrane update: integrates `self` (the synaptic
     /// drive) into membrane `v`, thresholds (optionally against an ALIF
     /// adaptation state `adapt = (a, κ)`), and resets — all in a single

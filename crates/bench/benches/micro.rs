@@ -12,7 +12,7 @@
 //!   reduced shapes for CI; prints measurements but does not overwrite
 //!   the committed baseline.
 //!
-//! Both modes end with three guards that **fail** the bench (non-zero
+//! Both modes end with five guards that **fail** the bench (non-zero
 //! exit):
 //!
 //! * allocation guard — every `*_into` kernel entry point (`matmul_into`,
@@ -23,6 +23,13 @@
 //!   and the forced-scalar kernel are both run on the same data and must
 //!   agree bitwise, so the smoke bench exercises both code paths on
 //!   every CI machine.
+//! * conv-into guard — `conv2d_into` against a warm workspace must not be
+//!   slower than the allocating `conv2d`, measured interleaved with a
+//!   median-of-rounds ratio so measurement-order drift can neither fake
+//!   nor hide a regression.
+//! * spawn guard — a warm loop of prepacked layer forwards and pooled
+//!   dispatches must spawn zero threads and pack zero weight panels: all
+//!   setup cost is paid once, never per step.
 //! * obs guard — with metrics recording disabled, `obs::counter_add` /
 //!   `obs::observe` must cost near-zero (one relaxed atomic load) and
 //!   must leave the registry empty, so instrumented kernels run at full
@@ -102,6 +109,60 @@ impl Runner {
         tensor::parallel::set_max_threads(1);
     }
 
+    /// Times two closures in interleaved rounds (A B A B …) and records
+    /// both. Sequential measurement of a matched pair lets machine drift
+    /// (frequency scaling, cache pressure left by earlier groups) land
+    /// entirely on whichever op runs second — the committed baseline once
+    /// showed `conv2d_into` 9% *slower* than allocating `conv2d` purely
+    /// from ordering. Interleaving spreads the drift over both sides.
+    fn bench_pair<OA, OB>(
+        &mut self,
+        op_a: &'static str,
+        op_b: &'static str,
+        shape: &str,
+        threads: usize,
+        mut fa: impl FnMut() -> OA,
+        mut fb: impl FnMut() -> OB,
+    ) -> (f64, f64) {
+        tensor::parallel::set_max_threads(threads);
+        let (warmup, measure) = self.budgets();
+        let start = Instant::now();
+        while start.elapsed() < warmup {
+            black_box(fa());
+            black_box(fb());
+        }
+        let mut ns = [0u128; 2];
+        let mut iters = [0u64; 2];
+        let start = Instant::now();
+        while start.elapsed() < measure * 2 {
+            let t = Instant::now();
+            black_box(fa());
+            ns[0] += t.elapsed().as_nanos();
+            iters[0] += 1;
+            let t = Instant::now();
+            black_box(fb());
+            ns[1] += t.elapsed().as_nanos();
+            iters[1] += 1;
+        }
+        let mut means = [0.0f64; 2];
+        for (i, op) in [op_a, op_b].into_iter().enumerate() {
+            means[i] = ns[i] as f64 / iters[i] as f64;
+            println!(
+                "  {op} [{shape}] x{threads}: {} ({} iters, interleaved)",
+                fmt_ns(means[i]),
+                iters[i]
+            );
+            self.records.push(Record {
+                op,
+                shape: shape.to_string(),
+                ns_per_iter: means[i],
+                threads,
+            });
+        }
+        tensor::parallel::set_max_threads(1);
+        (means[0], means[1])
+    }
+
     fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"schema\": \"bench_tensor/v1\",\n");
         let _ = writeln!(
@@ -150,9 +211,26 @@ fn tensor_kernels(r: &mut Runner) {
     // machine has (on one core this measures sharding overhead, not
     // speedup; determinism is asserted by the test suite either way).
     r.bench("matmul_blocked", &shape, 2, || a.matmul(&b));
+    r.bench("matmul_blocked", &shape, 4, || a.matmul(&b));
     let a64 = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
     let b64 = tensor::init::uniform(&mut rng, &[64, 64], -1.0, 1.0);
     r.bench("matmul_blocked", "64x64x64", 1, || a64.matmul(&b64));
+
+    // The prepack before/after pair on the SNN timestep-loop shape
+    // (skinny lhs, reused rhs): one record packing B every call, one
+    // reusing panels packed once — the win the layer cache banks T times
+    // per forward.
+    let askinny = tensor::init::uniform(&mut rng, &[32, side], -1.0, 1.0);
+    let pb = b.prepack_b();
+    let pair_shape = format!("32x{side}x{side}");
+    r.bench_pair(
+        "matmul_blocked",
+        "matmul_prepacked",
+        &pair_shape,
+        1,
+        || askinny.matmul(&b),
+        || askinny.matmul_prepacked(&pb),
+    );
 
     let x = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
     let w = tensor::init::uniform(&mut rng, &[8, 8, 3, 3], -1.0, 1.0);
@@ -160,12 +238,16 @@ fn tensor_kernels(r: &mut Runner) {
         stride: 1,
         padding: 1,
     };
-    r.bench("conv2d", "4x8x16x16_k3", 1, || conv2d(&x, &w, spec));
     let mut ws = Workspace::new();
     let mut out = Tensor::zeros(&[1]);
-    r.bench("conv2d_into", "4x8x16x16_k3", 1, || {
-        conv2d_into(&mut out, &x, &w, spec, &mut ws);
-    });
+    r.bench_pair(
+        "conv2d",
+        "conv2d_into",
+        "4x8x16x16_k3",
+        1,
+        || conv2d(&x, &w, spec),
+        || conv2d_into(&mut out, &x, &w, spec, &mut ws),
+    );
     let g = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
     let mut gx = Tensor::zeros(&[1]);
     let mut gw = Tensor::zeros(&[1]);
@@ -437,6 +519,96 @@ fn lif_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// Fails the bench if the workspace-reusing `conv2d_into` is measurably
+/// slower than the allocating `conv2d` it exists to beat. The committed
+/// baseline once showed the reverse (198.8 µs vs 182.4 µs) purely from
+/// sequential measurement order; this guard measures the pair in
+/// interleaved rounds and takes the median-of-rounds ratio, so one
+/// scheduling hiccup cannot fail the gate and ordering drift cannot hide
+/// a real regression.
+fn conv_into_guard() -> Result<(), String> {
+    const ROUNDS: usize = 9;
+    const ITERS: usize = 12;
+    const TOLERANCE: f64 = 1.25;
+    let mut rng = StdRng::seed_from_u64(13);
+    let x = tensor::init::uniform(&mut rng, &[4, 8, 16, 16], -1.0, 1.0);
+    let w = tensor::init::uniform(&mut rng, &[8, 8, 3, 3], -1.0, 1.0);
+    let spec = Conv2dSpec {
+        stride: 1,
+        padding: 1,
+    };
+    let mut ws = Workspace::new();
+    let mut out = Tensor::zeros(&[1]);
+    // Warm both paths: allocator pools for one, workspace growth for the
+    // other.
+    for _ in 0..ITERS {
+        black_box(conv2d(&x, &w, spec));
+        conv2d_into(&mut out, &x, &w, spec, &mut ws);
+    }
+    let mut ratios = [0.0f64; ROUNDS];
+    for ratio in &mut ratios {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            black_box(conv2d(&x, &w, spec));
+        }
+        let alloc_ns = t.elapsed().as_nanos() as f64;
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            conv2d_into(&mut out, &x, &w, spec, &mut ws);
+        }
+        *ratio = t.elapsed().as_nanos() as f64 / alloc_ns;
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ROUNDS / 2];
+    if median > TOLERANCE {
+        return Err(format!(
+            "conv2d_into runs at {median:.2}x the allocating conv2d (tolerance \
+             {TOLERANCE}): the workspace path must not regress below its \
+             allocating twin"
+        ));
+    }
+    println!("conv-into guard: ok (conv2d_into / conv2d median ratio {median:.2}, interleaved)");
+    Ok(())
+}
+
+/// Fails the bench if a warm forward loop does hidden setup work: the
+/// worker pool must be persistent (no thread spawns after the first
+/// dispatch) and the prepack cache must serve every steady-state bind
+/// (no `pack_b` panel packing after the first forward).
+fn spawn_guard() -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut params = Params::new();
+    let fc = nn::Linear::new(&mut params, &mut rng, "fc", 96, 64);
+    let x = tensor::init::uniform(&mut rng, &[48, 96], -1.0, 1.0);
+    // One "timestep loop": repeated prepacked forwards over one bind,
+    // plus an explicitly pooled dispatch — covering both one-time costs
+    // (panel packing, worker spawning) the steady state must not repeat.
+    let step = |params: &Params| {
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        for _ in 0..4 {
+            black_box(fc.forward(&bound, tape.leaf(x.clone())).value());
+        }
+        black_box(tensor::parallel::par_map_collect(8, 2, |i| i * 2));
+    };
+    step(&params); // cold: packs the weight panels, spawns the pool workers
+    let spawns = tensor::runtime::spawn_count();
+    let packs = tensor::pack_b_calls();
+    for _ in 0..6 {
+        step(&params);
+    }
+    let spawn_delta = tensor::runtime::spawn_count() - spawns;
+    let pack_delta = tensor::pack_b_calls() - packs;
+    if spawn_delta != 0 || pack_delta != 0 {
+        return Err(format!(
+            "warm forwards did hidden setup work: {spawn_delta} thread spawns, \
+             {pack_delta} pack_b calls (want 0 and 0)"
+        ));
+    }
+    println!("spawn guard: ok (warm pooled forwards: 0 thread spawns, 0 pack_b calls)");
+    Ok(())
+}
+
 /// Fails the bench if *disabled* metrics recording does measurable work:
 /// the contract is one relaxed atomic load per call site, so a build that
 /// never passes `--metrics` must not pay for the instrumentation.
@@ -485,6 +657,14 @@ fn main() {
         std::process::exit(1);
     }
     if let Err(msg) = lif_guard() {
+        eprintln!("FAILED: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(msg) = conv_into_guard() {
+        eprintln!("FAILED: {msg}");
+        std::process::exit(1);
+    }
+    if let Err(msg) = spawn_guard() {
         eprintln!("FAILED: {msg}");
         std::process::exit(1);
     }

@@ -154,8 +154,12 @@ pub(crate) fn load_cached_model<M: nn::Model>(
                     cell: key.to_string(),
                     clean_accuracy: meta.clean_accuracy,
                 });
+                let classifier = Classifier::new(model, params);
+                // Prebuild the GEMM panels: the caller's next move is an
+                // attack sweep of repeated forwards over frozen weights.
+                classifier.warm_prepack();
                 Some(Trained {
-                    classifier: Classifier::new(model, params),
+                    classifier,
                     clean_accuracy: meta.clean_accuracy,
                 })
             } else {
@@ -293,8 +297,12 @@ pub fn train_snn(
         data.test.labels(),
         config.batch_size,
     );
+    let classifier = Classifier::new(model, params);
+    // Weights are frozen from here on; prepack once so the attack sweep's
+    // repeated forwards all run pack-free.
+    classifier.warm_prepack();
     Trained {
-        classifier: Classifier::new(model, params),
+        classifier,
         clean_accuracy,
     }
 }
@@ -321,8 +329,10 @@ pub fn train_cnn(config: &ExperimentConfig, data: &SplitData) -> Trained<Cnn> {
         data.test.labels(),
         config.batch_size,
     );
+    let classifier = Classifier::new(model, params);
+    classifier.warm_prepack();
     Trained {
-        classifier: Classifier::new(model, params),
+        classifier,
         clean_accuracy,
     }
 }

@@ -41,15 +41,22 @@ impl SnnScorer {
     /// Wraps a trained classifier with the experiment configuration that
     /// defines its input shape and attack convention.
     pub fn new(config: ExperimentConfig, classifier: Classifier<SpikingCnn>) -> Self {
+        classifier.warm_prepack();
         Self { config, classifier }
     }
 
     /// `n` independent replicas of this scorer, boxed for
     /// [`serve::Server::bind`]. Replicas share nothing mutable, so each
-    /// worker thread owns its model wholesale.
+    /// worker thread owns its model wholesale — including its own
+    /// prepacked-weight cache, which is warmed here so the first request a
+    /// replica serves already performs zero `pack_b` work.
     pub fn replicas(&self, n: usize) -> Vec<Box<dyn Scorer>> {
         (0..n.max(1))
-            .map(|_| Box::new(self.clone()) as Box<dyn Scorer>)
+            .map(|_| {
+                let replica = self.clone();
+                replica.classifier.warm_prepack();
+                Box::new(replica) as Box<dyn Scorer>
+            })
             .collect()
     }
 

@@ -1,0 +1,36 @@
+// Fixture: the worker-pool dispatch and prepack-lookup paths are hot —
+// dispatch runs once per parallel helper entry and the cache lookup once
+// per layer forward, both inside the SNN timestep loop. Marked with
+// `// armor-lint: hot`, they must stay allocation-free; handing out a
+// cached panel must be the `Arc::clone` refcount bump (a path call the
+// lint sanctions), never a flagged deep `.clone()`.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// armor-lint: hot
+fn dispatch(pieces: usize, ranges: &[Range<usize>]) {
+    // A dispatcher that materializes per-job bookkeeping allocates on
+    // every kernel invocation of the timestep loop.
+    let order: Vec<usize> = (0..pieces).collect();
+    let snapshot = ranges.to_vec();
+    let _ = (order, snapshot);
+}
+
+// armor-lint: hot
+fn prepack_lookup(slots: &[Option<Arc<[f32]>>], id: usize) -> Option<Arc<[f32]>> {
+    // The sanctioned idiom: share the cached panel by refcount.
+    slots[id].as_ref().map(Arc::clone)
+}
+
+// armor-lint: hot
+fn prepack_lookup_deep(slots: &[Option<Vec<f32>>], id: usize) -> Option<Vec<f32>> {
+    // Deep-copying the panel on every forward defeats the cache.
+    slots[id].clone()
+}
+
+fn build_panel(k: usize, n: usize) -> Vec<f32> {
+    // The cold miss path builds the panel exactly once per weight
+    // mutation; allocation is fine here.
+    vec![0.0; k * n]
+}

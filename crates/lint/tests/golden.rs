@@ -71,6 +71,15 @@ fn no_alloc_in_hot_loop_fixture() {
 }
 
 #[test]
+fn hot_dispatch_prepack_fixture() {
+    // The pool-dispatch and prepack-lookup paths (PR 8) sit inside the
+    // timestep loop: `// armor-lint: hot` keeps them allocation-free,
+    // while `Arc::clone` handle hand-outs and cold miss-path panel
+    // builds stay sanctioned.
+    check_fixture("hot-dispatch-prepack", "crates/tensor/src/input.rs");
+}
+
+#[test]
 fn unsafe_needs_safety_comment_fixture() {
     check_fixture("unsafe-needs-safety-comment", "crates/tensor/src/input.rs");
 }

@@ -72,7 +72,12 @@ impl Linear {
     ///
     /// Panics if `x` does not have `in_features` columns.
     pub fn forward<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
-        x.matmul(bound.get(self.w)).add_bias(bound.get(self.b))
+        let w = bound.get(self.w);
+        let y = match bound.prepacked_mat(self.w) {
+            Some(pb) => x.matmul_prepacked(w, pb),
+            None => x.matmul(w),
+        };
+        y.add_bias(bound.get(self.b))
     }
 
     /// Applies the layer to a `[N, in_features]` batch whose rows are
@@ -87,8 +92,12 @@ impl Linear {
     ///
     /// Panics if `x` does not have `in_features` columns.
     pub fn forward_events<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
-        x.matmul_events(bound.get(self.w))
-            .add_bias(bound.get(self.b))
+        let w = bound.get(self.w);
+        let y = match bound.prepacked_mat(self.w) {
+            Some(pb) => x.matmul_events_prepacked(w, pb),
+            None => x.matmul_events(w),
+        };
+        y.add_bias(bound.get(self.b))
     }
 
     /// Input width.
@@ -164,8 +173,12 @@ impl Conv2d {
     ///
     /// Panics on channel or extent mismatches (see [`tensor::conv::conv2d`]).
     pub fn forward<'t>(&self, bound: &BoundParams<'t>, x: Var<'t>) -> Var<'t> {
-        x.conv2d(bound.get(self.w), self.spec)
-            .add_bias(bound.get(self.b))
+        let w = bound.get(self.w);
+        let y = match bound.prepacked_conv(self.w) {
+            Some(pw) => x.conv2d_prepacked(w, pw, self.spec),
+            None => x.conv2d(w, self.spec),
+        };
+        y.add_bias(bound.get(self.b))
     }
 
     /// Number of input channels.
@@ -270,6 +283,34 @@ mod tests {
         let y = conv.forward(&bound, tape.leaf(Tensor::zeros(&[2, 1, 8, 8])));
         assert_eq!(y.dims(), vec![2, 4, 8, 8]);
         assert_eq!(conv.out_channels(), 4);
+    }
+
+    /// The prepack cache must be invisible in values: forwards through a
+    /// cold cache, a warm cache, and a just-invalidated cache all match
+    /// the pack-per-call product bitwise — and a mutation through
+    /// `get_mut` is always visible to the next forward.
+    #[test]
+    fn prepacked_forward_uses_fresh_weights_after_mutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = Params::new();
+        let fc = Linear::new(&mut params, &mut rng, "fc", 5, 4);
+        let x = Tensor::from_vec((0..15).map(|i| (i as f32) * 0.3 - 2.0).collect(), &[3, 5]);
+        let check = |params: &Params| {
+            let want = x
+                .matmul(params.get(fc.weight()))
+                .add_bias(params.get(fc.bias()));
+            let tape = Tape::new();
+            let bound = params.bind(&tape);
+            let y = fc.forward(&bound, tape.leaf(x.clone()));
+            for (a, b) in y.value().data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        };
+        check(&params); // cold cache: builds
+        check(&params); // warm cache: reuses
+        params.get_mut(fc.weight()).data_mut()[2] += 1.5;
+        check(&params); // invalidated: must see the fresh weight
+        check(&params); // rebuilt: warm again
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use cnn::{Cnn, CnnConfig, ConvBlockConfig};
 pub use layers::{Conv2d, Linear};
 pub use model::{logits, predict, Model};
 pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
-pub use params::{BoundParams, ParamId, Params};
+pub use params::{BoundParams, ParamId, Params, PrepackCache, Prepacked};
 pub use target::{AdversarialTarget, Classifier};

@@ -6,13 +6,15 @@
 //! same binding. This keeps tapes short-lived and models free of interior
 //! mutability.
 
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use ad::{Grads, Tape, Var};
 use serde::{Deserialize, Serialize};
-use tensor::Tensor;
+use tensor::{PrepackedB, PrepackedConvW, Tensor};
 
 /// Identifier of one tensor inside a [`Params`] store.
 ///
@@ -38,6 +40,113 @@ pub struct ParamId(usize);
 pub struct Params {
     tensors: Vec<Tensor>,
     names: Vec<String>,
+    #[serde(default)]
+    prepack: PrepackCache,
+}
+
+/// One cached prepacked-weight handle (see [`PrepackCache`]).
+///
+/// `Arc`-shared so every [`Params::bind`] in a forward pass — and every
+/// replica thread holding the same store — reads the same packed panels.
+#[derive(Debug, Clone)]
+pub enum Prepacked {
+    /// A rank-2 GEMM B operand (`Linear` weights, `[in, out]`).
+    MatB(Arc<PrepackedB>),
+    /// A rank-4 conv weight (`[O, C, KH, KW]`).
+    ConvW(Arc<PrepackedConvW>),
+}
+
+/// Per-parameter cache of prepacked GEMM panels, keyed by parameter index.
+///
+/// * **Keying** — slot `i` caches the panels of `tensors[i]`; rank-2
+///   parameters pack as [`PrepackedB`], rank-4 as [`PrepackedConvW`],
+///   everything else (biases, scalars) is never packed.
+/// * **Invalidation** — any [`Params::get_mut`] clears that parameter's
+///   slot (the only mutation path: optimizer steps go through it), and
+///   checkpoint loads / clones start with an empty cache. A stale handle
+///   can therefore never outlive the weights it was packed from.
+/// * **Determinism** — `tensor/prepack_hits` / `tensor/prepack_misses`
+///   are journaled per eligible parameter per [`Params::bind`], inside
+///   the cache lock, so the counts depend only on the bind/mutate
+///   sequence — never on thread count.
+///
+/// The cache is transparent state: serialization writes a placeholder
+/// null (checkpoints hold weights, not packing layouts) and
+/// deserialization always starts empty.
+#[derive(Default)]
+pub struct PrepackCache {
+    slots: Mutex<Vec<Option<Prepacked>>>,
+}
+
+impl PrepackCache {
+    /// Looks up (or builds) the handle for every eligible parameter.
+    /// Building happens under the lock so concurrent binds over a shared
+    /// store journal exactly one miss per (re)build.
+    fn bind_handles(&self, tensors: &[Tensor]) -> Vec<Option<Prepacked>> {
+        let mut slots = self.slots.lock().expect("prepack cache poisoned");
+        slots.resize_with(tensors.len(), || None);
+        tensors
+            .iter()
+            .zip(slots.iter_mut())
+            .map(|(t, slot)| {
+                let rank = t.dims().len();
+                if rank != 2 && rank != 4 {
+                    return None;
+                }
+                if let Some(handle) = slot {
+                    obs::counter_add("tensor/prepack_hits", 1);
+                    return Some(handle.clone());
+                }
+                obs::counter_add("tensor/prepack_misses", 1);
+                let built = if rank == 2 {
+                    Prepacked::MatB(Arc::new(t.prepack_b()))
+                } else {
+                    Prepacked::ConvW(Arc::new(tensor::prepack_conv2d_weights(t)))
+                };
+                *slot = Some(built.clone());
+                Some(built)
+            })
+            .collect()
+    }
+
+    fn invalidate(&self, index: usize) {
+        let mut slots = self.slots.lock().expect("prepack cache poisoned");
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = None;
+        }
+    }
+}
+
+impl fmt::Debug for PrepackCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let slots = self.slots.lock().expect("prepack cache poisoned");
+        let filled = slots.iter().filter(|s| s.is_some()).count();
+        write!(f, "PrepackCache({filled}/{} packed)", slots.len())
+    }
+}
+
+/// Cloning a store clones the weights, not the cache: packed panels are
+/// derived state the next [`Params::bind`] rebuilds on demand.
+impl Clone for PrepackCache {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+/// Checkpoints hold weights, not packing layouts: serialize to a
+/// placeholder null…
+impl Serialize for PrepackCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+/// …and deserialize to an empty cache regardless of what was written, so
+/// a `--resume` load always re-packs from the freshly loaded weights.
+impl Deserialize for PrepackCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
 }
 
 impl Params {
@@ -59,7 +168,13 @@ impl Params {
     }
 
     /// Mutable access to a parameter (used by optimizers).
+    ///
+    /// Clears the parameter's prepacked-panel cache slot: handing out a
+    /// mutable borrow is the only way weights change, so the next
+    /// [`Params::bind`] re-packs from the updated values (and journals a
+    /// `tensor/prepack_misses`).
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.prepack.invalidate(id.0);
         &mut self.tensors[id.0]
     }
 
@@ -84,11 +199,21 @@ impl Params {
     }
 
     /// Binds every parameter onto `tape` as a leaf, returning the per-pass
-    /// variable handles.
+    /// variable handles plus the prepacked-panel handle of every eligible
+    /// weight (built on first bind, reused until the weight mutates — see
+    /// [`PrepackCache`]).
     pub fn bind<'t>(&self, tape: &'t Tape) -> BoundParams<'t> {
         BoundParams {
             vars: self.tensors.iter().map(|t| tape.leaf(t.clone())).collect(),
+            handles: self.prepack.bind_handles(&self.tensors),
         }
+    }
+
+    /// Builds the prepacked-panel handle of every eligible weight without
+    /// binding a tape — boot-time warm-up for serving replicas and attack
+    /// loops, so their first forward already runs pack-free.
+    pub fn warm_prepack(&self) {
+        let _ = self.prepack.bind_handles(&self.tensors);
     }
 
     /// Iterates over `(id, tensor)` pairs.
@@ -156,12 +281,31 @@ impl Params {
 #[derive(Debug)]
 pub struct BoundParams<'t> {
     vars: Vec<Var<'t>>,
+    handles: Vec<Option<Prepacked>>,
 }
 
 impl<'t> BoundParams<'t> {
     /// The tape variable bound to parameter `id`.
     pub fn get(&self, id: ParamId) -> Var<'t> {
         self.vars[id.0]
+    }
+
+    /// The prepacked GEMM handle of a rank-2 weight, if cached at bind
+    /// time. Layers fall back to the pack-per-call kernels on `None`.
+    pub fn prepacked_mat(&self, id: ParamId) -> Option<&PrepackedB> {
+        match self.handles.get(id.0)?.as_ref()? {
+            Prepacked::MatB(pb) => Some(pb),
+            Prepacked::ConvW(_) => None,
+        }
+    }
+
+    /// The prepacked handle of a rank-4 conv weight, if cached at bind
+    /// time.
+    pub fn prepacked_conv(&self, id: ParamId) -> Option<&PrepackedConvW> {
+        match self.handles.get(id.0)?.as_ref()? {
+            Prepacked::ConvW(pw) => Some(pw),
+            Prepacked::MatB(_) => None,
+        }
     }
 
     /// Collects the gradient of every parameter from a backward pass,

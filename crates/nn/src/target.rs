@@ -80,6 +80,14 @@ impl<M: Model> Classifier<M> {
     pub fn into_parts(self) -> (M, Params) {
         (self.model, self.params)
     }
+
+    /// Builds the prepacked GEMM panels for every eligible parameter now,
+    /// so the first forward after boot performs zero packing work. Purely
+    /// a warm-up: values are bitwise-identical whether or not it is called
+    /// (the cache would otherwise fill on the first bind).
+    pub fn warm_prepack(&self) {
+        self.params.warm_prepack();
+    }
 }
 
 impl<M: Model> AdversarialTarget for Classifier<M> {

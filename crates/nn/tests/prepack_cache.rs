@@ -1,0 +1,117 @@
+//! Prepack-cache lifecycle: hits and misses are journaled deterministically,
+//! optimizer steps and checkpoint loads invalidate, and a warm steady-state
+//! loop performs zero `pack_b` work.
+//!
+//! Lives in its own integration binary so the global obs registry and the
+//! process-wide pack counters are not polluted by unrelated tests running
+//! in parallel; the assertions here are ordered within single test fns.
+
+use ad::Tape;
+use nn::{Linear, Optimizer, Params, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+fn model(seed: u64) -> (Params, Linear) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = Params::new();
+    let fc = Linear::new(&mut params, &mut rng, "fc", 6, 4);
+    (params, fc)
+}
+
+fn forward_value(params: &Params, fc: &Linear, x: &Tensor) -> Tensor {
+    let tape = Tape::new();
+    let bound = params.bind(&tape);
+    fc.forward(&bound, tape.leaf(x.clone())).value()
+}
+
+/// One test fn so every obs assertion sees only its own counter traffic.
+#[test]
+fn prepack_cache_lifecycle() {
+    let (mut params, fc) = model(11);
+    let x = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.25 - 1.5).collect(), &[2, 6]);
+
+    // --- cold bind journals one miss per eligible (rank-2) param ---
+    obs::enable(false);
+    obs::reset();
+    let y0 = forward_value(&params, &fc, &x);
+    obs::flush_local();
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("tensor/prepack_misses"),
+        1,
+        "one rank-2 weight"
+    );
+    assert_eq!(snap.counter("tensor/prepack_hits"), 0);
+
+    // --- warm binds journal hits, no further misses, identical bits ---
+    obs::reset();
+    for _ in 0..3 {
+        let y = forward_value(&params, &fc, &x);
+        for (a, b) in y.data().iter().zip(y0.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    obs::flush_local();
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("tensor/prepack_misses"), 0);
+    assert_eq!(snap.counter("tensor/prepack_hits"), 3);
+
+    // --- a warm timestep loop performs zero pack_b work ---
+    {
+        let tape = Tape::new();
+        let bound = params.bind(&tape);
+        let before = tensor::pack_b_calls();
+        for _ in 0..8 {
+            let _ = fc.forward(&bound, tape.leaf(x.clone()));
+        }
+        assert_eq!(
+            tensor::pack_b_calls(),
+            before,
+            "warm prepacked forwards must not re-pack B panels"
+        );
+    }
+
+    // --- an optimizer step invalidates: next bind re-packs and the ---
+    // --- forward sees the stepped weights ---
+    obs::reset();
+    let grads: Vec<Tensor> = params.iter().map(|(_, t)| Tensor::ones(t.dims())).collect();
+    Sgd::new(0.5, 0.0).step(&mut params, &grads);
+    let y1 = forward_value(&params, &fc, &x);
+    obs::flush_local();
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("tensor/prepack_misses"),
+        1,
+        "optimizer step must invalidate the weight slot"
+    );
+    let w = params.get(fc.weight()).clone();
+    let want = x.matmul(&w).add_bias(params.get(fc.bias()));
+    for (a, b) in y1.data().iter().zip(want.data()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "stale panels after optimizer step"
+        );
+    }
+
+    // --- a checkpoint round-trip starts cold: loaded weights re-pack ---
+    let dir = std::env::temp_dir().join("spiking_armor_prepack_cache_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.json");
+    params.save_json(&path).unwrap();
+    let loaded = Params::load_json(&path).unwrap();
+    obs::reset();
+    let y2 = forward_value(&loaded, &fc, &x);
+    obs::flush_local();
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("tensor/prepack_misses"),
+        1,
+        "checkpoint load must start with an empty cache"
+    );
+    for (a, b) in y2.data().iter().zip(y1.data()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "loaded weights must round-trip");
+    }
+    obs::disable();
+}

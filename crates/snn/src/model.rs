@@ -266,6 +266,10 @@ impl SpikingCnn {
             .expect("SpikingCnn always has a head layer");
         let mut tally = SpikeTally::new(t_window);
 
+        // Every layer call below resolves its weights through the bind's
+        // prepack cache (`nn::PrepackCache`): the panels packed on the
+        // first timestep are reused for all `t_window` steps, so a warm
+        // forward performs zero `pack_b` work inside this loop.
         for step in 0..t_window {
             let mut h = self.config.encoder.encode_step(x, step);
             for (i, (conv, block)) in self

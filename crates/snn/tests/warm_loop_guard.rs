@@ -1,0 +1,52 @@
+//! Steady-state guard for the SNN hot path: once a model is warm, a full
+//! timestep-loop forward performs **zero** thread spawns and **zero**
+//! `pack_b` panel packing. The worker pool is persistent and the prepack
+//! cache serves every bind, so all setup cost is paid exactly once.
+//!
+//! Lives in its own integration binary with a single `#[test]` because the
+//! spawn and pack counters are process-global — unrelated tests running in
+//! parallel in the same binary would make the deltas here meaningless.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn::{SnnConfig, SpikingMlp, StructuralParams};
+
+#[test]
+fn warm_timestep_loop_spawns_nothing_and_packs_nothing() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut params = nn::Params::new();
+    let cfg = SnnConfig::new(StructuralParams::new(1.0, 6));
+    let model = SpikingMlp::new(&mut params, &mut rng, 36, &[24, 16], 4, &cfg);
+    let x = tensor::init::uniform(&mut rng, &[3, 36], 0.0, 1.0);
+
+    // Run at a multi-thread setting so a pooled dispatch is *allowed*:
+    // the assertion below is that a warm loop never needs to spawn for
+    // one, not that dispatch is avoided.
+    let before_threads = tensor::parallel::max_threads();
+    tensor::parallel::set_max_threads(2);
+
+    // Cold forward: binds pack the weight panels (one miss per Linear)
+    // and any first dispatch spawns the pool's workers.
+    let cold = nn::logits(&model, &params, &x);
+
+    let spawns = tensor::runtime::spawn_count();
+    let packs = tensor::pack_b_calls();
+    for _ in 0..4 {
+        let warm = nn::logits(&model, &params, &x);
+        // The cache must be invisible in values: warm forwards match the
+        // cold one bitwise.
+        for (a, b) in warm.data().iter().zip(cold.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    let spawn_delta = tensor::runtime::spawn_count() - spawns;
+    let pack_delta = tensor::pack_b_calls() - packs;
+    tensor::parallel::set_max_threads(before_threads);
+
+    assert_eq!(spawn_delta, 0, "warm forwards must not spawn threads");
+    assert_eq!(
+        pack_delta, 0,
+        "warm forwards must not re-pack weight panels (4 forwards x {} timesteps ran)",
+        6
+    );
+}

@@ -18,6 +18,7 @@
 //! them allocation-free in steady state; [`conv2d`] / [`conv2d_backward`]
 //! are thin wrappers over the calling thread's default arena.
 
+use crate::gemm::PrepackedA;
 use crate::workspace::{with_thread_workspace, ShardScratch, Workspace};
 use crate::Tensor;
 
@@ -236,6 +237,117 @@ pub fn conv2d_into(out: &mut Tensor, x: &Tensor, w: &Tensor, spec: Conv2dSpec, w
             }
         },
     );
+}
+
+/// A conv weight tensor prepacked into GEMM A-panel layout for reuse
+/// across timesteps and requests.
+///
+/// The conv GEMM is `Y = W · col(X)`: the weight matrix is the **A**
+/// operand (the im2col columns are input-dependent and can never be
+/// prepacked), and every per-image product computes the full row range
+/// `0..O` — exactly the case [`crate::PrepackedA`] panels are keyed for.
+/// The panels are built by the same packing routine [`conv2d_into`] runs
+/// per image, so prepacked convolutions are bitwise identical.
+#[derive(Debug)]
+pub struct PrepackedConvW {
+    pa: PrepackedA,
+    dims: [usize; 4],
+}
+
+impl PrepackedConvW {
+    /// The `[O, C, KH, KW]` shape the weights were packed for.
+    pub fn dims(&self) -> &[usize; 4] {
+        &self.dims
+    }
+}
+
+/// Packs a `[O, C, KH, KW]` conv weight tensor once for
+/// [`conv2d_prepacked_into`].
+///
+/// # Panics
+///
+/// Panics if `w` is not rank 4.
+pub fn prepack_conv2d_weights(w: &Tensor) -> PrepackedConvW {
+    let (o, c, kh, kw) = unpack4(w, "conv2d weight");
+    let spec = crate::gemm::GemmSpec {
+        m: o,
+        k: c * kh * kw,
+        n: 0,
+        a_trans: false,
+        b_trans: false,
+    };
+    PrepackedConvW {
+        pa: PrepackedA::pack_from(w.data(), spec),
+        dims: [o, c, kh, kw],
+    }
+}
+
+/// [`conv2d_into`] with the weight matrix already in packed panel form:
+/// zero weight-packing work per call, bitwise-identical results. The
+/// im2col side is still packed per image from scratch buffers — it
+/// depends on the input and cannot be cached.
+///
+/// # Panics
+///
+/// Same shape contract as [`conv2d`]; `pw` must have been packed from a
+/// weight tensor of the same shape.
+pub fn conv2d_prepacked_into(
+    out: &mut Tensor,
+    x: &Tensor,
+    pw: &PrepackedConvW,
+    spec: Conv2dSpec,
+    ws: &mut Workspace,
+) {
+    let (n, c, h, width) = unpack4(x, "conv2d input");
+    let [o, cw, kh, kw] = *pw.dims();
+    assert_eq!(
+        c, cw,
+        "conv2d channel mismatch: input has {c}, weight expects {cw}"
+    );
+    let ho = spec.out_extent(h, kh);
+    let wo = spec.out_extent(width, kw);
+    out.resize_reusing(&[n, o, ho, wo]);
+    let image_len = c * h * width;
+    let out_len = o * ho * wo;
+    let ckk = c * kh * kw;
+    let cols = ho * wo;
+    let gemm = crate::gemm::GemmSpec {
+        m: o,
+        k: ckk,
+        n: cols,
+        a_trans: false,
+        b_trans: false,
+    };
+    let shards = ws.shards(crate::parallel::max_threads().min(n).max(1));
+    let pa = &pw.pa;
+    crate::parallel::par_row_shards(
+        out.data_mut(),
+        n,
+        out_len,
+        shards,
+        |range, out_shard, scratch: &mut ShardScratch| {
+            for (j, out_chunk) in out_shard.chunks_mut(out_len).enumerate() {
+                let ni = range.start + j;
+                let image = &x.data()[ni * image_len..(ni + 1) * image_len];
+                let col = scratch.im2col.get(ckk * cols);
+                im2col_into(col, image, c, h, width, kh, kw, spec);
+                out_chunk.fill(0.0);
+                crate::gemm::gemm_block_prepacked_a(out_chunk, pa, col, gemm, &mut scratch.gemm);
+            }
+        },
+    );
+}
+
+/// [`conv2d_prepacked_into`] allocating a fresh output via the calling
+/// thread's default workspace.
+///
+/// # Panics
+///
+/// Same contract as [`conv2d_prepacked_into`].
+pub fn conv2d_prepacked(x: &Tensor, pw: &PrepackedConvW, spec: Conv2dSpec) -> Tensor {
+    let mut out = Tensor::zeros(&[1]);
+    with_thread_workspace(|ws| conv2d_prepacked_into(&mut out, x, pw, spec, ws));
+    out
 }
 
 /// Gradients of [`conv2d`] with respect to its input and weight.
@@ -562,6 +674,40 @@ mod stride_tests {
                 gw_serial.data(),
                 "grad_w differs at {threads} threads"
             );
+        }
+        crate::parallel::set_max_threads(before);
+    }
+
+    /// Prepacked-weight convolution must be bitwise identical to the
+    /// pack-per-call path at every thread count.
+    #[test]
+    fn prepacked_conv_is_bitwise_identical() {
+        let spec = Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 5 * 5)
+                .map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.1)
+                .collect(),
+            &[2, 2, 5, 5],
+        );
+        let w = Tensor::from_vec(
+            (0..3 * 2 * 3 * 3)
+                .map(|i| ((i * 5 % 9) as f32 - 4.0) * 0.25)
+                .collect(),
+            &[3, 2, 3, 3],
+        );
+        let pw = prepack_conv2d_weights(&w);
+        let want = conv2d(&x, &w, spec);
+        let before = crate::parallel::max_threads();
+        for threads in [1, 2, 4] {
+            crate::parallel::set_max_threads(threads);
+            let got = conv2d_prepacked(&x, &pw, spec);
+            assert_eq!(got.dims(), want.dims());
+            for (i, (&a, &b)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "element {i} at {threads} threads");
+            }
         }
         crate::parallel::set_max_threads(before);
     }

@@ -48,6 +48,7 @@
 //! the whole time-loop without scratch allocations (see the
 //! steady-state-alloc tests).
 
+use crate::gemm::PrepackedB;
 use crate::linalg::{gemm_threads, mmdims};
 use crate::workspace::{with_thread_workspace, ShardScratch, Workspace};
 use crate::Tensor;
@@ -156,6 +157,71 @@ impl Tensor {
         true
     }
 
+    /// [`Tensor::matmul_events_into`] with a prepacked handle for the
+    /// dense-fallback side of the density switch. The sparse gather reads
+    /// raw weight rows from `other` (it never packs panels, so there is
+    /// nothing to prepack); only the dense path above the crossover needs
+    /// panels, and it takes them from `pb` instead of re-packing. `other`
+    /// and `pb` must be the same `[K, N]` weight matrix — the caller (the
+    /// layer cache) guarantees it. Results are bitwise identical to
+    /// [`Tensor::matmul_events_into`] on both sides of the switch.
+    ///
+    /// # Panics
+    ///
+    /// Same shape contract as [`Tensor::matmul`], plus `pb` must match
+    /// `other`'s shape.
+    pub fn matmul_events_prepacked_into(
+        &self,
+        other: &Self,
+        pb: &PrepackedB,
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> bool {
+        let (m, k, n) = mmdims(self, other);
+        assert_eq!(
+            pb.shape(),
+            (k, n),
+            "prepacked operand {:?} does not match rhs [{k}, {n}]",
+            pb.shape()
+        );
+        let a = self.data();
+        let nnz = a.iter().filter(|&&x| x != 0.0).count();
+        let density = if a.is_empty() {
+            0.0
+        } else {
+            nnz as f32 / a.len() as f32
+        };
+        if density > EVENT_DENSITY_CROSSOVER {
+            obs::counter_add("tensor/event_gemm_dense", 1);
+            self.matmul_prepacked_into(pb, out, ws);
+            return false;
+        }
+        obs::counter_add("tensor/event_gemm_sparse", 1);
+        obs::counter_add("tensor/events_propagated", nnz as u64);
+        out.resize_reusing(&[m, n]);
+        out.data_mut().fill(0.0);
+        let threads = gemm_threads(nnz * n);
+        let shards = ws.shards(threads.min(m).max(1));
+        let b = other.data();
+        crate::parallel::par_row_shards(out.data_mut(), m, n, shards, |rows, c, scratch| {
+            event_gather_rows(rows.start, c, a, b, k, n, scratch);
+        });
+        true
+    }
+
+    /// [`Tensor::matmul_events_prepacked_into`] allocating a fresh output
+    /// via the calling thread's default workspace.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Tensor::matmul_events_prepacked_into`].
+    pub fn matmul_events_prepacked(&self, other: &Self, pb: &PrepackedB) -> Self {
+        let (m, _, n) = mmdims(self, other);
+        let mut out = Tensor::zeros(&[m, n]);
+        with_thread_workspace(|ws| self.matmul_events_prepacked_into(other, pb, &mut out, ws));
+        out
+    }
+
     /// Matrix product that **skips zero elements of the left operand** — an
     /// explicit opt-in for very sparse `A` (e.g. binary spike matrices,
     /// where most rows are mostly zeros). This always takes the event
@@ -239,6 +305,33 @@ mod tests {
         assert!(a.matmul_events_into(&b, &mut out, &mut ws));
         assert!(out.data().iter().all(|&v| v == 0.0));
         assert_eq!(out.dims(), &[4, 3]);
+    }
+
+    /// The prepacked entry point must agree bitwise with the plain one on
+    /// both sides of the density switch.
+    #[test]
+    fn prepacked_event_product_matches_both_paths() {
+        let b = Tensor::from_vec(
+            (0..12 * 5).map(|i| (i as f32) * 0.1 - 2.5).collect(),
+            &[12, 5],
+        );
+        let pb = b.prepack_b();
+        let mut out = Tensor::zeros(&[1]);
+        let mut want = Tensor::zeros(&[1]);
+        let mut ws = Workspace::new();
+        for (a, sparse) in [
+            (spike_tensor(6, 12, 100, 1), true),
+            (spike_tensor(6, 12, 900, 2), false),
+        ] {
+            assert_eq!(
+                a.matmul_events_prepacked_into(&b, &pb, &mut out, &mut ws),
+                sparse
+            );
+            a.matmul_events_into(&b, &mut want, &mut ws);
+            for (x, y) in out.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     /// Fractional event values (e.g. pooled spikes) flow through the

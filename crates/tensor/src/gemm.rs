@@ -33,9 +33,30 @@
 //! NaNs are unspecified by the language (LLVM may pick different
 //! instructions per loop shape), so they are not compared.
 
+use std::fmt;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::workspace::GemmScratch;
+
+/// Lifetime total of `pack_a` invocations (prepack builds included).
+static PACK_A_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Lifetime total of `pack_b` invocations (prepack builds included).
+static PACK_B_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime count of A-panel packing calls. Deliberately a plain
+/// atomic rather than an `obs` counter: pack counts depend on shard
+/// geometry (each row shard packs its own A panels), so they are not
+/// thread-count deterministic. Used by steady-state guards asserting a
+/// warm prepacked loop performs zero packing work.
+pub fn pack_a_calls() -> u64 {
+    PACK_A_CALLS.load(Ordering::Relaxed)
+}
+
+/// Process-lifetime count of B-panel packing calls. See [`pack_a_calls`].
+pub fn pack_b_calls() -> u64 {
+    PACK_B_CALLS.load(Ordering::Relaxed)
+}
 
 /// Microkernel tile height (rows of `C` held in registers).
 pub(crate) const MR: usize = 4;
@@ -96,6 +117,7 @@ fn pack_a(
     pc: usize,
     kc: usize,
 ) {
+    PACK_A_CALLS.fetch_add(1, Ordering::Relaxed);
     for ir in (0..rows).step_by(MR) {
         let mr = MR.min(rows - ir);
         let panel = &mut dst[ir * kc..(ir + mr) * kc];
@@ -109,8 +131,9 @@ fn pack_a(
 
 /// Packs the `kc × nc` block of `B` starting at `(pc, jc)` into `NR`-column
 /// panels: panel `jr` is stored depth-major at offset `jr·kc` with stride
-/// `nr` (exact width, no padding — same rationale as [`pack_a`]).
+/// `nr` (exact width, no padding — same rationale as `pack_a`).
 fn pack_b(dst: &mut [f32], b: &[f32], spec: GemmSpec, pc: usize, kc: usize, jc: usize, nc: usize) {
+    PACK_B_CALLS.fetch_add(1, Ordering::Relaxed);
     for jr in (0..nc).step_by(NR) {
         let nr = NR.min(nc - jr);
         let panel = &mut dst[jr * kc..(jr + nr) * kc];
@@ -158,6 +181,134 @@ fn kernel_edge(kc: usize, mr: usize, nr: usize, ap: &[f32], bp: &[f32], c: &mut 
     }
 }
 
+/// A weight matrix packed once into the exact B-panel layout that
+/// `gemm_block` would produce on the fly: for each `(jc, pc)` block the
+/// `kc × nc` slice lives at offset `jc·k + pc·nc` in `(jc, pc)` loop
+/// order, filled by the same `pack_b` routine. Because the bytes the
+/// microkernel streams are identical, every result computed through a
+/// `PrepackedB` is bitwise identical to the pack-per-call path — the cache
+/// changes *when* packing happens, never *what* is packed.
+pub struct PrepackedB {
+    data: Vec<f32>,
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+}
+
+impl fmt::Debug for PrepackedB {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrepackedB({}x{})", self.k, self.n)
+    }
+}
+
+impl PrepackedB {
+    /// Packs the full `k × n` operand `b` (layout per `spec.b_trans`) into
+    /// panel form. Runs every `(jc, pc)` block through `pack_b` exactly
+    /// once, so a build counts toward [`pack_b_calls`] but warm reuse does
+    /// not.
+    pub(crate) fn pack_from(b: &[f32], spec: GemmSpec) -> Self {
+        let (k, n) = (spec.k, spec.n);
+        let mut data = vec![0.0f32; k * n];
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let off = jc * k + pc * nc;
+                pack_b(&mut data[off..off + kc * nc], b, spec, pc, kc, jc, nc);
+            }
+        }
+        Self { data, k, n }
+    }
+
+    /// Returns the `(k, n)` logical shape this operand was packed for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    // armor-lint: hot
+    fn panel(&self, jc: usize, nc: usize, pc: usize, kc: usize) -> &[f32] {
+        let off = jc * self.k + pc * nc;
+        &self.data[off..off + kc * nc]
+    }
+}
+
+/// An A-operand (conv weight matrix) packed once into `pack_a` panel
+/// layout for the **full** row range `0..m`: the `(pc, ic)` block lives at
+/// offset `pc·m + ic·kc`. Valid only for GEMMs computing all `m` rows —
+/// exactly the per-image conv product, whose row range is always `0..o`.
+/// Same bitwise-identity argument as [`PrepackedB`].
+pub struct PrepackedA {
+    data: Vec<f32>,
+    pub(crate) m: usize,
+    pub(crate) k: usize,
+}
+
+impl fmt::Debug for PrepackedA {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrepackedA({}x{})", self.m, self.k)
+    }
+}
+
+impl PrepackedA {
+    /// Packs the full `m × k` operand `a` (layout per `spec.a_trans`) into
+    /// panel form via `pack_a`.
+    pub(crate) fn pack_from(a: &[f32], spec: GemmSpec) -> Self {
+        let (m, k) = (spec.m, spec.k);
+        let mut data = vec![0.0f32; m * k];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let off = pc * m + ic * kc;
+                pack_a(&mut data[off..off + mc * kc], a, spec, ic, mc, pc, kc);
+            }
+        }
+        Self { data, m, k }
+    }
+
+    /// Returns the `(m, k)` logical shape this operand was packed for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.k)
+    }
+
+    // armor-lint: hot
+    fn panel(&self, pc: usize, kc: usize, ic: usize, mc: usize) -> &[f32] {
+        let off = pc * self.m + ic * kc;
+        &self.data[off..off + mc * kc]
+    }
+}
+
+/// The shared `jr`/`ir` microkernel sweep over one `(ic, jc)` tile pair:
+/// identical for packed-on-the-fly and prepacked panels, which is what
+/// makes the prepacked drivers bitwise-identical by construction.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_block(
+    c: &mut [f32],
+    n: usize,
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    ic: usize,
+    jc: usize,
+    ap: &[f32],
+    bp: &[f32],
+) {
+    for jr in (0..nc).step_by(NR) {
+        let nr = NR.min(nc - jr);
+        let bpanel = &bp[jr * kc..(jr + nr) * kc];
+        for ir in (0..mc).step_by(MR) {
+            let mr = MR.min(mc - ir);
+            let apanel = &ap[ir * kc..(ir + mr) * kc];
+            let c_tile = &mut c[(ic + ir) * n + jc + jr..];
+            if mr == MR && nr == NR {
+                kernel_full(kc, apanel, bpanel, c_tile, n);
+            } else {
+                kernel_edge(kc, mr, nr, apanel, bpanel, c_tile, n);
+            }
+        }
+    }
+}
+
 /// Accumulates `A[rows, :] · B` into `c`, the row-major `rows.len() × n`
 /// output slice for the absolute row range `rows` (callers pre-zero `c` for
 /// a plain product). Packing panels are leased from `scratch` — warm
@@ -189,20 +340,78 @@ pub(crate) fn gemm_block(
                 let mc = MC.min(rows.len() - ic);
                 let ap = scratch.pack_a.get(mc * kc);
                 pack_a(ap, a, spec, rows.start + ic, mc, pc, kc);
-                for jr in (0..nc).step_by(NR) {
-                    let nr = NR.min(nc - jr);
-                    let bpanel = &bp[jr * kc..(jr + nr) * kc];
-                    for ir in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir);
-                        let apanel = &ap[ir * kc..(ir + mr) * kc];
-                        let c_tile = &mut c[(ic + ir) * n + jc + jr..];
-                        if mr == MR && nr == NR {
-                            kernel_full(kc, apanel, bpanel, c_tile, n);
-                        } else {
-                            kernel_edge(kc, mr, nr, apanel, bpanel, c_tile, n);
-                        }
-                    }
-                }
+                tile_block(c, n, kc, mc, nc, ic, jc, ap, bp);
+            }
+        }
+    }
+}
+
+/// `gemm_block` with the B operand already in panel form: zero
+/// `pack_b` work per call. `A` is still packed per row block from
+/// `scratch` (it is the activation operand, different every call). The
+/// absolute row range `rows` shards exactly like `gemm_block`, because B
+/// panels are row-independent.
+// armor-lint: hot
+pub(crate) fn gemm_block_prepacked(
+    c: &mut [f32],
+    a: &[f32],
+    pb: &PrepackedB,
+    spec: GemmSpec,
+    rows: Range<usize>,
+    scratch: &mut GemmScratch,
+) {
+    let (k, n) = (spec.k, spec.n);
+    debug_assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+    debug_assert_eq!(c.len(), rows.len() * n);
+    if rows.is_empty() || n == 0 || k == 0 {
+        return;
+    }
+    obs::counter_add("tensor/gemm_macs", (rows.len() * k * n) as u64);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp = pb.panel(jc, nc, pc, kc);
+            for ic in (0..rows.len()).step_by(MC) {
+                let mc = MC.min(rows.len() - ic);
+                let ap = scratch.pack_a.get(mc * kc);
+                pack_a(ap, a, spec, rows.start + ic, mc, pc, kc);
+                tile_block(c, n, kc, mc, nc, ic, jc, ap, bp);
+            }
+        }
+    }
+}
+
+/// `gemm_block` with the A operand already in panel form — the conv
+/// weight path, where `A` is the `[o, c·kh·kw]` kernel matrix and `B` is
+/// the input-dependent im2col buffer (packed per call from `scratch`;
+/// it *cannot* be prepacked). Computes the full `0..m` row range, which
+/// is the only range [`PrepackedA`] panels are keyed for.
+// armor-lint: hot
+pub(crate) fn gemm_block_prepacked_a(
+    c: &mut [f32],
+    pa: &PrepackedA,
+    b: &[f32],
+    spec: GemmSpec,
+    scratch: &mut GemmScratch,
+) {
+    let (m, k, n) = (spec.m, spec.k, spec.n);
+    debug_assert_eq!((pa.m, pa.k), (m, k), "prepacked A shape mismatch");
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    obs::counter_add("tensor/gemm_macs", (m * k * n) as u64);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let bp = scratch.pack_b.get(nc * kc);
+            pack_b(bp, b, spec, pc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let ap = pa.panel(pc, kc, ic, mc);
+                tile_block(c, n, kc, mc, nc, ic, jc, ap, bp);
             }
         }
     }
@@ -311,6 +520,83 @@ mod tests {
         let plain = naive(&a, &b, s);
         for (got, want) in c.iter().zip(&plain) {
             assert_eq!(*got, 10.0 + want);
+        }
+    }
+
+    #[test]
+    fn prepacked_b_is_bitwise_identical_across_tile_boundaries() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (MR + 1, 5, NR + 3),
+            (MC + 2, KC + 5, 7),
+            (3, 2 * KC + 1, 2),
+            (5, 4, NC + 9),
+            (MC, KC, NR),
+        ] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let s = spec(m, k, n);
+            let pb = PrepackedB::pack_from(&b, s);
+            let mut c = vec![0.0; m * n];
+            gemm_block_prepacked(&mut c, &a, &pb, s, 0..m, &mut GemmScratch::default());
+            assert_eq!(c, gemm_dense(&a, &b, s), "mismatch at m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn prepacked_b_supports_row_sharded_ranges() {
+        let s = spec(10, 6, 5);
+        let a = ramp(60, 0.5);
+        let b = ramp(30, 0.25);
+        let pb = PrepackedB::pack_from(&b, s);
+        let full = naive(&a, &b, s);
+        let rows = 3..8;
+        let mut c = vec![0.0; rows.len() * s.n];
+        gemm_block_prepacked(
+            &mut c,
+            &a,
+            &pb,
+            s,
+            rows.clone(),
+            &mut GemmScratch::default(),
+        );
+        assert_eq!(c, full[rows.start * s.n..rows.end * s.n]);
+    }
+
+    #[test]
+    fn prepacked_b_packs_transposed_layouts() {
+        let (m, k, n) = (9, 11, 10);
+        let a = ramp(m * k, 0.3);
+        let b_t = ramp(n * k, 0.7); // B stored [n, k]
+        let s = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: true,
+        };
+        let pb = PrepackedB::pack_from(&b_t, s);
+        let mut c = vec![0.0; m * n];
+        gemm_block_prepacked(&mut c, &a, &pb, s, 0..m, &mut GemmScratch::default());
+        assert_eq!(c, naive(&a, &b_t, s));
+    }
+
+    #[test]
+    fn prepacked_a_is_bitwise_identical_across_tile_boundaries() {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (MR + 1, 5, NR + 3),
+            (MC + 2, KC + 5, 7),
+            (3, 2 * KC + 1, 2),
+            (5, 4, NC + 9),
+        ] {
+            let a = ramp(m * k, 0.25);
+            let b = ramp(k * n, 0.5);
+            let s = spec(m, k, n);
+            let pa = PrepackedA::pack_from(&a, s);
+            let mut c = vec![0.0; m * n];
+            gemm_block_prepacked_a(&mut c, &pa, &b, s, &mut GemmScratch::default());
+            assert_eq!(c, gemm_dense(&a, &b, s), "mismatch at m={m} k={k} n={n}");
         }
     }
 

@@ -55,9 +55,12 @@ pub mod init;
 pub mod parallel;
 pub mod pool;
 pub mod reduce;
+pub mod runtime;
 pub mod simd;
 pub mod workspace;
 
+pub use conv::{conv2d_prepacked, conv2d_prepacked_into, prepack_conv2d_weights, PrepackedConvW};
 pub use error::ShapeError;
+pub use gemm::{pack_a_calls, pack_b_calls, PrepackedA, PrepackedB};
 pub use shape::Shape;
 pub use tensor::Tensor;

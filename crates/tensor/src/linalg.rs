@@ -9,7 +9,7 @@
 //! nothing beyond their outputs; [`Tensor::matmul_into`] also reuses the
 //! output.
 
-use crate::gemm::{gemm_block, GemmSpec};
+use crate::gemm::{gemm_block, gemm_block_prepacked, GemmSpec, PrepackedB};
 use crate::workspace::{with_thread_workspace, Workspace};
 use crate::Tensor;
 
@@ -128,6 +128,81 @@ impl Tensor {
             b_trans: false,
         };
         gemm_dispatch(out.data_mut(), self.data(), other.data(), spec, ws);
+    }
+
+    /// Packs this `[K, N]` tensor once into GEMM B-panel layout for reuse
+    /// across many products ([`Tensor::matmul_prepacked`]). The panels are
+    /// produced by the exact routine `matmul` runs per call, so prepacked
+    /// products are **bitwise identical** to `matmul` — packing once
+    /// changes when the work happens, never the bytes. Weight matrices are
+    /// the intended use: constant across every timestep of a forward pass
+    /// and every request a replica answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn prepack_b(&self) -> PrepackedB {
+        let (k, n) = match self.dims() {
+            [k, n] => (*k, *n),
+            d => panic!("prepack_b requires rank 2, got shape {d:?}"),
+        };
+        let spec = GemmSpec {
+            m: 0,
+            k,
+            n,
+            a_trans: false,
+            b_trans: false,
+        };
+        PrepackedB::pack_from(self.data(), spec)
+    }
+
+    /// [`Tensor::matmul`] against a weight matrix prepacked with
+    /// [`Tensor::prepack_b`]: zero B-packing work per call, bitwise
+    /// identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or its trailing dimension differs
+    /// from the packed operand's leading dimension.
+    pub fn matmul_prepacked(&self, pb: &PrepackedB) -> Self {
+        let (k, n) = pb.shape();
+        let m = match self.dims() {
+            [m, k2] if *k2 == k => *m,
+            d => panic!("matmul_prepacked lhs {d:?} does not match packed [{k}, {n}]"),
+        };
+        let mut out = Tensor::zeros(&[m, n]);
+        with_thread_workspace(|ws| self.matmul_prepacked_into(pb, &mut out, ws));
+        out
+    }
+
+    /// [`Tensor::matmul_prepacked`] writing into a caller-owned output and
+    /// workspace — with a warm `(out, ws)` pair the whole product performs
+    /// zero allocation *and* zero B-panel packing.
+    ///
+    /// # Panics
+    ///
+    /// Same shape contract as [`Tensor::matmul_prepacked`].
+    pub fn matmul_prepacked_into(&self, pb: &PrepackedB, out: &mut Tensor, ws: &mut Workspace) {
+        let (k, n) = pb.shape();
+        let m = match self.dims() {
+            [m, k2] if *k2 == k => *m,
+            d => panic!("matmul_prepacked lhs {d:?} does not match packed [{k}, {n}]"),
+        };
+        out.resize_reusing(&[m, n]);
+        out.data_mut().fill(0.0);
+        let spec = GemmSpec {
+            m,
+            k,
+            n,
+            a_trans: false,
+            b_trans: false,
+        };
+        let threads = gemm_threads(m * k * n);
+        let shards = ws.shards(threads.min(m).max(1));
+        let a = self.data();
+        crate::parallel::par_row_shards(out.data_mut(), m, n, shards, |rows, c, scratch| {
+            gemm_block_prepacked(c, a, pb, spec, rows, &mut scratch.gemm);
+        });
     }
 
     /// `self · otherᵀ` for `self: [M, K]` and `other: [N, K]`, without
@@ -429,6 +504,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Prepacked products must be bitwise identical to pack-per-call
+    /// `matmul` at every thread count, including special values.
+    #[test]
+    fn matmul_prepacked_matches_matmul_bitwise() {
+        let (m, k, n) = (37, 19, 23);
+        let a = Tensor::from_vec(
+            (0..m * k)
+                .map(|i| ((i * 37 + 11) % 97) as f32 * 0.17 - 8.0)
+                .collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n)
+                .map(|i| ((i * 53 + 7) % 89) as f32 * 0.23 - 10.0)
+                .collect(),
+            &[k, n],
+        );
+        let pb = b.prepack_b();
+        let reference = a.matmul(&b);
+        let before = crate::parallel::max_threads();
+        for threads in [1usize, 2, 4] {
+            crate::parallel::set_max_threads(threads);
+            let got = a.matmul_prepacked(&pb);
+            for (i, (&x, &y)) in got.data().iter().zip(reference.data()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "element {i} at {threads} threads");
+            }
+        }
+        crate::parallel::set_max_threads(before);
+    }
+
+    #[test]
+    fn matmul_prepacked_handles_special_values() {
+        let a = Tensor::from_vec(
+            vec![-0.0, 0.0, 1.0, f32::NEG_INFINITY, -1.0, f32::NAN],
+            &[2, 3],
+        );
+        let b = Tensor::from_vec(vec![1.0, -0.0, f32::INFINITY, 0.5, f32::NAN, -2.0], &[3, 2]);
+        let got = a.matmul_prepacked(&b.prepack_b());
+        let want = a.matmul(&b);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            if x.is_nan() || y.is_nan() {
+                assert!(x.is_nan() && y.is_nan(), "prepacked {x} vs matmul {y}");
+            } else {
+                assert_eq!(x.to_bits(), y.to_bits(), "prepacked {x} vs matmul {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match packed")]
+    fn matmul_prepacked_rejects_mismatch() {
+        let b = Tensor::zeros(&[3, 2]);
+        Tensor::zeros(&[2, 4]).matmul_prepacked(&b.prepack_b());
     }
 
     #[test]

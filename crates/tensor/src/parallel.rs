@@ -8,14 +8,24 @@
 //! is bitwise-identical to the serial loop for every thread count.
 //! Parallelism here changes wall-clock time, never results.
 //!
+//! Shards execute on the persistent worker pool in [`crate::runtime`]:
+//! helpers compute their shard boundaries exactly as the old scoped-thread
+//! implementation did and hand the pieces to `crate::runtime::dispatch`,
+//! which reuses parked threads instead of spawning fresh ones per call.
+//! Each helper counts one `tensor/pool_dispatches` on entry (serial fast
+//! paths included), so that counter is independent of the thread count.
+//!
 //! The workspace-wide default thread count lives behind
 //! [`set_max_threads`]/[`max_threads`]; kernels such as [`crate::conv::conv2d`]
 //! and [`crate::Tensor::map`] consult it so callers opt whole pipelines into
 //! parallel execution with one switch (the CLI's `--threads` flag).
 
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use crate::runtime::{self, SendPtr};
 
 /// Workspace-wide default thread count; 0 means "all available cores".
 /// Defaults to 1 so libraries stay serial unless a binary opts in.
@@ -93,40 +103,45 @@ pub fn chunk_ranges(total: usize, pieces: usize) -> Vec<Range<usize>> {
 /// Maps `f` over `0..n` with up to `threads` workers and returns the results
 /// in index order — the parallel equivalent of `(0..n).map(f).collect()`.
 ///
-/// With `threads <= 1` (or `n <= 1`) no thread is spawned and `f` runs on
-/// the caller's stack.
+/// With `threads <= 1` (or `n <= 1`) the pool is not touched and `f` runs
+/// on the caller's stack.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins every worker first).
+/// Propagates a panic from `f` (the pool waits for every worker to check
+/// in first).
 pub fn par_map_collect<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let pieces = resolve(threads).min(n);
+    runtime::note_dispatch();
     if pieces <= 1 {
         return (0..n).map(f).collect();
     }
-    let shards: Vec<Vec<T>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(n, pieces)
-            .into_iter()
-            .map(|range| {
-                let f = &f;
-                scope.spawn(move |_| range.map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
-    .expect("parallel worker panicked");
-    let mut out = Vec::with_capacity(n);
-    for shard in shards {
-        out.extend(shard);
-    }
-    out
+    let ranges = chunk_ranges(n, pieces);
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit<T>` needs no initialization; every slot is
+    // written exactly once below before the vector is transmuted.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    runtime::dispatch(ranges.len(), |piece| {
+        for i in ranges[piece].clone() {
+            // SAFETY: `chunk_ranges` yields disjoint index ranges and each
+            // piece runs exactly once, so slot `i` is written by exactly
+            // one executor and read by nobody until dispatch returns.
+            unsafe { base.get().add(i).write(MaybeUninit::new(f(i))) };
+        }
+    });
+    // A panicking piece propagates out of `dispatch` above; in that case
+    // `out` drops as uninitialized storage and the written elements leak
+    // (never double-dropped), which is acceptable on the panic path.
+    let mut out = ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: all `n` slots were initialized by the loop above, and
+    // `MaybeUninit<T>` has the same layout as `T`.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
 }
 
 /// Applies `f(offset, shard)` to contiguous shards of `data` with up to
@@ -139,21 +154,21 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     let pieces = resolve(threads).min(data.len());
+    runtime::note_dispatch();
     if pieces <= 1 {
         f(0, data);
         return;
     }
     let ranges = chunk_ranges(data.len(), pieces);
-    crossbeam::scope(|scope| {
-        let mut rest = data;
-        for range in ranges {
-            let (shard, tail) = rest.split_at_mut(range.end - range.start);
-            rest = tail;
-            let f = &f;
-            scope.spawn(move |_| f(range.start, shard));
-        }
-    })
-    .expect("parallel worker panicked");
+    let base = SendPtr(data.as_mut_ptr());
+    runtime::dispatch(ranges.len(), |piece| {
+        let range = &ranges[piece];
+        // SAFETY: `chunk_ranges` yields disjoint ranges of `data`, each
+        // piece runs exactly once, so shards never overlap.
+        let shard =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
+        f(range.start, shard);
+    });
 }
 
 /// Splits `data` into consecutive chunks of `chunk_len` and calls
@@ -180,6 +195,7 @@ where
     );
     let n = data.len() / chunk_len;
     let pieces = resolve(threads).min(n);
+    runtime::note_dispatch();
     if pieces <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
@@ -187,20 +203,21 @@ where
         return;
     }
     let ranges = chunk_ranges(n, pieces);
-    crossbeam::scope(|scope| {
-        let mut rest = data;
-        for range in ranges {
-            let (shard, tail) = rest.split_at_mut((range.end - range.start) * chunk_len);
-            rest = tail;
-            let f = &f;
-            scope.spawn(move |_| {
-                for (j, chunk) in shard.chunks_mut(chunk_len).enumerate() {
-                    f(range.start + j, chunk);
-                }
-            });
+    let base = SendPtr(data.as_mut_ptr());
+    runtime::dispatch(ranges.len(), |piece| {
+        let range = &ranges[piece];
+        // SAFETY: pieces own disjoint chunk ranges (`chunk_ranges`) and the
+        // pool runs each piece exactly once, so the slices never overlap.
+        let shard = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.get().add(range.start * chunk_len),
+                range.len() * chunk_len,
+            )
+        };
+        for (j, chunk) in shard.chunks_mut(chunk_len).enumerate() {
+            f(range.start + j, chunk);
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Splits `data` (`rows` logical rows of `row_len` elements each) into the
@@ -209,11 +226,12 @@ where
 /// worker owning one scratch slot.
 ///
 /// This is [`par_chunks_mut`] for kernels that need per-worker scratch
-/// buffers (GEMM packing panels, im2col columns): scoped threads are spawned
-/// fresh per call, so thread-locals cannot carry warm buffers — the caller's
-/// [`crate::workspace::Workspace`] supplies one scratch slot per shard
-/// instead. With one shard (or one row) everything runs on the caller's
-/// stack using `scratch[0]`.
+/// buffers (GEMM packing panels, im2col columns): scratch is bound to the
+/// *piece*, not the executing thread — piece `i` always uses `scratch[i]`,
+/// so the caller's [`crate::workspace::Workspace`] carries warm buffers
+/// across calls regardless of which pool worker runs which piece. With one
+/// shard (or one row) everything runs on the caller's stack using
+/// `scratch[0]`.
 ///
 /// # Panics
 ///
@@ -236,24 +254,30 @@ where
     }
     assert!(!scratch.is_empty(), "need at least one scratch slot");
     let pieces = scratch.len().min(rows);
+    runtime::note_dispatch();
     if pieces <= 1 {
         f(0..rows, data, &mut scratch[0]);
         return;
     }
     let ranges = chunk_ranges(rows, pieces);
-    crossbeam::scope(|scope| {
-        let mut rest = data;
-        let mut scratch_rest = scratch;
-        for range in ranges {
-            let (shard, tail) = rest.split_at_mut(range.len() * row_len);
-            rest = tail;
-            let (slot, scratch_tail) = scratch_rest.split_first_mut().expect("scratch underflow");
-            scratch_rest = scratch_tail;
-            let f = &f;
-            scope.spawn(move |_| f(range, shard, slot));
-        }
-    })
-    .expect("parallel worker panicked");
+    let dbase = SendPtr(data.as_mut_ptr());
+    let sbase = SendPtr(scratch.as_mut_ptr());
+    runtime::dispatch(ranges.len(), |piece| {
+        let range = ranges[piece].clone();
+        // SAFETY: pieces own disjoint row ranges (`chunk_ranges`) and the
+        // pool runs each piece exactly once, so the data slices never
+        // overlap.
+        let shard = unsafe {
+            std::slice::from_raw_parts_mut(
+                dbase.get().add(range.start * row_len),
+                range.len() * row_len,
+            )
+        };
+        // SAFETY: scratch slot `piece` belongs to this piece alone
+        // (`piece < pieces <= scratch.len()`, each piece runs once).
+        let slot = unsafe { &mut *sbase.get().add(piece) };
+        f(range, shard, slot);
+    });
 }
 
 /// Like [`par_row_shards`], but shards **two** buffers by the same row
@@ -294,27 +318,37 @@ pub fn par_row_shards2<T, F>(
     }
     assert!(!scratch.is_empty(), "need at least one scratch slot");
     let pieces = scratch.len().min(rows);
+    runtime::note_dispatch();
     if pieces <= 1 {
         f(0..rows, a, b, &mut scratch[0]);
         return;
     }
     let ranges = chunk_ranges(rows, pieces);
-    crossbeam::scope(|scope| {
-        let mut a_rest = a;
-        let mut b_rest = b;
-        let mut scratch_rest = scratch;
-        for range in ranges {
-            let (a_shard, a_tail) = a_rest.split_at_mut(range.len() * a_row_len);
-            a_rest = a_tail;
-            let (b_shard, b_tail) = b_rest.split_at_mut(range.len() * b_row_len);
-            b_rest = b_tail;
-            let (slot, scratch_tail) = scratch_rest.split_first_mut().expect("scratch underflow");
-            scratch_rest = scratch_tail;
-            let f = &f;
-            scope.spawn(move |_| f(range, a_shard, b_shard, slot));
-        }
-    })
-    .expect("parallel worker panicked");
+    let abase = SendPtr(a.as_mut_ptr());
+    let bbase = SendPtr(b.as_mut_ptr());
+    let sbase = SendPtr(scratch.as_mut_ptr());
+    runtime::dispatch(ranges.len(), |piece| {
+        let range = ranges[piece].clone();
+        // SAFETY: pieces own disjoint row ranges in both buffers
+        // (`chunk_ranges`) and the pool runs each piece exactly once, so
+        // neither slice overlaps another piece's.
+        let a_shard = unsafe {
+            std::slice::from_raw_parts_mut(
+                abase.get().add(range.start * a_row_len),
+                range.len() * a_row_len,
+            )
+        };
+        // SAFETY: same disjointness argument for the second buffer.
+        let b_shard = unsafe {
+            std::slice::from_raw_parts_mut(
+                bbase.get().add(range.start * b_row_len),
+                range.len() * b_row_len,
+            )
+        };
+        // SAFETY: scratch slot `piece` belongs to this piece alone.
+        let slot = unsafe { &mut *sbase.get().add(piece) };
+        f(range, a_shard, b_shard, slot);
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,388 @@
+//! The persistent worker pool behind every [`crate::parallel`] helper.
+//!
+//! Before this module, each parallel section spawned fresh
+//! `crossbeam::scope` threads and joined them on exit — a fixed
+//! spawn/join tax paid once per call, and the reason the GEMM dispatch
+//! needed a per-shard work floor at all. The SNN time loop multiplies
+//! that tax by `T` timesteps per forward pass. The pool replaces it with
+//! long-lived workers parked on a [`Condvar`]: the first parallel section
+//! spawns them (lazily, up to [`MAX_POOL_WORKERS`]), every later section
+//! wakes them, and a warm process performs **zero thread spawns** in
+//! steady state (asserted by the `spawn_guard` bench step via
+//! [`spawn_count`]).
+//!
+//! # Determinism contract
+//!
+//! The pool never changes *what* is computed, only *which thread*
+//! computes it. `dispatch` runs pieces `0..pieces` exactly once each;
+//! piece boundaries come from the caller ([`crate::parallel::chunk_ranges`]
+//! produces the same shards as the scoped-thread implementation did), and
+//! piece→executor assignment is fixed and deterministic: executor `e` of
+//! `E` runs pieces `e, e+E, e+2E, …` (the caller is executor 0, pool
+//! worker `i` is executor `i+1`). Since every piece runs the same code on
+//! the same data regardless of executor, outputs are bitwise identical to
+//! the serial loop at every thread count — exactly the guarantee the
+//! scoped implementation gave, minus the per-call spawns.
+//!
+//! # Synchronization protocol
+//!
+//! One global job slot guarded by a [`Mutex`] plus two condvars (`work`
+//! publishes, `done` acknowledges) and a `lease` mutex serializing
+//! concurrent top-level dispatchers (e.g. two `serve` replicas): a
+//! dispatcher takes the lease, publishes the job with a bumped sequence
+//! number, participates as executor 0, then waits for every registered
+//! worker to check in. Workers register under the state lock *before*
+//! reading the current sequence number, so a worker spawned while a job
+//! is in flight can never join a job it was not counted into. Panics in
+//! any piece are caught, the first is stored, and `dispatch` re-raises
+//! it on the caller after all workers have checked in — same observable
+//! behavior as the scoped-thread join.
+//!
+//! Nested parallel sections (a piece that itself calls a parallel helper)
+//! run inline on their executor: the thread-local `ACTIVE` flag marks
+//! pool workers permanently and the caller for the duration of its
+//! participation, so nesting can never deadlock on the single job slot.
+//!
+//! # Metrics
+//!
+//! * `tensor/pool_dispatches` — deterministic counter, one per parallel
+//!   section *entry* (including inline/serial ones, counted by the
+//!   helpers in [`crate::parallel`]), so the value is independent of the
+//!   thread count.
+//! * `tensor/pool_wake_ns` — quarantined wall-clock timing gauge:
+//!   nanoseconds from job publication to each worker starting its first
+//!   piece. Never part of deterministic artifacts.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Upper bound on pool threads: `1 + MAX_POOL_WORKERS` executors serve
+/// any dispatch. Callers may request hundreds of pieces (piece counts
+/// drive shard *boundaries*, which must stay thread-count independent);
+/// executors beyond the piece count or this cap would only idle.
+pub const MAX_POOL_WORKERS: usize = 15;
+
+/// One published parallel section. `f` borrows the dispatcher's stack;
+/// the protocol guarantees the borrow outlives every worker's use (the
+/// dispatcher cannot return before `remaining` hits zero).
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    pieces: usize,
+    executors: usize,
+    published: Instant,
+}
+
+struct State {
+    /// Bumped once per published job; workers wait for it to advance.
+    seq: u64,
+    job: Option<Job>,
+    /// Registered workers that have not yet checked in for the current job.
+    remaining: usize,
+    /// First panic payload caught by any worker for the current job.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Threads launched (some may not have registered yet).
+    spawned: usize,
+    /// Workers parked in the wait loop (registered under this lock).
+    registered: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: a new job was published (`state.seq` advanced).
+    work: Condvar,
+    /// Signals the dispatcher: registration or check-in progressed.
+    done: Condvar,
+    /// Serializes top-level dispatchers; held for the whole job.
+    lease: Mutex<()>,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        state: Mutex::new(State {
+            seq: 0,
+            job: None,
+            remaining: 0,
+            panic: None,
+            spawned: 0,
+            registered: 0,
+        }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+        lease: Mutex::new(()),
+    })
+}
+
+thread_local! {
+    /// `true` on pool workers (permanently) and on a dispatcher while it
+    /// participates in its own job: parallel sections entered with the
+    /// flag set run inline, making nesting deadlock-free.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Test/diagnostic knob: force every dispatch inline on the caller.
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+/// Total pool threads ever spawned by this process (a plain atomic, not
+/// an obs counter: spawns happen once per process, so the value is *not*
+/// thread-count deterministic and must stay out of metrics artifacts).
+static SPAWNED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Forces every `dispatch` to run inline on the calling thread (the
+/// serial reference path). Bitwise-identity tests diff pooled against
+/// forced-serial output; the knob is global, so don't leave it set.
+pub fn set_force_serial(on: bool) {
+    FORCE_SERIAL.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_force_serial`] is currently set.
+pub fn force_serial() -> bool {
+    FORCE_SERIAL.load(Ordering::Relaxed)
+}
+
+/// How many pool worker threads this process has ever spawned. Flat in
+/// steady state: the warm SNN loop must not move it (the bench
+/// `spawn_guard` enforces exactly that).
+pub fn spawn_count() -> u64 {
+    SPAWNED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Records one parallel-section entry on the deterministic
+/// `tensor/pool_dispatches` counter. Called by every [`crate::parallel`]
+/// helper exactly once per call — serial fast paths included — so the
+/// count depends only on the call sequence, never on the thread count.
+pub(crate) fn note_dispatch() {
+    obs::counter_add("tensor/pool_dispatches", 1);
+}
+
+/// A raw pointer that crosses the dispatch boundary. Each use site hands
+/// disjoint regions of the pointee to different pieces; the SAFETY
+/// comments at those sites carry the aliasing argument.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// SAFETY: SendPtr only moves the *address* to pool workers; every use
+// site derives disjoint, exclusively-owned regions from it (one per
+// piece, each piece executed exactly once).
+unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same argument as Send — shared access is to the address only.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn worker_main(index: usize) {
+    ACTIVE.with(|a| a.set(true));
+    let shared = shared();
+    let mut guard = shared.state.lock().expect("pool state poisoned");
+    guard.registered += 1;
+    shared.done.notify_all();
+    // Synchronize with any in-flight job: this worker was not counted
+    // into `remaining` for it, so it must wait for the *next* sequence
+    // number. Reading `seq` under the same lock registration happened
+    // under makes that exact.
+    let mut last_seq = guard.seq;
+    loop {
+        while guard.seq == last_seq {
+            guard = shared.work.wait(guard).expect("pool state poisoned");
+        }
+        last_seq = guard.seq;
+        let job = guard.job.expect("sequence advanced without a job");
+        drop(guard);
+        let mut failure = None;
+        if index + 1 < job.executors {
+            if obs::enabled() {
+                let ns = job.published.elapsed().as_nanos() as u64;
+                obs::timing_gauge_add("tensor/pool_wake_ns", ns);
+            }
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut piece = index + 1;
+                while piece < job.pieces {
+                    (job.f)(piece);
+                    piece += job.executors;
+                }
+            }));
+            if let Err(payload) = run {
+                failure = Some(payload);
+            }
+        }
+        guard = shared.state.lock().expect("pool state poisoned");
+        if let Some(payload) = failure {
+            // Keep the first panic; later ones joined the same root cause.
+            if guard.panic.is_none() {
+                guard.panic = Some(payload);
+            }
+        }
+        guard.remaining -= 1;
+        if guard.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Spawns pool workers until at least `needed` are registered (clamped
+/// to [`MAX_POOL_WORKERS`]); returns once they are all parked in the
+/// wait loop. Idempotent and cheap when the pool is already warm.
+fn ensure_workers(shared: &'static Shared, needed: usize) {
+    let needed = needed.min(MAX_POOL_WORKERS);
+    let mut guard = shared.state.lock().expect("pool state poisoned");
+    while guard.spawned < needed {
+        let index = guard.spawned;
+        guard.spawned += 1;
+        SPAWNED_TOTAL.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name(format!("tensor-pool-{index}"))
+            .spawn(move || worker_main(index))
+            .expect("failed to spawn pool worker");
+    }
+    while guard.registered < needed {
+        guard = shared.done.wait(guard).expect("pool state poisoned");
+    }
+}
+
+/// Runs `f(piece)` for every piece in `0..pieces`, each exactly once,
+/// fanning out over the persistent pool. Piece→executor assignment is
+/// the fixed stride documented in the module docs, so results never
+/// depend on how many executors participate. Runs inline (plain serial
+/// loop, no locks touched) when there is nothing to fan out, when
+/// [`force_serial`] is set, or when called from inside another dispatch.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any piece, after every worker
+/// has checked in (no piece is left running).
+// armor-lint: hot
+pub(crate) fn dispatch<F: Fn(usize) + Sync>(pieces: usize, f: F) {
+    if pieces == 0 {
+        return;
+    }
+    if pieces == 1 || force_serial() || ACTIVE.with(|a| a.get()) {
+        for piece in 0..pieces {
+            f(piece);
+        }
+        return;
+    }
+    let executors = pieces.min(MAX_POOL_WORKERS + 1);
+    let shared = shared();
+    ensure_workers(shared, executors - 1);
+    let lease = shared.lease.lock().expect("pool lease poisoned");
+    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    // The job (and this borrow of `f`) is retired before `dispatch`
+    // returns: we wait below until every registered worker has checked in
+    // for this sequence number, and workers only call `job.f` between
+    // reading the job and checking in.
+    // SAFETY: the 'static lifetime is a fiction the check-in protocol
+    // above makes unobservable; the borrow ends before `dispatch` returns.
+    let f_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f_ref) };
+    let mut guard = shared.state.lock().expect("pool state poisoned");
+    let expected = guard.registered;
+    guard.seq += 1;
+    guard.job = Some(Job {
+        f: f_static,
+        pieces,
+        executors,
+        published: Instant::now(),
+    });
+    guard.remaining = expected;
+    drop(guard);
+    shared.work.notify_all();
+    // Participate as executor 0; ACTIVE makes nested sections run inline.
+    ACTIVE.with(|a| a.set(true));
+    let caller = catch_unwind(AssertUnwindSafe(|| {
+        let mut piece = 0;
+        while piece < pieces {
+            f(piece);
+            piece += executors;
+        }
+    }));
+    ACTIVE.with(|a| a.set(false));
+    let mut guard = shared.state.lock().expect("pool state poisoned");
+    while guard.remaining > 0 {
+        guard = shared.done.wait(guard).expect("pool state poisoned");
+    }
+    guard.job = None;
+    let pool_panic = guard.panic.take();
+    drop(guard);
+    drop(lease);
+    if let Some(payload) = pool_panic {
+        std::panic::resume_unwind(payload);
+    }
+    if let Err(payload) = caller {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_piece_runs_exactly_once() {
+        for pieces in [1usize, 2, 3, 16, 17, 64] {
+            let hits: Vec<AtomicUsize> = (0..pieces).map(|_| AtomicUsize::new(0)).collect();
+            dispatch(pieces, |p| {
+                hits[p].fetch_add(1, Ordering::Relaxed);
+            });
+            for (p, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "piece {p} of {pieces}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let hits = AtomicUsize::new(0);
+        dispatch(4, |_| {
+            dispatch(3, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn force_serial_runs_on_the_caller() {
+        set_force_serial(true);
+        let main = std::thread::current().id();
+        dispatch(8, |_| {
+            assert_eq!(std::thread::current().id(), main);
+        });
+        set_force_serial(false);
+    }
+
+    #[test]
+    fn pool_panic_reaches_the_dispatcher() {
+        let caught = std::panic::catch_unwind(|| {
+            dispatch(8, |p| {
+                assert!(p != 5, "piece five exploded");
+            });
+        });
+        assert!(caught.is_err());
+        // The pool must stay serviceable after a panicked job.
+        let hits = AtomicUsize::new(0);
+        dispatch(8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn warm_pool_spawns_no_new_threads() {
+        // Warm up to the cap, then verify further dispatches reuse it.
+        dispatch(MAX_POOL_WORKERS + 1, |_| {});
+        let warm = spawn_count();
+        for _ in 0..32 {
+            dispatch(MAX_POOL_WORKERS + 1, |_| {});
+        }
+        assert_eq!(spawn_count(), warm, "warm dispatches must not spawn");
+    }
+}

@@ -1,0 +1,131 @@
+//! The persistent worker pool must be invisible in values: every kernel
+//! routed through [`tensor::runtime::dispatch`] — dense GEMM, prepacked
+//! GEMM, convolution, and the event-driven product — returns bitwise the
+//! same bytes whether pieces run on pool workers or are forced onto the
+//! caller's stack ([`tensor::runtime::set_force_serial`]), at every
+//! `max_threads` setting.
+//!
+//! This holds by construction (fixed strided piece→executor assignment,
+//! identical per-piece code on both paths) and is pinned here by proptest
+//! over random shapes and value streams. The globals mutated below
+//! (`max_threads`, `force_serial`) are exactly the knobs whose settings
+//! must not matter, so concurrent tests flipping them cannot cause a
+//! false failure.
+
+use proptest::prelude::*;
+use tensor::conv::{conv2d, Conv2dSpec};
+use tensor::parallel::set_max_threads;
+use tensor::runtime::set_force_serial;
+use tensor::Tensor;
+
+/// Deterministic SplitMix64 value stream.
+fn stream_value(seed: u64, i: u64) -> f32 {
+    let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+}
+
+fn stream_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len as u64).map(|i| stream_value(seed, i)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// A spike train of roughly the given density over `dims`.
+fn spike_tensor(seed: u64, dims: &[usize], density: f64) -> Tensor {
+    let len: usize = dims.iter().product();
+    let cut = (density * 1000.0) as u64;
+    let data = (0..len as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            if z % 1000 < cut {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+fn assert_bits(pooled: &Tensor, serial: &Tensor, context: &str) {
+    assert_eq!(pooled.dims(), serial.dims(), "{context}: shape mismatch");
+    for (i, (&x, &y)) in pooled.data().iter().zip(serial.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs: pooled={x}, serial={y}"
+        );
+    }
+}
+
+/// Runs `f` once forced-serial and once with the pool allowed, at each
+/// thread setting, and asserts every result matches the serial baseline.
+fn check_pool_vs_serial(context: &str, f: impl Fn() -> Tensor) {
+    let before = tensor::parallel::max_threads();
+    set_force_serial(true);
+    set_max_threads(1);
+    let baseline = f();
+    set_force_serial(false);
+    for threads in [1usize, 2, 4] {
+        set_max_threads(threads);
+        let pooled = f();
+        assert_bits(&pooled, &baseline, &format!("{context} x{threads}"));
+    }
+    set_max_threads(before);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_pool_invariant(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..(1u64 << 32)) {
+        let a = stream_tensor(seed, &[m, k]);
+        let b = stream_tensor(seed ^ 0xB0B0, &[k, n]);
+        let pb = b.prepack_b();
+        check_pool_vs_serial("matmul", || a.matmul(&b));
+        check_pool_vs_serial("matmul_prepacked", || a.matmul_prepacked(&pb));
+    }
+
+    #[test]
+    fn conv2d_is_pool_invariant(
+        n in 1usize..3,
+        c in 1usize..3,
+        hw in 4usize..9,
+        o in 1usize..4,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let x = stream_tensor(seed, &[n, c, hw, hw]);
+        let w = stream_tensor(seed ^ 0xC0C0, &[o, c, 3, 3]);
+        let spec = Conv2dSpec { stride: 1, padding: 1 };
+        let pw = tensor::prepack_conv2d_weights(&w);
+        check_pool_vs_serial("conv2d", || conv2d(&x, &w, spec));
+        check_pool_vs_serial("conv2d_prepacked", || {
+            tensor::conv2d_prepacked(&x, &pw, spec)
+        });
+    }
+
+    #[test]
+    fn event_product_is_pool_invariant(
+        m in 1usize..16,
+        k in 8usize..32,
+        n in 1usize..16,
+        density in 0usize..4,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        // Densities straddling the gather/dense crossover: both event
+        // paths must be pool-invariant.
+        let d = [0.02, 0.1, 0.5, 0.95][density];
+        let a = spike_tensor(seed, &[m, k], d);
+        let b = stream_tensor(seed ^ 0xE0E0, &[k, n]);
+        let pb = b.prepack_b();
+        check_pool_vs_serial("matmul_events", || a.matmul_events(&b));
+        check_pool_vs_serial("matmul_events_prepacked", || {
+            a.matmul_events_prepacked(&b, &pb)
+        });
+    }
+}

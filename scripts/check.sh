@@ -26,15 +26,20 @@ echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run --quiet
 
 # Kernel smoke: seconds-scale run of every micro-bench op, ending in the
-# allocation guard — fails if any warm *_into kernel allocates from the
-# workspace arena — the LIF guard — fails unless the forced-scalar and
-# dispatched (SIMD where available) LIF kernels both run and agree
-# bitwise — and the obs guard — fails if disabled metrics recording does
-# measurable work. Does not touch the committed BENCH_tensor.json.
+# five guards — allocation (warm *_into kernels must not allocate), LIF
+# (forced-scalar vs dispatched kernels agree bitwise), conv-into (the
+# workspace conv must not be slower than its allocating twin), spawn
+# (warm pooled/prepacked forwards spawn no threads and pack no panels),
+# and obs (disabled metrics recording costs near-zero). Does not touch
+# the committed BENCH_tensor.json.
 echo "==> cargo bench --bench micro -- --smoke"
 smoke_out=$(cargo bench --bench micro --quiet -- --smoke | tee /dev/stderr)
 if ! grep -q "lif guard: ok" <<<"$smoke_out"; then
     echo "FAILED: smoke bench did not exercise both LIF kernel paths" >&2
+    exit 1
+fi
+if ! grep -q "spawn guard: ok" <<<"$smoke_out"; then
+    echo "FAILED: smoke bench did not run the persistent-pool spawn guard" >&2
     exit 1
 fi
 

@@ -69,6 +69,18 @@ fn metrics_are_thread_invariant_and_resume_converges() {
     );
     assert!(single.counter("tensor/gemm_macs") > 0);
     assert!(single.counter("attack/pgd_iters") > 0);
+    // Pool and prepack accounting rides the same contract: dispatch counts
+    // are per helper entry (not per worker) and hit/miss counts are per
+    // bind (not per shard), so the bitwise comparison below covers them.
+    assert!(single.counter("tensor/pool_dispatches") > 0);
+    assert!(
+        single.counter("tensor/prepack_misses") > 0,
+        "cold binds must journal panel builds"
+    );
+    assert!(
+        single.counter("tensor/prepack_hits") > 0,
+        "frozen-weight forwards (eval, attacks) must reuse cached panels"
+    );
     assert_eq!(
         single.counter("sweep/robustness_points"),
         single.counter("grid/cells_completed") * epsilons.len() as u64
