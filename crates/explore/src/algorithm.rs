@@ -194,7 +194,7 @@ pub fn sweep_attack_stored(
                 }),
             }
         }
-        // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
+        // armor-lint: allow(wallclock-purity, transitive-determinism) -- duration feeds the journal's millis field only, a deliberately wall-clock progress figure excluded from fingerprints
         let start = Instant::now();
         let outcome = evaluate_attack(
             target,

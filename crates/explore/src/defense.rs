@@ -66,7 +66,7 @@ pub fn adversarial_train_snn_stored(
             return hit;
         }
     }
-    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
+    // armor-lint: allow(wallclock-purity, transitive-determinism) -- duration feeds the journal's millis field only, a deliberately wall-clock progress figure excluded from fingerprints
     let start = Instant::now();
     let trained = adversarial_train_raw(config, data, structural, train_eps);
     if let Some(s) = store {

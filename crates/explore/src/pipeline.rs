@@ -220,7 +220,7 @@ pub fn train_snn_stored(
             return hit;
         }
     }
-    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
+    // armor-lint: allow(wallclock-purity, transitive-determinism) -- duration feeds the journal's millis field only, a deliberately wall-clock progress figure excluded from fingerprints
     let start = Instant::now();
     let trained = train_snn(config, data, structural);
     obs::counter_add("grid/cells_trained", 1);
@@ -251,7 +251,7 @@ pub fn train_cnn_stored(
             return hit;
         }
     }
-    // armor-lint: allow(wallclock-purity) -- duration feeds the journal's millis field only
+    // armor-lint: allow(wallclock-purity, transitive-determinism) -- duration feeds the journal's millis field only, a deliberately wall-clock progress figure excluded from fingerprints
     let start = Instant::now();
     let trained = train_cnn(config, data);
     obs::counter_add("grid/cells_trained", 1);

@@ -1,0 +1,346 @@
+//! The committed-baseline diff mode: CI fails only on *new* findings.
+//!
+//! A baseline file (`lint-baseline.json`, written by `--write-baseline`)
+//! records the accepted findings as `(path, rule, message)` triples —
+//! deliberately without line numbers, so unrelated edits that shift a
+//! known finding do not break the gate. Matching is multiset: two
+//! identical findings in the baseline absorb at most two current ones.
+//! The parser is a minimal recursive-descent JSON reader restricted to
+//! the baseline schema, keeping the crate dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{escape_json, Diagnostic};
+
+/// The schema tag written into and required from every baseline file.
+pub const SCHEMA: &str = "armor-lint-baseline/v1";
+
+/// A parsed baseline: accepted `(path, rule, message)` triples.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, String)>,
+}
+
+/// The result of diffing a current run against a baseline.
+#[derive(Debug)]
+pub struct Delta {
+    /// Findings not absorbed by the baseline — these fail the gate.
+    pub new: Vec<Diagnostic>,
+    /// Current findings matched by a baseline entry.
+    pub known: usize,
+    /// Baseline entries with no current finding (candidates for
+    /// `--write-baseline` cleanup).
+    pub resolved: usize,
+}
+
+/// Renders `diags` as a baseline file.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"path\": \"");
+        escape_json(&d.path, &mut out);
+        out.push_str("\", \"rule\": \"");
+        escape_json(d.rule, &mut out);
+        out.push_str("\", \"message\": \"");
+        escape_json(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Diffs the current findings against `base`. Directive-grammar
+/// diagnostics never baseline away: a broken suppression must always
+/// fail, or the baseline could mask a rotted allow forever.
+pub fn diff(current: &[Diagnostic], base: &Baseline) -> Delta {
+    let mut pool: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for (p, r, m) in &base.entries {
+        *pool
+            .entry((p.as_str(), r.as_str(), m.as_str()))
+            .or_default() += 1;
+    }
+    let mut delta = Delta {
+        new: Vec::new(),
+        known: 0,
+        resolved: 0,
+    };
+    for d in current {
+        let key = (d.path.as_str(), d.rule, d.message.as_str());
+        match pool.get_mut(&key) {
+            Some(n) if *n > 0 && !crate::config::is_meta_rule(d.rule) => {
+                *n -= 1;
+                delta.known += 1;
+            }
+            _ => delta.new.push(d.clone()),
+        }
+    }
+    delta.resolved = pool.values().sum();
+    delta
+}
+
+/// Parses a baseline file.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the text is not valid baseline
+/// JSON or carries the wrong schema tag.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    let mut schema = None;
+    let mut entries = Vec::new();
+    p.ws();
+    p.expect(b'{')?;
+    loop {
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match key.as_str() {
+            "schema" => schema = Some(p.string()?),
+            "findings" => {
+                p.expect(b'[')?;
+                loop {
+                    p.ws();
+                    if p.eat(b']') {
+                        break;
+                    }
+                    entries.push(p.finding()?);
+                    p.ws();
+                    if !p.eat(b',') {
+                        p.expect(b']')?;
+                        break;
+                    }
+                }
+            }
+            _ => p.skip_value()?,
+        }
+        p.ws();
+        if !p.eat(b',') {
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    match schema.as_deref() {
+        Some(SCHEMA) => Ok(Baseline { entries }),
+        Some(other) => Err(format!("unsupported baseline schema `{other}`")),
+        None => Err("baseline file has no `schema` field".into()),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected `{}`",
+                self.at, b as char
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err("baseline parse error: unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("baseline parse error: truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or("baseline parse error: bad \\u escape")?;
+                            out.push(hex);
+                            self.at += 4;
+                        }
+                        _ => return Err("baseline parse error: bad escape".into()),
+                    }
+                    self.at += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 continues until the next ASCII
+                    // boundary; copy bytes verbatim (input is valid UTF-8).
+                    let start = self.at;
+                    self.at += 1;
+                    while b >= 0x80
+                        && self
+                            .bytes
+                            .get(self.at)
+                            .is_some_and(|&n| (0x80..0xc0).contains(&n))
+                    {
+                        self.at += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.at])
+                            .map_err(|_| "baseline parse error: invalid UTF-8")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn finding(&mut self) -> Result<(String, String, String), String> {
+        self.expect(b'{')?;
+        let (mut path, mut rule, mut message) = (None, None, None);
+        loop {
+            self.ws();
+            if self.eat(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.string()?;
+            match key.as_str() {
+                "path" => path = Some(val),
+                "rule" => rule = Some(val),
+                "message" => message = Some(val),
+                other => return Err(format!("baseline parse error: unknown key `{other}`")),
+            }
+            self.ws();
+            if !self.eat(b',') {
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        match (path, rule, message) {
+            (Some(p), Some(r), Some(m)) => Ok((p, r, m)),
+            _ => Err("baseline parse error: finding needs path, rule, message".into()),
+        }
+    }
+
+    /// Skips one unknown scalar value (string, number, bool, null) — the
+    /// baseline schema has no unknown composites.
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.bytes.get(self.at) {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(_) => {
+                while self
+                    .bytes
+                    .get(self.at)
+                    .is_some_and(|&b| !matches!(b, b',' | b'}' | b']') && !b.is_ascii_whitespace())
+                {
+                    self.at += 1;
+                }
+                Ok(())
+            }
+            None => Err("baseline parse error: truncated value".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(path: &str, rule: &'static str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let diags = [
+            d("a.rs", "lock-order", "cycle `a` → `b` → `a`"),
+            d("b.rs", "condvar-wait-loop", "say \"hi\"\\"),
+        ];
+        let text = render(&diags);
+        let base = parse(&text).unwrap();
+        let delta = diff(&diags, &base);
+        assert!(delta.new.is_empty(), "{delta:?}");
+        assert_eq!(delta.known, 2);
+        assert_eq!(delta.resolved, 0);
+    }
+
+    #[test]
+    fn diff_is_multiset_and_reports_new_and_resolved() {
+        let old = [d("a.rs", "lock-order", "m"), d("a.rs", "lock-order", "m")];
+        let base = parse(&render(&old)).unwrap();
+        // One of the two duplicates fixed, one new finding elsewhere.
+        let now = [d("a.rs", "lock-order", "m"), d("c.rs", "lock-order", "x")];
+        let delta = diff(&now, &base);
+        assert_eq!(delta.known, 1);
+        assert_eq!(delta.resolved, 1);
+        assert_eq!(delta.new.len(), 1);
+        assert_eq!(delta.new[0].path, "c.rs");
+    }
+
+    #[test]
+    fn meta_rules_never_baseline_away() {
+        let broken = [d("a.rs", "bare-allow", "suppression without justification")];
+        let base = parse(&render(&broken)).unwrap();
+        let delta = diff(&broken, &base);
+        assert_eq!(delta.new.len(), 1, "a rotted allow must keep failing");
+    }
+
+    #[test]
+    fn wrong_schema_and_garbage_are_errors() {
+        assert!(parse("{\"schema\": \"v0\", \"findings\": []}").is_err());
+        assert!(parse("{\"findings\": []}").is_err());
+        assert!(parse("not json").is_err());
+        assert!(parse(&render(&[])).is_ok());
+    }
+}

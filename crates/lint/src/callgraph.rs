@@ -1,0 +1,301 @@
+//! An approximate workspace call graph over the [`crate::ir`] functions.
+//!
+//! Call sites are recognised syntactically (`name(`, `recv.name(`,
+//! `name!`) and resolved by simple name with a locality preference:
+//! same file, then same crate, then anywhere in the workspace. Method
+//! calls resolve by name alone — receiver types are unknown — so the
+//! graph *over*-approximates: a reported path may not be feasible, but a
+//! call the graph misses can only come from macro expansion, trait
+//! dispatch through a differently-named impl, or function pointers.
+//! DESIGN.md §15 spells out both directions of error.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::ir::WorkspaceIr;
+use crate::lexer::TokKind;
+
+/// Identifiers that look like calls syntactically but are control flow.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "in", "as", "fn", "let", "mut", "move",
+    "break", "continue", "else", "unsafe", "ref", "box", "await", "yield", "dyn", "impl", "where",
+    "use", "pub", "crate", "super", "true", "false", "struct", "enum", "union", "trait", "type",
+    "static", "const", "extern",
+];
+
+/// Ubiquitous std method names that never resolve to workspace functions:
+/// `x.max(1)` is `Ord::max`, not `Tensor::max`, in the overwhelming
+/// majority of call sites, and resolving these by simple name wires every
+/// arithmetic expression into the tensor reductions. The cost is a missed
+/// edge when a workspace method genuinely shares one of these names —
+/// DESIGN.md §15 lists this as the deliberate under-approximation.
+const STD_COLLISIONS: &[&str] = &[
+    "max",
+    "min",
+    "abs",
+    "sqrt",
+    "clamp",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "fold",
+    "collect",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "clone",
+    "default",
+    "new",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "write",
+    "read",
+    "send",
+    "recv",
+    "lock",
+    "unwrap",
+    "expect",
+    "take",
+    "drain",
+    "extend",
+    "clear",
+    "sum",
+    "join",
+    "split",
+    "eq",
+    "cmp",
+    "hash",
+    "fmt",
+    "to_string",
+    "to_vec",
+    "drop",
+];
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee simple name (last path segment / method / macro name).
+    pub name: String,
+    /// `recv.name(…)` style.
+    pub is_method: bool,
+    /// `name!(…)` style.
+    pub is_macro: bool,
+    /// Line of the callee token.
+    pub line: u32,
+    /// Column of the callee token.
+    pub col: u32,
+}
+
+/// The resolved graph: per-function call lists and fn→fn edges.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Syntactic call sites per fn id, in source order.
+    pub calls: Vec<Vec<Call>>,
+    /// Resolved callee fn ids per fn id, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for a workspace IR.
+    pub fn build(ws: &WorkspaceIr) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, f) in ws.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+        let mut calls = Vec::with_capacity(ws.fns.len());
+        let mut edges = Vec::with_capacity(ws.fns.len());
+        for (id, f) in ws.fns.iter().enumerate() {
+            let file = ws.file_of(id);
+            let toks = &file.lexed.tokens;
+            let mut cs: Vec<Call> = Vec::new();
+            for i in f.body.clone() {
+                if file.owner[i] != Some(id) {
+                    continue;
+                }
+                let t = &toks[i];
+                if t.kind != TokKind::Ident || NOT_CALLEES.contains(&t.text.as_str()) {
+                    continue;
+                }
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                // `fn name(` is the definition, not a call.
+                if prev.is_some_and(|p| p.kind == TokKind::Ident && p.text == "fn") {
+                    continue;
+                }
+                let is_method = prev.is_some_and(|p| p.kind == TokKind::Punct('.'));
+                match toks.get(i + 1).map(|n| n.kind) {
+                    Some(TokKind::Punct('(')) => cs.push(Call {
+                        name: t.text.clone(),
+                        is_method,
+                        is_macro: false,
+                        line: t.line,
+                        col: t.col,
+                    }),
+                    // `name!…` is a macro; `a != b` is not.
+                    Some(TokKind::Punct('!'))
+                        if toks.get(i + 2).map(|n| n.kind) != Some(TokKind::Punct('=')) =>
+                    {
+                        cs.push(Call {
+                            name: t.text.clone(),
+                            is_method: false,
+                            is_macro: true,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            let mut es: Vec<usize> = Vec::new();
+            for c in cs.iter().filter(|c| !c.is_macro) {
+                // Std-prelude collisions (`.max(…)`, `.iter()`, free
+                // `drop(x)`, …) never resolve: by-name matching would wire
+                // them to unrelated workspace fns that share the name.
+                if STD_COLLISIONS.contains(&c.name.as_str()) {
+                    continue;
+                }
+                let Some(cands) = by_name.get(c.name.as_str()) else {
+                    continue;
+                };
+                let same_file: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&x| ws.fns[x].file == f.file)
+                    .collect();
+                let chosen: Vec<usize> = if !same_file.is_empty() {
+                    same_file
+                } else {
+                    let same_crate: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&x| ws.file_of(x).crate_name == file.crate_name)
+                        .collect();
+                    if same_crate.is_empty() {
+                        cands.clone()
+                    } else {
+                        same_crate
+                    }
+                };
+                es.extend(chosen);
+            }
+            es.sort_unstable();
+            es.dedup();
+            calls.push(cs);
+            edges.push(es);
+        }
+        CallGraph { calls, edges }
+    }
+
+    /// BFS from `from` to the first function satisfying `is_target`,
+    /// returning the inclusive path `from → … → target`. Deterministic:
+    /// neighbours are explored in sorted fn-id order.
+    pub fn path_to(&self, from: usize, is_target: &dyn Fn(usize) -> bool) -> Option<Vec<usize>> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut q = VecDeque::new();
+        parent.insert(from, from);
+        q.push_back(from);
+        while let Some(n) = q.pop_front() {
+            if is_target(n) {
+                let mut path = vec![n];
+                let mut cur = n;
+                while parent[&cur] != cur {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &m in &self.edges[n] {
+                parent.entry(m).or_insert_with(|| {
+                    q.push_back(m);
+                    n
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::WorkspaceIr;
+
+    fn graph(files: &[(&str, &str)]) -> (WorkspaceIr, CallGraph) {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let ws = WorkspaceIr::build(&owned);
+        let cg = CallGraph::build(&ws);
+        (ws, cg)
+    }
+
+    fn id(ws: &WorkspaceIr, name: &str) -> usize {
+        ws.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn calls_resolve_and_reach_transitively() {
+        let (ws, cg) = graph(&[(
+            "crates/x/src/a.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn lonely() {}\n",
+        )]);
+        let (a, c, lonely) = (id(&ws, "a"), id(&ws, "c"), id(&ws, "lonely"));
+        let path = cg.path_to(a, &|n| n == c).unwrap();
+        let names: Vec<&str> = path.iter().map(|&n| ws.fns[n].name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(cg.path_to(a, &|n| n == lonely).is_none());
+    }
+
+    #[test]
+    fn same_file_beats_same_crate_beats_workspace() {
+        let (ws, cg) = graph(&[
+            (
+                "crates/x/src/a.rs",
+                "fn go() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/x/src/b.rs", "fn helper() {}\n"),
+            ("crates/y/src/c.rs", "fn helper() {}\n"),
+        ]);
+        let go = id(&ws, "go");
+        assert_eq!(cg.edges[go].len(), 1, "same-file helper wins");
+        assert_eq!(ws.fns[cg.edges[go][0]].file, 0);
+    }
+
+    #[test]
+    fn macros_and_comparisons_are_classified() {
+        let (ws, cg) = graph(&[(
+            "crates/x/src/a.rs",
+            "fn m() { writeln!(f, \"x\"); if a != b { go(); } }\nfn go() {}\n",
+        )]);
+        let m = id(&ws, "m");
+        let macros: Vec<&str> = cg.calls[m]
+            .iter()
+            .filter(|c| c.is_macro)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(macros, ["writeln"], "`a != b` must not look like a macro");
+        assert!(cg.calls[m].iter().any(|c| c.name == "go" && !c.is_macro));
+    }
+
+    #[test]
+    fn free_drop_does_not_resolve_to_destructors() {
+        let (ws, cg) = graph(&[(
+            "crates/x/src/a.rs",
+            "fn go(g: G) { drop(g); }\nimpl Drop for G { fn drop(&mut self) { log(); } }\n",
+        )]);
+        let go = id(&ws, "go");
+        assert!(cg.edges[go].is_empty(), "mem::drop is not the Drop impl");
+    }
+}

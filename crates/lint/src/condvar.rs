@@ -1,0 +1,133 @@
+//! Pass: every `Condvar::wait`/`wait_timeout` must sit inside a
+//! `while`/`loop`/`for` body, because condition variables wake
+//! spuriously — a single un-looped wait observes a predicate that may
+//! already be false again.
+//!
+//! Zero-argument `.wait()` calls are excluded: those are
+//! `process::Child::wait`-style blocking calls, not condition variables
+//! (a `Condvar` wait always takes the guard as its first argument).
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::ir::WorkspaceIr;
+use crate::lexer::TokKind;
+
+/// Runs the pass over every non-test function.
+pub fn run(ws: &WorkspaceIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = ws.file_of(id);
+        let toks = &file.lexed.tokens;
+        // Block stack: `true` entries are loop bodies. A loop keyword arms
+        // `pending` at the current delimiter depth; the next `{` at that
+        // depth is the loop body (braces inside the condition's closures or
+        // parens do not consume the pending flag).
+        let mut stack: Vec<bool> = Vec::new();
+        let mut pending = false;
+        let mut pending_delim = 0usize;
+        let mut delim = 0usize;
+        for i in f.body.clone() {
+            if file.owner[i] != Some(id) {
+                continue;
+            }
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => delim += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => delim = delim.saturating_sub(1),
+                TokKind::Punct('{') => {
+                    let is_loop = pending && delim == pending_delim;
+                    if is_loop {
+                        pending = false;
+                    }
+                    stack.push(is_loop);
+                }
+                TokKind::Punct('}') => {
+                    stack.pop();
+                }
+                TokKind::Ident if matches!(t.text.as_str(), "while" | "loop" | "for") => {
+                    pending = true;
+                    pending_delim = delim;
+                }
+                TokKind::Ident
+                    if matches!(t.text.as_str(), "wait" | "wait_timeout")
+                        && i >= 1
+                        && toks[i - 1].kind == TokKind::Punct('.')
+                        && toks
+                            .get(i + 1)
+                            .is_some_and(|n| n.kind == TokKind::Punct('('))
+                        && toks
+                            .get(i + 2)
+                            .is_some_and(|n| n.kind != TokKind::Punct(')'))
+                        && !stack.iter().any(|&l| l) =>
+                {
+                    diags.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        rule: config::CONDVAR_WAIT_LOOP,
+                        message: format!(
+                            "`Condvar::{}` outside a `while`-predicate loop; condition \
+                             variables wake spuriously — re-check the predicate in a loop \
+                             around the wait",
+                            t.text
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::WorkspaceIr;
+
+    fn pass(src: &str) -> Vec<Diagnostic> {
+        let ws = WorkspaceIr::build(&[("crates/x/src/a.rs".to_string(), src.to_string())]);
+        run(&ws)
+    }
+
+    #[test]
+    fn bare_wait_is_flagged_looped_wait_is_not() {
+        let d = pass(
+            "fn bad(s: &S) { let g = s.m.lock().unwrap(); let g = s.cv.wait(g).unwrap(); }\n\
+             fn good(s: &S) { let mut g = s.m.lock().unwrap(); \
+             while !g.ready { g = s.cv.wait(g).unwrap(); } }\n\
+             fn timeout(s: &S) { let mut g = s.m.lock().unwrap(); \
+             loop { let r = s.cv.wait_timeout(g, d).unwrap(); g = r.0; if g.ready { break; } } }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("Condvar::wait"));
+    }
+
+    #[test]
+    fn process_child_wait_is_not_a_condvar() {
+        let d = pass("fn reap(c: &mut Child) { let status = c.wait(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn if_guard_does_not_count_as_a_loop() {
+        let d = pass(
+            "fn bad(s: &S) { let g = s.m.lock().unwrap(); \
+             if !g.ready { let g = s.cv.wait(g).unwrap(); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn closure_brace_in_loop_condition_does_not_eat_the_body() {
+        let d = pass(
+            "fn ok(s: &S) { let mut g = s.m.lock().unwrap(); \
+             while g.items.iter().any(|x| { x.live }) { g = s.cv.wait(g).unwrap(); } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

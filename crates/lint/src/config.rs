@@ -22,6 +22,20 @@ pub const UNORDERED_ITERATION: &str = "unordered-iteration";
 pub const NO_ALLOC_IN_HOT_LOOP: &str = "no-alloc-in-hot-loop";
 /// Rule: every `unsafe` needs a `// SAFETY:` comment directly above it.
 pub const UNSAFE_NEEDS_SAFETY_COMMENT: &str = "unsafe-needs-safety-comment";
+/// Rule (interprocedural): lock-acquisition cycles and blocking calls
+/// (I/O, `Condvar::wait`) made while a mutex guard is live.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule (interprocedural): `Condvar::wait`/`wait_timeout` must sit inside
+/// a `while`-predicate loop — condition variables wake spuriously.
+pub const CONDVAR_WAIT_LOOP: &str = "condvar-wait-loop";
+/// Rule (interprocedural): SAFETY comments must name their invariant,
+/// `#[target_feature]` fns need an `is_x86_feature_detected!` dispatch
+/// site, raw pointers derived in `unsafe` blocks must not escape them.
+pub const UNSAFE_PROVENANCE: &str = "unsafe-provenance";
+/// Rule (interprocedural): no call-graph path from `Instant::now`/
+/// `SystemTime`/`HashMap` into a fingerprint/checkpoint/journal/metrics
+/// writer.
+pub const TRANSITIVE_DETERMINISM: &str = "transitive-determinism";
 
 /// Meta-rule: an `armor-lint: allow(...)` without a `-- justification`.
 pub const BARE_ALLOW: &str = "bare-allow";
@@ -30,13 +44,18 @@ pub const UNKNOWN_RULE: &str = "unknown-rule";
 /// Meta-rule: a comment that looks like a directive but does not parse.
 pub const UNKNOWN_DIRECTIVE: &str = "unknown-directive";
 
-/// The five suppressible rules, in documentation order.
-pub const RULES: [&str; 5] = [
+/// The nine suppressible rules, in documentation order: five line-local,
+/// four interprocedural.
+pub const RULES: [&str; 9] = [
     NO_PANIC_IN_IO,
     WALLCLOCK_PURITY,
     UNORDERED_ITERATION,
     NO_ALLOC_IN_HOT_LOOP,
     UNSAFE_NEEDS_SAFETY_COMMENT,
+    LOCK_ORDER,
+    CONDVAR_WAIT_LOOP,
+    UNSAFE_PROVENANCE,
+    TRANSITIVE_DETERMINISM,
 ];
 
 /// Where one rule applies.
@@ -45,6 +64,12 @@ pub struct RuleScope {
     /// Workspace-relative path prefixes (forward slashes). A file is in
     /// scope when its path starts with any of these. Empty = nowhere.
     pub include: Vec<String>,
+    /// Path prefixes carved *out* of the include set; an excluded file is
+    /// never in scope. Lets a rule cover `crates/` while exempting one
+    /// subtree whose job contradicts the rule (e.g. the serve-bench
+    /// binary, whose artifact *is* a latency report, under
+    /// `transitive-determinism`).
+    pub exclude: Vec<String>,
     /// When `true`, findings inside test code are dropped.
     pub skip_test_code: bool,
 }
@@ -53,6 +78,7 @@ impl RuleScope {
     /// `true` when `path` (workspace-relative, forward slashes) is covered.
     pub fn covers(&self, path: &str) -> bool {
         self.include.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.exclude.iter().any(|p| path.starts_with(p.as_str()))
     }
 }
 
@@ -69,6 +95,14 @@ pub struct Config {
     pub no_alloc_in_hot_loop: RuleScope,
     /// Scope of [`UNSAFE_NEEDS_SAFETY_COMMENT`].
     pub unsafe_needs_safety_comment: RuleScope,
+    /// Scope of [`LOCK_ORDER`].
+    pub lock_order: RuleScope,
+    /// Scope of [`CONDVAR_WAIT_LOOP`].
+    pub condvar_wait_loop: RuleScope,
+    /// Scope of [`UNSAFE_PROVENANCE`].
+    pub unsafe_provenance: RuleScope,
+    /// Scope of [`TRANSITIVE_DETERMINISM`].
+    pub transitive_determinism: RuleScope,
 }
 
 impl Config {
@@ -92,6 +126,7 @@ impl Config {
     pub fn workspace_default() -> Self {
         let artifact_scope = || RuleScope {
             include: vec!["crates/store/src".into(), "crates/explore/src".into()],
+            exclude: vec![],
             skip_test_code: true,
         };
         // The serving layer faces the network: every malformed frame and
@@ -124,11 +159,40 @@ impl Config {
             unordered_iteration: serve_scope(metrics_scope(artifact_scope())),
             no_alloc_in_hot_loop: RuleScope {
                 include: vec!["crates/".into()],
+                exclude: vec![],
                 skip_test_code: true,
             },
             unsafe_needs_safety_comment: RuleScope {
                 include: vec!["crates/".into()],
+                exclude: vec![],
                 skip_test_code: false,
+            },
+            // The concurrency passes cover every crate: a lock-order cycle
+            // or un-looped Condvar wait is a bug wherever it lives.
+            lock_order: RuleScope {
+                include: vec!["crates/".into()],
+                exclude: vec![],
+                skip_test_code: true,
+            },
+            condvar_wait_loop: RuleScope {
+                include: vec!["crates/".into()],
+                exclude: vec![],
+                skip_test_code: true,
+            },
+            // `crates/tensor` is the only unsafe-capable crate; the
+            // provenance checks are meaningless elsewhere.
+            unsafe_provenance: RuleScope {
+                include: vec!["crates/tensor/src".into()],
+                exclude: vec![],
+                skip_test_code: true,
+            },
+            // Workspace-wide, minus the serve-bench binary: its committed
+            // artifact IS a latency report, so wall-clock readings reaching
+            // its writers are the whole point.
+            transitive_determinism: RuleScope {
+                include: vec!["crates/".into()],
+                exclude: vec!["crates/serve/src/bin".into()],
+                skip_test_code: true,
             },
         }
     }
@@ -141,6 +205,10 @@ impl Config {
             UNORDERED_ITERATION => Some(&self.unordered_iteration),
             NO_ALLOC_IN_HOT_LOOP => Some(&self.no_alloc_in_hot_loop),
             UNSAFE_NEEDS_SAFETY_COMMENT => Some(&self.unsafe_needs_safety_comment),
+            LOCK_ORDER => Some(&self.lock_order),
+            CONDVAR_WAIT_LOOP => Some(&self.condvar_wait_loop),
+            UNSAFE_PROVENANCE => Some(&self.unsafe_provenance),
+            TRANSITIVE_DETERMINISM => Some(&self.transitive_determinism),
             _ => None,
         }
     }
@@ -157,11 +225,21 @@ impl Config {
             UNORDERED_ITERATION => &mut self.unordered_iteration,
             NO_ALLOC_IN_HOT_LOOP => &mut self.no_alloc_in_hot_loop,
             UNSAFE_NEEDS_SAFETY_COMMENT => &mut self.unsafe_needs_safety_comment,
+            LOCK_ORDER => &mut self.lock_order,
+            CONDVAR_WAIT_LOOP => &mut self.condvar_wait_loop,
+            UNSAFE_PROVENANCE => &mut self.unsafe_provenance,
+            TRANSITIVE_DETERMINISM => &mut self.transitive_determinism,
             other => return Err(other.to_string()),
         };
         scope.include = prefixes;
         Ok(())
     }
+}
+
+/// `true` for the directive-grammar meta-rules — never suppressible and
+/// never absorbed by a baseline.
+pub fn is_meta_rule(rule: &str) -> bool {
+    matches!(rule, BARE_ALLOW | UNKNOWN_RULE | UNKNOWN_DIRECTIVE)
 }
 
 /// `true` when a path component marks the whole file as test code.
@@ -204,6 +282,19 @@ mod tests {
         assert!(c
             .unsafe_needs_safety_comment
             .covers("crates/lint/src/lexer.rs"));
+        // The interprocedural passes: concurrency everywhere, provenance
+        // only in the unsafe-capable crate, determinism everywhere except
+        // the latency-reporting bench binary.
+        assert!(c.lock_order.covers("crates/store/src/journal.rs"));
+        assert!(c.condvar_wait_loop.covers("crates/serve/src/batcher.rs"));
+        assert!(c.unsafe_provenance.covers("crates/tensor/src/simd.rs"));
+        assert!(!c.unsafe_provenance.covers("crates/serve/src/server.rs"));
+        assert!(c
+            .transitive_determinism
+            .covers("crates/serve/src/server.rs"));
+        assert!(!c
+            .transitive_determinism
+            .covers("crates/serve/src/bin/serve-bench.rs"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub fn sort(diags: &mut [Diagnostic]) {
     });
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

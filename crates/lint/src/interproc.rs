@@ -1,0 +1,211 @@
+//! Pass: interprocedural determinism — call-graph upgrade of the
+//! line-local `wallclock-purity` / `unordered-iteration` rules.
+//!
+//! A function that touches a nondeterminism *source* (`Instant::now`,
+//! `SystemTime`, `HashMap`/`HashSet`) is flagged when the call graph
+//! shows a path from it into a deterministic-artifact *writer* (the
+//! fingerprint/checkpoint/journal/metrics entry points). The line-local
+//! rules only see sources inside the artifact crates themselves; this
+//! pass catches the two-calls-away case — a clock read in `serve` that
+//! flows into `obs::observe`, say. The obs timing sink
+//! (`timing_gauge_add`, `span`) is deliberately *not* a writer: it is the
+//! sanctioned wall-clock quarantine and is stripped from artifacts.
+
+use crate::callgraph::{Call, CallGraph};
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::ir::WorkspaceIr;
+use crate::lexer::TokKind;
+
+/// Call names that write deterministic artifacts (fingerprints,
+/// checkpoints, journal events, metrics). `log` is method-position only —
+/// `journal.log(…)` / `run.log(…)` — to avoid free functions by that name.
+const SINK_CALLS: &[&str] = &[
+    "counter_add",
+    "observe",
+    "write_metrics",
+    "metrics_json",
+    "deterministic_json",
+    "write_atomic",
+    "write_tensor",
+    "write_params",
+    "encode_tensor",
+    "encode_params",
+    "encode_cell_meta",
+    "encode_attack_result",
+    "save_trained",
+    "save_attack",
+    "save_json",
+    "log",
+];
+
+struct Source {
+    line: u32,
+    col: u32,
+    what: &'static str,
+    advice: &'static str,
+}
+
+fn is_sink_call(c: &Call) -> bool {
+    !c.is_macro && SINK_CALLS.contains(&c.name.as_str()) && (c.name != "log" || c.is_method)
+}
+
+/// Runs the pass over every non-test function.
+pub fn run(ws: &WorkspaceIr, cg: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // For each fn: the first artifact-writer call it makes, if any.
+    let direct_sink: Vec<Option<&Call>> = (0..ws.fns.len())
+        .map(|id| cg.calls[id].iter().find(|c| is_sink_call(c)))
+        .collect();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let sources = find_sources(ws, id);
+        if sources.is_empty() {
+            continue;
+        }
+        let Some(path) = cg.path_to(id, &|n| direct_sink[n].is_some()) else {
+            continue;
+        };
+        let Some(sink) = path.last().copied().and_then(|t| direct_sink[t]) else {
+            continue;
+        };
+        let chain: Vec<&str> = path.iter().map(|&n| ws.fns[n].name.as_str()).collect();
+        let route = if chain.len() == 1 {
+            format!("`{}` calls `{}` directly", chain[0], sink.name)
+        } else {
+            format!("via `{}` → `{}`", chain.join("` → `"), sink.name)
+        };
+        let file = ws.file_of(id);
+        for s in sources {
+            diags.push(Diagnostic {
+                path: file.path.clone(),
+                line: s.line,
+                col: s.col,
+                rule: config::TRANSITIVE_DETERMINISM,
+                message: format!(
+                    "{} can reach deterministic artifact writer `{}` ({}); {}",
+                    s.what, sink.name, route, s.advice
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Nondeterminism sources lexically inside fn `id`'s own tokens. The
+/// signature counts too: a fn that *takes* a `HashMap` and feeds a writer
+/// leaks iteration order just as surely as one that builds the map itself.
+fn find_sources(ws: &WorkspaceIr, id: usize) -> Vec<Source> {
+    let f = &ws.fns[id];
+    let file = ws.file_of(id);
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in f.sig.clone().chain(f.body.clone()) {
+        // Signature tokens never belong to a nested fn; body tokens do.
+        if i >= f.body.start && file.owner[i] != Some(id) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant"
+                if toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct(':'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.kind == TokKind::Punct(':'))
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|n| n.kind == TokKind::Ident && n.text == "now") =>
+            {
+                out.push(Source {
+                    line: t.line,
+                    col: t.col,
+                    what: "`Instant::now()` in this function",
+                    advice: "wall-clock readings must stay in the quarantined timing sink",
+                });
+            }
+            "SystemTime" => out.push(Source {
+                line: t.line,
+                col: t.col,
+                what: "`SystemTime` in this function",
+                advice: "wall-clock readings must stay in the quarantined timing sink",
+            }),
+            "HashMap" | "HashSet" => out.push(Source {
+                line: t.line,
+                col: t.col,
+                what: "unordered-map data in this function",
+                advice: "iteration order is nondeterministic; use `BTreeMap`/`BTreeSet`",
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::ir::WorkspaceIr;
+
+    fn pass(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        let ws = WorkspaceIr::build(&owned);
+        let cg = CallGraph::build(&ws);
+        run(&ws, &cg)
+    }
+
+    #[test]
+    fn clock_two_calls_from_a_writer_is_flagged() {
+        let d = pass(&[(
+            "crates/nn/src/a.rs",
+            "fn measure() { let t = Instant::now(); record(t); }\n\
+             fn record(t: T) { emit(t); }\n\
+             fn emit(t: T) { counter_add(\"n\", 1); }\n\
+             fn pure() { let t = Instant::now(); t.elapsed(); }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("`measure` → `record` → `emit`"));
+        assert!(d[0].message.contains("`counter_add`"));
+    }
+
+    #[test]
+    fn hashmap_reaching_a_method_log_is_flagged() {
+        let d = pass(&[(
+            "crates/nn/src/a.rs",
+            "fn index(m: &HashMap<u32, u32>) { journal.log(render(m)); }\n\
+             fn isolated(m: &HashMap<u32, u32>) -> usize { m.len() }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("unordered-map"));
+        assert!(d[0].message.contains("calls `log` directly"));
+    }
+
+    #[test]
+    fn timing_sink_is_not_a_writer() {
+        let d = pass(&[(
+            "crates/nn/src/a.rs",
+            "fn timed() { let t = Instant::now(); timing_gauge_add(\"ns\", t.elapsed()); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_fns_are_skipped() {
+        let d = pass(&[(
+            "crates/nn/src/a.rs",
+            "#[test]\nfn t() { let t = Instant::now(); counter_add(\"n\", 1); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,173 @@
+//! The per-file / per-function IR the interprocedural passes run on.
+//!
+//! [`WorkspaceIr::build`] lexes every file once, parses its directives and
+//! `fn` items, and records an *owner map* assigning each token to its
+//! innermost enclosing function, so nested functions never leak tokens
+//! into their parent's analysis.
+
+use std::ops::Range;
+
+use crate::config;
+use crate::lexer::{self, Lexed, Tok};
+use crate::parser;
+use crate::suppress::{self, Directives};
+
+/// One function definition, workspace-wide.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Simple name.
+    pub name: String,
+    /// Index into [`WorkspaceIr::files`].
+    pub file: usize,
+    /// Line of the name token.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Flattened attribute bodies.
+    pub attrs: Vec<String>,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// In a test file, a `#[cfg(test)]` module, or under `#[test]`.
+    pub is_test: bool,
+    /// Token range of the signature (`fn` keyword up to the body brace).
+    pub sig: Range<usize>,
+    /// Token range of the body (between, excluding, its braces).
+    pub body: Range<usize>,
+}
+
+/// One lexed, directive-parsed workspace file.
+#[derive(Debug)]
+pub struct FileIr {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate name (`tensor` for `crates/tensor/...`), empty otherwise.
+    pub crate_name: String,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Parsed suppression directives.
+    pub directives: Directives,
+    /// Per-token `#[test]`/`#[cfg(test)]` coverage.
+    pub test_mask: Vec<bool>,
+    /// Per-token innermost enclosing function (global fn id), if any.
+    pub owner: Vec<Option<usize>>,
+    /// Global ids of the functions defined in this file, in source order.
+    pub fns: Vec<usize>,
+}
+
+/// The whole workspace, ready for the passes.
+#[derive(Debug)]
+pub struct WorkspaceIr {
+    /// Files in input order.
+    pub files: Vec<FileIr>,
+    /// All functions across all files; ids index this vec.
+    pub fns: Vec<FnDef>,
+}
+
+impl WorkspaceIr {
+    /// Builds the IR from `(path, source)` pairs.
+    pub fn build(files: &[(String, String)]) -> Self {
+        let mut ws = WorkspaceIr {
+            files: Vec::with_capacity(files.len()),
+            fns: Vec::new(),
+        };
+        for (path, src) in files {
+            let lexed = lexer::lex(src);
+            let directives = suppress::parse(path, &lexed.comments);
+            let test_mask = parser::test_token_mask(&lexed.tokens);
+            let raw = parser::parse_fns(&lexed.tokens);
+            let file_ix = ws.files.len();
+            let file_is_test = config::path_is_test_code(path);
+            let mut owner = vec![None; lexed.tokens.len()];
+            let mut fn_ids = Vec::with_capacity(raw.len());
+            for rf in raw {
+                let id = ws.fns.len();
+                // Source order means inner fns are assigned after their
+                // parent and overwrite it: innermost owner wins.
+                for o in &mut owner[rf.body.clone()] {
+                    *o = Some(id);
+                }
+                ws.fns.push(FnDef {
+                    name: rf.name,
+                    file: file_ix,
+                    line: rf.line,
+                    col: rf.col,
+                    attrs: rf.attrs,
+                    is_unsafe: rf.is_unsafe,
+                    is_test: file_is_test || test_mask.get(rf.fn_tok).copied().unwrap_or(false),
+                    sig: rf.sig,
+                    body: rf.body,
+                });
+                fn_ids.push(id);
+            }
+            ws.files.push(FileIr {
+                path: path.clone(),
+                crate_name: crate_of(path),
+                lexed,
+                directives,
+                test_mask,
+                owner,
+                fns: fn_ids,
+            });
+        }
+        ws
+    }
+
+    /// The token stream of the file containing fn `f`.
+    pub fn tokens_of(&self, f: usize) -> &[Tok] {
+        &self.files[self.fns[f].file].lexed.tokens
+    }
+
+    /// The file containing fn `f`.
+    pub fn file_of(&self, f: usize) -> &FileIr {
+        &self.files[self.fns[f].file]
+    }
+
+    /// Looks a file up by its workspace-relative path.
+    pub fn file_by_path(&self, path: &str) -> Option<&FileIr> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(path: &str, src: &str) -> WorkspaceIr {
+        WorkspaceIr::build(&[(path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn owner_map_gives_tokens_to_the_innermost_fn() {
+        let w = ws(
+            "crates/x/src/a.rs",
+            "fn outer() { before(); fn inner() { mid(); } after(); }",
+        );
+        assert_eq!(w.fns.len(), 2);
+        let file = &w.files[0];
+        let toks = &file.lexed.tokens;
+        let at = |name: &str| toks.iter().position(|t| t.text == name).unwrap();
+        assert_eq!(file.owner[at("before")], Some(0));
+        assert_eq!(file.owner[at("mid")], Some(1));
+        assert_eq!(file.owner[at("after")], Some(0));
+    }
+
+    #[test]
+    fn test_fns_and_crate_names_are_recognised() {
+        let w = ws(
+            "crates/tensor/src/a.rs",
+            "#[test]\nfn t() {}\nfn prod() {}\n",
+        );
+        assert_eq!(w.files[0].crate_name, "tensor");
+        assert!(w.fns[0].is_test);
+        assert!(!w.fns[1].is_test);
+        let wt = ws("crates/tensor/tests/b.rs", "fn helper() {}\n");
+        assert!(wt.fns[0].is_test, "test-path files are all test code");
+    }
+}

@@ -3,10 +3,12 @@
 //! The workspace rests on invariants no off-the-shelf tool checks —
 //! bitwise-identical results at every thread count, fingerprinted run
 //! artifacts that must never absorb wall-clock time or hash-map iteration
-//! order, and steady-state hot loops that must not allocate. This crate
-//! turns those contracts into a merge gate: a self-contained source-level
-//! pass (own minimal lexer, no external parser dependencies) that walks
-//! every workspace `.rs` file and enforces five rules:
+//! order, steady-state hot loops that must not allocate, and a Condvar-
+//! parked worker pool whose locks must never deadlock. This crate turns
+//! those contracts into a merge gate: a self-contained analyzer (own
+//! minimal lexer, item parser, and approximate call graph — no external
+//! dependencies) that walks every workspace `.rs` file and enforces five
+//! line-local rules plus four interprocedural passes:
 //!
 //! | rule | contract |
 //! |------|----------|
@@ -15,6 +17,10 @@
 //! | `unordered-iteration` | `HashMap`/`HashSet` forbidden in artifact-producing code |
 //! | `no-alloc-in-hot-loop` | `Vec::new`/`vec!`/`.to_vec()`/`.clone()`/`.collect()` forbidden in `*_into` functions and `// armor-lint: hot`-marked functions |
 //! | `unsafe-needs-safety-comment` | every `unsafe` needs a `// SAFETY:` comment directly above |
+//! | `lock-order` | no lock-acquisition cycles; no blocking call (I/O, `Condvar::wait`) while another guard is live |
+//! | `condvar-wait-loop` | every `Condvar::wait`/`wait_timeout` sits in a `while`-predicate loop |
+//! | `unsafe-provenance` | SAFETY comments name their invariant; `#[target_feature]` fns are reached only through `is_x86_feature_detected!` dispatch; raw pointers do not escape their `unsafe` block |
+//! | `transitive-determinism` | no call-graph path from a clock read or unordered map into an artifact writer |
 //!
 //! Findings can be suppressed inline with a *justified* allow:
 //!
@@ -24,37 +30,99 @@
 //!
 //! A bare allow (no ` -- justification`), an unknown rule id, or a typoed
 //! directive is itself a diagnostic, so a suppression can never silently
-//! rot. See `DESIGN.md` §10 for the full rule rationale.
+//! rot. See `DESIGN.md` §10 (line rules) and §15 (interprocedural passes,
+//! baseline workflow) for the full rationale.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod condvar;
 pub mod config;
 pub mod diag;
+pub mod interproc;
+pub mod ir;
 pub mod lexer;
+pub mod lock_order;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
+pub mod unsafe_prov;
 pub mod walk;
 
 pub use config::Config;
 pub use diag::Diagnostic;
-pub use rules::lint_source;
 
 use std::path::Path;
 
+/// Analyzes a set of `(path, source)` pairs as one workspace: the
+/// line-local rules per file, then the four interprocedural passes over
+/// the shared IR and call graph. Paths must be workspace-relative with
+/// forward slashes — they drive scope resolution and test-code detection.
+pub fn analyze_sources(files: &[(String, String)], config: &Config) -> Vec<Diagnostic> {
+    let ws = ir::WorkspaceIr::build(files);
+    let cg = callgraph::CallGraph::build(&ws);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        diags.extend(rules::lint_lexed(
+            &file.path,
+            &file.lexed,
+            &file.directives,
+            config,
+        ));
+        // Directive-grammar diagnostics are never suppressible.
+        diags.extend(file.directives.diags.iter().cloned());
+    }
+    let passes = [
+        lock_order::run(&ws),
+        condvar::run(&ws),
+        unsafe_prov::run(&ws, &cg),
+        interproc::run(&ws, &cg),
+    ];
+    for d in passes.into_iter().flatten() {
+        let Some(scope) = config.scope(d.rule) else {
+            continue;
+        };
+        if !scope.covers(&d.path) {
+            continue;
+        }
+        if scope.skip_test_code && config::path_is_test_code(&d.path) {
+            continue;
+        }
+        if ws
+            .file_by_path(&d.path)
+            .is_some_and(|f| f.directives.allows(d.rule, d.line))
+        {
+            continue;
+        }
+        diags.push(d);
+    }
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Lints one file's source text under `config`, returning its diagnostics
+/// in reporting order. Single-file convenience over [`analyze_sources`]:
+/// the interprocedural passes run too, but only see this one file.
+pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
+    analyze_sources(&[(path.to_string(), src.to_string())], config)
+}
+
 /// Lints every workspace file under `root` with `config`, returning all
-/// diagnostics in reporting order.
+/// diagnostics in reporting order. All files are analyzed together, so
+/// the interprocedural passes see cross-file call paths.
 ///
 /// # Errors
 ///
 /// Returns an [`std::io::Error`] if the tree cannot be walked or a file
 /// cannot be read.
 pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for file in walk::workspace_files(root)? {
         let rel = walk::relative_display(root, &file);
         let src = std::fs::read_to_string(&file)?;
-        diags.extend(rules::lint_source(&rel, &src, config));
+        files.push((rel, src));
     }
-    diag::sort(&mut diags);
-    Ok(diags)
+    Ok(analyze_sources(&files, config))
 }

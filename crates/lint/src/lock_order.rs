@@ -1,0 +1,451 @@
+//! Pass: lock acquisition order and blocking-while-locked.
+//!
+//! Walks every non-test function body simulating the set of live mutex
+//! guards: a `recv.lock()` call acquires the lock keyed by the last
+//! receiver identifier (`shared.state.lock()` → `state`), a `let`-bound
+//! guard lives to the end of its block (or an explicit `drop(guard)`), a
+//! temporary guard lives to the end of its statement. Two reports come
+//! out of the simulation directly — `Condvar::wait` while another lock is
+//! held, and blocking I/O under any lock — and the acquired-while-holding
+//! edges feed a per-crate graph whose cycles are reported once each.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::ir::WorkspaceIr;
+use crate::lexer::{Tok, TokKind};
+
+/// Methods that block the calling thread on I/O or another process.
+const BLOCKING_METHODS: &[&str] = &[
+    "flush",
+    "write_all",
+    "write_fmt",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "sync_all",
+    "sync_data",
+    "accept",
+    "recv",
+    "recv_timeout",
+];
+
+/// Macros whose first argument is written to as `io::Write`.
+const WRITE_MACROS: &[&str] = &["write", "writeln"];
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name, `None` for temporaries.
+    name: Option<String>,
+    /// The lock's key: the receiver identifier before `.lock()`.
+    key: String,
+    /// Brace depth the binding lives at.
+    depth: usize,
+    /// Dies at the end of the current statement.
+    temp: bool,
+}
+
+/// Per-crate acquired-while-holding edges: `(crate, held, acquired)` →
+/// first acquisition site `(path, line, col)`.
+type Edges = BTreeMap<(String, String, String), (String, u32, u32)>;
+
+/// Runs the pass over every non-test function.
+pub fn run(ws: &WorkspaceIr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut edges: Edges = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        analyze_fn(ws, id, &mut diags, &mut edges);
+    }
+    report_cycles(&edges, &mut diags);
+    diags
+}
+
+fn analyze_fn(ws: &WorkspaceIr, id: usize, diags: &mut Vec<Diagnostic>, edges: &mut Edges) {
+    let f = &ws.fns[id];
+    let file = ws.file_of(id);
+    let toks = &file.lexed.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize; // brace depth inside the body
+    let mut delim = 0usize; // paren/bracket depth, gates `;` significance
+    let mut push = |line: u32, col: u32, message: String, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic {
+            path: file.path.clone(),
+            line,
+            col,
+            rule: config::LOCK_ORDER,
+            message,
+        });
+    };
+    for i in f.body.clone() {
+        if file.owner[i] != Some(id) {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => delim += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => delim = delim.saturating_sub(1),
+            TokKind::Punct(';') if delim == 0 => guards.retain(|g| !g.temp),
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                // `drop(guard)` releases a named guard early.
+                if name == "drop"
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Punct('('))
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|n| n.kind == TokKind::Punct(')'))
+                {
+                    if let Some(dropped) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                        guards.retain(|g| g.name.as_deref() != Some(dropped.text.as_str()));
+                    }
+                    continue;
+                }
+                let prev_dot = i >= 1 && toks[i - 1].kind == TokKind::Punct('.');
+                let next_paren = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct('('));
+                if prev_dot && next_paren && name == "lock" {
+                    acquire(toks, i, depth, &mut guards, edges, file, diags, &mut push);
+                    continue;
+                }
+                let is_wait = name == "wait" || name == "wait_timeout";
+                if prev_dot && next_paren && (is_wait || BLOCKING_METHODS.contains(&name)) {
+                    if guards.is_empty() {
+                        continue;
+                    }
+                    if is_wait {
+                        let arg = toks.get(i + 2);
+                        if arg.is_some_and(|a| a.kind == TokKind::Punct(')')) {
+                            // Zero-arg `.wait()` (e.g. `process::Child`):
+                            // plain blocking call under a lock.
+                            for g in &guards {
+                                push(
+                                    t.line,
+                                    t.col,
+                                    format!(
+                                        "blocking call `.{name}()` while lock `{}` is held; \
+                                         every contender on `{}` stalls behind it",
+                                        g.key, g.key
+                                    ),
+                                    diags,
+                                );
+                            }
+                            continue;
+                        }
+                        let waited = arg
+                            .filter(|a| a.kind == TokKind::Ident)
+                            .map(|a| a.text.as_str());
+                        let waited_is_guard = waited
+                            .is_some_and(|w| guards.iter().any(|g| g.name.as_deref() == Some(w)));
+                        for g in &guards {
+                            // The waited-on guard is atomically released by
+                            // the Condvar; every *other* held lock deadlocks
+                            // the thread that is supposed to wake us.
+                            if waited_is_guard && g.name.as_deref() == waited {
+                                continue;
+                            }
+                            push(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "`Condvar::{name}` parks the thread while lock `{}` stays \
+                                     held; the waker (or any contender on `{}`) can deadlock \
+                                     against the sleeping waiter",
+                                    g.key, g.key
+                                ),
+                                diags,
+                            );
+                        }
+                    } else {
+                        for g in &guards {
+                            push(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "blocking call `.{name}()` while lock `{}` is held; \
+                                     every contender on `{}` stalls behind the I/O",
+                                    g.key, g.key
+                                ),
+                                diags,
+                            );
+                        }
+                    }
+                    continue;
+                }
+                // `write!(guard, …)` / `writeln!(guard, …)`: I/O on a guard.
+                if WRITE_MACROS.contains(&name)
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.kind == TokKind::Punct('!'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.kind == TokKind::Punct('('))
+                {
+                    if let Some(dest) = toks.get(i + 3).filter(|n| n.kind == TokKind::Ident) {
+                        if let Some(g) = guards
+                            .iter()
+                            .find(|g| g.name.as_deref() == Some(dest.text.as_str()))
+                        {
+                            push(
+                                t.line,
+                                t.col,
+                                format!(
+                                    "`{name}!` writes to I/O while lock `{}` is held; every \
+                                     contender on `{}` stalls behind the write",
+                                    g.key, g.key
+                                ),
+                                diags,
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Handles one `recv.lock()` site: computes the key, the binding, the
+/// acquired-while-holding edges, and pushes the new guard.
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    toks: &[Tok],
+    lock_ix: usize,
+    depth: usize,
+    guards: &mut Vec<Guard>,
+    edges: &mut Edges,
+    file: &crate::ir::FileIr,
+    diags: &mut Vec<Diagnostic>,
+    push: &mut impl FnMut(u32, u32, String, &mut Vec<Diagnostic>),
+) {
+    let t = &toks[lock_ix];
+    // Key: the identifier right before `.lock` — skip untracked receivers
+    // like `make_lock().lock()`.
+    let Some(key_ix) = lock_ix.checked_sub(2) else {
+        return;
+    };
+    if toks[key_ix].kind != TokKind::Ident {
+        return;
+    }
+    let key = toks[key_ix].text.clone();
+    // Receiver chain start: walk back over `a.b` / `a::b` segments.
+    let mut start = key_ix;
+    loop {
+        if start >= 2
+            && toks[start - 1].kind == TokKind::Punct('.')
+            && toks[start - 2].kind == TokKind::Ident
+        {
+            start -= 2;
+        } else if start >= 3
+            && toks[start - 1].kind == TokKind::Punct(':')
+            && toks[start - 2].kind == TokKind::Punct(':')
+            && toks[start - 3].kind == TokKind::Ident
+        {
+            start -= 3;
+        } else {
+            break;
+        }
+    }
+    // Binding: `[let [mut]] NAME = recv.lock()…` — anything else is a
+    // temporary that dies at the statement's `;`.
+    let mut name: Option<String> = None;
+    if start >= 2 && toks[start - 1].kind == TokKind::Punct('=') {
+        let before = &toks[start - 2];
+        if before.kind == TokKind::Ident && before.text != "mut" {
+            name = Some(before.text.clone());
+        } else if before.text == "mut" && start >= 3 && toks[start - 3].kind == TokKind::Ident {
+            name = Some(toks[start - 3].text.clone());
+        }
+    }
+    // Reassignment to an existing guard name replaces the old guard.
+    if let Some(n) = &name {
+        guards.retain(|g| g.name.as_deref() != Some(n.as_str()));
+    }
+    for g in guards.iter() {
+        if g.key == key {
+            push(
+                t.line,
+                t.col,
+                format!(
+                    "lock `{key}` acquired while already held; `std::sync::Mutex` is not \
+                     reentrant — this self-deadlocks"
+                ),
+                diags,
+            );
+            continue;
+        }
+        edges
+            .entry((file.crate_name.clone(), g.key.clone(), key.clone()))
+            .or_insert((file.path.clone(), t.line, t.col));
+    }
+    let temp = name.is_none();
+    guards.push(Guard {
+        name,
+        key,
+        depth,
+        temp,
+    });
+}
+
+/// Reports each distinct lock-order cycle once, anchored at the first
+/// (in `Edges` order, i.e. deterministic) edge that closes it.
+fn report_cycles(edges: &Edges, diags: &mut Vec<Diagnostic>) {
+    let mut adj: BTreeMap<&str, BTreeMap<&str, BTreeSet<&str>>> = BTreeMap::new();
+    for (krate, from, to) in edges.keys() {
+        adj.entry(krate)
+            .or_default()
+            .entry(from)
+            .or_default()
+            .insert(to);
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((krate, from, to), (path, line, col)) in edges {
+        if from == to {
+            continue; // self-acquisition is reported at the site directly
+        }
+        let Some(back) = bfs_path(&adj[krate.as_str()], to, from) else {
+            continue;
+        };
+        let mut cycle: Vec<String> = vec![from.clone()];
+        cycle.extend(back.iter().map(|s| s.to_string()));
+        let mut dedupe_key = cycle.clone();
+        dedupe_key.sort();
+        dedupe_key.dedup();
+        if !reported.insert(dedupe_key) {
+            continue;
+        }
+        let chain = cycle.join("` → `");
+        diags.push(Diagnostic {
+            path: path.clone(),
+            line: *line,
+            col: *col,
+            rule: config::LOCK_ORDER,
+            message: format!(
+                "lock-order cycle in crate `{krate}`: `{chain}`; every thread must acquire \
+                 these locks in one global order or two threads can deadlock"
+            ),
+        });
+    }
+}
+
+/// BFS over one crate's adjacency, returning `[from, …, to]` if reachable.
+fn bfs_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut q = VecDeque::new();
+    parent.insert(from, from);
+    q.push_back(from);
+    while let Some(n) = q.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while parent[cur] != cur {
+                cur = parent[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &m in adj.get(n).into_iter().flatten() {
+            parent.entry(m).or_insert_with(|| {
+                q.push_back(m);
+                n
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::WorkspaceIr;
+
+    fn pass(src: &str) -> Vec<Diagnostic> {
+        let ws = WorkspaceIr::build(&[("crates/x/src/a.rs".to_string(), src.to_string())]);
+        run(&ws)
+    }
+
+    #[test]
+    fn cycle_across_two_fns_is_reported_once() {
+        let d = pass(
+            "fn ab(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n\
+             fn ba(s: &S) { let b = s.b.lock().unwrap(); let a = s.a.lock().unwrap(); }\n",
+        );
+        let cycles: Vec<_> = d.iter().filter(|x| x.message.contains("cycle")).collect();
+        assert_eq!(cycles.len(), 1, "{d:?}");
+        assert!(cycles[0].message.contains("`a` → `b` → `a`"));
+    }
+
+    #[test]
+    fn consistent_order_and_dropped_guards_are_clean() {
+        let d = pass(
+            "fn one(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.b.lock().unwrap(); drop(b); \
+             let a = s.a.lock().unwrap(); }\n",
+        );
+        // two() acquires a only after dropping b, so no b→a edge forms and
+        // one()'s a→b edge closes no cycle. Without the drop() this would
+        // be a classic ABBA deadlock report.
+        assert!(
+            d.iter().all(|x| !x.message.contains("cycle")),
+            "drop(b) must end the guard: {d:?}"
+        );
+    }
+
+    #[test]
+    fn wait_with_second_lock_held_is_flagged() {
+        let d = pass(
+            "fn go(s: &S) { let lease = s.lease.lock().unwrap(); \
+             let mut g = s.state.lock().unwrap(); \
+             while g.n > 0 { g = s.done.wait(g).unwrap(); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`lease` stays held"));
+    }
+
+    #[test]
+    fn wait_on_only_guard_is_clean() {
+        let d = pass(
+            "fn go(s: &S) { let mut g = s.state.lock().unwrap(); \
+             while g.n > 0 { g = s.cv.wait(g).unwrap(); } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn io_under_lock_is_flagged_for_named_and_temp_guards() {
+        let d = pass(
+            "fn log(s: &S) { let mut file = s.file.lock().unwrap(); \
+             writeln!(file, \"x\").ok(); file.flush().ok(); }\n\
+             fn tmp(s: &S) { s.file.lock().unwrap().flush().ok(); }\n\
+             fn after(s: &S) { s.file.lock().unwrap(); out.flush().ok(); }\n",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d[0].message.contains("`writeln!`"));
+        assert!(d[1].message.contains("`.flush()`"));
+        // after(): the temporary guard died at its `;` before the flush.
+        assert!(d[2].path.contains("a.rs") && d[2].line == 2);
+    }
+
+    #[test]
+    fn double_lock_of_same_key_is_a_self_deadlock() {
+        let d = pass("fn go(s: &S) { let a = s.m.lock().unwrap(); let b = s.m.lock().unwrap(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not reentrant"), "{d:?}");
+    }
+}

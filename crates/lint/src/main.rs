@@ -1,45 +1,81 @@
-//! The `armor-lint` binary: lints the workspace and exits non-zero on any
-//! finding, so it composes into `scripts/check.sh`.
+//! The `armor-lint` binary: lints the workspace so it composes into
+//! `scripts/check.sh`.
 //!
 //! ```text
-//! armor-lint [--json] [--root DIR] [--scope RULE=PREFIX[,PREFIX…]] [FILE…]
+//! armor-lint [--json | --sarif] [--root DIR] [--scope RULE=PREFIX[,PREFIX…]]
+//!            [--baseline FILE [--write-baseline]] [FILE…]
 //! ```
 //!
 //! With no `FILE` arguments every workspace `.rs` file under
 //! `<root>/crates` is linted (build output, `vendor/` stand-ins, and the
 //! fixture corpus are skipped). `--scope` replaces one rule's include
 //! prefixes for ad-hoc runs; the defaults encode the workspace contracts.
+//!
+//! With `--baseline` the gate fails only on findings *not* recorded in
+//! the baseline file, and prints the delta (new / known / resolved);
+//! `--write-baseline` regenerates the file from the current run instead.
+//!
+//! Exit codes: `0` clean (or no new findings vs the baseline), `1`
+//! findings, `2` internal error or bad arguments.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lint::{diag, walk, Config};
+use lint::{baseline, diag, sarif, walk, Config};
 
-const USAGE: &str = "usage: armor-lint [--json] [--root DIR] \
-                     [--scope RULE=PREFIX[,PREFIX...]] [FILE...]";
+const USAGE: &str = "usage: armor-lint [--json | --sarif] [--root DIR] \
+                     [--scope RULE=PREFIX[,PREFIX...]] \
+                     [--baseline FILE [--write-baseline]] [FILE...]";
+
+/// Findings exist (or new-vs-baseline findings exist).
+const EXIT_FINDINGS: u8 = 1;
+/// Bad arguments, unreadable files, or a corrupt baseline.
+const EXIT_ERROR: u8 = 2;
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Cli {
-    json: bool,
+    format: Format,
     root: PathBuf,
     files: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
     config: Config,
 }
 
-fn parse_args(args: &[String]) -> Result<Cli, String> {
+enum ArgsOutcome {
+    Run(Box<Cli>),
+    Help,
+}
+
+fn parse_args(args: &[String]) -> Result<ArgsOutcome, String> {
     let mut cli = Cli {
-        json: false,
+        format: Format::Text,
         root: PathBuf::from("."),
         files: Vec::new(),
+        baseline: None,
+        write_baseline: false,
         config: Config::workspace_default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => cli.json = true,
+            "--json" => cli.format = Format::Json,
+            "--sarif" => cli.format = Format::Sarif,
             "--root" => {
                 let dir = it.next().ok_or("--root needs a directory")?;
                 cli.root = PathBuf::from(dir);
             }
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file")?;
+                cli.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => cli.write_baseline = true,
             "--scope" => {
                 let spec = it.next().ok_or("--scope needs RULE=PREFIX[,PREFIX...]")?;
                 let (rule, prefixes) = spec
@@ -51,28 +87,30 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .set_include(rule, prefixes)
                     .map_err(|r| format!("--scope: unknown rule `{r}`"))?;
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => return Ok(ArgsOutcome::Help),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag `{flag}`\n{USAGE}"));
             }
             file => cli.files.push(PathBuf::from(file)),
         }
     }
-    Ok(cli)
+    if cli.write_baseline && cli.baseline.is_none() {
+        return Err("--write-baseline needs --baseline FILE to name the file".to_string());
+    }
+    Ok(ArgsOutcome::Run(Box::new(cli)))
 }
 
 fn run(cli: &Cli) -> std::io::Result<Vec<lint::Diagnostic>> {
     if cli.files.is_empty() {
         return lint::lint_workspace(&cli.root, &cli.config);
     }
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for file in &cli.files {
         let rel = walk::relative_display(&cli.root, file);
         let src = std::fs::read_to_string(file)?;
-        diags.extend(lint::lint_source(&rel, &src, &cli.config));
+        files.push((rel, src));
     }
-    diag::sort(&mut diags);
-    Ok(diags)
+    Ok(lint::analyze_sources(&files, &cli.config))
 }
 
 fn file_count(cli: &Cli) -> usize {
@@ -83,37 +121,100 @@ fn file_count(cli: &Cli) -> usize {
     }
 }
 
+/// `3 finding(s) [lock-order: 2, condvar-wait-loop: 1]` — counts per rule,
+/// sorted by rule id for deterministic CI logs.
+fn per_rule_summary(diags: &[lint::Diagnostic]) -> String {
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_default() += 1;
+    }
+    if counts.is_empty() {
+        return "0 finding(s)".to_string();
+    }
+    let parts: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+    format!("{} finding(s) [{}]", diags.len(), parts.join(", "))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
-        Ok(cli) => cli,
+        Ok(ArgsOutcome::Run(cli)) => cli,
+        Ok(ArgsOutcome::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
     let diags = match run(&cli) {
         Ok(diags) => diags,
         Err(e) => {
             eprintln!("armor-lint: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
-    if cli.json {
-        print!("{}", diag::to_json(&diags));
-    } else {
+    match cli.format {
+        Format::Json => print!("{}", diag::to_json(&diags)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&diags)),
+        Format::Text => {}
+    }
+    // Baseline modes: regenerate, or diff and gate on new findings only.
+    if let Some(path) = &cli.baseline {
+        if cli.write_baseline {
+            if let Err(e) = std::fs::write(path, baseline::render(&diags)) {
+                eprintln!("armor-lint: writing {}: {e}", path.display());
+                return ExitCode::from(EXIT_ERROR);
+            }
+            eprintln!(
+                "armor-lint: baseline written to {} ({} finding(s))",
+                path.display(),
+                diags.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let base = match std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))
+            .and_then(|text| baseline::parse(&text))
+        {
+            Ok(base) => base,
+            Err(e) => {
+                eprintln!("armor-lint: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        let delta = baseline::diff(&diags, &base);
+        if cli.format == Format::Text {
+            for d in &delta.new {
+                println!("{d}");
+            }
+        }
+        eprintln!(
+            "armor-lint: {} new vs baseline ({} known, {} resolved)",
+            per_rule_summary(&delta.new),
+            delta.known,
+            delta.resolved
+        );
+        return if delta.new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_FINDINGS)
+        };
+    }
+    if cli.format == Format::Text {
         for d in &diags {
             println!("{d}");
         }
     }
     if diags.is_empty() {
-        if !cli.json {
+        if cli.format == Format::Text {
             println!("armor-lint: clean ({} files)", file_count(&cli));
         }
         ExitCode::SUCCESS
     } else {
-        eprintln!("armor-lint: {} finding(s)", diags.len());
-        ExitCode::FAILURE
+        eprintln!("armor-lint: {}", per_rule_summary(&diags));
+        ExitCode::from(EXIT_FINDINGS)
     }
 }
 
@@ -125,19 +226,50 @@ mod tests {
         v.iter().map(|x| x.to_string()).collect()
     }
 
+    fn parsed(v: &[&str]) -> Cli {
+        match parse_args(&s(v)).unwrap() {
+            ArgsOutcome::Run(cli) => *cli,
+            ArgsOutcome::Help => panic!("unexpected --help"),
+        }
+    }
+
     #[test]
     fn flags_parse() {
-        let cli = parse_args(&s(&["--json", "--root", "/tmp", "a.rs"])).unwrap();
-        assert!(cli.json);
+        let cli = parsed(&["--json", "--root", "/tmp", "a.rs"]);
+        assert!(cli.format == Format::Json);
         assert_eq!(cli.root, PathBuf::from("/tmp"));
         assert_eq!(cli.files, [PathBuf::from("a.rs")]);
+        let cli = parsed(&["--sarif", "--baseline", "b.json"]);
+        assert!(cli.format == Format::Sarif);
+        assert_eq!(cli.baseline, Some(PathBuf::from("b.json")));
     }
 
     #[test]
     fn scope_override_parses_and_unknown_flag_rejected() {
-        let cli = parse_args(&s(&["--scope", "no-panic-in-io=crates/nn/src"])).unwrap();
+        let cli = parsed(&["--scope", "no-panic-in-io=crates/nn/src"]);
         assert!(cli.config.no_panic_in_io.covers("crates/nn/src/train.rs"));
         assert!(parse_args(&s(&["--bogus"])).is_err());
         assert!(parse_args(&s(&["--scope", "nope=crates/"])).is_err());
+    }
+
+    #[test]
+    fn write_baseline_requires_baseline_path() {
+        assert!(parse_args(&s(&["--write-baseline"])).is_err());
+        let cli = parsed(&["--baseline", "b.json", "--write-baseline"]);
+        assert!(cli.write_baseline);
+    }
+
+    #[test]
+    fn per_rule_summary_is_sorted_and_counted() {
+        let mk = |rule: &'static str| lint::Diagnostic {
+            path: "a.rs".into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: "m".into(),
+        };
+        let out = per_rule_summary(&[mk("z-rule"), mk("a-rule"), mk("z-rule")]);
+        assert_eq!(out, "3 finding(s) [a-rule: 1, z-rule: 2]");
+        assert_eq!(per_rule_summary(&[]), "0 finding(s)");
     }
 }

@@ -1,0 +1,330 @@
+//! A lightweight item/block parser over the [`crate::lexer`] token stream.
+//!
+//! The interprocedural passes need just enough structure to reason about
+//! functions: where each `fn` body starts and ends, which attributes it
+//! carries, and which tokens are test code. This module recovers exactly
+//! that by bracket matching — it is deliberately *not* a Rust parser.
+//! Macros stay opaque token soup, types are skipped by delimiter counting,
+//! and trait-method declarations without bodies have an empty body range.
+//! DESIGN.md §15 lists the blind spots this implies.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed `fn` item. Nested functions each get their own entry; token
+/// ownership is disambiguated later by [`crate::ir`]'s owner map (inner
+/// function wins).
+#[derive(Debug, Clone)]
+pub struct RawFn {
+    /// The function's simple name.
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub fn_tok: usize,
+    /// Line of the name token — the anchor for per-function findings.
+    pub line: u32,
+    /// Column of the name token.
+    pub col: u32,
+    /// Flattened attribute bodies, e.g. `target_feature (enable = "avx2")`.
+    pub attrs: Vec<String>,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Token range of the signature: from the `fn` keyword up to (excluding)
+    /// the body's `{` or the terminating `;`.
+    pub sig: std::ops::Range<usize>,
+    /// Token range of the body between (excluding) its braces; empty when
+    /// the declaration has no body.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Index of the `}` matching the `{` at `open` (or `tokens.len()` when the
+/// stream is truncated).
+pub(crate) fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Walks back from the `fn` keyword over `pub(crate)`, `unsafe`, `const`,
+/// `async`, `extern "C"` and stacked `#[…]` attributes, returning the
+/// attribute bodies (outermost first) and whether the fn is `unsafe`.
+fn leading_modifiers(tokens: &[Tok], fn_tok: usize) -> (Vec<String>, bool) {
+    let mut attrs: Vec<String> = Vec::new();
+    let mut is_unsafe = false;
+    let mut k = fn_tok;
+    while k > 0 {
+        let prev = &tokens[k - 1];
+        match prev.kind {
+            TokKind::Ident
+                if matches!(
+                    prev.text.as_str(),
+                    "pub" | "unsafe" | "const" | "async" | "extern" | "default"
+                ) =>
+            {
+                if prev.text == "unsafe" {
+                    is_unsafe = true;
+                }
+                k -= 1;
+            }
+            // The ABI string of `extern "C"`.
+            TokKind::Str => k -= 1,
+            TokKind::Punct(')') => {
+                // `pub(crate)` / `pub(in …)`: skip to the matching `(`;
+                // anything other than a visibility wrapper ends the header.
+                let Some(open) = match_back(tokens, k - 1, '(', ')') else {
+                    break;
+                };
+                if open >= 1
+                    && tokens[open - 1].kind == TokKind::Ident
+                    && tokens[open - 1].text == "pub"
+                {
+                    k = open;
+                } else {
+                    break;
+                }
+            }
+            TokKind::Punct(']') => {
+                // A stacked attribute `#[…]`.
+                let Some(open) = match_back(tokens, k - 1, '[', ']') else {
+                    break;
+                };
+                if open >= 1 && tokens[open - 1].kind == TokKind::Punct('#') {
+                    let body: Vec<&str> = tokens[open + 1..k - 1]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect();
+                    attrs.insert(0, body.join(" "));
+                    k = open - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (attrs, is_unsafe)
+}
+
+/// Index of the `open` delimiter matching the `close` at `from`, scanning
+/// backwards.
+fn match_back(tokens: &[Tok], from: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = from;
+    loop {
+        if tokens[j].kind == TokKind::Punct(close) {
+            depth += 1;
+        } else if tokens[j].kind == TokKind::Punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Extracts every `fn` item (including nested ones) in source order.
+pub fn parse_fns(tokens: &[Tok]) -> Vec<RawFn> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let is_fn = t.kind == TokKind::Ident
+            && t.text == "fn"
+            && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident);
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let name_tok = &tokens[i + 1];
+        let (attrs, is_unsafe) = leading_modifiers(tokens, i);
+        // The body is the first `{` outside the parameter list / return
+        // type delimiters; a `;` there instead means a bodyless item.
+        let mut j = i + 2;
+        let mut delim = 0usize;
+        let mut body = 0..0;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => delim += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => delim = delim.saturating_sub(1),
+                TokKind::Punct(';') if delim == 0 => break,
+                TokKind::Punct('{') if delim == 0 => {
+                    body = (j + 1)..match_brace(tokens, j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fns.push(RawFn {
+            name: name_tok.text.clone(),
+            fn_tok: i,
+            line: name_tok.line,
+            col: name_tok.col,
+            attrs,
+            is_unsafe,
+            sig: i..j.min(tokens.len()),
+            body,
+        });
+        i += 2;
+    }
+    fns
+}
+
+/// Marks the token ranges covered by `#[test]` / `#[cfg(test)]` (and any
+/// other attribute whose tokens mention `test`): from the attribute to the
+/// end of the annotated item — its matching closing brace, or the first
+/// statement-level `;` for brace-less items.
+pub(crate) fn test_token_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].kind == TokKind::Punct('!') {
+            j += 1; // inner attribute `#![…]`
+        }
+        if j >= tokens.len() || tokens[j].kind != TokKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body up to the matching `]`.
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                TokKind::Ident if tokens[j].text == "test" => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        while j + 1 < tokens.len()
+            && tokens[j].kind == TokKind::Punct('#')
+            && tokens[j + 1].kind == TokKind::Punct('[')
+        {
+            let mut d = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The annotated item runs to its matching `}` (tracking nesting),
+        // or to the first `;` outside any braces/parens for `use …;` etc.
+        let mut braces = 0usize;
+        let mut parens = 0usize;
+        let mut end = tokens.len();
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokKind::Punct('{') => braces += 1,
+                TokKind::Punct('}') => {
+                    braces = braces.saturating_sub(1);
+                    if braces == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                TokKind::Punct('(') => parens += 1,
+                TokKind::Punct(')') => parens = parens.saturating_sub(1),
+                TokKind::Punct(';') if braces == 0 && parens == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(end.min(tokens.len())).skip(start) {
+            *m = true;
+        }
+        i = end.min(tokens.len());
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<RawFn> {
+        parse_fns(&lex(src).tokens)
+    }
+
+    #[test]
+    fn extracts_names_attrs_and_bodies() {
+        let src = "#[inline]\n#[target_feature(enable = \"avx2\")]\n\
+                   pub(crate) unsafe fn kernel(x: &mut [f32]) { x[0] = 1.0; }\n\
+                   fn plain() -> u32 { 7 }\n\
+                   trait T { fn decl(&self); }\n";
+        let f = fns(src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f[0].name, "kernel");
+        assert!(f[0].is_unsafe);
+        assert_eq!(f[0].attrs.len(), 2);
+        assert!(f[0].attrs[1].contains("target_feature"));
+        assert!(!f[0].body.is_empty());
+        assert_eq!(f[1].name, "plain");
+        assert!(!f[1].is_unsafe);
+        assert_eq!(f[2].name, "decl");
+        assert!(f[2].body.is_empty(), "bodyless trait method");
+    }
+
+    #[test]
+    fn nested_fns_are_both_found() {
+        let f = fns("fn outer() { fn inner() { work(); } inner(); }");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].name, "outer");
+        assert_eq!(f[1].name, "inner");
+        // inner's body is contained in outer's
+        assert!(f[0].body.start < f[1].body.start && f[1].body.end <= f[0].body.end);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let f = fns("fn takes(cb: fn(u32) -> u32) { cb(1); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "takes");
+    }
+}

@@ -1,10 +1,13 @@
-//! The five armor-lint rules, implemented as patterns over the token
-//! stream produced by [`crate::lexer`].
+//! The five line-local armor-lint rules, implemented as patterns over the
+//! token stream produced by [`crate::lexer`]. (The four interprocedural
+//! rules live in their own pass modules and run from
+//! [`crate::analyze_sources`].)
 
 use crate::config::{self, Config};
 use crate::diag::Diagnostic;
-use crate::lexer::{self, Tok, TokKind};
-use crate::suppress;
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parser::test_token_mask;
+use crate::suppress::Directives;
 
 /// Rust keywords that can legally precede `[` without forming an index
 /// expression (`let [a, b] = …`, `in [1, 2]`, `return [x]`, …).
@@ -18,104 +21,6 @@ const KEYWORDS: &[&str] = &[
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 const ALLOC_METHODS: &[&str] = &["to_vec", "clone", "collect"];
-
-/// Marks the token ranges covered by `#[test]` / `#[cfg(test)]` (and any
-/// other attribute whose tokens mention `test`): from the attribute to the
-/// end of the annotated item — its matching closing brace, or the first
-/// statement-level `;` for brace-less items.
-fn test_token_mask(tokens: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].kind != TokKind::Punct('#') {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        let mut j = i + 1;
-        if j < tokens.len() && tokens[j].kind == TokKind::Punct('!') {
-            j += 1; // inner attribute `#![…]`
-        }
-        if j >= tokens.len() || tokens[j].kind != TokKind::Punct('[') {
-            i += 1;
-            continue;
-        }
-        // Collect the attribute body up to the matching `]`.
-        let mut depth = 0usize;
-        let mut is_test_attr = false;
-        while j < tokens.len() {
-            match tokens[j].kind {
-                TokKind::Punct('[') => depth += 1,
-                TokKind::Punct(']') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                TokKind::Ident if tokens[j].text == "test" => is_test_attr = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !is_test_attr {
-            i = j;
-            continue;
-        }
-        // Skip any further attributes stacked on the same item.
-        while j + 1 < tokens.len()
-            && tokens[j].kind == TokKind::Punct('#')
-            && tokens[j + 1].kind == TokKind::Punct('[')
-        {
-            let mut d = 0usize;
-            j += 1;
-            while j < tokens.len() {
-                match tokens[j].kind {
-                    TokKind::Punct('[') => d += 1,
-                    TokKind::Punct(']') => {
-                        d -= 1;
-                        if d == 0 {
-                            j += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        // The annotated item runs to its matching `}` (tracking nesting),
-        // or to the first `;` outside any braces/parens for `use …;` etc.
-        let mut braces = 0usize;
-        let mut parens = 0usize;
-        let mut end = tokens.len();
-        while j < tokens.len() {
-            match tokens[j].kind {
-                TokKind::Punct('{') => braces += 1,
-                TokKind::Punct('}') => {
-                    braces = braces.saturating_sub(1);
-                    if braces == 0 {
-                        end = j + 1;
-                        break;
-                    }
-                }
-                TokKind::Punct('(') => parens += 1,
-                TokKind::Punct(')') => parens = parens.saturating_sub(1),
-                TokKind::Punct(';') if braces == 0 && parens == 0 => {
-                    end = j + 1;
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for m in mask.iter_mut().take(end.min(tokens.len())).skip(start) {
-            *m = true;
-        }
-        i = end.min(tokens.len());
-    }
-    mask
-}
 
 /// For each token, the name of the innermost enclosing function that is
 /// *hot* (name ends in `_into` or a `// armor-lint: hot` marker precedes
@@ -369,12 +274,15 @@ fn scan(tokens: &[Tok], hot: &[Option<String>]) -> Vec<Finding> {
     out
 }
 
-/// Lints one file's source text under `config`, returning its diagnostics
-/// in reporting order. `path` must be workspace-relative with forward
-/// slashes — it drives scope resolution and test-code detection.
-pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let directives = suppress::parse(path, &lexed.comments);
+/// Runs the line-local rules over one pre-lexed file, returning its
+/// (unsorted) diagnostics. Directive-grammar diagnostics are *not*
+/// included — [`crate::analyze_sources`] appends those once per file.
+pub(crate) fn lint_lexed(
+    path: &str,
+    lexed: &Lexed,
+    directives: &Directives,
+    config: &Config,
+) -> Vec<Diagnostic> {
     let file_is_test = config::path_is_test_code(path);
     let test_mask = test_token_mask(&lexed.tokens);
     let hot = hot_fn_mask(&lexed.tokens, &directives.hot_lines);
@@ -414,16 +322,13 @@ pub fn lint_source(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
             message: f.message,
         });
     }
-    // Directive-grammar diagnostics are never suppressible and apply to
-    // every walked file.
-    diags.extend(directives.diags);
-    crate::diag::sort(&mut diags);
     diags
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     fn store_path_lint(src: &str) -> Vec<Diagnostic> {
         lint_source("crates/store/src/x.rs", src, &Config::workspace_default())

@@ -1,0 +1,87 @@
+//! SARIF 2.1.0 output — the interchange format CI annotation tooling
+//! (GitHub code scanning, VS Code SARIF viewers) consumes. Hand-rolled
+//! like the `--json` report so the lint crate stays dependency-free.
+
+use crate::config;
+use crate::diag::{escape_json, Diagnostic};
+
+/// Renders `diags` as one SARIF 2.1.0 run. The driver's rule table lists
+/// every suppressible rule plus the directive meta-rules, so a clean run
+/// still advertises what was checked.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(2048 + diags.len() * 256);
+    out.push_str(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"armor-lint\",\n          \
+         \"informationUri\": \"DESIGN.md\",\n          \"rules\": [",
+    );
+    let meta = [
+        config::BARE_ALLOW,
+        config::UNKNOWN_RULE,
+        config::UNKNOWN_DIRECTIVE,
+    ];
+    let all_rules = config::RULES.iter().chain(meta.iter());
+    for (i, rule) in all_rules.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n            {{\"id\": \"{rule}\"}}"));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"",
+            d.rule
+        ));
+        escape_json(&d.message, &mut out);
+        out.push_str("\"},\n          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"");
+        escape_json(&d.path, &mut out);
+        out.push_str(&format!(
+            "\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]\n        }}",
+            d.line, d.col
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_has_schema_rules_and_result_locations() {
+        let d = Diagnostic {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "lock-order",
+            message: "say \"hi\"".into(),
+        };
+        let s = to_sarif(&[d]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"armor-lint\""));
+        assert!(s.contains("{\"id\": \"lock-order\"}"));
+        assert!(s.contains("{\"id\": \"transitive-determinism\"}"));
+        assert!(s.contains("\"ruleId\": \"lock-order\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn empty_run_still_lists_every_rule() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+        for rule in crate::config::RULES {
+            assert!(s.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule}");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Pass: unsafe-provenance hygiene, scoped to the one unsafe-capable
+//! crate (`crates/tensor`). Three checks:
+//!
+//! 1. **SAFETY names the invariant** — a `// SAFETY:` comment shorter
+//!    than a clause (`// SAFETY: fine`) satisfies the line-local
+//!    `unsafe-needs-safety-comment` rule but documents nothing; require
+//!    enough text to name the guarantee relied upon.
+//! 2. **`#[target_feature]` dispatch** — calling a `#[target_feature]`
+//!    function on a CPU without the feature is undefined behaviour, so
+//!    every call site must sit in a function that (directly, or through
+//!    one called predicate like `simd_available()`) checks
+//!    `is_x86_feature_detected!`.
+//! 3. **Escaping raw pointers** — an `unsafe { … }` block in value
+//!    position whose tail expression produces a raw pointer (`.as_ptr()`,
+//!    `.add(…)`, `as *mut _`, `&raw …`) hands provenance obligations to
+//!    code outside the block; derive and consume the pointer in one block.
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::diag::Diagnostic;
+use crate::ir::WorkspaceIr;
+use crate::lexer::{Tok, TokKind};
+use crate::parser;
+
+/// Below this many characters of justification, a SAFETY comment names
+/// nothing ("fine", "ok", "see above").
+const MIN_SAFETY_CHARS: usize = 20;
+
+/// Tail-position methods that yield a raw pointer.
+const PTR_PRODUCERS: &[&str] = &[
+    "as_ptr",
+    "as_mut_ptr",
+    "add",
+    "sub",
+    "offset",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_offset",
+    "cast",
+];
+
+/// Runs all three checks. Findings outside the rule's configured scope
+/// are filtered by the caller.
+pub fn run(ws: &WorkspaceIr, cg: &CallGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    trivial_safety(ws, &mut diags);
+    target_feature_dispatch(ws, cg, &mut diags);
+    escaping_pointers(ws, &mut diags);
+    diags
+}
+
+/// Check 1: SAFETY comments must carry a justification clause. Directly
+/// consecutive `//` continuation lines count toward the one comment.
+fn trivial_safety(ws: &WorkspaceIr, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        let comments = &file.lexed.comments;
+        let mut i = 0;
+        while i < comments.len() {
+            let c = &comments[i];
+            let Some(pos) = c.text.find("SAFETY:") else {
+                i += 1;
+                continue;
+            };
+            let mut text = c.text[pos + "SAFETY:".len()..]
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            let mut last_end = c.end_line;
+            let mut j = i + 1;
+            while j < comments.len() {
+                let n = &comments[j];
+                let continuation = n.line == last_end + 1
+                    && !n.text.contains("SAFETY:")
+                    && n.text.starts_with("//")
+                    && !n.text.starts_with("///")
+                    && !n.text.starts_with("//!");
+                if !continuation {
+                    break;
+                }
+                text.push(' ');
+                text.push_str(n.text.trim_start_matches('/').trim());
+                last_end = n.end_line;
+                j += 1;
+            }
+            if text.len() < MIN_SAFETY_CHARS && !is_test_line(file, c.line) {
+                diags.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: config::UNSAFE_PROVENANCE,
+                    message: format!(
+                        "SAFETY comment does not name the invariant it relies on \
+                         (`SAFETY: {text}`); state which guarantee makes the unsafe \
+                         code sound"
+                    ),
+                });
+            }
+            i = j;
+        }
+    }
+}
+
+fn is_test_line(file: &crate::ir::FileIr, line: u32) -> bool {
+    match file.lexed.tokens.iter().position(|t| t.line >= line) {
+        Some(ix) => file.test_mask.get(ix).copied().unwrap_or(false),
+        None => false,
+    }
+}
+
+/// Check 2: every resolved call into a `#[target_feature]` fn must come
+/// from a function that is itself `#[target_feature]`, or that sees an
+/// `is_x86_feature_detected!` check — lexically, or in one directly
+/// called predicate (the `simd_available()` indirection).
+fn target_feature_dispatch(ws: &WorkspaceIr, cg: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    let is_tf = |id: usize| -> bool {
+        ws.fns[id]
+            .attrs
+            .iter()
+            .any(|a| a.contains("target_feature"))
+    };
+    if !(0..ws.fns.len()).any(is_tf) {
+        return;
+    }
+    let detects: Vec<bool> = (0..ws.fns.len())
+        .map(|id| {
+            cg.calls[id]
+                .iter()
+                .any(|c| c.is_macro && c.name == "is_x86_feature_detected")
+        })
+        .collect();
+    for (caller, f) in ws.fns.iter().enumerate() {
+        if f.is_test || is_tf(caller) {
+            continue;
+        }
+        if detects[caller] || cg.edges[caller].iter().any(|&m| detects[m]) {
+            continue;
+        }
+        let file = ws.file_of(caller);
+        for c in cg.calls[caller].iter().filter(|c| !c.is_macro) {
+            let hits_tf = cg.edges[caller]
+                .iter()
+                .any(|&t| is_tf(t) && ws.fns[t].name == c.name);
+            if hits_tf {
+                diags.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: config::UNSAFE_PROVENANCE,
+                    message: format!(
+                        "call to `#[target_feature]` fn `{}` outside an \
+                         `is_x86_feature_detected!` dispatch; on a CPU without the \
+                         feature this is undefined behaviour",
+                        c.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Check 3: `unsafe` blocks in value position must not evaluate to a raw
+/// pointer.
+fn escaping_pointers(ws: &WorkspaceIr, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || t.text != "unsafe" {
+                continue;
+            }
+            if file.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if !toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct('{'))
+            {
+                continue; // `unsafe fn` / `unsafe impl`, handled elsewhere
+            }
+            // Value position: the block's result is bound, passed, or
+            // returned. Statement-position blocks keep their pointer local.
+            let value_pos = i.checked_sub(1).map(|p| &toks[p]).is_some_and(|p| {
+                matches!(
+                    p.kind,
+                    TokKind::Punct('=') | TokKind::Punct('(') | TokKind::Punct(',')
+                ) || (p.kind == TokKind::Ident && p.text == "return")
+            });
+            if !value_pos {
+                continue;
+            }
+            let open = i + 1;
+            let close = parser::match_brace(toks, open);
+            // Tail expression: everything after the last statement-level `;`.
+            let mut tail_start = open + 1;
+            let mut braces = 0usize;
+            let mut delim = 0usize;
+            for (j, tok) in toks.iter().enumerate().take(close).skip(open + 1) {
+                match tok.kind {
+                    TokKind::Punct('{') => braces += 1,
+                    TokKind::Punct('}') => braces = braces.saturating_sub(1),
+                    TokKind::Punct('(') | TokKind::Punct('[') => delim += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => delim = delim.saturating_sub(1),
+                    TokKind::Punct(';') if braces == 0 && delim == 0 => tail_start = j + 1,
+                    _ => {}
+                }
+            }
+            let tail = &toks[tail_start..close.min(toks.len())];
+            if !tail.is_empty() && produces_raw_pointer(tail) {
+                diags.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule: config::UNSAFE_PROVENANCE,
+                    message: "raw pointer derived in this `unsafe` block escapes it; derive \
+                              and consume the pointer inside one block so the provenance \
+                              argument stays local"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Does this tail expression evaluate to a raw pointer? Reference-producing
+/// tails (`&…`, `&mut *p`, `from_raw_parts(...)`) do not; a top-level
+/// `as *`, an `&raw` borrow, or a final pointer-arithmetic method does.
+fn produces_raw_pointer(tail: &[Tok]) -> bool {
+    if tail[0].kind == TokKind::Punct('&') {
+        return tail
+            .get(1)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "raw");
+    }
+    let mut delim = 0usize;
+    let mut last_method: Option<&str> = None;
+    let mut as_raw_cast = false;
+    for (j, t) in tail.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => delim += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => delim = delim.saturating_sub(1),
+            TokKind::Punct('.') if delim == 0 => {
+                if let Some(n) = tail.get(j + 1).filter(|n| n.kind == TokKind::Ident) {
+                    last_method = Some(n.text.as_str());
+                }
+            }
+            TokKind::Ident
+                if delim == 0
+                    && t.text == "as"
+                    && tail
+                        .get(j + 1)
+                        .is_some_and(|n| n.kind == TokKind::Punct('*')) =>
+            {
+                as_raw_cast = true;
+            }
+            _ => {}
+        }
+    }
+    as_raw_cast || last_method.is_some_and(|m| PTR_PRODUCERS.contains(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::ir::WorkspaceIr;
+
+    fn pass(src: &str) -> Vec<Diagnostic> {
+        let ws = WorkspaceIr::build(&[("crates/tensor/src/a.rs".to_string(), src.to_string())]);
+        let cg = CallGraph::build(&ws);
+        run(&ws, &cg)
+    }
+
+    #[test]
+    fn trivial_safety_comment_is_flagged_substantive_is_not() {
+        let d = pass(
+            "// SAFETY: fine.\nfn a() { unsafe { go() } }\n\
+             // SAFETY: `i < len` is upheld by the loop bound two lines above.\n\
+             fn b() { unsafe { go() } }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("does not name the invariant"));
+    }
+
+    #[test]
+    fn multi_line_safety_comment_counts_all_lines() {
+        let d = pass(
+            "// SAFETY: ok —\n// the caller checked AVX2 support and the slices\n\
+             // are all the same length by construction.\nfn a() { unsafe { go() } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn target_feature_call_needs_a_dispatch_site() {
+        let src = "#[target_feature(enable = \"avx2\")]\n\
+             // SAFETY: caller must verify AVX2 support before entry.\n\
+             unsafe fn kernel(x: &mut [f32]) {}\n\
+             fn available() -> bool { is_x86_feature_detected!(\"avx2\") }\n\
+             fn guarded(x: &mut [f32]) { if available() { unsafe { kernel(x) } } }\n\
+             fn inline_guard(x: &mut [f32]) { if is_x86_feature_detected!(\"avx2\") \
+             { unsafe { kernel(x) } } }\n\
+             fn unguarded(x: &mut [f32]) { unsafe { kernel(x) } }\n";
+        let d = pass(src);
+        let tf: Vec<_> = d
+            .iter()
+            .filter(|x| x.message.contains("target_feature"))
+            .collect();
+        assert_eq!(tf.len(), 1, "{d:?}");
+        assert_eq!(tf[0].line, 7, "only the unguarded call site");
+    }
+
+    #[test]
+    fn escaping_pointer_tails_are_flagged_references_are_not() {
+        let src = "// SAFETY: base is valid for len elements per the shard split.\n\
+             fn esc(b: &B) { let p = unsafe { b.base.as_ptr().add(1) }; }\n\
+             // SAFETY: same shard-split argument as above, reconstituted view.\n\
+             fn refs(b: &B) { let s = unsafe { std::slice::from_raw_parts(b.p, b.n) }; }\n\
+             // SAFETY: exclusive by the strided piece assignment.\n\
+             fn refmut(b: &B) { let s = unsafe { &mut *b.cell.get().add(2) }; }\n\
+             // SAFETY: cast is a no-op layout-wise, consumed immediately.\n\
+             fn stmt(b: &B) { unsafe { use_ptr(b.x.as_ptr()); } }\n";
+        let d = pass(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("escapes"));
+    }
+
+    #[test]
+    fn as_cast_to_raw_pointer_escaping_is_flagged() {
+        let d = pass(
+            "// SAFETY: alignment verified by the constructor invariant.\n\
+             fn esc(b: &B) { let p = unsafe { b.addr as *mut f32 }; }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

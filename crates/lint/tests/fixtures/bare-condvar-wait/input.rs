@@ -1,0 +1,58 @@
+//! Seeded condvar-wait-loop bug: a `Condvar::wait` guarded by an `if`
+//! instead of a `while` loop — a spurious wakeup or a stolen wakeup
+//! (two waiters, one `notify_one`) sails straight past the predicate.
+//! The traps are the correct loop forms and `process::Child::wait`,
+//! which shares the method name but has no predicate to re-check.
+
+use std::sync::PoisonError;
+
+struct Queue {
+    state: std::sync::Mutex<Vec<u64>>,
+    available: std::sync::Condvar,
+}
+
+/// BUG: `if` checks the predicate once; after a spurious wakeup the
+/// consumer proceeds against an empty queue.
+fn take_once(q: &Queue) -> Option<u64> {
+    let mut jobs = q.state.lock().unwrap_or_else(PoisonError::into_inner);
+    if jobs.is_empty() {
+        jobs = q.available.wait(jobs).unwrap_or_else(PoisonError::into_inner);
+    }
+    jobs.pop()
+}
+
+/// Trap: the canonical while-predicate loop.
+fn take(q: &Queue) -> Option<u64> {
+    let mut jobs = q.state.lock().unwrap_or_else(PoisonError::into_inner);
+    while jobs.is_empty() {
+        jobs = q.available.wait(jobs).unwrap_or_else(PoisonError::into_inner);
+    }
+    jobs.pop()
+}
+
+/// Trap: a bare `loop` re-checking the predicate also re-arms the wait.
+fn take_timeout(q: &Queue) -> Option<u64> {
+    let mut jobs = q.state.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if let Some(job) = jobs.pop() {
+            return Some(job);
+        }
+        let (guard, timed_out) = q
+            .available
+            .wait_timeout(jobs, std::time::Duration::from_millis(5))
+            .unwrap_or_else(PoisonError::into_inner);
+        jobs = guard;
+        if timed_out.timed_out() {
+            return None;
+        }
+    }
+}
+
+/// Trap: `Child::wait()` takes no guard — it is process reaping, not a
+/// condition variable, and needs no loop.
+fn reap(child: &mut std::process::Child) -> Option<std::process::ExitStatus> {
+    match child.wait() {
+        Ok(status) => Some(status),
+        Err(_) => None,
+    }
+}

@@ -1,0 +1,59 @@
+//! Seeded unsafe-provenance bugs: a raw pointer escaping its `unsafe`
+//! block, a SAFETY comment too thin to name an invariant, and a
+//! `#[target_feature]` kernel invoked without a CPU-detection guard.
+//! The traps are the sanctioned shapes: reference-producing tails,
+//! `from_raw_parts` handing back a safe slice, and detection-guarded
+//! dispatch.
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: &mut [f32]) {
+    x[0] += 1.0;
+}
+
+/// BUG: the pointer outlives the unsafe block, so every later deref is an
+/// unchecked use the block's SAFETY argument no longer covers.
+fn escape(buf: &[f32]) -> *const f32 {
+    // SAFETY: `buf` is non-empty, so its base pointer is valid here.
+    let base = unsafe { buf.as_ptr() };
+    base
+}
+
+/// BUG: "ok" names no invariant — the comment passes the line rule's
+/// existence check but says nothing a reviewer can verify.
+fn thin_comment(x: &mut [f32]) {
+    // SAFETY: ok
+    unsafe { *x.as_mut_ptr() = 0.0 };
+}
+
+/// BUG: calls the AVX2 kernel with no `is_x86_feature_detected!` in
+/// sight — on a non-AVX2 host this is immediate undefined behaviour.
+fn call_unguarded(x: &mut [f32]) {
+    // SAFETY: callers promise to run this binary on AVX2 hosts only.
+    unsafe { kernel(x) };
+}
+
+/// Trap: the sanctioned dispatch shape — the detection macro guards the
+/// kernel call in the same function.
+fn dispatch(x: &mut [f32]) {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the runtime check above proves AVX2 is available.
+        unsafe { kernel(x) };
+        return;
+    }
+    x[0] += 1.0;
+}
+
+/// Trap: the unsafe block's value is a *reference*, whose lifetime the
+/// borrow checker tracks — nothing raw escapes.
+fn reborrow(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` points at a live, aligned f32.
+    let r = unsafe { &*p };
+    *r
+}
+
+/// Trap: `from_raw_parts` returns a safe slice; the raw parts stay inside.
+fn view(p: *const f32, n: usize) -> f32 {
+    // SAFETY: caller guarantees `p..p+n` is a live, aligned allocation.
+    let s = unsafe { std::slice::from_raw_parts(p, n) };
+    s[0]
+}

@@ -1,0 +1,70 @@
+//! Seeded lock-order bugs: an ABBA acquisition cycle split across two
+//! functions, a self-deadlocking re-acquisition, and blocking I/O under a
+//! live guard — next to the false-positive traps the pass must not bite
+//! on (consistent global order, `drop()` release, statement-scoped
+//! temporary guards).
+
+use std::sync::PoisonError;
+
+struct Shared {
+    admission: std::sync::Mutex<Vec<u64>>,
+    replicas: std::sync::Mutex<Vec<u64>>,
+    sink: std::sync::Mutex<std::fs::File>,
+}
+
+/// BUG: takes `admission` then `replicas`…
+fn admit(s: &Shared) {
+    let a = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = s.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = (a.len(), r.len());
+}
+
+/// …while the drain path takes `replicas` then `admission`: ABBA.
+fn drain(s: &Shared) {
+    let r = s.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = (r.len(), a.len());
+}
+
+/// BUG: re-acquires `admission` while already holding it — `Mutex` is not
+/// reentrant, so this self-deadlocks at runtime.
+fn requeue(s: &Shared) {
+    let held = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let again = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = (held.len(), again.len());
+}
+
+/// BUG: flushes a file while the `sink` guard is live — every contender
+/// stalls behind the disk.
+fn persist(s: &Shared) {
+    let mut file = s.sink.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = file.flush();
+}
+
+/// Trap: same two locks as `admit`, same order — a consistent global
+/// order is exactly what the rule asks for.
+fn consistent(s: &Shared) {
+    let a = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = s.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = (a.len(), r.len());
+}
+
+/// Trap: opposite order is fine because the first guard is dropped before
+/// the second acquisition — no two locks are ever held together.
+fn handoff(s: &Shared) {
+    let r = s.replicas.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = r.len();
+    drop(r);
+    let a = s.admission.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = a.len();
+}
+
+/// Trap: the temporary guard dies at its statement's `;`, so the flush on
+/// the next line runs lock-free.
+fn peek_then_flush(s: &Shared, out: &mut impl std::io::Write) {
+    s.admission
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    let _ = out.flush();
+}

@@ -1,0 +1,62 @@
+//! Seeded transitive-determinism bugs: a wall-clock reading two calls
+//! away from a metrics counter, and an unordered map handed straight to a
+//! JSON artifact writer. The line-local rules never see either — this
+//! file is outside their scopes, and only the call graph connects the
+//! source to the sink. The traps are the quarantined timing path, test
+//! code, and a free function that merely *shares* a sink's name.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// BUG: the elapsed time flows through `note_progress` into a
+/// deterministic counter — two `--threads` settings produce different
+/// metrics artifacts.
+fn checkpoint_epoch(epoch: u32) {
+    let started = Instant::now();
+    run_epoch(epoch);
+    note_progress(started.elapsed().as_millis() as u64);
+}
+
+fn note_progress(millis: u64) {
+    obs::counter_add("train/epoch_millis", millis);
+}
+
+fn run_epoch(_epoch: u32) {}
+
+/// BUG: a `HashMap`'s iteration order reaches a JSON artifact — byte
+/// drift on every run.
+fn export(scores: &HashMap<String, f32>) {
+    save_json("scores.json", scores);
+}
+
+fn save_json(_path: &str, _scores: &HashMap<String, f32>) {}
+
+/// Trap: the quarantined timing sink is not an artifact writer; clock
+/// readings are *supposed* to end up there.
+fn timed_forward() {
+    let started = Instant::now();
+    run_epoch(0);
+    obs::timing_gauge_add("train/forward_nanos", started.elapsed().as_nanos() as u64);
+}
+
+/// Trap: free `log(…)` only shares a name with the journal's `log`
+/// method; the sink match is method-position only, so this map never
+/// "reaches a writer".
+fn audit(counts: &HashMap<String, u64>) {
+    log(counts.len());
+}
+
+fn log(_n: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trap: test code may time whatever it likes.
+    #[test]
+    fn bench_epoch() {
+        let started = Instant::now();
+        checkpoint_epoch(0);
+        obs::counter_add("test/elapsed", started.elapsed().as_millis() as u64);
+    }
+}

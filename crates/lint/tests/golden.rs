@@ -93,6 +93,36 @@ fn simd_kernel_fixture() {
 }
 
 #[test]
+fn lock_cycle_fixture() {
+    // The serve batcher/worker shape: an ABBA cycle, a non-reentrant
+    // re-acquisition, and I/O under a guard are seeded bugs; consistent
+    // ordering, `drop()` hand-offs, and statement-scoped temporaries are
+    // the traps that must stay quiet.
+    check_fixture("lock-cycle", "crates/serve/src/input.rs");
+}
+
+#[test]
+fn bare_condvar_wait_fixture() {
+    check_fixture("bare-condvar-wait", "crates/serve/src/input.rs");
+}
+
+#[test]
+fn escaping_raw_pointer_fixture() {
+    // The tensor::simd provenance contract: pointers stay inside their
+    // unsafe block, SAFETY comments name an invariant, and
+    // `#[target_feature]` kernels are reached only through detection
+    // guards. Reference tails and `from_raw_parts` views are the traps.
+    check_fixture("escaping-raw-pointer", "crates/tensor/src/input.rs");
+}
+
+#[test]
+fn transitive_wallclock_fixture() {
+    // Outside the line-local wallclock/unordered scopes on purpose: only
+    // the call-graph pass can connect these sources to their writers.
+    check_fixture("transitive-wallclock", "crates/nn/src/input.rs");
+}
+
+#[test]
 fn traps_fixture_is_all_quiet() {
     let dir = fixture_dir("traps");
     let src = fs::read_to_string(dir.join("input.rs")).expect("fixture input.rs");

@@ -146,7 +146,10 @@ impl BatchQueue {
             // Jobs remain: make sure another waiting worker wakes for them.
             self.available.notify_one();
         }
-        obs::observe("serve/batch_size", batch.len() as f64, BATCH_BOUNDS);
+        // The batch-size histogram is recorded by the consuming worker, not
+        // here: this function mixes deadline arithmetic (`Instant`) with the
+        // metric write, and the deterministic registry must never sit
+        // downstream of a wall-clock-reading function.
         Some(batch)
     }
 

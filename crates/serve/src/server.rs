@@ -335,6 +335,7 @@ fn score_request(
         pixels: pixels.clone(),
         epsilons,
         reply,
+        // armor-lint: allow(transitive-determinism) -- this timestamp is read only by the quarantined latency sink (timing_gauge_add); the queue-depth histogram submit() writes never sees it
         accepted_at: std::time::Instant::now(),
     })?;
     // Admitted jobs are always answered (drain semantics), so a closed

@@ -14,7 +14,7 @@
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crate::batcher::BatchQueue;
+use crate::batcher::{BatchQueue, BATCH_BOUNDS};
 use crate::error::ServeError;
 use crate::protocol::Response;
 use crate::scorer::Scorer;
@@ -45,6 +45,7 @@ fn worker_loop(
 ) -> u64 {
     let mut served: u64 = 0;
     while let Some(batch) = queue.next_batch(max_batch, max_wait) {
+        obs::observe("serve/batch_size", batch.len() as f64, BATCH_BOUNDS);
         let inputs: Vec<&[f32]> = batch.iter().map(|j| j.pixels.as_slice()).collect();
         let outcomes = {
             let _s = obs::span("serve/classify");

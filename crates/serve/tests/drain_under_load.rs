@@ -1,0 +1,145 @@
+//! Drain-under-load: shutdown with requests still queued must answer
+//! every admitted request and refuse the rest with the typed
+//! `shutting_down` error — no request may simply vanish.
+//!
+//! Producers hammer the queue from several threads while the main thread
+//! triggers the drain mid-stream; a slow scorer keeps the queue non-empty
+//! at shutdown so the drain path actually has work to finish.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use serve::{
+    spawn_workers, BatchQueue, ClassifyOutcome, RobustnessPoint, ScoreJob, Scorer, ServeError,
+};
+
+/// Slow deterministic stub: the per-batch sleep is what backs the queue up.
+struct SlowStub;
+
+impl Scorer for SlowStub {
+    fn input_len(&self) -> usize {
+        2
+    }
+    fn num_classes(&self) -> usize {
+        2
+    }
+    fn classify_batch(&mut self, inputs: &[&[f32]]) -> Vec<ClassifyOutcome> {
+        std::thread::sleep(Duration::from_millis(5));
+        inputs
+            .iter()
+            .map(|_| ClassifyOutcome {
+                label: 1,
+                confidence: 1.0,
+                scores: vec![0.0, 1.0],
+            })
+            .collect()
+    }
+    fn certify(&mut self, _: &[f32], _: &ClassifyOutcome, _: &[f32]) -> Vec<RobustnessPoint> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn shutdown_with_queued_requests_answers_or_refuses_every_one() {
+    const PRODUCERS: u64 = 4;
+    const BURSTS: u64 = 5;
+    const BURST: u64 = 10;
+    const PER_PRODUCER: u64 = BURSTS * BURST;
+
+    obs::enable(false);
+    obs::reset();
+    let queue = Arc::new(BatchQueue::new(256));
+    let workers = spawn_workers(
+        &queue,
+        vec![Box::new(SlowStub), Box::new(SlowStub)],
+        4,
+        Duration::from_millis(1),
+    );
+
+    let answered = Arc::new(AtomicU64::new(0));
+    let refused = Arc::new(AtomicU64::new(0));
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            let answered = Arc::clone(&answered);
+            let refused = Arc::clone(&refused);
+            std::thread::spawn(move || {
+                // Submit in bursts so the four producers stack a real
+                // backlog (one-at-a-time submission caps the depth at
+                // PRODUCERS and the main thread's depth trigger never
+                // fires); reap each burst's replies before the next.
+                for burst in 0..BURSTS {
+                    let mut pending = Vec::new();
+                    for i in 0..BURST {
+                        let (reply, rx) = mpsc::channel();
+                        let submitted = queue.submit(ScoreJob {
+                            id: p * PER_PRODUCER + burst * BURST + i,
+                            pixels: vec![0.5, 0.5],
+                            epsilons: Vec::new(),
+                            reply,
+                            accepted_at: Instant::now(),
+                        });
+                        match submitted {
+                            Ok(()) => pending.push(rx),
+                            Err(ServeError::ShuttingDown) | Err(ServeError::Overloaded { .. }) => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("untyped refusal: {other:?}"),
+                        }
+                    }
+                    for rx in pending {
+                        // Admitted ⇒ the drain contract guarantees an
+                        // answer; a drop would park this recv forever.
+                        let resp = rx
+                            .recv_timeout(Duration::from_secs(30))
+                            .expect("admitted request was dropped by the drain");
+                        assert!(resp.ok, "stub answers never fail: {resp:?}");
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the producers build a backlog, then drain mid-stream. The
+    // deadline turns a broken-backpressure bug into a loud failure
+    // instead of a hung CI job.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while queue.depth() < 8 {
+        assert!(
+            Instant::now() < deadline,
+            "the producer bursts never backed the queue up"
+        );
+        std::thread::yield_now();
+    }
+    queue.shutdown();
+
+    for p in producers {
+        p.join().unwrap();
+    }
+    let served: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    let answered = answered.load(Ordering::Relaxed);
+    let refused = refused.load(Ordering::Relaxed);
+    assert_eq!(
+        answered + refused,
+        PRODUCERS * PER_PRODUCER,
+        "every request must be answered or typed-refused"
+    );
+    assert!(answered >= 1, "the pre-drain backlog must have been served");
+    assert!(refused >= 1, "post-drain submissions must be refused");
+    assert_eq!(served, answered, "worker tally must match client tally");
+
+    // Regression for the batch-size metric's move to the worker side: the
+    // histogram must still be recorded (by the consumer), and the answered
+    // counter must agree with the client-side tally.
+    let snap = obs::snapshot();
+    let batches = snap
+        .histogram("serve/batch_size")
+        .expect("workers must record the batch-size histogram")
+        .total();
+    assert!(batches >= 1, "at least one batch was pulled");
+    assert_eq!(snap.counter("serve/answered"), answered);
+    obs::disable();
+}

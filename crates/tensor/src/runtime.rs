@@ -306,6 +306,7 @@ pub(crate) fn dispatch<F: Fn(usize) + Sync>(pieces: usize, f: F) {
     ACTIVE.with(|a| a.set(false));
     let mut guard = shared.state.lock().expect("pool state poisoned");
     while guard.remaining > 0 {
+        // armor-lint: allow(lock-order) -- workers check in through `state`/`done` only and never take `lease`; holding the dispatch lease across this wait is exactly what serializes dispatches
         guard = shared.done.wait(guard).expect("pool state poisoned");
     }
     guard.job = None;

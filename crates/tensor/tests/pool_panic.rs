@@ -1,0 +1,51 @@
+//! Directed panic-propagation tests for the persistent worker pool.
+//!
+//! A panic inside a `par_map_collect` worker must re-raise on the caller
+//! with its payload intact (not a generic "a worker died"), and the pool
+//! must stay fully serviceable afterwards — a scoring service survives a
+//! poisoned input by answering it with an error, not by wedging every
+//! subsequent dispatch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tensor::parallel::par_map_collect;
+
+/// The panic payload crossing the pool must be the worker's own message.
+#[test]
+fn worker_panic_payload_reraises_on_the_caller() {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        par_map_collect(64, 4, |i| {
+            assert!(i != 37, "input 37 is poisoned");
+            i * 2
+        })
+    }));
+    let payload = caught.expect_err("the worker panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("payload must be the original panic message");
+    assert!(
+        message.contains("input 37 is poisoned"),
+        "payload was rewritten in transit: {message:?}"
+    );
+}
+
+/// After a panicked job the pool answers the next dispatches correctly —
+/// repeatedly, so a leaked guard or a stuck worker shows up as a hang or
+/// a wrong result here.
+#[test]
+fn pool_stays_usable_after_repeated_worker_panics() {
+    for round in 0..3 {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map_collect(32, 4, |i| {
+                assert!(i != 5, "round {round}: piece five exploded");
+                i
+            })
+        }));
+        assert!(caught.is_err(), "round {round}: panic must propagate");
+        let out = par_map_collect(100, 4, |i| i * i);
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expected, "round {round}: pool gave wrong results");
+    }
+}

@@ -15,9 +15,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Workspace contracts clippy cannot express: panic hygiene on I/O paths,
 # wall-clock purity of artifacts, deterministic iteration, zero-alloc hot
-# loops, and SAFETY-commented unsafe. See DESIGN.md §10.
-echo "==> armor-lint"
-cargo run -q -p lint --release --bin armor-lint
+# loops, SAFETY-commented unsafe, and the interprocedural passes (lock
+# order, condvar loops, unsafe provenance, transitive determinism). The
+# committed baseline means the gate fails only on NEW findings — the
+# stderr delta line reports new/known/resolved counts. After fixing a
+# baselined finding, regenerate with:
+#   cargo run -q -p lint --release --bin armor-lint -- \
+#     --baseline lint-baseline.json --write-baseline
+# See DESIGN.md §10 (line rules) and §15 (passes, baseline workflow).
+echo "==> armor-lint --sarif --baseline lint-baseline.json"
+lint_sarif=$(mktemp)
+cargo run -q -p lint --release --bin armor-lint -- \
+    --sarif --baseline lint-baseline.json >"$lint_sarif"
+if ! grep -qF '"version": "2.1.0"' "$lint_sarif"; then
+    echo "FAILED: armor-lint --sarif did not emit a SARIF 2.1.0 document" >&2
+    exit 1
+fi
+rm -f "$lint_sarif"
 
 echo "==> cargo doc --workspace --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
