@@ -10,17 +10,35 @@
 //! spiking-armor corruptions           # non-adversarial control condition
 //! spiking-armor defense               # PGD adversarial training study
 //! spiking-armor serve                 # batched robustness-scoring service
+//! spiking-armor grid-worker           # join a distributed heatmap grid
+//! spiking-armor grid-reduce [--verify]  # merge completed cells to grid.json
 //! ```
 //!
 //! `serve` boots a TCP service (newline-framed JSON, see DESIGN.md §13)
 //! that classifies and PGD-certifies images over a trained checkpoint. Its
 //! own flags: `--addr HOST:PORT` (default `127.0.0.1:7878`, port 0 picks a
-//! free port), `--preset quick|tiny`, `--vth V --window T` (structural
-//! point, default `(1, 6)`), `--replicas N` model workers, `--max-batch N`
-//! / `--max-wait-ms MS` micro-batching, and `--queue-capacity N`
-//! admission control. Unlike the batch commands, `serve` *hard-fails* when
-//! the run store cannot open: a scoring service exists to answer from its
-//! checkpoints, so there is no degraded mode.
+//! free port), `--vth V --window T` (structural point, default `(1, 6)`),
+//! `--replicas N` model workers, `--max-batch N` / `--max-wait-ms MS`
+//! micro-batching, and `--queue-capacity N` admission control. Unlike the
+//! batch commands, `serve` *hard-fails* when the run store cannot open: a
+//! scoring service exists to answer from its checkpoints, so there is no
+//! degraded mode.
+//!
+//! `grid-worker` and `grid-reduce` distribute the heatmap grid across N
+//! independent OS processes sharing one fingerprinted run directory (see
+//! DESIGN.md §16): each worker claims incomplete cells through per-cell
+//! leases, computes them with the same cached pipeline as `heatmap`, and
+//! publishes per-cell `outcome.json` artifacts; the reducer merges the
+//! completed cells into `grid.json`, bitwise-identical to the
+//! single-process grid. Their own flags: `--preset quick|tiny` (which grid
+//! definition to run; also valid for `serve`), `--full` (the paper-sized
+//! grid, shared with `heatmap`), `--ttl-ms MS` / `--heartbeat-ms MS`
+//! (lease lifetime tuning), `--pause-at CHECKPOINT` (fault-injection
+//! freeze, worker only), and `--verify` (reduce only: recompute through
+//! the pure-cache single-process path and require byte equality). A
+//! worker is always additive (`--resume` semantics are implied); delete
+//! the run directory to start a grid over. Like `serve`, both hard-fail
+//! when the store cannot open — distributed coordination *is* the store.
 //!
 //! Shared flags, accepted by every command:
 //!
@@ -54,6 +72,7 @@ use std::time::Duration;
 use explore::curves::{CurveSet, RobustnessCurve};
 use explore::heatmap::{Heatmap, HeatmapKind};
 use explore::serving::SnnScorer;
+use explore::worker::{PauseAt, WorkerOptions};
 use explore::{
     algorithm, corruption, grid, mismatch, pipeline, presets, report, runs, transfer,
     ExperimentConfig, GridSpec,
@@ -62,15 +81,18 @@ use serve::{ServeOptions, Server};
 use snn::StructuralParams;
 use store::RunStore;
 
-const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense|serve> \
+const USAGE: &str = "usage: spiking-armor <fig1|heatmap [--full]|fig9|finetune|transfer|activity|corruptions|defense|serve|grid-worker|grid-reduce> \
 [--threads N] [--out-dir DIR] [--resume] [--metrics [--quiet]] \
-[serve only: --addr HOST:PORT --preset quick|tiny --vth V --window T --replicas N --max-batch N --max-wait-ms MS --queue-capacity N]";
+[serve/grid: --preset quick|tiny] \
+[serve only: --addr HOST:PORT --vth V --window T --replicas N --max-batch N --max-wait-ms MS --queue-capacity N] \
+[grid only: --full --ttl-ms MS --heartbeat-ms MS --pause-at after-lease|mid-cell|before-complete|after-artifact --verify]";
 
 /// Parsed command line: one command plus the flags shared by every command.
 #[derive(Debug)]
 struct Cli {
     command: String,
-    /// `heatmap` only: run the paper-sized grid instead of the quick one.
+    /// `heatmap` and the grid commands: run the paper-sized grid instead of
+    /// the quick one.
     full: bool,
     /// `--threads` override (`None` keeps each preset's own setting).
     threads: Option<usize>,
@@ -82,8 +104,12 @@ struct Cli {
     metrics: bool,
     /// With `--metrics`: suppress the stderr progress lines (`--quiet`).
     quiet: bool,
+    /// Experiment preset (`--preset`, serve and grid commands only).
+    preset: String,
     /// `serve` only: endpoint, batching, and model-point options.
     serve: ServeFlags,
+    /// `grid-worker` / `grid-reduce` only: lease tuning and verification.
+    grid: GridFlags,
 }
 
 /// Options meaningful only for the `serve` command; any of them appearing
@@ -104,8 +130,6 @@ struct ServeFlags {
     v_th: f32,
     /// … and time window (`--window`).
     window: usize,
-    /// Experiment preset the checkpoint is trained under (`--preset`).
-    preset: String,
 }
 
 impl Default for ServeFlags {
@@ -118,14 +142,41 @@ impl Default for ServeFlags {
             queue_capacity: 64,
             v_th: 1.0,
             window: 6,
-            preset: "quick".to_string(),
+        }
+    }
+}
+
+/// Options meaningful only for `grid-worker` / `grid-reduce`; any of them
+/// appearing with another command is a usage error.
+#[derive(Debug)]
+struct GridFlags {
+    /// Lease time-to-live in milliseconds (`--ttl-ms`).
+    ttl_ms: u64,
+    /// Heartbeat period in milliseconds (`--heartbeat-ms`).
+    heartbeat_ms: u64,
+    /// Fault-injection freeze point (`--pause-at`, worker only).
+    pause_at: Option<PauseAt>,
+    /// Recompute through the single-process path and require byte equality
+    /// (`--verify`, reduce only).
+    verify: bool,
+}
+
+impl Default for GridFlags {
+    fn default() -> Self {
+        let defaults = WorkerOptions::default();
+        Self {
+            ttl_ms: defaults.ttl_millis,
+            heartbeat_ms: defaults.heartbeat_millis,
+            pause_at: None,
+            verify: false,
         }
     }
 }
 
 /// Parses the argument list strictly: every flag must be known, `--full`
-/// is only meaningful for `heatmap`, and anything unrecognised is an error
-/// (so a typo like `--theads` can never be silently ignored).
+/// is only meaningful for `heatmap` and the grid commands, and anything
+/// unrecognised is an error (so a typo like `--theads` can never be
+/// silently ignored).
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut command: Option<String> = None;
     let mut full = false;
@@ -135,9 +186,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut metrics = false;
     let mut quiet = false;
     let mut serve = ServeFlags::default();
+    let mut grid = GridFlags::default();
+    let mut preset = "quick".to_string();
     // The first serve-only flag seen, for the "--addr is only valid for
-    // serve"-style rejection once the command is known.
+    // serve"-style rejection once the command is known. Likewise for the
+    // grid-only and serve-or-grid flags.
     let mut serve_flag: Option<&'static str> = None;
+    let mut grid_flag: Option<&'static str> = None;
+    let mut preset_flag = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -145,6 +201,27 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--resume" => resume = true,
             "--metrics" => metrics = true,
             "--quiet" => quiet = true,
+            "--verify" => {
+                grid_flag.get_or_insert("--verify");
+                grid.verify = true;
+            }
+            "--ttl-ms" => {
+                grid.ttl_ms = positive_flag(&mut it, "--ttl-ms", &mut grid_flag)? as u64;
+            }
+            "--heartbeat-ms" => {
+                grid.heartbeat_ms =
+                    positive_flag(&mut it, "--heartbeat-ms", &mut grid_flag)? as u64;
+            }
+            "--pause-at" => {
+                grid_flag.get_or_insert("--pause-at");
+                let value = flag_value(&mut it, "--pause-at", "a checkpoint name")?;
+                grid.pause_at = Some(PauseAt::parse(value).ok_or_else(|| {
+                    format!(
+                        "--pause-at expects one of {}, got {value:?}\n{USAGE}",
+                        PauseAt::ALL.map(PauseAt::name).join("|")
+                    )
+                })?);
+            }
             "--threads" => {
                 let value = it
                     .next()
@@ -164,14 +241,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 serve.addr = flag_value(&mut it, "--addr", "a HOST:PORT endpoint")?.clone();
             }
             "--preset" => {
-                serve_flag.get_or_insert("--preset");
+                preset_flag = true;
                 let value = flag_value(&mut it, "--preset", "quick or tiny")?;
                 if value != "quick" && value != "tiny" {
                     return Err(format!(
                         "--preset expects quick or tiny, got {value:?}\n{USAGE}"
                     ));
                 }
-                serve.preset = value.clone();
+                preset = value.clone();
             }
             "--vth" => {
                 serve_flag.get_or_insert("--vth");
@@ -215,9 +292,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         }
     }
     let command = command.ok_or_else(|| USAGE.to_string())?;
-    if full && command != "heatmap" {
+    let is_grid = matches!(command.as_str(), "grid-worker" | "grid-reduce");
+    if full && command != "heatmap" && !is_grid {
         return Err(format!(
-            "--full is only valid for the heatmap command\n{USAGE}"
+            "--full is only valid for the heatmap and grid commands\n{USAGE}"
         ));
     }
     if quiet && !metrics {
@@ -232,6 +310,28 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             ));
         }
     }
+    if let Some(flag) = grid_flag {
+        if !is_grid {
+            return Err(format!(
+                "{flag} is only valid for the grid-worker and grid-reduce commands\n{USAGE}"
+            ));
+        }
+    }
+    if preset_flag && command != "serve" && !is_grid {
+        return Err(format!(
+            "--preset is only valid for the serve and grid commands\n{USAGE}"
+        ));
+    }
+    if grid.pause_at.is_some() && command != "grid-worker" {
+        return Err(format!(
+            "--pause-at is only valid for the grid-worker command\n{USAGE}"
+        ));
+    }
+    if grid.verify && command != "grid-reduce" {
+        return Err(format!(
+            "--verify is only valid for the grid-reduce command\n{USAGE}"
+        ));
+    }
     Ok(Cli {
         command,
         full,
@@ -240,7 +340,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         resume,
         metrics,
         quiet,
+        preset,
         serve,
+        grid,
     })
 }
 
@@ -254,14 +356,16 @@ fn flag_value<'a>(
         .ok_or_else(|| format!("{flag} needs a value ({what})\n{USAGE}"))
 }
 
-/// Parses a serve-only flag that must be a positive integer (a zero batch,
-/// window, replica count, or queue would deadlock or panic downstream).
+/// Parses a command-scoped flag that must be a positive integer (a zero
+/// batch, window, replica count, queue, or lease TTL would deadlock or
+/// panic downstream). Records the flag in `scope_flag` so the caller can
+/// reject it once the command is known.
 fn positive_flag(
     it: &mut std::slice::Iter<'_, String>,
     flag: &'static str,
-    serve_flag: &mut Option<&'static str>,
+    scope_flag: &mut Option<&'static str>,
 ) -> Result<usize, String> {
-    serve_flag.get_or_insert(flag);
+    scope_flag.get_or_insert(flag);
     let value = flag_value(it, flag, "a positive integer")?;
     value
         .parse::<usize>()
@@ -298,9 +402,23 @@ fn main() -> ExitCode {
         "activity" => activity(&cli),
         "corruptions" => corruptions(&cli),
         "defense" => defense_study(&cli),
-        // `serve` is the one command with a hard failure mode: no store,
-        // no server (see `serve_cmd`), and a failed bind is fatal too.
+        // `serve` and the grid commands hard-fail: no store, no service
+        // (see `serve_cmd` / `grid_worker`), and a failed bind is fatal too.
         "serve" => match serve_cmd(&cli) {
+            Ok(run_dir) => run_dir,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "grid-worker" => match grid_worker(&cli) {
+            Ok(run_dir) => run_dir,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "grid-reduce" => match grid_reduce(&cli) {
             Ok(run_dir) => run_dir,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -747,7 +865,7 @@ fn defense_study(cli: &Cli) -> Option<PathBuf> {
 /// lifetime, keeping concurrent writers out of the serving checkpoint.
 fn serve_cmd(cli: &Cli) -> Result<Option<PathBuf>, String> {
     let flags = &cli.serve;
-    let mut config = match flags.preset.as_str() {
+    let mut config = match cli.preset.as_str() {
         "tiny" => presets::tiny(),
         _ => presets::quick(),
     };
@@ -799,6 +917,124 @@ fn serve_cmd(cli: &Cli) -> Result<Option<PathBuf>, String> {
     Ok(Some(run_dir))
 }
 
+/// The grid definition both `grid-worker` and `grid-reduce` operate on.
+///
+/// Deliberately fingerprinted under the command name `"heatmap"`: with the
+/// default preset the distributed workers cooperate on *the same* run
+/// directory the single-process `heatmap` command uses, so `--resume`
+/// heatmap runs and worker fleets are interchangeable. `--preset tiny`
+/// selects the sub-second smoke grid (its config differs, so it lands in
+/// its own fingerprinted directory).
+fn grid_run_definition(cli: &Cli) -> (ExperimentConfig, GridSpec, Vec<f32>) {
+    let (mut config, spec, epsilons) = if cli.preset == "tiny" {
+        presets::tiny_grid()
+    } else {
+        let (config, full_spec, epsilons) = presets::heatmap_grid();
+        let spec = if cli.full {
+            full_spec
+        } else {
+            GridSpec::new(vec![0.25, 1.0, 1.75, 2.5], vec![4, 12, 24])
+        };
+        (config, spec, epsilons)
+    };
+    apply_threads(&mut config, cli.threads);
+    (config, spec, epsilons)
+}
+
+/// The command name grid runs are fingerprinted under (see
+/// [`grid_run_definition`]).
+const GRID_COMMAND: &str = "heatmap";
+
+/// The `grid-worker` command: join the fingerprinted run directory with a
+/// shared store handle and claim cells until the grid is complete.
+///
+/// Store policy matches `serve`, not the batch commands: distributed
+/// coordination happens *through* the store, so failing to open it is
+/// fatal. Resume semantics are implied — a worker is always additive.
+fn grid_worker(cli: &Cli) -> Result<Option<PathBuf>, String> {
+    let (config, spec, epsilons) = grid_run_definition(cli);
+    enable_kernel_threads(&config);
+    let opened =
+        runs::open_grid(&cli.out_dir, GRID_COMMAND, &config, &spec, &epsilons).map_err(|e| {
+            format!("cannot join the grid run ({e}); workers coordinate through the store")
+        })?;
+    let store = opened.store;
+    let run_dir = store.dir().to_path_buf();
+    println!(
+        "worker {} joined grid run {} ({} cells)",
+        std::process::id(),
+        run_dir.display(),
+        spec.len()
+    );
+    let data = pipeline::prepare_data(&config);
+    let opts = WorkerOptions {
+        ttl_millis: cli.grid.ttl_ms,
+        heartbeat_millis: cli.grid.heartbeat_ms,
+        pause_at: cli.grid.pause_at,
+        ..WorkerOptions::default()
+    };
+    let report = explore::run_worker(&config, &data, &spec, &epsilons, &store, &opts)
+        .map_err(|e| format!("worker failed: {e}"))?;
+    println!(
+        "worker {} done: {} cell(s) computed, {} abandoned, {} busy claim(s), {} idle wait(s)",
+        std::process::id(),
+        report.completed.len(),
+        report.abandoned,
+        report.busy,
+        report.polls
+    );
+    Ok(Some(run_dir))
+}
+
+/// The `grid-reduce` command: merge the published per-cell outcomes into
+/// `<out-dir>/grid.json`. With `--verify`, additionally recompute the grid
+/// through the single-process path (pure cache hits against the same
+/// checkpoints) and require byte equality — the end-to-end check of the
+/// determinism contract in DESIGN.md §16.
+fn grid_reduce(cli: &Cli) -> Result<Option<PathBuf>, String> {
+    let (config, spec, epsilons) = grid_run_definition(cli);
+    let opened = runs::open_grid(&cli.out_dir, GRID_COMMAND, &config, &spec, &epsilons)
+        .map_err(|e| format!("cannot open the grid run ({e})"))?;
+    let store = opened.store;
+    let run_dir = store.dir().to_path_buf();
+    let result = explore::reduce_grid(&store, &spec, &epsilons).map_err(|e| e.to_string())?;
+    let path = cli.out_dir.join("grid.json");
+    report::save_json(&result, &path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "reduced {} cell(s) into {}",
+        result.outcomes.len(),
+        path.display()
+    );
+    if cli.grid.verify {
+        let data = pipeline::prepare_data(&config);
+        let recomputed = grid::run_grid_stored(
+            &config,
+            &data,
+            &spec,
+            &epsilons,
+            config.effective_threads(),
+            Some(&store),
+        );
+        let reduced_json = serde_json::to_string_pretty(&result)
+            .map_err(|e| format!("cannot serialise the reduced grid: {e}"))?;
+        let recomputed_json = serde_json::to_string_pretty(&recomputed)
+            .map_err(|e| format!("cannot serialise the recomputed grid: {e}"))?;
+        if reduced_json != recomputed_json {
+            return Err(
+                "reduce guard FAILED: reduced grid differs from the single-process grid"
+                    .to_string(),
+            );
+        }
+        // check.sh greps this exact line as the bitwise-identity guard.
+        println!(
+            "reduce guard: ok ({} cells bitwise-identical to single-process grid)",
+            result.outcomes.len()
+        );
+    }
+    Ok(Some(run_dir))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,7 +1048,9 @@ mod tests {
             resume: false,
             metrics: false,
             quiet: false,
+            preset: "quick".to_string(),
             serve: ServeFlags::default(),
+            grid: GridFlags::default(),
         }
     }
 
@@ -841,7 +1079,7 @@ mod tests {
     fn serve_hard_fails_on_a_broken_store() {
         let out = broken_out_dir("serve_hard_fail");
         let mut cli = cli("serve", out.clone());
-        cli.serve.preset = "tiny".to_string();
+        cli.preset = "tiny".to_string();
         let err = serve_cmd(&cli).unwrap_err();
         assert!(
             err.contains("cannot open the run store"),
@@ -859,7 +1097,7 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cli.serve.addr, "127.0.0.1:0");
-        assert_eq!(cli.serve.preset, "tiny");
+        assert_eq!(cli.preset, "tiny");
         assert_eq!(cli.serve.v_th, 0.5);
         assert_eq!(cli.serve.window, 4);
         assert_eq!(cli.serve.replicas, 2);
@@ -884,5 +1122,65 @@ mod tests {
         assert!(parse_cli(&args("serve --preset huge"))
             .unwrap_err()
             .contains("--preset"));
+    }
+
+    #[test]
+    fn grid_flags_parse_and_are_scoped_to_their_commands() {
+        let args = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let cli = parse_cli(&args(
+            "grid-worker --preset tiny --ttl-ms 500 --heartbeat-ms 100 --pause-at mid-cell",
+        ))
+        .unwrap();
+        assert_eq!(cli.preset, "tiny");
+        assert_eq!(cli.grid.ttl_ms, 500);
+        assert_eq!(cli.grid.heartbeat_ms, 100);
+        assert_eq!(cli.grid.pause_at, Some(PauseAt::MidCell));
+        let cli = parse_cli(&args("grid-reduce --preset tiny --verify")).unwrap();
+        assert!(cli.grid.verify);
+        // `--full` extends to the grid commands (the paper-sized grid is a
+        // valid distributed target), but nowhere else new.
+        assert!(parse_cli(&args("grid-worker --full")).is_ok());
+        assert!(parse_cli(&args("fig1 --full")).is_err());
+
+        // Scoping: grid flags are rejected elsewhere; `--pause-at` is
+        // worker-only and `--verify` reduce-only; bad values never pass.
+        assert!(parse_cli(&args("heatmap --ttl-ms 500"))
+            .unwrap_err()
+            .contains("grid-worker and grid-reduce"));
+        assert!(parse_cli(&args("fig1 --preset tiny"))
+            .unwrap_err()
+            .contains("serve and grid"));
+        assert!(parse_cli(&args("grid-reduce --pause-at mid-cell"))
+            .unwrap_err()
+            .contains("grid-worker"));
+        assert!(parse_cli(&args("grid-worker --verify"))
+            .unwrap_err()
+            .contains("grid-reduce"));
+        assert!(parse_cli(&args("grid-worker --ttl-ms 0"))
+            .unwrap_err()
+            .contains("--ttl-ms"));
+        assert!(parse_cli(&args("grid-worker --pause-at nowhere"))
+            .unwrap_err()
+            .contains("--pause-at"));
+    }
+
+    #[test]
+    fn grid_commands_hard_fail_on_a_broken_store() {
+        let out = broken_out_dir("grid_hard_fail");
+        let mut worker = cli("grid-worker", out.clone());
+        worker.preset = "tiny".to_string();
+        let err = grid_worker(&worker).unwrap_err();
+        assert!(
+            err.contains("cannot join the grid run"),
+            "unexpected error: {err}"
+        );
+        let mut reduce = cli("grid-reduce", out.clone());
+        reduce.preset = "tiny".to_string();
+        let err = grid_reduce(&reduce).unwrap_err();
+        assert!(
+            err.contains("cannot open the grid run"),
+            "unexpected error: {err}"
+        );
+        let _ = fs::remove_dir_all(out);
     }
 }

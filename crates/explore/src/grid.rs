@@ -194,6 +194,23 @@ pub fn run_grid_stored(
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&cell) = cells.get(idx) else { break };
                 let outcome = explore_one_stored(config, data, cell, epsilons, store);
+                // Publish the per-cell artifact so a later `grid-reduce`
+                // (or a distributed worker joining this run) sees the cell
+                // as complete. Best-effort like every journal write: the
+                // in-memory result below is the source of truth here.
+                if let Some(s) = store {
+                    let key = crate::runs::cell_key(cell);
+                    if !s.cell_completed(&key) {
+                        match crate::reduce::encode_outcome(&outcome)
+                            .and_then(|json| s.save_cell_outcome(&key, &json))
+                        {
+                            Ok(()) => {}
+                            Err(e) => {
+                                eprintln!("warning: could not publish outcome for {key}: {e}");
+                            }
+                        }
+                    }
+                }
                 // Completion order is scheduling-dependent, so this may only
                 // ever reach stderr — never an artifact.
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;

@@ -58,12 +58,14 @@ pub mod heatmap;
 pub mod mismatch;
 pub mod pipeline;
 pub mod presets;
+pub mod reduce;
 pub mod report;
 pub mod runs;
 pub mod serving;
 pub mod stats;
 pub mod transfer;
 pub mod viz;
+pub mod worker;
 
 pub use algorithm::ExplorationOutcome;
 pub use config::{ExperimentConfig, Topology};
@@ -72,5 +74,7 @@ pub use curves::RobustnessCurve;
 pub use grid::{GridResult, GridSpec};
 pub use heatmap::Heatmap;
 pub use mismatch::MismatchResult;
+pub use reduce::{reduce_grid, ReduceError};
 pub use report::RobustnessClass;
 pub use transfer::TransferStudy;
+pub use worker::{run_worker, PauseAt, WorkerOptions, WorkerReport};

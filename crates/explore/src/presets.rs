@@ -115,6 +115,14 @@ pub fn tiny() -> ExperimentConfig {
     }
 }
 
+/// A sub-second `(V_th, T)` grid over the [`tiny`] configuration: four
+/// cells, one ε. Used by the distributed-grid smoke path (`spiking-armor
+/// grid-worker --preset tiny`) and the cross-process fault-injection
+/// suite, where each cell must train in a fraction of a second.
+pub fn tiny_grid() -> (ExperimentConfig, GridSpec, Vec<f32>) {
+    (tiny(), GridSpec::new(vec![0.5, 1.5], vec![2, 3]), vec![0.1])
+}
+
 /// Fig. 1 — motivational CNN-vs-SNN sweep: a small conv topology shared by
 /// both networks, PGD budgets from [`epsilon_sweep`].
 pub fn fig1() -> (ExperimentConfig, Vec<f32>) {
@@ -230,6 +238,7 @@ mod tests {
     fn every_preset_validates() {
         quick().validate();
         tiny().validate();
+        tiny_grid().0.validate();
         fig1().0.validate();
         heatmap_grid().0.validate();
         fig9().0.validate();

@@ -1,0 +1,309 @@
+//! The grid reducer: merges per-cell `outcome.json` artifacts into one
+//! [`GridResult`], bitwise-identical to the single-process grid.
+//!
+//! # Determinism contract
+//!
+//! The reducer never computes anything — it only reassembles. Identity with
+//! the single-process path holds because every link preserves bits:
+//!
+//! 1. Each worker computes its cell with the same `*_stored` functions the
+//!    single-process grid uses, and those are thread-count- and
+//!    schedule-invariant (per-cell / per-ε seeding).
+//! 2. [`encode_outcome`] serialises floats in Rust's shortest-round-trip
+//!    form, and decoding parses them back to the exact same bit patterns,
+//!    so `outcome.json` is a lossless envelope.
+//! 3. [`reduce_grid`] visits cells in [`GridSpec::cells`] order — the same
+//!    order the single-process grid emits — so the assembled `outcomes`
+//!    vector is positionally identical.
+//!
+//! `spiking-armor grid-reduce --verify` checks the whole chain end to end
+//! by recomputing the grid through the (pure-cache) single-process path
+//! and comparing serialised bytes.
+
+use std::fmt;
+
+use store::{Event, RunStore, StoreError};
+
+use crate::algorithm::ExplorationOutcome;
+use crate::grid::{GridResult, GridSpec};
+use crate::runs;
+
+/// Why a reduce could not produce a grid result.
+#[derive(Debug)]
+pub enum ReduceError {
+    /// Some cells have not published an outcome yet — workers are still
+    /// running (or crashed and nobody resumed their cells).
+    Incomplete {
+        /// Cell keys without a published outcome, in grid order.
+        missing: Vec<String>,
+    },
+    /// A published outcome could not be read.
+    Store(StoreError),
+    /// A published outcome could not be decoded.
+    Corrupt {
+        /// The offending cell key.
+        cell: String,
+        /// Decoder diagnostics.
+        why: String,
+    },
+    /// A published outcome decodes but contradicts the grid (wrong
+    /// structural point, or a robustness sweep that does not match the ε
+    /// sweep) — the artifact belongs to a different run definition.
+    Mismatch {
+        /// The offending cell key.
+        cell: String,
+        /// What disagreed.
+        why: String,
+    },
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::Incomplete { missing } => write!(
+                f,
+                "grid is incomplete: {} cell(s) without a published outcome (first: {})",
+                missing.len(),
+                missing.first().map(String::as_str).unwrap_or("?")
+            ),
+            ReduceError::Store(e) => write!(f, "cannot read a cell outcome: {e}"),
+            ReduceError::Corrupt { cell, why } => {
+                write!(f, "cell {cell} outcome is corrupt: {why}")
+            }
+            ReduceError::Mismatch { cell, why } => {
+                write!(f, "cell {cell} outcome contradicts the grid: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReduceError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ReduceError {
+    fn from(e: StoreError) -> Self {
+        ReduceError::Store(e)
+    }
+}
+
+/// Serialises one cell outcome for its `outcome.json` artifact. The single
+/// encoder shared by every publisher (grid worker and single-process grid),
+/// so artifacts are byte-identical no matter who wrote them.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] if serialisation fails (cannot happen
+/// for well-formed outcomes).
+pub fn encode_outcome(outcome: &ExplorationOutcome) -> Result<String, StoreError> {
+    serde_json::to_string_pretty(outcome)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| StoreError::Corrupt(format!("cannot serialise cell outcome: {e}")))
+}
+
+/// Decodes one `outcome.json` artifact. Lossless inverse of
+/// [`encode_outcome`]: float round-trips are bit-exact.
+///
+/// # Errors
+///
+/// Returns the decoder diagnostics if the JSON is torn or mistyped.
+pub fn decode_outcome(json: &str) -> Result<ExplorationOutcome, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Merges every completed cell of `spec` into a [`GridResult`] and journals
+/// the reduction.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::Incomplete`] while any cell lacks a published
+/// outcome, and the other [`ReduceError`] variants on damaged or mismatched
+/// artifacts.
+pub fn reduce_grid(
+    store: &RunStore,
+    spec: &GridSpec,
+    epsilons: &[f32],
+) -> Result<GridResult, ReduceError> {
+    let mut outcomes = Vec::with_capacity(spec.len());
+    let mut missing = Vec::new();
+    for cell in spec.cells() {
+        let key = runs::cell_key(cell);
+        let Some(json) = store.load_cell_outcome(&key)? else {
+            missing.push(key);
+            continue;
+        };
+        let outcome = decode_outcome(&json).map_err(|why| ReduceError::Corrupt {
+            cell: key.clone(),
+            why,
+        })?;
+        if outcome.structural.v_th.to_bits() != cell.v_th.to_bits()
+            || outcome.structural.time_window != cell.time_window
+        {
+            return Err(ReduceError::Mismatch {
+                cell: key,
+                why: format!(
+                    "artifact is for (v_th={}, T={}), cell is (v_th={}, T={})",
+                    outcome.structural.v_th,
+                    outcome.structural.time_window,
+                    cell.v_th,
+                    cell.time_window
+                ),
+            });
+        }
+        if outcome.learnable {
+            let sweep_ok = outcome.robustness.len() == epsilons.len()
+                && outcome
+                    .robustness
+                    .iter()
+                    .zip(epsilons)
+                    .all(|((e, _), want)| e.to_bits() == want.to_bits());
+            if !sweep_ok {
+                return Err(ReduceError::Mismatch {
+                    cell: key,
+                    why: format!(
+                        "artifact sweeps ε {:?}, run sweeps ε {:?}",
+                        outcome
+                            .robustness
+                            .iter()
+                            .map(|&(e, _)| e)
+                            .collect::<Vec<_>>(),
+                        epsilons
+                    ),
+                });
+            }
+        }
+        outcomes.push(outcome);
+    }
+    if !missing.is_empty() {
+        return Err(ReduceError::Incomplete { missing });
+    }
+    store.log(&Event::GridReduced {
+        cells: outcomes.len(),
+        pid: std::process::id(),
+    });
+    Ok(GridResult {
+        spec: spec.clone(),
+        epsilons: epsilons.to_vec(),
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn::StructuralParams;
+
+    fn outcome(v: f32, t: usize, eps: &[f32]) -> ExplorationOutcome {
+        ExplorationOutcome {
+            structural: StructuralParams::new(v, t),
+            clean_accuracy: 0.8125,
+            learnable: true,
+            robustness: eps.iter().map(|&e| (e, 0.5)).collect(),
+        }
+    }
+
+    #[test]
+    fn outcome_json_round_trips_bit_exactly() {
+        // Values with no short decimal form — the round-trip must come back
+        // to the exact same bit patterns.
+        let o = ExplorationOutcome {
+            structural: StructuralParams::new(std::f32::consts::PI, 7),
+            clean_accuracy: 0.1f32 + 0.2f32,
+            learnable: true,
+            robustness: vec![(0.1, 1.0 / 3.0), (0.3, 2.0 / 7.0)],
+        };
+        let json = encode_outcome(&o).unwrap();
+        let back = decode_outcome(&json).unwrap();
+        assert_eq!(back, o);
+        // And the encoding itself is stable (encode ∘ decode ∘ encode).
+        assert_eq!(encode_outcome(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn reduce_assembles_cells_in_grid_order() {
+        let root = std::env::temp_dir().join("explore_reduce_order_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let fp = store::Fingerprint::builder().section("t", b"r").finish();
+        let opened = RunStore::open_shared(&root, &fp, "{}").unwrap();
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4, 8]);
+        let eps = [0.1f32];
+        // Publish out of order; the reducer must still assemble row-major.
+        for cell in spec.cells().collect::<Vec<_>>().into_iter().rev() {
+            let key = runs::cell_key(cell);
+            let json = encode_outcome(&outcome(cell.v_th, cell.time_window, &eps)).unwrap();
+            opened.store.save_cell_outcome(&key, &json).unwrap();
+        }
+        let grid = reduce_grid(&opened.store, &spec, &eps).unwrap();
+        let cells: Vec<_> = spec.cells().collect();
+        assert_eq!(grid.outcomes.len(), cells.len());
+        for (o, c) in grid.outcomes.iter().zip(&cells) {
+            assert_eq!(o.structural, *c);
+        }
+    }
+
+    #[test]
+    fn missing_cells_make_the_reduce_incomplete() {
+        let root = std::env::temp_dir().join("explore_reduce_incomplete_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let fp = store::Fingerprint::builder().section("t", b"i").finish();
+        let opened = RunStore::open_shared(&root, &fp, "{}").unwrap();
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4]);
+        let eps = [0.1f32];
+        let done = StructuralParams::new(0.5, 4);
+        opened
+            .store
+            .save_cell_outcome(
+                &runs::cell_key(done),
+                &encode_outcome(&outcome(0.5, 4, &eps)).unwrap(),
+            )
+            .unwrap();
+        match reduce_grid(&opened.store, &spec, &eps) {
+            Err(ReduceError::Incomplete { missing }) => {
+                assert_eq!(missing, [runs::cell_key(StructuralParams::new(1.0, 4))]);
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_artifacts_are_refused() {
+        let root = std::env::temp_dir().join("explore_reduce_mismatch_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let fp = store::Fingerprint::builder().section("t", b"m").finish();
+        let opened = RunStore::open_shared(&root, &fp, "{}").unwrap();
+        let spec = GridSpec::new(vec![0.5], vec![4]);
+        let key = runs::cell_key(StructuralParams::new(0.5, 4));
+        // Wrong structural point under the right key.
+        opened
+            .store
+            .save_cell_outcome(&key, &encode_outcome(&outcome(1.0, 4, &[0.1])).unwrap())
+            .unwrap();
+        assert!(matches!(
+            reduce_grid(&opened.store, &spec, &[0.1]),
+            Err(ReduceError::Mismatch { .. })
+        ));
+        // Right point, wrong ε sweep.
+        opened
+            .store
+            .save_cell_outcome(&key, &encode_outcome(&outcome(0.5, 4, &[0.9])).unwrap())
+            .unwrap();
+        assert!(matches!(
+            reduce_grid(&opened.store, &spec, &[0.1]),
+            Err(ReduceError::Mismatch { .. })
+        ));
+        // Torn JSON.
+        opened.store.save_cell_outcome(&key, "{\"stru").unwrap();
+        assert!(matches!(
+            reduce_grid(&opened.store, &spec, &[0.1]),
+            Err(ReduceError::Corrupt { .. })
+        ));
+    }
+}

@@ -117,20 +117,54 @@ pub fn open(
     resume: bool,
 ) -> Result<OpenedRun, StoreError> {
     let fp = fingerprint(command, config, spec, epsilons)?;
+    let manifest = manifest_json(command, &fp, config, spec, epsilons)?;
+    RunStore::open(&out_dir.join(RUNS_SUBDIR), &fp, &manifest, resume)
+}
+
+/// Opens the run store for `command` as a *shared* grid-worker handle:
+/// same fingerprint and byte-identical manifest as [`open`], but no
+/// single-writer lock — any number of `grid-worker` processes may hold
+/// one, coordinating per cell through leases. A shared open never clears
+/// existing state (workers are always additive); delete the run directory
+/// to start a grid from scratch.
+///
+/// # Errors
+///
+/// Returns a [`StoreError`] if the directory cannot be prepared, holds a
+/// conflicting manifest, or a live exclusive writer owns it.
+pub fn open_grid(
+    out_dir: &Path,
+    command: &str,
+    config: &ExperimentConfig,
+    spec: &GridSpec,
+    epsilons: &[f32],
+) -> Result<OpenedRun, StoreError> {
+    let fp = fingerprint(command, config, Some(spec), epsilons)?;
+    let manifest = manifest_json(command, &fp, config, Some(spec), epsilons)?;
+    RunStore::open_shared(&out_dir.join(RUNS_SUBDIR), &fp, &manifest)
+}
+
+/// The byte-deterministic run manifest. Hand-assembled so a given run
+/// definition always renders identically (re-opening compares it
+/// byte-for-byte, and exclusive and shared opens must agree).
+fn manifest_json(
+    command: &str,
+    fp: &Fingerprint,
+    config: &ExperimentConfig,
+    spec: Option<&GridSpec>,
+    epsilons: &[f32],
+) -> Result<String, StoreError> {
     let config_json = serialize("the experiment config", &canonical_config(config))?;
     let spec_json = match spec {
         Some(s) => serialize("the grid spec", s)?,
         None => "null".to_string(),
     };
     let epsilons_json = serialize("the epsilon sweep", &epsilons.to_vec())?;
-    // Hand-assembled so the manifest is byte-deterministic for a given run
-    // definition (re-opening compares it byte-for-byte).
-    let manifest = format!(
+    Ok(format!(
         "{{\n  \"command\": \"{command}\",\n  \"fingerprint\": \"{fp}\",\n  \"format_version\": {version},\n  \"config\": {config_json},\n  \"spec\": {spec_json},\n  \"epsilons\": {epsilons_json},\n  \"epsilon_bits\": \"{bits}\"\n}}\n",
         version = store::FORMAT_VERSION,
         bits = epsilon_bits(epsilons),
-    );
-    RunStore::open(&out_dir.join(RUNS_SUBDIR), &fp, &manifest, resume)
+    ))
 }
 
 #[cfg(test)]
@@ -202,5 +236,24 @@ mod tests {
         // A fresh (non-resume) open starts over.
         let third = open(&out, "fig1", &cfg, None, &eps, false).unwrap();
         assert!(!third.resumed);
+    }
+
+    #[test]
+    fn grid_open_shares_the_exclusive_run_directory() {
+        let out = std::env::temp_dir().join("explore_runs_open_grid_test");
+        let _ = std::fs::remove_dir_all(&out);
+        let cfg = presets::quick();
+        let spec = GridSpec::new(vec![0.5, 1.0], vec![4]);
+        let eps = [0.25f32];
+        // Seed the directory through the exclusive path, then join it with
+        // two shared worker handles: same fingerprint, same manifest bytes.
+        let seeded = open(&out, "heatmap", &cfg, Some(&spec), &eps, false).unwrap();
+        let dir = seeded.store.dir().to_path_buf();
+        drop(seeded);
+        let a = open_grid(&out, "heatmap", &cfg, &spec, &eps).unwrap();
+        let b = open_grid(&out, "heatmap", &cfg, &spec, &eps).unwrap();
+        assert!(a.resumed && b.resumed, "workers join the seeded manifest");
+        assert_eq!(a.store.dir(), dir);
+        assert!(a.store.is_shared() && b.store.is_shared());
     }
 }

@@ -1,0 +1,323 @@
+//! The distributed grid worker loop: claim a cell, compute it, publish its
+//! outcome, repeat until the whole grid is complete.
+//!
+//! Any number of `run_worker` processes (each holding a *shared*
+//! [`RunStore`] handle from [`runs::open_grid`]) cooperate on one run
+//! directory. Coordination is entirely through the store:
+//!
+//! * a cell with a published `outcome.json` is **complete** — skipped by
+//!   everyone, forever;
+//! * an incomplete cell is claimed through its per-cell lease
+//!   ([`RunStore::claim_cell`]); a busy answer means a live peer has it;
+//! * while computing, a heartbeat thread renews the lease so a slow cell
+//!   is not reclaimed out from under a healthy worker;
+//! * a worker SIGKILLed mid-cell leaves a stale lease (dead pid) that the
+//!   next claimant reclaims — its partial checkpoints are either complete
+//!   (and served as cache hits) or absent (and recomputed), never torn.
+//!
+//! Cells are computed with the same `*_stored` functions as the
+//! single-process grid, so the reduced result is bitwise-identical to
+//! [`run_grid_stored`](crate::grid::run_grid_stored)'s.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use snn::StructuralParams;
+use store::{Event, RunStore, StoreError};
+
+use crate::algorithm::explore_trained_stored;
+use crate::config::ExperimentConfig;
+use crate::grid::GridSpec;
+use crate::pipeline::{train_snn_stored, SplitData};
+use crate::reduce;
+use crate::runs;
+
+/// Fault-injection pause points, one per phase boundary of a cell's
+/// lifecycle. A paused worker announces itself on stdout and then sleeps
+/// forever (heartbeating all the while) until it is killed — this is how
+/// the cross-process SIGKILL suite freezes a worker at an exact checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PauseAt {
+    /// Right after the first successful cell claim, before any work.
+    AfterLease,
+    /// After training (checkpoint written), before the attack sweep.
+    MidCell,
+    /// After the attack sweep, before the outcome artifact is published.
+    BeforeComplete,
+    /// After the outcome artifact is published, before the lease releases.
+    AfterArtifact,
+}
+
+impl PauseAt {
+    /// The CLI spelling of every pause point, in lifecycle order.
+    pub const ALL: [PauseAt; 4] = [
+        PauseAt::AfterLease,
+        PauseAt::MidCell,
+        PauseAt::BeforeComplete,
+        PauseAt::AfterArtifact,
+    ];
+
+    /// The CLI spelling of this pause point.
+    pub fn name(self) -> &'static str {
+        match self {
+            PauseAt::AfterLease => "after-lease",
+            PauseAt::MidCell => "mid-cell",
+            PauseAt::BeforeComplete => "before-complete",
+            PauseAt::AfterArtifact => "after-artifact",
+        }
+    }
+
+    /// Parses a CLI spelling back into a pause point.
+    pub fn parse(text: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == text)
+    }
+}
+
+/// Tuning knobs of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Lease time-to-live: how long a claimed cell stays ours without a
+    /// heartbeat before peers may reclaim it.
+    pub ttl_millis: u64,
+    /// Heartbeat period while computing a cell; must be well under
+    /// [`Self::ttl_millis`] so a healthy worker never lapses.
+    pub heartbeat_millis: u64,
+    /// How long to sleep when every remaining cell is leased by peers.
+    pub poll_millis: u64,
+    /// Fault-injection hook: freeze at this checkpoint of the first
+    /// computed cell (test harness only).
+    pub pause_at: Option<PauseAt>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            ttl_millis: 30_000,
+            heartbeat_millis: 10_000,
+            poll_millis: 200,
+            pause_at: None,
+        }
+    }
+}
+
+/// What one [`run_worker`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Cell keys this worker computed and published, in completion order.
+    pub completed: Vec<String>,
+    /// Cells abandoned because the lease was lost mid-compute (another
+    /// worker reclaimed it after we stalled past our own deadline).
+    pub abandoned: usize,
+    /// Claim attempts answered "busy" (a live peer held the cell).
+    pub busy: u64,
+    /// Idle waits — rounds where every remaining cell was leased by peers.
+    pub polls: u64,
+}
+
+/// How often the heartbeat thread wakes to check the stop flag; the actual
+/// lease renewal happens every [`WorkerOptions::heartbeat_millis`].
+const HEARTBEAT_TICK_MILLIS: u64 = 10;
+
+/// Runs the worker loop until every cell of `spec` is complete.
+///
+/// Returns a [`WorkerReport`] describing this worker's share. The loop
+/// terminates for every schedule: each round either completes a cell,
+/// observes a peer's completion, or (when all remaining cells are leased
+/// by live peers) sleeps briefly — and a dead peer's lease expires or is
+/// reclaimed via its dead pid, so no cell can stay incomplete forever.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] when the store becomes unusable (lease or
+/// artifact writes failing). Losing a lease mid-cell is NOT an error: the
+/// cell is abandoned (counted in the report) and the loop moves on.
+///
+/// # Panics
+///
+/// Panics if training itself panics (propagated from the compute thread).
+pub fn run_worker(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    spec: &GridSpec,
+    epsilons: &[f32],
+    store: &RunStore,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, StoreError> {
+    let cells: Vec<StructuralParams> = spec.cells().collect();
+    let mut report = WorkerReport::default();
+    loop {
+        let mut all_done = true;
+        let mut progressed = false;
+        for &cell in &cells {
+            let key = runs::cell_key(cell);
+            if store.cell_completed(&key) {
+                continue;
+            }
+            all_done = false;
+            let Some(lease) = store.claim_cell(&key, opts.ttl_millis)? else {
+                report.busy += 1;
+                obs::counter_add("worker/lease_busy", 1);
+                continue;
+            };
+            obs::counter_add("worker/cells_claimed", 1);
+            // Re-check under the lease: the previous holder may have
+            // published between our completion check and the claim.
+            if store.cell_completed(&key) {
+                store.release_cell(lease);
+                progressed = true;
+                continue;
+            }
+            let published = compute_cell(config, data, cell, &key, epsilons, store, opts, lease)?;
+            if published {
+                obs::counter_add("worker/cells_completed", 1);
+                report.completed.push(key);
+            } else {
+                report.abandoned += 1;
+            }
+            progressed = true;
+        }
+        if all_done {
+            return Ok(report);
+        }
+        if !progressed {
+            // Every remaining cell is leased by a live peer: wait for their
+            // completions (or for their leases to go stale) and rescan.
+            report.polls += 1;
+            std::thread::sleep(Duration::from_millis(opts.poll_millis.max(1)));
+        }
+    }
+}
+
+/// Computes one claimed cell under a heartbeating lease. Returns whether
+/// the outcome was published (`false` means the lease was lost and the
+/// cell abandoned).
+#[allow(clippy::too_many_arguments)] // internal: the worker loop's one call site
+fn compute_cell(
+    config: &ExperimentConfig,
+    data: &SplitData,
+    cell: StructuralParams,
+    key: &str,
+    epsilons: &[f32],
+    store: &RunStore,
+    opts: &WorkerOptions,
+    lease: store::CellLease,
+) -> Result<bool, StoreError> {
+    let stop = AtomicBool::new(false);
+    let lost = AtomicBool::new(false);
+    let stop = &stop;
+    let lost = &lost;
+    std::thread::scope(|scope| {
+        // The heartbeat thread OWNS the lease while the cell computes (no
+        // shared lock around it) and hands it back through `join`.
+        let heartbeat = scope.spawn(move || {
+            let mut lease = lease;
+            let mut since_renewal = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(HEARTBEAT_TICK_MILLIS));
+                since_renewal += HEARTBEAT_TICK_MILLIS;
+                if since_renewal < opts.heartbeat_millis.max(HEARTBEAT_TICK_MILLIS) {
+                    continue;
+                }
+                since_renewal = 0;
+                match store.heartbeat_cell(&mut lease, opts.ttl_millis) {
+                    Ok(()) => {}
+                    Err(StoreError::LeaseLost { .. }) => {
+                        lost.store(true, Ordering::Release);
+                        break;
+                    }
+                    // Transient I/O trouble: keep the work going and retry
+                    // at the next period; the lease only lapses if this
+                    // persists past the TTL.
+                    Err(e) => eprintln!("warning: heartbeat for cell {key} failed: {e}"),
+                }
+            }
+            lease
+        });
+        // Panic safety: if the compute below unwinds, this guard still
+        // stops the heartbeat thread so `scope` can join it (otherwise the
+        // unwind would deadlock waiting on an infinite heartbeat loop).
+        struct StopGuard<'a>(&'a AtomicBool);
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+        let stop_guard = StopGuard(stop);
+
+        pause_if(opts, PauseAt::AfterLease, key);
+        store.log(&Event::CellStarted {
+            cell: key.to_string(),
+        });
+        let trained = train_snn_stored(config, data, cell, Some(store));
+        pause_if(opts, PauseAt::MidCell, key);
+        let outcome =
+            explore_trained_stored(config, data, cell, &trained, epsilons, Some((store, key)));
+        pause_if(opts, PauseAt::BeforeComplete, key);
+        let published = if lost.load(Ordering::Acquire) {
+            // Another worker owns the cell now; it will publish. Writing
+            // ours too would be harmless (same bytes) but noisy.
+            false
+        } else {
+            let json = reduce::encode_outcome(&outcome)?;
+            store.save_cell_outcome(key, &json)?;
+            true
+        };
+        pause_if(opts, PauseAt::AfterArtifact, key);
+
+        drop(stop_guard);
+        match heartbeat.join() {
+            Ok(lease) => {
+                if lost.load(Ordering::Acquire) {
+                    // The lease belongs to its reclaimer; dropping our stale
+                    // guard is a no-op (ownership-checked unlink).
+                    drop(lease);
+                } else {
+                    store.release_cell(lease);
+                }
+            }
+            // The heartbeat thread cannot panic, but if it somehow did the
+            // lease file stays behind and expires like a crashed worker's.
+            Err(_) => eprintln!("warning: heartbeat thread for cell {key} panicked"),
+        }
+        Ok(published)
+    })
+}
+
+/// Freezes the worker at `at` if the options ask for it: announce on
+/// stdout (the fault-injection harness watches for this line), then sleep
+/// until killed. Heartbeats keep running, so the lease stays held until
+/// SIGKILL makes the pid dead and a peer reclaims it.
+fn pause_if(opts: &WorkerOptions, at: PauseAt, cell: &str) {
+    if opts.pause_at != Some(at) {
+        return;
+    }
+    println!(
+        "worker paused at {} (cell {cell}, pid {})",
+        at.name(),
+        std::process::id()
+    );
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_points_parse_their_own_names() {
+        for p in PauseAt::ALL {
+            assert_eq!(PauseAt::parse(p.name()), Some(p));
+        }
+        assert_eq!(PauseAt::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_options_heartbeat_well_under_ttl() {
+        let opts = WorkerOptions::default();
+        assert!(opts.heartbeat_millis * 2 <= opts.ttl_millis);
+    }
+}

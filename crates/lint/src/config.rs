@@ -260,6 +260,18 @@ mod tests {
             .no_panic_in_io
             .covers("crates/explore/src/bin/spiking-armor.rs"));
         assert!(!c.no_panic_in_io.covers("crates/tensor/src/gemm.rs"));
+        // The distributed-grid modules sit under the same prefixes: lease
+        // I/O must degrade typed, and the worker/reducer paths feed the
+        // journal and `grid.json`, so the determinism passes own them too.
+        assert!(c.no_panic_in_io.covers("crates/store/src/lease.rs"));
+        assert!(c.no_panic_in_io.covers("crates/explore/src/worker.rs"));
+        assert!(c.wallclock_purity.covers("crates/store/src/lease.rs"));
+        assert!(c.unordered_iteration.covers("crates/explore/src/reduce.rs"));
+        assert!(c.lock_order.covers("crates/explore/src/worker.rs"));
+        assert!(c.transitive_determinism.covers("crates/store/src/lease.rs"));
+        assert!(c
+            .transitive_determinism
+            .covers("crates/explore/src/reduce.rs"));
         // The metrics layer is artifact code for the determinism rules
         // only; recording bugs may panic, artifacts may not wobble.
         assert!(c.wallclock_purity.covers("crates/obs/src/span.rs"));

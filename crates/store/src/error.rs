@@ -56,6 +56,24 @@ pub enum StoreError {
         /// Pid recorded in the lock file (0 when it could not be read).
         pid: u32,
     },
+    /// A live grid worker holds a per-cell lease on the run directory, so
+    /// an exclusive (single-writer) open would clobber in-flight work.
+    Leased {
+        /// The run directory with held leases.
+        dir: PathBuf,
+        /// The held cell key (the first, when several are held).
+        cell: String,
+        /// Pid recorded in that lease.
+        pid: u32,
+    },
+    /// A heartbeat found the lease gone or owned by someone else: this
+    /// worker stalled past its own deadline and the cell was reclaimed.
+    LeaseLost {
+        /// The cell whose lease was lost.
+        cell: String,
+        /// Pid now holding the cell (0 when the lease file is gone/torn).
+        pid: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -87,6 +105,15 @@ impl fmt::Display for StoreError {
                 f,
                 "run directory {} is locked by live process {pid} (stale locks of dead processes are reclaimed automatically)",
                 dir.display()
+            ),
+            StoreError::Leased { dir, cell, pid } => write!(
+                f,
+                "run directory {} has live grid workers (cell {cell} leased by process {pid}); wait for them or use grid-worker to join the run",
+                dir.display()
+            ),
+            StoreError::LeaseLost { cell, pid } => write!(
+                f,
+                "lease on cell {cell} was lost to process {pid} (stalled past its own deadline); the cell must be abandoned"
             ),
         }
     }
@@ -125,6 +152,22 @@ mod tests {
         }
         .to_string()
         .contains("truncated"));
+        let leased = StoreError::Leased {
+            dir: PathBuf::from("/runs/run-ab"),
+            cell: "v1-t4".into(),
+            pid: 77,
+        }
+        .to_string();
+        assert!(
+            leased.contains("v1-t4") && leased.contains("77"),
+            "{leased}"
+        );
+        let lost = StoreError::LeaseLost {
+            cell: "v1-t4".into(),
+            pid: 88,
+        }
+        .to_string();
+        assert!(lost.contains("lost") && lost.contains("88"), "{lost}");
     }
 
     #[test]

@@ -86,21 +86,86 @@ pub enum Event {
         /// Why the entry was rejected.
         error: String,
     },
+    /// A grid worker joined the run directory (shared, lease-coordinated
+    /// open — no single-writer lock is taken).
+    WorkerStarted {
+        /// Pid of the worker process.
+        pid: u32,
+    },
+    /// A worker claimed a cell's lease.
+    LeaseAcquired {
+        /// The leased cell key.
+        cell: String,
+        /// Pid of the claiming worker.
+        pid: u32,
+        /// Lease expiry, milliseconds since the Unix epoch.
+        deadline_millis: u64,
+    },
+    /// A worker renewed its lease on a cell it is still computing.
+    LeaseHeartbeat {
+        /// The leased cell key.
+        cell: String,
+        /// Pid of the heartbeating worker.
+        pid: u32,
+        /// The pushed-out expiry, milliseconds since the Unix epoch.
+        deadline_millis: u64,
+    },
+    /// A worker released a cell's lease (work done or abandoned).
+    LeaseReleased {
+        /// The released cell key.
+        cell: String,
+        /// Pid of the releasing worker.
+        pid: u32,
+    },
+    /// A stale lease (dead pid, expired deadline, or torn payload) was
+    /// reclaimed by another worker.
+    LeaseReclaimed {
+        /// The reclaimed cell key.
+        cell: String,
+        /// Pid recorded in the stale lease (0 when the payload was torn).
+        old_pid: u32,
+        /// Pid of the reclaiming worker.
+        pid: u32,
+        /// Why the lease counted as stale.
+        reason: String,
+    },
+    /// A cell's outcome artifact was durably written — the cell will never
+    /// be computed again by any worker of this run.
+    CellCompleted {
+        /// The completed cell key.
+        cell: String,
+        /// Pid of the completing worker.
+        pid: u32,
+    },
+    /// A reducer merged the completed cells into the grid artifact.
+    GridReduced {
+        /// Number of cells merged.
+        cells: usize,
+        /// Pid of the reducing process.
+        pid: u32,
+    },
 }
 
 impl Event {
     /// The cell key this event concerns, if any.
     pub fn cell(&self) -> Option<&str> {
         match self {
-            Event::RunStarted { .. } | Event::LockAcquired { .. } | Event::LockReleased { .. } => {
-                None
-            }
+            Event::RunStarted { .. }
+            | Event::LockAcquired { .. }
+            | Event::LockReleased { .. }
+            | Event::WorkerStarted { .. }
+            | Event::GridReduced { .. } => None,
             Event::CellStarted { cell }
             | Event::CellTrained { cell, .. }
             | Event::CellCached { cell, .. }
             | Event::AttackEvaluated { cell, .. }
             | Event::AttackCached { cell, .. }
-            | Event::CacheError { cell, .. } => Some(cell),
+            | Event::CacheError { cell, .. }
+            | Event::LeaseAcquired { cell, .. }
+            | Event::LeaseHeartbeat { cell, .. }
+            | Event::LeaseReleased { cell, .. }
+            | Event::LeaseReclaimed { cell, .. }
+            | Event::CellCompleted { cell, .. } => Some(cell),
         }
     }
 }
@@ -151,17 +216,26 @@ impl Journal {
 
     /// Appends one event as a single JSON line and flushes it.
     ///
+    /// The line and its terminator go to the file in **one** `write_all`
+    /// call. The Mutex only serialises writers *within* this process; a
+    /// distributed grid run has several processes appending to the same
+    /// journal, and `O_APPEND` makes each individual `write(2)` atomic —
+    /// but a line split across two syscalls (as `writeln!` may do) could
+    /// interleave with another process's line. One buffer, one syscall,
+    /// no torn records.
+    ///
     /// # Errors
     ///
     /// Returns an [`io::Error`] if the line cannot be written.
     pub fn log(&self, event: &Event) -> io::Result<()> {
-        let line = serde_json::to_string(event)
+        let mut line = serde_json::to_string(event)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        // A writer that panicked mid-`writeln!` cannot have torn the line
-        // (the buffer flushes whole), so a poisoned lock is still usable.
+        line.push('\n');
+        // A writer that panicked mid-append cannot have torn the line (it
+        // goes down in one write), so a poisoned lock is still usable.
         let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
-        // armor-lint: allow(lock-order) -- the Mutex<File> IS the journal's serialization point: appends are one short buffered line and concurrent writers must queue behind it so lines never tear
-        writeln!(file, "{line}")?;
+        // armor-lint: allow(lock-order) -- the Mutex<File> IS the journal's in-process serialization point: appends are one short O_APPEND write and concurrent writers must queue behind it so lines never tear
+        file.write_all(line.as_bytes())?;
         // armor-lint: allow(lock-order) -- flushing under the same lock keeps append+flush atomic; releasing between them could interleave another writer's line before this event reaches disk
         file.flush()
     }

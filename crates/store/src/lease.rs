@@ -1,0 +1,567 @@
+//! Per-cell lease files — the coordination primitive of distributed grid
+//! runs.
+//!
+//! A distributed grid run has N independent worker processes cooperating on
+//! one run directory. The whole-run [`RunLock`](crate::RunLock) would
+//! serialise them down to one; instead each *cell* is guarded by its own
+//! lease file, so workers exclude each other per cell while the directory
+//! as a whole stays multi-writer.
+//!
+//! Like the run lock, lease files live in a *sibling* of the run directory
+//! (`run-<fingerprint>.leases/<cell>.lease` next to `run-<fingerprint>/`):
+//! a fresh (non-resume) exclusive open clears the run directory with
+//! `remove_dir_all`, which must never delete the files proving a worker is
+//! still alive. Acquisition is a `create_new` (O_EXCL), atomic everywhere.
+//!
+//! The payload is one JSON object with the holder's pid and a wall-clock
+//! *deadline*. A lease is **stale** — reclaimable by any other worker —
+//! when any of these holds:
+//!
+//! * the recorded pid is dead (the worker was SIGKILLed),
+//! * the deadline has passed (the worker hung, or lives on a machine where
+//!   pid liveness cannot be probed),
+//! * the payload is torn/unparseable (the worker died inside its first
+//!   write).
+//!
+//! A live worker therefore *heartbeats*: it periodically rewrites the
+//! payload (atomically, via temp file + rename) with a pushed-out deadline.
+//! A worker that loses its lease to reclaim (it stalled past its own
+//! deadline) learns so at the next heartbeat and must abandon the cell.
+
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StoreError;
+use crate::lock::pid_alive;
+
+/// Suffix appended to the run-directory name to form its lease directory.
+pub const LEASES_EXTENSION: &str = "leases";
+
+/// File extension of one cell's lease inside the lease directory.
+pub const LEASE_FILE_EXTENSION: &str = "lease";
+
+/// The JSON payload written into a lease file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeasePayload {
+    /// Pid of the worker holding the cell.
+    pub pid: u32,
+    /// Process-local acquisition counter. Ownership checks compare `(pid,
+    /// nonce)`, not pid alone: in-process workers (threads, tests) share a
+    /// pid, and after an expired-deadline reclaim the original holder must
+    /// not mistake the reclaimer's lease for its own.
+    pub nonce: u64,
+    /// The cell key the lease guards (redundant with the file name, but
+    /// makes `cat run-*.leases/*` self-describing during an incident).
+    pub cell: String,
+    /// Wall-clock lease expiry, in milliseconds since the Unix epoch. Past
+    /// this instant the lease counts as stale even if the pid still runs.
+    pub deadline_millis: u64,
+}
+
+/// Monotone per-process acquisition counter feeding [`LeasePayload::nonce`].
+static NEXT_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Why a stale lease was reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimReason {
+    /// The recorded pid no longer runs.
+    DeadPid,
+    /// The deadline passed without a heartbeat.
+    Expired,
+    /// The payload was unreadable — the holder died mid-write.
+    Torn,
+}
+
+impl fmt::Display for ReclaimReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReclaimReason::DeadPid => "dead pid",
+            ReclaimReason::Expired => "expired deadline",
+            ReclaimReason::Torn => "torn payload",
+        })
+    }
+}
+
+/// A reclaim that happened on the way to an acquisition, for journaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reclaim {
+    /// Pid recorded in the stale lease (0 when the payload was torn).
+    pub old_pid: u32,
+    /// Why the stale lease did not count as held.
+    pub reason: ReclaimReason,
+}
+
+/// The outcome of [`CellLease::acquire`].
+#[derive(Debug)]
+pub enum Claim {
+    /// The cell is now ours.
+    Acquired {
+        /// The live lease; drop or [`CellLease::release`] to give it back.
+        lease: CellLease,
+        /// The stale lease that was reclaimed on the way, if any.
+        reclaimed: Option<Reclaim>,
+    },
+    /// Another live worker holds the cell.
+    Busy {
+        /// Pid of the holder.
+        pid: u32,
+        /// The holder's current deadline (epoch milliseconds).
+        deadline_millis: u64,
+    },
+}
+
+/// An exclusive hold on one grid cell. Dropping the guard releases the
+/// lease (removes the file, if still owned); a SIGKILLed worker leaves a
+/// stale file that the next claimant reclaims.
+#[derive(Debug)]
+pub struct CellLease {
+    path: PathBuf,
+    payload: LeasePayload,
+}
+
+/// The lease directory guarding `run_dir`'s cells (a sibling, never inside
+/// it — see the module docs).
+pub fn leases_dir(run_dir: &Path) -> PathBuf {
+    let mut name = run_dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "run".to_string());
+    name.push('.');
+    name.push_str(LEASES_EXTENSION);
+    match run_dir.parent() {
+        Some(parent) => parent.join(name),
+        None => PathBuf::from(name),
+    }
+}
+
+/// The lease-file path of `cell` under `run_dir`.
+pub fn lease_path(run_dir: &Path, cell: &str) -> PathBuf {
+    leases_dir(run_dir).join(format!("{cell}.{LEASE_FILE_EXTENSION}"))
+}
+
+/// Milliseconds since the Unix epoch, for lease deadlines.
+///
+/// Deadlines are pure coordination state: they decide *who computes*, never
+/// *what is computed*, so reading the clock here cannot leak into results.
+pub fn now_millis() -> u64 {
+    // armor-lint: allow(wallclock-purity, transitive-determinism) -- lease deadlines are liveness metadata (who may compute a cell), journaled like the millis duration fields; results never flow through them
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Whether an existing payload still counts as *held* at `now`.
+fn held(payload: &LeasePayload, now: u64) -> bool {
+    pid_alive(payload.pid) && payload.deadline_millis >= now
+}
+
+/// Classifies a stale payload for the reclaim journal entry.
+fn stale_reason(payload: &Option<LeasePayload>, now: u64) -> Reclaim {
+    match payload {
+        None => Reclaim {
+            old_pid: 0,
+            reason: ReclaimReason::Torn,
+        },
+        Some(p) if !pid_alive(p.pid) => Reclaim {
+            old_pid: p.pid,
+            reason: ReclaimReason::DeadPid,
+        },
+        Some(p) => {
+            debug_assert!(p.deadline_millis < now);
+            Reclaim {
+                old_pid: p.pid,
+                reason: ReclaimReason::Expired,
+            }
+        }
+    }
+}
+
+/// The payload recorded in an existing lease file, or `None` when it is
+/// unreadable/torn (which claimants treat as stale).
+fn read_payload(path: &Path) -> Option<LeasePayload> {
+    let text = fs::read_to_string(path).ok()?;
+    serde_json::from_str(text.trim()).ok()
+}
+
+fn serialize_payload(payload: &LeasePayload) -> Result<String, StoreError> {
+    serde_json::to_string(payload)
+        .map_err(|e| StoreError::Corrupt(format!("cannot serialise lease payload: {e}")))
+}
+
+impl CellLease {
+    /// Tries to claim `cell` under `run_dir` for `ttl_millis` milliseconds.
+    ///
+    /// A present lease file that is stale (dead pid, expired deadline, or
+    /// torn payload) is reclaimed and re-acquired. Acquisition retries a
+    /// few times so losing the re-create race to another claimant degrades
+    /// into a normal [`Claim::Busy`] answer, never a double-holder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn acquire(run_dir: &Path, cell: &str, ttl_millis: u64) -> Result<Claim, StoreError> {
+        let path = lease_path(run_dir, cell);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut reclaimed: Option<Reclaim> = None;
+        let mut last_busy = (0u32, 0u64);
+        for _attempt in 0..3 {
+            let payload = LeasePayload {
+                pid: std::process::id(),
+                nonce: NEXT_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
+                cell: cell.to_string(),
+                deadline_millis: now_millis().saturating_add(ttl_millis),
+            };
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let text = serialize_payload(&payload)?;
+                    file.write_all(text.as_bytes())?;
+                    file.write_all(b"\n")?;
+                    return Ok(Claim::Acquired {
+                        lease: Self { path, payload },
+                        reclaimed,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let existing = read_payload(&path);
+                    let now = now_millis();
+                    match &existing {
+                        Some(p) if held(p, now) => {
+                            return Ok(Claim::Busy {
+                                pid: p.pid,
+                                deadline_millis: p.deadline_millis,
+                            });
+                        }
+                        _ => {
+                            // Stale: reclaim and retry. Another claimant may
+                            // win the re-create race; the loop then reads
+                            // *its* (live) payload and reports Busy.
+                            reclaimed = Some(stale_reason(&existing, now));
+                            last_busy = existing
+                                .map(|p| (p.pid, p.deadline_millis))
+                                .unwrap_or_default();
+                            match fs::remove_file(&path) {
+                                Ok(()) => {}
+                                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Three stale-reclaim rounds in a row: heavy churn. Answer Busy and
+        // let the worker try another cell.
+        Ok(Claim::Busy {
+            pid: last_busy.0,
+            deadline_millis: last_busy.1,
+        })
+    }
+
+    /// Pushes the deadline `ttl_millis` past now, atomically (temp file +
+    /// rename), after verifying the lease on disk is still ours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::LeaseLost`] when the on-disk lease is gone or
+    /// carries someone else's pid — we stalled past our own deadline and
+    /// were reclaimed; the caller must abandon the cell. Returns
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn heartbeat(&mut self, ttl_millis: u64) -> Result<(), StoreError> {
+        match read_payload(&self.path) {
+            Some(p) if p.pid == self.payload.pid && p.nonce == self.payload.nonce => {}
+            other => {
+                return Err(StoreError::LeaseLost {
+                    cell: self.payload.cell.clone(),
+                    pid: other.map(|p| p.pid).unwrap_or(0),
+                });
+            }
+        }
+        self.payload.deadline_millis = now_millis().saturating_add(ttl_millis);
+        let text = serialize_payload(&self.payload)?;
+        // Pid-suffixed temp name: two processes renaming over the same
+        // lease concurrently (a reclaim race) must not share a temp file.
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(format!(".hb{}", self.payload.pid));
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, format!("{text}\n"))?;
+        fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+
+    /// The payload this lease wrote (own pid, cell, current deadline).
+    pub fn payload(&self) -> &LeasePayload {
+        &self.payload
+    }
+
+    /// The cell key this lease guards.
+    pub fn cell(&self) -> &str {
+        &self.payload.cell
+    }
+
+    /// The lease file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Releases the lease (removes the file). Equivalent to dropping, but
+    /// reads better at call sites that hand the cell back deliberately.
+    pub fn release(self) {}
+}
+
+impl Drop for CellLease {
+    fn drop(&mut self) {
+        // Only remove the file while it is still ours: after a reclaim the
+        // path holds another worker's live lease, which a blind unlink
+        // would silently revoke.
+        match read_payload(&self.path) {
+            Some(p) if p.pid == self.payload.pid && p.nonce == self.payload.nonce => {
+                // Best-effort: a failed removal leaves a stale file that
+                // the next claimant reclaims via the dead-pid or expired-
+                // deadline path.
+                let _ = fs::remove_file(&self.path);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every lease under `run_dir` that is currently *held* (live pid and
+/// unexpired deadline), sorted by cell key for deterministic reporting.
+/// Used by the exclusive open path: a run directory with held leases has
+/// live workers and must not be cleared or exclusively locked.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the lease directory exists but cannot be
+/// read.
+pub fn held_leases(run_dir: &Path) -> Result<Vec<LeasePayload>, StoreError> {
+    let dir = leases_dir(run_dir);
+    let entries = match fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let now = now_millis();
+    let mut held_payloads = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().map(|e| e == LEASE_FILE_EXTENSION) != Some(true) {
+            continue;
+        }
+        if let Some(p) = read_payload(&path) {
+            if held(&p, now) {
+                held_payloads.push(p);
+            }
+        }
+    }
+    held_payloads.sort_by(|a, b| a.cell.cmp(&b.cell));
+    Ok(held_payloads)
+}
+
+/// Removes the whole lease directory of `run_dir`, stale leases and all.
+/// Called by a fresh (non-resume) exclusive open after verifying nothing
+/// is held.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the directory exists but cannot be
+/// removed.
+pub fn clear_leases(run_dir: &Path) -> Result<(), StoreError> {
+    match fs::remove_dir_all(leases_dir(run_dir)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_run_dir(name: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("store_lease_tests_{name}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        root.join("run-abc")
+    }
+
+    fn acquire_ok(dir: &Path, cell: &str, ttl: u64) -> CellLease {
+        match CellLease::acquire(dir, cell, ttl).unwrap() {
+            Claim::Acquired { lease, .. } => lease,
+            Claim::Busy { pid, .. } => panic!("expected to acquire {cell}, busy with pid {pid}"),
+        }
+    }
+
+    #[test]
+    fn acquire_release_round_trip() {
+        let dir = fresh_run_dir("roundtrip");
+        let lease = acquire_ok(&dir, "v1-t4", 60_000);
+        assert!(lease.path().exists());
+        assert_eq!(lease.payload().pid, std::process::id());
+        assert_eq!(lease.cell(), "v1-t4");
+        let path = lease.path().to_path_buf();
+        lease.release();
+        assert!(!path.exists(), "release must remove the lease file");
+    }
+
+    #[test]
+    fn second_claim_of_a_held_cell_is_busy() {
+        let dir = fresh_run_dir("busy");
+        let held = acquire_ok(&dir, "c", 60_000);
+        match CellLease::acquire(&dir, "c", 60_000).unwrap() {
+            Claim::Busy {
+                pid,
+                deadline_millis,
+            } => {
+                assert_eq!(pid, std::process::id());
+                assert_eq!(deadline_millis, held.payload().deadline_millis);
+            }
+            Claim::Acquired { .. } => panic!("double-claimed a held lease"),
+        }
+    }
+
+    #[test]
+    fn distinct_cells_are_independent() {
+        let dir = fresh_run_dir("independent");
+        let _a = acquire_ok(&dir, "a", 60_000);
+        let _b = acquire_ok(&dir, "b", 60_000);
+    }
+
+    #[test]
+    fn dead_pid_lease_is_reclaimed() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness cannot be probed; the conservative branch keeps it held
+        }
+        let dir = fresh_run_dir("dead_pid");
+        let path = lease_path(&dir, "c");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(
+            &path,
+            format!(
+                "{{\"pid\": 4294967295, \"nonce\": 1, \"cell\": \"c\", \"deadline_millis\": {}}}\n",
+                now_millis() + 3_600_000
+            ),
+        )
+        .unwrap();
+        match CellLease::acquire(&dir, "c", 60_000).unwrap() {
+            Claim::Acquired { reclaimed, .. } => {
+                let r = reclaimed.expect("the stale lease was reclaimed");
+                assert_eq!(r.old_pid, u32::MAX);
+                assert_eq!(r.reason, ReclaimReason::DeadPid);
+            }
+            Claim::Busy { .. } => panic!("a dead pid's lease must be reclaimable"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_reclaimed_even_for_a_live_pid() {
+        let dir = fresh_run_dir("expired");
+        // Our own (alive) pid, but a deadline in the past: the holder
+        // stalled past its own lease.
+        let stale = acquire_ok(&dir, "c", 0);
+        std::mem::forget(stale); // simulate a crash: no Drop, file stays
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        match CellLease::acquire(&dir, "c", 60_000).unwrap() {
+            Claim::Acquired { reclaimed, .. } => {
+                let r = reclaimed.expect("the expired lease was reclaimed");
+                assert_eq!(r.old_pid, std::process::id());
+                assert_eq!(r.reason, ReclaimReason::Expired);
+            }
+            Claim::Busy { .. } => panic!("an expired lease must be reclaimable"),
+        }
+    }
+
+    #[test]
+    fn torn_payload_is_reclaimed() {
+        let dir = fresh_run_dir("torn");
+        let path = lease_path(&dir, "c");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{\"pi").unwrap();
+        match CellLease::acquire(&dir, "c", 60_000).unwrap() {
+            Claim::Acquired { reclaimed, .. } => {
+                let r = reclaimed.expect("the torn lease was reclaimed");
+                assert_eq!(r.old_pid, 0);
+                assert_eq!(r.reason, ReclaimReason::Torn);
+            }
+            Claim::Busy { .. } => panic!("a torn lease must be reclaimable"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_extends_the_deadline() {
+        let dir = fresh_run_dir("heartbeat");
+        let mut lease = acquire_ok(&dir, "c", 1_000);
+        let before = lease.payload().deadline_millis;
+        lease.heartbeat(3_600_000).unwrap();
+        assert!(lease.payload().deadline_millis > before);
+        let on_disk = read_payload(lease.path()).unwrap();
+        assert_eq!(on_disk.deadline_millis, lease.payload().deadline_millis);
+    }
+
+    #[test]
+    fn heartbeat_after_reclaim_reports_the_loss() {
+        let dir = fresh_run_dir("lost");
+        let mut stale = acquire_ok(&dir, "c", 0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // Another worker reclaims the expired lease... (in-process it shares
+        // our pid; the nonce is what tells the two acquisitions apart)
+        let winner = acquire_ok(&dir, "c", 60_000);
+        // ...which the stalled holder discovers at its next heartbeat.
+        match stale.heartbeat(60_000) {
+            Err(StoreError::LeaseLost { cell, pid }) => {
+                assert_eq!(cell, "c");
+                assert_eq!(pid, std::process::id(), "the in-process reclaimer");
+            }
+            other => panic!("expected LeaseLost, got {other:?}"),
+        }
+        // Dropping the loser must not revoke the winner's lease file.
+        drop(stale);
+        assert!(
+            winner.path().exists(),
+            "a lost lease's drop must not unlink the reclaimer's file"
+        );
+    }
+
+    #[test]
+    fn held_leases_reports_live_holders_only() {
+        let dir = fresh_run_dir("held");
+        assert!(held_leases(&dir).unwrap().is_empty());
+        let _live = acquire_ok(&dir, "live", 60_000);
+        let expired = acquire_ok(&dir, "expired", 0);
+        std::mem::forget(expired);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        fs::write(lease_path(&dir, "torn"), "{\"pi").unwrap();
+        let held = held_leases(&dir).unwrap();
+        assert_eq!(held.len(), 1);
+        assert_eq!(held.first().map(|p| p.cell.as_str()), Some("live"));
+    }
+
+    #[test]
+    fn clear_leases_removes_the_sibling_directory() {
+        let dir = fresh_run_dir("clear");
+        let lease = acquire_ok(&dir, "c", 60_000);
+        std::mem::forget(lease);
+        assert!(leases_dir(&dir).is_dir());
+        clear_leases(&dir).unwrap();
+        assert!(!leases_dir(&dir).exists());
+        clear_leases(&dir).unwrap(); // idempotent
+    }
+
+    #[test]
+    fn lease_directory_is_a_sibling_of_the_run_directory() {
+        let dir = PathBuf::from("/x/runs/run-12ab");
+        assert_eq!(leases_dir(&dir), PathBuf::from("/x/runs/run-12ab.leases"));
+        assert_eq!(
+            lease_path(&dir, "v1-t4"),
+            PathBuf::from("/x/runs/run-12ab.leases/v1-t4.lease")
+        );
+    }
+}

@@ -19,21 +19,30 @@
 //!   sibling lock file (`run-<fingerprint>.lock`) with a pid + fingerprint
 //!   payload and stale-lock reclamation, so a long-lived server and a
 //!   concurrent batch run can never both write one run directory.
+//! * [`mod@lease`] — per-cell [`CellLease`]s for *distributed* grid runs:
+//!   N worker processes share one run directory without the whole-run
+//!   lock, excluding each other per cell through create-exclusive lease
+//!   files with pid + deadline payloads, heartbeats, and stale reclaim
+//!   (dead pid, expired deadline, torn payload).
 //! * [`run`] — the [`RunStore`] handle tying it together: one directory per
-//!   fingerprint holding a manifest, per-cell training checkpoints, and a
-//!   *separate* per-(cell, ε) attack cache, so extending the ε sweep reuses
-//!   every trained model.
+//!   fingerprint holding a manifest, per-cell training checkpoints, a
+//!   *separate* per-(cell, ε) attack cache (so extending the ε sweep reuses
+//!   every trained model), and per-cell `outcome.json` artifacts that a
+//!   reducer merges into the grid result.
 //!
 //! # Run directory layout
 //!
 //! ```text
 //! <out-dir>/runs/run-<fingerprint>.lock   single-writer lock (pid + fingerprint)
+//! <out-dir>/runs/run-<fingerprint>.leases/
+//!   <cell>.lease             held grid-cell lease (pid + deadline)
 //! <out-dir>/runs/run-<fingerprint>/
 //!   manifest.json            what this run is (config, grid, ε sweep)
 //!   events.jsonl             append-only journal, one JSON event per line
 //!   cells/<cell>/train.bin   training summary (clean accuracy, learnability)
 //!   cells/<cell>/params.bin  trained weights (format::write_params)
 //!   cells/<cell>/attacks/<ε>.bin   one cached robustness value per budget
+//!   cells/<cell>/outcome.json      completed-cell artifact (reducer input)
 //! ```
 //!
 //! # Example
@@ -62,6 +71,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod format;
 pub mod journal;
+pub mod lease;
 pub mod lock;
 pub mod run;
 
@@ -69,5 +79,6 @@ pub use error::StoreError;
 pub use fingerprint::Fingerprint;
 pub use format::FORMAT_VERSION;
 pub use journal::Event;
+pub use lease::{CellLease, Claim, LeasePayload, ReclaimReason};
 pub use lock::{LockPayload, RunLock};
 pub use run::{CellMeta, OpenedRun, RunStore};

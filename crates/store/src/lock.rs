@@ -158,6 +158,15 @@ impl Drop for RunLock {
     }
 }
 
+/// The pid of a *live* process currently holding `run_dir`'s single-writer
+/// lock, or `None` when the lock is absent, stale (dead pid), or torn.
+/// Shared (lease-coordinated) opens use this probe: grid workers must not
+/// join a run directory an exclusive writer is still mutating.
+pub fn live_holder(run_dir: &Path) -> Option<u32> {
+    let pid = read_holder(&lock_path(run_dir))?;
+    pid_alive(pid).then_some(pid)
+}
+
 /// The pid recorded in an existing lock file, or `None` when the payload is
 /// unreadable/torn (which callers treat as stale).
 fn read_holder(path: &Path) -> Option<u32> {
@@ -232,5 +241,17 @@ mod tests {
     #[test]
     fn own_pid_is_always_alive() {
         assert!(pid_alive(std::process::id()));
+    }
+
+    #[test]
+    fn live_holder_sees_through_stale_and_torn_locks() {
+        let dir = fresh_dir("live_holder");
+        assert_eq!(live_holder(&dir), None, "no lock file at all");
+        fs::write(lock_path(&dir), "{\"pi").unwrap();
+        assert_eq!(live_holder(&dir), None, "torn payload is not a holder");
+        let lock = RunLock::acquire(&dir, "abc").unwrap();
+        assert_eq!(live_holder(&dir), Some(std::process::id()));
+        drop(lock);
+        assert_eq!(live_holder(&dir), None);
     }
 }

@@ -11,12 +11,15 @@ use crate::error::StoreError;
 use crate::fingerprint::Fingerprint;
 use crate::format;
 use crate::journal::{Event, Journal};
-use crate::lock::RunLock;
+use crate::lease::{self, CellLease, Claim};
+use crate::lock::{self, RunLock};
 
 /// File name of the run manifest inside a run directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
 /// File name of the event journal inside a run directory.
 pub const EVENTS_FILE: &str = "events.jsonl";
+/// File name of a cell's completed-outcome artifact inside its cell dir.
+pub const OUTCOME_FILE: &str = "outcome.json";
 
 /// The checkpointed training summary of one grid cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,19 +46,25 @@ pub struct OpenedRun {
 /// only its own cell's files, while journal appends are serialised through
 /// an internal mutex.
 ///
-/// The handle also *owns the directory's single-writer lock*
-/// ([`RunLock`]): a second process (or a second handle in this process)
-/// opening the same run directory gets [`StoreError::Locked`] until this
-/// handle drops, so a long-lived server and a concurrent batch run can
-/// never interleave writes into one run directory.
+/// An exclusive handle ([`RunStore::open`]) also *owns the directory's
+/// single-writer lock* ([`RunLock`]): a second process (or a second handle
+/// in this process) opening the same run directory gets
+/// [`StoreError::Locked`] until this handle drops, so a long-lived server
+/// and a concurrent batch run can never interleave writes into one run
+/// directory.
+///
+/// A *shared* handle ([`RunStore::open_shared`]) takes no whole-run lock:
+/// distributed grid workers each hold one, and mutual exclusion moves down
+/// to per-cell [`CellLease`]s ([`RunStore::claim_cell`]).
 #[derive(Debug)]
 pub struct RunStore {
     dir: PathBuf,
     journal: Journal,
-    /// Held for the whole lifetime of the handle; released (file removed)
-    /// when the handle drops. Declared after `journal` so the release
-    /// event can still be appended during drop.
-    lock: RunLock,
+    /// `Some` for exclusive handles: held for the whole lifetime and
+    /// released (file removed) when the handle drops. Declared after
+    /// `journal` so the release event can still be appended during drop.
+    /// `None` for shared (grid-worker) handles.
+    lock: Option<RunLock>,
 }
 
 impl RunStore {
@@ -73,8 +82,10 @@ impl RunStore {
     ///
     /// Returns [`StoreError::Io`] on filesystem failures,
     /// [`StoreError::ManifestMismatch`] when the directory belongs to a
-    /// different experiment, and [`StoreError::Locked`] when another live
-    /// handle (this process or another) is still writing the directory.
+    /// different experiment, [`StoreError::Locked`] when another live
+    /// handle (this process or another) is still writing the directory,
+    /// and [`StoreError::Leased`] when live grid workers hold per-cell
+    /// leases on it.
     pub fn open(
         root: &Path,
         fingerprint: &Fingerprint,
@@ -88,8 +99,24 @@ impl RunStore {
         // open reclaims (see `crate::lock`).
         fs::create_dir_all(root)?;
         let lock = RunLock::acquire(&dir, &fingerprint.hex())?;
-        if !resume && dir.exists() {
-            fs::remove_dir_all(&dir)?;
+        // Grid workers coordinate through per-cell leases instead of this
+        // lock, so holding it is not enough: a held lease means a live
+        // worker is mid-cell and an exclusive writer (worst case: a
+        // non-resume open about to `remove_dir_all`) must stand down.
+        if let Some(held) = lease::held_leases(&dir)?.into_iter().next() {
+            return Err(StoreError::Leased {
+                dir,
+                cell: held.cell,
+                pid: held.pid,
+            });
+        }
+        if !resume {
+            if dir.exists() {
+                fs::remove_dir_all(&dir)?;
+            }
+            // Stale leases of dead workers describe state that no longer
+            // exists; a fresh run must not inherit them.
+            lease::clear_leases(&dir)?;
         }
         let manifest_path = dir.join(MANIFEST_FILE);
         let resumed = resume && manifest_path.exists();
@@ -103,17 +130,85 @@ impl RunStore {
             format::write_atomic(&manifest_path, manifest_json.as_bytes())?;
         }
         let journal = Journal::open_append(&dir.join(EVENTS_FILE))?;
-        let store = Self { dir, journal, lock };
+        let store = Self {
+            dir,
+            journal,
+            lock: Some(lock),
+        };
         store.log(&Event::LockAcquired {
-            pid: store.lock.payload().pid,
+            pid: std::process::id(),
         });
         store.log(&Event::RunStarted { resumed });
         Ok(OpenedRun { store, resumed })
     }
 
-    /// The single-writer lock file guarding this run directory.
-    pub fn lock_path(&self) -> &Path {
-        self.lock.path()
+    /// Opens the run directory for `fingerprint` under `root` as a *shared*
+    /// grid-worker handle: no single-writer lock is taken, and any number
+    /// of worker processes may hold one concurrently. Mutual exclusion
+    /// moves down to per-cell leases ([`Self::claim_cell`]).
+    ///
+    /// A shared open never clears existing state — workers are always
+    /// additive (resume semantics). To restart a grid from scratch, delete
+    /// the run directory, or run the single-process command without
+    /// `--resume` first. The manifest is created if absent and compared
+    /// byte-for-byte when present, exactly like the exclusive path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Locked`] when a live exclusive writer holds
+    /// the run directory, [`StoreError::ManifestMismatch`] when the
+    /// directory describes a different experiment, and [`StoreError::Io`]
+    /// on filesystem failures.
+    pub fn open_shared(
+        root: &Path,
+        fingerprint: &Fingerprint,
+        manifest_json: &str,
+    ) -> Result<OpenedRun, StoreError> {
+        let dir = root.join(format!("run-{}", fingerprint.hex()));
+        fs::create_dir_all(root)?;
+        if let Some(pid) = lock::live_holder(&dir) {
+            return Err(StoreError::Locked { dir, pid });
+        }
+        fs::create_dir_all(dir.join("cells"))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let resumed = manifest_path.exists();
+        if !resumed {
+            // Pid-suffixed temp + atomic rename: several workers may race
+            // this first write, but they all carry identical bytes, and
+            // rename guarantees readers only ever see a complete file.
+            let mut tmp = manifest_path.as_os_str().to_owned();
+            tmp.push(format!(".part{}", std::process::id()));
+            let tmp = PathBuf::from(tmp);
+            fs::write(&tmp, manifest_json.as_bytes())?;
+            fs::rename(&tmp, &manifest_path)?;
+        }
+        let existing = fs::read_to_string(&manifest_path)?;
+        if existing != manifest_json {
+            return Err(StoreError::ManifestMismatch { dir });
+        }
+        let journal = Journal::open_append(&dir.join(EVENTS_FILE))?;
+        let store = Self {
+            dir,
+            journal,
+            lock: None,
+        };
+        store.log(&Event::WorkerStarted {
+            pid: std::process::id(),
+        });
+        store.log(&Event::RunStarted { resumed });
+        Ok(OpenedRun { store, resumed })
+    }
+
+    /// The single-writer lock file guarding this run directory, or `None`
+    /// for a shared (grid-worker) handle, which holds no whole-run lock.
+    pub fn lock_path(&self) -> Option<&Path> {
+        self.lock.as_ref().map(|l| l.path())
+    }
+
+    /// `true` for shared (grid-worker) handles, which coordinate through
+    /// per-cell leases instead of the single-writer lock.
+    pub fn is_shared(&self) -> bool {
+        self.lock.is_none()
     }
 
     /// The run directory this store writes into.
@@ -141,6 +236,122 @@ impl RunStore {
 
     fn cell_dir(&self, cell: &str) -> PathBuf {
         self.dir.join("cells").join(cell)
+    }
+
+    // -- per-cell leases (distributed grid runs) ---------------------------
+
+    /// Tries to claim `cell` for `ttl_millis` milliseconds.
+    ///
+    /// `Ok(Some(lease))` means the cell is ours until released or until the
+    /// deadline lapses without a heartbeat. `Ok(None)` means another live
+    /// worker holds it — move on to the next cell. A stale lease (dead pid,
+    /// expired deadline, torn payload) is reclaimed transparently and the
+    /// reclaim is journaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn claim_cell(&self, cell: &str, ttl_millis: u64) -> Result<Option<CellLease>, StoreError> {
+        match CellLease::acquire(&self.dir, cell, ttl_millis)? {
+            Claim::Acquired { lease, reclaimed } => {
+                if let Some(r) = reclaimed {
+                    obs::counter_add("store/lease_reclaims", 1);
+                    self.log(&Event::LeaseReclaimed {
+                        cell: cell.to_string(),
+                        old_pid: r.old_pid,
+                        pid: std::process::id(),
+                        reason: r.reason.to_string(),
+                    });
+                }
+                self.log(&Event::LeaseAcquired {
+                    cell: cell.to_string(),
+                    pid: std::process::id(),
+                    deadline_millis: lease.payload().deadline_millis,
+                });
+                Ok(Some(lease))
+            }
+            Claim::Busy { .. } => Ok(None),
+        }
+    }
+
+    /// Renews `lease` for another `ttl_millis` milliseconds and journals
+    /// the heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::LeaseLost`] when the cell was reclaimed out
+    /// from under us (we stalled past our own deadline) — the caller must
+    /// abandon the cell — and [`StoreError::Io`] on filesystem failures.
+    pub fn heartbeat_cell(&self, lease: &mut CellLease, ttl_millis: u64) -> Result<(), StoreError> {
+        lease.heartbeat(ttl_millis)?;
+        self.log(&Event::LeaseHeartbeat {
+            cell: lease.cell().to_string(),
+            pid: std::process::id(),
+            deadline_millis: lease.payload().deadline_millis,
+        });
+        Ok(())
+    }
+
+    /// Releases `lease` (removing its file) and journals the release.
+    pub fn release_cell(&self, lease: CellLease) {
+        self.log(&Event::LeaseReleased {
+            cell: lease.cell().to_string(),
+            pid: std::process::id(),
+        });
+        lease.release();
+    }
+
+    // -- per-cell outcome artifacts ----------------------------------------
+
+    /// The completed-outcome artifact path of `cell`.
+    pub fn cell_outcome_path(&self, cell: &str) -> PathBuf {
+        self.cell_dir(cell).join(OUTCOME_FILE)
+    }
+
+    /// Durably publishes `cell`'s completed outcome (serialized JSON).
+    ///
+    /// The write is atomic through a pid-suffixed temp file + rename, so a
+    /// present `outcome.json` is always complete: [`Self::cell_completed`]
+    /// turning `true` is the commit point after which no worker of this
+    /// run will ever recompute the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the artifact cannot be written.
+    pub fn save_cell_outcome(&self, cell: &str, outcome_json: &str) -> Result<(), StoreError> {
+        let path = self.cell_outcome_path(cell);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".part{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, outcome_json.as_bytes())?;
+        fs::rename(&tmp, &path)?;
+        self.log(&Event::CellCompleted {
+            cell: cell.to_string(),
+            pid: std::process::id(),
+        });
+        Ok(())
+    }
+
+    /// Loads `cell`'s completed outcome, if published. `Ok(None)` means the
+    /// cell has not completed yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if a present artifact cannot be read.
+    pub fn load_cell_outcome(&self, cell: &str) -> Result<Option<String>, StoreError> {
+        match fs::read_to_string(self.cell_outcome_path(cell)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// `true` once `cell`'s outcome artifact has been durably published.
+    pub fn cell_completed(&self, cell: &str) -> bool {
+        self.cell_outcome_path(cell).exists()
     }
 
     // -- training cache ----------------------------------------------------
@@ -256,10 +467,14 @@ impl RunStore {
 impl Drop for RunStore {
     fn drop(&mut self) {
         // Journal the release while the journal is still open; the lock
-        // field's own drop then removes the lock file.
-        self.log(&Event::LockReleased {
-            pid: self.lock.payload().pid,
-        });
+        // field's own drop then removes the lock file. Shared handles hold
+        // no lock and journal nothing — their per-cell leases release (and
+        // journal) individually.
+        if self.lock.is_some() {
+            self.log(&Event::LockReleased {
+                pid: std::process::id(),
+            });
+        }
     }
 }
 
@@ -388,9 +603,98 @@ mod tests {
             other => panic!("expected Locked, got {other:?}"),
         }
         // The refused open must not have disturbed the holder's state.
-        assert!(held.store.lock_path().exists());
+        assert!(held.store.lock_path().is_some_and(|p| p.exists()));
         drop(held);
         assert!(RunStore::open(&root, &f, "{}", true).is_ok());
+    }
+
+    #[test]
+    fn shared_opens_coexist_without_a_lock() {
+        let root = fresh_root("shared");
+        let f = fp(b"s");
+        let a = RunStore::open_shared(&root, &f, "{\"m\":1}").unwrap();
+        let b = RunStore::open_shared(&root, &f, "{\"m\":1}").unwrap();
+        assert!(a.store.is_shared() && b.store.is_shared());
+        assert!(a.store.lock_path().is_none());
+        assert!(b.resumed, "the second worker joins an existing manifest");
+        // No single-writer lock file exists while both handles live.
+        assert!(!crate::lock::lock_path(a.store.dir()).exists());
+        // Manifest disagreement is still refused.
+        let err = RunStore::open_shared(&root, &f, "{\"m\":2}").unwrap_err();
+        assert!(matches!(err, StoreError::ManifestMismatch { .. }));
+    }
+
+    #[test]
+    fn shared_open_defers_to_a_live_exclusive_writer() {
+        let root = fresh_root("shared_vs_exclusive");
+        let f = fp(b"x");
+        let held = RunStore::open(&root, &f, "{}", false).unwrap();
+        let err = RunStore::open_shared(&root, &f, "{}").unwrap_err();
+        match err {
+            StoreError::Locked { pid, .. } => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(held);
+        assert!(RunStore::open_shared(&root, &f, "{}").is_ok());
+    }
+
+    #[test]
+    fn exclusive_open_defers_to_a_held_cell_lease() {
+        let root = fresh_root("exclusive_vs_lease");
+        let f = fp(b"y");
+        let worker = RunStore::open_shared(&root, &f, "{}").unwrap();
+        let lease = worker
+            .store
+            .claim_cell("c1", 60_000)
+            .unwrap()
+            .expect("fresh cell must be claimable");
+        let err = RunStore::open(&root, &f, "{}", true).unwrap_err();
+        match err {
+            StoreError::Leased { cell, pid, .. } => {
+                assert_eq!(cell, "c1");
+                assert_eq!(pid, std::process::id());
+            }
+            other => panic!("expected Leased, got {other:?}"),
+        }
+        worker.store.release_cell(lease);
+        assert!(RunStore::open(&root, &f, "{}", true).is_ok());
+    }
+
+    #[test]
+    fn claimed_cell_is_busy_for_other_workers() {
+        let root = fresh_root("claim_busy");
+        let f = fp(b"z");
+        let a = RunStore::open_shared(&root, &f, "{}").unwrap();
+        let b = RunStore::open_shared(&root, &f, "{}").unwrap();
+        let lease = a.store.claim_cell("c", 60_000).unwrap().unwrap();
+        assert!(b.store.claim_cell("c", 60_000).unwrap().is_none());
+        a.store.release_cell(lease);
+        let again = b.store.claim_cell("c", 60_000).unwrap();
+        assert!(again.is_some(), "released cell must be claimable again");
+    }
+
+    #[test]
+    fn cell_outcomes_publish_atomically_and_round_trip() {
+        let root = fresh_root("outcomes");
+        let f = fp(b"o");
+        let opened = RunStore::open_shared(&root, &f, "{}").unwrap();
+        assert!(!opened.store.cell_completed("c"));
+        assert_eq!(opened.store.load_cell_outcome("c").unwrap(), None);
+        opened
+            .store
+            .save_cell_outcome("c", "{\"robustness\": [0.5]}")
+            .unwrap();
+        assert!(opened.store.cell_completed("c"));
+        assert_eq!(
+            opened.store.load_cell_outcome("c").unwrap().as_deref(),
+            Some("{\"robustness\": [0.5]}")
+        );
+        // The journal recorded the lease-free completion.
+        let events = crate::journal::read_events(opened.store.journal_path()).unwrap();
+        assert!(events.contains(&Event::CellCompleted {
+            cell: "c".into(),
+            pid: std::process::id(),
+        }));
     }
 
     #[test]

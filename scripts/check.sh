@@ -98,6 +98,34 @@ done
 rm -rf "$serve_dir"
 trap - EXIT
 
+# Distributed-grid smoke: two real grid-worker processes race over the
+# tiny grid's cells through the per-cell lease protocol, then the reducer
+# re-derives the grid single-process and proves the merged artifact is
+# bitwise-identical (the "reduce guard" line). See DESIGN.md §16.
+echo "==> distributed-grid smoke (2x grid-worker + grid-reduce --verify)"
+grid_dir=$(mktemp -d)
+trap 'rm -rf "$grid_dir"' EXIT
+target/release/spiking-armor grid-worker --preset tiny \
+    --out-dir "$grid_dir" >"$grid_dir/worker-a.log" 2>&1 &
+grid_a=$!
+target/release/spiking-armor grid-worker --preset tiny \
+    --out-dir "$grid_dir" >"$grid_dir/worker-b.log" 2>&1 &
+grid_b=$!
+if ! wait "$grid_a" || ! wait "$grid_b"; then
+    echo "FAILED: a grid worker exited non-zero:" >&2
+    cat "$grid_dir/worker-a.log" "$grid_dir/worker-b.log" >&2
+    exit 1
+fi
+reduce_out=$(target/release/spiking-armor grid-reduce --preset tiny \
+    --verify --out-dir "$grid_dir" | tee /dev/stderr)
+if ! grep -q "reduce guard: ok" <<<"$reduce_out"; then
+    echo "FAILED: grid-reduce did not prove bitwise identity with the" \
+        "single-process grid" >&2
+    exit 1
+fi
+rm -rf "$grid_dir"
+trap - EXIT
+
 # The metrics layer first: its merge/determinism properties (proptests
 # included) underpin the workspace-wide metrics determinism test.
 echo "==> cargo test -p obs"

@@ -1,0 +1,137 @@
+//! In-process distributed-grid acceptance tests: several worker loops on
+//! shared store handles cooperate on one run directory, and the reduced
+//! grid is bitwise-identical to the single-process reference.
+
+use std::fs;
+use std::path::PathBuf;
+
+use explore::worker::WorkerOptions;
+use explore::{grid, pipeline, presets, reduce, runs};
+use store::journal::read_events;
+use store::Event;
+
+fn tmp_out(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spiking_armor_grid_workers_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fast lease options for tests: short heartbeats and polls, a TTL no test
+/// run ever outlives.
+fn fast_opts() -> WorkerOptions {
+    WorkerOptions {
+        ttl_millis: 60_000,
+        heartbeat_millis: 50,
+        poll_millis: 10,
+        pause_at: None,
+    }
+}
+
+#[test]
+fn three_workers_reduce_bitwise_identical_to_the_serial_grid() {
+    let (config, spec, epsilons) = presets::tiny_grid();
+    let data = pipeline::prepare_data(&config);
+
+    // Serial reference through the exclusive single-process path.
+    let out_ref = tmp_out("reference");
+    let opened = runs::open(&out_ref, "heatmap", &config, Some(&spec), &epsilons, false).unwrap();
+    let reference = grid::run_grid_stored(&config, &data, &spec, &epsilons, 1, Some(&opened.store));
+    drop(opened);
+
+    // Distributed run: three shared handles, three concurrent worker loops.
+    let out = tmp_out("distributed");
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (config, data, spec, epsilons, out) = (&config, &data, &spec, &epsilons, &out);
+                scope.spawn(move || {
+                    let opened = runs::open_grid(out, "heatmap", config, spec, epsilons).unwrap();
+                    // Grid workers never take the single-writer lock.
+                    assert!(opened.store.is_shared());
+                    assert!(opened.store.lock_path().is_none());
+                    explore::run_worker(config, data, spec, epsilons, &opened.store, &fast_opts())
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Work-conservation across the fleet: every cell computed exactly once,
+    // nothing abandoned (no lease ever lapsed with a 60 s TTL).
+    let completed: usize = reports.iter().map(|r| r.completed.len()).sum();
+    assert_eq!(
+        completed,
+        spec.len(),
+        "each cell computed by exactly one worker"
+    );
+    assert_eq!(reports.iter().map(|r| r.abandoned).sum::<usize>(), 0);
+
+    // The reduced grid is bitwise-identical to the serial reference.
+    let opened = runs::open_grid(&out, "heatmap", &config, &spec, &epsilons).unwrap();
+    let reduced = reduce::reduce_grid(&opened.store, &spec, &epsilons).unwrap();
+    assert_eq!(reduced, reference);
+    assert_eq!(
+        serde_json::to_string_pretty(&reduced).unwrap(),
+        serde_json::to_string_pretty(&reference).unwrap(),
+        "serialised artifacts must match byte for byte"
+    );
+
+    // The journal proves the protocol ran: every cell was leased and
+    // completed exactly once, and no worker needed a reclaim.
+    let events = read_events(opened.store.journal_path()).unwrap();
+    for cell in spec.cells() {
+        let key = runs::cell_key(cell);
+        let completions = events
+            .iter()
+            .filter(|e| matches!(e, Event::CellCompleted { cell, .. } if *cell == key))
+            .count();
+        assert_eq!(completions, 1, "cell {key} must complete exactly once");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::LeaseAcquired { cell, .. } if *cell == key)),
+            "cell {key} must have been leased"
+        );
+    }
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, Event::LeaseReclaimed { .. })),
+        "healthy workers never trip a reclaim"
+    );
+    // No lease files survive an orderly fleet shutdown, so a later
+    // exclusive open (e.g. `spiking-armor heatmap --resume`) succeeds.
+    drop(opened);
+    let exclusive = runs::open(&out, "heatmap", &config, Some(&spec), &epsilons, true).unwrap();
+    assert!(exclusive.resumed);
+}
+
+/// A late-joining worker finds the grid already complete and exits without
+/// computing (or claiming) anything.
+#[test]
+fn late_worker_finds_nothing_to_do() {
+    let (config, spec, epsilons) = presets::tiny_grid();
+    let data = pipeline::prepare_data(&config);
+    let out = tmp_out("late");
+    let opened = runs::open_grid(&out, "heatmap", &config, &spec, &epsilons).unwrap();
+    let first = explore::run_worker(
+        &config,
+        &data,
+        &spec,
+        &epsilons,
+        &opened.store,
+        &fast_opts(),
+    )
+    .unwrap();
+    assert_eq!(first.completed.len(), spec.len());
+
+    let late = runs::open_grid(&out, "heatmap", &config, &spec, &epsilons).unwrap();
+    assert!(late.resumed, "the run directory already exists");
+    let report =
+        explore::run_worker(&config, &data, &spec, &epsilons, &late.store, &fast_opts()).unwrap();
+    assert!(report.completed.is_empty());
+    assert_eq!(report.abandoned, 0);
+    assert_eq!(report.busy, 0);
+}

@@ -202,6 +202,67 @@ fn rerun_with_same_sweep_is_pure_cache() {
     assert_eq!(attack_hits, learnable * epsilons.len());
 }
 
+/// Regression guard for the distributed-grid work: non-grid runs still take
+/// the single-writer run lock, while shared grid-worker handles never do —
+/// their mutual exclusion lives in per-cell leases instead.
+#[test]
+fn non_grid_runs_keep_the_single_writer_lock() {
+    let cfg = small_config();
+    let (spec, epsilons) = small_grid();
+    let out = tmp_out("lock_regression");
+    let exclusive = runs::open(&out, "fig1", &cfg, None, &epsilons, false).unwrap();
+    let lock_path = exclusive
+        .store
+        .lock_path()
+        .expect("a non-grid run holds the single-writer lock")
+        .to_path_buf();
+    assert!(lock_path.exists());
+    assert!(!exclusive.store.is_shared());
+    // While held, a second exclusive open of the same run is refused.
+    assert!(matches!(
+        runs::open(&out, "fig1", &cfg, None, &epsilons, true),
+        Err(store::StoreError::Locked { .. })
+    ));
+    drop(exclusive);
+    assert!(!lock_path.exists(), "dropping the store releases the lock");
+
+    // Shared grid handles coexist and leave no lock file behind.
+    let a = runs::open_grid(&out, "heatmap", &cfg, &spec, &epsilons).unwrap();
+    let b = runs::open_grid(&out, "heatmap", &cfg, &spec, &epsilons).unwrap();
+    assert!(a.store.is_shared() && b.store.is_shared());
+    assert!(a.store.lock_path().is_none());
+    let run_dir = a.store.dir().to_path_buf();
+    let lock_sibling = run_dir.with_extension("lock");
+    assert!(
+        !lock_sibling.exists(),
+        "grid workers must not create {}",
+        lock_sibling.display()
+    );
+}
+
+/// An exclusive open (resume or fresh) must stand down while a live grid
+/// worker holds a cell lease: worst case it would `remove_dir_all` the run
+/// out from under the worker.
+#[test]
+fn exclusive_open_is_refused_while_a_worker_lease_is_held() {
+    let cfg = small_config();
+    let (spec, epsilons) = small_grid();
+    let out = tmp_out("leased_refusal");
+    let worker = runs::open_grid(&out, "heatmap", &cfg, &spec, &epsilons).unwrap();
+    let key = runs::cell_key(spec.cells().next().unwrap());
+    let lease = worker.store.claim_cell(&key, 60_000).unwrap().unwrap();
+    for resume in [false, true] {
+        match runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, resume) {
+            Err(store::StoreError::Leased { cell, .. }) => assert_eq!(cell, key),
+            other => panic!("expected Leased (resume={resume}), got {other:?}"),
+        }
+    }
+    // Releasing the cell lifts the refusal.
+    worker.store.release_cell(lease);
+    let resumed = runs::open(&out, "heatmap", &cfg, Some(&spec), &epsilons, true).unwrap();
+    assert!(resumed.resumed);
+}
+
 /// A run with a different configuration never shares a directory (and thus
 /// never shares checkpoints) with an existing run.
 #[test]

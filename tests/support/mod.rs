@@ -1,0 +1,128 @@
+//! Cross-process test harness: spawns real `spiking-armor grid-worker`
+//! children, watches their journaled stdout checkpoints, and SIGKILLs them
+//! at exact protocol boundaries.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// The `spiking-armor` binary under test.
+pub fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spiking-armor"))
+}
+
+/// A spawned grid-worker child with its stdout streamed line by line
+/// through a channel (so waiting for a checkpoint line can time out
+/// instead of blocking forever on a wedged child).
+pub struct WorkerProc {
+    child: Child,
+    lines: Receiver<String>,
+}
+
+/// Spawns `spiking-armor grid-worker --preset tiny` on `out_dir` with fast
+/// lease tuning, plus any extra flags (e.g. `--pause-at mid-cell`).
+pub fn spawn_worker(out_dir: &Path, extra: &[&str]) -> WorkerProc {
+    let mut child = bin()
+        .args(["grid-worker", "--preset", "tiny"])
+        .args(["--ttl-ms", "60000", "--heartbeat-ms", "50"])
+        .arg("--out-dir")
+        .arg(out_dir)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("cannot spawn grid-worker");
+    let stdout = child.stdout.take().unwrap();
+    let (tx, lines) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break; // receiver gone; keep draining is pointless
+            }
+        }
+    });
+    WorkerProc { child, lines }
+}
+
+impl WorkerProc {
+    /// Blocks until a stdout line containing `needle` arrives and returns
+    /// it. Panics after `timeout` — a missing checkpoint line means the
+    /// worker took a wrong path, and hanging the suite would hide that.
+    pub fn wait_for_line(&mut self, needle: &str, timeout: Duration) -> String {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.lines.recv_timeout(left) {
+                Ok(line) if line.contains(needle) => return line,
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!("worker {} never printed {needle:?}", self.child.id())
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "worker {} exited before printing {needle:?}",
+                        self.child.id()
+                    )
+                }
+            }
+        }
+    }
+
+    /// SIGKILLs the child (`Child::kill` is SIGKILL on Unix — the paused
+    /// worker gets no chance to clean up, exactly like a crash) and reaps
+    /// it.
+    pub fn kill9(mut self) -> u32 {
+        let pid = self.child.id();
+        self.child.kill().expect("cannot SIGKILL the worker");
+        self.child.wait().expect("cannot reap the killed worker");
+        pid
+    }
+
+    /// Waits for a clean exit, asserting success.
+    pub fn wait_success(mut self) {
+        let status = self.child.wait().expect("cannot wait for the worker");
+        assert!(status.success(), "worker exited with {status}");
+    }
+}
+
+/// Runs `spiking-armor grid-reduce --preset tiny [--verify]` on `out_dir`
+/// to completion and returns its stdout. Panics on a non-zero exit.
+pub fn run_reduce(out_dir: &Path, verify: bool) -> String {
+    let mut cmd = bin();
+    cmd.args(["grid-reduce", "--preset", "tiny"]);
+    if verify {
+        cmd.arg("--verify");
+    }
+    let output = cmd
+        .arg("--out-dir")
+        .arg(out_dir)
+        .output()
+        .expect("cannot run grid-reduce");
+    assert!(
+        output.status.success(),
+        "grid-reduce failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// The single `run-<fingerprint>` directory inside `<out_dir>/runs`.
+pub fn only_run_dir(out_dir: &Path) -> PathBuf {
+    let runs = out_dir.join("runs");
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&runs)
+        .unwrap_or_else(|e| panic!("no runs directory under {}: {e}", out_dir.display()))
+        .map(|entry| entry.unwrap().path())
+        // The run directory proper, not its `.leases` sibling.
+        .filter(|p| p.is_dir() && p.extension().is_none())
+        .collect();
+    assert_eq!(
+        dirs.len(),
+        1,
+        "expected exactly one run directory: {dirs:?}"
+    );
+    dirs.remove(0)
+}
